@@ -1,0 +1,66 @@
+// Reproduces paper Fig. 3: the Gaussian approximation of the normalised
+// middle-range shell profile g_{alpha,l}(r) / g_{alpha,l}(0).
+//
+//   (a) profile and its M = 1, 2 Gaussian approximations vs s = alpha r / 2^{l-1}
+//   (b) max/percentile approximation error vs s for M = 1..4
+//
+// Both panels are invariant in alpha and l (paper Eq. 5), so the series are
+// printed in the dimensionless coordinate s.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/gaussian_fit.hpp"
+#include "util/args.hpp"
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tme;
+  const Args args(argc, argv);
+  const double s_max = args.get_double("smax", 6.0);
+  const double ds = args.get_double("ds", 0.25);
+
+  bench::print_header("Fig 3(a): shell profile g(s)/g(0) and Gaussian approximations");
+  std::printf("%8s %12s %12s %12s %12s %12s\n", "s", "exact", "M=1", "M=2", "M=3",
+              "M=4");
+  for (double s = 0.0; s <= s_max + 1e-12; s += ds) {
+    std::printf("%8.3f %12.7f %12.7f %12.7f %12.7f %12.7f\n", s,
+                shell_profile_exact(s), shell_profile_gaussian(s, 1),
+                shell_profile_gaussian(s, 2), shell_profile_gaussian(s, 3),
+                shell_profile_gaussian(s, 4));
+  }
+
+  bench::print_header("Fig 3(b): |approximation error| vs s");
+  std::printf("%8s %12s %12s %12s %12s\n", "s", "M=1", "M=2", "M=3", "M=4");
+  const double ds_fine = ds / 5.0;
+  for (double s = 0.0; s <= s_max + 1e-12; s += ds) {
+    double err[4] = {0.0, 0.0, 0.0, 0.0};
+    // Report the max error over the bin [s, s + ds) like a plotted envelope.
+    for (double t = s; t < s + ds && t <= s_max; t += ds_fine) {
+      const double exact = shell_profile_exact(t);
+      for (std::size_t m = 1; m <= 4; ++m) {
+        err[m - 1] = std::max(err[m - 1],
+                              std::abs(shell_profile_gaussian(t, m) - exact));
+      }
+    }
+    std::printf("%8.3f %12.4e %12.4e %12.4e %12.4e\n", s, err[0], err[1], err[2],
+                err[3]);
+  }
+
+  bench::print_header("Fig 3(b) summary: max error over s in [0, smax]");
+  std::printf("%6s %14s   (paper: error decreases rapidly with M)\n", "M",
+              "max |error|");
+  double prev = 1.0;
+  for (std::size_t m = 1; m <= 6; ++m) {
+    double worst = 0.0;
+    for (double s = 0.0; s <= s_max; s += 0.01) {
+      worst = std::max(worst,
+                       std::abs(shell_profile_gaussian(s, m) - shell_profile_exact(s)));
+    }
+    std::printf("%6zu %14.4e   %s\n", m, worst,
+                worst < prev ? "(decreasing)" : "(NOT decreasing!)");
+    prev = worst;
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces paper Fig. 9 (single-step time chart on MDGRAPE-4A), Fig. 10
+// (detailed GCU phases), and the Sec. V.B/V.C summaries: ~50 us long-range
+// busy time, ~10 us (5%) net cost after overlap.
+#include <cstdio>
+
+#include "hw/machine.hpp"
+#include "hw/timechart.hpp"
+#include "util/args.hpp"
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tme;
+  using namespace tme::hw;
+  const Args args(argc, argv);
+
+  MdgrapeMachine machine;
+  StepConfig config;  // defaults = the paper's Fig. 9 system
+  config.atoms = args.get_int("atoms", 80540);
+
+  bench::print_header(
+      "Fig 9: time chart of one MD step (80,540 atoms, 512 nodes, N=32^3, "
+      "L=1, g_c=8, M=4)");
+  const StepTimings with_lr = machine.simulate_step(config);
+  std::printf("%s\n", render_timechart(with_lr.schedule, 100).c_str());
+  std::printf("%s\n", render_task_table(with_lr.schedule).c_str());
+
+  bench::print_header("Fig 10: GCU / TMENW phase detail");
+  std::printf("  %-34s %8.2f us   (paper: ~1.5 us)\n", "restriction",
+              with_lr.restriction * 1e6);
+  std::printf("  %-34s %8.2f us   (paper: ~6 us)\n", "level-1 convolution",
+              with_lr.convolution * 1e6);
+  std::printf("  %-34s %8.2f us   (paper: ~1.5 us)\n", "prolongation",
+              with_lr.prolongation * 1e6);
+  std::printf("  %-34s %8.2f us   (paper: < 20 us)\n", "TMENW round trip",
+              with_lr.tmenw * 1e6);
+  std::printf("  %-34s %8.2f us   (paper: ~10 us)\n", "LRU CA + BI",
+              (with_lr.lru_ca + with_lr.lru_bi) * 1e6);
+
+  StepConfig no_lr = config;
+  no_lr.long_range = false;
+  const StepTimings without = machine.simulate_step(no_lr);
+
+  bench::print_header("Sec V.B / V.C summary");
+  std::printf("  %-42s %8.1f us   (paper: 206 us)\n", "single step with long range",
+              with_lr.step_time * 1e6);
+  std::printf("  %-42s %8.1f us   (paper: 196 us)\n", "single step without long range",
+              without.step_time * 1e6);
+  const double delta = (with_lr.step_time - without.step_time) * 1e6;
+  std::printf("  %-42s %8.1f us   (paper: ~10 us, 5%%)\n",
+              "net cost of the long-range term", delta);
+  std::printf("  %-42s %8.1f %%\n", "as fraction of the step",
+              delta / (with_lr.step_time * 1e6) * 100.0);
+  std::printf("  %-42s %8.1f us   (paper: ~50 us)\n",
+              "long-range busy time (CA..BI activities)",
+              with_lr.long_range_total * 1e6);
+  std::printf("  %-42s %8.1f us\n", "long-range wall-clock span",
+              with_lr.long_range_span * 1e6);
+  std::printf("  %-42s %8.3f us/day (paper: ~1.0 us/day at 2.5 fs)\n",
+              "simulated throughput",
+              machine.performance_us_per_day(config));
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Operating-regime study: relative force error of SPME and TME as a
+// function of alpha * h (the splitting parameter in grid units).
+//
+// The paper runs at alpha h ~ 0.69..0.86 (Table 1's three cutoffs over a
+// 32^3 grid).  This sweep shows why: finer grids (small alpha h) starve the
+// g_c-truncated TME kernels — the slowest shell Gaussian (width alpha/2)
+// no longer decays inside g_c taps — while coarser grids (large alpha h)
+// degrade both methods through plain interpolation error.  SPME, whose
+// reciprocal-space kernel has no real-space truncation, keeps improving as
+// the grid refines; the divergence of the two curves on the left side is
+// the cost the TME pays for locality.
+#include <cmath>
+#include <cstdio>
+
+#include "core/tme.hpp"
+#include "core/tuning.hpp"
+#include "ewald/reference_ewald.hpp"
+#include "ewald/splitting.hpp"
+#include "ewald/spme.hpp"
+#include "md/water_box.hpp"
+#include "util/args.hpp"
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tme;
+  const Args args(argc, argv);
+
+  WaterBoxSpec spec;
+  spec.molecules = args.get_int("molecules", 864);
+  spec.seed = 11;
+  const WaterBox wb = build_water_box(spec);
+  const Box& box = wb.system.box;
+
+  EwaldParams ref_params;
+  ref_params.alpha = alpha_from_tolerance(0.5 * box.lengths.x, 1e-15);
+  const CoulombResult reference =
+      ewald_reference(box, wb.system.positions, wb.system.charges, ref_params);
+
+  bench::print_header(
+      "force error vs alpha*h at fixed r_c (g_c = 8, M = 4, p = 6)");
+  std::printf("water box: %zu molecules, box %.3f nm\n\n", wb.molecules,
+              box.lengths.x);
+  std::printf("%8s %8s %10s | %12s %12s %10s\n", "grid", "alpha*h", "r_c/h",
+              "SPME", "TME", "TME/SPME");
+
+  // Fixed physics (r_c, alpha); sweep the grid resolution.
+  const double r_cut = 0.25 * box.lengths.x;
+  const double alpha = alpha_from_tolerance(r_cut, 1e-4);
+  for (const std::size_t n : {8u, 12u, 16u, 24u, 32u, 48u}) {
+    const double h = box.lengths.x / static_cast<double>(n);
+    if (n < 12) continue;  // top grid below spline order
+    SpmeParams sp;
+    sp.alpha = alpha;
+    sp.grid = {n, n, n};
+    const Spme spme(box, sp);
+    const CoulombResult lr_spme = spme.compute(wb.system.positions, wb.system.charges);
+    const CoulombResult spme_total = bench::complete_with_short_range(
+        box, wb.system.positions, wb.system.charges, lr_spme, alpha, r_cut);
+    const double err_spme = spme_total.relative_force_error_against(reference);
+
+    TmeParams tp;
+    tp.alpha = alpha;
+    tp.grid = {n, n, n};
+    tp.grid_cutoff = 8;
+    tp.num_gaussians = 4;
+    const Tme tme(box, tp);
+    const CoulombResult lr_tme = tme.compute(wb.system.positions, wb.system.charges);
+    const CoulombResult tme_total = bench::complete_with_short_range(
+        box, wb.system.positions, wb.system.charges, lr_tme, alpha, r_cut);
+    const double err_tme = tme_total.relative_force_error_against(reference);
+
+    std::printf("%7zu^3 %8.3f %10.2f | %12.3e %12.3e %9.1fx\n", n, alpha * h,
+                r_cut / h, err_spme, err_tme, err_tme / err_spme);
+  }
+
+  bench::print_header("the auto-tuner's pick for this box");
+  TmeTuningRequest req;
+  req.r_cut = r_cut;
+  const TmeTuning tuned = tune_tme(box, req);
+  std::printf("grid %zu^3, L = %d, M = %zu, alpha*h = %.3f, r_c/h = %.2f\n",
+              tuned.params.grid.nx, tuned.params.levels,
+              tuned.params.num_gaussians, tuned.alpha * tuned.grid_spacing,
+              tuned.rc_over_h);
+  std::printf("\nexpected shape: TME tracks SPME near alpha*h ~ 0.7 (the "
+              "paper's regime)\nand detaches on over-refined grids where the "
+              "truncated kernels lose the\nslow shell Gaussian's tail.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Reproduces paper Table 2: performance comparison for 50k-100k atom
+// systems.  The MDGRAPE-4A row comes from this repository's hardware model
+// (bench_fig9); the other rows are the literature values the paper quotes
+// ([28] for GROMACS clusters, [35]/[5] for the Anton family) — they are
+// comparison targets, not measurements of this software.
+#include <cstdio>
+
+#include "hw/machine.hpp"
+#include "util/args.hpp"
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tme;
+  using namespace tme::hw;
+  const Args args(argc, argv);
+  (void)args;
+
+  MdgrapeMachine machine;
+  const StepConfig config;  // Fig. 9 system, 2.5 fs steps
+  const StepTimings t = machine.simulate_step(config);
+  const double mdgrape_perf = machine.performance_us_per_day(config);
+  const double mdgrape_step = t.step_time * 1e6;
+  const double mdgrape_lr = t.long_range_total * 1e6;
+
+  bench::print_header("Table 2: performance comparison, 50k-100k atom targets");
+  std::printf("%-26s %-10s %12s %14s %12s\n", "computer system", "LR method",
+              "perf us/day", "time/step us", "LR part us");
+
+  struct Row {
+    const char* system;
+    const char* method;
+    double perf, step, lr;
+  };
+  const Row literature[] = {
+      {"CPU cluster (64 nodes)", "SPME", 0.25, 800.0, 500.0},
+      {"GPU cluster (64 GPUs)", "SPME", 0.30, 700.0, 500.0},
+  };
+  for (const Row& r : literature) {
+    std::printf("%-26s %-10s %12.2f %14.0f %12.0f   [literature]\n", r.system,
+                r.method, r.perf, r.step, r.lr);
+  }
+  std::printf("%-26s %-10s %12.2f %14.0f %12.0f   [this model]\n",
+              "MDGRAPE-4A (512 nodes)", "TME", mdgrape_perf, mdgrape_step,
+              mdgrape_lr);
+  const Row anton[] = {
+      {"Anton 1 (512 nodes)", "k-GSE", 10.0, 20.0, 20.0},
+      {"Anton 2 (512 nodes)", "u-series", 70.0, 3.0, 3.0},
+  };
+  for (const Row& r : anton) {
+    std::printf("%-26s %-10s %12.2f %14.0f %12.0f   [literature]\n", r.system,
+                r.method, r.perf, r.step, r.lr);
+  }
+
+  bench::print_header("shape checks (paper Sec. V.D)");
+  std::printf("  MDGRAPE-4A vs best commodity cluster: %5.1fx faster  "
+              "(paper: >= 3x)\n",
+              mdgrape_perf / 0.30);
+  std::printf("  Anton 1 vs MDGRAPE-4A:                %5.1fx faster  "
+              "(paper: ~10x)\n",
+              10.0 / mdgrape_perf);
+  std::printf("  long-range part vs commodity cluster: %5.1fx faster  "
+              "(paper: ~10x, 'one order of magnitude')\n",
+              500.0 / mdgrape_lr);
+  std::printf("  long-range part vs Anton 1:           %5.2fx  "
+              "(paper: 'comparable')\n",
+              mdgrape_lr / 20.0);
+  return 0;
+}

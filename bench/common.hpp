@@ -1,0 +1,58 @@
+// Shared helpers for the reproduction benches.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ewald/reference_ewald.hpp"
+#include "ewald/splitting.hpp"
+#include "md/short_range.hpp"
+#include "md/system.hpp"
+#include "md/topology.hpp"
+#include "util/constants.hpp"
+#include "util/vec3.hpp"
+
+namespace tme::bench {
+
+// Completes a long-range result into total Coulomb forces by adding the
+// analytic short-range (erfc) part over all non-excluded pairs, so the
+// relative force error against the Ewald reference can be measured
+// (Table 1 protocol; the reference includes all pairs, so exclusions are
+// empty here).
+inline CoulombResult complete_with_short_range(const Box& box,
+                                               std::span<const Vec3> positions,
+                                               std::span<const double> charges,
+                                               CoulombResult lr, double alpha,
+                                               double r_cut) {
+  ParticleSystem sys;
+  sys.box = box;
+  sys.resize(positions.size());
+  sys.positions.assign(positions.begin(), positions.end());
+  sys.charges.assign(charges.begin(), charges.end());
+  sys.forces.assign(positions.size(), Vec3{});
+  Topology topo;
+  topo.lj().assign(positions.size(), LjParams{});
+  topo.finalize(positions.size());
+  ShortRangeParams params;
+  params.cutoff = r_cut;
+  params.alpha = alpha;
+  const ShortRangeResult sr = compute_short_range(sys, topo, params);
+  lr.energy += sr.energy_coulomb;
+  for (std::size_t i = 0; i < positions.size(); ++i) lr.forces[i] += sys.forces[i];
+  return lr;
+}
+
+inline void print_rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void print_header(const std::string& title) {
+  print_rule();
+  std::printf("%s\n", title.c_str());
+  print_rule();
+}
+
+}  // namespace tme::bench

@@ -1,0 +1,54 @@
+// Explore the MDGRAPE-4A performance model interactively: sweep atoms, grid
+// size, hierarchy depth, or machine size and print the resulting time chart
+// and step summary.
+//
+//   ./examples/hw_timechart [--atoms 80540] [--grid 32] [--levels 1]
+//                           [--gc 8] [--gaussians 4] [--nodes 8]
+//                           [--no-long-range]
+#include <cstdio>
+
+#include "hw/machine.hpp"
+#include "hw/timechart.hpp"
+#include "util/args.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tme;
+  using namespace tme::hw;
+  const Args args(argc, argv);
+
+  MachineParams mp;
+  const std::size_t nodes = static_cast<std::size_t>(args.get_int("nodes", 8));
+  mp.nodes_x = mp.nodes_y = mp.nodes_z = nodes;
+  const MdgrapeMachine machine(mp);
+
+  StepConfig cfg;
+  cfg.atoms = static_cast<std::size_t>(args.get_int("atoms", 80540));
+  const std::size_t g = static_cast<std::size_t>(args.get_int("grid", 32));
+  cfg.grid = {g, g, g};
+  cfg.levels = args.get_int("levels", 1);
+  cfg.grid_cutoff = args.get_int("gc", 8);
+  cfg.num_gaussians = args.get_int("gaussians", 4);
+  cfg.long_range = !args.get_flag("no-long-range");
+
+  const StepTimings t = machine.simulate_step(cfg);
+  std::printf("MDGRAPE-4A model: %zu^3 nodes, %zu atoms, grid %zu^3, L=%d, "
+              "g_c=%d, M=%d\n\n",
+              nodes, cfg.atoms, g, cfg.levels, cfg.grid_cutoff,
+              cfg.num_gaussians);
+  std::printf("%s\n", render_timechart(t.schedule, 100).c_str());
+  std::printf("%s\n", render_task_table(t.schedule).c_str());
+  std::printf("step time:            %8.1f us\n", t.step_time * 1e6);
+  if (cfg.long_range) {
+    std::printf("long-range busy time: %8.1f us\n", t.long_range_total * 1e6);
+    std::printf("GCU exclusive window: %8.1f us\n", t.gcu_window * 1e6);
+    std::printf("TMENW round trip:     %8.1f us\n", t.tmenw * 1e6);
+  }
+  std::printf("throughput:           %8.3f us/day (%.1f fs steps)\n",
+              machine.performance_us_per_day(cfg), cfg.timestep_fs);
+
+  const auto unused = args.unused();
+  for (const auto& key : unused) {
+    std::fprintf(stderr, "warning: unused option --%s\n", key.c_str());
+  }
+  return 0;
+}

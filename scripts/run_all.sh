@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Full reproduction driver: configure, build, test, run every bench, and
+# leave the transcripts in test_output.txt / bench_output.txt at the repo
+# root (the record EXPERIMENTS.md points at).
+#
+#   scripts/run_all.sh [--full]   # --full adds the paper-exact Table 1 run
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    echo "================================================================"
+    echo "== $b"
+    echo "================================================================"
+    "$b"
+    echo
+  done
+} 2>&1 | tee bench_output.txt
+
+if [[ "${1:-}" == "--full" ]]; then
+  ./build/bench/bench_table1 --full 2>&1 | tee table1_full_output.txt
+fi
+
+echo "done: test_output.txt, bench_output.txt"

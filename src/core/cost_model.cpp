@@ -1,0 +1,43 @@
+#include "core/cost_model.hpp"
+
+#include <stdexcept>
+
+namespace tme {
+
+namespace {
+void check(const CostModelInput& in) {
+  if (in.grid_per_node < 1 || in.grid_cutoff < 1 || in.num_gaussians < 1) {
+    throw std::invalid_argument("cost model: all inputs must be >= 1");
+  }
+}
+double cube(double x) { return x * x * x; }
+}  // namespace
+
+double gamma_ratio(const CostModelInput& in) {
+  check(in);
+  return static_cast<double>(in.grid_per_node) / static_cast<double>(in.grid_cutoff);
+}
+
+ConvolutionCost msm_level1_cost(const CostModelInput& in) {
+  check(in);
+  const double taps = 2.0 * in.grid_cutoff + 1.0;
+  const double local = static_cast<double>(in.grid_per_node);
+  const double gamma = gamma_ratio(in);
+  ConvolutionCost cost;
+  cost.compute = cube(taps) * cube(local);
+  cost.comm = (8.0 + 12.0 * gamma + 6.0 * gamma * gamma) * cube(in.grid_cutoff);
+  return cost;
+}
+
+ConvolutionCost tme_level1_cost(const CostModelInput& in) {
+  check(in);
+  const double taps = 2.0 * in.grid_cutoff + 1.0;
+  const double local = static_cast<double>(in.grid_per_node);
+  const double gamma = gamma_ratio(in);
+  ConvolutionCost cost;
+  cost.compute = taps * cube(local) * static_cast<double>(in.num_gaussians);
+  cost.comm = (2.0 + 4.0 * in.num_gaussians) * gamma * gamma * cube(in.grid_cutoff);
+  return cost;
+}
+
+}  // namespace tme

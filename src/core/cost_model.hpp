@@ -1,0 +1,32 @@
+// Analytic computation/communication cost model of paper Sec. III.C,
+// comparing the level-1 grid-kernel convolution of B-spline MSM (dense 3D,
+// range-limited) against the TME (M separable 1D passes).
+//
+//   gamma := (N_x / P_x) / g_c   (local grid extent over kernel cutoff)
+//
+//   compute_msm  = (2 g_c + 1)^3 (N_x/P_x)^3
+//   compute_tme  = (2 g_c + 1)   (N_x/P_x)^3 M
+//   comm_msm     = (8 + 12 gamma + 6 gamma^2) g_c^3
+//   comm_tme     = (2 + 4 M) gamma^2 g_c^3
+#pragma once
+
+namespace tme {
+
+struct ConvolutionCost {
+  double compute = 0.0;  // multiply–accumulate operations per node
+  double comm = 0.0;     // grid words exchanged per node
+};
+
+struct CostModelInput {
+  int grid_per_node = 4;  // N_x / P_x
+  int grid_cutoff = 8;    // g_c
+  int num_gaussians = 4;  // M (TME only)
+};
+
+ConvolutionCost msm_level1_cost(const CostModelInput& in);
+ConvolutionCost tme_level1_cost(const CostModelInput& in);
+
+// gamma = (N_x/P_x) / g_c.
+double gamma_ratio(const CostModelInput& in);
+
+}  // namespace tme

@@ -1,0 +1,101 @@
+#include "core/gaussian_fit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ewald/splitting.hpp"
+#include "quadrature/gauss_legendre.hpp"
+
+namespace tme {
+
+std::vector<GaussianTerm> fit_shell_gaussians(double alpha, std::size_t m) {
+  if (alpha <= 0.0) throw std::invalid_argument("fit_shell_gaussians: alpha > 0 required");
+  const QuadratureRule rule = gauss_legendre(m);
+  std::vector<GaussianTerm> terms(m);
+  const double c_scale = alpha / (2.0 * std::sqrt(M_PI));
+  for (std::size_t nu = 0; nu < m; ++nu) {
+    terms[nu].alpha_nu = (3.0 - rule.nodes[nu]) / 4.0 * alpha;
+    terms[nu].c_nu = c_scale * rule.weights[nu];
+  }
+  return terms;
+}
+
+double shell_from_gaussians(const std::vector<GaussianTerm>& terms, double r,
+                            int level) {
+  if (level < 1) throw std::invalid_argument("shell_from_gaussians: level >= 1");
+  const double scale = std::ldexp(1.0, level - 1);  // 2^{l-1}
+  double sum = 0.0;
+  for (const GaussianTerm& t : terms) {
+    const double a = t.alpha_nu * r / scale;
+    sum += t.c_nu * std::exp(-a * a);
+  }
+  return sum / scale;
+}
+
+std::vector<GaussianTerm> fit_shell_gaussians_least_squares(double alpha,
+                                                            std::size_t m,
+                                                            double s_max) {
+  if (s_max <= 0.0) {
+    throw std::invalid_argument("fit_shell_gaussians_least_squares: s_max > 0");
+  }
+  std::vector<GaussianTerm> terms = fit_shell_gaussians(alpha, m);
+  // Work in the dimensionless coordinate s = alpha r (level 1): basis
+  // functions b_nu(s) = exp(-(a_nu s)^2) with a_nu = alpha_nu / alpha.
+  const std::size_t samples = 400;
+  std::vector<double> a(m);
+  for (std::size_t nu = 0; nu < m; ++nu) a[nu] = terms[nu].alpha_nu / alpha;
+
+  // Normal equations A c = b for min_c sum_s (sum_nu c_nu b_nu(s) - g(s))^2.
+  std::vector<double> mat(m * m, 0.0), rhs(m, 0.0);
+  for (std::size_t s_i = 0; s_i <= samples; ++s_i) {
+    const double s = s_max * static_cast<double>(s_i) / static_cast<double>(samples);
+    const double target = g_shell(s / alpha, alpha, 1);
+    std::vector<double> basis(m);
+    for (std::size_t nu = 0; nu < m; ++nu) {
+      basis[nu] = std::exp(-a[nu] * a[nu] * s * s);
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      rhs[i] += basis[i] * target;
+      for (std::size_t k = 0; k < m; ++k) mat[i * m + k] += basis[i] * basis[k];
+    }
+  }
+  // Gaussian elimination with partial pivoting (m <= ~8).
+  std::vector<double> c(rhs);
+  for (std::size_t col = 0; col < m; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < m; ++row) {
+      if (std::abs(mat[row * m + col]) > std::abs(mat[pivot * m + col])) pivot = row;
+    }
+    for (std::size_t k = 0; k < m; ++k) std::swap(mat[col * m + k], mat[pivot * m + k]);
+    std::swap(c[col], c[pivot]);
+    const double diag = mat[col * m + col];
+    if (std::abs(diag) < 1e-14) {
+      throw std::runtime_error("fit_shell_gaussians_least_squares: singular basis");
+    }
+    for (std::size_t row = col + 1; row < m; ++row) {
+      const double f = mat[row * m + col] / diag;
+      for (std::size_t k = col; k < m; ++k) mat[row * m + k] -= f * mat[col * m + k];
+      c[row] -= f * c[col];
+    }
+  }
+  for (std::size_t row = m; row-- > 0;) {
+    for (std::size_t k = row + 1; k < m; ++k) c[row] -= mat[row * m + k] * c[k];
+    c[row] /= mat[row * m + row];
+  }
+  for (std::size_t nu = 0; nu < m; ++nu) terms[nu].c_nu = c[nu];
+  return terms;
+}
+
+double shell_profile_exact(double s) {
+  // With alpha = 1 and l = 1: g(r)/g(0), g(0) = 2(1 - 1/2)/sqrt(pi).
+  const double g0 = g_shell(0.0, 1.0, 1);
+  return g_shell(s, 1.0, 1) / g0;
+}
+
+double shell_profile_gaussian(double s, std::size_t m) {
+  const std::vector<GaussianTerm> terms = fit_shell_gaussians(1.0, m);
+  const double g0 = g_shell(0.0, 1.0, 1);
+  return shell_from_gaussians(terms, s, 1) / g0;
+}
+
+}  // namespace tme

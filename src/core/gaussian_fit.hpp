@@ -1,0 +1,44 @@
+// Gaussian approximation of the TME middle-range shells (paper Eqs. 6–7).
+//
+// Each shell g_{alpha,l}(r) is written as an integral of Gaussians over the
+// splitting-parameter interval [alpha/2^l, alpha/2^{l-1}] and approximated
+// with an M-point Gauss–Legendre rule:
+//   g_{alpha,l}(r) ~ (1/2^{l-1}) sum_nu c_nu exp(-(alpha_nu r / 2^{l-1})^2),
+//   alpha_nu = (3 - u_nu)/4 * alpha,   c_nu = alpha w_nu / (2 sqrt(pi)).
+// The fit is level-independent when distances are measured in units of
+// 2^{l-1} (Eq. 5), so one set of (alpha_nu, c_nu) serves every level.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tme {
+
+struct GaussianTerm {
+  double alpha_nu = 0.0;  // nm^-1 (scales with the splitting parameter)
+  double c_nu = 0.0;      // nm^-1
+};
+
+// The M terms of Eq. 7 for splitting parameter alpha.
+std::vector<GaussianTerm> fit_shell_gaussians(double alpha, std::size_t m);
+
+// Least-squares refinement of the quadrature fit: keeps the Gauss–Legendre
+// exponents alpha_nu but re-solves the weights c_nu to minimise the L2
+// profile error over s in [0, s_max] (the paper notes that "selecting the
+// alpha_nu and c_nu values provides many possibilities"; this is the
+// simplest member of that family, studied in bench_ablation).
+std::vector<GaussianTerm> fit_shell_gaussians_least_squares(double alpha,
+                                                            std::size_t m,
+                                                            double s_max = 6.0);
+
+// Level-l shell evaluated through the Gaussian fit.
+double shell_from_gaussians(const std::vector<GaussianTerm>& terms, double r,
+                            int level);
+
+// Normalised shell profile g_{alpha,l}(r) / g_{alpha,l}(0) and its Gaussian
+// approximation as functions of s = alpha r / 2^{l-1} — the quantities
+// plotted in paper Fig. 3 (invariant in alpha and l).
+double shell_profile_exact(double s);
+double shell_profile_gaussian(double s, std::size_t m);
+
+}  // namespace tme

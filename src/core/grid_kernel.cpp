@@ -1,0 +1,96 @@
+#include "core/grid_kernel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "spline/interpolation_coeffs.hpp"
+
+namespace tme {
+
+namespace {
+
+Kernel1d truncate_periodic(const std::vector<double>& g_periodic, int cutoff,
+                           double scale) {
+  const std::size_t n = g_periodic.size();
+  Kernel1d k;
+  k.cutoff = cutoff;
+  k.taps.resize(static_cast<std::size_t>(2 * cutoff + 1));
+  // G is already periodic on the level grid.  When the tap range covers the
+  // whole period (2 g_c + 1 > n) two tap offsets can alias to the same
+  // periodic class; each class must contribute exactly once or the
+  // convolution double-counts it.
+  // Fill outward-symmetrically from the centre so the retained tap of each
+  // class is the dominant (shortest-distance) one.
+  std::vector<bool> seen(n, false);
+  for (int dist = 0; dist <= cutoff; ++dist) {
+    for (const int m : {dist, -dist}) {
+      const std::size_t cls = Grid3d::wrap(m, n);
+      double tap = 0.0;
+      if (!seen[cls]) {
+        seen[cls] = true;
+        tap = scale * g_periodic[cls];
+      }
+      k.taps[static_cast<std::size_t>(m + cutoff)] = tap;
+      if (dist == 0) break;  // +0 and -0 are the same tap
+    }
+  }
+  return k;
+}
+
+}  // namespace
+
+std::vector<SeparableTerm> build_level_kernels(
+    const std::vector<GaussianTerm>& terms, int order, GridDims level_dims,
+    const Vec3& finest_spacing, int grid_cutoff, bool sharpen) {
+  if (grid_cutoff < 1) {
+    throw std::invalid_argument("build_level_kernels: grid_cutoff must be >= 1");
+  }
+  std::vector<SeparableTerm> out;
+  out.reserve(terms.size());
+  for (const GaussianTerm& t : terms) {
+    // The level-l Gaussian in level-l grid units has width parameter
+    // alpha_nu * h_finest (Eq. 5 scaling): level-independent.
+    const double cbrt_c = std::cbrt(t.c_nu);
+    SeparableTerm st;
+    st.kx = truncate_periodic(
+        gaussian_grid_kernel(order, level_dims.nx, t.alpha_nu * finest_spacing.x,
+                             sharpen),
+        grid_cutoff, cbrt_c);
+    st.ky = truncate_periodic(
+        gaussian_grid_kernel(order, level_dims.ny, t.alpha_nu * finest_spacing.y,
+                             sharpen),
+        grid_cutoff, cbrt_c);
+    st.kz = truncate_periodic(
+        gaussian_grid_kernel(order, level_dims.nz, t.alpha_nu * finest_spacing.z,
+                             sharpen),
+        grid_cutoff, cbrt_c);
+    out.push_back(std::move(st));
+  }
+  return out;
+}
+
+std::vector<double> dense_kernel_cube(const std::vector<SeparableTerm>& terms,
+                                      int grid_cutoff) {
+  const int c = grid_cutoff;
+  const std::size_t w = static_cast<std::size_t>(2 * c + 1);
+  std::vector<double> cube(w * w * w, 0.0);
+  for (const SeparableTerm& t : terms) {
+    if (t.kx.cutoff != c || t.ky.cutoff != c || t.kz.cutoff != c) {
+      throw std::invalid_argument("dense_kernel_cube: cutoff mismatch");
+    }
+    for (int mz = -c; mz <= c; ++mz) {
+      for (int my = -c; my <= c; ++my) {
+        for (int mx = -c; mx <= c; ++mx) {
+          cube[(static_cast<std::size_t>(mz + c) * w +
+                static_cast<std::size_t>(my + c)) *
+                   w +
+               static_cast<std::size_t>(mx + c)] +=
+              t.kx.tap(mx) * t.ky.tap(my) * t.kz.tap(mz);
+        }
+      }
+    }
+  }
+  return cube;
+}
+
+}  // namespace tme

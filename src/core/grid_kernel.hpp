@@ -1,0 +1,40 @@
+// Tensor-structured grid kernels of the TME middle levels (paper Eqs. 9–11)
+// — the coefficient tables the MDGRAPE-4A GCU holds in its dedicated
+// registers.
+//
+// For each Gaussian term nu and axis j the 1D kernel is
+//   K^{nu,j}_m = c_nu^{1/3} G_m(alpha_nu h_j),   truncated at |m| <= g_c,
+// where G = g * omega * omega is the B-spline expansion of the Gaussian in
+// the cyclic algebra of the level's grid.  The 3D kernel K_m is the sum of
+// the M tensor products — its convolution with the grid factorises into
+// axis-wise passes.
+#pragma once
+
+#include <vector>
+
+#include "core/gaussian_fit.hpp"
+#include "grid/grid3d.hpp"
+#include "grid/separable_conv.hpp"
+#include "util/vec3.hpp"
+
+namespace tme {
+
+// The separable terms for one middle level.
+//
+// `level_dims` is the grid at this level (N / 2^{l-1}); `spacing` the level's
+// grid spacing in nm (2^{l-1} h).  Because alpha_nu * h is level-invariant
+// in grid units, passing the *finest* spacing h with any level's dims gives
+// the same taps up to the cyclic wrap of omega.
+// `sharpen = false` builds the naive (un-inverted) kernels for the
+// bench_ablation study of the omega * omega design choice.
+std::vector<SeparableTerm> build_level_kernels(
+    const std::vector<GaussianTerm>& terms, int order, GridDims level_dims,
+    const Vec3& finest_spacing, int grid_cutoff, bool sharpen = true);
+
+// Dense (2g_c+1)^3 cube of the summed tensor kernel — the direct 3D
+// convolution kernel a B-spline MSM implementation would use.  Kept for
+// baseline benchmarks and tests of the separable path.
+std::vector<double> dense_kernel_cube(const std::vector<SeparableTerm>& terms,
+                                      int grid_cutoff);
+
+}  // namespace tme

@@ -1,0 +1,177 @@
+#include "core/tme.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/grid_kernel.hpp"
+#include "ewald/greens_function.hpp"
+#include "fft/fft3d.hpp"
+#include "grid/transfer.hpp"
+#include "util/parallel.hpp"
+#include "util/constants.hpp"
+
+namespace tme {
+
+namespace {
+
+GridDims dims_at_level(GridDims finest, int level) {
+  // level = 1 is the finest; each level halves the extents.
+  GridDims d = finest;
+  for (int l = 1; l < level; ++l) d = d.halved();
+  return d;
+}
+
+}  // namespace
+
+Tme::Tme(const Box& box, const TmeParams& params)
+    : box_(box),
+      params_(params),
+      assigner_(box, params.grid, params.order) {
+  if (params.order % 2 != 0 || params.order < 2) {
+    throw std::invalid_argument("Tme: order must be even and >= 2");
+  }
+  if (params.levels < 1) throw std::invalid_argument("Tme: levels must be >= 1");
+  if (params.num_gaussians < 1) {
+    throw std::invalid_argument("Tme: num_gaussians must be >= 1");
+  }
+  // Validate the hierarchy (throws if any level has odd extents) and make
+  // sure the top grid still supports the spline order.
+  const GridDims top = dims_at_level(params.grid, params.levels + 1);
+  if (top.nx < static_cast<std::size_t>(params.order) ||
+      top.ny < static_cast<std::size_t>(params.order) ||
+      top.nz < static_cast<std::size_t>(params.order)) {
+    throw std::invalid_argument("Tme: top-level grid too coarse for spline order");
+  }
+
+  gaussians_ = fit_shell_gaussians(params.alpha, params.num_gaussians);
+  const Vec3 h = assigner_.spacing();
+  kernels_.reserve(static_cast<std::size_t>(params.levels));
+  for (int l = 1; l <= params.levels; ++l) {
+    kernels_.push_back(build_level_kernels(gaussians_, params.order,
+                                           dims_at_level(params.grid, l), h,
+                                           params.grid_cutoff));
+  }
+
+  SpmeParams top_params;
+  top_params.order = params.order;
+  top_params.grid = top;
+  top_params.alpha = params.alpha / std::ldexp(1.0, params.levels);
+  top_params.subtract_self = false;  // handled once, below
+  top_ = std::make_unique<Spme>(box, top_params);
+
+  if (params.top_level_mode == TopLevelMode::kDense) {
+    // The exact periodic real-space kernel: inverse transform of the
+    // influence function (construction may use an FFT; runtime must not).
+    const std::vector<double> influence =
+        spme_influence(box, top, params.order, top_params.alpha);
+    Fft3d fft(top.nx, top.ny, top.nz);
+    std::vector<std::complex<double>> spectrum(influence.begin(), influence.end());
+    top_dense_kernel_ = Grid3d(top);
+    top_dense_kernel_.values() = fft.inverse_to_real(std::move(spectrum));
+  }
+}
+
+Grid3d Tme::dense_top_solve(const Grid3d& charges) const {
+  const GridDims& d = top_dense_kernel_.dims();
+  Grid3d phi(d);
+  // Direct periodic convolution: Phi_n = sum_m K_{n-m} Q_m.
+  parallel_for(0, d.nz, [&](std::size_t nz) {
+    for (std::size_t ny = 0; ny < d.ny; ++ny) {
+      for (std::size_t nx = 0; nx < d.nx; ++nx) {
+        double acc = 0.0;
+        for (std::size_t mz = 0; mz < d.nz; ++mz) {
+          const std::size_t kz = (nz + d.nz - mz) % d.nz;
+          for (std::size_t my = 0; my < d.ny; ++my) {
+            const std::size_t ky = (ny + d.ny - my) % d.ny;
+            const std::size_t row_k = (kz * d.ny + ky) * d.nx;
+            const std::size_t row_q = (mz * d.ny + my) * d.nx;
+            for (std::size_t mx = 0; mx < d.nx; ++mx) {
+              const std::size_t kx = (nx + d.nx - mx) % d.nx;
+              acc += top_dense_kernel_[row_k + kx] * charges[row_q + mx];
+            }
+          }
+        }
+        phi.at(nx, ny, nz) = acc;
+      }
+    }
+  });
+  return phi;
+}
+
+GridDims Tme::level_dims(int level) const {
+  if (level < 1 || level > params_.levels + 1) {
+    throw std::invalid_argument("Tme::level_dims: level out of range");
+  }
+  return dims_at_level(params_.grid, level);
+}
+
+const std::vector<SeparableTerm>& Tme::level_kernels(int level) const {
+  if (level < 1 || level > params_.levels) {
+    throw std::invalid_argument("Tme::level_kernels: level out of range");
+  }
+  return kernels_[static_cast<std::size_t>(level - 1)];
+}
+
+Grid3d Tme::solve_potential(const Grid3d& finest_charges, TmeTrace* trace) const {
+  if (!(finest_charges.dims() == params_.grid)) {
+    throw std::invalid_argument("Tme::solve_potential: grid mismatch");
+  }
+  const int levels = params_.levels;
+
+  // Downward pass: restrictions produce Q^1 .. Q^{L+1}.
+  std::vector<Grid3d> q(static_cast<std::size_t>(levels) + 1);
+  q[0] = finest_charges;
+  for (int l = 1; l <= levels; ++l) {
+    q[static_cast<std::size_t>(l)] =
+        restrict_grid(q[static_cast<std::size_t>(l - 1)], params_.order);
+  }
+
+  // Top level: SPME convolution on the coarsest grid (the FPGA 3D FFT), or
+  // the FFT-free dense periodic convolution.
+  Grid3d phi = params_.top_level_mode == TopLevelMode::kSpme
+                   ? top_->solve_potential(q[static_cast<std::size_t>(levels)])
+                   : dense_top_solve(q[static_cast<std::size_t>(levels)]);
+
+  std::vector<Grid3d> phi_trace;
+  if (trace != nullptr) phi_trace.resize(static_cast<std::size_t>(levels) + 1);
+  if (trace != nullptr) phi_trace[static_cast<std::size_t>(levels)] = phi;
+
+  // Upward pass: prolong and add each level's separable convolution.
+  for (int l = levels; l >= 1; --l) {
+    Grid3d level_phi = prolong_grid(phi, params_.order);
+    const double scale = constants::kCoulomb / std::ldexp(1.0, l - 1);
+    convolve_tensor(q[static_cast<std::size_t>(l - 1)],
+                    kernels_[static_cast<std::size_t>(l - 1)], scale, level_phi);
+    phi = std::move(level_phi);
+    if (trace != nullptr) phi_trace[static_cast<std::size_t>(l - 1)] = phi;
+  }
+
+  if (trace != nullptr) {
+    trace->level_charges = std::move(q);
+    trace->level_potentials = std::move(phi_trace);
+  }
+  return phi;
+}
+
+CoulombResult Tme::compute(std::span<const Vec3> positions,
+                           std::span<const double> charges,
+                           TmeTrace* trace) const {
+  CoulombResult out;
+  out.forces.assign(positions.size(), Vec3{});
+
+  const Grid3d q_grid = assigner_.assign(positions, charges);
+  const Grid3d potential = solve_potential(q_grid, trace);
+  const double q_phi =
+      assigner_.back_interpolate(potential, positions, charges, &out.forces);
+  out.energy_reciprocal = 0.5 * q_phi;
+
+  if (params_.subtract_self) {
+    double q2 = 0.0;
+    for (const double q : charges) q2 += q * q;
+    out.energy_self = -constants::kCoulomb * params_.alpha / std::sqrt(M_PI) * q2;
+  }
+  out.energy = out.energy_reciprocal + out.energy_self;
+  return out;
+}
+
+}  // namespace tme

@@ -1,0 +1,118 @@
+#include "core/tme_fixed.hpp"
+
+#include <cmath>
+
+#include "grid/separable_conv.hpp"
+#include "grid/transfer.hpp"
+#include "util/constants.hpp"
+
+namespace tme {
+
+Grid3d tme_solve_potential_fixed(const Tme& tme, const Grid3d& finest_charges,
+                                 const TmeFixedConfig& config) {
+  const TmeParams& params = tme.params();
+  if (!(finest_charges.dims() == params.grid)) {
+    throw std::invalid_argument("tme_solve_potential_fixed: grid mismatch");
+  }
+  const int levels = params.levels;
+
+  // Downward pass with quantised level charges (the grid memory words).
+  std::vector<Grid3d> q(static_cast<std::size_t>(levels) + 1);
+  q[0] = finest_charges;
+  quantize_grid(q[0], config.grid_format);
+  for (int l = 1; l <= levels; ++l) {
+    q[static_cast<std::size_t>(l)] =
+        restrict_grid(q[static_cast<std::size_t>(l - 1)], params.order);
+    quantize_grid(q[static_cast<std::size_t>(l)], config.grid_format);
+  }
+
+  // Top level in floating point (FPGA), quantised on the way back down.
+  Grid3d phi = tme.top_level().solve_potential(q[static_cast<std::size_t>(levels)]);
+
+  for (int l = levels; l >= 1; --l) {
+    Grid3d level_phi = prolong_grid(phi, params.order);
+    const double scale = constants::kCoulomb / std::ldexp(1.0, l - 1);
+    convolve_tensor_fixed(q[static_cast<std::size_t>(l - 1)],
+                          tme.level_kernels(l), scale, config.grid_format,
+                          config.coeff_format, level_phi);
+    phi = std::move(level_phi);
+  }
+  return phi;
+}
+
+void round_grid_to_float(Grid3d& grid) {
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    grid[i] = static_cast<double>(static_cast<float>(grid[i]));
+  }
+}
+
+namespace {
+
+Grid3d solve_potential_single(const Tme& tme, const Grid3d& finest_charges) {
+  const TmeParams& params = tme.params();
+  const int levels = params.levels;
+  std::vector<Grid3d> q(static_cast<std::size_t>(levels) + 1);
+  q[0] = finest_charges;
+  round_grid_to_float(q[0]);
+  for (int l = 1; l <= levels; ++l) {
+    q[static_cast<std::size_t>(l)] =
+        restrict_grid(q[static_cast<std::size_t>(l - 1)], params.order);
+    round_grid_to_float(q[static_cast<std::size_t>(l)]);
+  }
+  Grid3d phi = tme.top_level().solve_potential(q[static_cast<std::size_t>(levels)]);
+  round_grid_to_float(phi);
+  for (int l = levels; l >= 1; --l) {
+    Grid3d level_phi = prolong_grid(phi, params.order);
+    const double scale = constants::kCoulomb / std::ldexp(1.0, l - 1);
+    convolve_tensor(q[static_cast<std::size_t>(l - 1)], tme.level_kernels(l),
+                    scale, level_phi);
+    round_grid_to_float(level_phi);
+    phi = std::move(level_phi);
+  }
+  return phi;
+}
+
+}  // namespace
+
+CoulombResult tme_compute_single(const Tme& tme, std::span<const Vec3> positions,
+                                 std::span<const double> charges) {
+  CoulombResult out;
+  out.forces.assign(positions.size(), Vec3{});
+  const ChargeAssigner assigner(tme.box(), tme.params().grid, tme.params().order);
+  const Grid3d q_grid = assigner.assign(positions, charges);
+  const Grid3d potential = solve_potential_single(tme, q_grid);
+  const double q_phi =
+      assigner.back_interpolate(potential, positions, charges, &out.forces);
+  out.energy_reciprocal = 0.5 * q_phi;
+  if (tme.params().subtract_self) {
+    double q2 = 0.0;
+    for (const double q : charges) q2 += q * q;
+    out.energy_self =
+        -constants::kCoulomb * tme.params().alpha / std::sqrt(M_PI) * q2;
+  }
+  out.energy = out.energy_reciprocal + out.energy_self;
+  return out;
+}
+
+CoulombResult tme_compute_fixed(const Tme& tme, std::span<const Vec3> positions,
+                                std::span<const double> charges,
+                                const TmeFixedConfig& config) {
+  CoulombResult out;
+  out.forces.assign(positions.size(), Vec3{});
+  const ChargeAssigner assigner(tme.box(), tme.params().grid, tme.params().order);
+  const Grid3d q_grid = assigner.assign(positions, charges);
+  const Grid3d potential = tme_solve_potential_fixed(tme, q_grid, config);
+  const double q_phi =
+      assigner.back_interpolate(potential, positions, charges, &out.forces);
+  out.energy_reciprocal = 0.5 * q_phi;
+  if (tme.params().subtract_self) {
+    double q2 = 0.0;
+    for (const double q : charges) q2 += q * q;
+    out.energy_self =
+        -constants::kCoulomb * tme.params().alpha / std::sqrt(M_PI) * q2;
+  }
+  out.energy = out.energy_reciprocal + out.energy_self;
+  return out;
+}
+
+}  // namespace tme

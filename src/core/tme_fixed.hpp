@@ -1,0 +1,43 @@
+// Hardware-faithful TME grid pipeline: the same multilevel solve as
+// Tme::solve_potential, but with the grid data quantised to the MDGRAPE-4A
+// fixed-point formats at every stage boundary and the separable
+// convolutions performed in integer arithmetic (32-bit grid words, 24-bit
+// coefficients, exact 64-bit accumulation — paper Sec. IV.B).
+//
+// The top-level FFT convolution runs in floating point, as it does on the
+// root FPGA ("in the calculation, we used the single-precision
+// floating-point format", Sec. IV.C), with fixed<->float conversion at the
+// TMENW boundary.
+#pragma once
+
+#include "core/tme.hpp"
+#include "fixed/fixed_point.hpp"
+
+namespace tme {
+
+struct TmeFixedConfig {
+  FixedFormat grid_format = mdgrape_grid_format(20);
+  FixedFormat coeff_format = mdgrape_coeff_format(18);
+};
+
+// Drop-in fixed-point variant of tme.solve_potential(charges).
+Grid3d tme_solve_potential_fixed(const Tme& tme, const Grid3d& finest_charges,
+                                 const TmeFixedConfig& config = {});
+
+// Full fixed-point long-range evaluation: CA (double, like the LRU's
+// dedicated 24-bit-fraction pipeline which is effectively exact at this
+// scale) -> fixed-point grid pipeline -> BI.
+CoulombResult tme_compute_fixed(const Tme& tme, std::span<const Vec3> positions,
+                                std::span<const double> charges,
+                                const TmeFixedConfig& config = {});
+
+// Single-precision variant: the paper's software implementation measures
+// "the error of the single-precision Coulomb forces ... of SPME or TME".
+// Grid data is rounded to IEEE float at every pipeline stage boundary,
+// which captures the dominant fp32 effect (the arithmetic inside a stage
+// contributes at the same epsilon level).
+void round_grid_to_float(Grid3d& grid);
+CoulombResult tme_compute_single(const Tme& tme, std::span<const Vec3> positions,
+                                 std::span<const double> charges);
+
+}  // namespace tme

@@ -1,0 +1,88 @@
+#include "core/tuning.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "ewald/splitting.hpp"
+
+namespace tme {
+
+namespace {
+
+// Smallest extent >= want that is divisible by 2^levels with an even
+// quotient chain and keeps FFT sizes friendly (multiples of 4).
+std::size_t round_extent(double want, int levels, std::size_t max_grid) {
+  const std::size_t granule = static_cast<std::size_t>(1) << (levels + 1);
+  std::size_t n = granule;
+  while (n < want) n += granule;
+  if (n > max_grid) {
+    throw std::invalid_argument("tune_tme: required grid exceeds max_grid");
+  }
+  return n;
+}
+
+}  // namespace
+
+TmeTuning tune_tme(const Box& box, const TmeTuningRequest& request) {
+  if (request.r_cut <= 0.0 || request.rtol <= 0.0 || request.rtol >= 1.0) {
+    throw std::invalid_argument("tune_tme: bad request");
+  }
+  const double l_min = std::min({box.lengths.x, box.lengths.y, box.lengths.z});
+  if (request.r_cut > 0.5 * l_min) {
+    throw std::invalid_argument("tune_tme: r_cut exceeds half the box");
+  }
+
+  TmeTuning out;
+  out.alpha = alpha_from_tolerance(request.r_cut, request.rtol);
+
+  // Target h = r_c / 4 per axis; deepen the hierarchy while the coarsest
+  // grid stays at least 2p per axis.
+  const double target_h = request.r_cut / 4.0;
+  TmeParams params;
+  params.alpha = out.alpha;
+  params.grid_cutoff = 8;
+
+  int levels = std::max(1, request.max_levels);
+  for (; levels >= 1; --levels) {
+    const double want_x = box.lengths.x / target_h;
+    const double want_y = box.lengths.y / target_h;
+    const double want_z = box.lengths.z / target_h;
+    std::size_t nx, ny, nz;
+    try {
+      nx = round_extent(want_x, levels, request.max_grid);
+      ny = round_extent(want_y, levels, request.max_grid);
+      nz = round_extent(want_z, levels, request.max_grid);
+    } catch (const std::invalid_argument&) {
+      if (levels == 1) throw;
+      continue;
+    }
+    const std::size_t top = std::min({nx, ny, nz}) >> levels;
+    if (top < 2 * static_cast<std::size_t>(params.order) && levels > 1) {
+      continue;  // too deep: coarse SPME would be starved
+    }
+    if (top < static_cast<std::size_t>(params.order)) {
+      if (levels > 1) continue;
+      throw std::invalid_argument("tune_tme: box too small for the spline order");
+    }
+    params.grid = {nx, ny, nz};
+    params.levels = levels;
+    break;
+  }
+
+  // Gaussian count from the shell-fit accuracy (Fig. 3(b)): the fit error
+  // should sit below the splitting tolerance.
+  const double fit_error[] = {3.0e-2, 1.3e-3, 5.6e-5, 2.7e-6, 1.5e-7};
+  std::size_t m = 1;
+  while (m < 5 && fit_error[m - 1] > request.rtol) ++m;
+  params.num_gaussians = std::max<std::size_t>(m, 2);
+
+  out.params = params;
+  out.grid_spacing = std::max({box.lengths.x / static_cast<double>(params.grid.nx),
+                               box.lengths.y / static_cast<double>(params.grid.ny),
+                               box.lengths.z / static_cast<double>(params.grid.nz)});
+  out.rc_over_h = request.r_cut / out.grid_spacing;
+  return out;
+}
+
+}  // namespace tme

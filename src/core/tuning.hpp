@@ -1,0 +1,41 @@
+// Parameter selection for the TME — encodes the operating rules the paper
+// establishes so a user only chooses a box, a short-range cutoff, and a
+// tolerance:
+//
+//   alpha      from erfc(alpha r_c) = rtol            (GROMACS convention)
+//   grid       so that r_c / h ~ 4 (the paper's r_c = 1.25 nm, 32^3 row:
+//              alpha h ~ 0.69); rounded to a hierarchy-friendly extent
+//   g_c        8 (Table 1: converged; 12 buys nothing)
+//   M          from the shell-fit error vs the target tolerance (Fig. 3(b))
+//   L          as deep as the top grid allows (>= 2p per axis keeps the
+//              coarse SPME healthy); at least 1
+//
+// Outside the r_c/h ~ 3..5 window the g_c-truncated kernels degrade — the
+// tuner widens the grid rather than let alpha h drift (the failure mode
+// documented in tests/test_core.cpp).
+#pragma once
+
+#include "core/tme.hpp"
+#include "util/vec3.hpp"
+
+namespace tme {
+
+struct TmeTuningRequest {
+  double r_cut = 1.2;        // nm, short-range cutoff the MD engine will use
+  double rtol = 1e-4;        // erfc(alpha r_c) tolerance
+  int max_levels = 2;        // cap on hierarchy depth
+  std::size_t max_grid = 256;  // refuse beyond this per-axis extent
+};
+
+struct TmeTuning {
+  TmeParams params;       // ready to construct a Tme
+  double alpha = 0.0;     // also stored in params
+  double grid_spacing = 0.0;  // max over axes, nm
+  double rc_over_h = 0.0;     // achieved ratio (target ~4)
+};
+
+// Throws std::invalid_argument when no feasible grid exists (box too small
+// for the spline order, cutoff over half the box, extent cap exceeded).
+TmeTuning tune_tme(const Box& box, const TmeTuningRequest& request = {});
+
+}  // namespace tme

@@ -1,0 +1,119 @@
+#include "ewald/charge_assignment.hpp"
+
+#include <mutex>
+#include <stdexcept>
+
+#include "spline/bspline.hpp"
+#include "util/parallel.hpp"
+
+namespace tme {
+
+ChargeAssigner::ChargeAssigner(const Box& box, GridDims dims, int order)
+    : box_(box), dims_(dims), p_(order) {
+  if (order < 2) throw std::invalid_argument("ChargeAssigner: order must be >= 2");
+  if (dims.total() == 0) throw std::invalid_argument("ChargeAssigner: empty grid");
+  h_ = {box.lengths.x / static_cast<double>(dims.nx),
+        box.lengths.y / static_cast<double>(dims.ny),
+        box.lengths.z / static_cast<double>(dims.nz)};
+}
+
+Grid3d ChargeAssigner::assign(std::span<const Vec3> positions,
+                              std::span<const double> charges) const {
+  if (positions.size() != charges.size()) {
+    throw std::invalid_argument("ChargeAssigner::assign: size mismatch");
+  }
+  Grid3d grid(dims_);
+  const int p = p_;
+  std::vector<double> wx(static_cast<std::size_t>(p)), wy(wx), wz(wx);
+  // Scatter is sequential: the hardware accumulates through the global
+  // memory's atomic-add write mode; in software a serial loop is both exact
+  // and fast enough (the mesh pipeline is FFT/convolution dominated).
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const Vec3 u = hadamard_div(box_.wrap(positions[i]), h_);
+    const long mx0 = bspline_weights_central(p, u.x, wx, {});
+    const long my0 = bspline_weights_central(p, u.y, wy, {});
+    const long mz0 = bspline_weights_central(p, u.z, wz, {});
+    const double q = charges[i];
+    for (int kz = 0; kz < p; ++kz) {
+      const double qz = q * wz[static_cast<std::size_t>(kz)];
+      const std::size_t iz = Grid3d::wrap(mz0 + kz, dims_.nz);
+      for (int ky = 0; ky < p; ++ky) {
+        const double qyz = qz * wy[static_cast<std::size_t>(ky)];
+        const std::size_t iy = Grid3d::wrap(my0 + ky, dims_.ny);
+        const std::size_t row = (iz * dims_.ny + iy) * dims_.nx;
+        for (int kx = 0; kx < p; ++kx) {
+          const std::size_t ix = Grid3d::wrap(mx0 + kx, dims_.nx);
+          grid[row + ix] += qyz * wx[static_cast<std::size_t>(kx)];
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+double ChargeAssigner::back_interpolate(const Grid3d& potential,
+                                        std::span<const Vec3> positions,
+                                        std::span<const double> charges,
+                                        std::vector<Vec3>* forces,
+                                        std::vector<double>* phi_out) const {
+  if (!(potential.dims() == dims_)) {
+    throw std::invalid_argument("ChargeAssigner::back_interpolate: grid mismatch");
+  }
+  if (positions.size() != charges.size()) {
+    throw std::invalid_argument("ChargeAssigner::back_interpolate: size mismatch");
+  }
+  if (forces != nullptr && forces->size() != positions.size()) {
+    throw std::invalid_argument("ChargeAssigner::back_interpolate: forces size");
+  }
+  if (phi_out != nullptr) phi_out->assign(positions.size(), 0.0);
+
+  const int p = p_;
+  std::mutex sum_mutex;
+  double total = 0.0;
+  parallel_for_ranges(0, positions.size(), [&](std::size_t begin, std::size_t end) {
+    std::vector<double> wx(static_cast<std::size_t>(p)), wy(wx), wz(wx);
+    std::vector<double> dx(wx), dy(wx), dz(wx);
+    double local_sum = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const Vec3 u = hadamard_div(box_.wrap(positions[i]), h_);
+      const long mx0 = bspline_weights_central(p, u.x, wx, dx);
+      const long my0 = bspline_weights_central(p, u.y, wy, dy);
+      const long mz0 = bspline_weights_central(p, u.z, wz, dz);
+      double phi = 0.0;
+      Vec3 grad{};  // d phi / d u (grid units)
+      for (int kz = 0; kz < p; ++kz) {
+        const std::size_t iz = Grid3d::wrap(mz0 + kz, dims_.nz);
+        const double vz = wz[static_cast<std::size_t>(kz)];
+        const double gz = dz[static_cast<std::size_t>(kz)];
+        for (int ky = 0; ky < p; ++ky) {
+          const std::size_t iy = Grid3d::wrap(my0 + ky, dims_.ny);
+          const double vy = wy[static_cast<std::size_t>(ky)];
+          const double gy = dy[static_cast<std::size_t>(ky)];
+          const std::size_t row = (iz * dims_.ny + iy) * dims_.nx;
+          double line_v = 0.0, line_d = 0.0;
+          for (int kx = 0; kx < p; ++kx) {
+            const std::size_t ix = Grid3d::wrap(mx0 + kx, dims_.nx);
+            const double pm = potential[row + ix];
+            line_v += pm * wx[static_cast<std::size_t>(kx)];
+            line_d += pm * dx[static_cast<std::size_t>(kx)];
+          }
+          phi += line_v * vy * vz;
+          grad.x += line_d * vy * vz;
+          grad.y += line_v * gy * vz;
+          grad.z += line_v * vy * gz;
+        }
+      }
+      if (phi_out != nullptr) (*phi_out)[i] = phi;
+      local_sum += charges[i] * phi;
+      if (forces != nullptr) {
+        const double q = charges[i];
+        (*forces)[i] += {-q * grad.x / h_.x, -q * grad.y / h_.y, -q * grad.z / h_.z};
+      }
+    }
+    const std::lock_guard lock(sum_mutex);
+    total += local_sum;
+  });
+  return total;
+}
+
+}  // namespace tme

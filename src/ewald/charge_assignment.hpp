@@ -1,0 +1,48 @@
+// B-spline charge assignment (anterpolation) and back interpolation —
+// the numerics of the MDGRAPE-4A long-range unit (LRU), paper Sec. IV.A.
+//
+// CA mode (Eq. 12):  Q_m = sum_i q_i M_p(u_i - m)       (periodic)
+// BI mode (Eq. 13–17): per-atom potential phi_i and force
+//   F_i = -(q_i / h) sum_m Phi_m grad M_p(u_i - m)
+//
+// The same operator pair is used by SPME, B-spline MSM, and the TME; the
+// hardware fixes p = 6 but the software supports any even p >= 2.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "grid/grid3d.hpp"
+#include "util/vec3.hpp"
+
+namespace tme {
+
+class ChargeAssigner {
+ public:
+  // `dims` is the target grid; grid spacing is box.lengths / dims per axis.
+  ChargeAssigner(const Box& box, GridDims dims, int order);
+
+  int order() const { return p_; }
+  const GridDims& dims() const { return dims_; }
+  Vec3 spacing() const { return h_; }
+
+  // Anterpolation: scatter all charges onto a fresh grid.
+  Grid3d assign(std::span<const Vec3> positions, std::span<const double> charges) const;
+
+  // Back interpolation: per-atom potential phi_i = sum_m Phi_m M_p(u_i - m)
+  // and (if forces != nullptr) the accumulated force
+  //   forces[i] += -charges[i] * grad phi(r_i).
+  // Returns sum_i q_i phi_i (twice the interaction energy).
+  double back_interpolate(const Grid3d& potential, std::span<const Vec3> positions,
+                          std::span<const double> charges,
+                          std::vector<Vec3>* forces,
+                          std::vector<double>* phi_out = nullptr) const;
+
+ private:
+  Box box_;
+  GridDims dims_;
+  int p_;
+  Vec3 h_;
+};
+
+}  // namespace tme

@@ -1,0 +1,72 @@
+#include "ewald/greens_function.hpp"
+
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+
+#include "spline/bspline.hpp"
+#include "util/constants.hpp"
+
+namespace tme {
+
+std::vector<double> euler_factors(int p, std::size_t n_grid) {
+  if (p < 2) throw std::invalid_argument("euler_factors: p must be >= 2");
+  std::vector<double> b2(n_grid, 0.0);
+  for (std::size_t n = 0; n < n_grid; ++n) {
+    std::complex<double> denom{0.0, 0.0};
+    for (int k = 0; k <= p - 2; ++k) {
+      const double ang = 2.0 * M_PI * static_cast<double>(n) *
+                         static_cast<double>(k) / static_cast<double>(n_grid);
+      denom += bspline(p, static_cast<double>(k + 1)) *
+               std::complex<double>{std::cos(ang), std::sin(ang)};
+    }
+    const double mag2 = std::norm(denom);
+    if (mag2 < 1e-30) {
+      // Odd interpolation orders are singular at the Nyquist mode; even
+      // orders (the only ones the TME uses) never reach this.
+      throw std::domain_error("euler_factors: singular Euler factor (odd p?)");
+    }
+    b2[n] = 1.0 / mag2;
+  }
+  return b2;
+}
+
+std::vector<double> spme_influence(const Box& box, GridDims dims, int p,
+                                   double alpha) {
+  if (alpha <= 0.0) throw std::invalid_argument("spme_influence: alpha must be > 0");
+  const std::vector<double> bx = euler_factors(p, dims.nx);
+  const std::vector<double> by = euler_factors(p, dims.ny);
+  const std::vector<double> bz = euler_factors(p, dims.nz);
+
+  const double volume = box.volume();
+  const double prefactor = constants::kCoulomb *
+                           static_cast<double>(dims.total()) / (M_PI * volume);
+  const double pi2_over_a2 = M_PI * M_PI / (alpha * alpha);
+
+  std::vector<double> g(dims.total(), 0.0);
+  for (std::size_t nz = 0; nz < dims.nz; ++nz) {
+    const long sz = nz <= dims.nz / 2 ? static_cast<long>(nz)
+                                      : static_cast<long>(nz) - static_cast<long>(dims.nz);
+    const double mz = static_cast<double>(sz) / box.lengths.z;
+    for (std::size_t ny = 0; ny < dims.ny; ++ny) {
+      const long sy = ny <= dims.ny / 2 ? static_cast<long>(ny)
+                                        : static_cast<long>(ny) - static_cast<long>(dims.ny);
+      const double my = static_cast<double>(sy) / box.lengths.y;
+      for (std::size_t nx = 0; nx < dims.nx; ++nx) {
+        const long sx = nx <= dims.nx / 2 ? static_cast<long>(nx)
+                                          : static_cast<long>(nx) - static_cast<long>(dims.nx);
+        const double mx = static_cast<double>(sx) / box.lengths.x;
+        const std::size_t idx = (nz * dims.ny + ny) * dims.nx + nx;
+        const double m2 = mx * mx + my * my + mz * mz;
+        if (m2 == 0.0) {
+          g[idx] = 0.0;  // tinfoil boundary: drop the k = 0 mode
+          continue;
+        }
+        g[idx] = prefactor * std::exp(-pi2_over_a2 * m2) / m2 * bx[nx] * by[ny] * bz[nz];
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace tme

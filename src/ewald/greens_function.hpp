@@ -1,0 +1,27 @@
+// SPME lattice Green function (influence function) in the convention of
+// Deserno & Holm Eq. 28 / Essmann et al.
+//
+// Applied as  Phi = IFFT[ G (.) FFT(Q) ]  with this library's normalisation
+// (inverse carries 1/Ntot), G_n already contains the Coulomb prefactor and
+// the B-spline Euler factors |b(n)|^2, so Phi is the long-range potential in
+// kJ mol^-1 e^-1 at the grid points:
+//   G_n = kCoulomb * (Ntot / (pi V)) * exp(-pi^2 m^2 / alpha^2) / m^2 * B(n),
+// with m_j = n~_j / L_j (n~ the signed alias of n) and G_0 = 0 (tinfoil).
+#pragma once
+
+#include <vector>
+
+#include "grid/grid3d.hpp"
+#include "util/vec3.hpp"
+
+namespace tme {
+
+// |b_j(n)|^2 Euler factors for one axis (size n_grid).  For even p the
+// denominator never vanishes, including at the Nyquist frequency.
+std::vector<double> euler_factors(int p, std::size_t n_grid);
+
+// Full influence function, size dims.total(), x-fastest layout.
+std::vector<double> spme_influence(const Box& box, GridDims dims, int p,
+                                   double alpha);
+
+}  // namespace tme

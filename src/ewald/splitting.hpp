@@ -1,0 +1,37 @@
+// Ewald splitting of the Coulomb kernel (paper Eqs. 1–5).
+//
+//   1/r = g_S(r; alpha) + g_L(r; alpha)
+//   g_S = erfc(alpha r)/r          (short range, direct sum)
+//   g_L = erf(alpha r)/r           (long range, mesh)
+//
+// and the TME's further split of the long-range part into middle shells
+//   g_l(r; alpha) = g_L(r; alpha/2^{l-1}) - g_L(r; alpha/2^l),  l = 1..L
+// plus the top-level part g_L(r; alpha/2^L).
+#pragma once
+
+namespace tme {
+
+// erfc(alpha r) / r.  Also well-defined in the r -> 0 limit? No: diverges;
+// callers guard r > 0.
+double g_short(double r, double alpha);
+
+// erf(alpha r) / r, with the exact r -> 0 limit 2 alpha / sqrt(pi).
+double g_long(double r, double alpha);
+
+// Middle shell l (paper Eq. 5), with the exact r -> 0 limit.
+double g_shell(double r, double alpha, int level);
+
+// d/dr of the kernels — used for analytic pair forces:
+//   F = -q_i q_j g'(r) r_hat.
+double g_short_derivative(double r, double alpha);
+double g_long_derivative(double r, double alpha);
+
+// Chooses alpha from the GROMACS-style condition erfc(alpha r_c) = rtol
+// (bisection; the paper uses rtol = 1e-4).
+double alpha_from_tolerance(double r_cut, double rtol);
+
+// Reciprocal-space cutoff n_c from the Kolafa–Perram error factor
+// exp(-(pi n_c / (alpha L))^2) <= rtol.
+int reciprocal_cutoff_from_tolerance(double alpha, double box_length, double rtol);
+
+}  // namespace tme

@@ -1,0 +1,54 @@
+#include "ewald/spme.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ewald/greens_function.hpp"
+#include "util/constants.hpp"
+
+namespace tme {
+
+Spme::Spme(const Box& box, const SpmeParams& params)
+    : box_(box),
+      params_(params),
+      assigner_(box, params.grid, params.order),
+      fft_(params.grid.nx, params.grid.ny, params.grid.nz),
+      influence_(spme_influence(box, params.grid, params.order, params.alpha)) {
+  if (params.order % 2 != 0) {
+    throw std::invalid_argument("Spme: B-spline order must be even");
+  }
+}
+
+Grid3d Spme::solve_potential(const Grid3d& charge_grid) const {
+  if (!(charge_grid.dims() == params_.grid)) {
+    throw std::invalid_argument("Spme::solve_potential: grid mismatch");
+  }
+  std::vector<std::complex<double>> spectrum = fft_.forward_real(charge_grid.values());
+  for (std::size_t i = 0; i < spectrum.size(); ++i) spectrum[i] *= influence_[i];
+  Grid3d potential(params_.grid);
+  potential.values() = fft_.inverse_to_real(std::move(spectrum));
+  return potential;
+}
+
+CoulombResult Spme::compute(std::span<const Vec3> positions,
+                            std::span<const double> charges) const {
+  CoulombResult out;
+  out.forces.assign(positions.size(), Vec3{});
+
+  const Grid3d q_grid = assigner_.assign(positions, charges);
+  const Grid3d potential = solve_potential(q_grid);
+  const double q_phi =
+      assigner_.back_interpolate(potential, positions, charges, &out.forces);
+  out.energy_reciprocal = 0.5 * q_phi;
+
+  if (params_.subtract_self) {
+    double q2 = 0.0;
+    for (const double q : charges) q2 += q * q;
+    out.energy_self =
+        -constants::kCoulomb * params_.alpha / std::sqrt(M_PI) * q2;
+  }
+  out.energy = out.energy_reciprocal + out.energy_self;
+  return out;
+}
+
+}  // namespace tme

@@ -1,0 +1,55 @@
+// Smooth particle mesh Ewald (Essmann et al. 1995) — the paper's baseline
+// and the TME's top-level (coarsest grid) solver.
+//
+// Pipeline (paper Fig. 2(b)): charge assignment -> 3D FFT -> lattice Green
+// function multiply -> 3D IFFT -> back interpolation.  This computes only
+// the *long-range* (erf) part; callers add the short-range erfc sum and any
+// exclusion corrections.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ewald/charge_assignment.hpp"
+#include "ewald/reference_ewald.hpp"
+#include "fft/fft3d.hpp"
+#include "grid/grid3d.hpp"
+#include "util/vec3.hpp"
+
+namespace tme {
+
+struct SpmeParams {
+  int order = 6;           // B-spline order p (even)
+  GridDims grid;           // N = (Nx, Ny, Nz)
+  double alpha = 3.0;      // Ewald splitting parameter, nm^-1
+  bool subtract_self = true;
+};
+
+class Spme {
+ public:
+  Spme(const Box& box, const SpmeParams& params);
+
+  const SpmeParams& params() const { return params_; }
+  const Box& box() const { return box_; }
+
+  // Long-range energy and forces of the point-charge system.
+  CoulombResult compute(std::span<const Vec3> positions,
+                        std::span<const double> charges) const;
+
+  // Grid-potential solve alone: grid charges -> grid potentials
+  // (FFT, Green multiply, IFFT).  Exposed for the TME top level, which runs
+  // exactly this on the coarsest grid (the FPGA convolution of Sec. IV.C).
+  Grid3d solve_potential(const Grid3d& charge_grid) const;
+
+  const ChargeAssigner& assigner() const { return assigner_; }
+
+ private:
+  Box box_;
+  SpmeParams params_;
+  ChargeAssigner assigner_;
+  Fft3d fft_;
+  std::vector<double> influence_;
+};
+
+}  // namespace tme

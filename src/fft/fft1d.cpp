@@ -1,0 +1,122 @@
+#include "fft/fft1d.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tme {
+
+namespace {
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::vector<std::size_t> make_bitrev(std::size_t n) {
+  std::vector<std::size_t> rev(n, 0);
+  for (std::size_t i = 1; i < n; ++i) {
+    rev[i] = (rev[i >> 1] >> 1) | (i & 1 ? n >> 1 : 0);
+  }
+  return rev;
+}
+
+std::vector<std::complex<double>> make_twiddles(std::size_t n) {
+  std::vector<std::complex<double>> tw(n / 2);
+  for (std::size_t j = 0; j < n / 2; ++j) {
+    const double ang = -2.0 * M_PI * static_cast<double>(j) / static_cast<double>(n);
+    tw[j] = {std::cos(ang), std::sin(ang)};
+  }
+  return tw;
+}
+
+void radix2_core(std::complex<double>* data, std::size_t n,
+                 const std::vector<std::size_t>& bitrev,
+                 const std::vector<std::complex<double>>& twiddles, bool invert) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i < bitrev[i]) std::swap(data[i], data[bitrev[i]]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t stride = n / len;
+    for (std::size_t block = 0; block < n; block += len) {
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        std::complex<double> w = twiddles[j * stride];
+        if (invert) w = std::conj(w);
+        const std::complex<double> a = data[block + j];
+        const std::complex<double> b = data[block + j + len / 2] * w;
+        data[block + j] = a + b;
+        data[block + j + len / 2] = a - b;
+      }
+    }
+  }
+  if (invert) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) data[i] *= scale;
+  }
+}
+
+}  // namespace
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+Fft1d::Fft1d(std::size_t n) : n_(n), pow2_(is_pow2(n)) {
+  if (n == 0) throw std::invalid_argument("Fft1d: size must be positive");
+  if (pow2_) {
+    bitrev_ = make_bitrev(n_);
+    twiddles_ = make_twiddles(n_);
+    return;
+  }
+  // Bluestein setup: x_k chirped, convolved with the conjugate chirp.
+  conv_n_ = next_pow2(2 * n_ - 1);
+  conv_bitrev_ = make_bitrev(conv_n_);
+  conv_twiddles_ = make_twiddles(conv_n_);
+  chirp_.resize(n_);
+  for (std::size_t k = 0; k < n_; ++k) {
+    // k^2 mod 2n keeps the angle argument small and exact.
+    const std::size_t k2 = (k * k) % (2 * n_);
+    const double ang = -M_PI * static_cast<double>(k2) / static_cast<double>(n_);
+    chirp_[k] = {std::cos(ang), std::sin(ang)};
+  }
+  std::vector<std::complex<double>> b(conv_n_, {0.0, 0.0});
+  b[0] = std::conj(chirp_[0]);
+  for (std::size_t k = 1; k < n_; ++k) {
+    b[k] = std::conj(chirp_[k]);
+    b[conv_n_ - k] = std::conj(chirp_[k]);
+  }
+  radix2_core(b.data(), conv_n_, conv_bitrev_, conv_twiddles_, false);
+  chirp_fft_ = std::move(b);
+}
+
+void Fft1d::radix2(std::complex<double>* data, bool invert) const {
+  radix2_core(data, n_, bitrev_, twiddles_, invert);
+}
+
+void Fft1d::bluestein(std::complex<double>* data, bool invert) const {
+  std::vector<std::complex<double>> a(conv_n_, {0.0, 0.0});
+  for (std::size_t k = 0; k < n_; ++k) {
+    const std::complex<double> c = invert ? std::conj(chirp_[k]) : chirp_[k];
+    a[k] = data[k] * c;
+  }
+  radix2_core(a.data(), conv_n_, conv_bitrev_, conv_twiddles_, false);
+  if (invert) {
+    for (std::size_t k = 0; k < conv_n_; ++k) a[k] *= std::conj(chirp_fft_[k]);
+  } else {
+    for (std::size_t k = 0; k < conv_n_; ++k) a[k] *= chirp_fft_[k];
+  }
+  radix2_core(a.data(), conv_n_, conv_bitrev_, conv_twiddles_, true);
+  const double scale = invert ? 1.0 / static_cast<double>(n_) : 1.0;
+  for (std::size_t k = 0; k < n_; ++k) {
+    const std::complex<double> c = invert ? std::conj(chirp_[k]) : chirp_[k];
+    data[k] = a[k] * c * scale;
+  }
+}
+
+void Fft1d::forward(std::complex<double>* data) const {
+  pow2_ ? radix2(data, false) : bluestein(data, false);
+}
+
+void Fft1d::inverse(std::complex<double>* data) const {
+  pow2_ ? radix2(data, true) : bluestein(data, true);
+}
+
+}  // namespace tme

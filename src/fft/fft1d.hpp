@@ -1,0 +1,49 @@
+// Self-contained complex FFT.
+//
+// Power-of-two sizes use an iterative radix-2 Cooley–Tukey transform with
+// precomputed twiddles; every other size falls back to Bluestein's chirp-z
+// algorithm (which itself runs on the radix-2 core).  The paper's grids are
+// 16/32/64 per axis, all powers of two, so the fast path is the one the
+// reproduction exercises; Bluestein keeps the library usable for arbitrary
+// box discretisations.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace tme {
+
+class Fft1d {
+ public:
+  explicit Fft1d(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  // In-place forward transform X_k = sum_m x_m exp(-2 pi i k m / n).
+  void forward(std::complex<double>* data) const;
+
+  // In-place inverse transform with 1/n normalisation.
+  void inverse(std::complex<double>* data) const;
+
+ private:
+  void radix2(std::complex<double>* data, bool invert) const;
+  void bluestein(std::complex<double>* data, bool invert) const;
+
+  std::size_t n_ = 0;
+  bool pow2_ = false;
+  // Radix-2 machinery (for n itself, or for the Bluestein helper size).
+  std::vector<std::size_t> bitrev_;
+  std::vector<std::complex<double>> twiddles_;  // exp(-2 pi i j / n), j < n/2
+  // Bluestein machinery.
+  std::size_t conv_n_ = 0;  // power-of-two >= 2n-1
+  std::vector<std::complex<double>> chirp_;       // exp(-i pi k^2 / n)
+  std::vector<std::complex<double>> chirp_fft_;   // FFT of the padded conjugate chirp
+  std::vector<std::size_t> conv_bitrev_;
+  std::vector<std::complex<double>> conv_twiddles_;
+};
+
+// Round up to the next power of two (>= 1).
+std::size_t next_pow2(std::size_t n);
+
+}  // namespace tme

@@ -1,0 +1,87 @@
+#include "fft/fft3d.hpp"
+
+#include <stdexcept>
+
+namespace tme {
+
+Fft3d::Fft3d(std::size_t nx, std::size_t ny, std::size_t nz)
+    : nx_(nx), ny_(ny), nz_(nz), fft_x_(nx), fft_y_(ny), fft_z_(nz) {
+  if (nx == 0 || ny == 0 || nz == 0) {
+    throw std::invalid_argument("Fft3d: all dimensions must be positive");
+  }
+}
+
+void Fft3d::transform_axis(std::vector<std::complex<double>>& data, Axis axis,
+                           bool invert) const {
+  std::vector<std::complex<double>> line;
+  switch (axis) {
+    case Axis::kX: {
+      // Contiguous lines: transform in place.
+      for (std::size_t iz = 0; iz < nz_; ++iz) {
+        for (std::size_t iy = 0; iy < ny_; ++iy) {
+          std::complex<double>* row = data.data() + (iz * ny_ + iy) * nx_;
+          invert ? fft_x_.inverse(row) : fft_x_.forward(row);
+        }
+      }
+      break;
+    }
+    case Axis::kY: {
+      line.resize(ny_);
+      for (std::size_t iz = 0; iz < nz_; ++iz) {
+        for (std::size_t ix = 0; ix < nx_; ++ix) {
+          const std::size_t base = iz * ny_ * nx_ + ix;
+          for (std::size_t iy = 0; iy < ny_; ++iy) line[iy] = data[base + iy * nx_];
+          invert ? fft_y_.inverse(line.data()) : fft_y_.forward(line.data());
+          for (std::size_t iy = 0; iy < ny_; ++iy) data[base + iy * nx_] = line[iy];
+        }
+      }
+      break;
+    }
+    case Axis::kZ: {
+      line.resize(nz_);
+      const std::size_t plane = nx_ * ny_;
+      for (std::size_t iy = 0; iy < ny_; ++iy) {
+        for (std::size_t ix = 0; ix < nx_; ++ix) {
+          const std::size_t base = iy * nx_ + ix;
+          for (std::size_t iz = 0; iz < nz_; ++iz) line[iz] = data[base + iz * plane];
+          invert ? fft_z_.inverse(line.data()) : fft_z_.forward(line.data());
+          for (std::size_t iz = 0; iz < nz_; ++iz) data[base + iz * plane] = line[iz];
+        }
+      }
+      break;
+    }
+  }
+}
+
+void Fft3d::forward(std::vector<std::complex<double>>& data) const {
+  if (data.size() != size()) throw std::invalid_argument("Fft3d::forward: size mismatch");
+  transform_axis(data, Axis::kX, false);
+  transform_axis(data, Axis::kY, false);
+  transform_axis(data, Axis::kZ, false);
+}
+
+void Fft3d::inverse(std::vector<std::complex<double>>& data) const {
+  if (data.size() != size()) throw std::invalid_argument("Fft3d::inverse: size mismatch");
+  transform_axis(data, Axis::kZ, true);
+  transform_axis(data, Axis::kY, true);
+  transform_axis(data, Axis::kX, true);
+}
+
+std::vector<std::complex<double>> Fft3d::forward_real(
+    const std::vector<double>& data) const {
+  if (data.size() != size())
+    throw std::invalid_argument("Fft3d::forward_real: size mismatch");
+  std::vector<std::complex<double>> out(data.begin(), data.end());
+  forward(out);
+  return out;
+}
+
+std::vector<double> Fft3d::inverse_to_real(
+    std::vector<std::complex<double>> data) const {
+  inverse(data);
+  std::vector<double> out(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) out[i] = data[i].real();
+  return out;
+}
+
+}  // namespace tme

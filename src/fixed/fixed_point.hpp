@@ -1,0 +1,67 @@
+// Fixed-point arithmetic emulating the MDGRAPE-4A datapaths.
+//
+// The hardware computes (paper Sec. IV): grid charges/potentials as 32-bit
+// fixed point with a tunable binary point, convolution coefficients as
+// 24-bit fixed point with a 24-bit fractional part ("maximum 1 - 2^-24"),
+// LRU accumulation at 32 bits, total potential at 64 bits.  This module
+// provides saturating quantisation plus fixed-point variants of the grid
+// pipeline stages so the quantisation behaviour the paper's accuracy
+// numbers depend on can be reproduced and tested in software.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/grid3d.hpp"
+#include "grid/separable_conv.hpp"
+
+namespace tme {
+
+// Signed Qx.frac fixed-point value held in `Bits` total bits (storage is
+// int64 for convenience; the range check enforces the declared width).
+struct FixedFormat {
+  int total_bits = 32;
+  int frac_bits = 24;
+
+  std::int64_t max_raw() const { return (std::int64_t{1} << (total_bits - 1)) - 1; }
+  std::int64_t min_raw() const { return -(std::int64_t{1} << (total_bits - 1)); }
+  double resolution() const;
+};
+
+// Round-to-nearest quantisation with saturation.
+std::int64_t quantize(double value, const FixedFormat& fmt);
+double dequantize(std::int64_t raw, const FixedFormat& fmt);
+
+// Round-trips a double through the format (the usual way to model one
+// hardware register).
+double quantize_value(double value, const FixedFormat& fmt);
+
+// Quantise a whole grid in place; returns the number of saturated points.
+std::size_t quantize_grid(Grid3d& grid, const FixedFormat& fmt);
+
+// Fixed-point separable convolution along one axis, mirroring the GCU:
+//  - kernel taps quantised to `coeff_fmt` (24-bit fractional),
+//  - input grid values quantised to `grid_fmt`,
+//  - products accumulated exactly in 64-bit,
+//  - the result shifted back to `grid_fmt` with saturation (the GCU's
+//    "arbitrary binary point ... shifted by a specified amount" maps to the
+//    caller choosing grid_fmt.frac_bits to avoid overflow).
+void convolve_axis_fixed(const Grid3d& in, const Kernel1d& kernel, ConvAxis axis,
+                         const FixedFormat& grid_fmt, const FixedFormat& coeff_fmt,
+                         Grid3d& out);
+
+// Full fixed-point tensor convolution (axis passes per term, accumulated in
+// a double grid scaled by `scale` like the floating path).
+void convolve_tensor_fixed(const Grid3d& in, const std::vector<SeparableTerm>& terms,
+                           double scale, const FixedFormat& grid_fmt,
+                           const FixedFormat& coeff_fmt, Grid3d& out);
+
+// Formats used by the hardware, for convenience.  Both binary points are
+// tunable on the real chip ("the arbitrary binary point ... can be shifted
+// by a specified amount"); the defaults leave integer headroom for the
+// omega-sharpened kernel taps (|G_0| can reach ~5) and for accumulated grid
+// charges.
+FixedFormat mdgrape_grid_format(int frac_bits = 20);
+FixedFormat mdgrape_coeff_format(int frac_bits = 18);
+
+}  // namespace tme

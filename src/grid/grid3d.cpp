@@ -1,0 +1,39 @@
+#include "grid/grid3d.hpp"
+
+#include <cmath>
+
+namespace tme {
+
+GridDims GridDims::halved() const {
+  if (nx % 2 != 0 || ny % 2 != 0 || nz % 2 != 0) {
+    throw std::invalid_argument("GridDims::halved: extents must be even");
+  }
+  return {nx / 2, ny / 2, nz / 2};
+}
+
+Grid3d& Grid3d::operator+=(const Grid3d& other) {
+  if (!(dims_ == other.dims_)) {
+    throw std::invalid_argument("Grid3d::operator+=: dimension mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Grid3d& Grid3d::operator*=(double s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+double Grid3d::sum() const {
+  double s = 0.0;
+  for (const double v : data_) s += v;
+  return s;
+}
+
+double Grid3d::max_abs() const {
+  double m = 0.0;
+  for (const double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+}  // namespace tme

@@ -1,0 +1,81 @@
+// Periodic 3D scalar grid in x-fastest layout.
+//
+// This is the central data structure of the mesh pipeline: charge grids,
+// potential grids, and every level of the TME hierarchy are Grid3d values.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace tme {
+
+struct GridDims {
+  std::size_t nx = 0;
+  std::size_t ny = 0;
+  std::size_t nz = 0;
+
+  std::size_t total() const { return nx * ny * nz; }
+  bool operator==(const GridDims&) const = default;
+
+  // Dimensions halved (restriction target); each extent must be even.
+  GridDims halved() const;
+};
+
+class Grid3d {
+ public:
+  Grid3d() = default;
+  explicit Grid3d(GridDims dims) : dims_(dims), data_(dims.total(), 0.0) {}
+  Grid3d(std::size_t nx, std::size_t ny, std::size_t nz)
+      : Grid3d(GridDims{nx, ny, nz}) {}
+
+  const GridDims& dims() const { return dims_; }
+  std::size_t size() const { return data_.size(); }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::vector<double>& values() { return data_; }
+  const std::vector<double>& values() const { return data_; }
+
+  double& operator[](std::size_t i) { return data_[i]; }
+  const double& operator[](std::size_t i) const { return data_[i]; }
+
+  std::size_t index(std::size_t ix, std::size_t iy, std::size_t iz) const {
+    return (iz * dims_.ny + iy) * dims_.nx + ix;
+  }
+  double& at(std::size_t ix, std::size_t iy, std::size_t iz) {
+    return data_[index(ix, iy, iz)];
+  }
+  const double& at(std::size_t ix, std::size_t iy, std::size_t iz) const {
+    return data_[index(ix, iy, iz)];
+  }
+
+  // Periodic accessor: indices may be any integer.
+  double& at_wrapped(long ix, long iy, long iz) {
+    return data_[index(wrap(ix, dims_.nx), wrap(iy, dims_.ny), wrap(iz, dims_.nz))];
+  }
+  const double& at_wrapped(long ix, long iy, long iz) const {
+    return data_[index(wrap(ix, dims_.nx), wrap(iy, dims_.ny), wrap(iz, dims_.nz))];
+  }
+
+  void fill(double v) { data_.assign(data_.size(), v); }
+
+  Grid3d& operator+=(const Grid3d& other);
+  Grid3d& operator*=(double s);
+
+  double sum() const;
+  double max_abs() const;
+
+  static std::size_t wrap(long i, std::size_t n) {
+    const long m = static_cast<long>(n);
+    long r = i % m;
+    if (r < 0) r += m;
+    return static_cast<std::size_t>(r);
+  }
+
+ private:
+  GridDims dims_;
+  std::vector<double> data_;
+};
+
+}  // namespace tme

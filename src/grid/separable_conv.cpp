@@ -1,0 +1,158 @@
+#include "grid/separable_conv.hpp"
+
+#include <stdexcept>
+
+#include "util/parallel.hpp"
+
+namespace tme {
+
+namespace {
+
+void check_kernel(const Kernel1d& k) {
+  if (k.taps.size() != static_cast<std::size_t>(2 * k.cutoff + 1)) {
+    throw std::invalid_argument("Kernel1d: taps size must be 2*cutoff+1");
+  }
+}
+
+}  // namespace
+
+void convolve_axis(const Grid3d& in, const Kernel1d& kernel, ConvAxis axis,
+                   Grid3d& out) {
+  check_kernel(kernel);
+  if (!(in.dims() == out.dims())) {
+    throw std::invalid_argument("convolve_axis: dimension mismatch");
+  }
+  if (&in == &out) throw std::invalid_argument("convolve_axis: in-place not supported");
+  const auto [nx, ny, nz] = in.dims();
+  const int c = kernel.cutoff;
+  const long n_axis = static_cast<long>(axis == ConvAxis::kX   ? nx
+                                        : axis == ConvAxis::kY ? ny
+                                                               : nz);
+  if (2 * c + 1 > 2 * n_axis) {
+    // Kernels wider than the periodic domain would double-count images in a
+    // way the truncated hardware kernel never does; reject loudly.
+    throw std::invalid_argument("convolve_axis: kernel cutoff exceeds grid period");
+  }
+
+  // Precompute wrapped source offsets for each output index along the axis.
+  // wrapped[n * (2c+1) + (m+c)] = (n - m) mod n_axis.
+  std::vector<std::size_t> wrapped(static_cast<std::size_t>(n_axis) *
+                                   static_cast<std::size_t>(2 * c + 1));
+  for (long n = 0; n < n_axis; ++n) {
+    for (int m = -c; m <= c; ++m) {
+      wrapped[static_cast<std::size_t>(n) * (2 * c + 1) +
+              static_cast<std::size_t>(m + c)] =
+          Grid3d::wrap(n - m, static_cast<std::size_t>(n_axis));
+    }
+  }
+
+  const double* src = in.data();
+  double* dst = out.data();
+  const std::size_t taps = static_cast<std::size_t>(2 * c + 1);
+
+  switch (axis) {
+    case ConvAxis::kX:
+      parallel_for(0, ny * nz, [&](std::size_t line) {
+        const std::size_t base = line * nx;
+        for (std::size_t n = 0; n < nx; ++n) {
+          double acc = 0.0;
+          const std::size_t* wrap_row = wrapped.data() + n * taps;
+          for (std::size_t t = 0; t < taps; ++t) {
+            acc += kernel.taps[t] * src[base + wrap_row[t]];
+          }
+          dst[base + n] = acc;
+        }
+      });
+      break;
+    case ConvAxis::kY:
+      parallel_for(0, nz, [&](std::size_t iz) {
+        const std::size_t plane = iz * ny * nx;
+        for (std::size_t n = 0; n < ny; ++n) {
+          const std::size_t* wrap_row = wrapped.data() + n * taps;
+          for (std::size_t ix = 0; ix < nx; ++ix) {
+            double acc = 0.0;
+            for (std::size_t t = 0; t < taps; ++t) {
+              acc += kernel.taps[t] * src[plane + wrap_row[t] * nx + ix];
+            }
+            dst[plane + n * nx + ix] = acc;
+          }
+        }
+      });
+      break;
+    case ConvAxis::kZ: {
+      const std::size_t plane = ny * nx;
+      parallel_for(0, ny, [&](std::size_t iy) {
+        for (std::size_t n = 0; n < nz; ++n) {
+          const std::size_t* wrap_row = wrapped.data() + n * taps;
+          for (std::size_t ix = 0; ix < nx; ++ix) {
+            double acc = 0.0;
+            for (std::size_t t = 0; t < taps; ++t) {
+              acc += kernel.taps[t] * src[wrap_row[t] * plane + iy * nx + ix];
+            }
+            dst[n * plane + iy * nx + ix] = acc;
+          }
+        }
+      });
+      break;
+    }
+  }
+}
+
+Grid3d convolve_separable(const Grid3d& in, const Kernel1d& kx,
+                          const Kernel1d& ky, const Kernel1d& kz) {
+  Grid3d tmp1(in.dims());
+  Grid3d tmp2(in.dims());
+  convolve_axis(in, kx, ConvAxis::kX, tmp1);
+  convolve_axis(tmp1, ky, ConvAxis::kY, tmp2);
+  convolve_axis(tmp2, kz, ConvAxis::kZ, tmp1);
+  return tmp1;
+}
+
+void convolve_tensor(const Grid3d& in, const std::vector<SeparableTerm>& terms,
+                     double scale, Grid3d& out) {
+  if (!(in.dims() == out.dims())) {
+    throw std::invalid_argument("convolve_tensor: dimension mismatch");
+  }
+  for (const SeparableTerm& term : terms) {
+    const Grid3d contribution = convolve_separable(in, term.kx, term.ky, term.kz);
+    const double* src = contribution.data();
+    double* dst = out.data();
+    for (std::size_t i = 0; i < out.size(); ++i) dst[i] += scale * src[i];
+  }
+}
+
+void convolve_dense3d(const Grid3d& in, const std::vector<double>& taps3d,
+                      int cutoff, Grid3d& out) {
+  const std::size_t width = static_cast<std::size_t>(2 * cutoff + 1);
+  if (taps3d.size() != width * width * width) {
+    throw std::invalid_argument("convolve_dense3d: taps size must be (2c+1)^3");
+  }
+  if (!(in.dims() == out.dims())) {
+    throw std::invalid_argument("convolve_dense3d: dimension mismatch");
+  }
+  const auto [nx, ny, nz] = in.dims();
+  parallel_for(0, nz, [&](std::size_t izs) {
+    const long iz = static_cast<long>(izs);
+    for (long iy = 0; iy < static_cast<long>(ny); ++iy) {
+      for (long ix = 0; ix < static_cast<long>(nx); ++ix) {
+        double acc = 0.0;
+        for (int mz = -cutoff; mz <= cutoff; ++mz) {
+          for (int my = -cutoff; my <= cutoff; ++my) {
+            for (int mx = -cutoff; mx <= cutoff; ++mx) {
+              const double tap =
+                  taps3d[(static_cast<std::size_t>(mz + cutoff) * width +
+                          static_cast<std::size_t>(my + cutoff)) *
+                             width +
+                         static_cast<std::size_t>(mx + cutoff)];
+              acc += tap * in.at_wrapped(ix - mx, iy - my, iz - mz);
+            }
+          }
+        }
+        out.at(static_cast<std::size_t>(ix), static_cast<std::size_t>(iy),
+               static_cast<std::size_t>(izs)) = acc;
+      }
+    }
+  });
+}
+
+}  // namespace tme

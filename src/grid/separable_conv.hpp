@@ -1,0 +1,50 @@
+// Axis-wise (separable) periodic convolutions with a range-limited kernel —
+// the software model of the MDGRAPE-4A grid convolution unit (GCU).
+//
+// A Kernel1d holds taps k[-cutoff .. +cutoff] (centre-indexed).  The 3D
+// tensor-structured convolution of the TME (paper Eq. 10) is
+//   out = sum_nu  K^{nu,x} *_x K^{nu,y} *_y K^{nu,z} *_z  in,
+// evaluated one axis at a time.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "grid/grid3d.hpp"
+
+namespace tme {
+
+// Symmetric-range 1D kernel, taps indexed from -cutoff to +cutoff.
+struct Kernel1d {
+  int cutoff = 0;
+  std::vector<double> taps;  // size 2*cutoff + 1
+
+  double tap(int m) const { return taps[static_cast<std::size_t>(m + cutoff)]; }
+};
+
+enum class ConvAxis { kX = 0, kY = 1, kZ = 2 };
+
+// out[n] = sum_{|m| <= cutoff} k[m] * in[n - m]  along the chosen axis
+// (periodic).  in and out must have identical dims; in-place is not allowed.
+void convolve_axis(const Grid3d& in, const Kernel1d& kernel, ConvAxis axis,
+                   Grid3d& out);
+
+// Full separable pass: z(y(x(in))) with per-axis kernels.
+Grid3d convolve_separable(const Grid3d& in, const Kernel1d& kx,
+                          const Kernel1d& ky, const Kernel1d& kz);
+
+// Accumulating tensor-structured convolution:
+//   out += scale * sum over terms of separable convolutions.
+struct SeparableTerm {
+  Kernel1d kx, ky, kz;
+};
+void convolve_tensor(const Grid3d& in, const std::vector<SeparableTerm>& terms,
+                     double scale, Grid3d& out);
+
+// Brute-force range-limited dense 3D convolution (reference for tests and the
+// B-spline-MSM baseline cost):  out[n] = sum_{|m_j| <= cutoff} K3[m] in[n-m].
+// K3 is given as a lambda-free dense cube of (2c+1)^3 taps, x-fastest.
+void convolve_dense3d(const Grid3d& in, const std::vector<double>& taps3d,
+                      int cutoff, Grid3d& out);
+
+}  // namespace tme

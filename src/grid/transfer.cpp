@@ -1,0 +1,104 @@
+#include "grid/transfer.hpp"
+
+#include <vector>
+
+#include "spline/two_scale.hpp"
+#include "util/parallel.hpp"
+
+namespace tme {
+
+namespace {
+
+// Restriction along one axis: out has the axis halved.
+// out[m] = sum_{|k| <= p/2} J_k in[2m + k]  (periodic in `in`).
+void restrict_axis(const Grid3d& in, const std::vector<double>& j, int half_p,
+                   int axis, Grid3d& out) {
+  const auto [nx, ny, nz] = in.dims();
+  const auto [ox, oy, oz] = out.dims();
+  parallel_for(0, oz, [&, nx = nx, ny = ny, nz = nz, ox = ox, oy = oy](std::size_t mz) {
+    (void)ny;
+    for (std::size_t my = 0; my < oy; ++my) {
+      for (std::size_t mx = 0; mx < ox; ++mx) {
+        double acc = 0.0;
+        for (int k = -half_p; k <= half_p; ++k) {
+          const double w = j[static_cast<std::size_t>(k + half_p)];
+          long ix = static_cast<long>(mx), iy = static_cast<long>(my),
+               iz = static_cast<long>(mz);
+          switch (axis) {
+            case 0: ix = 2 * ix + k; break;
+            case 1: iy = 2 * iy + k; break;
+            default: iz = 2 * iz + k; break;
+          }
+          acc += w * in.at_wrapped(ix, iy, iz);
+        }
+        out.at(mx, my, mz) = acc;
+      }
+    }
+  });
+  (void)nx;
+  (void)nz;
+}
+
+// Prolongation along one axis: out has the axis doubled.
+// out[n] = sum_m J_{n-2m} in[m]; since |n-2m| <= p/2, for each n only a few
+// m contribute: m = (n - k)/2 over k of matching parity.
+void prolong_axis(const Grid3d& in, const std::vector<double>& j, int half_p,
+                  int axis, Grid3d& out) {
+  const auto [ox, oy, oz] = out.dims();
+  parallel_for(0, oz, [&, ox = ox, oy = oy](std::size_t nz_i) {
+    for (std::size_t ny_i = 0; ny_i < oy; ++ny_i) {
+      for (std::size_t nx_i = 0; nx_i < ox; ++nx_i) {
+        const long n_axis = static_cast<long>(axis == 0   ? nx_i
+                                              : axis == 1 ? ny_i
+                                                          : nz_i);
+        double acc = 0.0;
+        for (int k = -half_p; k <= half_p; ++k) {
+          if (((n_axis - k) & 1L) != 0) continue;  // n - k must be even
+          const long m = (n_axis - k) / 2;
+          const double w = j[static_cast<std::size_t>(k + half_p)];
+          long ix = static_cast<long>(nx_i), iy = static_cast<long>(ny_i),
+               iz = static_cast<long>(nz_i);
+          switch (axis) {
+            case 0: ix = m; break;
+            case 1: iy = m; break;
+            default: iz = m; break;
+          }
+          acc += w * in.at_wrapped(ix, iy, iz);
+        }
+        out.at(nx_i, ny_i, nz_i) = acc;
+      }
+    }
+  });
+}
+
+}  // namespace
+
+Grid3d restrict_grid(const Grid3d& fine, int p) {
+  const std::vector<double> j = two_scale_coefficients(p);
+  const int half_p = p / 2;
+  const GridDims half = fine.dims().halved();
+
+  Grid3d tmp_x(GridDims{half.nx, fine.dims().ny, fine.dims().nz});
+  restrict_axis(fine, j, half_p, 0, tmp_x);
+  Grid3d tmp_y(GridDims{half.nx, half.ny, fine.dims().nz});
+  restrict_axis(tmp_x, j, half_p, 1, tmp_y);
+  Grid3d out(half);
+  restrict_axis(tmp_y, j, half_p, 2, out);
+  return out;
+}
+
+Grid3d prolong_grid(const Grid3d& coarse, int p) {
+  const std::vector<double> j = two_scale_coefficients(p);
+  const int half_p = p / 2;
+  const GridDims c = coarse.dims();
+
+  Grid3d tmp_x(GridDims{2 * c.nx, c.ny, c.nz});
+  prolong_axis(coarse, j, half_p, 0, tmp_x);
+  Grid3d tmp_y(GridDims{2 * c.nx, 2 * c.ny, c.nz});
+  prolong_axis(tmp_x, j, half_p, 1, tmp_y);
+  Grid3d out(GridDims{2 * c.nx, 2 * c.ny, 2 * c.nz});
+  prolong_axis(tmp_y, j, half_p, 2, out);
+  return out;
+}
+
+}  // namespace tme

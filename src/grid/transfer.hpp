@@ -1,0 +1,21 @@
+// Grid transfer operators of the TME hierarchy (paper Fig. 2(e)(f)).
+//
+// Restriction maps level-l grid charges to the coarser level l+1:
+//   Q^{l+1}_m = sum_k J_k Q^l_{2m+k}        (axis-wise, periodic)
+// Prolongation maps level-(l+1) grid potentials back to level l:
+//   P^l_n    += sum_m J_{n-2m} P^{l+1}_m
+// where J are the two-scale coefficients of the order-p central B-spline.
+// The two maps are adjoint, a property the tests rely on.
+#pragma once
+
+#include "grid/grid3d.hpp"
+
+namespace tme {
+
+// Each extent of `fine` must be even; returns the half-size coarse grid.
+Grid3d restrict_grid(const Grid3d& fine, int p);
+
+// Returns the fine grid of doubled extents.
+Grid3d prolong_grid(const Grid3d& coarse, int p);
+
+}  // namespace tme

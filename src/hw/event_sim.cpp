@@ -1,0 +1,71 @@
+#include "hw/event_sim.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace tme::hw {
+
+TaskId EventSimulator::add_task(TaskSpec spec) {
+  const TaskId id = tasks_.size();
+  for (const TaskId dep : spec.deps) {
+    if (dep >= id) throw std::invalid_argument("EventSimulator: forward dependency");
+  }
+  if (spec.duration < 0.0) throw std::invalid_argument("EventSimulator: negative duration");
+  tasks_.push_back(std::move(spec));
+  return id;
+}
+
+std::vector<ScheduledTask> EventSimulator::run() {
+  const std::size_t n = tasks_.size();
+  std::vector<ScheduledTask> schedule(n);
+  std::vector<bool> done(n, false);
+  std::map<int, double> resource_free;  // resource id -> time it frees up
+
+  // List scheduling: repeatedly pick the ready task with the earliest
+  // possible start time (dependency-ready time, then resource availability).
+  std::size_t completed = 0;
+  while (completed < n) {
+    TaskId best = n;
+    double best_start = std::numeric_limits<double>::infinity();
+    double best_ready = 0.0;
+    for (TaskId t = 0; t < n; ++t) {
+      if (done[t]) continue;
+      bool ready = true;
+      double ready_time = 0.0;
+      for (const TaskId dep : tasks_[t].deps) {
+        if (!done[dep]) {
+          ready = false;
+          break;
+        }
+        ready_time = std::max(ready_time, schedule[dep].end);
+      }
+      if (!ready) continue;
+      double start = ready_time;
+      const int res = tasks_[t].resource;
+      if (res >= 0) {
+        const auto it = resource_free.find(res);
+        if (it != resource_free.end()) start = std::max(start, it->second);
+      }
+      if (start < best_start ||
+          (start == best_start && ready_time < best_ready)) {
+        best = t;
+        best_start = start;
+        best_ready = ready_time;
+      }
+    }
+    if (best == n) throw std::logic_error("EventSimulator: dependency cycle");
+    schedule[best].spec = tasks_[best];
+    schedule[best].start = best_start;
+    schedule[best].end = best_start + tasks_[best].duration;
+    if (tasks_[best].resource >= 0) {
+      resource_free[tasks_[best].resource] = schedule[best].end;
+    }
+    done[best] = true;
+    ++completed;
+    makespan_ = std::max(makespan_, schedule[best].end);
+  }
+  return schedule;
+}
+
+}  // namespace tme::hw

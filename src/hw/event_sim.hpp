@@ -1,0 +1,50 @@
+// Minimal discrete-event scheduler for the single-step MD time chart.
+//
+// The step is modelled as a DAG of tasks, each with a fixed duration, a set
+// of dependencies, and an optional exclusive resource (e.g. the network unit
+// while the GCU streams grid blocks — "GCU operations must be exclusive to
+// other NW activities", paper Sec. V.A).  The scheduler is a list scheduler:
+// a task starts as soon as its dependencies are done and its resource is
+// free; earliest-ready wins ties.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace tme::hw {
+
+using TaskId = std::size_t;
+
+struct TaskSpec {
+  std::string name;
+  std::string lane;      // display row in the time chart ("GP", "PP", ...)
+  double duration = 0.0; // seconds
+  std::vector<TaskId> deps;
+  int resource = -1;     // exclusive resource id, -1 = none
+};
+
+struct ScheduledTask {
+  TaskSpec spec;
+  double start = 0.0;
+  double end = 0.0;
+};
+
+class EventSimulator {
+ public:
+  // Adds a task and returns its id.  Dependencies must already exist.
+  TaskId add_task(TaskSpec spec);
+
+  // Runs the list scheduler; returns the schedule sorted by task id.
+  std::vector<ScheduledTask> run();
+
+  // Makespan of the last run().
+  double makespan() const { return makespan_; }
+
+ private:
+  std::vector<TaskSpec> tasks_;
+  double makespan_ = 0.0;
+};
+
+}  // namespace tme::hw

@@ -1,0 +1,210 @@
+#include "hw/fpga_fft.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tme::hw {
+
+namespace {
+
+using CF = std::complex<float>;
+
+// W16^k twiddles, forward sign convention exp(-2 pi i k / 16).
+const CF* twiddles16() {
+  static CF table[16];
+  static bool init = false;
+  if (!init) {
+    for (int k = 0; k < 16; ++k) {
+      const double ang = -2.0 * M_PI * k / 16.0;
+      table[k] = {static_cast<float>(std::cos(ang)),
+                  static_cast<float>(std::sin(ang))};
+    }
+    init = true;
+  }
+  return table;
+}
+
+// 4-point DFT (radix-4 butterfly: additions and +-i swaps only).
+void dft4(CF& a, CF& b, CF& c, CF& d, bool inverse) {
+  const CF t0 = a + c;
+  const CF t1 = a - c;
+  const CF t2 = b + d;
+  CF t3 = b - d;
+  // multiply by -i (forward) or +i (inverse)
+  t3 = inverse ? CF{-t3.imag(), t3.real()} : CF{t3.imag(), -t3.real()};
+  a = t0 + t2;
+  b = t1 + t3;
+  c = t0 - t2;
+  d = t1 - t3;
+}
+
+}  // namespace
+
+void cfft16(std::complex<float>* data, bool inverse) {
+  const CF* w = twiddles16();
+  // Stage 1: DFT4 over the stride-4 subsequences (n = n0 + 4 n1).
+  CF z[4][4];  // z[n0][k1]
+  for (int n0 = 0; n0 < 4; ++n0) {
+    CF a = data[n0], b = data[n0 + 4], c = data[n0 + 8], d = data[n0 + 12];
+    dft4(a, b, c, d, inverse);
+    z[n0][0] = a;
+    z[n0][1] = b;
+    z[n0][2] = c;
+    z[n0][3] = d;
+  }
+  // Stage 2: X[k] = sum_n0 W16^{n0 k} z[n0][k mod 4].
+  for (int k = 0; k < 16; ++k) {
+    CF acc{0.0f, 0.0f};
+    for (int n0 = 0; n0 < 4; ++n0) {
+      CF tw = w[(n0 * k) % 16];
+      if (inverse) tw = std::conj(tw);
+      acc += tw * z[n0][k % 4];
+    }
+    data[k] = inverse ? acc * (1.0f / 16.0f) : acc;
+  }
+}
+
+PackedSpectra real_pair_forward(const float* line_a, const float* line_b) {
+  CF packed[16];
+  for (int n = 0; n < 16; ++n) packed[n] = {line_a[n], line_b[n]};
+  cfft16(packed, false);
+  PackedSpectra out;
+  for (int k = 0; k <= 8; ++k) {
+    const CF zk = packed[k];
+    const CF zn = std::conj(packed[(16 - k) % 16]);
+    out.a[k] = 0.5f * (zk + zn);
+    // (zk - zn) / (2i) = -i/2 * (zk - zn)
+    const CF diff = zk - zn;
+    out.b[k] = CF{0.5f * diff.imag(), -0.5f * diff.real()};
+  }
+  // Wave numbers 0 and 8 are purely real for real input — the hardware's
+  // dedicated post/preprocess-08 path; enforce exactly.
+  out.a[0] = {out.a[0].real(), 0.0f};
+  out.b[0] = {out.b[0].real(), 0.0f};
+  out.a[8] = {out.a[8].real(), 0.0f};
+  out.b[8] = {out.b[8].real(), 0.0f};
+  return out;
+}
+
+void real_pair_inverse(const PackedSpectra& spectra, float* line_a, float* line_b) {
+  CF packed[16];
+  for (int k = 0; k <= 8; ++k) {
+    const CF ik_b{-spectra.b[k].imag(), spectra.b[k].real()};  // i * B_k
+    packed[k] = spectra.a[k] + ik_b;
+  }
+  for (int k = 9; k < 16; ++k) {
+    const CF a = std::conj(spectra.a[16 - k]);
+    const CF b = std::conj(spectra.b[16 - k]);
+    packed[k] = a + CF{-b.imag(), b.real()};
+  }
+  cfft16(packed, true);
+  for (int n = 0; n < 16; ++n) {
+    line_a[n] = packed[n].real();
+    line_b[n] = packed[n].imag();
+  }
+}
+
+std::vector<float> fpga_top_level_convolve(const std::vector<float>& charges,
+                                           const std::vector<double>& green) {
+  constexpr std::size_t n = 16;
+  if (charges.size() != n * n * n || green.size() != n * n * n) {
+    throw std::invalid_argument("fpga_top_level_convolve: 16^3 data required");
+  }
+  // Half-spectrum workspace: kx = 0..8 (Hermitian symmetry in x), full y/z.
+  constexpr std::size_t hx = 9;
+  std::vector<CF> work(hx * n * n);
+  auto at = [&](std::size_t kx, std::size_t y, std::size_t z) -> CF& {
+    return work[(z * n + y) * hx + kx];
+  };
+
+  // Forward x through the real-pair packing (two lines per CFFT16 call).
+  for (std::size_t z = 0; z < n; ++z) {
+    for (std::size_t y = 0; y < n; y += 2) {
+      float line_a[16], line_b[16];
+      for (std::size_t x = 0; x < n; ++x) {
+        line_a[x] = charges[(z * n + y) * n + x];
+        line_b[x] = charges[(z * n + y + 1) * n + x];
+      }
+      const PackedSpectra s = real_pair_forward(line_a, line_b);
+      for (std::size_t kx = 0; kx < hx; ++kx) {
+        at(kx, y, z) = s.a[kx];
+        at(kx, y + 1, z) = s.b[kx];
+      }
+    }
+  }
+  // Forward y, then z: plain complex CFFT16 lines.
+  for (std::size_t z = 0; z < n; ++z) {
+    for (std::size_t kx = 0; kx < hx; ++kx) {
+      CF line[16];
+      for (std::size_t y = 0; y < n; ++y) line[y] = at(kx, y, z);
+      cfft16(line, false);
+      for (std::size_t y = 0; y < n; ++y) at(kx, y, z) = line[y];
+    }
+  }
+  for (std::size_t ky = 0; ky < n; ++ky) {
+    for (std::size_t kx = 0; kx < hx; ++kx) {
+      CF line[16];
+      for (std::size_t z = 0; z < n; ++z) line[z] = at(kx, ky, z);
+      cfft16(line, false);
+      for (std::size_t z = 0; z < n; ++z) at(kx, ky, z) = line[z];
+    }
+  }
+  // Green multiply (folded into the post/preprocess units on the FPGA).
+  for (std::size_t kz = 0; kz < n; ++kz) {
+    for (std::size_t ky = 0; ky < n; ++ky) {
+      for (std::size_t kx = 0; kx < hx; ++kx) {
+        at(kx, ky, kz) *= static_cast<float>(green[(kz * n + ky) * n + kx]);
+      }
+    }
+  }
+  // Inverse z, inverse y.
+  for (std::size_t ky = 0; ky < n; ++ky) {
+    for (std::size_t kx = 0; kx < hx; ++kx) {
+      CF line[16];
+      for (std::size_t z = 0; z < n; ++z) line[z] = at(kx, ky, z);
+      cfft16(line, true);
+      for (std::size_t z = 0; z < n; ++z) at(kx, ky, z) = line[z];
+    }
+  }
+  for (std::size_t z = 0; z < n; ++z) {
+    for (std::size_t kx = 0; kx < hx; ++kx) {
+      CF line[16];
+      for (std::size_t y = 0; y < n; ++y) line[y] = at(kx, y, z);
+      cfft16(line, true);
+      for (std::size_t y = 0; y < n; ++y) at(kx, y, z) = line[y];
+    }
+  }
+  // Inverse x through the packing trick, two real lines at a time.
+  std::vector<float> out(n * n * n);
+  for (std::size_t z = 0; z < n; ++z) {
+    for (std::size_t y = 0; y < n; y += 2) {
+      PackedSpectra s;
+      for (std::size_t kx = 0; kx < hx; ++kx) {
+        s.a[kx] = at(kx, y, z);
+        s.b[kx] = at(kx, y + 1, z);
+      }
+      float line_a[16], line_b[16];
+      real_pair_inverse(s, line_a, line_b);
+      for (std::size_t x = 0; x < n; ++x) {
+        out[(z * n + y) * n + x] = line_a[x];
+        out[(z * n + y + 1) * n + x] = line_b[x];
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t fpga_cycle_estimate() {
+  // Four CFFT16 units, one 16-point transform each per cycle ("a 64-point
+  // complex FFT every cycle").  Real packing halves the x passes.
+  const std::size_t x_pass = 128 / 4;      // 128 packed line pairs
+  const std::size_t yz_pass = 9 * 16 / 4;  // half-spectrum lines
+  const std::size_t pipeline_fill = 20;    // per pass: CFFT16 + post/preprocess
+  const std::size_t passes[6] = {x_pass, yz_pass, yz_pass,
+                                 yz_pass, yz_pass, x_pass};
+  std::size_t cycles = 0;
+  for (const std::size_t p : passes) cycles += p + pipeline_fill;
+  return cycles;
+}
+
+}  // namespace tme::hw

@@ -1,0 +1,52 @@
+// Functional model of the root-FPGA top-level convolution engine
+// (paper Sec. IV.C, Fig. 8).
+//
+// The hardware evaluates the 16^3 SPME convolution with:
+//   - CFFT16: a flash radix-4 complex 16-point FFT (160 DSPs each, 4 units),
+//   - post/preprocess units that convert complex-FFT results of packed real
+//     line pairs into real-FFT spectra (and back for the inverse), with a
+//     dedicated unit for wave numbers 0 and 8 = 16/2, which the packing
+//     trick cannot separate the ordinary way,
+//   - the lattice Green function multiply folded into post/preprocessing,
+//   - an "orthogonal memory" providing transposed line access per axis.
+//
+// Everything here runs in IEEE single precision, as the FPGA does, and is
+// validated against the double-precision SPME path.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace tme::hw {
+
+// In-place 16-point complex FFT (radix-4, two stages), single precision.
+void cfft16(std::complex<float>* data, bool inverse);
+
+// Real-line pair transform through one complex FFT (the hardware's packing
+// trick): given two real lines a, b of 16 values, returns their half
+// spectra A_k, B_k for k = 0..8 (Hermitian symmetry carries the rest).
+// Wave numbers 0 and 8 are the purely-real bins the special "post/preprocess
+// 08" unit handles.
+struct PackedSpectra {
+  std::complex<float> a[9];
+  std::complex<float> b[9];
+};
+PackedSpectra real_pair_forward(const float* line_a, const float* line_b);
+
+// Inverse of the packing trick: reconstruct two real lines from their half
+// spectra.
+void real_pair_inverse(const PackedSpectra& spectra, float* line_a, float* line_b);
+
+// The full top-level solve on a 16^3 grid: forward 3D FFT, Green multiply,
+// inverse 3D FFT, all in single precision.  `green` is the (real) influence
+// function in the same layout as ewald/greens_function.
+std::vector<float> fpga_top_level_convolve(const std::vector<float>& charges,
+                                           const std::vector<double>& green);
+
+// First-principles cycle estimate of the engine (paper: 330 cycles at
+// 156.25 MHz = 2.112 us): line FFTs through 4 CFFT16 units, pipelined with
+// the post/preprocess stages.
+std::size_t fpga_cycle_estimate();
+
+}  // namespace tme::hw

@@ -1,0 +1,147 @@
+#include "hw/gcu_functional.hpp"
+
+#include <stdexcept>
+
+namespace tme::hw {
+
+std::vector<GcuBlock> blocks_of(const Grid3d& grid) {
+  const GridDims& d = grid.dims();
+  if (d.nx % 4 != 0 || d.ny % 4 != 0 || d.nz % 4 != 0) {
+    throw std::invalid_argument("blocks_of: grid extents must be multiples of 4");
+  }
+  std::vector<GcuBlock> blocks;
+  blocks.reserve(d.total() / 64);
+  for (std::size_t bz = 0; bz < d.nz; bz += 4) {
+    for (std::size_t by = 0; by < d.ny; by += 4) {
+      for (std::size_t bx = 0; bx < d.nx; bx += 4) {
+        GcuBlock blk;
+        blk.origin = {bx, by, bz};
+        for (std::size_t iz = 0; iz < 4; ++iz) {
+          for (std::size_t iy = 0; iy < 4; ++iy) {
+            for (std::size_t ix = 0; ix < 4; ++ix) {
+              blk.values[(iz * 4 + iy) * 4 + ix] =
+                  grid.at(bx + ix, by + iy, bz + iz);
+            }
+          }
+        }
+        blocks.push_back(blk);
+      }
+    }
+  }
+  return blocks;
+}
+
+GcuFunctionalUnit::GcuFunctionalUnit(std::array<std::size_t, 3> origin,
+                                     GridDims local, GridDims level)
+    : origin_(origin), local_(local), level_(level), memory_(local) {
+  if (local.total() == 0) throw std::invalid_argument("GcuFunctionalUnit: empty");
+}
+
+std::size_t GcuFunctionalUnit::process_block(const GcuBlock& block,
+                                             const Kernel1d& kernel, int axis) {
+  const int gc = kernel.cutoff;
+  const std::size_t level_axis =
+      axis == 0 ? level_.nx : (axis == 1 ? level_.ny : level_.nz);
+  if (static_cast<std::size_t>(2 * gc + 4) > level_axis) {
+    // The hardware never wraps a kernel over the full period; the library
+    // path (core/grid_kernel) handles that regime instead.
+    throw std::invalid_argument(
+        "GcuFunctionalUnit: kernel reach exceeds the level period");
+  }
+
+  std::size_t evals = 0;
+  // Iterate the 16 rows of the block along the convolution axis (Eq. 18):
+  // each row holds h_{m+i}, i = 0..3.
+  for (std::size_t a = 0; a < 4; ++a) {
+    for (std::size_t b = 0; b < 4; ++b) {
+      // Perpendicular coordinates of this row (global).
+      std::size_t gx = 0, gy = 0, gz = 0;
+      switch (axis) {
+        case 0: gy = block.origin[1] + a; gz = block.origin[2] + b; break;
+        case 1: gx = block.origin[0] + a; gz = block.origin[2] + b; break;
+        default: gx = block.origin[0] + a; gy = block.origin[1] + b; break;
+      }
+      const long m = static_cast<long>(block.origin[static_cast<std::size_t>(axis)]);
+      // Outputs n in [m - gc, m + 3 + gc] along the axis.
+      for (long n = m - gc; n <= m + 3 + gc; ++n) {
+        const std::size_t wrapped = Grid3d::wrap(n, level_axis);
+        // Ownership test in global coordinates.
+        std::size_t ox = gx, oy = gy, oz = gz;
+        switch (axis) {
+          case 0: ox = wrapped; break;
+          case 1: oy = wrapped; break;
+          default: oz = wrapped; break;
+        }
+        if (ox < origin_[0] || ox >= origin_[0] + local_.nx) continue;
+        if (oy < origin_[1] || oy >= origin_[1] + local_.ny) continue;
+        if (oz < origin_[2] || oz >= origin_[2] + local_.nz) continue;
+        // Eq. 18: g_n += sum_i h_{m+i} K_{n - m - i}.
+        double acc = 0.0;
+        for (int i = 0; i < 4; ++i) {
+          const long tap_index = n - m - i;
+          if (tap_index < -gc || tap_index > gc) continue;
+          double h;
+          switch (axis) {
+            case 0: h = block.at(static_cast<std::size_t>(i), a, b); break;
+            case 1: h = block.at(a, static_cast<std::size_t>(i), b); break;
+            default: h = block.at(a, b, static_cast<std::size_t>(i)); break;
+          }
+          acc += h * kernel.tap(static_cast<int>(tap_index));
+        }
+        memory_.at(ox - origin_[0], oy - origin_[1], oz - origin_[2]) += acc;
+        ++evals;
+      }
+    }
+  }
+  return evals;
+}
+
+Grid3d gcu_functional_axis_pass(const Grid3d& in, const Kernel1d& kernel,
+                                int axis, GridDims local, std::size_t* evals) {
+  const GridDims& level = in.dims();
+  if (level.nx % local.nx != 0 || level.ny % local.ny != 0 ||
+      level.nz % local.nz != 0) {
+    throw std::invalid_argument("gcu_functional_axis_pass: local must tile level");
+  }
+  // Build one unit per tile.
+  std::vector<GcuFunctionalUnit> units;
+  for (std::size_t oz = 0; oz < level.nz; oz += local.nz) {
+    for (std::size_t oy = 0; oy < level.ny; oy += local.ny) {
+      for (std::size_t ox = 0; ox < level.nx; ox += local.nx) {
+        units.emplace_back(std::array<std::size_t, 3>{ox, oy, oz}, local, level);
+      }
+    }
+  }
+  // Stream every block through every unit (the network delivers only the
+  // in-range ones on the machine; out-of-range blocks contribute zero evals
+  // here, so the accounting is identical).
+  std::size_t total_evals = 0;
+  const std::vector<GcuBlock> blocks = blocks_of(in);
+  for (GcuFunctionalUnit& unit : units) {
+    for (const GcuBlock& blk : blocks) {
+      total_evals += unit.process_block(blk, kernel, axis);
+    }
+  }
+  if (evals != nullptr) *evals = total_evals;
+
+  // Assemble.
+  Grid3d out(level);
+  std::size_t u = 0;
+  for (std::size_t oz = 0; oz < level.nz; oz += local.nz) {
+    for (std::size_t oy = 0; oy < level.ny; oy += local.ny) {
+      for (std::size_t ox = 0; ox < level.nx; ox += local.nx) {
+        const Grid3d& mem = units[u++].memory();
+        for (std::size_t lz = 0; lz < local.nz; ++lz) {
+          for (std::size_t ly = 0; ly < local.ny; ++ly) {
+            for (std::size_t lx = 0; lx < local.nx; ++lx) {
+              out.at(ox + lx, oy + ly, oz + lz) = mem.at(lx, ly, lz);
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tme::hw

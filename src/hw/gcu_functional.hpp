@@ -1,0 +1,72 @@
+// Functional (datapath-level) model of the grid convolution unit.
+//
+// The GCU manipulates 4x4x4 grid blocks as its basic data unit (paper
+// Sec. IV.B).  For an incoming block h with grid origin m and a 1D kernel
+// K^{nu,j}, each of its rows along the convolution axis updates the local
+// grid points g within kernel range (paper Eq. 18):
+//
+//   g_n  <-  g_n + sum_{i=0}^{3} h_{m+i} K_{n - m - i},
+//   n in [m - g_c, m + 3 + g_c] along the axis, same perpendicular index.
+//
+// This module executes exactly that computation, block by block, row by
+// row, so the hardware dataflow itself can be tested: a full axis pass over
+// all streamed blocks must reproduce the library's convolve_axis, and the
+// number of grid-point evaluations it consumes must equal the workload the
+// timing model (gcu_model.hpp) charges for.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "grid/grid3d.hpp"
+#include "grid/separable_conv.hpp"
+
+namespace tme::hw {
+
+// A 4x4x4 block with its global grid origin (multiples of 4).
+struct GcuBlock {
+  std::array<std::size_t, 3> origin{};
+  std::array<double, 64> values{};
+
+  double at(std::size_t ix, std::size_t iy, std::size_t iz) const {
+    return values[(iz * 4 + iy) * 4 + ix];
+  }
+};
+
+// Cut a periodic level grid (extents multiples of 4) into blocks.
+std::vector<GcuBlock> blocks_of(const Grid3d& grid);
+
+// One node's GCU with its local slice of the level grid.
+class GcuFunctionalUnit {
+ public:
+  // `origin` is the first owned global cell, `local` the owned extents,
+  // `level` the global (periodic) level extents.
+  GcuFunctionalUnit(std::array<std::size_t, 3> origin, GridDims local,
+                    GridDims level);
+
+  // Processes one incoming block against a 1D kernel along `axis`
+  // (0 = x, 1 = y, 2 = z), accumulating into the local grid memory.
+  // Returns the grid-point evaluations spent on owned points (the unit of
+  // the timing model's throughput).
+  std::size_t process_block(const GcuBlock& block, const Kernel1d& kernel,
+                            int axis);
+
+  const Grid3d& memory() const { return memory_; }
+  void clear() { memory_.fill(0.0); }
+
+ private:
+  std::array<std::size_t, 3> origin_;
+  GridDims local_;
+  GridDims level_;
+  Grid3d memory_;  // local dims
+};
+
+// Streams every block of `in` through a set of units tiling the level grid
+// and assembles the result — must equal convolve_axis(in, kernel, axis).
+// `evals` (optional) returns the total grid-point evaluations consumed.
+Grid3d gcu_functional_axis_pass(const Grid3d& in, const Kernel1d& kernel,
+                                int axis, GridDims local,
+                                std::size_t* evals = nullptr);
+
+}  // namespace tme::hw

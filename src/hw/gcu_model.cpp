@@ -1,0 +1,70 @@
+#include "hw/gcu_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tme::hw {
+
+namespace {
+
+// Grid-point evaluations for one axis pass with the given kernel reach.
+double axis_evals(std::size_t extent_along, std::size_t perpendicular_lines,
+                  std::size_t level_extent, int reach_per_side, int terms) {
+  // Input span along the axis: the local slab plus the kernel reach on both
+  // sides, folded to at most the level's periodic extent.
+  const std::size_t span = std::min(
+      extent_along + 2 * static_cast<std::size_t>(reach_per_side), level_extent);
+  const double rows_in =
+      static_cast<double>(perpendicular_lines) * static_cast<double>(span) / 4.0;
+  const double outputs_per_row = 2.0 * reach_per_side + 4.0;
+  return rows_in * outputs_per_row * static_cast<double>(terms);
+}
+
+void check(const GcuParams& params) {
+  if (params.clock_hz <= 0.0 || params.points_per_cycle <= 0.0 ||
+      params.waiting_factor < 1.0) {
+    throw std::invalid_argument("GcuParams: bad parameters");
+  }
+}
+
+}  // namespace
+
+double gcu_convolution_time(const GcuParams& params, const GcuLevelGeometry& geom,
+                            int grid_cutoff, int num_gaussians) {
+  check(params);
+  if (grid_cutoff < 1 || num_gaussians < 1) {
+    throw std::invalid_argument("gcu_convolution_time: bad kernel description");
+  }
+  const double rate = params.clock_hz * params.points_per_cycle;
+  double total = 0.0;
+  const std::size_t lines_x = geom.local_y * geom.local_z;
+  const std::size_t lines_y = geom.local_x * geom.local_z;
+  const std::size_t lines_z = geom.local_x * geom.local_y;
+  const double evals = axis_evals(geom.local_x, lines_x, geom.level_x, grid_cutoff,
+                                  num_gaussians) +
+                       axis_evals(geom.local_y, lines_y, geom.level_y, grid_cutoff,
+                                  num_gaussians) +
+                       axis_evals(geom.local_z, lines_z, geom.level_z, grid_cutoff,
+                                  num_gaussians);
+  total = evals / rate * params.waiting_factor +
+          3.0 * params.conv_phase_overhead_s;
+  return total;
+}
+
+double gcu_transfer_time(const GcuParams& params, const GcuLevelGeometry& geom,
+                         int spline_order) {
+  check(params);
+  if (spline_order < 2) throw std::invalid_argument("gcu_transfer_time: bad order");
+  const double rate = params.clock_hz * params.points_per_cycle;
+  const int reach = spline_order / 2;  // J has p + 1 taps, p/2 per side
+  const std::size_t lines_x = geom.local_y * geom.local_z;
+  const std::size_t lines_y = geom.local_x * geom.local_z;
+  const std::size_t lines_z = geom.local_x * geom.local_y;
+  const double evals =
+      axis_evals(geom.local_x, lines_x, geom.level_x, reach, 1) +
+      axis_evals(geom.local_y, lines_y, geom.level_y, reach, 1) +
+      axis_evals(geom.local_z, lines_z, geom.level_z, reach, 1);
+  return evals / rate * params.waiting_factor + params.transfer_phase_overhead_s;
+}
+
+}  // namespace tme::hw

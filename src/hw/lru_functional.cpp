@@ -1,0 +1,136 @@
+#include "hw/lru_functional.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fixed/fixed_point.hpp"
+#include "spline/bspline.hpp"
+
+namespace tme::hw {
+
+namespace {
+
+double quantise(double v, int frac_bits) {
+  return std::ldexp(std::nearbyint(std::ldexp(v, frac_bits)), -frac_bits);
+}
+
+}  // namespace
+
+long lru_spline_weights(double u, std::span<double> values,
+                        std::span<double> derivs, const LruFixedFormats& fmt) {
+  constexpr int p = 6;  // the hardware fixes the interpolation order
+  const long m0 = bspline_weights_central(p, u, values, derivs);
+  for (int k = 0; k < p; ++k) {
+    values[static_cast<std::size_t>(k)] =
+        quantise(values[static_cast<std::size_t>(k)], fmt.weight_frac_bits);
+    if (derivs.size() >= static_cast<std::size_t>(p)) {
+      derivs[static_cast<std::size_t>(k)] =
+          quantise(derivs[static_cast<std::size_t>(k)], fmt.weight_frac_bits);
+    }
+  }
+  return m0;
+}
+
+Grid3d lru_charge_assign(const Box& box, GridDims dims,
+                         std::span<const Vec3> positions,
+                         std::span<const double> charges,
+                         const LruFixedFormats& fmt) {
+  if (positions.size() != charges.size()) {
+    throw std::invalid_argument("lru_charge_assign: size mismatch");
+  }
+  constexpr int p = 6;
+  const Vec3 h{box.lengths.x / static_cast<double>(dims.nx),
+               box.lengths.y / static_cast<double>(dims.ny),
+               box.lengths.z / static_cast<double>(dims.nz)};
+  // Grid memory in raw 32-bit words (the GM's accumulate-on-write mode).
+  std::vector<std::int64_t> raw(dims.total(), 0);
+  const FixedFormat grid_fmt{32, fmt.charge_frac_bits};
+
+  std::vector<double> wx(6), wy(6), wz(6);
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const Vec3 u = hadamard_div(box.wrap(positions[i]), h);
+    const long mx0 = lru_spline_weights(u.x, wx, {}, fmt);
+    const long my0 = lru_spline_weights(u.y, wy, {}, fmt);
+    const long mz0 = lru_spline_weights(u.z, wz, {}, fmt);
+    for (int kz = 0; kz < p; ++kz) {
+      const std::size_t iz = Grid3d::wrap(mz0 + kz, dims.nz);
+      for (int ky = 0; ky < p; ++ky) {
+        const std::size_t iy = Grid3d::wrap(my0 + ky, dims.ny);
+        for (int kx = 0; kx < p; ++kx) {
+          const std::size_t ix = Grid3d::wrap(mx0 + kx, dims.nx);
+          // Tensor product rounded to the 32-bit grid word before the GM
+          // accumulation (the hardware multiplies in the LRU, accumulates
+          // in the GM's special write mode).
+          const double contrib = charges[i] * wx[static_cast<std::size_t>(kx)] *
+                                 wy[static_cast<std::size_t>(ky)] *
+                                 wz[static_cast<std::size_t>(kz)];
+          raw[(iz * dims.ny + iy) * dims.nx + ix] += quantize(contrib, grid_fmt);
+        }
+      }
+    }
+  }
+  Grid3d out(dims);
+  for (std::size_t i = 0; i < raw.size(); ++i) out[i] = dequantize(raw[i], grid_fmt);
+  return out;
+}
+
+double lru_back_interpolate(const Box& box, const Grid3d& potential,
+                            std::span<const Vec3> positions,
+                            std::span<const double> charges,
+                            std::vector<Vec3>& forces,
+                            const LruFixedFormats& fmt) {
+  if (positions.size() != charges.size() || forces.size() != positions.size()) {
+    throw std::invalid_argument("lru_back_interpolate: size mismatch");
+  }
+  constexpr int p = 6;
+  const GridDims& dims = potential.dims();
+  const Vec3 h{box.lengths.x / static_cast<double>(dims.nx),
+               box.lengths.y / static_cast<double>(dims.ny),
+               box.lengths.z / static_cast<double>(dims.nz)};
+  const FixedFormat grid_fmt{32, fmt.potential_frac_bits};
+  const FixedFormat force_fmt{32, fmt.force_frac_bits};
+  std::int64_t total_raw = 0;  // 64-bit potential accumulator
+
+  std::vector<double> wx(6), wy(6), wz(6), dx(6), dy(6), dz(6);
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const Vec3 u = hadamard_div(box.wrap(positions[i]), h);
+    const long mx0 = lru_spline_weights(u.x, wx, dx, fmt);
+    const long my0 = lru_spline_weights(u.y, wy, dy, fmt);
+    const long mz0 = lru_spline_weights(u.z, wz, dz, fmt);
+    double phi = 0.0;
+    Vec3 grad{};
+    for (int kz = 0; kz < p; ++kz) {
+      const std::size_t iz = Grid3d::wrap(mz0 + kz, dims.nz);
+      for (int ky = 0; ky < p; ++ky) {
+        const std::size_t iy = Grid3d::wrap(my0 + ky, dims.ny);
+        double line_v = 0.0, line_d = 0.0;
+        for (int kx = 0; kx < p; ++kx) {
+          const std::size_t ix = Grid3d::wrap(mx0 + kx, dims.nx);
+          const double pm =
+              quantize_value(potential.at(ix, iy, iz), grid_fmt);
+          line_v += pm * wx[static_cast<std::size_t>(kx)];
+          line_d += pm * dx[static_cast<std::size_t>(kx)];
+        }
+        phi += line_v * wy[static_cast<std::size_t>(ky)] *
+               wz[static_cast<std::size_t>(kz)];
+        grad.x += line_d * wy[static_cast<std::size_t>(ky)] *
+                  wz[static_cast<std::size_t>(kz)];
+        grad.y += line_v * dy[static_cast<std::size_t>(ky)] *
+                  wz[static_cast<std::size_t>(kz)];
+        grad.z += line_v * wy[static_cast<std::size_t>(ky)] *
+                  dz[static_cast<std::size_t>(kz)];
+      }
+    }
+    // Per-atom potential at 32-bit fixed point; total at 64 bits.
+    const std::int64_t phi_raw = quantize(phi, grid_fmt);
+    total_raw += quantize(charges[i] * dequantize(phi_raw, grid_fmt), grid_fmt);
+    // Force accumulation at 32-bit fixed point with a tunable binary point.
+    const Vec3 f{-charges[i] * grad.x / h.x, -charges[i] * grad.y / h.y,
+                 -charges[i] * grad.z / h.z};
+    forces[i] += {quantize_value(f.x, force_fmt), quantize_value(f.y, force_fmt),
+                  quantize_value(f.z, force_fmt)};
+  }
+  return dequantize(total_raw, grid_fmt);
+}
+
+}  // namespace tme::hw

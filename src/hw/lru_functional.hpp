@@ -1,0 +1,52 @@
+// Functional (datapath-level) model of the long-range unit (LRU, paper
+// Sec. IV.A): B-spline weights evaluated by the recursion pipeline in
+// fixed point with a 24-bit fractional part ("maximum of 1 - 2^-24"),
+// tensor products and grid accumulation in 32-bit fixed point, per-atom
+// potentials in 32-bit and the total potential in 64-bit fixed point.
+//
+// Validated against the double-precision ChargeAssigner: the quantisation
+// error must stay orders of magnitude below the method error, which is the
+// design condition the chip's word sizes were chosen for.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "grid/grid3d.hpp"
+#include "util/vec3.hpp"
+
+namespace tme::hw {
+
+// The binary points are mode-specific ("arbitrary binary point ... shifted
+// by a specified amount"): charge words carry little integer range, while
+// potential/force words must hold kJ/mol-scale magnitudes.
+struct LruFixedFormats {
+  int weight_frac_bits = 24;     // spline values/derivatives (24-bit fraction)
+  int charge_frac_bits = 24;     // 32-bit grid charge words (CA mode)
+  int potential_frac_bits = 14;  // 32-bit grid potential words (BI mode)
+  int force_frac_bits = 12;      // 32-bit force accumulator
+};
+
+// Spline weights for order p = 6 at normalised coordinate u, quantised the
+// way the 12-stage pipeline emits them.  Returns the leftmost grid index.
+long lru_spline_weights(double u, std::span<double> values,
+                        std::span<double> derivs, const LruFixedFormats& fmt);
+
+// CA mode: scatter charges onto a fresh grid through the fixed-point
+// tensor-multiplier path.
+Grid3d lru_charge_assign(const Box& box, GridDims dims,
+                         std::span<const Vec3> positions,
+                         std::span<const double> charges,
+                         const LruFixedFormats& fmt = {});
+
+// BI mode: per-atom potential and force through the fixed-point
+// convolution/accumulation path.  Returns sum_i q_i phi_i accumulated at
+// 64-bit fixed point.
+double lru_back_interpolate(const Box& box, const Grid3d& potential,
+                            std::span<const Vec3> positions,
+                            std::span<const double> charges,
+                            std::vector<Vec3>& forces,
+                            const LruFixedFormats& fmt = {});
+
+}  // namespace tme::hw

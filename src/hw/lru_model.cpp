@@ -1,0 +1,21 @@
+#include "hw/lru_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tme::hw {
+
+double lru_pass_time(const LruParams& params, std::size_t atoms_per_node,
+                     double imbalance) {
+  if (params.clock_hz <= 0.0 || params.units_per_chip < 1 || imbalance < 1.0) {
+    throw std::invalid_argument("lru_pass_time: bad parameters");
+  }
+  const double atoms_per_unit = static_cast<double>(atoms_per_node) /
+                                static_cast<double>(params.units_per_chip) *
+                                imbalance;
+  const double cycles =
+      atoms_per_unit * params.cycles_per_atom + params.pipeline_fill_cycles;
+  return cycles / params.clock_hz;
+}
+
+}  // namespace tme::hw

@@ -1,0 +1,26 @@
+// Timing model of the long-range unit (LRU, paper Sec. IV.A).
+//
+// Two LRUs per chip split the grid along z; each atom costs up to 36 cycles
+// in the tensor-multiplier for CA and again for BI (p = 6: six grid planes
+// by up to six y-rows).  First principles: with ~157 atoms/node the pair of
+// passes lands at the paper's "approximately 10 us".
+#pragma once
+
+#include <cstddef>
+
+namespace tme::hw {
+
+struct LruParams {
+  double clock_hz = 0.6e9;
+  int units_per_chip = 2;
+  double cycles_per_atom = 36.0;        // worst-case tensor product/convolution
+  double pipeline_fill_cycles = 250.0;  // 12-stage spline pipeline + control
+};
+
+// One CA or BI pass over the node's atoms (seconds).  The two LRUs share the
+// load imperfectly; `imbalance` > 1 models the z-split imbalance the paper
+// mentions ("the number of cycles depended on the z coordinate of an atom").
+double lru_pass_time(const LruParams& params, std::size_t atoms_per_node,
+                     double imbalance = 1.15);
+
+}  // namespace tme::hw

@@ -1,0 +1,209 @@
+#include "hw/machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tme::hw {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+struct Workload {
+  double atoms_per_node = 0.0;
+  double bonded_terms_per_node = 0.0;
+  double nonbond_interactions_per_node = 0.0;
+  std::size_t halo_bytes = 0;      // imported coordinates per node
+  std::size_t force_bytes = 0;     // exported halo forces per node
+  std::size_t halo_hops = 1;
+};
+
+Workload derive_workload(const MachineParams& mp, const StepConfig& cfg) {
+  Workload w;
+  const double nodes = static_cast<double>(mp.node_count());
+  w.atoms_per_node = static_cast<double>(cfg.atoms) / nodes;
+  w.bonded_terms_per_node = static_cast<double>(cfg.bonded_terms) / nodes;
+
+  const double volume = cfg.box_x * cfg.box_y * cfg.box_z;
+  const double density = static_cast<double>(cfg.atoms) / volume;
+  const double pairs_per_atom =
+      4.0 / 3.0 * kPi * cfg.r_cut * cfg.r_cut * cfg.r_cut * density;
+  // One-sided evaluation: each node computes all partners of its own atoms.
+  w.nonbond_interactions_per_node = w.atoms_per_node * pairs_per_atom;
+
+  const double dx = cfg.box_x / static_cast<double>(mp.nodes_x);
+  const double dy = cfg.box_y / static_cast<double>(mp.nodes_y);
+  const double dz = cfg.box_z / static_cast<double>(mp.nodes_z);
+  const double import_volume =
+      (dx + 2 * cfg.r_cut) * (dy + 2 * cfg.r_cut) * (dz + 2 * cfg.r_cut) -
+      dx * dy * dz;
+  const double imported_atoms = density * import_volume;
+  w.halo_bytes = static_cast<std::size_t>(imported_atoms * 16.0);  // xyz + q
+  w.force_bytes = static_cast<std::size_t>(imported_atoms * 12.0); // fx fy fz
+  w.halo_hops = static_cast<std::size_t>(
+      std::ceil(cfg.r_cut / std::min({dx, dy, dz})));
+  return w;
+}
+
+GcuLevelGeometry level_geometry(const MachineParams& mp, const StepConfig& cfg,
+                                int level) {
+  const std::size_t shift = static_cast<std::size_t>(1) << (level - 1);
+  GcuLevelGeometry g;
+  g.level_x = cfg.grid.nx / shift;
+  g.level_y = cfg.grid.ny / shift;
+  g.level_z = cfg.grid.nz / shift;
+  g.local_x = std::max<std::size_t>(1, g.level_x / mp.nodes_x);
+  g.local_y = std::max<std::size_t>(1, g.level_y / mp.nodes_y);
+  g.local_z = std::max<std::size_t>(1, g.level_z / mp.nodes_z);
+  return g;
+}
+
+}  // namespace
+
+double software_fft_estimate(const MachineParams& machine, GridDims grid,
+                             const SoftwareFftParams& params) {
+  // Per transpose round: every node exchanges its slab with the other
+  // P_axis - 1 nodes of its pencil group.  The per-message software cost
+  // dominates at fine decompositions (the paper's observation); bandwidth
+  // and hop latency are carried for completeness.
+  const double p_axis = static_cast<double>(machine.nodes_x);
+  const double peers = p_axis - 1.0;
+  const double local_words =
+      static_cast<double>(grid.total()) / static_cast<double>(machine.node_count());
+  const double bytes_per_round = local_words * 8.0;  // complex data, 2 words
+  const double avg_hops = p_axis / 4.0 + 0.5;
+  const double per_round =
+      peers * (params.per_message_software_s +
+               machine.nw.hop_latency_s * avg_hops) +
+      bytes_per_round / machine.nw.effective_bandwidth();
+  // 1D FFT compute is negligible next to the messaging at these sizes.
+  return params.transpose_rounds * per_round;
+}
+
+MdgrapeMachine::MdgrapeMachine(MachineParams params) : params_(params) {
+  if (params_.node_count() == 0) {
+    throw std::invalid_argument("MdgrapeMachine: empty node grid");
+  }
+}
+
+StepTimings MdgrapeMachine::simulate_step(const StepConfig& cfg) const {
+  const MachineParams& mp = params_;
+  const Workload w = derive_workload(mp, cfg);
+
+  // --- Component durations -------------------------------------------------
+  const double gp_rate = mp.gp.cycles_per_second();
+  const double t_integrate = w.atoms_per_node * mp.gp.integrate_cycles_per_atom / gp_rate;
+  const double t_bonded = (w.bonded_terms_per_node * mp.gp.bonded_cycles_per_term +
+                           w.atoms_per_node * mp.gp.halo_cycles_per_atom) /
+                          gp_rate;
+  const double pp_rate =
+      mp.pp.clock_hz * mp.pp.pipelines * mp.pp.efficiency;
+  const double t_nonbond = w.nonbond_interactions_per_node / pp_rate;
+  const double t_coord_ex = transfer_time(mp.nw, w.halo_bytes, w.halo_hops);
+  const double t_force_ex = transfer_time(mp.nw, w.force_bytes, w.halo_hops);
+
+  StepTimings out;
+  out.lru_ca = lru_pass_time(mp.lru, static_cast<std::size_t>(w.atoms_per_node));
+  out.lru_bi = out.lru_ca;
+
+  double t_restriction = 0.0, t_convolution = 0.0, t_prolongation = 0.0;
+  for (int l = 1; l <= cfg.levels; ++l) {
+    const GcuLevelGeometry geom = level_geometry(mp, cfg, l);
+    t_convolution +=
+        gcu_convolution_time(mp.gcu, geom, cfg.grid_cutoff, cfg.num_gaussians);
+    t_restriction += gcu_transfer_time(mp.gcu, geom, cfg.spline_order);
+    t_prolongation += gcu_transfer_time(mp.gcu, geom, cfg.spline_order);
+  }
+  out.restriction = t_restriction;
+  out.convolution = t_convolution;
+  out.prolongation = t_prolongation;
+  out.gcu_window = t_restriction + t_convolution + t_prolongation;
+
+  const GcuLevelGeometry top = level_geometry(mp, cfg, cfg.levels + 1);
+  out.tmenw = tmenw_roundtrip_time(mp.tmenw, top.level_x * top.level_y * top.level_z);
+
+  // Sleeve/grid traffic around the LRU passes (one-hop neighbour exchange of
+  // the charge/potential sleeves, Sec. IV.A).
+  const GcuLevelGeometry fine = level_geometry(mp, cfg, 1);
+  const std::size_t sleeve = static_cast<std::size_t>(cfg.spline_order / 2) + 1;
+  const std::size_t sleeve_words =
+      (fine.local_x + 2 * sleeve) * (fine.local_y + 2 * sleeve) *
+          (fine.local_z + 2 * sleeve) -
+      fine.local_points();
+  const double t_sleeve = transfer_time(mp.nw, sleeve_words * 4, 1);
+
+  // --- Task DAG (Fig. 9 structure) -----------------------------------------
+  constexpr int kNw = 0;  // shared network resource (GCU-exclusive rule)
+  EventSimulator sim;
+  const TaskId integrate1 = sim.add_task({"INTEGRATE", "GP", t_integrate, {}, -1});
+  const TaskId coord_ex =
+      sim.add_task({"coord exchange", "NW", t_coord_ex, {integrate1}, kNw});
+  const TaskId nonbond =
+      sim.add_task({"nonbond pipelines", "PP", t_nonbond, {coord_ex}, -1});
+  const TaskId force_ex =
+      sim.add_task({"force exchange", "NW", t_force_ex, {nonbond}, kNw});
+
+  TaskId final_force_dep = force_ex;
+  TaskId bonded_tail;
+  if (cfg.long_range) {
+    // Bonded work is interleaved with NW transfers, so the exclusive GCU
+    // windows suspend it: split it around the two windows of Fig. 10.
+    const double chunk_a = 0.25 * t_bonded;
+    const double chunk_b = std::min(out.tmenw, 0.5 * t_bonded);
+    const double chunk_c = std::max(t_bonded - chunk_a - chunk_b, 0.0);
+
+    const TaskId bonded_a = sim.add_task({"bonded (GP)", "GP", chunk_a, {coord_ex}, -1});
+    const TaskId ca = sim.add_task({"LRU charge assign", "LRU", out.lru_ca, {integrate1}, -1});
+    const TaskId ca_sleeve =
+        sim.add_task({"CA sleeve exchange", "NW", t_sleeve, {ca}, kNw});
+    const TaskId restriction = sim.add_task(
+        {"GCU restriction", "GCU", t_restriction, {ca_sleeve, bonded_a}, kNw});
+    const TaskId tmenw =
+        sim.add_task({"TMENW top level", "TMENW", out.tmenw, {restriction}, -1});
+    const TaskId bonded_b =
+        sim.add_task({"bonded (GP)", "GP", chunk_b, {restriction}, -1});
+    const TaskId conv = sim.add_task(
+        {"GCU convolution", "GCU", t_convolution, {restriction, bonded_b}, kNw});
+    const TaskId prolong = sim.add_task(
+        {"GCU prolongation", "GCU", t_prolongation, {conv, tmenw}, kNw});
+    const TaskId grid_out =
+        sim.add_task({"grid to LRU", "NW", t_sleeve, {prolong}, kNw});
+    const TaskId bi =
+        sim.add_task({"LRU back interp", "LRU", out.lru_bi, {grid_out}, -1});
+    bonded_tail = sim.add_task({"bonded (GP)", "GP", chunk_c, {prolong}, -1});
+    final_force_dep = bi;
+  } else {
+    bonded_tail = sim.add_task({"bonded (GP)", "GP", t_bonded, {coord_ex}, -1});
+  }
+  sim.add_task({"INTEGRATE", "GP", t_integrate,
+                {bonded_tail, final_force_dep, force_ex}, -1});
+
+  out.schedule = sim.run();
+  out.step_time = sim.makespan();
+
+  if (cfg.long_range) {
+    double lr_start = std::numeric_limits<double>::infinity();
+    double lr_end = 0.0;
+    for (const ScheduledTask& t : out.schedule) {
+      const bool lr_lane = t.spec.lane == "LRU" || t.spec.lane == "GCU" ||
+                           t.spec.lane == "TMENW";
+      const bool lr_nw = t.spec.name == "CA sleeve exchange" ||
+                         t.spec.name == "grid to LRU";
+      if (!lr_lane && !lr_nw) continue;
+      out.long_range_total += t.spec.duration;
+      lr_start = std::min(lr_start, t.start);
+      lr_end = std::max(lr_end, t.end);
+    }
+    out.long_range_span = lr_end - lr_start;
+  }
+  return out;
+}
+
+double MdgrapeMachine::performance_us_per_day(const StepConfig& cfg) const {
+  const StepTimings t = simulate_step(cfg);
+  const double steps_per_day = 86400.0 / t.step_time;
+  return steps_per_day * cfg.timestep_fs * 1e-9;  // fs -> us
+}
+
+}  // namespace tme::hw

@@ -1,0 +1,18 @@
+#include "hw/network_model.hpp"
+
+#include <stdexcept>
+
+namespace tme::hw {
+
+double transfer_time(const NetworkParams& params, std::size_t bytes, std::size_t hops) {
+  if (params.raw_bandwidth_bps <= 0.0 || params.protocol_efficiency <= 0.0 ||
+      params.protocol_efficiency > 1.0) {
+    throw std::invalid_argument("transfer_time: bad network parameters");
+  }
+  if (hops == 0 || bytes == 0) return 0.0;
+  // Cut-through: the head pays the hop latencies, the body streams behind.
+  return static_cast<double>(hops) * params.hop_latency_s +
+         static_cast<double>(bytes) / params.effective_bandwidth();
+}
+
+}  // namespace tme::hw

@@ -1,0 +1,24 @@
+// Timing model of the proprietary 3D-torus links (paper Sec. II:
+// 7.2 GB/s raw per direction, 200 ns neighbour latency).
+//
+// Transfers are modelled as cut-through: per-hop latency plus serialisation
+// of the payload at the effective bandwidth (raw bandwidth derated by the
+// protocol efficiency the paper mentions losing to framing).
+#pragma once
+
+#include <cstddef>
+
+namespace tme::hw {
+
+struct NetworkParams {
+  double raw_bandwidth_bps = 7.2e9;  // bytes per second, per direction
+  double protocol_efficiency = 0.8;  // 64B66B-style framing + headers
+  double hop_latency_s = 200e-9;     // measured neighbour latency
+
+  double effective_bandwidth() const { return raw_bandwidth_bps * protocol_efficiency; }
+};
+
+// Time to move `bytes` over `hops` consecutive links.
+double transfer_time(const NetworkParams& params, std::size_t bytes, std::size_t hops);
+
+}  // namespace tme::hw

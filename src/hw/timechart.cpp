@@ -1,0 +1,64 @@
+#include "hw/timechart.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace tme::hw {
+
+std::string render_timechart(const std::vector<ScheduledTask>& schedule, int width) {
+  double makespan = 0.0;
+  for (const auto& t : schedule) makespan = std::max(makespan, t.end);
+  if (makespan <= 0.0 || width < 10) return "(empty schedule)\n";
+
+  // Preserve first-appearance lane order.
+  std::vector<std::string> lanes;
+  for (const auto& t : schedule) {
+    if (std::find(lanes.begin(), lanes.end(), t.spec.lane) == lanes.end()) {
+      lanes.push_back(t.spec.lane);
+    }
+  }
+
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%-7s 0%*s%.1f us\n", "", width - 6, "",
+                makespan * 1e6);
+  out += buf;
+  for (const auto& lane : lanes) {
+    std::string bar(static_cast<std::size_t>(width), '.');
+    for (const auto& t : schedule) {
+      if (t.spec.lane != lane || t.spec.duration <= 0.0) continue;
+      auto col = [&](double time) {
+        return std::min<std::size_t>(
+            static_cast<std::size_t>(time / makespan * width),
+            static_cast<std::size_t>(width - 1));
+      };
+      const std::size_t a = col(t.start);
+      const std::size_t b = std::max(a, col(t.end));
+      const char fill = t.spec.name.empty() ? '#' : t.spec.name[0];
+      for (std::size_t c = a; c <= b; ++c) bar[c] = fill;
+    }
+    std::snprintf(buf, sizeof(buf), "%-7s [%s]\n", lane.c_str(), bar.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+std::string render_task_table(const std::vector<ScheduledTask>& schedule) {
+  std::string out = "  task                    lane     start(us)   end(us)   dur(us)\n";
+  char buf[160];
+  std::vector<ScheduledTask> sorted = schedule;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ScheduledTask& a, const ScheduledTask& b) {
+              return a.start < b.start;
+            });
+  for (const auto& t : sorted) {
+    std::snprintf(buf, sizeof(buf), "  %-23s %-7s %9.2f %9.2f %9.2f\n",
+                  t.spec.name.c_str(), t.spec.lane.c_str(), t.start * 1e6,
+                  t.end * 1e6, t.spec.duration * 1e6);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace tme::hw

@@ -1,0 +1,18 @@
+// ASCII rendering of a step schedule as a Fig. 9-style time chart.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/event_sim.hpp"
+
+namespace tme::hw {
+
+// One row per lane, bars scaled to `width` characters over the makespan.
+std::string render_timechart(const std::vector<ScheduledTask>& schedule,
+                             int width = 100);
+
+// Per-task listing with start/end in microseconds.
+std::string render_task_table(const std::vector<ScheduledTask>& schedule);
+
+}  // namespace tme::hw

@@ -1,0 +1,21 @@
+#include "hw/tmenw_model.hpp"
+
+#include <stdexcept>
+
+namespace tme::hw {
+
+double tmenw_roundtrip_time(const TmenwParams& params, std::size_t grid_points) {
+  if (params.gather_stages < 1 || params.link_bandwidth_bps <= 0.0) {
+    throw std::invalid_argument("tmenw_roundtrip_time: bad parameters");
+  }
+  const double message =
+      static_cast<double>(grid_points * params.word_bytes) / params.link_bandwidth_bps;
+  // Up: every stage must receive the full partial grids and accumulate
+  // before forwarding (store-and-forward).
+  const double up = params.gather_stages * (params.stage_latency_s + message);
+  // Down: the result streams through (cut-through broadcast).
+  const double down = params.gather_stages * params.stage_latency_s + message;
+  return up + params.fft_time_s + down;
+}
+
+}  // namespace tme::hw

@@ -1,0 +1,25 @@
+// Timing model of the TME top-level network (TMENW, paper Sec. IV.C):
+// an octree of FPGAs (SoC -> IO/control FPGA -> leaf FPGA -> root FPGA)
+// over 40 Gbps optical links that gathers the coarse grid charges,
+// runs the 16^3 3D-FFT convolution on the root FPGA (330 cycles at
+// 156.25 MHz = 2.112 us), and scatters the grid potentials back.
+#pragma once
+
+#include <cstddef>
+
+namespace tme::hw {
+
+struct TmenwParams {
+  double link_bandwidth_bps = 5.0e9;  // 40 Gbps after 64B66B decoding
+  double stage_latency_s = 0.5e-6;    // framing + FPGA forwarding per stage
+  int gather_stages = 3;              // board -> control -> leaf -> root
+  double fft_time_s = 2.112e-6;       // measured: 330 cycles at 156.25 MHz
+  std::size_t word_bytes = 4;
+};
+
+// Round trip for a coarse grid of `grid_points` values: staged gather with
+// per-stage accumulation (store-and-forward), FFT convolution, cut-through
+// broadcast back down.
+double tmenw_roundtrip_time(const TmenwParams& params, std::size_t grid_points);
+
+}  // namespace tme::hw

@@ -1,0 +1,41 @@
+#include "hw/torus.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tme::hw {
+
+TorusTopology::TorusTopology(std::size_t nx, std::size_t ny, std::size_t nz)
+    : nx_(nx), ny_(ny), nz_(nz) {
+  if (nx == 0 || ny == 0 || nz == 0) {
+    throw std::invalid_argument("TorusTopology: extents must be positive");
+  }
+}
+
+NodeCoord TorusTopology::coord(std::size_t index) const {
+  if (index >= node_count()) throw std::out_of_range("TorusTopology::coord");
+  return {index % nx_, (index / nx_) % ny_, index / (nx_ * ny_)};
+}
+
+std::size_t TorusTopology::axis_hops(std::size_t a, std::size_t b,
+                                     std::size_t extent) const {
+  const std::size_t d = a > b ? a - b : b - a;
+  return std::min(d, extent - d);
+}
+
+std::size_t TorusTopology::hops(const NodeCoord& a, const NodeCoord& b) const {
+  return axis_hops(a.x, b.x, nx_) + axis_hops(a.y, b.y, ny_) +
+         axis_hops(a.z, b.z, nz_);
+}
+
+std::array<NodeCoord, 6> TorusTopology::neighbours(const NodeCoord& c) const {
+  auto wrap = [](std::size_t v, long d, std::size_t n) {
+    return static_cast<std::size_t>(
+        (static_cast<long>(v) + d + static_cast<long>(n)) % static_cast<long>(n));
+  };
+  return {NodeCoord{wrap(c.x, 1, nx_), c.y, c.z}, NodeCoord{wrap(c.x, -1, nx_), c.y, c.z},
+          NodeCoord{c.x, wrap(c.y, 1, ny_), c.z}, NodeCoord{c.x, wrap(c.y, -1, ny_), c.z},
+          NodeCoord{c.x, c.y, wrap(c.z, 1, nz_)}, NodeCoord{c.x, c.y, wrap(c.z, -1, nz_)}};
+}
+
+}  // namespace tme::hw

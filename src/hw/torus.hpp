@@ -1,0 +1,42 @@
+// 3D-torus node topology of the MDGRAPE-4A system interconnect
+// (8 x 8 x 8 = 512 SoCs, paper Sec. II).
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace tme::hw {
+
+struct NodeCoord {
+  std::size_t x = 0, y = 0, z = 0;
+  bool operator==(const NodeCoord&) const = default;
+};
+
+class TorusTopology {
+ public:
+  TorusTopology(std::size_t nx, std::size_t ny, std::size_t nz);
+
+  std::size_t node_count() const { return nx_ * ny_ * nz_; }
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  std::size_t nz() const { return nz_; }
+
+  std::size_t index(const NodeCoord& c) const {
+    return (c.z * ny_ + c.y) * nx_ + c.x;
+  }
+  NodeCoord coord(std::size_t index) const;
+
+  // Minimal hop distance along one axis under wraparound.
+  std::size_t axis_hops(std::size_t a, std::size_t b, std::size_t extent) const;
+
+  // Manhattan distance on the torus (dimension-ordered routing).
+  std::size_t hops(const NodeCoord& a, const NodeCoord& b) const;
+
+  // The six neighbours of a node (+-x, +-y, +-z).
+  std::array<NodeCoord, 6> neighbours(const NodeCoord& c) const;
+
+ private:
+  std::size_t nx_, ny_, nz_;
+};
+
+}  // namespace tme::hw

@@ -1,0 +1,81 @@
+#include "md/bonded.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tme {
+
+BondedResult compute_bonded(ParticleSystem& system, const Topology& topology) {
+  BondedResult out;
+
+  for (const Bond& b : topology.bonds()) {
+    const Vec3 d = system.box.min_image_disp(system.positions[b.i],
+                                             system.positions[b.j]);
+    const double r = norm(d);
+    const double dr = r - b.length;
+    out.energy_bonds += 0.5 * b.force_constant * dr * dr;
+    // F_i = -k dr * d/r.
+    const Vec3 f = (-b.force_constant * dr / r) * d;
+    system.forces[b.i] += f;
+    system.forces[b.j] -= f;
+  }
+
+  for (const Angle& a : topology.angles()) {
+    const Vec3 rij = system.box.min_image_disp(system.positions[a.i],
+                                               system.positions[a.j]);
+    const Vec3 rkj = system.box.min_image_disp(system.positions[a.k],
+                                               system.positions[a.j]);
+    const double nij = norm(rij), nkj = norm(rkj);
+    double cos_t = dot(rij, rkj) / (nij * nkj);
+    cos_t = std::clamp(cos_t, -1.0, 1.0);
+    const double theta = std::acos(cos_t);
+    const double dtheta = theta - a.theta0;
+    out.energy_angles += 0.5 * a.force_constant * dtheta * dtheta;
+
+    // dE/dtheta, chain rule through cos(theta); guard the sin singularity.
+    const double sin_t = std::max(std::sqrt(1.0 - cos_t * cos_t), 1e-12);
+    const double de_dtheta = a.force_constant * dtheta;
+    const double factor = -de_dtheta / sin_t;  // dE/dcos
+    const Vec3 dcos_di = (rkj / (nij * nkj)) - (cos_t / (nij * nij)) * rij;
+    const Vec3 dcos_dk = (rij / (nij * nkj)) - (cos_t / (nkj * nkj)) * rkj;
+    const Vec3 fi = factor * dcos_di;
+    const Vec3 fk = factor * dcos_dk;
+    system.forces[a.i] -= fi;
+    system.forces[a.k] -= fk;
+    system.forces[a.j] += fi + fk;
+  }
+  for (const Dihedral& d : topology.dihedrals()) {
+    // Standard torsion geometry: b1 = rj - ri, b2 = rk - rj, b3 = rl - rk.
+    const Vec3 b1 = system.box.min_image_disp(system.positions[d.j],
+                                              system.positions[d.i]);
+    const Vec3 b2 = system.box.min_image_disp(system.positions[d.k],
+                                              system.positions[d.j]);
+    const Vec3 b3 = system.box.min_image_disp(system.positions[d.l],
+                                              system.positions[d.k]);
+    const Vec3 n1 = cross(b1, b2);
+    const Vec3 n2 = cross(b2, b3);
+    const double b2_len = norm(b2);
+    const double phi = std::atan2(dot(cross(n1, n2), b2) / b2_len, dot(n1, n2));
+
+    const double arg = d.multiplicity * phi - d.phi0;
+    out.energy_dihedrals += d.force_constant * (1.0 + std::cos(arg));
+    const double dv_dphi = -d.force_constant * d.multiplicity * std::sin(arg);
+
+    // Forces (the standard |b2|-weighted normal formulation); guarded
+    // against collinear geometries where the torsion is undefined.
+    const double n1_2 = norm2(n1);
+    const double n2_2 = norm2(n2);
+    if (n1_2 < 1e-14 || n2_2 < 1e-14) continue;
+    const Vec3 f_i = (dv_dphi * b2_len / n1_2) * n1;
+    const Vec3 f_l = (-dv_dphi * b2_len / n2_2) * n2;
+    const Vec3 s = (dot(b1, b2) / (b2_len * b2_len)) * f_i -
+                   (dot(b3, b2) / (b2_len * b2_len)) * f_l;
+    system.forces[d.i] += f_i;
+    system.forces[d.j] += -s - f_i;
+    system.forces[d.k] += s - f_l;
+    system.forces[d.l] += f_l;
+  }
+  return out;
+}
+
+}  // namespace tme

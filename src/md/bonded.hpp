@@ -1,0 +1,24 @@
+// Bonded interactions: harmonic bonds and angles.
+//
+// On MDGRAPE-4A these run on the GP cores (paper Sec. V.A).  The rigid
+// TIP3P runs of the evaluation constrain the water geometry instead, but the
+// flexible-water option and tests exercise these terms.
+#pragma once
+
+#include "md/system.hpp"
+#include "md/topology.hpp"
+
+namespace tme {
+
+struct BondedResult {
+  double energy_bonds = 0.0;      // kJ/mol
+  double energy_angles = 0.0;     // kJ/mol
+  double energy_dihedrals = 0.0;  // kJ/mol
+
+  double total() const { return energy_bonds + energy_angles + energy_dihedrals; }
+};
+
+// Accumulates forces into system.forces (does not clear them).
+BondedResult compute_bonded(ParticleSystem& system, const Topology& topology);
+
+}  // namespace tme

@@ -1,0 +1,67 @@
+// Force field assembly: short range + bonded + long range + corrections.
+//
+// The long-range Coulomb solver is pluggable (classical Ewald, SPME, or the
+// TME) — the configuration axis of the paper's Fig. 4 experiment.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/tme.hpp"
+#include "ewald/spme.hpp"
+#include "md/bonded.hpp"
+#include "md/short_range.hpp"
+#include "md/system.hpp"
+#include "md/topology.hpp"
+
+namespace tme {
+
+// Abstract long-range (erf-part) Coulomb solver.
+class LongRangeSolver {
+ public:
+  virtual ~LongRangeSolver() = default;
+  virtual CoulombResult compute(const Box& box, std::span<const Vec3> positions,
+                                std::span<const double> charges) const = 0;
+  virtual std::string name() const = 0;
+  virtual double alpha() const = 0;
+};
+
+std::unique_ptr<LongRangeSolver> make_spme_solver(const Box& box,
+                                                  const SpmeParams& params);
+std::unique_ptr<LongRangeSolver> make_tme_solver(const Box& box,
+                                                 const TmeParams& params);
+// Brute-force classical Ewald long-range part (reciprocal + self), mostly
+// for validation runs.
+std::unique_ptr<LongRangeSolver> make_ewald_solver(double alpha, int n_cut);
+
+struct EnergyReport {
+  double coulomb_short = 0.0;
+  double coulomb_long = 0.0;       // reciprocal + self
+  double coulomb_exclusion = 0.0;  // excluded-pair erf correction
+  double lj = 0.0;
+  double bonds = 0.0;
+  double angles = 0.0;
+  double dihedrals = 0.0;
+
+  double potential() const {
+    return coulomb_short + coulomb_long + coulomb_exclusion + lj + bonds +
+           angles + dihedrals;
+  }
+};
+
+class ForceField {
+ public:
+  ForceField(ShortRangeParams short_range, std::unique_ptr<LongRangeSolver> solver);
+
+  // Clears system.forces and evaluates all terms.
+  EnergyReport evaluate(ParticleSystem& system, const Topology& topology) const;
+
+  const LongRangeSolver& long_range() const { return *solver_; }
+  const ShortRangeParams& short_range_params() const { return short_range_; }
+
+ private:
+  ShortRangeParams short_range_;
+  std::unique_ptr<LongRangeSolver> solver_;
+};
+
+}  // namespace tme

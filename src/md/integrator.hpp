@@ -1,0 +1,50 @@
+// Velocity-Verlet NVE integrator with holonomic constraints — the paper's
+// integration scheme (Sec. V.A: three phases, constraints handled by the GP
+// cores; the evaluation uses 1 fs steps with SETTLE-restrained TIP3P).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "md/forcefield.hpp"
+#include "md/settle.hpp"
+#include "md/system.hpp"
+#include "md/topology.hpp"
+
+namespace tme {
+
+struct IntegratorParams {
+  double dt = 0.001;  // ps (1 fs)
+  ConstraintMethod constraint_method = ConstraintMethod::kSettle;
+};
+
+struct StepReport {
+  EnergyReport energies;
+  double kinetic = 0.0;
+  double total() const { return energies.potential() + kinetic; }
+};
+
+class VelocityVerlet {
+ public:
+  VelocityVerlet(const Topology& topology, const ParticleSystem& system,
+                 IntegratorParams params);
+
+  // One NVE step.  The system must hold forces consistent with its current
+  // positions (call prime() once before the first step).
+  StepReport step(ParticleSystem& system, const Topology& topology,
+                  const ForceField& ff) const;
+
+  // Evaluates forces for the initial configuration (and constrains
+  // velocities so the reported kinetic energy is consistent).
+  StepReport prime(ParticleSystem& system, const Topology& topology,
+                   const ForceField& ff) const;
+
+  const IntegratorParams& params() const { return params_; }
+  const WaterConstraints& constraints() const { return constraints_; }
+
+ private:
+  IntegratorParams params_;
+  WaterConstraints constraints_;
+};
+
+}  // namespace tme

@@ -1,0 +1,72 @@
+#include "md/observables.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tme {
+
+RdfAccumulator::RdfAccumulator(double r_max, std::size_t bins)
+    : r_max_(r_max), bins_(bins), histogram_(bins, 0.0) {
+  if (r_max <= 0.0 || bins == 0) {
+    throw std::invalid_argument("RdfAccumulator: bad parameters");
+  }
+}
+
+void RdfAccumulator::accumulate(const Box& box, std::span<const Vec3> positions,
+                                std::span<const std::size_t> group_a,
+                                std::span<const std::size_t> group_b) {
+  const double r_max2 = r_max_ * r_max_;
+  for (const std::size_t i : group_a) {
+    for (const std::size_t j : group_b) {
+      if (i == j) continue;
+      const double r2 = norm2(box.min_image_disp(positions[i], positions[j]));
+      if (r2 >= r_max2) continue;
+      const std::size_t bin = static_cast<std::size_t>(
+          std::sqrt(r2) / r_max_ * static_cast<double>(bins_));
+      histogram_[std::min(bin, bins_ - 1)] += 1.0;
+    }
+  }
+  const double rho_b =
+      static_cast<double>(group_b.size()) / box.volume();
+  pair_norm_ += static_cast<double>(group_a.size()) * rho_b;
+  ++frames_;
+}
+
+RdfResult RdfAccumulator::result() const {
+  RdfResult out;
+  out.samples = frames_;
+  out.r.resize(bins_);
+  out.g.resize(bins_);
+  const double dr = r_max_ / static_cast<double>(bins_);
+  for (std::size_t b = 0; b < bins_; ++b) {
+    const double r_lo = static_cast<double>(b) * dr;
+    const double r_hi = r_lo + dr;
+    const double shell = 4.0 / 3.0 * M_PI * (r_hi * r_hi * r_hi - r_lo * r_lo * r_lo);
+    out.r[b] = r_lo + 0.5 * dr;
+    out.g[b] = pair_norm_ > 0.0 ? histogram_[b] / (pair_norm_ * shell) : 0.0;
+  }
+  return out;
+}
+
+MsdTracker::MsdTracker(const Box& box, std::span<const Vec3> initial,
+                       std::span<const std::size_t> group)
+    : box_(box), group_(group.begin(), group.end()) {
+  reference_.reserve(group_.size());
+  for (const std::size_t i : group_) reference_.push_back(initial[i]);
+  unwrapped_ = reference_;
+  last_ = reference_;
+}
+
+double MsdTracker::update(std::span<const Vec3> positions) {
+  double sum = 0.0;
+  for (std::size_t k = 0; k < group_.size(); ++k) {
+    const Vec3 current = positions[group_[k]];
+    // Unwrap: the minimum-image step since the last sample.
+    unwrapped_[k] += box_.min_image_disp(current, last_[k]);
+    last_[k] = current;
+    sum += norm2(unwrapped_[k] - reference_[k]);
+  }
+  return sum / static_cast<double>(group_.size());
+}
+
+}  // namespace tme

@@ -1,0 +1,60 @@
+// Trajectory observables: radial distribution functions and mean-square
+// displacement — the standard structure/dynamics checks for a water box.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/vec3.hpp"
+
+namespace tme {
+
+struct RdfResult {
+  std::vector<double> r;     // bin centres, nm
+  std::vector<double> g;     // g(r)
+  std::size_t samples = 0;   // frames accumulated
+};
+
+// Accumulates pair histograms between two (possibly identical) index sets.
+class RdfAccumulator {
+ public:
+  RdfAccumulator(double r_max, std::size_t bins);
+
+  // One frame: positions plus the two index groups (pass the same group
+  // twice for a like-like RDF; self pairs are skipped).
+  void accumulate(const Box& box, std::span<const Vec3> positions,
+                  std::span<const std::size_t> group_a,
+                  std::span<const std::size_t> group_b);
+
+  // Normalised g(r) (ideal-gas reference at the box density of group_b).
+  RdfResult result() const;
+
+ private:
+  double r_max_;
+  std::size_t bins_;
+  std::vector<double> histogram_;
+  double pair_norm_ = 0.0;  // sum over frames of n_a * rho_b
+  std::size_t frames_ = 0;
+};
+
+// Mean-square displacement of tracked particles relative to stored initial
+// positions, with periodic unwrapping (positions must be sampled often
+// enough that no particle moves more than half a box between samples).
+class MsdTracker {
+ public:
+  MsdTracker(const Box& box, std::span<const Vec3> initial,
+             std::span<const std::size_t> group);
+
+  // Feed the next sample; returns the current MSD in nm^2.
+  double update(std::span<const Vec3> positions);
+
+ private:
+  Box box_;
+  std::vector<std::size_t> group_;
+  std::vector<Vec3> reference_;   // initial positions
+  std::vector<Vec3> unwrapped_;   // running unwrapped positions
+  std::vector<Vec3> last_;        // previous wrapped sample
+};
+
+}  // namespace tme

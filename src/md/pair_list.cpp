@@ -1,0 +1,98 @@
+#include "md/pair_list.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ewald/splitting.hpp"
+#include "md/cell_list.hpp"
+#include "md/short_range.hpp"
+#include "md/system.hpp"
+#include "util/constants.hpp"
+
+namespace tme {
+
+PairList::PairList(double cutoff, double buffer) : cutoff_(cutoff), buffer_(buffer) {
+  if (cutoff <= 0.0 || buffer < 0.0) {
+    throw std::invalid_argument("PairList: bad cutoff/buffer");
+  }
+}
+
+bool PairList::update(const Box& box, std::span<const Vec3> positions,
+                      const Topology& topology) {
+  bool stale = reference_positions_.size() != positions.size();
+  if (!stale) {
+    const double limit2 = 0.25 * buffer_ * buffer_;
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      if (norm2(box.min_image_disp(positions[i], reference_positions_[i])) >
+          limit2) {
+        stale = true;
+        break;
+      }
+    }
+  }
+  if (!stale) return false;
+
+  pairs_.clear();
+  const double search = cutoff_ + buffer_;
+  const CellList cells(box, positions, search);
+  cells.for_each_pair(box, positions, search, [&](std::size_t i, std::size_t j) {
+    if (!topology.excluded(i, j)) pairs_.emplace_back(i, j);
+  });
+  reference_positions_.assign(positions.begin(), positions.end());
+  ++rebuilds_;
+  return true;
+}
+
+ShortRangeResult compute_short_range_with_list(ParticleSystem& system,
+                                               const Topology& topology,
+                                               const ShortRangeParams& params,
+                                               PairList& list) {
+  if (list.cutoff() != params.cutoff) {
+    throw std::invalid_argument(
+        "compute_short_range_with_list: cutoff mismatch with the pair list");
+  }
+  list.update(system.box, system.positions, topology);
+
+  ShortRangeResult out;
+  const double cutoff2 = params.cutoff * params.cutoff;
+  const auto& lj = topology.lj();
+  double lj_shift_6 = 0.0, lj_shift_12 = 0.0;
+  if (params.shift_lj) {
+    const double inv_rc6 = 1.0 / (cutoff2 * cutoff2 * cutoff2);
+    lj_shift_6 = inv_rc6;
+    lj_shift_12 = inv_rc6 * inv_rc6;
+  }
+
+  for (const auto& [i, j] : list.pairs()) {
+    const Vec3 d = system.box.min_image_disp(system.positions[i],
+                                             system.positions[j]);
+    const double r2 = norm2(d);
+    if (r2 >= cutoff2 || r2 == 0.0) continue;
+    ++out.pair_count;
+    double f_over_r = 0.0;
+
+    const double qq = constants::kCoulomb * system.charges[i] * system.charges[j];
+    if (qq != 0.0) {
+      const double r = std::sqrt(r2);
+      out.energy_coulomb += qq * g_short(r, params.alpha);
+      f_over_r += -qq * g_short_derivative(r, params.alpha) / r;
+    }
+    const double eps = std::sqrt(lj[i].epsilon * lj[j].epsilon);
+    if (eps > 0.0) {
+      const double sigma = 0.5 * (lj[i].sigma + lj[j].sigma);
+      const double s2 = sigma * sigma / r2;
+      const double s6 = s2 * s2 * s2;
+      const double s12 = s6 * s6;
+      const double sig6 = sigma * sigma * sigma * sigma * sigma * sigma;
+      out.energy_lj +=
+          4.0 * eps * (s12 - s6 - (lj_shift_12 * sig6 * sig6 - lj_shift_6 * sig6));
+      f_over_r += 24.0 * eps * (2.0 * s12 - s6) / r2;
+    }
+    const Vec3 fij = f_over_r * d;
+    system.forces[i] += fij;
+    system.forces[j] -= fij;
+  }
+  return out;
+}
+
+}  // namespace tme

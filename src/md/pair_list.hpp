@@ -1,0 +1,57 @@
+// Buffered Verlet pair list.
+//
+// The cell-list search of short_range.cpp rebuilds every step; this class
+// implements the standard buffered ("skin") scheme the paper references via
+// GROMACS' verlet-buffer-tolerance: pairs are gathered once within
+// cutoff + buffer and reused until any atom has moved half the buffer,
+// which bounds the worst-case missed-pair displacement.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "md/topology.hpp"
+#include "util/vec3.hpp"
+
+namespace tme {
+
+class PairList {
+ public:
+  // `buffer` is the skin width in nm (typical 0.1-0.2 for 1-2 fs steps).
+  PairList(double cutoff, double buffer);
+
+  // Rebuilds if stale (first call, or max displacement > buffer/2);
+  // returns true if a rebuild happened.
+  bool update(const Box& box, std::span<const Vec3> positions,
+              const Topology& topology);
+
+  // Pairs within cutoff + buffer (excluded pairs already removed).  Callers
+  // must still test the actual distance against the bare cutoff.
+  const std::vector<std::pair<std::size_t, std::size_t>>& pairs() const {
+    return pairs_;
+  }
+
+  double cutoff() const { return cutoff_; }
+  double buffer() const { return buffer_; }
+  std::size_t rebuild_count() const { return rebuilds_; }
+
+ private:
+  double cutoff_;
+  double buffer_;
+  std::vector<std::pair<std::size_t, std::size_t>> pairs_;
+  std::vector<Vec3> reference_positions_;
+  std::size_t rebuilds_ = 0;
+};
+
+// Short-range evaluation through a pair list (same physics as
+// compute_short_range, different pair source).
+struct ShortRangeParams;  // md/short_range.hpp
+struct ShortRangeResult;
+ShortRangeResult compute_short_range_with_list(struct ParticleSystem& system,
+                                               const Topology& topology,
+                                               const ShortRangeParams& params,
+                                               PairList& list);
+
+}  // namespace tme

@@ -1,0 +1,82 @@
+#include "md/short_range.hpp"
+
+#include <cmath>
+
+#include "ewald/splitting.hpp"
+#include "md/cell_list.hpp"
+#include "util/constants.hpp"
+
+namespace tme {
+
+ShortRangeResult compute_short_range(ParticleSystem& system, const Topology& topology,
+                                     const ShortRangeParams& params) {
+  ShortRangeResult out;
+  const CellList cells(system.box, system.positions, params.cutoff);
+  const double cutoff2 = params.cutoff * params.cutoff;
+  const auto& lj = topology.lj();
+
+  double lj_shift_6 = 0.0, lj_shift_12 = 0.0;
+  if (params.shift_lj) {
+    const double inv_rc6 = 1.0 / (cutoff2 * cutoff2 * cutoff2);
+    lj_shift_6 = inv_rc6;
+    lj_shift_12 = inv_rc6 * inv_rc6;
+  }
+
+  cells.for_each_pair(
+      system.box, system.positions, params.cutoff, [&](std::size_t i, std::size_t j) {
+        if (topology.excluded(i, j)) return;
+        const Vec3 d = system.box.min_image_disp(system.positions[i],
+                                                 system.positions[j]);
+        const double r2 = norm2(d);
+        if (r2 >= cutoff2 || r2 == 0.0) return;
+        ++out.pair_count;
+        double f_over_r = 0.0;
+
+        // Real-space (erfc) Coulomb.
+        const double qq = constants::kCoulomb * system.charges[i] * system.charges[j];
+        if (qq != 0.0) {
+          const double r = std::sqrt(r2);
+          out.energy_coulomb += qq * g_short(r, params.alpha);
+          f_over_r += -qq * g_short_derivative(r, params.alpha) / r;
+        }
+
+        // Lennard-Jones with Lorentz–Berthelot combination.
+        const double eps = std::sqrt(lj[i].epsilon * lj[j].epsilon);
+        if (eps > 0.0) {
+          const double sigma = 0.5 * (lj[i].sigma + lj[j].sigma);
+          const double s2 = sigma * sigma / r2;
+          const double s6 = s2 * s2 * s2;
+          const double s12 = s6 * s6;
+          const double sig6 = sigma * sigma * sigma * sigma * sigma * sigma;
+          out.energy_lj += 4.0 * eps *
+                           (s12 - s6 - (lj_shift_12 * sig6 * sig6 - lj_shift_6 * sig6));
+          // F = 24 eps (2 s12 - s6) / r^2 * d.
+          f_over_r += 24.0 * eps * (2.0 * s12 - s6) / r2;
+        }
+
+        const Vec3 fij = f_over_r * d;
+        system.forces[i] += fij;
+        system.forces[j] -= fij;
+      });
+  return out;
+}
+
+double apply_exclusion_corrections(ParticleSystem& system, const Topology& topology,
+                                   double alpha) {
+  double energy = 0.0;
+  for (const auto& [i, j] : topology.exclusions()) {
+    const Vec3 d = system.box.min_image_disp(system.positions[i], system.positions[j]);
+    const double r = norm(d);
+    const double qq = constants::kCoulomb * system.charges[i] * system.charges[j];
+    if (qq == 0.0 || r == 0.0) continue;
+    energy -= qq * g_long(r, alpha);
+    // Subtracting the erf pair term adds the opposite of its force.
+    const double f_over_r = qq * g_long_derivative(r, alpha) / r;
+    const Vec3 fij = f_over_r * d;
+    system.forces[i] += fij;
+    system.forces[j] -= fij;
+  }
+  return energy;
+}
+
+}  // namespace tme

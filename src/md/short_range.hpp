@@ -1,0 +1,37 @@
+// Short-range nonbonded interactions — the workload of MDGRAPE-4A's 64
+// dedicated nonbond pipelines (paper Sec. II): the erfc-screened real-space
+// Coulomb term of the Ewald splitting plus Lennard-Jones, evaluated with a
+// cell list under the minimum-image convention, skipping excluded pairs.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "md/system.hpp"
+#include "md/topology.hpp"
+
+namespace tme {
+
+struct ShortRangeParams {
+  double cutoff = 1.2;     // nm, shared by LJ and real-space Coulomb
+  double alpha = 3.0;      // Ewald splitting parameter, nm^-1
+  bool shift_lj = false;   // subtract LJ at the cutoff (energy continuity)
+};
+
+struct ShortRangeResult {
+  double energy_coulomb = 0.0;  // kJ/mol (erfc part)
+  double energy_lj = 0.0;       // kJ/mol
+  std::size_t pair_count = 0;   // pairs inside the cutoff (after exclusions)
+};
+
+// Accumulates forces into system.forces (does not clear them).
+ShortRangeResult compute_short_range(ParticleSystem& system, const Topology& topology,
+                                     const ShortRangeParams& params);
+
+// Correction for excluded pairs: the mesh (long-range) solvers include the
+// erf part for *all* pairs, so for every excluded pair subtract
+// q_i q_j erf(alpha r)/r (energy and force).  Accumulates into forces.
+double apply_exclusion_corrections(ParticleSystem& system, const Topology& topology,
+                                   double alpha);
+
+}  // namespace tme

@@ -1,0 +1,49 @@
+#include "md/system.hpp"
+
+#include <stdexcept>
+
+#include "util/constants.hpp"
+
+namespace tme {
+
+void ParticleSystem::resize(std::size_t n) {
+  positions.resize(n);
+  velocities.resize(n);
+  forces.resize(n);
+  masses.resize(n, 0.0);
+  charges.resize(n, 0.0);
+}
+
+double ParticleSystem::kinetic_energy() const {
+  double ke = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) {
+    ke += 0.5 * masses[i] * norm2(velocities[i]);
+  }
+  return ke;
+}
+
+double ParticleSystem::temperature(std::size_t dof) const {
+  if (dof == 0) throw std::invalid_argument("temperature: dof must be positive");
+  return 2.0 * kinetic_energy() /
+         (static_cast<double>(dof) * constants::kBoltzmann);
+}
+
+Vec3 ParticleSystem::momentum() const {
+  Vec3 p{};
+  for (std::size_t i = 0; i < size(); ++i) p += masses[i] * velocities[i];
+  return p;
+}
+
+void ParticleSystem::remove_com_motion() {
+  double total_mass = 0.0;
+  for (const double m : masses) total_mass += m;
+  if (total_mass <= 0.0) return;
+  const Vec3 v_com = momentum() / total_mass;
+  for (auto& v : velocities) v -= v_com;
+}
+
+void ParticleSystem::wrap_positions() {
+  for (auto& r : positions) r = box.wrap(r);
+}
+
+}  // namespace tme

@@ -1,0 +1,46 @@
+// Particle system state for molecular dynamics.
+//
+// Units: nm, ps, u (g/mol), e, kJ/mol — the GROMACS unit system.  With these
+// units forces come out in kJ mol^-1 nm^-1 and accelerations in nm/ps^2
+// without conversion factors.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/vec3.hpp"
+
+namespace tme {
+
+struct ParticleSystem {
+  Box box;
+  std::vector<Vec3> positions;   // nm
+  std::vector<Vec3> velocities;  // nm/ps
+  std::vector<Vec3> forces;      // kJ mol^-1 nm^-1
+  std::vector<double> masses;    // u
+  std::vector<double> charges;   // e
+
+  std::size_t size() const { return positions.size(); }
+
+  void resize(std::size_t n);
+
+  // Kinetic energy in kJ/mol: sum m v^2 / 2.
+  double kinetic_energy() const;
+
+  // Instantaneous temperature from the kinetic energy with `dof` degrees of
+  // freedom (pass 3N - n_constraints - 3 for a constrained system with COM
+  // motion removed).
+  double temperature(std::size_t dof) const;
+
+  // Total linear momentum (u nm/ps).
+  Vec3 momentum() const;
+
+  // Remove centre-of-mass velocity.
+  void remove_com_motion();
+
+  // Wrap all positions into the primary box image.
+  void wrap_positions();
+};
+
+}  // namespace tme

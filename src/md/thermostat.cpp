@@ -1,0 +1,31 @@
+#include "md/thermostat.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tme {
+
+double apply_berendsen(ParticleSystem& system, const BerendsenParams& params,
+                       double dt) {
+  if (params.dof == 0) throw std::invalid_argument("apply_berendsen: dof required");
+  if (params.time_constant <= 0.0 || dt <= 0.0) {
+    throw std::invalid_argument("apply_berendsen: bad time constants");
+  }
+  const double t_now = std::max(system.temperature(params.dof), 1e-6);
+  const double lambda2 =
+      1.0 + dt / params.time_constant * (params.target_temperature / t_now - 1.0);
+  const double lambda = std::sqrt(std::max(lambda2, 0.0));
+  for (auto& v : system.velocities) v *= lambda;
+  return lambda;
+}
+
+double rescale_to_temperature(ParticleSystem& system, double target,
+                              std::size_t dof) {
+  const double t_now = std::max(system.temperature(dof), 1e-6);
+  const double lambda = std::sqrt(target / t_now);
+  for (auto& v : system.velocities) v *= lambda;
+  return lambda;
+}
+
+}  // namespace tme

@@ -1,0 +1,28 @@
+// Velocity-rescaling thermostats for equilibration.
+//
+// The paper's production runs are NVE; these are utilities for preparing
+// states (examples/benches equilibrate with Berendsen-style weak coupling,
+// then switch the thermostat off for the measured NVE stretch).
+#pragma once
+
+#include <cstddef>
+
+#include "md/system.hpp"
+
+namespace tme {
+
+struct BerendsenParams {
+  double target_temperature = 300.0;  // K
+  double time_constant = 0.1;         // ps (tau)
+  std::size_t dof = 0;                // degrees of freedom (required)
+};
+
+// One coupling step: rescales velocities by sqrt(1 + dt/tau (T0/T - 1)).
+// Returns the applied scale factor.
+double apply_berendsen(ParticleSystem& system, const BerendsenParams& params,
+                       double dt);
+
+// Hard rescale to the target temperature (used by crude equilibration).
+double rescale_to_temperature(ParticleSystem& system, double target, std::size_t dof);
+
+}  // namespace tme

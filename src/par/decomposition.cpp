@@ -1,0 +1,45 @@
+#include "par/decomposition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tme::par {
+
+GridDecomposition::GridDecomposition(GridDims global, const TorusTopology& topo)
+    : global_(global), topo_(&topo) {
+  if (global.nx % topo.nx() != 0 || global.ny % topo.ny() != 0 ||
+      global.nz % topo.nz() != 0) {
+    throw std::invalid_argument(
+        "GridDecomposition: grid extents must divide evenly over nodes");
+  }
+  local_ = {global.nx / topo.nx(), global.ny / topo.ny(), global.nz / topo.nz()};
+  if (local_.total() == 0) {
+    throw std::invalid_argument("GridDecomposition: empty local blocks");
+  }
+}
+
+NodeCoord GridDecomposition::owner(long gx, long gy, long gz) const {
+  const std::size_t wx = Grid3d::wrap(gx, global_.nx);
+  const std::size_t wy = Grid3d::wrap(gy, global_.ny);
+  const std::size_t wz = Grid3d::wrap(gz, global_.nz);
+  return {wx / local_.nx, wy / local_.ny, wz / local_.nz};
+}
+
+std::vector<std::size_t> assign_atoms_to_nodes(const Box& box,
+                                               std::span<const Vec3> positions,
+                                               const TorusTopology& topo) {
+  std::vector<std::size_t> owner(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const Vec3 w = box.wrap(positions[i]);
+    auto bin = [](double x, double len, std::size_t cells) {
+      auto b = static_cast<std::size_t>(x / len * static_cast<double>(cells));
+      return std::min(b, cells - 1);
+    };
+    owner[i] = topo.index({bin(w.x, box.lengths.x, topo.nx()),
+                           bin(w.y, box.lengths.y, topo.ny()),
+                           bin(w.z, box.lengths.z, topo.nz())});
+  }
+  return owner;
+}
+
+}  // namespace tme::par

@@ -1,0 +1,48 @@
+// Spatial decomposition of grids and atoms over the 3D-torus node array
+// (paper Sec. II: "atoms ... decomposed spatially into rectangular cells;
+// each cell managed by a node at a corresponding coordinate").
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "grid/grid3d.hpp"
+#include "hw/torus.hpp"
+#include "util/vec3.hpp"
+
+namespace tme::par {
+
+using hw::NodeCoord;
+using hw::TorusTopology;
+
+// Even block decomposition of a global grid over the node array.
+class GridDecomposition {
+ public:
+  GridDecomposition(GridDims global, const TorusTopology& topo);
+
+  const GridDims& global() const { return global_; }
+  const GridDims& local() const { return local_; }
+  std::size_t node_count() const { return topo_->node_count(); }
+  const TorusTopology& topology() const { return *topo_; }
+
+  // Owner node of a (wrapped) global cell.
+  NodeCoord owner(long gx, long gy, long gz) const;
+
+  // First global cell of a node's block.
+  std::size_t origin_x(const NodeCoord& n) const { return n.x * local_.nx; }
+  std::size_t origin_y(const NodeCoord& n) const { return n.y * local_.ny; }
+  std::size_t origin_z(const NodeCoord& n) const { return n.z * local_.nz; }
+
+ private:
+  GridDims global_;
+  GridDims local_;
+  const TorusTopology* topo_;
+};
+
+// Assignment of atoms to nodes by box position.
+std::vector<std::size_t> assign_atoms_to_nodes(const Box& box,
+                                               std::span<const Vec3> positions,
+                                               const TorusTopology& topo);
+
+}  // namespace tme::par

@@ -1,0 +1,581 @@
+#include "par/par_tme.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "spline/bspline.hpp"
+#include "spline/two_scale.hpp"
+#include "util/constants.hpp"
+
+namespace tme::par {
+
+namespace {
+
+// An extended (halo-carrying) local buffer for one node: global coordinates
+// [x0, x0+nx) x [y0, ...) x [z0, ...), unwrapped (may be negative).
+struct ExtendedBlock {
+  long x0 = 0, y0 = 0, z0 = 0;
+  std::size_t nx = 0, ny = 0, nz = 0;
+  std::vector<double> data;
+
+  void reset(long x, long y, long z, std::size_t ex, std::size_t ey, std::size_t ez) {
+    x0 = x;
+    y0 = y;
+    z0 = z;
+    nx = ex;
+    ny = ey;
+    nz = ez;
+    data.assign(ex * ey * ez, 0.0);
+  }
+  double& at(long gx, long gy, long gz) {
+    return data[(static_cast<std::size_t>(gz - z0) * ny +
+                 static_cast<std::size_t>(gy - y0)) *
+                    nx +
+                static_cast<std::size_t>(gx - x0)];
+  }
+  double at(long gx, long gy, long gz) const {
+    return data[(static_cast<std::size_t>(gz - z0) * ny +
+                 static_cast<std::size_t>(gy - y0)) *
+                    nx +
+                static_cast<std::size_t>(gx - x0)];
+  }
+};
+
+// Fill a node's extended buffer from the distributed grid; every cell that
+// lives on another node is a received word.  Messages are grouped by source
+// node, hops measured on the torus.
+void import_halo(const DistributedGrid& grid, const GridDecomposition& decomp,
+                 const NodeCoord& me, ExtendedBlock& buffer,
+                 const std::string& phase, TrafficLog* log) {
+  const GridDims& local = decomp.local();
+  const TorusTopology& topo = decomp.topology();
+  const std::size_t me_idx = topo.index(me);
+  std::vector<std::size_t> words_from(topo.node_count(), 0);
+
+  for (long gz = buffer.z0; gz < buffer.z0 + static_cast<long>(buffer.nz); ++gz) {
+    for (long gy = buffer.y0; gy < buffer.y0 + static_cast<long>(buffer.ny); ++gy) {
+      for (long gx = buffer.x0; gx < buffer.x0 + static_cast<long>(buffer.nx); ++gx) {
+        const NodeCoord src = decomp.owner(gx, gy, gz);
+        const std::size_t src_idx = topo.index(src);
+        const Grid3d& blk = grid.block(src_idx);
+        const std::size_t lx = Grid3d::wrap(gx, decomp.global().nx) % local.nx;
+        const std::size_t ly = Grid3d::wrap(gy, decomp.global().ny) % local.ny;
+        const std::size_t lz = Grid3d::wrap(gz, decomp.global().nz) % local.nz;
+        buffer.at(gx, gy, gz) = blk.at(lx, ly, lz);
+        if (src_idx != me_idx) ++words_from[src_idx];
+      }
+    }
+  }
+  if (log != nullptr) {
+    for (std::size_t src = 0; src < words_from.size(); ++src) {
+      if (words_from[src] == 0) continue;
+      log->add(phase, 1, words_from[src], topo.hops(topo.coord(src), me));
+    }
+  }
+}
+
+// Scatter-accumulate a node's sleeved buffer back into the distributed grid
+// (used by CA: contributions written outside the owned block travel to the
+// neighbour that owns them).
+void export_sleeves(DistributedGrid& grid, const GridDecomposition& decomp,
+                    const NodeCoord& me, const ExtendedBlock& buffer,
+                    const std::string& phase, TrafficLog* log) {
+  const GridDims& local = decomp.local();
+  const TorusTopology& topo = decomp.topology();
+  const std::size_t me_idx = topo.index(me);
+  std::vector<std::size_t> words_to(topo.node_count(), 0);
+
+  for (long gz = buffer.z0; gz < buffer.z0 + static_cast<long>(buffer.nz); ++gz) {
+    for (long gy = buffer.y0; gy < buffer.y0 + static_cast<long>(buffer.ny); ++gy) {
+      for (long gx = buffer.x0; gx < buffer.x0 + static_cast<long>(buffer.nx); ++gx) {
+        const double v = buffer.at(gx, gy, gz);
+        if (v == 0.0) continue;
+        const NodeCoord dst = decomp.owner(gx, gy, gz);
+        const std::size_t dst_idx = topo.index(dst);
+        Grid3d& blk = grid.block(dst_idx);
+        const std::size_t lx = Grid3d::wrap(gx, decomp.global().nx) % local.nx;
+        const std::size_t ly = Grid3d::wrap(gy, decomp.global().ny) % local.ny;
+        const std::size_t lz = Grid3d::wrap(gz, decomp.global().nz) % local.nz;
+        blk.at(lx, ly, lz) += v;
+        if (dst_idx != me_idx) ++words_to[dst_idx];
+      }
+    }
+  }
+  if (log != nullptr) {
+    for (std::size_t dst = 0; dst < words_to.size(); ++dst) {
+      if (words_to[dst] == 0) continue;
+      log->add(phase, 1, words_to[dst], topo.hops(topo.coord(dst), me));
+    }
+  }
+}
+
+}  // namespace
+
+// --- DistributedGrid ---------------------------------------------------------
+
+DistributedGrid::DistributedGrid(const GridDecomposition& decomp)
+    : decomp_(&decomp) {
+  blocks_.assign(decomp.node_count(), Grid3d(decomp.local()));
+}
+
+Grid3d DistributedGrid::assemble() const {
+  const GridDecomposition& d = *decomp_;
+  Grid3d out(d.global());
+  const GridDims& local = d.local();
+  for (std::size_t n = 0; n < blocks_.size(); ++n) {
+    const NodeCoord c = d.topology().coord(n);
+    for (std::size_t lz = 0; lz < local.nz; ++lz) {
+      for (std::size_t ly = 0; ly < local.ny; ++ly) {
+        for (std::size_t lx = 0; lx < local.nx; ++lx) {
+          out.at(d.origin_x(c) + lx, d.origin_y(c) + ly, d.origin_z(c) + lz) =
+              blocks_[n].at(lx, ly, lz);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+DistributedGrid DistributedGrid::distribute(const Grid3d& global,
+                                            const GridDecomposition& decomp) {
+  if (!(global.dims() == decomp.global())) {
+    throw std::invalid_argument("DistributedGrid::distribute: dims mismatch");
+  }
+  DistributedGrid out(decomp);
+  const GridDims& local = decomp.local();
+  for (std::size_t n = 0; n < out.node_count(); ++n) {
+    const NodeCoord c = decomp.topology().coord(n);
+    for (std::size_t lz = 0; lz < local.nz; ++lz) {
+      for (std::size_t ly = 0; ly < local.ny; ++ly) {
+        for (std::size_t lx = 0; lx < local.nx; ++lx) {
+          out.block(n).at(lx, ly, lz) = global.at(decomp.origin_x(c) + lx,
+                                                  decomp.origin_y(c) + ly,
+                                                  decomp.origin_z(c) + lz);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+// --- ParallelTme -------------------------------------------------------------
+
+ParallelTme::ParallelTme(const Box& box, const TmeParams& params,
+                         const TorusTopology& nodes)
+    : box_(box), tme_(box, params), topo_(nodes.nx(), nodes.ny(), nodes.nz()) {
+  for (int level = 1; level <= params.levels + 1; ++level) {
+    level_decomp_.emplace_back(tme_.level_dims(level), topo_);
+  }
+}
+
+DistributedGrid ParallelTme::solve_potential(const DistributedGrid& finest_charges,
+                                             TrafficLog* log) const {
+  const TmeParams& params = tme_.params();
+  const int levels = params.levels;
+  const int p = params.order;
+  const int gc = params.grid_cutoff;
+  const std::vector<double> j_coeff = two_scale_coefficients(p);
+
+  // -- Downward pass: restrictions -------------------------------------------
+  std::vector<DistributedGrid> q(static_cast<std::size_t>(levels) + 1);
+  q[0] = finest_charges;
+  for (int l = 1; l <= levels; ++l) {
+    const GridDecomposition& fine_d = level_decomp_[static_cast<std::size_t>(l - 1)];
+    const GridDecomposition& coarse_d = level_decomp_[static_cast<std::size_t>(l)];
+    DistributedGrid coarse(coarse_d);
+    const int half_p = p / 2;
+    for (std::size_t n = 0; n < topo_.node_count(); ++n) {
+      const NodeCoord me = topo_.coord(n);
+      // Fine halo: output coarse cell m needs fine cells 2m +- p/2.
+      ExtendedBlock halo;
+      const long fx0 = 2 * static_cast<long>(coarse_d.origin_x(me)) - half_p;
+      const long fy0 = 2 * static_cast<long>(coarse_d.origin_y(me)) - half_p;
+      const long fz0 = 2 * static_cast<long>(coarse_d.origin_z(me)) - half_p;
+      halo.reset(fx0, fy0, fz0, 2 * coarse_d.local().nx + p,
+                 2 * coarse_d.local().ny + p, 2 * coarse_d.local().nz + p);
+      import_halo(q[static_cast<std::size_t>(l - 1)], fine_d, me, halo,
+                  "restriction halo", log);
+      Grid3d& out = coarse.block(n);
+      for (std::size_t mz = 0; mz < coarse_d.local().nz; ++mz) {
+        for (std::size_t my = 0; my < coarse_d.local().ny; ++my) {
+          for (std::size_t mx = 0; mx < coarse_d.local().nx; ++mx) {
+            const long gx = 2 * static_cast<long>(coarse_d.origin_x(me) + mx);
+            const long gy = 2 * static_cast<long>(coarse_d.origin_y(me) + my);
+            const long gz = 2 * static_cast<long>(coarse_d.origin_z(me) + mz);
+            double acc = 0.0;
+            for (int kz = -half_p; kz <= half_p; ++kz) {
+              const double jz = j_coeff[static_cast<std::size_t>(kz + half_p)];
+              for (int ky = -half_p; ky <= half_p; ++ky) {
+                const double jyz =
+                    jz * j_coeff[static_cast<std::size_t>(ky + half_p)];
+                for (int kx = -half_p; kx <= half_p; ++kx) {
+                  acc += jyz * j_coeff[static_cast<std::size_t>(kx + half_p)] *
+                         halo.at(gx + kx, gy + ky, gz + kz);
+                }
+              }
+            }
+            out.at(mx, my, mz) = acc;
+          }
+        }
+      }
+    }
+    q[static_cast<std::size_t>(l)] = std::move(coarse);
+  }
+
+  // -- Top level: gather to the root, FFT convolution, broadcast back --------
+  const GridDecomposition& top_d = level_decomp_[static_cast<std::size_t>(levels)];
+  Grid3d top_global = q[static_cast<std::size_t>(levels)].assemble();
+  if (log != nullptr) {
+    // Every non-root node ships its block up the tree and receives the
+    // potentials back (paper Sec. IV.C octree; hop count = torus distance to
+    // the root's corner as a proxy for the board-level route).
+    for (std::size_t n = 1; n < topo_.node_count(); ++n) {
+      const std::size_t words = top_d.local().total();
+      const std::size_t hops = topo_.hops(topo_.coord(n), {0, 0, 0});
+      log->add("TMENW gather", 1, words, hops);
+      log->add("TMENW scatter", 1, words, hops);
+    }
+  }
+  Grid3d top_phi_global = tme_.top_level().solve_potential(top_global);
+  DistributedGrid phi = DistributedGrid::distribute(top_phi_global, top_d);
+
+  // -- Upward pass: prolongation + per-level separable convolution ----------
+  for (int l = levels; l >= 1; --l) {
+    const GridDecomposition& fine_d = level_decomp_[static_cast<std::size_t>(l - 1)];
+    const GridDecomposition& coarse_d = level_decomp_[static_cast<std::size_t>(l)];
+    const int half_p = p / 2;
+
+    // Prolongation: fine cell n needs coarse cells m with |n - 2m| <= p/2.
+    DistributedGrid fine_phi(fine_d);
+    for (std::size_t n = 0; n < topo_.node_count(); ++n) {
+      const NodeCoord me = topo_.coord(n);
+      ExtendedBlock halo;
+      const long cx0 = (static_cast<long>(fine_d.origin_x(me)) - half_p - 1) / 2;
+      const long cy0 = (static_cast<long>(fine_d.origin_y(me)) - half_p - 1) / 2;
+      const long cz0 = (static_cast<long>(fine_d.origin_z(me)) - half_p - 1) / 2;
+      const std::size_t ext_x =
+          (fine_d.local().nx + static_cast<std::size_t>(p)) / 2 + 2;
+      const std::size_t ext_y =
+          (fine_d.local().ny + static_cast<std::size_t>(p)) / 2 + 2;
+      const std::size_t ext_z =
+          (fine_d.local().nz + static_cast<std::size_t>(p)) / 2 + 2;
+      halo.reset(cx0, cy0, cz0, ext_x, ext_y, ext_z);
+      import_halo(phi, coarse_d, me, halo, "prolongation halo", log);
+
+      Grid3d& out = fine_phi.block(n);
+      for (std::size_t fz = 0; fz < fine_d.local().nz; ++fz) {
+        for (std::size_t fy = 0; fy < fine_d.local().ny; ++fy) {
+          for (std::size_t fx = 0; fx < fine_d.local().nx; ++fx) {
+            const long gx = static_cast<long>(fine_d.origin_x(me) + fx);
+            const long gy = static_cast<long>(fine_d.origin_y(me) + fy);
+            const long gz = static_cast<long>(fine_d.origin_z(me) + fz);
+            double acc = 0.0;
+            for (int kz = -half_p; kz <= half_p; ++kz) {
+              if (((gz - kz) & 1L) != 0) continue;
+              const long mz = (gz - kz) / 2;
+              const double jz = j_coeff[static_cast<std::size_t>(kz + half_p)];
+              for (int ky = -half_p; ky <= half_p; ++ky) {
+                if (((gy - ky) & 1L) != 0) continue;
+                const long my = (gy - ky) / 2;
+                const double jyz =
+                    jz * j_coeff[static_cast<std::size_t>(ky + half_p)];
+                for (int kx = -half_p; kx <= half_p; ++kx) {
+                  if (((gx - kx) & 1L) != 0) continue;
+                  const long mx = (gx - kx) / 2;
+                  acc += jyz * j_coeff[static_cast<std::size_t>(kx + half_p)] *
+                         halo.at(mx, my, mz);
+                }
+              }
+            }
+            out.at(fx, fy, fz) = acc;
+          }
+        }
+      }
+    }
+
+    // Separable level convolution: x, then y, then z axis passes; the
+    // intermediate state is one grid per Gaussian term.
+    const std::vector<SeparableTerm>& kernels = tme_.level_kernels(l);
+    const std::size_t m_terms = kernels.size();
+    const GridDims& local = fine_d.local();
+    const std::size_t level_nx = fine_d.global().nx;
+    const std::size_t level_ny = fine_d.global().ny;
+    const std::size_t level_nz = fine_d.global().nz;
+
+    std::vector<DistributedGrid> work(m_terms, DistributedGrid(fine_d));
+    for (int axis = 0; axis < 3; ++axis) {
+      // Halo extent along the convolved axis, clamped to the level period.
+      const std::size_t n_axis = axis == 0 ? level_nx : (axis == 1 ? level_ny : level_nz);
+      const std::size_t l_axis = axis == 0 ? local.nx : (axis == 1 ? local.ny : local.nz);
+      const long reach = std::min<long>(gc, static_cast<long>(n_axis));
+      const std::size_t inputs = axis == 0 ? 1 : m_terms;
+
+      std::vector<DistributedGrid> next(m_terms, DistributedGrid(fine_d));
+      for (std::size_t n = 0; n < topo_.node_count(); ++n) {
+        const NodeCoord me = topo_.coord(n);
+        const long ox = static_cast<long>(fine_d.origin_x(me));
+        const long oy = static_cast<long>(fine_d.origin_y(me));
+        const long oz = static_cast<long>(fine_d.origin_z(me));
+        for (std::size_t term = 0; term < m_terms; ++term) {
+          const DistributedGrid& src =
+              axis == 0 ? q[static_cast<std::size_t>(l - 1)] : work[term];
+          if (axis == 0 && term >= inputs) break;  // single input on x
+
+          ExtendedBlock halo;
+          switch (axis) {
+            case 0:
+              halo.reset(ox - reach, oy, oz, local.nx + 2 * reach, local.ny,
+                         local.nz);
+              break;
+            case 1:
+              halo.reset(ox, oy - reach, oz, local.nx, local.ny + 2 * reach,
+                         local.nz);
+              break;
+            default:
+              halo.reset(ox, oy, oz - reach, local.nx, local.ny,
+                         local.nz + 2 * reach);
+              break;
+          }
+          import_halo(src, fine_d, me, halo, "level convolution", log);
+
+          // On the x pass every term convolves the same input; on y/z each
+          // term convolves its own intermediate.
+          const std::size_t out_terms_begin = axis == 0 ? 0 : term;
+          const std::size_t out_terms_end = axis == 0 ? m_terms : term + 1;
+          for (std::size_t out_t = out_terms_begin; out_t < out_terms_end; ++out_t) {
+            const Kernel1d& k = axis == 0   ? kernels[out_t].kx
+                                : axis == 1 ? kernels[out_t].ky
+                                             : kernels[out_t].kz;
+            Grid3d& out = next[out_t].block(n);
+            for (std::size_t lz = 0; lz < local.nz; ++lz) {
+              for (std::size_t ly = 0; ly < local.ny; ++ly) {
+                for (std::size_t lx = 0; lx < local.nx; ++lx) {
+                  const long gx = ox + static_cast<long>(lx);
+                  const long gy = oy + static_cast<long>(ly);
+                  const long gz = oz + static_cast<long>(lz);
+                  double acc = 0.0;
+                  for (int m = -k.cutoff; m <= k.cutoff; ++m) {
+                    // Fold taps beyond the clamped halo into the period.
+                    long sx = gx, sy = gy, sz = gz;
+                    long off = -m;
+                    if (off > reach) off -= static_cast<long>(n_axis);
+                    if (off < -reach) off += static_cast<long>(n_axis);
+                    switch (axis) {
+                      case 0: sx += off; break;
+                      case 1: sy += off; break;
+                      default: sz += off; break;
+                    }
+                    acc += k.tap(m) * halo.at(sx, sy, sz);
+                  }
+                  out.at(lx, ly, lz) = acc;
+                }
+              }
+            }
+          }
+          (void)l_axis;
+        }
+      }
+      work = std::move(next);
+    }
+
+    // Accumulate the M terms into the prolonged potential with the level
+    // prefactor (Eq. 9).
+    const double scale = constants::kCoulomb / std::ldexp(1.0, l - 1);
+    for (std::size_t n = 0; n < topo_.node_count(); ++n) {
+      Grid3d& out = fine_phi.block(n);
+      for (std::size_t term = 0; term < m_terms; ++term) {
+        const Grid3d& w = work[term].block(n);
+        for (std::size_t i = 0; i < out.size(); ++i) out[i] += scale * w[i];
+      }
+    }
+    phi = std::move(fine_phi);
+  }
+  return phi;
+}
+
+CoulombResult ParallelTme::compute(std::span<const Vec3> positions,
+                                   std::span<const double> charges,
+                                   TrafficLog* log) const {
+  const TmeParams& params = tme_.params();
+  const GridDecomposition& fine_d = level_decomp_.front();
+  const GridDims& local = fine_d.local();
+  const int p = params.order;
+  const Vec3 h{box_.lengths.x / static_cast<double>(fine_d.global().nx),
+               box_.lengths.y / static_cast<double>(fine_d.global().ny),
+               box_.lengths.z / static_cast<double>(fine_d.global().nz)};
+
+  const std::vector<std::size_t> owner_of =
+      assign_atoms_to_nodes(box_, positions, topo_);
+
+  // --- CA: per-node anterpolation into sleeved buffers, sleeve export ------
+  DistributedGrid q(fine_d);
+  const int sleeve = p / 2 + 1;  // paper Sec. IV.A: 4 sleeves for p = 6
+  std::vector<double> wx(static_cast<std::size_t>(p)), wy(wx), wz(wx);
+  for (std::size_t n = 0; n < topo_.node_count(); ++n) {
+    const NodeCoord me = topo_.coord(n);
+    ExtendedBlock buffer;
+    buffer.reset(static_cast<long>(fine_d.origin_x(me)) - sleeve,
+                 static_cast<long>(fine_d.origin_y(me)) - sleeve,
+                 static_cast<long>(fine_d.origin_z(me)) - sleeve,
+                 local.nx + 2 * sleeve, local.ny + 2 * sleeve,
+                 local.nz + 2 * sleeve);
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      if (owner_of[i] != n) continue;
+      const Vec3 u = hadamard_div(box_.wrap(positions[i]), h);
+      long mx0 = bspline_weights_central(p, u.x, wx, {});
+      long my0 = bspline_weights_central(p, u.y, wy, {});
+      long mz0 = bspline_weights_central(p, u.z, wz, {});
+      // Shift the base so the whole spline support lands inside this
+      // node's buffer (at most one period in either direction).
+      auto unwrap = [p](long base, long lo, long hi, long period) {
+        if (base < lo) base += period;
+        if (base + p > hi) base -= period;
+        if (base < lo || base + p > hi) {
+          throw std::logic_error("parallel CA/BI: atom support exceeds sleeve");
+        }
+        return base;
+      };
+      mx0 = unwrap(mx0, buffer.x0, buffer.x0 + static_cast<long>(buffer.nx),
+                   static_cast<long>(fine_d.global().nx));
+      my0 = unwrap(my0, buffer.y0, buffer.y0 + static_cast<long>(buffer.ny),
+                   static_cast<long>(fine_d.global().ny));
+      mz0 = unwrap(mz0, buffer.z0, buffer.z0 + static_cast<long>(buffer.nz),
+                   static_cast<long>(fine_d.global().nz));
+      const double qi = charges[i];
+      for (int kz = 0; kz < p; ++kz) {
+        const double qz = qi * wz[static_cast<std::size_t>(kz)];
+        for (int ky = 0; ky < p; ++ky) {
+          const double qyz = qz * wy[static_cast<std::size_t>(ky)];
+          for (int kx = 0; kx < p; ++kx) {
+            buffer.at(mx0 + kx, my0 + ky, mz0 + kz) +=
+                qyz * wx[static_cast<std::size_t>(kx)];
+          }
+        }
+      }
+    }
+    export_sleeves(q, fine_d, me, buffer, "CA sleeve exchange", log);
+  }
+
+  // --- Grid pipeline --------------------------------------------------------
+  const DistributedGrid phi = solve_potential(q, log);
+
+  // --- BI: halo import of potentials, per-node interpolation ---------------
+  CoulombResult out;
+  out.forces.assign(positions.size(), Vec3{});
+  double q_phi = 0.0;
+  std::vector<double> dx(static_cast<std::size_t>(p)), dy(dx), dz(dx);
+  for (std::size_t n = 0; n < topo_.node_count(); ++n) {
+    const NodeCoord me = topo_.coord(n);
+    ExtendedBlock halo;
+    halo.reset(static_cast<long>(fine_d.origin_x(me)) - sleeve,
+               static_cast<long>(fine_d.origin_y(me)) - sleeve,
+               static_cast<long>(fine_d.origin_z(me)) - sleeve,
+               local.nx + 2 * sleeve, local.ny + 2 * sleeve,
+               local.nz + 2 * sleeve);
+    import_halo(phi, fine_d, me, halo, "BI grid transfer", log);
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      if (owner_of[i] != n) continue;
+      const Vec3 u = hadamard_div(box_.wrap(positions[i]), h);
+      long mx0 = bspline_weights_central(p, u.x, wx, dx);
+      long my0 = bspline_weights_central(p, u.y, wy, dy);
+      long mz0 = bspline_weights_central(p, u.z, wz, dz);
+      auto unwrap = [p](long base, long lo, long hi, long period) {
+        if (base < lo) base += period;
+        if (base + p > hi) base -= period;
+        if (base < lo || base + p > hi) {
+          throw std::logic_error("parallel CA/BI: atom support exceeds sleeve");
+        }
+        return base;
+      };
+      mx0 = unwrap(mx0, halo.x0, halo.x0 + static_cast<long>(halo.nx),
+                   static_cast<long>(fine_d.global().nx));
+      my0 = unwrap(my0, halo.y0, halo.y0 + static_cast<long>(halo.ny),
+                   static_cast<long>(fine_d.global().ny));
+      mz0 = unwrap(mz0, halo.z0, halo.z0 + static_cast<long>(halo.nz),
+                   static_cast<long>(fine_d.global().nz));
+      double phi_i = 0.0;
+      Vec3 grad{};
+      for (int kz = 0; kz < p; ++kz) {
+        for (int ky = 0; ky < p; ++ky) {
+          double line_v = 0.0, line_d = 0.0;
+          for (int kx = 0; kx < p; ++kx) {
+            const double pm = halo.at(mx0 + kx, my0 + ky, mz0 + kz);
+            line_v += pm * wx[static_cast<std::size_t>(kx)];
+            line_d += pm * dx[static_cast<std::size_t>(kx)];
+          }
+          const double vy = wy[static_cast<std::size_t>(ky)];
+          const double gy = dy[static_cast<std::size_t>(ky)];
+          const double vz = wz[static_cast<std::size_t>(kz)];
+          const double gz = dz[static_cast<std::size_t>(kz)];
+          phi_i += line_v * vy * vz;
+          grad.x += line_d * vy * vz;
+          grad.y += line_v * gy * vz;
+          grad.z += line_v * vy * gz;
+        }
+      }
+      q_phi += charges[i] * phi_i;
+      out.forces[i] = {-charges[i] * grad.x / h.x, -charges[i] * grad.y / h.y,
+                       -charges[i] * grad.z / h.z};
+    }
+  }
+  out.energy_reciprocal = 0.5 * q_phi;
+  if (params.subtract_self) {
+    double q2 = 0.0;
+    for (const double qi : charges) q2 += qi * qi;
+    out.energy_self = -constants::kCoulomb * params.alpha / std::sqrt(M_PI) * q2;
+  }
+  out.energy = out.energy_reciprocal + out.energy_self;
+  return out;
+}
+
+Grid3d parallel_msm_convolution(const Grid3d& in, const std::vector<double>& taps3d,
+                                int cutoff, const TorusTopology& topo,
+                                TrafficLog* log) {
+  const std::size_t width = static_cast<std::size_t>(2 * cutoff + 1);
+  if (taps3d.size() != width * width * width) {
+    throw std::invalid_argument("parallel_msm_convolution: taps size");
+  }
+  const GridDecomposition decomp(in.dims(), topo);
+  const DistributedGrid dist = DistributedGrid::distribute(in, decomp);
+  const GridDims& local = decomp.local();
+
+  Grid3d out(in.dims());
+  for (std::size_t n = 0; n < topo.node_count(); ++n) {
+    const NodeCoord me = topo.coord(n);
+    ExtendedBlock halo;
+    halo.reset(static_cast<long>(decomp.origin_x(me)) - cutoff,
+               static_cast<long>(decomp.origin_y(me)) - cutoff,
+               static_cast<long>(decomp.origin_z(me)) - cutoff,
+               local.nx + 2 * static_cast<std::size_t>(cutoff),
+               local.ny + 2 * static_cast<std::size_t>(cutoff),
+               local.nz + 2 * static_cast<std::size_t>(cutoff));
+    import_halo(dist, decomp, me, halo, "MSM dense halo", log);
+    for (std::size_t lz = 0; lz < local.nz; ++lz) {
+      for (std::size_t ly = 0; ly < local.ny; ++ly) {
+        for (std::size_t lx = 0; lx < local.nx; ++lx) {
+          const long gx = static_cast<long>(decomp.origin_x(me) + lx);
+          const long gy = static_cast<long>(decomp.origin_y(me) + ly);
+          const long gz = static_cast<long>(decomp.origin_z(me) + lz);
+          double acc = 0.0;
+          for (int mz = -cutoff; mz <= cutoff; ++mz) {
+            for (int my = -cutoff; my <= cutoff; ++my) {
+              for (int mx = -cutoff; mx <= cutoff; ++mx) {
+                const double tap =
+                    taps3d[(static_cast<std::size_t>(mz + cutoff) * width +
+                            static_cast<std::size_t>(my + cutoff)) *
+                               width +
+                           static_cast<std::size_t>(mx + cutoff)];
+                acc += tap * halo.at(gx - mx, gy - my, gz - mz);
+              }
+            }
+          }
+          out.at(static_cast<std::size_t>(gx), static_cast<std::size_t>(gy),
+                 static_cast<std::size_t>(gz)) = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tme::par

@@ -1,0 +1,54 @@
+#include "par/traffic.hpp"
+
+#include <cstdio>
+
+namespace tme::par {
+
+void TrafficLog::add(const std::string& phase, std::size_t messages,
+                     std::size_t words, std::size_t hops) {
+  for (PhaseTraffic& p : phases_) {
+    if (p.phase == phase) {
+      p.messages += messages;
+      p.words += words;
+      p.max_hops = std::max(p.max_hops, hops);
+      return;
+    }
+  }
+  phases_.push_back({phase, messages, words, hops});
+}
+
+std::size_t TrafficLog::total_words() const {
+  std::size_t sum = 0;
+  for (const PhaseTraffic& p : phases_) sum += p.words;
+  return sum;
+}
+
+std::size_t TrafficLog::total_messages() const {
+  std::size_t sum = 0;
+  for (const PhaseTraffic& p : phases_) sum += p.messages;
+  return sum;
+}
+
+std::size_t TrafficLog::words_in(const std::string& phase) const {
+  for (const PhaseTraffic& p : phases_) {
+    if (p.phase == phase) return p.words;
+  }
+  return 0;
+}
+
+std::string TrafficLog::report() const {
+  std::string out =
+      "  phase                        messages        words     max hops\n";
+  char buf[160];
+  for (const PhaseTraffic& p : phases_) {
+    std::snprintf(buf, sizeof(buf), "  %-28s %8zu %12zu %12zu\n", p.phase.c_str(),
+                  p.messages, p.words, p.max_hops);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "  %-28s %8zu %12zu\n", "TOTAL",
+                total_messages(), total_words());
+  out += buf;
+  return out;
+}
+
+}  // namespace tme::par

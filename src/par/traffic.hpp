@@ -1,0 +1,40 @@
+// Message-traffic accounting for the distributed TME execution.
+//
+// Every inter-node transfer in the parallel pipeline is logged here, so the
+// paper's Sec. III.C communication-cost formulas can be checked against
+// *measured* message volumes rather than estimates.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tme::par {
+
+struct PhaseTraffic {
+  std::string phase;
+  std::size_t messages = 0;
+  std::size_t words = 0;     // grid values moved (4-byte words on the chip)
+  std::size_t max_hops = 0;  // longest torus route used in the phase
+};
+
+class TrafficLog {
+ public:
+  // Accumulates into the named phase (created on first use, order kept).
+  void add(const std::string& phase, std::size_t messages, std::size_t words,
+           std::size_t hops);
+
+  const std::vector<PhaseTraffic>& phases() const { return phases_; }
+  std::size_t total_words() const;
+  std::size_t total_messages() const;
+
+  // Words of the phase, 0 if absent.
+  std::size_t words_in(const std::string& phase) const;
+
+  std::string report() const;
+
+ private:
+  std::vector<PhaseTraffic> phases_;
+};
+
+}  // namespace tme::par

@@ -1,0 +1,67 @@
+#include "quadrature/gauss_legendre.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tme {
+
+namespace {
+
+// Legendre polynomial P_m and derivative P_m' at x via the three-term
+// recurrence; returns {P_m(x), P_m'(x)}.
+struct LegendreEval {
+  double value;
+  double derivative;
+};
+
+LegendreEval legendre(std::size_t m, double x) {
+  double p0 = 1.0;  // P_0
+  double p1 = x;    // P_1
+  if (m == 0) return {p0, 0.0};
+  for (std::size_t k = 2; k <= m; ++k) {
+    const double p2 = ((2.0 * k - 1.0) * x * p1 - (k - 1.0) * p0) / k;
+    p0 = p1;
+    p1 = p2;
+  }
+  // P_m' from P_m and P_{m-1}: (1-x^2) P_m' = m (P_{m-1} - x P_m).
+  const double d = m * (p0 - x * p1) / (1.0 - x * x);
+  return {p1, d};
+}
+
+}  // namespace
+
+QuadratureRule gauss_legendre(std::size_t m) {
+  if (m == 0) throw std::invalid_argument("gauss_legendre: m must be >= 1");
+  QuadratureRule rule;
+  rule.nodes.resize(m);
+  rule.weights.resize(m);
+  const std::size_t half = (m + 1) / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    // Tricomi initial guess for the i-th root (descending from +1).
+    double x = std::cos(M_PI * (static_cast<double>(i) + 0.75) /
+                        (static_cast<double>(m) + 0.5));
+    LegendreEval ev{};
+    for (int iter = 0; iter < 100; ++iter) {
+      ev = legendre(m, x);
+      const double dx = ev.value / ev.derivative;
+      x -= dx;
+      if (std::abs(dx) < 1e-15) break;
+    }
+    ev = legendre(m, x);
+    const double w = 2.0 / ((1.0 - x * x) * ev.derivative * ev.derivative);
+    // Store ascending: i counts from the largest root.
+    rule.nodes[m - 1 - i] = x;
+    rule.weights[m - 1 - i] = w;
+    rule.nodes[i] = -x;
+    rule.weights[i] = w;
+  }
+  if (m % 2 == 1) {
+    // Middle node is exactly zero for odd m.
+    rule.nodes[m / 2] = 0.0;
+    const LegendreEval ev = legendre(m, 0.0);
+    rule.weights[m / 2] = 2.0 / (ev.derivative * ev.derivative);
+  }
+  return rule;
+}
+
+}  // namespace tme

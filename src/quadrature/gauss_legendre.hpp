@@ -1,0 +1,35 @@
+// Gauss–Legendre quadrature on [-1, 1].
+//
+// The TME middle-range kernel approximation (paper Eq. 6–7) applies an
+// M-point Gauss–Legendre rule to the integral representation of
+// g_{alpha,l}(r); this module provides the nodes/weights for arbitrary M.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tme {
+
+struct QuadratureRule {
+  std::vector<double> nodes;    // in (-1, 1), ascending
+  std::vector<double> weights;  // positive, sum = 2
+};
+
+// Computes the M-point Gauss–Legendre rule by Newton iteration on the
+// Legendre recurrence.  Accurate to ~1 ulp for M up to several hundred.
+QuadratureRule gauss_legendre(std::size_t m);
+
+// Integrate f over [a, b] with an M-point rule (convenience for tests).
+template <typename F>
+double integrate_gl(const F& f, double a, double b, std::size_t m) {
+  const QuadratureRule rule = gauss_legendre(m);
+  const double half = 0.5 * (b - a);
+  const double mid = 0.5 * (a + b);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    sum += rule.weights[i] * f(mid + half * rule.nodes[i]);
+  }
+  return half * sum;
+}
+
+}  // namespace tme

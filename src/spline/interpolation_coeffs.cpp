@@ -1,0 +1,95 @@
+#include "spline/interpolation_coeffs.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "spline/bspline.hpp"
+
+namespace tme {
+
+namespace {
+
+void check_args(int p, std::size_t n) {
+  if (p < 2 || p % 2 != 0)
+    throw std::invalid_argument("interpolation coefficients require even p >= 2");
+  if (n < static_cast<std::size_t>(p))
+    throw std::invalid_argument("cyclic grid too small for spline order");
+}
+
+// Inverse real DFT of a real, even spectrum: x_m = (1/n) sum_k X_k cos(2 pi k m / n).
+std::vector<double> inverse_even_dft(const std::vector<double>& spectrum) {
+  const std::size_t n = spectrum.size();
+  std::vector<double> x(n, 0.0);
+  const double w = 2.0 * M_PI / static_cast<double>(n);
+  for (std::size_t m = 0; m < n; ++m) {
+    double sum = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      sum += spectrum[k] * std::cos(w * static_cast<double>(k * m % n));
+    }
+    x[m] = sum / static_cast<double>(n);
+  }
+  return x;
+}
+
+}  // namespace
+
+std::vector<double> bspline_sample_dft(int p, std::size_t n) {
+  check_args(p, n);
+  const int half = p / 2;
+  std::vector<double> bhat(n, 0.0);
+  const double w = 2.0 * M_PI / static_cast<double>(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    double sum = bspline_central_at_integer(p, 0);
+    for (int m = 1; m < half; ++m) {  // M_p^c(±half) = 0 for even p
+      sum += 2.0 * bspline_central_at_integer(p, m) * std::cos(w * k * m);
+    }
+    bhat[k] = sum;
+  }
+  return bhat;
+}
+
+std::vector<double> interpolation_coefficients(int p, std::size_t n) {
+  std::vector<double> spectrum = bspline_sample_dft(p, n);
+  for (auto& v : spectrum) v = 1.0 / v;
+  return inverse_even_dft(spectrum);
+}
+
+std::vector<double> omega_prime(int p, std::size_t n) {
+  std::vector<double> spectrum = bspline_sample_dft(p, n);
+  for (auto& v : spectrum) v = 1.0 / (v * v);
+  return inverse_even_dft(spectrum);
+}
+
+std::vector<double> gaussian_grid_kernel(int p, std::size_t n, double alpha,
+                                         bool sharpen) {
+  check_args(p, n);
+  if (alpha <= 0.0)
+    throw std::invalid_argument("gaussian_grid_kernel: alpha must be positive");
+  // ghat_k = DFT of the periodised Gaussian samples.  The image sum is
+  // truncated once the exponent underflows.
+  const double a2 = alpha * alpha;
+  const long reach = static_cast<long>(std::ceil(std::sqrt(709.0) / alpha)) + 1;
+  std::vector<double> g(n, 0.0);
+  for (long m = -reach; m <= reach; ++m) {
+    const double v = std::exp(-a2 * static_cast<double>(m) * static_cast<double>(m));
+    const long idx = ((m % static_cast<long>(n)) + static_cast<long>(n)) %
+                     static_cast<long>(n);
+    g[static_cast<std::size_t>(idx)] += v;
+  }
+  if (!sharpen) return g;
+  // Spectrum of g (real even sequence).
+  const double w = 2.0 * M_PI / static_cast<double>(n);
+  std::vector<double> ghat(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    double sum = 0.0;
+    for (std::size_t m = 0; m < n; ++m) {
+      sum += g[m] * std::cos(w * static_cast<double>(k * m % n));
+    }
+    ghat[k] = sum;
+  }
+  std::vector<double> bhat = bspline_sample_dft(p, n);
+  for (std::size_t k = 0; k < n; ++k) ghat[k] /= bhat[k] * bhat[k];
+  return inverse_even_dft(ghat);
+}
+
+}  // namespace tme

@@ -1,0 +1,40 @@
+// Interpolation coefficients of the fundamental spline, and the grid-kernel
+// coefficient sequence G(alpha) = g(alpha) * omega * omega (paper Eq. 8).
+//
+// omega is defined by  sum_m omega_m M_p^c(k - m) = delta_{k0}: it is the
+// convolution inverse of the B-spline integer samples.  On a periodic grid
+// of n points the inverse is computed exactly in the cyclic algebra via the
+// DFT (the denominator is strictly positive for even p), which is also the
+// natural object for a periodic simulation box.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tme {
+
+// DFT of the integer samples of the central B-spline on a cyclic grid of n
+// points: bhat_k = sum_m M_p^c(m) cos(2 pi k m / n).  Strictly positive for
+// even p.
+std::vector<double> bspline_sample_dft(int p, std::size_t n);
+
+// Cyclic interpolation coefficients omega (size n): DFT^{-1}[1 / bhat].
+std::vector<double> interpolation_coefficients(int p, std::size_t n);
+
+// omega' = omega * omega (cyclic), the sequence tabulated by Hardy et al.
+std::vector<double> omega_prime(int p, std::size_t n);
+
+// Grid-kernel coefficients G_m(alpha) for a Gaussian exp(-alpha^2 x^2)
+// sampled in grid units, on a cyclic grid of n points:
+//   G = g * omega * omega,  g_m = sum_{images} exp(-alpha^2 (m + n j)^2).
+// Returned indexed m = 0..n-1 (periodic; G[n-m] = G[m]).
+//
+// `sharpen = false` skips the omega * omega interpolation inverse and
+// returns the raw periodised samples — the naive quasi-interpolation kernel.
+// It exists for the ablation benches: without sharpening the B-spline
+// smoothing of the basis is not compensated and the method error rises by
+// orders of magnitude (see bench_ablation).
+std::vector<double> gaussian_grid_kernel(int p, std::size_t n, double alpha,
+                                         bool sharpen = true);
+
+}  // namespace tme

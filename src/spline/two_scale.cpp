@@ -1,0 +1,35 @@
+#include "spline/two_scale.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tme {
+
+namespace {
+
+double binomial(int n, int k) {
+  if (k < 0 || k > n) return 0.0;
+  double result = 1.0;
+  // Multiplicative form keeps everything exact in double for n <= ~50.
+  for (int i = 1; i <= k; ++i) {
+    result = result * (n - k + i) / i;
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<double> two_scale_coefficients(int p) {
+  if (p < 2 || p % 2 != 0) {
+    throw std::invalid_argument("two_scale_coefficients: p must be even and >= 2");
+  }
+  const int half = p / 2;
+  std::vector<double> j(static_cast<std::size_t>(p) + 1);
+  const double scale = std::ldexp(1.0, 1 - p);  // 2^{1-p}
+  for (int m = -half; m <= half; ++m) {
+    j[static_cast<std::size_t>(m + half)] = scale * binomial(p, half + std::abs(m));
+  }
+  return j;
+}
+
+}  // namespace tme

@@ -1,0 +1,17 @@
+// Two-scale (refinement) relation of the central B-spline,
+//   M_p(x) = sum_m J_m M_p(2x - m),   J_m = 2^{1-p} C(p, p/2 + |m|),
+// for even order p (paper Sec. III.A, after Hardy et al. 2016).
+//
+// J drives both grid transfer operations of the TME / B-spline MSM:
+//   restriction  Q^{l+1}_m = sum_k J_k Q^l_{2m+k}   (J-convolve, downsample)
+//   prolongation P^l_n    += J_{n-2m} P^{l+1}_m     (upsample, J-convolve)
+#pragma once
+
+#include <vector>
+
+namespace tme {
+
+// Returns J_{-p/2} .. J_{p/2} (size p+1).  Sum of coefficients is 2.
+std::vector<double> two_scale_coefficients(int p);
+
+}  // namespace tme

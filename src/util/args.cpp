@@ -1,0 +1,62 @@
+#include "util/args.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace tme {
+
+Args::Args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      throw std::invalid_argument("positional arguments are not supported: " + token);
+    }
+    token = token.substr(2);
+    const auto eq = token.find('=');
+    if (eq != std::string::npos) {
+      values_[token.substr(0, eq)] = token.substr(eq + 1);
+      continue;
+    }
+    // `--key value` unless the next token is another option or missing.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[token] = argv[++i];
+    } else {
+      values_[token] = "1";  // boolean flag
+    }
+  }
+}
+
+std::string Args::get(const std::string& key, const std::string& fallback) const {
+  queried_[key] = true;
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int Args::get_int(const std::string& key, int fallback) const {
+  queried_[key] = true;
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::stoi(it->second);
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  queried_[key] = true;
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::stod(it->second);
+}
+
+bool Args::get_flag(const std::string& key) const {
+  queried_[key] = true;
+  const auto it = values_.find(key);
+  return it != values_.end() && it->second != "0" && it->second != "false";
+}
+
+std::vector<std::string> Args::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : values_) {
+    (void)value;
+    if (queried_.count(key) == 0) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace tme

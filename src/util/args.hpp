@@ -1,0 +1,33 @@
+// Tiny command-line parser for the benches and examples.
+//
+// Supports `--key value`, `--key=value`, and boolean `--flag` forms; anything
+// unrecognised is reported so typos in sweep scripts fail loudly instead of
+// silently running the default configuration.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tme {
+
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const { return values_.count(key) != 0; }
+
+  std::string get(const std::string& key, const std::string& fallback) const;
+  int get_int(const std::string& key, int fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_flag(const std::string& key) const;
+
+  // Keys the program never queried; call at the end of main to warn.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace tme

@@ -1,0 +1,24 @@
+// Physical constants in the library's unit system:
+//   length  — nm, mass — u (g/mol), time — ps, charge — e, energy — kJ/mol.
+// This matches the GROMACS unit system the paper's evaluation uses.
+#pragma once
+
+namespace tme::constants {
+
+// Coulomb prefactor 1/(4 pi eps0) in kJ mol^-1 nm e^-2.
+inline constexpr double kCoulomb = 138.935458;
+
+// Boltzmann constant in kJ mol^-1 K^-1.
+inline constexpr double kBoltzmann = 8.314462618e-3;
+
+// TIP3P water model parameters (Jorgensen et al. 1983).
+inline constexpr double kTip3pChargeO = -0.834;
+inline constexpr double kTip3pChargeH = 0.417;
+inline constexpr double kTip3pSigmaO = 0.315061;   // nm
+inline constexpr double kTip3pEpsilonO = 0.636386; // kJ/mol
+inline constexpr double kTip3pBondOH = 0.09572;    // nm
+inline constexpr double kTip3pAngleHOH = 104.52;   // degrees
+inline constexpr double kMassO = 15.99943;         // u
+inline constexpr double kMassH = 1.00794;          // u
+
+}  // namespace tme::constants

@@ -1,0 +1,50 @@
+#include "util/io.hpp"
+
+#include <stdexcept>
+
+namespace tme {
+
+XyzWriter::XyzWriter(const std::string& path) : out_(path) {
+  if (!out_) throw std::runtime_error("XyzWriter: cannot open " + path);
+}
+
+void XyzWriter::write_frame(std::span<const std::string> elements,
+                            std::span<const Vec3> positions, const Box& box,
+                            const std::string& comment) {
+  if (elements.size() != positions.size()) {
+    throw std::invalid_argument("XyzWriter: elements/positions size mismatch");
+  }
+  out_ << positions.size() << '\n';
+  out_ << "Lattice=\"" << box.lengths.x * 10.0 << " 0 0 0 " << box.lengths.y * 10.0
+       << " 0 0 0 " << box.lengths.z * 10.0 << "\"";
+  if (!comment.empty()) out_ << ' ' << comment;
+  out_ << '\n';
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const Vec3 r = box.wrap(positions[i]);
+    out_ << elements[i] << ' ' << r.x * 10.0 << ' ' << r.y * 10.0 << ' '
+         << r.z * 10.0 << '\n';
+  }
+  out_.flush();
+  ++frames_;
+}
+
+CsvLogger::CsvLogger(const std::string& path, std::span<const std::string> columns)
+    : out_(path), columns_(columns.size()) {
+  if (!out_) throw std::runtime_error("CsvLogger: cannot open " + path);
+  if (columns.empty()) throw std::invalid_argument("CsvLogger: no columns");
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    out_ << columns[i] << (i + 1 < columns.size() ? ',' : '\n');
+  }
+}
+
+void CsvLogger::write_row(std::span<const double> values) {
+  if (values.size() != columns_) {
+    throw std::invalid_argument("CsvLogger: row width mismatch");
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out_ << values[i] << (i + 1 < values.size() ? ',' : '\n');
+  }
+  ++rows_;
+}
+
+}  // namespace tme

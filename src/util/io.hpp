@@ -1,0 +1,46 @@
+// Plain-text output writers: XYZ trajectories (readable by VMD/OVITO) and
+// CSV energy logs — enough tooling to inspect the example simulations.
+#pragma once
+
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/vec3.hpp"
+
+namespace tme {
+
+// Appends frames in extended-XYZ format; positions are written in Angstrom
+// (the conventional XYZ unit; internal unit is nm).
+class XyzWriter {
+ public:
+  explicit XyzWriter(const std::string& path);
+
+  // `elements` must match positions in size (e.g. "O", "H").
+  void write_frame(std::span<const std::string> elements,
+                   std::span<const Vec3> positions, const Box& box,
+                   const std::string& comment = "");
+
+  std::size_t frames_written() const { return frames_; }
+
+ private:
+  std::ofstream out_;
+  std::size_t frames_ = 0;
+};
+
+// One-line-per-record CSV with a fixed header.
+class CsvLogger {
+ public:
+  CsvLogger(const std::string& path, std::span<const std::string> columns);
+
+  void write_row(std::span<const double> values);
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_ = 0;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace tme

@@ -1,0 +1,44 @@
+// Lightweight leveled logging to stderr.
+//
+// The library itself logs nothing at Info by default; benches raise the level
+// to show progress on long sweeps.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tme {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+void log_message(LogLevel level, const std::string& text);
+
+namespace detail {
+template <typename... Parts>
+std::string concat(const Parts&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Parts>
+void log_info(const Parts&... parts) {
+  if (log_level() >= LogLevel::kInfo) log_message(LogLevel::kInfo, detail::concat(parts...));
+}
+template <typename... Parts>
+void log_warn(const Parts&... parts) {
+  if (log_level() >= LogLevel::kWarn) log_message(LogLevel::kWarn, detail::concat(parts...));
+}
+template <typename... Parts>
+void log_error(const Parts&... parts) {
+  log_message(LogLevel::kError, detail::concat(parts...));
+}
+template <typename... Parts>
+void log_debug(const Parts&... parts) {
+  if (log_level() >= LogLevel::kDebug) log_message(LogLevel::kDebug, detail::concat(parts...));
+}
+
+}  // namespace tme

@@ -1,0 +1,88 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+
+namespace tme {
+
+ThreadPool::ThreadPool(unsigned workers) {
+  tasks_.resize(workers);
+  threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop(unsigned index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      task = tasks_[index];
+    }
+    if (task.fn != nullptr && task.begin < task.end) {
+      (*task.fn)(task.begin, task.end);
+    }
+    {
+      std::lock_guard lock(mutex_);
+      --pending_;
+    }
+    cv_done_.notify_one();
+  }
+}
+
+void ThreadPool::parallel_for_blocks(
+    std::size_t first, std::size_t last,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (first >= last) return;
+  const std::size_t n = last - first;
+  const unsigned parts = static_cast<unsigned>(
+      std::min<std::size_t>(concurrency(), n));
+  if (parts <= 1) {
+    fn(first, last);
+    return;
+  }
+  const std::size_t chunk = (n + parts - 1) / parts;
+  // Give blocks 1..parts-1 to the workers, keep block 0 for this thread.
+  {
+    std::lock_guard lock(mutex_);
+    // Every worker observes the new generation and decrements pending_,
+    // including those that received an empty task.
+    pending_ = static_cast<unsigned>(threads_.size());
+    for (unsigned w = 0; w < threads_.size(); ++w) {
+      const unsigned blk = w + 1;
+      Task t;
+      if (blk < parts) {
+        t.fn = &fn;
+        t.begin = std::min(first + blk * chunk, last);
+        t.end = std::min(t.begin + chunk, last);
+      }
+      tasks_[w] = t;
+    }
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  fn(first, std::min(first + chunk, last));
+  std::unique_lock lock(mutex_);
+  cv_done_.wait(lock, [&] { return pending_ == 0; });
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()) - 1u);
+  return pool;
+}
+
+}  // namespace tme

@@ -1,0 +1,76 @@
+// A small reusable thread pool with a blocking parallel_for.
+//
+// The pool is created once per process (see global_pool()) so repeated
+// parallel_for calls do not pay thread-creation cost.  Work is distributed
+// in contiguous blocks; the calling thread participates, so a pool of size 1
+// degenerates to a plain loop with no synchronisation overhead.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tme {
+
+class ThreadPool {
+ public:
+  // `workers` is the number of *extra* threads; total parallelism is
+  // workers + 1 (the caller).  workers == 0 is valid and fully serial.
+  explicit ThreadPool(unsigned workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned concurrency() const { return static_cast<unsigned>(threads_.size()) + 1; }
+
+  // Runs fn(begin, end) over [first, last) split into roughly equal blocks,
+  // one per participating thread.  Blocks until all work is complete.
+  void parallel_for_blocks(std::size_t first, std::size_t last,
+                           const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  struct Task {
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
+  void worker_loop(unsigned index);
+
+  std::vector<std::thread> threads_;
+  std::vector<Task> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;
+  unsigned pending_ = 0;
+  bool stop_ = false;
+};
+
+// Process-wide pool sized from hardware_concurrency (min 1 thread total).
+ThreadPool& global_pool();
+
+// Convenience wrapper: body(i) for i in [first, last), parallelised over the
+// global pool.
+template <typename Body>
+void parallel_for(std::size_t first, std::size_t last, Body&& body) {
+  global_pool().parallel_for_blocks(
+      first, last, [&body](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) body(i);
+      });
+}
+
+// Like parallel_for but hands whole ranges to the body — useful when the
+// body wants per-thread accumulators.
+template <typename Body>
+void parallel_for_ranges(std::size_t first, std::size_t last, Body&& body) {
+  global_pool().parallel_for_blocks(first, last, std::function<void(std::size_t, std::size_t)>(
+                                                     std::forward<Body>(body)));
+}
+
+}  // namespace tme

@@ -1,0 +1,515 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hpp"
+#include "core/gaussian_fit.hpp"
+#include "core/grid_kernel.hpp"
+#include "core/tme.hpp"
+#include "ewald/reference_ewald.hpp"
+#include "ewald/splitting.hpp"
+#include "grid/separable_conv.hpp"
+#include "util/constants.hpp"
+#include "util/rng.hpp"
+
+namespace tme {
+namespace {
+
+struct TestSystem {
+  Box box;
+  std::vector<Vec3> positions;
+  std::vector<double> charges;
+};
+
+TestSystem random_system(std::size_t n, double box_length, std::uint64_t seed) {
+  TestSystem sys;
+  sys.box.lengths = {box_length, box_length, box_length};
+  Rng rng(seed);
+  sys.positions.resize(n);
+  sys.charges.resize(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sys.positions[i] = {rng.uniform(0.0, box_length), rng.uniform(0.0, box_length),
+                        rng.uniform(0.0, box_length)};
+    sys.charges[i] = rng.uniform(-1.0, 1.0);
+    total += sys.charges[i];
+  }
+  for (auto& q : sys.charges) q -= total / static_cast<double>(n);
+  return sys;
+}
+
+// Water-like density and charge pattern (one -0.834 per two +0.417) on a
+// jittered lattice.  Two properties of real molecular systems matter for
+// the Table 1 metric: density (a dilute gas deflates the reference-force
+// norm and inflates the relative error) and excluded volume (fully random
+// placements produce sub-0.05 nm overlaps no force field ever sees, where
+// the kernel-origin error of any mesh method blows up).
+TestSystem dense_system(std::size_t n, double box_length, std::uint64_t seed) {
+  TestSystem sys;
+  sys.box.lengths = {box_length, box_length, box_length};
+  Rng rng(seed);
+  const double min_dist = 0.08;  // ~ an O-H bond: closest approach in water
+  const double min_dist2 = min_dist * min_dist;
+  sys.positions.reserve(n);
+  sys.charges.reserve(n);
+  double total = 0.0;
+  while (sys.positions.size() < n) {
+    const Vec3 candidate{rng.uniform(0.0, box_length), rng.uniform(0.0, box_length),
+                         rng.uniform(0.0, box_length)};
+    bool ok = true;
+    for (const Vec3& existing : sys.positions) {
+      if (norm2(sys.box.min_image_disp(candidate, existing)) < min_dist2) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    sys.positions.push_back(candidate);
+    const double q = (sys.positions.size() % 3 == 0) ? -0.834 : 0.417;
+    sys.charges.push_back(q);
+    total += q;
+  }
+  for (auto& q : sys.charges) q -= total / static_cast<double>(n);
+  return sys;
+}
+
+// --- Gaussian shell fit (paper Fig. 3) -------------------------------------
+
+TEST(GaussianFit, TermsHavePositiveWeightsInExpectedRange) {
+  const auto terms = fit_shell_gaussians(2.0, 4);
+  ASSERT_EQ(terms.size(), 4u);
+  for (const auto& t : terms) {
+    EXPECT_GT(t.c_nu, 0.0);
+    // alpha_nu in [alpha/2, alpha] by construction.
+    EXPECT_GE(t.alpha_nu, 1.0 - 1e-12);
+    EXPECT_LE(t.alpha_nu, 2.0 + 1e-12);
+  }
+}
+
+TEST(GaussianFit, ApproximationConvergesWithM) {
+  // Max deviation of the normalised profile over s in [0, 6] must fall
+  // rapidly with M (Fig. 3(b)), below 1e-2 already for M = 1 and below
+  // ~1e-6 by M = 4.
+  double prev = 1.0;
+  for (const std::size_t m : {1u, 2u, 3u, 4u}) {
+    double worst = 0.0;
+    for (double s = 0.0; s <= 6.0; s += 0.01) {
+      worst = std::max(worst,
+                       std::abs(shell_profile_gaussian(s, m) - shell_profile_exact(s)));
+    }
+    EXPECT_LT(worst, prev) << "M=" << m;
+    prev = worst;
+  }
+  EXPECT_LT(prev, 5e-6);  // measured 2.6e-6 at M = 4
+}
+
+TEST(GaussianFit, SingleGaussianErrorMatchesFigure3Scale) {
+  // Fig. 3(b): the M = 1 error peaks at the ~1e-2..1e-3 level.
+  double worst = 0.0;
+  for (double s = 0.0; s <= 6.0; s += 0.01) {
+    worst = std::max(worst,
+                     std::abs(shell_profile_gaussian(s, 1) - shell_profile_exact(s)));
+  }
+  EXPECT_GT(worst, 1e-4);
+  EXPECT_LT(worst, 3e-2);
+}
+
+TEST(GaussianFit, LeastSquaresFitIsNoWorseThanQuadrature) {
+  for (const std::size_t m : {1u, 2u, 3u, 4u}) {
+    auto profile_error = [&](const std::vector<GaussianTerm>& terms) {
+      const double g0 = g_shell(0.0, 1.0, 1);
+      double worst = 0.0;
+      for (double s = 0.0; s <= 6.0; s += 0.01) {
+        worst = std::max(worst, std::abs(shell_from_gaussians(terms, s, 1) -
+                                         g_shell(s, 1.0, 1)) /
+                                    g0);
+      }
+      return worst;
+    };
+    const double err_gl = profile_error(fit_shell_gaussians(1.0, m));
+    const double err_ls = profile_error(fit_shell_gaussians_least_squares(1.0, m));
+    // The LSQ weights minimise the L2 error, so the max error stays within
+    // a small factor of the quadrature fit (and typically improves).
+    EXPECT_LT(err_ls, 1.5 * err_gl) << "M=" << m;
+  }
+}
+
+TEST(GaussianFit, LeastSquaresKeepsQuadratureExponents) {
+  const auto gl = fit_shell_gaussians(2.0, 3);
+  const auto ls = fit_shell_gaussians_least_squares(2.0, 3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(ls[i].alpha_nu, gl[i].alpha_nu);
+  }
+}
+
+TEST(GridKernel, SharpeningMattersByOrdersOfMagnitude) {
+  // Without the omega * omega inverse (Eq. 8) the B-spline smoothing is
+  // uncompensated: the pointwise kernel expansion degrades badly.
+  const auto terms = fit_shell_gaussians(2.2, 2);
+  const GridDims dims{32, 32, 32};
+  const Vec3 h{0.31, 0.31, 0.31};
+  const auto sharp = build_level_kernels(terms, 6, dims, h, 8, true);
+  const auto naive = build_level_kernels(terms, 6, dims, h, 8, false);
+  // Centre taps differ: the sharpened kernel overshoots the raw samples to
+  // cancel the basis smoothing.
+  EXPECT_GT(sharp[0].kx.tap(0), naive[0].kx.tap(0));
+  // And the raw samples are strictly positive while sharpened taps ring.
+  bool rings = false;
+  for (int m = 1; m <= 8; ++m) {
+    if (sharp[0].kx.tap(m) < 0.0) rings = true;
+    EXPECT_GE(naive[0].kx.tap(m), 0.0);
+  }
+  EXPECT_TRUE(rings);
+}
+
+TEST(GaussianFit, ShellFromGaussiansRespectsLevelScaling) {
+  const auto terms = fit_shell_gaussians(1.9, 3);
+  for (const double r : {0.2, 0.8, 1.7}) {
+    EXPECT_NEAR(shell_from_gaussians(terms, r, 2),
+                0.5 * shell_from_gaussians(terms, r / 2.0, 1), 1e-14);
+  }
+}
+
+TEST(GaussianFit, ApproximatesShellAbsolutely) {
+  const double alpha = 2.751064;
+  const auto terms = fit_shell_gaussians(alpha, 4);
+  for (const double r : {0.0, 0.1, 0.5, 1.0, 2.0}) {
+    EXPECT_NEAR(shell_from_gaussians(terms, r, 1), g_shell(r, alpha, 1),
+                2e-6 * g_shell(0.0, alpha, 1));
+  }
+}
+
+// --- Grid kernels ----------------------------------------------------------
+
+TEST(GridKernel, TapsAreSymmetric) {
+  const auto terms = fit_shell_gaussians(2.751064, 3);
+  const auto kernels = build_level_kernels(terms, 6, {32, 32, 32},
+                                           {0.2, 0.2, 0.2}, 8);
+  ASSERT_EQ(kernels.size(), 3u);
+  for (const auto& st : kernels) {
+    for (const Kernel1d* k : {&st.kx, &st.ky, &st.kz}) {
+      ASSERT_EQ(k->cutoff, 8);
+      for (int m = 1; m <= 8; ++m) EXPECT_NEAR(k->tap(m), k->tap(-m), 1e-15);
+    }
+  }
+}
+
+TEST(GridKernel, AnisotropicSpacingGivesAnisotropicTaps) {
+  const auto terms = fit_shell_gaussians(2.0, 2);
+  const auto kernels =
+      build_level_kernels(terms, 6, {32, 32, 32}, {0.2, 0.3, 0.4}, 6);
+  // Wider spacing -> narrower kernel in grid units -> faster tap decay.
+  EXPECT_GT(kernels[0].kx.tap(4) / kernels[0].kx.tap(0),
+            kernels[0].kz.tap(4) / kernels[0].kz.tap(0));
+}
+
+TEST(GridKernel, DenseCubeMatchesSeparableConvolution) {
+  const auto terms = fit_shell_gaussians(2.4, 2);
+  const int gc = 5;
+  const auto kernels = build_level_kernels(terms, 6, {16, 16, 16},
+                                           {0.25, 0.25, 0.25}, gc);
+  const auto cube = dense_kernel_cube(kernels, gc);
+
+  Grid3d q(16, 16, 16);
+  Rng rng(3);
+  for (std::size_t i = 0; i < q.size(); ++i) q[i] = rng.uniform(-1.0, 1.0);
+
+  Grid3d via_dense(q.dims());
+  convolve_dense3d(q, cube, gc, via_dense);
+  Grid3d via_separable(q.dims());
+  convolve_tensor(q, kernels, 1.0, via_separable);
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    EXPECT_NEAR(via_separable[i], via_dense[i], 1e-10);
+  }
+}
+
+// --- Cost model (paper Sec. III.C) -----------------------------------------
+
+TEST(CostModel, PaperParametersFavourTme) {
+  // MDGRAPE-4A: N_x/P_x in {4, 8}, g_c = 8, M = 4 -> TME cheaper on both
+  // axes of cost.
+  for (const int local : {4, 8}) {
+    const CostModelInput in{local, 8, 4};
+    const auto msm = msm_level1_cost(in);
+    const auto tme_cost = tme_level1_cost(in);
+    EXPECT_LT(tme_cost.compute, msm.compute);
+    EXPECT_LT(tme_cost.comm, msm.comm);
+  }
+}
+
+TEST(CostModel, FormulasMatchPaperExpressions) {
+  const CostModelInput in{8, 8, 4};
+  EXPECT_NEAR(gamma_ratio(in), 1.0, 1e-15);
+  EXPECT_NEAR(msm_level1_cost(in).compute, 17.0 * 17.0 * 17.0 * 512.0, 1e-9);
+  EXPECT_NEAR(tme_level1_cost(in).compute, 17.0 * 512.0 * 4.0, 1e-9);
+  EXPECT_NEAR(msm_level1_cost(in).comm, (8.0 + 12.0 + 6.0) * 512.0, 1e-9);
+  EXPECT_NEAR(tme_level1_cost(in).comm, (2.0 + 16.0) * 512.0, 1e-9);
+}
+
+TEST(CostModel, LargeMEventuallyCostsMoreCommunication) {
+  const CostModelInput small_m{8, 8, 2};
+  const CostModelInput large_m{8, 8, 64};
+  EXPECT_LT(tme_level1_cost(small_m).comm, tme_level1_cost(large_m).comm);
+  EXPECT_GT(tme_level1_cost(large_m).comm, msm_level1_cost(large_m).comm);
+}
+
+// --- The TME end to end ----------------------------------------------------
+
+// The paper's operating regime has alpha * h ~ 0.69..0.86 (N = 32^3 over a
+// ~10 nm box, erfc(alpha r_c) = 1e-4 with r_c = 1..1.5 nm).  The test system
+// scales the box to 6.4 nm with r_c = 0.8 nm, which lands alpha * h at the
+// same 0.69 — outside this regime the g_c-truncated kernels legitimately
+// lose accuracy (that is Table 1's g_c = 4 column, not a bug).
+constexpr double kTestBox = 3.2;
+constexpr double kTestRcut = 0.8;
+constexpr std::size_t kTestAtoms = 2400;  // ~73 atoms/nm^3, water-like
+constexpr std::size_t kTestGrid = 16;     // keeps alpha*h at the paper's 0.686
+
+class TmeAccuracy : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sys_ = dense_system(kTestAtoms, kTestBox, 99);
+    eparams_.alpha = alpha_from_tolerance(kTestRcut, 1e-4);
+    reference_ = ewald_reference(sys_.box, sys_.positions, sys_.charges, eparams_);
+  }
+
+  // Total Coulomb force error of a long-range solver + analytic short range.
+  double total_force_error(const CoulombResult& lr, double r_cut) const {
+    CoulombResult total = lr;
+    for (std::size_t i = 0; i < sys_.positions.size(); ++i) {
+      for (std::size_t j = i + 1; j < sys_.positions.size(); ++j) {
+        const Vec3 d = sys_.box.min_image_disp(sys_.positions[i], sys_.positions[j]);
+        const double r2 = norm2(d);
+        if (r2 >= r_cut * r_cut) continue;
+        const double r = std::sqrt(r2);
+        const double qq = constants::kCoulomb * sys_.charges[i] * sys_.charges[j];
+        const double fr = -qq * g_short_derivative(r, eparams_.alpha) / r;
+        total.forces[i] += fr * d;
+        total.forces[j] -= fr * d;
+      }
+    }
+    return total.relative_force_error_against(reference_);
+  }
+
+  TestSystem sys_;
+  EwaldParams eparams_;
+  CoulombResult reference_;
+};
+
+TEST_F(TmeAccuracy, MatchesEwaldReference) {
+  TmeParams params;
+  params.alpha = eparams_.alpha;
+  params.grid = {kTestGrid, kTestGrid, kTestGrid};
+  params.levels = 1;
+  params.grid_cutoff = 8;
+  params.num_gaussians = 4;
+  const Tme tme(sys_.box, params);
+  const CoulombResult lr = tme.compute(sys_.positions, sys_.charges);
+  // Paper Table 1 regime (alpha h = 0.686, M = 4, g_c = 8).  The absolute
+  // value of the relative-force-error metric is configuration dependent
+  // (real water reaches ~1.4e-4; an uncorrelated charge gas sits an order
+  // of magnitude higher because it lacks local charge neutrality); parity
+  // with SPME is asserted separately in ConvergesToSpmeAccuracy.
+  EXPECT_LT(total_force_error(lr, kTestRcut), 5e-3);
+}
+
+TEST_F(TmeAccuracy, ConvergesToSpmeAccuracy) {
+  // Table 1 behaviour: with g_c = 8 and M >= 3 the TME error is within a
+  // few percent of the SPME error at identical (alpha, p, N).
+  SpmeParams sp;
+  sp.alpha = eparams_.alpha;
+  sp.grid = {kTestGrid, kTestGrid, kTestGrid};
+  const Spme spme(sys_.box, sp);
+  const double spme_err =
+      total_force_error(spme.compute(sys_.positions, sys_.charges), kTestRcut);
+
+  TmeParams tp;
+  tp.alpha = eparams_.alpha;
+  tp.grid = {kTestGrid, kTestGrid, kTestGrid};
+  tp.grid_cutoff = 8;
+  tp.num_gaussians = 3;
+  const Tme tme(sys_.box, tp);
+  const double tme_err =
+      total_force_error(tme.compute(sys_.positions, sys_.charges), kTestRcut);
+
+  EXPECT_LT(tme_err, 1.5 * spme_err);
+}
+
+TEST_F(TmeAccuracy, ErrorDecreasesWithM) {
+  double prev = 1.0;
+  for (const std::size_t m : {1u, 2u, 4u}) {
+    TmeParams tp;
+    tp.alpha = eparams_.alpha;
+    tp.grid = {kTestGrid, kTestGrid, kTestGrid};
+    tp.grid_cutoff = 8;
+    tp.num_gaussians = m;
+    const Tme tme(sys_.box, tp);
+    const double err =
+        total_force_error(tme.compute(sys_.positions, sys_.charges), kTestRcut);
+    EXPECT_LT(err, prev) << "M=" << m;
+    prev = err;
+  }
+}
+
+TEST(Tme, TwoLevelHierarchyMatchesSpme) {
+  // L = 2: compare the long-range forces directly against SPME at identical
+  // (alpha, p, N) — the deeper hierarchy must not change the result beyond
+  // the kernel approximation error of the extra level.
+  const TestSystem sys = dense_system(4000, 12.8, 17);
+  const double alpha = alpha_from_tolerance(0.8, 1e-4);  // alpha*h = 0.688
+  TmeParams tp;
+  tp.alpha = alpha;
+  tp.grid = {64, 64, 64};
+  tp.levels = 2;
+  tp.grid_cutoff = 8;
+  tp.num_gaussians = 4;
+  const Tme tme(sys.box, tp);
+  const CoulombResult lr = tme.compute(sys.positions, sys.charges);
+
+  SpmeParams sp;
+  sp.alpha = alpha;
+  sp.grid = {64, 64, 64};
+  const Spme spme(sys.box, sp);
+  const CoulombResult lr_spme = spme.compute(sys.positions, sys.charges);
+
+  EXPECT_LT(lr.relative_force_error_against(lr_spme), 2e-2);
+  double q2 = 0.0;
+  for (const double q : sys.charges) q2 += q * q;
+  const double scale = constants::kCoulomb * alpha / std::sqrt(M_PI) * q2;
+  EXPECT_NEAR(lr.energy, lr_spme.energy, 5e-3 * scale);
+}
+
+TEST_F(TmeAccuracy, EnergyMatchesReference) {
+  TmeParams tp;
+  tp.alpha = eparams_.alpha;
+  tp.grid = {kTestGrid, kTestGrid, kTestGrid};
+  tp.grid_cutoff = 8;
+  tp.num_gaussians = 4;
+  const Tme tme(sys_.box, tp);
+  CoulombResult total = tme.compute(sys_.positions, sys_.charges);
+  for (std::size_t i = 0; i < sys_.positions.size(); ++i) {
+    for (std::size_t j = i + 1; j < sys_.positions.size(); ++j) {
+      const Vec3 d = sys_.box.min_image_disp(sys_.positions[i], sys_.positions[j]);
+      const double r2 = norm2(d);
+      if (r2 >= kTestRcut * kTestRcut) continue;
+      total.energy += constants::kCoulomb * sys_.charges[i] * sys_.charges[j] *
+                      g_short(std::sqrt(r2), eparams_.alpha);
+    }
+  }
+  // The TME energy carries a systematic offset from the B-spline expansion
+  // of the shell Gaussians — the effect behind the Fig. 4 energy offset.
+  // In locally neutral systems (water) it largely cancels; in this
+  // uncorrelated charge gas it does not, so the natural yardstick is the
+  // gross reciprocal energy scale kC alpha/sqrt(pi) sum q^2.
+  double q2 = 0.0;
+  for (const double q : sys_.charges) q2 += q * q;
+  const double scale = constants::kCoulomb * eparams_.alpha / std::sqrt(M_PI) * q2;
+  EXPECT_NEAR(total.energy, reference_.energy, 5e-3 * scale);
+}
+
+TEST(Tme, ForcesSumToZero) {
+  const TestSystem sys = random_system(150, kTestBox, 7);
+  TmeParams tp;
+  tp.alpha = alpha_from_tolerance(kTestRcut, 1e-4);
+  tp.grid = {32, 32, 32};
+  const Tme tme(sys.box, tp);
+  const CoulombResult r = tme.compute(sys.positions, sys.charges);
+  Vec3 total{};
+  for (const Vec3& f : r.forces) total += f;
+  // Mesh methods conserve momentum only up to interpolation error (this is
+  // true of SPME as well); the net force stays a small fraction of the
+  // total force magnitude.  Measured ratio: 1.2e-3.
+  double magnitude = 0.0;
+  for (const Vec3& f : r.forces) magnitude += norm(f);
+  EXPECT_LT(norm(total), 5e-3 * magnitude);
+}
+
+TEST(Tme, TraceExposesAllLevels) {
+  const TestSystem sys = random_system(50, 3.2, 8);
+  TmeParams tp;
+  tp.alpha = 2.5;
+  tp.grid = {32, 32, 32};
+  tp.levels = 2;
+  const Tme tme(sys.box, tp);
+  TmeTrace trace;
+  (void)tme.compute(sys.positions, sys.charges, &trace);
+  ASSERT_EQ(trace.level_charges.size(), 3u);
+  ASSERT_EQ(trace.level_potentials.size(), 3u);
+  EXPECT_EQ(trace.level_charges[0].dims().nx, 32u);
+  EXPECT_EQ(trace.level_charges[1].dims().nx, 16u);
+  EXPECT_EQ(trace.level_charges[2].dims().nx, 8u);
+  EXPECT_EQ(trace.level_potentials[0].dims().nx, 32u);
+  // Total charge is conserved down the hierarchy.
+  EXPECT_NEAR(trace.level_charges[0].sum(), trace.level_charges[2].sum(), 1e-8);
+}
+
+TEST(Tme, RejectsInvalidConfigurations) {
+  const Box box{{4.0, 4.0, 4.0}};
+  TmeParams tp;
+  tp.alpha = 2.0;
+  tp.grid = {32, 32, 32};
+  tp.order = 5;
+  EXPECT_THROW(Tme(box, tp), std::invalid_argument);
+  tp.order = 6;
+  tp.levels = 0;
+  EXPECT_THROW(Tme(box, tp), std::invalid_argument);
+  tp.levels = 4;  // top grid would be 4 < p: rejected
+  EXPECT_THROW(Tme(box, tp), std::invalid_argument);
+  tp.levels = 1;
+  tp.num_gaussians = 0;
+  EXPECT_THROW(Tme(box, tp), std::invalid_argument);
+}
+
+TEST(Tme, DenseTopLevelMatchesSpmeTopLevel) {
+  // The FFT-free dense top convolution is mathematically identical to the
+  // SPME top solve; only the evaluation differs.
+  const TestSystem sys = dense_system(800, 3.2, 31);
+  TmeParams spme_mode;
+  spme_mode.alpha = alpha_from_tolerance(0.8, 1e-4);
+  spme_mode.grid = {16, 16, 16};
+  spme_mode.grid_cutoff = 8;
+  spme_mode.num_gaussians = 4;
+  TmeParams dense_mode = spme_mode;
+  dense_mode.top_level_mode = TopLevelMode::kDense;
+
+  const Tme a(sys.box, spme_mode);
+  const Tme b(sys.box, dense_mode);
+  const CoulombResult ra = a.compute(sys.positions, sys.charges);
+  const CoulombResult rb = b.compute(sys.positions, sys.charges);
+  EXPECT_NEAR(rb.energy, ra.energy, 1e-9 * std::abs(ra.energy));
+  for (std::size_t i = 0; i < ra.forces.size(); ++i) {
+    EXPECT_LT(norm(ra.forces[i] - rb.forces[i]), 1e-8);
+  }
+}
+
+TEST(Tme, DenseTopKernelIsSymmetric) {
+  const Box box{{4.0, 4.0, 4.0}};
+  TmeParams tp;
+  tp.alpha = 2.0;
+  tp.grid = {16, 16, 16};
+  tp.top_level_mode = TopLevelMode::kDense;
+  const Tme tme(box, tp);
+  const Grid3d& k = tme.top_dense_kernel();
+  ASSERT_EQ(k.dims().nx, 8u);
+  for (long m = 1; m < 4; ++m) {
+    EXPECT_NEAR(k.at_wrapped(m, 0, 0), k.at_wrapped(-m, 0, 0), 1e-12);
+    EXPECT_NEAR(k.at_wrapped(0, m, 2), k.at_wrapped(0, -m, 2), 1e-12);
+  }
+}
+
+TEST(Tme, TopLevelUsesHalvedAlphaAndGrid) {
+  const Box box{{4.0, 4.0, 4.0}};
+  TmeParams tp;
+  tp.alpha = 2.0;
+  tp.grid = {32, 32, 32};
+  tp.levels = 2;
+  const Tme tme(box, tp);
+  EXPECT_EQ(tme.top_level().params().grid.nx, 8u);
+  EXPECT_NEAR(tme.top_level().params().alpha, 0.5, 1e-15);
+  EXPECT_EQ(tme.level_dims(1).nx, 32u);
+  EXPECT_EQ(tme.level_dims(3).nx, 8u);
+}
+
+}  // namespace
+}  // namespace tme

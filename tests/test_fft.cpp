@@ -1,0 +1,192 @@
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fft/fft1d.hpp"
+#include "fft/fft3d.hpp"
+#include "util/rng.hpp"
+
+namespace tme {
+namespace {
+
+using Complex = std::complex<double>;
+
+std::vector<Complex> naive_dft(const std::vector<Complex>& x, bool invert) {
+  const std::size_t n = x.size();
+  std::vector<Complex> out(n, {0.0, 0.0});
+  const double sign = invert ? 1.0 : -1.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t m = 0; m < n; ++m) {
+      const double ang = sign * 2.0 * M_PI * static_cast<double>(k * m) /
+                         static_cast<double>(n);
+      out[k] += x[m] * Complex{std::cos(ang), std::sin(ang)};
+    }
+    if (invert) out[k] /= static_cast<double>(n);
+  }
+  return out;
+}
+
+std::vector<Complex> random_signal(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Complex> x(n);
+  for (auto& v : x) v = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  return x;
+}
+
+class FftSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizeSweep, MatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  std::vector<Complex> x = random_signal(n, 11 + n);
+  const std::vector<Complex> expected = naive_dft(x, false);
+  Fft1d fft(n);
+  fft.forward(x.data());
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(x[k].real(), expected[k].real(), 1e-9 * static_cast<double>(n));
+    EXPECT_NEAR(x[k].imag(), expected[k].imag(), 1e-9 * static_cast<double>(n));
+  }
+}
+
+TEST_P(FftSizeSweep, RoundTripIsIdentity) {
+  const std::size_t n = GetParam();
+  const std::vector<Complex> original = random_signal(n, 23 + n);
+  std::vector<Complex> x = original;
+  Fft1d fft(n);
+  fft.forward(x.data());
+  fft.inverse(x.data());
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(x[k].real(), original[k].real(), 1e-11);
+    EXPECT_NEAR(x[k].imag(), original[k].imag(), 1e-11);
+  }
+}
+
+TEST_P(FftSizeSweep, ParsevalHolds) {
+  const std::size_t n = GetParam();
+  std::vector<Complex> x = random_signal(n, 37 + n);
+  double time_energy = 0.0;
+  for (const auto& v : x) time_energy += std::norm(v);
+  Fft1d fft(n);
+  fft.forward(x.data());
+  double freq_energy = 0.0;
+  for (const auto& v : x) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy, time_energy * static_cast<double>(n),
+              1e-9 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftSizeSweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64, 128,
+                                           3, 5, 6, 7, 12, 15, 17, 31, 100));
+
+TEST(Fft1d, ImpulseGivesFlatSpectrum) {
+  const std::size_t n = 16;
+  std::vector<Complex> x(n, {0.0, 0.0});
+  x[0] = {1.0, 0.0};
+  Fft1d(n).forward(x.data());
+  for (const auto& v : x) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft1d, SingleToneLandsInOneBin) {
+  const std::size_t n = 32;
+  std::vector<Complex> x(n);
+  const std::size_t tone = 5;
+  for (std::size_t m = 0; m < n; ++m) {
+    const double ang = 2.0 * M_PI * static_cast<double>(tone * m) / n;
+    x[m] = {std::cos(ang), std::sin(ang)};
+  }
+  Fft1d(n).forward(x.data());
+  for (std::size_t k = 0; k < n; ++k) {
+    const double expected = k == tone ? static_cast<double>(n) : 0.0;
+    EXPECT_NEAR(std::abs(x[k]), expected, 1e-9);
+  }
+}
+
+TEST(Fft1d, RejectsZeroSize) { EXPECT_THROW(Fft1d(0), std::invalid_argument); }
+
+TEST(Fft3d, RoundTripOnRandomCube) {
+  Fft3d fft(8, 4, 16);
+  Rng rng(5);
+  std::vector<Complex> x(fft.size());
+  for (auto& v : x) v = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  const std::vector<Complex> original = x;
+  fft.forward(x);
+  fft.inverse(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(x[i].real(), original[i].real(), 1e-11);
+    EXPECT_NEAR(x[i].imag(), original[i].imag(), 1e-11);
+  }
+}
+
+TEST(Fft3d, SeparableToneLandsInOneBin) {
+  const std::size_t nx = 8, ny = 8, nz = 8;
+  Fft3d fft(nx, ny, nz);
+  std::vector<Complex> x(fft.size());
+  const std::size_t tx = 2, ty = 3, tz = 1;
+  for (std::size_t iz = 0; iz < nz; ++iz) {
+    for (std::size_t iy = 0; iy < ny; ++iy) {
+      for (std::size_t ix = 0; ix < nx; ++ix) {
+        const double ang = 2.0 * M_PI *
+                           (static_cast<double>(tx * ix) / nx +
+                            static_cast<double>(ty * iy) / ny +
+                            static_cast<double>(tz * iz) / nz);
+        x[(iz * ny + iy) * nx + ix] = {std::cos(ang), std::sin(ang)};
+      }
+    }
+  }
+  fft.forward(x);
+  for (std::size_t iz = 0; iz < nz; ++iz) {
+    for (std::size_t iy = 0; iy < ny; ++iy) {
+      for (std::size_t ix = 0; ix < nx; ++ix) {
+        const double expected =
+            (ix == tx && iy == ty && iz == tz) ? static_cast<double>(fft.size()) : 0.0;
+        EXPECT_NEAR(std::abs(x[(iz * ny + iy) * nx + ix]), expected, 1e-8);
+      }
+    }
+  }
+}
+
+TEST(Fft3d, RealTransformOfRealEvenDataIsReal) {
+  // A symmetric (even) real field has a real spectrum.
+  const std::size_t n = 16;
+  Fft3d fft(n, n, n);
+  std::vector<double> x(fft.size(), 0.0);
+  for (std::size_t iz = 0; iz < n; ++iz) {
+    for (std::size_t iy = 0; iy < n; ++iy) {
+      for (std::size_t ix = 0; ix < n; ++ix) {
+        auto even = [n](std::size_t i) {
+          const double d = std::min<double>(static_cast<double>(i),
+                                            static_cast<double>(n - i));
+          return std::exp(-0.3 * d * d);
+        };
+        x[(iz * n + iy) * n + ix] = even(ix) * even(iy) * even(iz);
+      }
+    }
+  }
+  const auto spectrum = fft.forward_real(x);
+  for (const auto& v : spectrum) EXPECT_NEAR(v.imag(), 0.0, 1e-9);
+}
+
+TEST(Fft3d, InverseToRealRecoversInput) {
+  Fft3d fft(8, 8, 8);
+  Rng rng(77);
+  std::vector<double> x(fft.size());
+  for (auto& v : x) v = rng.uniform(-2.0, 2.0);
+  const auto spectrum = fft.forward_real(x);
+  const auto back = fft.inverse_to_real(spectrum);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(back[i], x[i], 1e-11);
+}
+
+TEST(NextPow2, RoundsUp) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(17), 32u);
+  EXPECT_EQ(next_pow2(64), 64u);
+}
+
+}  // namespace
+}  // namespace tme

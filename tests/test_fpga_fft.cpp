@@ -1,0 +1,139 @@
+// Tests of the FPGA top-level convolution engine model against both naive
+// DFT math and the production (double-precision) SPME path.
+#include <cmath>
+#include <complex>
+
+#include <gtest/gtest.h>
+
+#include "ewald/greens_function.hpp"
+#include "ewald/spme.hpp"
+#include "hw/fpga_fft.hpp"
+#include "util/rng.hpp"
+
+namespace tme::hw {
+namespace {
+
+using CF = std::complex<float>;
+
+TEST(Cfft16, MatchesNaiveDft) {
+  Rng rng(1);
+  CF data[16];
+  std::complex<double> reference[16];
+  for (int n = 0; n < 16; ++n) {
+    data[n] = {static_cast<float>(rng.uniform(-1.0, 1.0)),
+               static_cast<float>(rng.uniform(-1.0, 1.0))};
+    reference[n] = {data[n].real(), data[n].imag()};
+  }
+  cfft16(data, false);
+  for (int k = 0; k < 16; ++k) {
+    std::complex<double> expected{0.0, 0.0};
+    for (int n = 0; n < 16; ++n) {
+      const double ang = -2.0 * M_PI * k * n / 16.0;
+      expected += reference[n] * std::complex<double>{std::cos(ang), std::sin(ang)};
+    }
+    EXPECT_NEAR(data[k].real(), expected.real(), 1e-5);
+    EXPECT_NEAR(data[k].imag(), expected.imag(), 1e-5);
+  }
+}
+
+TEST(Cfft16, RoundTripIsIdentity) {
+  Rng rng(2);
+  CF data[16], original[16];
+  for (int n = 0; n < 16; ++n) {
+    data[n] = {static_cast<float>(rng.uniform(-1.0, 1.0)),
+               static_cast<float>(rng.uniform(-1.0, 1.0))};
+    original[n] = data[n];
+  }
+  cfft16(data, false);
+  cfft16(data, true);
+  for (int n = 0; n < 16; ++n) {
+    EXPECT_NEAR(data[n].real(), original[n].real(), 1e-5);
+    EXPECT_NEAR(data[n].imag(), original[n].imag(), 1e-5);
+  }
+}
+
+TEST(RealPair, ForwardMatchesSeparateTransforms) {
+  Rng rng(3);
+  float a[16], b[16];
+  for (int n = 0; n < 16; ++n) {
+    a[n] = static_cast<float>(rng.uniform(-1.0, 1.0));
+    b[n] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  const PackedSpectra s = real_pair_forward(a, b);
+  for (int k = 0; k <= 8; ++k) {
+    std::complex<double> ea{0.0, 0.0}, eb{0.0, 0.0};
+    for (int n = 0; n < 16; ++n) {
+      const double ang = -2.0 * M_PI * k * n / 16.0;
+      const std::complex<double> w{std::cos(ang), std::sin(ang)};
+      ea += static_cast<double>(a[n]) * w;
+      eb += static_cast<double>(b[n]) * w;
+    }
+    EXPECT_NEAR(s.a[k].real(), ea.real(), 1e-4) << "k=" << k;
+    EXPECT_NEAR(s.a[k].imag(), ea.imag(), 1e-4) << "k=" << k;
+    EXPECT_NEAR(s.b[k].real(), eb.real(), 1e-4) << "k=" << k;
+    EXPECT_NEAR(s.b[k].imag(), eb.imag(), 1e-4) << "k=" << k;
+  }
+  // The special 0 and 8 bins are exactly real for real input.
+  EXPECT_EQ(s.a[0].imag(), 0.0f);
+  EXPECT_EQ(s.a[8].imag(), 0.0f);
+  EXPECT_EQ(s.b[0].imag(), 0.0f);
+  EXPECT_EQ(s.b[8].imag(), 0.0f);
+}
+
+TEST(RealPair, RoundTripRecoversLines) {
+  Rng rng(4);
+  float a[16], b[16], a2[16], b2[16];
+  for (int n = 0; n < 16; ++n) {
+    a[n] = static_cast<float>(rng.uniform(-1.0, 1.0));
+    b[n] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  PackedSpectra s = real_pair_forward(a, b);
+  // Scale like the engine does (inverse carries 1/16).
+  real_pair_inverse(s, a2, b2);
+  for (int n = 0; n < 16; ++n) {
+    EXPECT_NEAR(a2[n], a[n], 1e-5);
+    EXPECT_NEAR(b2[n], b[n], 1e-5);
+  }
+}
+
+TEST(FpgaEngine, MatchesDoublePrecisionSpmeSolve) {
+  const Box box{{4.8, 4.8, 4.8}};
+  const double alpha = 1.2;  // a typical top-level (alpha / 2^L) value
+  const GridDims dims{16, 16, 16};
+
+  // Random coarse charge grid.
+  Rng rng(5);
+  Grid3d q(dims);
+  for (std::size_t i = 0; i < q.size(); ++i) q[i] = rng.uniform(-1.0, 1.0);
+
+  SpmeParams sp;
+  sp.alpha = alpha;
+  sp.grid = dims;
+  const Spme spme(box, sp);
+  const Grid3d expected = spme.solve_potential(q);
+
+  const std::vector<double> green = spme_influence(box, dims, 6, alpha);
+  std::vector<float> charges(q.size());
+  for (std::size_t i = 0; i < q.size(); ++i) charges[i] = static_cast<float>(q[i]);
+  const std::vector<float> result = fpga_top_level_convolve(charges, green);
+
+  double worst = 0.0;
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    worst = std::max(worst, std::abs(static_cast<double>(result[i]) - expected[i]));
+  }
+  // Single precision against double: relative 1e-5 level.
+  EXPECT_LT(worst, 1e-4 * expected.max_abs());
+  EXPECT_GT(worst, 0.0);  // genuinely float
+}
+
+TEST(FpgaEngine, CycleEstimateNearPaper) {
+  // Paper: all calculations finish in 330 cycles (2.112 us at 156.25 MHz).
+  const std::size_t cycles = fpga_cycle_estimate();
+  EXPECT_GT(cycles, 250u);
+  EXPECT_LT(cycles, 400u);
+  const double seconds = static_cast<double>(cycles) / 156.25e6;
+  EXPECT_NEAR(seconds, 2.112e-6, 0.5e-6);
+}
+
+}  // namespace
+}  // namespace tme::hw

@@ -1,0 +1,157 @@
+// Force-consistency property tests: for every long-range solver the forces
+// must equal the negative numerical gradient of the energy, atom by atom.
+// This pins the analytic derivative paths (B-spline derivative chains,
+// reciprocal-space force expressions) against the energy paths they must
+// match for stable dynamics.
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/tme.hpp"
+#include "ewald/reference_ewald.hpp"
+#include "ewald/splitting.hpp"
+#include "ewald/spme.hpp"
+#include "msm/msm.hpp"
+#include "util/rng.hpp"
+
+namespace tme {
+namespace {
+
+struct TestSystem {
+  Box box;
+  std::vector<Vec3> positions;
+  std::vector<double> charges;
+};
+
+TestSystem small_system(std::uint64_t seed) {
+  TestSystem sys;
+  sys.box.lengths = {3.2, 3.2, 3.2};
+  Rng rng(seed);
+  const std::size_t n = 24;
+  sys.positions.resize(n);
+  sys.charges.resize(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sys.positions[i] = {rng.uniform(0.0, 3.2), rng.uniform(0.0, 3.2),
+                        rng.uniform(0.0, 3.2)};
+    sys.charges[i] = rng.uniform(-1.0, 1.0);
+    total += sys.charges[i];
+  }
+  for (auto& q : sys.charges) q -= total / static_cast<double>(n);
+  return sys;
+}
+
+// Central-difference gradient check on a handful of atoms/axes.
+template <typename Energy>
+void expect_forces_match_gradient(const TestSystem& sys,
+                                  const std::vector<Vec3>& forces,
+                                  const Energy& energy_of, double tolerance) {
+  const double eps = 2e-6;
+  for (const std::size_t atom : {0u, 7u, 15u}) {
+    for (int axis = 0; axis < 3; ++axis) {
+      auto shifted = sys.positions;
+      shifted[atom][static_cast<std::size_t>(axis)] += eps;
+      const double e_hi = energy_of(shifted);
+      shifted[atom][static_cast<std::size_t>(axis)] -= 2 * eps;
+      const double e_lo = energy_of(shifted);
+      const double fd = -(e_hi - e_lo) / (2 * eps);
+      EXPECT_NEAR(forces[atom][static_cast<std::size_t>(axis)], fd, tolerance)
+          << "atom " << atom << " axis " << axis;
+    }
+  }
+}
+
+TEST(ForceGradient, EwaldReference) {
+  const TestSystem sys = small_system(1);
+  EwaldParams params;
+  params.alpha = 3.0;
+  const CoulombResult r = ewald_reference(sys.box, sys.positions, sys.charges, params);
+  expect_forces_match_gradient(
+      sys, r.forces,
+      [&](const std::vector<Vec3>& pos) {
+        return ewald_reference(sys.box, pos, sys.charges, params).energy;
+      },
+      2e-4);
+}
+
+TEST(ForceGradient, Spme) {
+  const TestSystem sys = small_system(2);
+  SpmeParams params;
+  params.alpha = alpha_from_tolerance(0.8, 1e-4);
+  params.grid = {16, 16, 16};
+  const Spme spme(sys.box, params);
+  const CoulombResult r = spme.compute(sys.positions, sys.charges);
+  expect_forces_match_gradient(
+      sys, r.forces,
+      [&](const std::vector<Vec3>& pos) {
+        return spme.compute(pos, sys.charges).energy;
+      },
+      2e-4);
+}
+
+class TmeGradientSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, std::size_t>> {};
+
+TEST_P(TmeGradientSweep, ForcesMatchEnergyGradient) {
+  const auto [order, gc, m] = GetParam();
+  const TestSystem sys = small_system(3);
+  TmeParams params;
+  params.order = order;
+  params.alpha = alpha_from_tolerance(0.8, 1e-4);
+  params.grid = {16, 16, 16};
+  params.grid_cutoff = gc;
+  params.num_gaussians = m;
+  const Tme tme(sys.box, params);
+  const CoulombResult r = tme.compute(sys.positions, sys.charges);
+  expect_forces_match_gradient(
+      sys, r.forces,
+      [&](const std::vector<Vec3>& pos) {
+        return tme.compute(pos, sys.charges).energy;
+      },
+      2e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, TmeGradientSweep,
+    ::testing::Values(std::make_tuple(4, 8, 2u), std::make_tuple(6, 8, 4u),
+                      std::make_tuple(6, 4, 1u), std::make_tuple(8, 8, 3u),
+                      std::make_tuple(6, 12, 4u)));
+
+TEST(ForceGradient, Msm) {
+  const TestSystem sys = small_system(4);
+  MsmParams params;
+  params.alpha = alpha_from_tolerance(0.8, 1e-4);
+  params.grid = {16, 16, 16};
+  params.grid_cutoff = 8;
+  const Msm msm(sys.box, params);
+  const CoulombResult r = msm.compute(sys.positions, sys.charges);
+  expect_forces_match_gradient(
+      sys, r.forces,
+      [&](const std::vector<Vec3>& pos) {
+        return msm.compute(pos, sys.charges).energy;
+      },
+      2e-4);
+}
+
+TEST(ForceGradient, TmeTwoLevels) {
+  const TestSystem sys = small_system(5);
+  TmeParams params;
+  params.alpha = alpha_from_tolerance(0.4, 1e-4);
+  params.grid = {32, 32, 32};
+  params.levels = 2;
+  params.grid_cutoff = 8;
+  params.num_gaussians = 3;
+  const Tme tme(sys.box, params);
+  const CoulombResult r = tme.compute(sys.positions, sys.charges);
+  expect_forces_match_gradient(
+      sys, r.forces,
+      [&](const std::vector<Vec3>& pos) {
+        return tme.compute(pos, sys.charges).energy;
+      },
+      5e-4);
+}
+
+}  // namespace
+}  // namespace tme

@@ -1,0 +1,273 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "hw/event_sim.hpp"
+#include "hw/gcu_model.hpp"
+#include "hw/lru_model.hpp"
+#include "hw/machine.hpp"
+#include "hw/network_model.hpp"
+#include "hw/timechart.hpp"
+#include "hw/tmenw_model.hpp"
+#include "hw/torus.hpp"
+
+namespace tme::hw {
+namespace {
+
+// --- torus -------------------------------------------------------------------
+
+TEST(Torus, IndexCoordRoundTrip) {
+  const TorusTopology torus(8, 8, 8);
+  EXPECT_EQ(torus.node_count(), 512u);
+  for (const std::size_t idx : {0u, 1u, 63u, 511u, 100u}) {
+    EXPECT_EQ(torus.index(torus.coord(idx)), idx);
+  }
+}
+
+TEST(Torus, HopDistanceWrapsAround) {
+  const TorusTopology torus(8, 8, 8);
+  EXPECT_EQ(torus.hops({0, 0, 0}, {7, 0, 0}), 1u);  // wraparound
+  EXPECT_EQ(torus.hops({0, 0, 0}, {4, 0, 0}), 4u);  // farthest on axis
+  EXPECT_EQ(torus.hops({1, 2, 3}, {1, 2, 3}), 0u);
+  EXPECT_EQ(torus.hops({0, 0, 0}, {4, 4, 4}), 12u);  // network diameter
+}
+
+TEST(Torus, SixNeighboursAreAtHopOne) {
+  const TorusTopology torus(8, 8, 8);
+  const NodeCoord c{3, 5, 7};
+  for (const NodeCoord& n : torus.neighbours(c)) {
+    EXPECT_EQ(torus.hops(c, n), 1u);
+  }
+}
+
+// --- network -------------------------------------------------------------------
+
+TEST(Network, NeighbourLatencyMatchesPaper) {
+  const NetworkParams params;
+  // Zero-payload neighbour message: the measured 200 ns latency.
+  EXPECT_NEAR(transfer_time(params, 1, 1), 200e-9, 5e-9);
+}
+
+TEST(Network, BandwidthTermScalesWithBytes) {
+  const NetworkParams params;
+  const double t1 = transfer_time(params, 1000, 1);
+  const double t2 = transfer_time(params, 2000, 1);
+  EXPECT_NEAR(t2 - t1, 1000.0 / params.effective_bandwidth(), 1e-12);
+}
+
+TEST(Network, ZeroBytesOrHopsIsFree) {
+  const NetworkParams params;
+  EXPECT_EQ(transfer_time(params, 0, 3), 0.0);
+  EXPECT_EQ(transfer_time(params, 100, 0), 0.0);
+}
+
+// --- component models -----------------------------------------------------------
+
+TEST(LruModel, Figure9SystemLandsNearTenMicrosecondsPerPair) {
+  // 80,540 atoms / 512 nodes: CA + BI together were measured at ~10 us.
+  const LruParams params;
+  const double pass = lru_pass_time(params, 157);
+  EXPECT_GT(2.0 * pass, 8e-6);
+  EXPECT_LT(2.0 * pass, 14e-6);
+}
+
+TEST(LruModel, ScalesWithAtoms) {
+  const LruParams params;
+  const double t1 = lru_pass_time(params, 157);
+  const double t8 = lru_pass_time(params, 8 * 157);
+  EXPECT_GT(t8, 6.0 * t1);  // near-linear (pipeline fill is constant)
+  EXPECT_LT(t8, 8.5 * t1);
+}
+
+TEST(GcuModel, Level1ConvolutionNearSixMicroseconds) {
+  // 32^3 grid on 8^3 nodes, g_c = 8, M = 4: measured ~6 us.
+  const GcuParams params;
+  const GcuLevelGeometry geom{4, 4, 4, 32, 32, 32};
+  const double t = gcu_convolution_time(params, geom, 8, 4);
+  EXPECT_GT(t, 4.5e-6);
+  EXPECT_LT(t, 8e-6);
+}
+
+TEST(GcuModel, TransferNearOnePointFiveMicroseconds) {
+  const GcuParams params;
+  const GcuLevelGeometry geom{4, 4, 4, 32, 32, 32};
+  const double t = gcu_transfer_time(params, geom, 6);
+  EXPECT_GT(t, 1e-6);
+  EXPECT_LT(t, 2e-6);
+}
+
+TEST(GcuModel, ConvolutionScalesWithStreamedData) {
+  // Sec. VI.A: eight times the grid points cost close to eight times the
+  // convolution time (streaming-bound).
+  const GcuParams params;
+  const GcuLevelGeometry small{4, 4, 4, 32, 32, 32};
+  const GcuLevelGeometry large{8, 8, 8, 64, 64, 64};
+  const double t_small = gcu_convolution_time(params, small, 8, 4);
+  const double t_large = gcu_convolution_time(params, large, 8, 4);
+  EXPECT_GT(t_large, 4.0 * t_small);
+  EXPECT_LT(t_large, 8.0 * t_small);
+}
+
+TEST(GcuModel, CostGrowsLinearlyInM) {
+  const GcuParams params;
+  const GcuLevelGeometry geom{4, 4, 4, 32, 32, 32};
+  const double t2 = gcu_convolution_time(params, geom, 8, 2);
+  const double t4 = gcu_convolution_time(params, geom, 8, 4);
+  // Streaming part doubles; overhead is constant.
+  EXPECT_GT(t4, 1.5 * t2);
+  EXPECT_LT(t4, 2.0 * t2);
+}
+
+TEST(TmenwModel, RoundTripUnderTwentyMicroseconds) {
+  const TmenwParams params;
+  const double t = tmenw_roundtrip_time(params, 16 * 16 * 16);
+  EXPECT_GT(t, 10e-6);
+  EXPECT_LT(t, 20e-6);  // paper: measured < 20 us
+  // The FFT itself is a small fraction.
+  EXPECT_LT(params.fft_time_s, 0.2 * t);
+}
+
+// --- event simulator -------------------------------------------------------------
+
+TEST(EventSim, ChainsRespectDependencies) {
+  EventSimulator sim;
+  const TaskId a = sim.add_task({"a", "L", 1.0, {}, -1});
+  const TaskId b = sim.add_task({"b", "L", 2.0, {a}, -1});
+  sim.add_task({"c", "L", 0.5, {b}, -1});
+  const auto schedule = sim.run();
+  EXPECT_EQ(schedule[1].start, 1.0);
+  EXPECT_EQ(schedule[2].start, 3.0);
+  EXPECT_NEAR(sim.makespan(), 3.5, 1e-12);
+}
+
+TEST(EventSim, IndependentTasksOverlap) {
+  EventSimulator sim;
+  sim.add_task({"a", "L1", 2.0, {}, -1});
+  sim.add_task({"b", "L2", 3.0, {}, -1});
+  sim.run();
+  EXPECT_NEAR(sim.makespan(), 3.0, 1e-12);
+}
+
+TEST(EventSim, ExclusiveResourceSerialises) {
+  EventSimulator sim;
+  sim.add_task({"a", "L1", 2.0, {}, 0});
+  sim.add_task({"b", "L2", 3.0, {}, 0});
+  sim.run();
+  EXPECT_NEAR(sim.makespan(), 5.0, 1e-12);
+}
+
+TEST(EventSim, RejectsForwardDependency) {
+  EventSimulator sim;
+  EXPECT_THROW(sim.add_task({"a", "L", 1.0, {5}, -1}), std::invalid_argument);
+}
+
+// --- whole machine -----------------------------------------------------------
+
+class MachineFig9 : public ::testing::Test {
+ protected:
+  MdgrapeMachine machine_;
+  StepConfig config_;  // defaults = Fig. 9 system
+};
+
+TEST_F(MachineFig9, StepTimeMatchesPaper) {
+  const StepTimings t = machine_.simulate_step(config_);
+  // Paper: 206 us per step; the model must land within ~10%.
+  EXPECT_NEAR(t.step_time, 206e-6, 21e-6);
+}
+
+TEST_F(MachineFig9, LongRangeRemovalSavesAboutTenMicroseconds) {
+  const StepTimings with_lr = machine_.simulate_step(config_);
+  StepConfig no_lr = config_;
+  no_lr.long_range = false;
+  const StepTimings without = machine_.simulate_step(no_lr);
+  // Paper: 206 -> 196 us, a ~10 us (5%) cost.
+  const double delta = with_lr.step_time - without.step_time;
+  EXPECT_GT(delta, 5e-6);
+  EXPECT_LT(delta, 15e-6);
+  EXPECT_LT(delta / with_lr.step_time, 0.08);
+}
+
+TEST_F(MachineFig9, LongRangeBusyTimeNearFiftyMicroseconds) {
+  const StepTimings t = machine_.simulate_step(config_);
+  EXPECT_GT(t.long_range_total, 35e-6);
+  EXPECT_LT(t.long_range_total, 60e-6);
+  // And it mostly overlaps: busy time >> net cost.
+  EXPECT_GT(t.long_range_span, t.gcu_window);
+}
+
+TEST_F(MachineFig9, SubTimingsMatchFigure10) {
+  const StepTimings t = machine_.simulate_step(config_);
+  EXPECT_NEAR(t.restriction, 1.5e-6, 0.7e-6);
+  EXPECT_NEAR(t.convolution, 6e-6, 2e-6);
+  EXPECT_NEAR(t.prolongation, 1.5e-6, 0.7e-6);
+  EXPECT_LT(t.tmenw, 20e-6);
+  EXPECT_NEAR(t.lru_ca + t.lru_bi, 10e-6, 4e-6);
+}
+
+TEST_F(MachineFig9, PerformanceNearOneMicrosecondPerDay) {
+  EXPECT_NEAR(machine_.performance_us_per_day(config_), 1.0, 0.15);
+}
+
+TEST_F(MachineFig9, TimechartRendersAllLanes) {
+  const StepTimings t = machine_.simulate_step(config_);
+  const std::string chart = render_timechart(t.schedule);
+  for (const char* lane : {"GP", "PP", "NW", "LRU", "GCU", "TMENW"}) {
+    EXPECT_NE(chart.find(lane), std::string::npos) << lane;
+  }
+  const std::string table = render_task_table(t.schedule);
+  EXPECT_NE(table.find("GCU convolution"), std::string::npos);
+}
+
+TEST(Machine, LargerGridEstimateMatchesSectionSixA) {
+  // 64^3 grid, L = 2, 8x volume and atoms: the long-range term lands near
+  // the paper's ~150 us estimate and the GCU becomes the dominant phase.
+  MdgrapeMachine machine;
+  StepConfig big;
+  big.grid = {64, 64, 64};
+  big.levels = 2;
+  big.atoms = 80540 * 8;
+  big.box_x = 2 * 9.7;
+  big.box_y = 2 * 8.3;
+  big.box_z = 2 * 10.6;
+  const StepTimings t = machine.simulate_step(big);
+  EXPECT_GT(t.long_range_total, 100e-6);
+  EXPECT_LT(t.long_range_total, 200e-6);
+  // GCU operations roughly an order of magnitude above the 32^3 case.
+  MdgrapeMachine small;
+  const StepTimings t32 = small.simulate_step(StepConfig{});
+  EXPECT_GT(t.gcu_window, 4.0 * t32.gcu_window);
+}
+
+TEST(Machine, SoftwareFftEstimateReachesHundredsOfMicroseconds) {
+  // Paper Sec. V.D: the software 3D FFT prototype on the torus "would be
+  // hundreds of microseconds" at 512 nodes — the motivation for the TME.
+  MachineParams mp;
+  const double t = software_fft_estimate(mp, {32, 32, 32});
+  EXPECT_GT(t, 50e-6);
+  EXPECT_LT(t, 500e-6);
+  // And it grows with the machine (latency/message bound), unlike the TME.
+  MachineParams big;
+  big.nodes_x = big.nodes_y = big.nodes_z = 16;
+  EXPECT_GT(software_fft_estimate(big, {32, 32, 32}), t);
+}
+
+TEST(Machine, StrongScalingImprovesWithNodes) {
+  // The same system on a 4^3 machine must be slower per step than on 8^3.
+  MachineParams small_machine;
+  small_machine.nodes_x = small_machine.nodes_y = small_machine.nodes_z = 4;
+  const MdgrapeMachine m4(small_machine);
+  const MdgrapeMachine m8;
+  const StepConfig cfg;
+  EXPECT_GT(m4.simulate_step(cfg).step_time, 2.0 * m8.simulate_step(cfg).step_time);
+}
+
+TEST(Machine, TimestepScalesPerformanceLinearly) {
+  MdgrapeMachine machine;
+  StepConfig cfg;
+  cfg.timestep_fs = 5.0;
+  EXPECT_NEAR(machine.performance_us_per_day(cfg),
+              2.0 * machine.performance_us_per_day(StepConfig{}), 1e-9);
+}
+
+}  // namespace
+}  // namespace tme::hw

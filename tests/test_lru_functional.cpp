@@ -1,0 +1,133 @@
+// Datapath-level LRU tests: the fixed-point CA/BI paths must track the
+// double-precision ChargeAssigner within the quantisation budget the chip's
+// word sizes were chosen for.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ewald/charge_assignment.hpp"
+#include "spline/bspline.hpp"
+#include "ewald/splitting.hpp"
+#include "ewald/spme.hpp"
+#include "hw/lru_functional.hpp"
+#include "util/rng.hpp"
+
+namespace tme::hw {
+namespace {
+
+struct TestSystem {
+  Box box{{3.2, 3.2, 3.2}};
+  std::vector<Vec3> positions;
+  std::vector<double> charges;
+};
+
+TestSystem make_system(std::size_t n, std::uint64_t seed) {
+  TestSystem sys;
+  Rng rng(seed);
+  sys.positions.resize(n);
+  sys.charges.resize(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sys.positions[i] = {rng.uniform(0.0, 3.2), rng.uniform(0.0, 3.2),
+                        rng.uniform(0.0, 3.2)};
+    sys.charges[i] = rng.uniform(-1.0, 1.0);
+    total += sys.charges[i];
+  }
+  for (auto& q : sys.charges) q -= total / static_cast<double>(n);
+  return sys;
+}
+
+TEST(LruFunctional, SplineWeightsQuantiseTo24Bits) {
+  std::vector<double> w(6), d(6);
+  const LruFixedFormats fmt;
+  const long m0 = lru_spline_weights(7.3125, w, d, fmt);
+  std::vector<double> w_ref(6), d_ref(6);
+  const long m0_ref = tme::bspline_weights_central(6, 7.3125, w_ref, d_ref);
+  EXPECT_EQ(m0, m0_ref);
+  for (int k = 0; k < 6; ++k) {
+    EXPECT_NEAR(w[static_cast<std::size_t>(k)], w_ref[static_cast<std::size_t>(k)],
+                std::ldexp(1.0, -24));
+    // Quantised: an exact multiple of 2^-24.
+    const double scaled = std::ldexp(w[static_cast<std::size_t>(k)], 24);
+    EXPECT_EQ(scaled, std::nearbyint(scaled));
+  }
+}
+
+TEST(LruFunctional, ChargeAssignTracksDoublePath) {
+  const TestSystem sys = make_system(500, 3);
+  const GridDims dims{16, 16, 16};
+  const ChargeAssigner reference(sys.box, dims, 6);
+  const Grid3d exact = reference.assign(sys.positions, sys.charges);
+  const Grid3d fixed = lru_charge_assign(sys.box, dims, sys.positions, sys.charges);
+
+  double worst = 0.0;
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    worst = std::max(worst, std::abs(exact[i] - fixed[i]));
+  }
+  // Each grid point accumulates <= ~500 rounded contributions of 2^-23 each.
+  EXPECT_LT(worst, 1e-4);
+  EXPECT_GT(worst, 0.0);
+  // Total charge is conserved to the same budget.
+  EXPECT_NEAR(fixed.sum(), exact.sum(), 1e-3);
+}
+
+TEST(LruFunctional, BackInterpolationTracksDoublePath) {
+  const TestSystem sys = make_system(300, 5);
+  const GridDims dims{16, 16, 16};
+  const double alpha = alpha_from_tolerance(0.8, 1e-4);
+  // A realistic potential grid from the SPME pipeline.
+  SpmeParams sp;
+  sp.alpha = alpha;
+  sp.grid = dims;
+  const Spme spme(sys.box, sp);
+  const ChargeAssigner reference(sys.box, dims, 6);
+  const Grid3d q_grid = reference.assign(sys.positions, sys.charges);
+  const Grid3d potential = spme.solve_potential(q_grid);
+
+  std::vector<Vec3> f_exact(sys.positions.size());
+  std::vector<double> phi;
+  const double qphi_exact = reference.back_interpolate(potential, sys.positions,
+                                                       sys.charges, &f_exact, &phi);
+  std::vector<Vec3> f_fixed(sys.positions.size());
+  const double qphi_fixed = lru_back_interpolate(sys.box, potential, sys.positions,
+                                                 sys.charges, f_fixed);
+
+  EXPECT_NEAR(qphi_fixed, qphi_exact, 1e-3 * std::abs(qphi_exact));
+  double worst = 0.0, scale = 0.0;
+  for (std::size_t i = 0; i < f_exact.size(); ++i) {
+    worst = std::max(worst, norm(f_exact[i] - f_fixed[i]));
+    scale = std::max(scale, norm(f_exact[i]));
+  }
+  // The 32-bit force path sits far below the ~1e-4 method error.
+  EXPECT_LT(worst, 1e-4 * scale);
+  EXPECT_GT(worst, 0.0);
+}
+
+TEST(LruFunctional, CoarserForceFormatDegradesGracefully) {
+  const TestSystem sys = make_system(100, 7);
+  const GridDims dims{16, 16, 16};
+  const ChargeAssigner reference(sys.box, dims, 6);
+  Grid3d potential(dims);
+  Rng rng(9);
+  for (std::size_t i = 0; i < potential.size(); ++i) {
+    potential[i] = rng.uniform(-100.0, 100.0);
+  }
+  std::vector<Vec3> f_exact(sys.positions.size());
+  reference.back_interpolate(potential, sys.positions, sys.charges, &f_exact);
+
+  double prev = -1.0;
+  for (const int frac : {14, 10, 6}) {
+    LruFixedFormats fmt;
+    fmt.force_frac_bits = frac;
+    std::vector<Vec3> f(sys.positions.size());
+    lru_back_interpolate(sys.box, potential, sys.positions, sys.charges, f, fmt);
+    double err = 0.0;
+    for (std::size_t i = 0; i < f.size(); ++i) err += norm2(f[i] - f_exact[i]);
+    err = std::sqrt(err);
+    EXPECT_GT(err, prev) << "frac=" << frac;
+    prev = err;
+  }
+}
+
+}  // namespace
+}  // namespace tme::hw

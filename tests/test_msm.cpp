@@ -1,0 +1,194 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/grid_kernel.hpp"
+#include "core/tme.hpp"
+#include "ewald/splitting.hpp"
+#include "ewald/spme.hpp"
+#include "msm/msm.hpp"
+#include "util/rng.hpp"
+
+namespace tme {
+namespace {
+
+struct TestSystem {
+  Box box;
+  std::vector<Vec3> positions;
+  std::vector<double> charges;
+};
+
+TestSystem water_like(std::size_t n, double box_length, std::uint64_t seed) {
+  TestSystem sys;
+  sys.box.lengths = {box_length, box_length, box_length};
+  Rng rng(seed);
+  const double min_dist2 = 0.08 * 0.08;
+  double total = 0.0;
+  while (sys.positions.size() < n) {
+    const Vec3 candidate{rng.uniform(0.0, box_length), rng.uniform(0.0, box_length),
+                         rng.uniform(0.0, box_length)};
+    bool ok = true;
+    for (const Vec3& existing : sys.positions) {
+      if (norm2(sys.box.min_image_disp(candidate, existing)) < min_dist2) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    sys.positions.push_back(candidate);
+    const double q = (sys.positions.size() % 3 == 0) ? -0.834 : 0.417;
+    sys.charges.push_back(q);
+    total += q;
+  }
+  for (auto& q : sys.charges) q -= total / static_cast<double>(n);
+  return sys;
+}
+
+TEST(MsmKernel, CentreTapDominatesAndDecays) {
+  const Box box{{3.2, 3.2, 3.2}};
+  const double alpha = alpha_from_tolerance(0.8, 1e-4);
+  const int gc = 8;
+  const auto cube = msm_level_kernel(box, {16, 16, 16}, 6, alpha, 1, gc);
+  const std::size_t w = static_cast<std::size_t>(2 * gc + 1);
+  const std::size_t centre = (static_cast<std::size_t>(gc) * w +
+                              static_cast<std::size_t>(gc)) *
+                                 w +
+                             static_cast<std::size_t>(gc);
+  EXPECT_GT(cube[centre], 0.0);
+  for (std::size_t i = 0; i < cube.size(); ++i) {
+    EXPECT_LE(std::abs(cube[i]), std::abs(cube[centre]) * 1.0001);
+  }
+  // Corner taps are far below the centre.
+  EXPECT_LT(std::abs(cube[0]), 1e-3 * cube[centre]);
+}
+
+TEST(MsmKernel, MatchesTensorKernelSummedOverManyGaussians) {
+  // The MSM cube is the exact shell expansion; the TME cube with many
+  // Gaussians must converge to it.
+  const Box box{{3.2, 3.2, 3.2}};
+  const double alpha = alpha_from_tolerance(0.8, 1e-4);
+  const int gc = 6;
+  const auto exact = msm_level_kernel(box, {16, 16, 16}, 6, alpha, 1, gc);
+
+  const Vec3 h{0.2, 0.2, 0.2};
+  const auto terms = fit_shell_gaussians(alpha, 8);
+  const auto kernels = build_level_kernels(terms, 6, {16, 16, 16}, h, gc);
+  const auto tme_cube = dense_kernel_cube(kernels, gc);
+
+  double worst = 0.0;
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    worst = std::max(worst, std::abs(exact[i] - tme_cube[i]));
+  }
+  const std::size_t w = static_cast<std::size_t>(2 * gc + 1);
+  const double centre = exact[(static_cast<std::size_t>(gc) * w +
+                               static_cast<std::size_t>(gc)) *
+                                  w +
+                              static_cast<std::size_t>(gc)];
+  EXPECT_LT(worst, 1e-5 * centre);
+}
+
+class MsmVsOthers : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sys_ = water_like(2400, 3.2, 99);
+    alpha_ = alpha_from_tolerance(0.8, 1e-4);
+  }
+  TestSystem sys_;
+  double alpha_ = 0.0;
+};
+
+TEST_F(MsmVsOthers, MatchesSpmeLongRangeForces) {
+  MsmParams mp;
+  mp.alpha = alpha_;
+  mp.grid = {16, 16, 16};
+  mp.grid_cutoff = 8;
+  const Msm msm(sys_.box, mp);
+  const CoulombResult lr_msm = msm.compute(sys_.positions, sys_.charges);
+
+  SpmeParams sp;
+  sp.alpha = alpha_;
+  sp.grid = {16, 16, 16};
+  const Spme spme(sys_.box, sp);
+  const CoulombResult lr_spme = spme.compute(sys_.positions, sys_.charges);
+
+  EXPECT_LT(lr_msm.relative_force_error_against(lr_spme), 2e-2);
+}
+
+TEST_F(MsmVsOthers, TmeConvergesToMsmAsMGrows) {
+  MsmParams mp;
+  mp.alpha = alpha_;
+  mp.grid = {16, 16, 16};
+  mp.grid_cutoff = 8;
+  const Msm msm(sys_.box, mp);
+  const CoulombResult lr_msm = msm.compute(sys_.positions, sys_.charges);
+
+  double prev = 1.0;
+  for (const std::size_t m : {1u, 3u, 6u}) {
+    TmeParams tp;
+    tp.alpha = alpha_;
+    tp.grid = {16, 16, 16};
+    tp.grid_cutoff = 8;
+    tp.num_gaussians = m;
+    const Tme tme(sys_.box, tp);
+    const CoulombResult lr_tme = tme.compute(sys_.positions, sys_.charges);
+    const double dev = lr_tme.relative_force_error_against(lr_msm);
+    EXPECT_LT(dev, prev) << "M=" << m;
+    prev = dev;
+  }
+  // At M = 6 the only difference left is the Gaussian quadrature residual.
+  EXPECT_LT(prev, 1e-4);
+}
+
+TEST_F(MsmVsOthers, EnergiesAgreeAtConvergence) {
+  MsmParams mp;
+  mp.alpha = alpha_;
+  mp.grid = {16, 16, 16};
+  mp.grid_cutoff = 8;
+  const Msm msm(sys_.box, mp);
+  TmeParams tp;
+  tp.alpha = alpha_;
+  tp.grid = {16, 16, 16};
+  tp.grid_cutoff = 8;
+  tp.num_gaussians = 6;
+  const Tme tme(sys_.box, tp);
+  const double e_msm = msm.compute(sys_.positions, sys_.charges).energy;
+  const double e_tme = tme.compute(sys_.positions, sys_.charges).energy;
+  EXPECT_NEAR(e_tme, e_msm, 1e-4 * std::abs(e_msm));
+}
+
+TEST(Msm, TwoLevelHierarchyWorks) {
+  TestSystem sys = water_like(500, 6.4, 5);
+  const double alpha = alpha_from_tolerance(0.8, 1e-4);
+  MsmParams mp;
+  mp.alpha = alpha;
+  mp.grid = {32, 32, 32};
+  mp.levels = 2;
+  mp.grid_cutoff = 8;
+  const Msm msm(sys.box, mp);
+  const CoulombResult lr = msm.compute(sys.positions, sys.charges);
+
+  SpmeParams sp;
+  sp.alpha = alpha;
+  sp.grid = {32, 32, 32};
+  const Spme spme(sys.box, sp);
+  const CoulombResult ref = spme.compute(sys.positions, sys.charges);
+  EXPECT_LT(lr.relative_force_error_against(ref), 3e-2);
+}
+
+TEST(Msm, RejectsBadConfigurations) {
+  const Box box{{4.0, 4.0, 4.0}};
+  MsmParams mp;
+  mp.alpha = 2.0;
+  mp.grid = {32, 32, 32};
+  mp.order = 5;
+  EXPECT_THROW(Msm(box, mp), std::invalid_argument);
+  mp.order = 6;
+  mp.levels = 0;
+  EXPECT_THROW(Msm(box, mp), std::invalid_argument);
+  mp.levels = 4;
+  EXPECT_THROW(Msm(box, mp), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tme

@@ -1,0 +1,104 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "md/observables.hpp"
+#include "util/rng.hpp"
+
+namespace tme {
+namespace {
+
+TEST(Rdf, IdealGasIsFlatAtOne) {
+  const Box box{{4.0, 4.0, 4.0}};
+  Rng rng(1);
+  const std::size_t n = 800;
+  std::vector<Vec3> pos(n);
+  std::vector<std::size_t> group(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pos[i] = {rng.uniform(0.0, 4.0), rng.uniform(0.0, 4.0), rng.uniform(0.0, 4.0)};
+    group[i] = i;
+  }
+  RdfAccumulator rdf(1.5, 30);
+  for (int frame = 0; frame < 10; ++frame) {
+    rdf.accumulate(box, pos, group, group);
+    for (auto& p : pos) {
+      p = {rng.uniform(0.0, 4.0), rng.uniform(0.0, 4.0), rng.uniform(0.0, 4.0)};
+    }
+  }
+  const RdfResult result = rdf.result();
+  EXPECT_EQ(result.samples, 10u);
+  // Skip the first (poor-statistics) bins; the rest must hover near 1.
+  for (std::size_t b = 5; b < result.g.size(); ++b) {
+    EXPECT_NEAR(result.g[b], 1.0, 0.15) << "bin " << b;
+  }
+}
+
+TEST(Rdf, LatticePeaksAtNeighbourDistance) {
+  // Simple cubic lattice: g(r) must spike at the lattice constant.
+  const double a = 0.5;
+  const Box box{{4.0, 4.0, 4.0}};
+  std::vector<Vec3> pos;
+  std::vector<std::size_t> group;
+  for (int x = 0; x < 8; ++x) {
+    for (int y = 0; y < 8; ++y) {
+      for (int z = 0; z < 8; ++z) {
+        group.push_back(pos.size());
+        pos.push_back({x * a, y * a, z * a});
+      }
+    }
+  }
+  RdfAccumulator rdf(1.0, 50);
+  rdf.accumulate(box, pos, group, group);
+  const RdfResult r = rdf.result();
+  // Sharp shell at the lattice constant, empty gap before the sqrt(2) shell.
+  const std::size_t shell_bin = static_cast<std::size_t>(a / 1.0 * 50.0);
+  EXPECT_GT(r.g[shell_bin], 5.0);
+  const std::size_t gap_bin = static_cast<std::size_t>(0.6 / 1.0 * 50.0);
+  EXPECT_LT(r.g[gap_bin], 1e-12);
+  // And nothing below the nearest-neighbour distance.
+  for (std::size_t b = 0; b + 1 < shell_bin; ++b) EXPECT_EQ(r.g[b], 0.0);
+}
+
+TEST(Rdf, RejectsBadParameters) {
+  EXPECT_THROW(RdfAccumulator(0.0, 10), std::invalid_argument);
+  EXPECT_THROW(RdfAccumulator(1.0, 0), std::invalid_argument);
+}
+
+TEST(Msd, BallisticMotionGivesQuadraticGrowth) {
+  const Box box{{5.0, 5.0, 5.0}};
+  std::vector<Vec3> pos{{1.0, 1.0, 1.0}, {2.0, 2.0, 2.0}};
+  const std::vector<std::size_t> group{0, 1};
+  MsdTracker msd(box, pos, group);
+  const Vec3 v{0.1, 0.0, 0.0};
+  double prev = 0.0;
+  for (int step = 1; step <= 10; ++step) {
+    for (auto& p : pos) p = box.wrap(p + v);
+    const double value = msd.update(pos);
+    const double expected = norm2(v) * step * step;
+    EXPECT_NEAR(value, expected, 1e-10) << "step " << step;
+    EXPECT_GT(value, prev);
+    prev = value;
+  }
+}
+
+TEST(Msd, UnwrapsAcrossPeriodicBoundary) {
+  const Box box{{2.0, 2.0, 2.0}};
+  std::vector<Vec3> pos{{1.9, 1.0, 1.0}};
+  const std::vector<std::size_t> group{0};
+  MsdTracker msd(box, pos, group);
+  // Cross the boundary: +0.3 -> wrapped to 0.2; true displacement 0.3.
+  pos[0] = box.wrap({2.2, 1.0, 1.0});
+  const double value = msd.update(pos);
+  EXPECT_NEAR(value, 0.09, 1e-12);
+}
+
+TEST(Msd, StationaryParticlesStayAtZero) {
+  const Box box{{3.0, 3.0, 3.0}};
+  std::vector<Vec3> pos{{0.5, 0.5, 0.5}, {1.5, 1.5, 1.5}};
+  const std::vector<std::size_t> group{0, 1};
+  MsdTracker msd(box, pos, group);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(msd.update(pos), 0.0);
+}
+
+}  // namespace
+}  // namespace tme

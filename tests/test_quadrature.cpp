@@ -1,0 +1,101 @@
+#include "quadrature/gauss_legendre.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace tme {
+namespace {
+
+TEST(GaussLegendre, OnePointRuleIsMidpoint) {
+  const QuadratureRule rule = gauss_legendre(1);
+  ASSERT_EQ(rule.nodes.size(), 1u);
+  EXPECT_NEAR(rule.nodes[0], 0.0, 1e-15);
+  EXPECT_NEAR(rule.weights[0], 2.0, 1e-15);
+}
+
+TEST(GaussLegendre, TwoPointRuleMatchesClosedForm) {
+  const QuadratureRule rule = gauss_legendre(2);
+  const double node = 1.0 / std::sqrt(3.0);
+  EXPECT_NEAR(rule.nodes[0], -node, 1e-14);
+  EXPECT_NEAR(rule.nodes[1], node, 1e-14);
+  EXPECT_NEAR(rule.weights[0], 1.0, 1e-14);
+  EXPECT_NEAR(rule.weights[1], 1.0, 1e-14);
+}
+
+TEST(GaussLegendre, ThreePointRuleMatchesClosedForm) {
+  const QuadratureRule rule = gauss_legendre(3);
+  const double node = std::sqrt(0.6);
+  EXPECT_NEAR(rule.nodes[0], -node, 1e-14);
+  EXPECT_NEAR(rule.nodes[1], 0.0, 1e-14);
+  EXPECT_NEAR(rule.nodes[2], node, 1e-14);
+  EXPECT_NEAR(rule.weights[0], 5.0 / 9.0, 1e-14);
+  EXPECT_NEAR(rule.weights[1], 8.0 / 9.0, 1e-14);
+  EXPECT_NEAR(rule.weights[2], 5.0 / 9.0, 1e-14);
+}
+
+TEST(GaussLegendre, RejectsZeroPoints) {
+  EXPECT_THROW(gauss_legendre(0), std::invalid_argument);
+}
+
+class GaussLegendreSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GaussLegendreSweep, WeightsSumToTwo) {
+  const QuadratureRule rule = gauss_legendre(GetParam());
+  double sum = 0.0;
+  for (const double w : rule.weights) {
+    EXPECT_GT(w, 0.0);
+    sum += w;
+  }
+  EXPECT_NEAR(sum, 2.0, 1e-13);
+}
+
+TEST_P(GaussLegendreSweep, NodesAscendInOpenInterval) {
+  const QuadratureRule rule = gauss_legendre(GetParam());
+  for (std::size_t i = 0; i < rule.nodes.size(); ++i) {
+    EXPECT_GT(rule.nodes[i], -1.0);
+    EXPECT_LT(rule.nodes[i], 1.0);
+    if (i > 0) EXPECT_GT(rule.nodes[i], rule.nodes[i - 1]);
+  }
+}
+
+TEST_P(GaussLegendreSweep, ExactForPolynomialsUpToDegree2mMinus1) {
+  const std::size_t m = GetParam();
+  const QuadratureRule rule = gauss_legendre(m);
+  // Integrate x^d over [-1, 1]: 0 for odd d, 2/(d+1) for even d.
+  for (std::size_t d = 0; d <= 2 * m - 1; ++d) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      sum += rule.weights[i] * std::pow(rule.nodes[i], static_cast<double>(d));
+    }
+    const double exact = d % 2 == 1 ? 0.0 : 2.0 / (static_cast<double>(d) + 1.0);
+    EXPECT_NEAR(sum, exact, 1e-12) << "m=" << m << " degree=" << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, GaussLegendreSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 16, 33, 64));
+
+TEST(GaussLegendre, IntegratesGaussianSegmentAccurately) {
+  // The TME uses the rule on exp(-(c u)^2) over [-1, 1]; check convergence
+  // against erf.
+  const double c = 1.3;
+  const double exact = std::sqrt(M_PI) / c * std::erf(c);
+  const double approx =
+      integrate_gl([c](double u) { return std::exp(-c * c * u * u); }, -1.0, 1.0, 20);
+  EXPECT_NEAR(approx, exact, 1e-13);
+  // And the convergence the TME relies on: each added point shrinks the
+  // error of the low-order rules substantially.
+  double prev_err = 1.0;
+  for (std::size_t m = 1; m <= 4; ++m) {
+    const double val = integrate_gl(
+        [c](double u) { return std::exp(-c * c * u * u); }, -1.0, 1.0, m);
+    const double err = std::abs(val - exact);
+    EXPECT_LT(err, prev_err);
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 1e-2);
+}
+
+}  // namespace
+}  // namespace tme

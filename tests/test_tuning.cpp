@@ -1,0 +1,118 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/tme.hpp"
+#include "core/tuning.hpp"
+#include "ewald/splitting.hpp"
+#include "md/water_box.hpp"
+
+namespace tme {
+namespace {
+
+TEST(Tuning, PaperLikeBoxRecoversPaperParameters) {
+  // A 10 nm cube with r_c = 1.25 nm should come out close to the paper's
+  // configuration: 32^3 grid, alpha h ~ 0.69, g_c = 8, M >= 3.
+  const Box box{{9.9727, 9.9727, 9.9727}};
+  TmeTuningRequest req;
+  req.r_cut = 1.25;
+  req.rtol = 1e-4;
+  const TmeTuning t = tune_tme(box, req);
+  EXPECT_EQ(t.params.grid.nx, 32u);
+  EXPECT_EQ(t.params.grid_cutoff, 8);
+  EXPECT_GE(t.params.num_gaussians, 3u);
+  EXPECT_NEAR(t.alpha * t.grid_spacing, 0.69, 0.12);
+  EXPECT_NEAR(t.rc_over_h, 4.0, 0.6);
+  // The tuned parameters construct a working solver.
+  const Tme solver(box, t.params);
+  EXPECT_EQ(solver.params().levels, t.params.levels);
+}
+
+TEST(Tuning, DeepensHierarchyForLargeBoxes) {
+  const Box box{{20.0, 20.0, 20.0}};
+  TmeTuningRequest req;
+  req.r_cut = 1.25;
+  req.max_levels = 2;
+  const TmeTuning t = tune_tme(box, req);
+  EXPECT_EQ(t.params.levels, 2);
+  EXPECT_GE(t.params.grid.nx, 64u);
+  // Top grid stays SPME-healthy.
+  EXPECT_GE(t.params.grid.nx >> t.params.levels, 12u);
+}
+
+TEST(Tuning, AnisotropicBoxGetsAnisotropicGrid) {
+  const Box box{{9.7, 8.3, 10.6}};  // the Fig. 9 box
+  TmeTuningRequest req;
+  req.r_cut = 1.2;
+  const TmeTuning t = tune_tme(box, req);
+  EXPECT_LE(t.params.grid.ny, t.params.grid.nx);
+  EXPECT_LE(t.params.grid.nx, t.params.grid.nz);
+  const Tme solver(box, t.params);  // must construct
+  (void)solver;
+}
+
+TEST(Tuning, TighterToleranceRaisesGaussianCount) {
+  const Box box{{8.0, 8.0, 8.0}};
+  TmeTuningRequest loose;
+  loose.r_cut = 1.0;
+  loose.rtol = 1e-3;
+  TmeTuningRequest tight;
+  tight.r_cut = 1.0;
+  tight.rtol = 1e-6;
+  EXPECT_LT(tune_tme(box, loose).params.num_gaussians,
+            tune_tme(box, tight).params.num_gaussians);
+}
+
+TEST(Tuning, RejectsImpossibleRequests) {
+  const Box small{{1.0, 1.0, 1.0}};
+  TmeTuningRequest req;
+  req.r_cut = 0.8;  // > L/2
+  EXPECT_THROW(tune_tme(small, req), std::invalid_argument);
+
+  const Box huge{{400.0, 400.0, 400.0}};
+  TmeTuningRequest capped;
+  capped.r_cut = 1.0;
+  capped.max_grid = 128;  // would need ~1600 points per axis
+  EXPECT_THROW(tune_tme(huge, capped), std::invalid_argument);
+}
+
+TEST(Ions, ReplacementKeepsNeutralityAndCounts) {
+  WaterBoxSpec spec;
+  spec.molecules = 125;
+  WaterBox wb = build_water_box(spec);
+  add_ion_pairs(wb, 4);
+  EXPECT_EQ(wb.molecules, 125u - 8u);
+  EXPECT_EQ(wb.system.size(), 3 * (125 - 8) + 8);
+  double total = 0.0;
+  for (const double q : wb.system.charges) total += q;
+  EXPECT_NEAR(total, 0.0, 1e-12);
+  // 4 sodiums (+1) and 4 chlorides (-1) at the tail.
+  int na = 0, cl = 0;
+  for (std::size_t i = wb.system.size() - 8; i < wb.system.size(); ++i) {
+    if (wb.system.charges[i] > 0.5) ++na;
+    if (wb.system.charges[i] < -0.5) ++cl;
+    EXPECT_GT(wb.topology.lj()[i].epsilon, 0.0);
+  }
+  EXPECT_EQ(na, 4);
+  EXPECT_EQ(cl, 4);
+  EXPECT_EQ(wb.topology.rigid_waters().size(), 117u);
+}
+
+TEST(Ions, RejectsTooManyPairs) {
+  WaterBoxSpec spec;
+  spec.molecules = 8;
+  WaterBox wb = build_water_box(spec);
+  EXPECT_THROW(add_ion_pairs(wb, 5), std::invalid_argument);
+}
+
+TEST(Ions, ZeroPairsIsNoop) {
+  WaterBoxSpec spec;
+  spec.molecules = 27;
+  WaterBox wb = build_water_box(spec);
+  const std::size_t atoms = wb.system.size();
+  add_ion_pairs(wb, 0);
+  EXPECT_EQ(wb.system.size(), atoms);
+}
+
+}  // namespace
+}  // namespace tme

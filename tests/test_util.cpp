@@ -1,0 +1,145 @@
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/args.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/vec3.hpp"
+
+namespace tme {
+namespace {
+
+TEST(Vec3, BasicArithmetic) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{-4.0, 0.5, 2.0};
+  EXPECT_EQ((a + b).x, -3.0);
+  EXPECT_EQ((a - b).y, 1.5);
+  EXPECT_EQ((2.0 * a).z, 6.0);
+  EXPECT_NEAR(dot(a, b), -4.0 + 1.0 + 6.0, 1e-15);
+  EXPECT_NEAR(norm(Vec3{3.0, 4.0, 0.0}), 5.0, 1e-15);
+}
+
+TEST(Vec3, CrossProductIsOrthogonal) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{-4.0, 0.5, 2.0};
+  const Vec3 c = cross(a, b);
+  EXPECT_NEAR(dot(a, c), 0.0, 1e-12);
+  EXPECT_NEAR(dot(b, c), 0.0, 1e-12);
+}
+
+TEST(Box, WrapPutsCoordinatesInBox) {
+  const Box box{{2.0, 3.0, 4.0}};
+  const Vec3 w = box.wrap({-0.5, 3.5, 9.0});
+  EXPECT_NEAR(w.x, 1.5, 1e-12);
+  EXPECT_NEAR(w.y, 0.5, 1e-12);
+  EXPECT_NEAR(w.z, 1.0, 1e-12);
+}
+
+TEST(Box, MinImageDisplacementIsShortest) {
+  const Box box{{10.0, 10.0, 10.0}};
+  const Vec3 d = box.min_image_disp({9.5, 0.0, 0.0}, {0.5, 0.0, 0.0});
+  EXPECT_NEAR(d.x, -1.0, 1e-12);
+  EXPECT_LE(std::abs(d.x), 5.0);
+}
+
+TEST(Box, MinImageHalfBoxBoundary) {
+  const Box box{{10.0, 10.0, 10.0}};
+  const Vec3 d = box.min_image_disp({7.5, 0.0, 0.0}, {2.5, 0.0, 0.0});
+  EXPECT_NEAR(std::abs(d.x), 5.0, 1e-12);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(0, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for(5, 5, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, RepeatedInvocationsAreStable) {
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<long> sum{0};
+    parallel_for(0, 257, [&](std::size_t i) { sum += static_cast<long>(i); });
+    EXPECT_EQ(sum.load(), 257L * 256L / 2L);
+  }
+}
+
+TEST(ThreadPool, RangesPartitionIsDisjointAndComplete) {
+  std::mutex m;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  parallel_for_ranges(0, 1003, [&](std::size_t b, std::size_t e) {
+    std::lock_guard lock(m);
+    ranges.emplace_back(b, e);
+  });
+  std::vector<int> cover(1003, 0);
+  for (const auto& [b, e] : ranges) {
+    for (std::size_t i = b; i < e; ++i) ++cover[i];
+  }
+  for (const int c : cover) EXPECT_EQ(c, 1);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double mean = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    mean += u;
+  }
+  EXPECT_NEAR(mean / n, 0.5, 5e-3);
+}
+
+TEST(Rng, NormalHasUnitVariance) {
+  Rng rng(9);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(Args, ParsesKeyValueForms) {
+  const char* argv[] = {"prog", "--alpha", "3.5", "--grid=32", "--full"};
+  const Args args(5, argv);
+  EXPECT_NEAR(args.get_double("alpha", 0.0), 3.5, 1e-15);
+  EXPECT_EQ(args.get_int("grid", 0), 32);
+  EXPECT_TRUE(args.get_flag("full"));
+  EXPECT_FALSE(args.get_flag("absent"));
+  EXPECT_EQ(args.get("missing", "dflt"), "dflt");
+}
+
+TEST(Args, TracksUnusedKeys) {
+  const char* argv[] = {"prog", "--used=1", "--typo=2"};
+  const Args args(3, argv);
+  (void)args.get_int("used", 0);
+  const auto unused = args.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Args, RejectsPositionalArguments) {
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_THROW(Args(2, argv), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tme
