@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_64grid"
+  "../bench/bench_64grid.pdb"
+  "CMakeFiles/bench_64grid.dir/bench_64grid.cpp.o"
+  "CMakeFiles/bench_64grid.dir/bench_64grid.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_64grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

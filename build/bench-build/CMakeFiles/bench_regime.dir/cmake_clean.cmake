@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_regime"
+  "../bench/bench_regime.pdb"
+  "CMakeFiles/bench_regime.dir/bench_regime.cpp.o"
+  "CMakeFiles/bench_regime.dir/bench_regime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_regime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_timechart.dir/hw_timechart.cpp.o"
+  "CMakeFiles/hw_timechart.dir/hw_timechart.cpp.o.d"
+  "hw_timechart"
+  "hw_timechart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_timechart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

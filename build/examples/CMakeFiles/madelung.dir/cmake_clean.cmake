@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/madelung.dir/madelung.cpp.o"
+  "CMakeFiles/madelung.dir/madelung.cpp.o.d"
+  "madelung"
+  "madelung.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/madelung.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_traffic.dir/parallel_traffic.cpp.o"
+  "CMakeFiles/parallel_traffic.dir/parallel_traffic.cpp.o.d"
+  "parallel_traffic"
+  "parallel_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solvated_polymer.dir/solvated_polymer.cpp.o"
+  "CMakeFiles/solvated_polymer.dir/solvated_polymer.cpp.o.d"
+  "solvated_polymer"
+  "solvated_polymer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solvated_polymer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

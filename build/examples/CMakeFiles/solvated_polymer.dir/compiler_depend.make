@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for solvated_polymer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for solvated_polymer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/water_nve.dir/water_nve.cpp.o"
+  "CMakeFiles/water_nve.dir/water_nve.cpp.o.d"
+  "water_nve"
+  "water_nve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/water_nve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

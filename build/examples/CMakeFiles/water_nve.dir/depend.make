@@ -1,0 +1,2 @@
+# Empty dependencies file for water_nve.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/water_structure.dir/water_structure.cpp.o"
+  "CMakeFiles/water_structure.dir/water_structure.cpp.o.d"
+  "water_structure"
+  "water_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/water_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

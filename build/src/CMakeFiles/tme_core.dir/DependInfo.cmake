@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost_model.cpp" "src/CMakeFiles/tme_core.dir/core/cost_model.cpp.o" "gcc" "src/CMakeFiles/tme_core.dir/core/cost_model.cpp.o.d"
+  "/root/repo/src/core/gaussian_fit.cpp" "src/CMakeFiles/tme_core.dir/core/gaussian_fit.cpp.o" "gcc" "src/CMakeFiles/tme_core.dir/core/gaussian_fit.cpp.o.d"
+  "/root/repo/src/core/grid_kernel.cpp" "src/CMakeFiles/tme_core.dir/core/grid_kernel.cpp.o" "gcc" "src/CMakeFiles/tme_core.dir/core/grid_kernel.cpp.o.d"
+  "/root/repo/src/core/tme.cpp" "src/CMakeFiles/tme_core.dir/core/tme.cpp.o" "gcc" "src/CMakeFiles/tme_core.dir/core/tme.cpp.o.d"
+  "/root/repo/src/core/tme_fixed.cpp" "src/CMakeFiles/tme_core.dir/core/tme_fixed.cpp.o" "gcc" "src/CMakeFiles/tme_core.dir/core/tme_fixed.cpp.o.d"
+  "/root/repo/src/core/tuning.cpp" "src/CMakeFiles/tme_core.dir/core/tuning.cpp.o" "gcc" "src/CMakeFiles/tme_core.dir/core/tuning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tme_ewald.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tme_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tme_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tme_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tme_spline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tme_quadrature.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tme_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

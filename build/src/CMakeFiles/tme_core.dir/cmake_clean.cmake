@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tme_core.dir/core/cost_model.cpp.o"
+  "CMakeFiles/tme_core.dir/core/cost_model.cpp.o.d"
+  "CMakeFiles/tme_core.dir/core/gaussian_fit.cpp.o"
+  "CMakeFiles/tme_core.dir/core/gaussian_fit.cpp.o.d"
+  "CMakeFiles/tme_core.dir/core/grid_kernel.cpp.o"
+  "CMakeFiles/tme_core.dir/core/grid_kernel.cpp.o.d"
+  "CMakeFiles/tme_core.dir/core/tme.cpp.o"
+  "CMakeFiles/tme_core.dir/core/tme.cpp.o.d"
+  "CMakeFiles/tme_core.dir/core/tme_fixed.cpp.o"
+  "CMakeFiles/tme_core.dir/core/tme_fixed.cpp.o.d"
+  "CMakeFiles/tme_core.dir/core/tuning.cpp.o"
+  "CMakeFiles/tme_core.dir/core/tuning.cpp.o.d"
+  "libtme_core.a"
+  "libtme_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tme_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tme_ewald.dir/ewald/charge_assignment.cpp.o"
+  "CMakeFiles/tme_ewald.dir/ewald/charge_assignment.cpp.o.d"
+  "CMakeFiles/tme_ewald.dir/ewald/greens_function.cpp.o"
+  "CMakeFiles/tme_ewald.dir/ewald/greens_function.cpp.o.d"
+  "CMakeFiles/tme_ewald.dir/ewald/reference_ewald.cpp.o"
+  "CMakeFiles/tme_ewald.dir/ewald/reference_ewald.cpp.o.d"
+  "CMakeFiles/tme_ewald.dir/ewald/splitting.cpp.o"
+  "CMakeFiles/tme_ewald.dir/ewald/splitting.cpp.o.d"
+  "CMakeFiles/tme_ewald.dir/ewald/spme.cpp.o"
+  "CMakeFiles/tme_ewald.dir/ewald/spme.cpp.o.d"
+  "libtme_ewald.a"
+  "libtme_ewald.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tme_ewald.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

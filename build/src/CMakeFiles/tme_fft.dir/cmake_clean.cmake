@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tme_fft.dir/fft/fft1d.cpp.o"
+  "CMakeFiles/tme_fft.dir/fft/fft1d.cpp.o.d"
+  "CMakeFiles/tme_fft.dir/fft/fft3d.cpp.o"
+  "CMakeFiles/tme_fft.dir/fft/fft3d.cpp.o.d"
+  "libtme_fft.a"
+  "libtme_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tme_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

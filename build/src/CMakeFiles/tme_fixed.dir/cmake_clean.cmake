@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tme_fixed.dir/fixed/fixed_point.cpp.o"
+  "CMakeFiles/tme_fixed.dir/fixed/fixed_point.cpp.o.d"
+  "libtme_fixed.a"
+  "libtme_fixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tme_fixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/grid3d.cpp" "src/CMakeFiles/tme_grid.dir/grid/grid3d.cpp.o" "gcc" "src/CMakeFiles/tme_grid.dir/grid/grid3d.cpp.o.d"
+  "/root/repo/src/grid/separable_conv.cpp" "src/CMakeFiles/tme_grid.dir/grid/separable_conv.cpp.o" "gcc" "src/CMakeFiles/tme_grid.dir/grid/separable_conv.cpp.o.d"
+  "/root/repo/src/grid/transfer.cpp" "src/CMakeFiles/tme_grid.dir/grid/transfer.cpp.o" "gcc" "src/CMakeFiles/tme_grid.dir/grid/transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tme_spline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tme_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tme_grid.dir/grid/grid3d.cpp.o"
+  "CMakeFiles/tme_grid.dir/grid/grid3d.cpp.o.d"
+  "CMakeFiles/tme_grid.dir/grid/separable_conv.cpp.o"
+  "CMakeFiles/tme_grid.dir/grid/separable_conv.cpp.o.d"
+  "CMakeFiles/tme_grid.dir/grid/transfer.cpp.o"
+  "CMakeFiles/tme_grid.dir/grid/transfer.cpp.o.d"
+  "libtme_grid.a"
+  "libtme_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tme_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

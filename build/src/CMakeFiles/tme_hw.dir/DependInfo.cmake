@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/event_sim.cpp" "src/CMakeFiles/tme_hw.dir/hw/event_sim.cpp.o" "gcc" "src/CMakeFiles/tme_hw.dir/hw/event_sim.cpp.o.d"
+  "/root/repo/src/hw/fpga_fft.cpp" "src/CMakeFiles/tme_hw.dir/hw/fpga_fft.cpp.o" "gcc" "src/CMakeFiles/tme_hw.dir/hw/fpga_fft.cpp.o.d"
+  "/root/repo/src/hw/gcu_functional.cpp" "src/CMakeFiles/tme_hw.dir/hw/gcu_functional.cpp.o" "gcc" "src/CMakeFiles/tme_hw.dir/hw/gcu_functional.cpp.o.d"
+  "/root/repo/src/hw/gcu_model.cpp" "src/CMakeFiles/tme_hw.dir/hw/gcu_model.cpp.o" "gcc" "src/CMakeFiles/tme_hw.dir/hw/gcu_model.cpp.o.d"
+  "/root/repo/src/hw/lru_functional.cpp" "src/CMakeFiles/tme_hw.dir/hw/lru_functional.cpp.o" "gcc" "src/CMakeFiles/tme_hw.dir/hw/lru_functional.cpp.o.d"
+  "/root/repo/src/hw/lru_model.cpp" "src/CMakeFiles/tme_hw.dir/hw/lru_model.cpp.o" "gcc" "src/CMakeFiles/tme_hw.dir/hw/lru_model.cpp.o.d"
+  "/root/repo/src/hw/machine.cpp" "src/CMakeFiles/tme_hw.dir/hw/machine.cpp.o" "gcc" "src/CMakeFiles/tme_hw.dir/hw/machine.cpp.o.d"
+  "/root/repo/src/hw/network_model.cpp" "src/CMakeFiles/tme_hw.dir/hw/network_model.cpp.o" "gcc" "src/CMakeFiles/tme_hw.dir/hw/network_model.cpp.o.d"
+  "/root/repo/src/hw/timechart.cpp" "src/CMakeFiles/tme_hw.dir/hw/timechart.cpp.o" "gcc" "src/CMakeFiles/tme_hw.dir/hw/timechart.cpp.o.d"
+  "/root/repo/src/hw/tmenw_model.cpp" "src/CMakeFiles/tme_hw.dir/hw/tmenw_model.cpp.o" "gcc" "src/CMakeFiles/tme_hw.dir/hw/tmenw_model.cpp.o.d"
+  "/root/repo/src/hw/torus.cpp" "src/CMakeFiles/tme_hw.dir/hw/torus.cpp.o" "gcc" "src/CMakeFiles/tme_hw.dir/hw/torus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tme_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tme_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tme_ewald.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tme_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tme_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tme_spline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tme_quadrature.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tme_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tme_hw.dir/hw/event_sim.cpp.o"
+  "CMakeFiles/tme_hw.dir/hw/event_sim.cpp.o.d"
+  "CMakeFiles/tme_hw.dir/hw/fpga_fft.cpp.o"
+  "CMakeFiles/tme_hw.dir/hw/fpga_fft.cpp.o.d"
+  "CMakeFiles/tme_hw.dir/hw/gcu_functional.cpp.o"
+  "CMakeFiles/tme_hw.dir/hw/gcu_functional.cpp.o.d"
+  "CMakeFiles/tme_hw.dir/hw/gcu_model.cpp.o"
+  "CMakeFiles/tme_hw.dir/hw/gcu_model.cpp.o.d"
+  "CMakeFiles/tme_hw.dir/hw/lru_functional.cpp.o"
+  "CMakeFiles/tme_hw.dir/hw/lru_functional.cpp.o.d"
+  "CMakeFiles/tme_hw.dir/hw/lru_model.cpp.o"
+  "CMakeFiles/tme_hw.dir/hw/lru_model.cpp.o.d"
+  "CMakeFiles/tme_hw.dir/hw/machine.cpp.o"
+  "CMakeFiles/tme_hw.dir/hw/machine.cpp.o.d"
+  "CMakeFiles/tme_hw.dir/hw/network_model.cpp.o"
+  "CMakeFiles/tme_hw.dir/hw/network_model.cpp.o.d"
+  "CMakeFiles/tme_hw.dir/hw/timechart.cpp.o"
+  "CMakeFiles/tme_hw.dir/hw/timechart.cpp.o.d"
+  "CMakeFiles/tme_hw.dir/hw/tmenw_model.cpp.o"
+  "CMakeFiles/tme_hw.dir/hw/tmenw_model.cpp.o.d"
+  "CMakeFiles/tme_hw.dir/hw/torus.cpp.o"
+  "CMakeFiles/tme_hw.dir/hw/torus.cpp.o.d"
+  "libtme_hw.a"
+  "libtme_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tme_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

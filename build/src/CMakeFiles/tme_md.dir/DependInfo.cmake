@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/md/bonded.cpp" "src/CMakeFiles/tme_md.dir/md/bonded.cpp.o" "gcc" "src/CMakeFiles/tme_md.dir/md/bonded.cpp.o.d"
+  "/root/repo/src/md/cell_list.cpp" "src/CMakeFiles/tme_md.dir/md/cell_list.cpp.o" "gcc" "src/CMakeFiles/tme_md.dir/md/cell_list.cpp.o.d"
+  "/root/repo/src/md/forcefield.cpp" "src/CMakeFiles/tme_md.dir/md/forcefield.cpp.o" "gcc" "src/CMakeFiles/tme_md.dir/md/forcefield.cpp.o.d"
+  "/root/repo/src/md/integrator.cpp" "src/CMakeFiles/tme_md.dir/md/integrator.cpp.o" "gcc" "src/CMakeFiles/tme_md.dir/md/integrator.cpp.o.d"
+  "/root/repo/src/md/observables.cpp" "src/CMakeFiles/tme_md.dir/md/observables.cpp.o" "gcc" "src/CMakeFiles/tme_md.dir/md/observables.cpp.o.d"
+  "/root/repo/src/md/pair_list.cpp" "src/CMakeFiles/tme_md.dir/md/pair_list.cpp.o" "gcc" "src/CMakeFiles/tme_md.dir/md/pair_list.cpp.o.d"
+  "/root/repo/src/md/settle.cpp" "src/CMakeFiles/tme_md.dir/md/settle.cpp.o" "gcc" "src/CMakeFiles/tme_md.dir/md/settle.cpp.o.d"
+  "/root/repo/src/md/short_range.cpp" "src/CMakeFiles/tme_md.dir/md/short_range.cpp.o" "gcc" "src/CMakeFiles/tme_md.dir/md/short_range.cpp.o.d"
+  "/root/repo/src/md/system.cpp" "src/CMakeFiles/tme_md.dir/md/system.cpp.o" "gcc" "src/CMakeFiles/tme_md.dir/md/system.cpp.o.d"
+  "/root/repo/src/md/thermostat.cpp" "src/CMakeFiles/tme_md.dir/md/thermostat.cpp.o" "gcc" "src/CMakeFiles/tme_md.dir/md/thermostat.cpp.o.d"
+  "/root/repo/src/md/topology.cpp" "src/CMakeFiles/tme_md.dir/md/topology.cpp.o" "gcc" "src/CMakeFiles/tme_md.dir/md/topology.cpp.o.d"
+  "/root/repo/src/md/water_box.cpp" "src/CMakeFiles/tme_md.dir/md/water_box.cpp.o" "gcc" "src/CMakeFiles/tme_md.dir/md/water_box.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tme_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tme_ewald.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tme_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tme_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tme_spline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tme_quadrature.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tme_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tme_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tme_md.dir/md/bonded.cpp.o"
+  "CMakeFiles/tme_md.dir/md/bonded.cpp.o.d"
+  "CMakeFiles/tme_md.dir/md/cell_list.cpp.o"
+  "CMakeFiles/tme_md.dir/md/cell_list.cpp.o.d"
+  "CMakeFiles/tme_md.dir/md/forcefield.cpp.o"
+  "CMakeFiles/tme_md.dir/md/forcefield.cpp.o.d"
+  "CMakeFiles/tme_md.dir/md/integrator.cpp.o"
+  "CMakeFiles/tme_md.dir/md/integrator.cpp.o.d"
+  "CMakeFiles/tme_md.dir/md/observables.cpp.o"
+  "CMakeFiles/tme_md.dir/md/observables.cpp.o.d"
+  "CMakeFiles/tme_md.dir/md/pair_list.cpp.o"
+  "CMakeFiles/tme_md.dir/md/pair_list.cpp.o.d"
+  "CMakeFiles/tme_md.dir/md/settle.cpp.o"
+  "CMakeFiles/tme_md.dir/md/settle.cpp.o.d"
+  "CMakeFiles/tme_md.dir/md/short_range.cpp.o"
+  "CMakeFiles/tme_md.dir/md/short_range.cpp.o.d"
+  "CMakeFiles/tme_md.dir/md/system.cpp.o"
+  "CMakeFiles/tme_md.dir/md/system.cpp.o.d"
+  "CMakeFiles/tme_md.dir/md/thermostat.cpp.o"
+  "CMakeFiles/tme_md.dir/md/thermostat.cpp.o.d"
+  "CMakeFiles/tme_md.dir/md/topology.cpp.o"
+  "CMakeFiles/tme_md.dir/md/topology.cpp.o.d"
+  "CMakeFiles/tme_md.dir/md/water_box.cpp.o"
+  "CMakeFiles/tme_md.dir/md/water_box.cpp.o.d"
+  "libtme_md.a"
+  "libtme_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tme_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

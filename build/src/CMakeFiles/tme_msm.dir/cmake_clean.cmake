@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tme_msm.dir/msm/msm.cpp.o"
+  "CMakeFiles/tme_msm.dir/msm/msm.cpp.o.d"
+  "libtme_msm.a"
+  "libtme_msm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tme_msm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtme_msm.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/par/decomposition.cpp" "src/CMakeFiles/tme_par.dir/par/decomposition.cpp.o" "gcc" "src/CMakeFiles/tme_par.dir/par/decomposition.cpp.o.d"
+  "/root/repo/src/par/par_tme.cpp" "src/CMakeFiles/tme_par.dir/par/par_tme.cpp.o" "gcc" "src/CMakeFiles/tme_par.dir/par/par_tme.cpp.o.d"
+  "/root/repo/src/par/traffic.cpp" "src/CMakeFiles/tme_par.dir/par/traffic.cpp.o" "gcc" "src/CMakeFiles/tme_par.dir/par/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tme_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tme_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tme_ewald.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tme_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tme_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tme_spline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tme_quadrature.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tme_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tme_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tme_par.dir/par/decomposition.cpp.o"
+  "CMakeFiles/tme_par.dir/par/decomposition.cpp.o.d"
+  "CMakeFiles/tme_par.dir/par/par_tme.cpp.o"
+  "CMakeFiles/tme_par.dir/par/par_tme.cpp.o.d"
+  "CMakeFiles/tme_par.dir/par/traffic.cpp.o"
+  "CMakeFiles/tme_par.dir/par/traffic.cpp.o.d"
+  "libtme_par.a"
+  "libtme_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tme_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

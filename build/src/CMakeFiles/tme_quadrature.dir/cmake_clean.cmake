@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tme_quadrature.dir/quadrature/gauss_legendre.cpp.o"
+  "CMakeFiles/tme_quadrature.dir/quadrature/gauss_legendre.cpp.o.d"
+  "libtme_quadrature.a"
+  "libtme_quadrature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tme_quadrature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

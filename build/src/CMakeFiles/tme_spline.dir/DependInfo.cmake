@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spline/bspline.cpp" "src/CMakeFiles/tme_spline.dir/spline/bspline.cpp.o" "gcc" "src/CMakeFiles/tme_spline.dir/spline/bspline.cpp.o.d"
+  "/root/repo/src/spline/interpolation_coeffs.cpp" "src/CMakeFiles/tme_spline.dir/spline/interpolation_coeffs.cpp.o" "gcc" "src/CMakeFiles/tme_spline.dir/spline/interpolation_coeffs.cpp.o.d"
+  "/root/repo/src/spline/two_scale.cpp" "src/CMakeFiles/tme_spline.dir/spline/two_scale.cpp.o" "gcc" "src/CMakeFiles/tme_spline.dir/spline/two_scale.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tme_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tme_spline.dir/spline/bspline.cpp.o"
+  "CMakeFiles/tme_spline.dir/spline/bspline.cpp.o.d"
+  "CMakeFiles/tme_spline.dir/spline/interpolation_coeffs.cpp.o"
+  "CMakeFiles/tme_spline.dir/spline/interpolation_coeffs.cpp.o.d"
+  "CMakeFiles/tme_spline.dir/spline/two_scale.cpp.o"
+  "CMakeFiles/tme_spline.dir/spline/two_scale.cpp.o.d"
+  "libtme_spline.a"
+  "libtme_spline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tme_spline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

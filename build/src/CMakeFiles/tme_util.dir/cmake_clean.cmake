@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tme_util.dir/util/args.cpp.o"
+  "CMakeFiles/tme_util.dir/util/args.cpp.o.d"
+  "CMakeFiles/tme_util.dir/util/io.cpp.o"
+  "CMakeFiles/tme_util.dir/util/io.cpp.o.d"
+  "CMakeFiles/tme_util.dir/util/logging.cpp.o"
+  "CMakeFiles/tme_util.dir/util/logging.cpp.o.d"
+  "CMakeFiles/tme_util.dir/util/parallel.cpp.o"
+  "CMakeFiles/tme_util.dir/util/parallel.cpp.o.d"
+  "libtme_util.a"
+  "libtme_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tme_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

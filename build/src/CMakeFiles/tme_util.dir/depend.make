@@ -1,0 +1,2 @@
+# Empty dependencies file for tme_util.
+# This may be replaced when dependencies are built.

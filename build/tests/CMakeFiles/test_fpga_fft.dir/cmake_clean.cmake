@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fpga_fft.dir/test_fpga_fft.cpp.o"
+  "CMakeFiles/test_fpga_fft.dir/test_fpga_fft.cpp.o.d"
+  "test_fpga_fft"
+  "test_fpga_fft.pdb"
+  "test_fpga_fft[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fpga_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lru_functional.dir/test_lru_functional.cpp.o"
+  "CMakeFiles/test_lru_functional.dir/test_lru_functional.cpp.o.d"
+  "test_lru_functional"
+  "test_lru_functional.pdb"
+  "test_lru_functional[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lru_functional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_md_extras.dir/test_md_extras.cpp.o"
+  "CMakeFiles/test_md_extras.dir/test_md_extras.cpp.o.d"
+  "test_md_extras"
+  "test_md_extras.pdb"
+  "test_md_extras[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_md_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

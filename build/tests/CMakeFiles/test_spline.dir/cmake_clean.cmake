@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spline.dir/test_spline.cpp.o"
+  "CMakeFiles/test_spline.dir/test_spline.cpp.o.d"
+  "test_spline"
+  "test_spline.pdb"
+  "test_spline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

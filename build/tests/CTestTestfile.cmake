@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_quadrature[1]_include.cmake")
+include("/root/repo/build/tests/test_spline[1]_include.cmake")
+include("/root/repo/build/tests/test_fft[1]_include.cmake")
+include("/root/repo/build/tests/test_grid[1]_include.cmake")
+include("/root/repo/build/tests/test_ewald[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_fixed[1]_include.cmake")
+include("/root/repo/build/tests/test_md[1]_include.cmake")
+include("/root/repo/build/tests/test_hw[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_msm[1]_include.cmake")
+include("/root/repo/build/tests/test_par[1]_include.cmake")
+include("/root/repo/build/tests/test_md_extras[1]_include.cmake")
+include("/root/repo/build/tests/test_gradients[1]_include.cmake")
+include("/root/repo/build/tests/test_tuning[1]_include.cmake")
+include("/root/repo/build/tests/test_gcu_functional[1]_include.cmake")
+include("/root/repo/build/tests/test_fpga_fft[1]_include.cmake")
+include("/root/repo/build/tests/test_lru_functional[1]_include.cmake")
+include("/root/repo/build/tests/test_observables[1]_include.cmake")
