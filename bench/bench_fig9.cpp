@@ -21,7 +21,9 @@ int main(int argc, char** argv) {
   bench::print_header(
       "Fig 9: time chart of one MD step (80,540 atoms, 512 nodes, N=32^3, "
       "L=1, g_c=8, M=4)");
+  obs::Registry::global().reset();  // one clean breakdown for the export
   const StepTimings with_lr = machine.simulate_step(config);
+  record_step_metrics(with_lr);
   std::printf("%s\n", render_timechart(with_lr.schedule, 100).c_str());
   std::printf("%s\n", render_task_table(with_lr.schedule).c_str());
 
@@ -59,5 +61,7 @@ int main(int argc, char** argv) {
   std::printf("  %-42s %8.3f us/day (paper: ~1.0 us/day at 2.5 fs)\n",
               "simulated throughput",
               machine.performance_us_per_day(config));
+
+  bench::emit_metrics("fig9");
   return 0;
 }

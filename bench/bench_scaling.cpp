@@ -55,5 +55,18 @@ int main(int argc, char** argv) {
   std::printf("\npaper Sec. V.D: the software FFT prototype on MDGRAPE-4 would\n"
               "have taken hundreds of microseconds at 512 nodes — the reason\n"
               "the long-range method was redesigned around the TME.\n");
+
+  // Export the canonical 8^3-node point of the sweep as the bench's
+  // machine-readable stage breakdown.
+  {
+    MachineParams mp;
+    mp.nodes_x = mp.nodes_y = mp.nodes_z = 8;
+    const MdgrapeMachine machine(mp);
+    StepConfig cfg;
+    obs::Registry::global().reset();
+    const StepTimings t = machine.simulate_step(cfg);
+    record_step_metrics(t);
+    bench::emit_metrics("scaling");
+  }
   return 0;
 }

@@ -3,6 +3,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,8 @@
 #include "md/short_range.hpp"
 #include "md/system.hpp"
 #include "md/topology.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "util/constants.hpp"
 #include "util/vec3.hpp"
 
@@ -53,6 +56,26 @@ inline void print_header(const std::string& title) {
   print_rule();
   std::printf("%s\n", title.c_str());
   print_rule();
+}
+
+// Emits the current metrics registry as a machine-readable per-stage
+// breakdown: printed to stdout under a marked header and written to
+// BENCH_<name>.json in the working directory (the perf-trajectory record).
+// Callers that want a single clean breakdown should reset the registry
+// before the run they mean to export.
+inline void emit_metrics(const std::string& bench_name) {
+  const obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
+  obs::JsonValue root = obs::json_parse(obs::to_json(snap));
+  root.as_object()["bench"] = obs::JsonValue::make_string(bench_name);
+  const std::string json = root.dump();
+
+  print_header("metrics (json)");
+  std::printf("%s\n", json.c_str());
+
+  const std::string path = "BENCH_" + bench_name + ".json";
+  std::ofstream out(path);
+  out << json << "\n";
+  std::printf("[written: %s]\n", path.c_str());
 }
 
 }  // namespace tme::bench

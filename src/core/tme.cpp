@@ -7,6 +7,7 @@
 #include "ewald/greens_function.hpp"
 #include "fft/fft3d.hpp"
 #include "grid/transfer.hpp"
+#include "obs/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/constants.hpp"
 
@@ -122,15 +123,20 @@ Grid3d Tme::solve_potential(const Grid3d& finest_charges, TmeTrace* trace) const
   std::vector<Grid3d> q(static_cast<std::size_t>(levels) + 1);
   q[0] = finest_charges;
   for (int l = 1; l <= levels; ++l) {
+    TME_PHASE("restriction");
     q[static_cast<std::size_t>(l)] =
         restrict_grid(q[static_cast<std::size_t>(l - 1)], params_.order);
   }
 
   // Top level: SPME convolution on the coarsest grid (the FPGA 3D FFT), or
   // the FFT-free dense periodic convolution.
-  Grid3d phi = params_.top_level_mode == TopLevelMode::kSpme
-                   ? top_->solve_potential(q[static_cast<std::size_t>(levels)])
-                   : dense_top_solve(q[static_cast<std::size_t>(levels)]);
+  Grid3d phi;
+  {
+    TME_PHASE("top_fft");
+    phi = params_.top_level_mode == TopLevelMode::kSpme
+              ? top_->solve_potential(q[static_cast<std::size_t>(levels)])
+              : dense_top_solve(q[static_cast<std::size_t>(levels)]);
+  }
 
   std::vector<Grid3d> phi_trace;
   if (trace != nullptr) phi_trace.resize(static_cast<std::size_t>(levels) + 1);
@@ -138,10 +144,18 @@ Grid3d Tme::solve_potential(const Grid3d& finest_charges, TmeTrace* trace) const
 
   // Upward pass: prolong and add each level's separable convolution.
   for (int l = levels; l >= 1; --l) {
-    Grid3d level_phi = prolong_grid(phi, params_.order);
+    Grid3d level_phi;
+    {
+      TME_PHASE("prolongation");
+      level_phi = prolong_grid(phi, params_.order);
+    }
     const double scale = constants::kCoulomb / std::ldexp(1.0, l - 1);
-    convolve_tensor(q[static_cast<std::size_t>(l - 1)],
-                    kernels_[static_cast<std::size_t>(l - 1)], scale, level_phi);
+    {
+      TME_PHASE("convolution");
+      convolve_tensor(q[static_cast<std::size_t>(l - 1)],
+                      kernels_[static_cast<std::size_t>(l - 1)], scale,
+                      level_phi);
+    }
     phi = std::move(level_phi);
     if (trace != nullptr) phi_trace[static_cast<std::size_t>(l - 1)] = phi;
   }
@@ -156,13 +170,26 @@ Grid3d Tme::solve_potential(const Grid3d& finest_charges, TmeTrace* trace) const
 CoulombResult Tme::compute(std::span<const Vec3> positions,
                            std::span<const double> charges,
                            TmeTrace* trace) const {
+  TME_PHASE("tme");
+  TME_COUNTER_ADD("tme/compute_calls", 1);
+  TME_GAUGE_SET("tme/atoms", positions.size());
+  TME_GAUGE_SET("tme/grid_points", params_.grid.total());
+  TME_GAUGE_SET("tme/levels", params_.levels);
   CoulombResult out;
   out.forces.assign(positions.size(), Vec3{});
 
-  const Grid3d q_grid = assigner_.assign(positions, charges);
+  Grid3d q_grid;
+  {
+    TME_PHASE("charge_assignment");
+    q_grid = assigner_.assign(positions, charges);
+  }
   const Grid3d potential = solve_potential(q_grid, trace);
-  const double q_phi =
-      assigner_.back_interpolate(potential, positions, charges, &out.forces);
+  double q_phi = 0.0;
+  {
+    TME_PHASE("back_interpolation");
+    q_phi =
+        assigner_.back_interpolate(potential, positions, charges, &out.forces);
+  }
   out.energy_reciprocal = 0.5 * q_phi;
 
   if (params_.subtract_self) {

@@ -4,6 +4,7 @@
 
 #include "grid/separable_conv.hpp"
 #include "grid/transfer.hpp"
+#include "obs/metrics.hpp"
 #include "util/constants.hpp"
 
 namespace tme {
@@ -21,20 +22,32 @@ Grid3d tme_solve_potential_fixed(const Tme& tme, const Grid3d& finest_charges,
   q[0] = finest_charges;
   quantize_grid(q[0], config.grid_format);
   for (int l = 1; l <= levels; ++l) {
+    TME_PHASE("restriction");
     q[static_cast<std::size_t>(l)] =
         restrict_grid(q[static_cast<std::size_t>(l - 1)], params.order);
     quantize_grid(q[static_cast<std::size_t>(l)], config.grid_format);
   }
 
   // Top level in floating point (FPGA), quantised on the way back down.
-  Grid3d phi = tme.top_level().solve_potential(q[static_cast<std::size_t>(levels)]);
+  Grid3d phi;
+  {
+    TME_PHASE("top_fft");
+    phi = tme.top_level().solve_potential(q[static_cast<std::size_t>(levels)]);
+  }
 
   for (int l = levels; l >= 1; --l) {
-    Grid3d level_phi = prolong_grid(phi, params.order);
+    Grid3d level_phi;
+    {
+      TME_PHASE("prolongation");
+      level_phi = prolong_grid(phi, params.order);
+    }
     const double scale = constants::kCoulomb / std::ldexp(1.0, l - 1);
-    convolve_tensor_fixed(q[static_cast<std::size_t>(l - 1)],
-                          tme.level_kernels(l), scale, config.grid_format,
-                          config.coeff_format, level_phi);
+    {
+      TME_PHASE("convolution");
+      convolve_tensor_fixed(q[static_cast<std::size_t>(l - 1)],
+                            tme.level_kernels(l), scale, config.grid_format,
+                            config.coeff_format, level_phi);
+    }
     phi = std::move(level_phi);
   }
   return phi;
@@ -97,13 +110,23 @@ CoulombResult tme_compute_single(const Tme& tme, std::span<const Vec3> positions
 CoulombResult tme_compute_fixed(const Tme& tme, std::span<const Vec3> positions,
                                 std::span<const double> charges,
                                 const TmeFixedConfig& config) {
+  TME_PHASE("tme_fixed");
+  TME_COUNTER_ADD("tme_fixed/compute_calls", 1);
   CoulombResult out;
   out.forces.assign(positions.size(), Vec3{});
   const ChargeAssigner assigner(tme.box(), tme.params().grid, tme.params().order);
-  const Grid3d q_grid = assigner.assign(positions, charges);
+  Grid3d q_grid;
+  {
+    TME_PHASE("charge_assignment");
+    q_grid = assigner.assign(positions, charges);
+  }
   const Grid3d potential = tme_solve_potential_fixed(tme, q_grid, config);
-  const double q_phi =
-      assigner.back_interpolate(potential, positions, charges, &out.forces);
+  double q_phi = 0.0;
+  {
+    TME_PHASE("back_interpolation");
+    q_phi =
+        assigner.back_interpolate(potential, positions, charges, &out.forces);
+  }
   out.energy_reciprocal = 0.5 * q_phi;
   if (tme.params().subtract_self) {
     double q2 = 0.0;

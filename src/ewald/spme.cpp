@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "ewald/greens_function.hpp"
+#include "obs/metrics.hpp"
 #include "util/constants.hpp"
 
 namespace tme {
@@ -23,22 +24,44 @@ Grid3d Spme::solve_potential(const Grid3d& charge_grid) const {
   if (!(charge_grid.dims() == params_.grid)) {
     throw std::invalid_argument("Spme::solve_potential: grid mismatch");
   }
-  std::vector<std::complex<double>> spectrum = fft_.forward_real(charge_grid.values());
-  for (std::size_t i = 0; i < spectrum.size(); ++i) spectrum[i] *= influence_[i];
+  TME_PHASE("spme_solve");
+  TME_GAUGE_SET("spme/grid_points", params_.grid.total());
+  std::vector<std::complex<double>> spectrum;
+  {
+    TME_PHASE("fft_forward");
+    spectrum = fft_.forward_real(charge_grid.values());
+  }
+  {
+    TME_PHASE("influence_apply");
+    for (std::size_t i = 0; i < spectrum.size(); ++i) spectrum[i] *= influence_[i];
+  }
   Grid3d potential(params_.grid);
-  potential.values() = fft_.inverse_to_real(std::move(spectrum));
+  {
+    TME_PHASE("fft_inverse");
+    potential.values() = fft_.inverse_to_real(std::move(spectrum));
+  }
   return potential;
 }
 
 CoulombResult Spme::compute(std::span<const Vec3> positions,
                             std::span<const double> charges) const {
+  TME_PHASE("spme");
+  TME_COUNTER_ADD("spme/compute_calls", 1);
   CoulombResult out;
   out.forces.assign(positions.size(), Vec3{});
 
-  const Grid3d q_grid = assigner_.assign(positions, charges);
+  Grid3d q_grid;
+  {
+    TME_PHASE("charge_assignment");
+    q_grid = assigner_.assign(positions, charges);
+  }
   const Grid3d potential = solve_potential(q_grid);
-  const double q_phi =
-      assigner_.back_interpolate(potential, positions, charges, &out.forces);
+  double q_phi = 0.0;
+  {
+    TME_PHASE("back_interpolation");
+    q_phi =
+        assigner_.back_interpolate(potential, positions, charges, &out.forces);
+  }
   out.energy_reciprocal = 0.5 * q_phi;
 
   if (params_.subtract_self) {

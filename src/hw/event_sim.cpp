@@ -4,6 +4,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace tme::hw {
 
 TaskId EventSimulator::add_task(TaskSpec spec) {
@@ -64,6 +66,17 @@ std::vector<ScheduledTask> EventSimulator::run() {
     done[best] = true;
     ++completed;
     makespan_ = std::max(makespan_, schedule[best].end);
+  }
+  // Per-unit busy time: the same numbers the timechart lanes render, exposed
+  // through the metrics registry for machine-readable export.
+  if constexpr (obs::kMetricsEnabled) {
+    obs::Registry& reg = obs::Registry::global();
+    reg.counter("hw/event_sim/runs").add(1);
+    reg.counter("hw/event_sim/tasks").add(n);
+    for (const ScheduledTask& t : schedule) {
+      reg.timer_add("hw/unit/" + t.spec.lane, t.spec.duration);
+    }
+    reg.gauge_set("hw/event_sim/makespan_s", makespan_);
   }
   return schedule;
 }

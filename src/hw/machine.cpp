@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace tme::hw {
 
 namespace {
@@ -198,6 +200,34 @@ StepTimings MdgrapeMachine::simulate_step(const StepConfig& cfg) const {
     out.long_range_span = lr_end - lr_start;
   }
   return out;
+}
+
+void record_step_metrics(const StepTimings& timings) {
+  obs::Registry& reg = obs::Registry::global();
+  // Table 2 stage names <- the schedule's task names.  Summing exactly the
+  // tasks that long_range_total sums keeps sum(stages) == total.
+  const std::pair<const char*, const char*> stage_of[] = {
+      {"LRU charge assign", "charge_assignment"},
+      {"CA sleeve exchange", "ca_sleeve_exchange"},
+      {"GCU restriction", "restriction"},
+      {"GCU convolution", "convolution"},
+      {"GCU prolongation", "prolongation"},
+      {"TMENW top level", "top_fft"},
+      {"grid to LRU", "grid_to_lru"},
+      {"LRU back interp", "back_interpolation"},
+  };
+  for (const ScheduledTask& t : timings.schedule) {
+    for (const auto& [task_name, stage] : stage_of) {
+      if (t.spec.name == task_name) {
+        reg.timer_add(std::string("step/") + stage, t.spec.duration);
+        break;
+      }
+    }
+  }
+  reg.timer_add("step", timings.long_range_total);
+  reg.gauge_set("step/makespan_s", timings.step_time);
+  reg.gauge_set("step/long_range_span_s", timings.long_range_span);
+  reg.gauge_set("step/gcu_window_s", timings.gcu_window);
 }
 
 double MdgrapeMachine::performance_us_per_day(const StepConfig& cfg) const {

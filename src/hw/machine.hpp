@@ -89,6 +89,17 @@ struct StepTimings {
   double gcu_window = 0.0;  // exclusive restriction+convolution+prolongation
 };
 
+// Records one simulated step's long-range stage breakdown into the global
+// metrics registry under Table 2's phase decomposition:
+//   step/charge_assignment, step/ca_sleeve_exchange, step/restriction,
+//   step/convolution, step/prolongation, step/top_fft, step/grid_to_lru,
+//   step/back_interpolation
+// plus a "step" timer holding the long-range busy total (the stage timers
+// sum to it exactly) and gauges for the makespan and long-range span.
+// Call Registry::global().reset() first when a single headline breakdown is
+// wanted (the registry otherwise accumulates across simulate_step calls).
+void record_step_metrics(const StepTimings& timings);
+
 // Estimate of a *software* distributed 3D FFT on the torus (the paper's
 // MDGRAPE-4 prototype: "repetition of 1D FFT and transposition on the torus
 // network would be hundreds of microseconds") — the alternative the TME was

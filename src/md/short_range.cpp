@@ -4,12 +4,15 @@
 
 #include "ewald/splitting.hpp"
 #include "md/cell_list.hpp"
+#include "obs/metrics.hpp"
 #include "util/constants.hpp"
 
 namespace tme {
 
 ShortRangeResult compute_short_range(ParticleSystem& system, const Topology& topology,
                                      const ShortRangeParams& params) {
+  TME_PHASE("short_range");
+  TME_COUNTER_ADD("short_range/calls", 1);
   ShortRangeResult out;
   const CellList cells(system.box, system.positions, params.cutoff);
   const double cutoff2 = params.cutoff * params.cutoff;
@@ -58,6 +61,7 @@ ShortRangeResult compute_short_range(ParticleSystem& system, const Topology& top
         system.forces[i] += fij;
         system.forces[j] -= fij;
       });
+  TME_COUNTER_ADD("short_range/pairs", out.pair_count);
   return out;
 }
 

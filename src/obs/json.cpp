@@ -1,0 +1,343 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace tme::obs {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, std::size_t pos) {
+  throw std::runtime_error("json: " + what + " at offset " + std::to_string(pos));
+}
+
+// Shortest %.17g-style representation that still round-trips a double.
+std::string format_number(double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no inf/nan; metrics never produce them, but fail loudly.
+    throw std::runtime_error("json: non-finite number");
+  }
+  char buf[32];
+  for (const int prec : {15, 16, 17}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters", pos_);
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input", pos_);
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'", pos_);
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t len = std::char_traits<char>::length(lit);
+    if (text_.compare(pos_, len, lit) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue::make_string(parse_string());
+      case 't':
+        if (consume_literal("true")) return JsonValue::make_bool(true);
+        fail("bad literal", pos_);
+      case 'f':
+        if (consume_literal("false")) return JsonValue::make_bool(false);
+        fail("bad literal", pos_);
+      case 'n':
+        if (consume_literal("null")) return JsonValue::make_null();
+        fail("bad literal", pos_);
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue out = JsonValue::make_object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return out;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      out.as_object()[std::move(key)] = parse_value();
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return out;
+      if (c != ',') fail("expected ',' or '}'", pos_ - 1);
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue out = JsonValue::make_array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return out;
+    }
+    for (;;) {
+      out.as_array().push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return out;
+      if (c != ',') fail("expected ',' or ']'", pos_ - 1);
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string", pos_);
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape", pos_);
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("short \\u escape", pos_);
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape", pos_ - 1);
+          }
+          // UTF-8 encode the BMP code point (metrics names are ASCII; this
+          // keeps the parser honest for general input).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape", pos_ - 1);
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected value", pos_);
+    char* end = nullptr;
+    const std::string token = text_.substr(start, pos_ - start);
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail("bad number", start);
+    return JsonValue::make_number(v);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue JsonValue::make_bool(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::make_number(double n) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = n;
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::make_array() {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+JsonValue JsonValue::make_object() {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+bool JsonValue::as_bool() const {
+  if (type_ != Type::kBool) throw std::runtime_error("json: not a bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (type_ != Type::kNumber) throw std::runtime_error("json: not a number");
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (type_ != Type::kString) throw std::runtime_error("json: not a string");
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::as_array() const {
+  if (type_ != Type::kArray) throw std::runtime_error("json: not an array");
+  return array_;
+}
+
+std::vector<JsonValue>& JsonValue::as_array() {
+  if (type_ != Type::kArray) throw std::runtime_error("json: not an array");
+  return array_;
+}
+
+const std::map<std::string, JsonValue>& JsonValue::as_object() const {
+  if (type_ != Type::kObject) throw std::runtime_error("json: not an object");
+  return object_;
+}
+
+std::map<std::string, JsonValue>& JsonValue::as_object() {
+  if (type_ != Type::kObject) throw std::runtime_error("json: not an object");
+  return object_;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const auto& obj = as_object();
+  const auto it = obj.find(key);
+  if (it == obj.end()) throw std::runtime_error("json: missing key '" + key + "'");
+  return it->second;
+}
+
+bool JsonValue::contains(const std::string& key) const {
+  const auto& obj = as_object();
+  return obj.find(key) != obj.end();
+}
+
+std::string JsonValue::dump() const {
+  switch (type_) {
+    case Type::kNull: return "null";
+    case Type::kBool: return bool_ ? "true" : "false";
+    case Type::kNumber: return format_number(number_);
+    case Type::kString: return json_quote(string_);
+    case Type::kArray: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out += ',';
+        out += array_[i].dump();
+      }
+      return out + "]";
+    }
+    case Type::kObject: {
+      std::string out = "{";
+      bool first = true;
+      for (const auto& [k, v] : object_) {
+        if (!first) out += ',';
+        first = false;
+        out += json_quote(k);
+        out += ':';
+        out += v.dump();
+      }
+      return out + "}";
+    }
+  }
+  throw std::logic_error("json: bad type");
+}
+
+JsonValue json_parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+  return out + "\"";
+}
+
+}  // namespace tme::obs

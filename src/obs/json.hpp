@@ -1,0 +1,66 @@
+// Minimal JSON reader/writer support for the metrics export.
+//
+// Deliberately small: objects, arrays, strings, numbers, booleans, null —
+// enough to round-trip metrics::to_json output and to let tools ingest the
+// BENCH_*.json per-stage breakdowns without an external dependency.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tme::obs {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double n);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array();
+  static JsonValue make_object();
+
+  Type type() const { return type_; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+
+  // Typed accessors; throw std::runtime_error on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& as_array() const;
+  std::vector<JsonValue>& as_array();
+  const std::map<std::string, JsonValue>& as_object() const;
+  std::map<std::string, JsonValue>& as_object();
+
+  // Object member lookup; throws std::runtime_error if absent.
+  const JsonValue& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+
+  // Compact serialisation (keys in map order; numbers round-trip doubles).
+  std::string dump() const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+// Parses a complete JSON document (throws std::runtime_error on syntax
+// errors or trailing garbage).
+JsonValue json_parse(const std::string& text);
+
+// Escapes a string for embedding in a JSON document (adds the quotes).
+std::string json_quote(const std::string& s);
+
+}  // namespace tme::obs

@@ -1,0 +1,123 @@
+#include "obs/metrics.hpp"
+
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace tme::obs {
+
+namespace {
+
+// Per-thread stack of open phase names; joined with '/' to form timer paths.
+thread_local std::vector<std::string> g_phase_stack;
+
+std::string join_stack() {
+  std::string out;
+  for (const std::string& s : g_phase_stack) {
+    if (!out.empty()) out += '/';
+    out += s;
+  }
+  return out;
+}
+
+}  // namespace
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  return counters_[name];
+}
+
+void Registry::gauge_set(const std::string& name, double value) {
+  std::lock_guard lock(mutex_);
+  gauges_[name] = value;
+}
+
+void Registry::timer_add(const std::string& path, double seconds) {
+  std::lock_guard lock(mutex_);
+  TimerStat& t = timers_[path];
+  t.seconds += seconds;
+  t.count += 1;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  MetricsSnapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.counters.emplace_back(name, c.value());
+  out.gauges.assign(gauges_.begin(), gauges_.end());
+  out.timers.assign(timers_.begin(), timers_.end());
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, c] : counters_) c.reset();
+  gauges_.clear();
+  timers_.clear();
+}
+
+ScopedPhase::ScopedPhase(const char* name) : start_(std::chrono::steady_clock::now()) {
+  g_phase_stack.emplace_back(name);
+  path_ = join_stack();
+}
+
+ScopedPhase::~ScopedPhase() {
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  Registry::global().timer_add(path_, elapsed);
+  g_phase_stack.pop_back();
+}
+
+std::string ScopedPhase::current_path() { return join_stack(); }
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  JsonValue root = JsonValue::make_object();
+  JsonValue counters = JsonValue::make_object();
+  for (const auto& [name, value] : snapshot.counters) {
+    counters.as_object()[name] =
+        JsonValue::make_number(static_cast<double>(value));
+  }
+  JsonValue gauges = JsonValue::make_object();
+  for (const auto& [name, value] : snapshot.gauges) {
+    gauges.as_object()[name] = JsonValue::make_number(value);
+  }
+  JsonValue timers = JsonValue::make_object();
+  for (const auto& [path, stat] : snapshot.timers) {
+    JsonValue entry = JsonValue::make_object();
+    entry.as_object()["seconds"] = JsonValue::make_number(stat.seconds);
+    entry.as_object()["count"] =
+        JsonValue::make_number(static_cast<double>(stat.count));
+    timers.as_object()[path] = std::move(entry);
+  }
+  root.as_object()["counters"] = std::move(counters);
+  root.as_object()["gauges"] = std::move(gauges);
+  root.as_object()["timers"] = std::move(timers);
+  return root.dump();
+}
+
+MetricsSnapshot metrics_from_json(const std::string& json) {
+  const JsonValue root = json_parse(json);
+  MetricsSnapshot out;
+  for (const auto& [name, value] : root.at("counters").as_object()) {
+    out.counters.emplace_back(name,
+                              static_cast<std::uint64_t>(value.as_number()));
+  }
+  for (const auto& [name, value] : root.at("gauges").as_object()) {
+    out.gauges.emplace_back(name, value.as_number());
+  }
+  for (const auto& [path, entry] : root.at("timers").as_object()) {
+    TimerStat stat;
+    stat.seconds = entry.at("seconds").as_number();
+    stat.count = static_cast<std::uint64_t>(entry.at("count").as_number());
+    out.timers.emplace_back(path, stat);
+  }
+  return out;
+}
+
+}  // namespace tme::obs

@@ -1,0 +1,153 @@
+// Pipeline observability: a process-wide metrics registry.
+//
+// Three metric kinds, mirroring what the paper's evaluation needs (Table 2,
+// Fig. 9 per-stage breakdowns):
+//  - counters: monotonically increasing event counts (atomic, safe to bump
+//    concurrently from ThreadPool workers);
+//  - gauges:   last-written values (grid sizes, traffic volumes);
+//  - timers:   accumulated wall-clock seconds + invocation counts, keyed by
+//    a hierarchical slash-joined path built from nested ScopedPhase scopes
+//    ("tme/convolution" is the convolution stage inside Tme::compute).
+//
+// Instrumentation sites use the TME_PHASE / TME_COUNTER_ADD / TME_GAUGE_SET
+// macros below.  When the build is configured with -DTME_METRICS=OFF the
+// macros expand to nothing, so instrumented hot paths carry zero overhead;
+// the registry classes themselves stay compiled so tests and tools can use
+// them explicitly in either configuration.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tme::obs {
+
+#if defined(TME_METRICS_ENABLED)
+inline constexpr bool kMetricsEnabled = true;
+#else
+inline constexpr bool kMetricsEnabled = false;
+#endif
+
+// Monotonic event counter.  add() is lock-free; the registry hands out
+// stable references, so call sites may cache the result of counter().
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+struct TimerStat {
+  double seconds = 0.0;
+  std::uint64_t count = 0;
+};
+
+// A point-in-time copy of the registry, sorted by name within each kind.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, TimerStat>> timers;
+};
+
+class Registry {
+ public:
+  // The process-wide registry used by all instrumentation macros.
+  static Registry& global();
+
+  // Returns the named counter, creating it at zero on first use.  The
+  // reference stays valid for the registry's lifetime.
+  Counter& counter(const std::string& name);
+
+  void gauge_set(const std::string& name, double value);
+  void timer_add(const std::string& path, double seconds);
+
+  MetricsSnapshot snapshot() const;
+
+  // Zeroes every counter and drops all gauges and timers.  Counter
+  // references handed out earlier stay valid (counters are kept, reset).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Counter> counters_;  // node-based: stable addresses
+  std::map<std::string, double> gauges_;
+  std::map<std::string, TimerStat> timers_;
+};
+
+// RAII wall-clock phase timer.  Nested instances on the same thread build a
+// slash-joined path; the elapsed time is recorded into the global registry's
+// timer at that path on destruction.  The phase stack is thread-local, so
+// concurrent top-level phases on different threads do not interleave.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(const char* name);
+  ~ScopedPhase();
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+  // The slash-joined path of the calling thread's open phases ("" if none).
+  static std::string current_path();
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  std::string path_;
+};
+
+// Serialises a snapshot as a JSON object:
+//   {"counters": {...}, "gauges": {...}, "timers": {"p": {"seconds": s,
+//    "count": n}, ...}}
+// Doubles are printed with enough digits to round-trip.
+std::string to_json(const MetricsSnapshot& snapshot);
+
+// Parses the output of to_json back into a snapshot (throws
+// std::runtime_error on malformed input).  Used by tests and tools that
+// ingest the bench BENCH_*.json breakdowns.
+MetricsSnapshot metrics_from_json(const std::string& json);
+
+}  // namespace tme::obs
+
+#define TME_OBS_CONCAT_INNER(a, b) a##b
+#define TME_OBS_CONCAT(a, b) TME_OBS_CONCAT_INNER(a, b)
+
+#if defined(TME_METRICS_ENABLED)
+
+#define TME_PHASE(name) \
+  ::tme::obs::ScopedPhase TME_OBS_CONCAT(tme_obs_phase_, __LINE__)(name)
+
+// `name` must be a string literal (the counter reference is cached).
+#define TME_COUNTER_ADD(name, n)                                        \
+  do {                                                                  \
+    static ::tme::obs::Counter& TME_OBS_CONCAT(tme_obs_counter_,        \
+                                               __LINE__) =              \
+        ::tme::obs::Registry::global().counter(name);                   \
+    TME_OBS_CONCAT(tme_obs_counter_, __LINE__)                          \
+        .add(static_cast<std::uint64_t>(n));                            \
+  } while (0)
+
+#define TME_GAUGE_SET(name, value) \
+  ::tme::obs::Registry::global().gauge_set(name, static_cast<double>(value))
+
+#else  // instrumentation compiled out
+
+#define TME_PHASE(name) \
+  do {                  \
+  } while (0)
+#define TME_COUNTER_ADD(name, n) \
+  do {                           \
+    (void)sizeof(n);             \
+  } while (0)
+#define TME_GAUGE_SET(name, value) \
+  do {                             \
+    (void)sizeof(value);           \
+  } while (0)
+
+#endif

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "spline/bspline.hpp"
 #include "spline/two_scale.hpp"
 #include "util/constants.hpp"
@@ -170,6 +171,8 @@ ParallelTme::ParallelTme(const Box& box, const TmeParams& params,
 
 DistributedGrid ParallelTme::solve_potential(const DistributedGrid& finest_charges,
                                              TrafficLog* log) const {
+  TME_PHASE("par_tme_solve");
+  TME_GAUGE_SET("par_tme/nodes", topo_.node_count());
   const TmeParams& params = tme_.params();
   const int levels = params.levels;
   const int p = params.order;
@@ -180,6 +183,7 @@ DistributedGrid ParallelTme::solve_potential(const DistributedGrid& finest_charg
   std::vector<DistributedGrid> q(static_cast<std::size_t>(levels) + 1);
   q[0] = finest_charges;
   for (int l = 1; l <= levels; ++l) {
+    TME_PHASE("restriction");
     const GridDecomposition& fine_d = level_decomp_[static_cast<std::size_t>(l - 1)];
     const GridDecomposition& coarse_d = level_decomp_[static_cast<std::size_t>(l)];
     DistributedGrid coarse(coarse_d);
@@ -224,20 +228,24 @@ DistributedGrid ParallelTme::solve_potential(const DistributedGrid& finest_charg
 
   // -- Top level: gather to the root, FFT convolution, broadcast back --------
   const GridDecomposition& top_d = level_decomp_[static_cast<std::size_t>(levels)];
-  Grid3d top_global = q[static_cast<std::size_t>(levels)].assemble();
-  if (log != nullptr) {
-    // Every non-root node ships its block up the tree and receives the
-    // potentials back (paper Sec. IV.C octree; hop count = torus distance to
-    // the root's corner as a proxy for the board-level route).
-    for (std::size_t n = 1; n < topo_.node_count(); ++n) {
-      const std::size_t words = top_d.local().total();
-      const std::size_t hops = topo_.hops(topo_.coord(n), {0, 0, 0});
-      log->add("TMENW gather", 1, words, hops);
-      log->add("TMENW scatter", 1, words, hops);
+  DistributedGrid phi;
+  {
+    TME_PHASE("top_fft");
+    Grid3d top_global = q[static_cast<std::size_t>(levels)].assemble();
+    if (log != nullptr) {
+      // Every non-root node ships its block up the tree and receives the
+      // potentials back (paper Sec. IV.C octree; hop count = torus distance to
+      // the root's corner as a proxy for the board-level route).
+      for (std::size_t n = 1; n < topo_.node_count(); ++n) {
+        const std::size_t words = top_d.local().total();
+        const std::size_t hops = topo_.hops(topo_.coord(n), {0, 0, 0});
+        log->add("TMENW gather", 1, words, hops);
+        log->add("TMENW scatter", 1, words, hops);
+      }
     }
+    Grid3d top_phi_global = tme_.top_level().solve_potential(top_global);
+    phi = DistributedGrid::distribute(top_phi_global, top_d);
   }
-  Grid3d top_phi_global = tme_.top_level().solve_potential(top_global);
-  DistributedGrid phi = DistributedGrid::distribute(top_phi_global, top_d);
 
   // -- Upward pass: prolongation + per-level separable convolution ----------
   for (int l = levels; l >= 1; --l) {
@@ -247,6 +255,8 @@ DistributedGrid ParallelTme::solve_potential(const DistributedGrid& finest_charg
 
     // Prolongation: fine cell n needs coarse cells m with |n - 2m| <= p/2.
     DistributedGrid fine_phi(fine_d);
+    {
+    TME_PHASE("prolongation");
     for (std::size_t n = 0; n < topo_.node_count(); ++n) {
       const NodeCoord me = topo_.coord(n);
       ExtendedBlock halo;
@@ -292,9 +302,11 @@ DistributedGrid ParallelTme::solve_potential(const DistributedGrid& finest_charg
         }
       }
     }
+    }  // prolongation phase
 
     // Separable level convolution: x, then y, then z axis passes; the
     // intermediate state is one grid per Gaussian term.
+    TME_PHASE("convolution");
     const std::vector<SeparableTerm>& kernels = tme_.level_kernels(l);
     const std::size_t m_terms = kernels.size();
     const GridDims& local = fine_d.local();
@@ -396,6 +408,9 @@ DistributedGrid ParallelTme::solve_potential(const DistributedGrid& finest_charg
 CoulombResult ParallelTme::compute(std::span<const Vec3> positions,
                                    std::span<const double> charges,
                                    TrafficLog* log) const {
+  TME_PHASE("par_tme");
+  TME_COUNTER_ADD("par_tme/compute_calls", 1);
+  TME_GAUGE_SET("par_tme/atoms", positions.size());
   const TmeParams& params = tme_.params();
   const GridDecomposition& fine_d = level_decomp_.front();
   const GridDims& local = fine_d.local();
@@ -411,6 +426,8 @@ CoulombResult ParallelTme::compute(std::span<const Vec3> positions,
   DistributedGrid q(fine_d);
   const int sleeve = p / 2 + 1;  // paper Sec. IV.A: 4 sleeves for p = 6
   std::vector<double> wx(static_cast<std::size_t>(p)), wy(wx), wz(wx);
+  {
+  TME_PHASE("charge_assignment");
   for (std::size_t n = 0; n < topo_.node_count(); ++n) {
     const NodeCoord me = topo_.coord(n);
     ExtendedBlock buffer;
@@ -455,6 +472,7 @@ CoulombResult ParallelTme::compute(std::span<const Vec3> positions,
     }
     export_sleeves(q, fine_d, me, buffer, "CA sleeve exchange", log);
   }
+  }  // charge_assignment phase
 
   // --- Grid pipeline --------------------------------------------------------
   const DistributedGrid phi = solve_potential(q, log);
@@ -464,6 +482,7 @@ CoulombResult ParallelTme::compute(std::span<const Vec3> positions,
   out.forces.assign(positions.size(), Vec3{});
   double q_phi = 0.0;
   std::vector<double> dx(static_cast<std::size_t>(p)), dy(dx), dz(dx);
+  TME_PHASE("back_interpolation");
   for (std::size_t n = 0; n < topo_.node_count(); ++n) {
     const NodeCoord me = topo_.coord(n);
     ExtendedBlock halo;

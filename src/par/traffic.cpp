@@ -1,11 +1,24 @@
 #include "par/traffic.hpp"
 
+#include <algorithm>
 #include <cstdio>
+
+#include "obs/metrics.hpp"
 
 namespace tme::par {
 
 void TrafficLog::add(const std::string& phase, std::size_t messages,
                      std::size_t words, std::size_t hops) {
+  // Mirror every logged transfer into the global metrics registry (totals
+  // plus a per-phase word gauge-style counter with spaces normalised).
+  if constexpr (obs::kMetricsEnabled) {
+    obs::Registry& reg = obs::Registry::global();
+    reg.counter("par/traffic/messages").add(messages);
+    reg.counter("par/traffic/words").add(words);
+    std::string key = phase;
+    std::replace(key.begin(), key.end(), ' ', '_');
+    reg.counter("par/traffic/" + key + "/words").add(words);
+  }
   for (PhaseTraffic& p : phases_) {
     if (p.phase == phase) {
       p.messages += messages;

@@ -2,7 +2,25 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace tme {
+
+namespace {
+
+// Set while the current thread executes a parallel_for block (caller or
+// worker side); nested dispatches check it and run serially instead.
+thread_local bool t_in_parallel_region = false;
+
+struct RegionGuard {
+  bool saved = t_in_parallel_region;
+  RegionGuard() { t_in_parallel_region = true; }
+  ~RegionGuard() { t_in_parallel_region = saved; }
+};
+
+}  // namespace
+
+bool ThreadPool::in_parallel_region() { return t_in_parallel_region; }
 
 ThreadPool::ThreadPool(unsigned workers) {
   tasks_.resize(workers);
@@ -34,7 +52,13 @@ void ThreadPool::worker_loop(unsigned index) {
       task = tasks_[index];
     }
     if (task.fn != nullptr && task.begin < task.end) {
-      (*task.fn)(task.begin, task.end);
+      RegionGuard region;
+      try {
+        (*task.fn)(task.begin, task.end);
+      } catch (...) {
+        std::lock_guard lock(mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
     }
     {
       std::lock_guard lock(mutex_);
@@ -51,10 +75,16 @@ void ThreadPool::parallel_for_blocks(
   const std::size_t n = last - first;
   const unsigned parts = static_cast<unsigned>(
       std::min<std::size_t>(concurrency(), n));
-  if (parts <= 1) {
+  // Serial fallback: a one-thread split, or a nested call issued from
+  // inside another parallel_for block (re-entering the dispatch state
+  // while a generation is in flight would corrupt it — see header).
+  if (parts <= 1 || t_in_parallel_region) {
+    TME_COUNTER_ADD("util/parallel_for/serial_calls", 1);
+    RegionGuard region;
     fn(first, last);
     return;
   }
+  TME_COUNTER_ADD("util/parallel_for/calls", 1);
   const std::size_t chunk = (n + parts - 1) / parts;
   // Give blocks 1..parts-1 to the workers, keep block 0 for this thread.
   {
@@ -75,9 +105,25 @@ void ThreadPool::parallel_for_blocks(
     ++generation_;
   }
   cv_start_.notify_all();
-  fn(first, std::min(first + chunk, last));
+  {
+    RegionGuard region;
+    try {
+      fn(first, std::min(first + chunk, last));
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
   std::unique_lock lock(mutex_);
   cv_done_.wait(lock, [&] { return pending_ == 0; });
+  // Rethrow the first captured block exception (if any) on the caller,
+  // leaving the pool ready for the next dispatch.
+  if (first_error_) {
+    std::exception_ptr err;
+    std::swap(err, first_error_);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 ThreadPool& global_pool() {

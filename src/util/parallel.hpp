@@ -4,11 +4,22 @@
 // parallel_for calls do not pay thread-creation cost.  Work is distributed
 // in contiguous blocks; the calling thread participates, so a pool of size 1
 // degenerates to a plain loop with no synchronisation overhead.
+//
+// Semantics worth relying on (asserted in tests/test_util.cpp):
+//  - Reentrancy: a parallel_for issued from inside a parallel_for body (on
+//    any pool) runs serially on the calling thread instead of re-entering
+//    the pool, so nested parallelism can neither deadlock nor corrupt the
+//    in-flight dispatch state.
+//  - Exceptions: if one or more block invocations throw, every other block
+//    still runs to completion, then exactly one of the captured exceptions
+//    (the first one observed) is rethrown on the calling thread.  The pool
+//    remains usable afterwards.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -30,8 +41,14 @@ class ThreadPool {
 
   // Runs fn(begin, end) over [first, last) split into roughly equal blocks,
   // one per participating thread.  Blocks until all work is complete.
+  // Nested calls degrade to a serial fn(first, last); a block's exception is
+  // rethrown here after all blocks finish (see header comment).
   void parallel_for_blocks(std::size_t first, std::size_t last,
                            const std::function<void(std::size_t, std::size_t)>& fn);
+
+  // True while the calling thread is inside a parallel_for block (of any
+  // pool) — the condition under which nested calls run serially.
+  static bool in_parallel_region();
 
  private:
   struct Task {
@@ -50,6 +67,7 @@ class ThreadPool {
   std::uint64_t generation_ = 0;
   unsigned pending_ = 0;
   bool stop_ = false;
+  std::exception_ptr first_error_;
 };
 
 // Process-wide pool sized from hardware_concurrency (min 1 thread total).

@@ -10,6 +10,7 @@
 #include "hw/timechart.hpp"
 #include "hw/tmenw_model.hpp"
 #include "hw/torus.hpp"
+#include "obs/metrics.hpp"
 
 namespace tme::hw {
 namespace {
@@ -267,6 +268,82 @@ TEST(Machine, TimestepScalesPerformanceLinearly) {
   cfg.timestep_fs = 5.0;
   EXPECT_NEAR(machine.performance_us_per_day(cfg),
               2.0 * machine.performance_us_per_day(StepConfig{}), 1e-9);
+}
+
+// --- golden trace ----------------------------------------------------------
+
+// The event simulator is a deterministic list scheduler: the same config
+// must produce bit-identical schedules and the same rendered time chart on
+// every run.  A perf trajectory built on these traces is meaningless if the
+// schedule wobbles between runs.
+TEST(Machine, GoldenTraceIsDeterministic) {
+  const MdgrapeMachine machine;
+  const StepConfig config;
+  const StepTimings a = machine.simulate_step(config);
+  const StepTimings b = machine.simulate_step(config);
+
+  ASSERT_EQ(a.schedule.size(), b.schedule.size());
+  for (std::size_t i = 0; i < a.schedule.size(); ++i) {
+    EXPECT_EQ(a.schedule[i].spec.name, b.schedule[i].spec.name);
+    EXPECT_EQ(a.schedule[i].spec.lane, b.schedule[i].spec.lane);
+    EXPECT_EQ(a.schedule[i].spec.duration, b.schedule[i].spec.duration);
+    EXPECT_EQ(a.schedule[i].spec.resource, b.schedule[i].spec.resource);
+    EXPECT_EQ(a.schedule[i].spec.deps, b.schedule[i].spec.deps);
+    EXPECT_EQ(a.schedule[i].start, b.schedule[i].start);  // bit-exact
+    EXPECT_EQ(a.schedule[i].end, b.schedule[i].end);
+  }
+  EXPECT_EQ(a.step_time, b.step_time);
+  EXPECT_EQ(a.long_range_total, b.long_range_total);
+  EXPECT_EQ(a.long_range_span, b.long_range_span);
+  EXPECT_EQ(a.gcu_window, b.gcu_window);
+
+  EXPECT_EQ(render_timechart(a.schedule), render_timechart(b.schedule));
+  EXPECT_EQ(render_task_table(a.schedule), render_task_table(b.schedule));
+}
+
+TEST(Machine, GoldenTraceStableAcrossSimulatorInstances) {
+  // Same spec fed through two fresh EventSimulator objects: no hidden
+  // state, no pointer-order dependence in tie-breaking.
+  auto build = [] {
+    EventSimulator sim;
+    const TaskId a = sim.add_task({"a", "GP", 2.0e-6, {}, -1});
+    const TaskId b = sim.add_task({"b", "PP", 3.0e-6, {}, 0});
+    const TaskId c = sim.add_task({"c", "PP", 3.0e-6, {a}, 0});  // ties with b on resource
+    sim.add_task({"d", "NW", 1.0e-6, {b, c}, -1});
+    return sim.run();
+  };
+  const auto s1 = build();
+  const auto s2 = build();
+  ASSERT_EQ(s1.size(), s2.size());
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1[i].spec.name, s2[i].spec.name);
+    EXPECT_EQ(s1[i].start, s2[i].start);
+    EXPECT_EQ(s1[i].end, s2[i].end);
+  }
+  EXPECT_EQ(render_timechart(s1), render_timechart(s2));
+}
+
+TEST(Machine, RecordStepMetricsStageSumMatchesStepTimer) {
+  // The acceptance contract for the bench JSON: the Table-2 stage timers
+  // must sum to the "step" timer (within 5%; here it is exact by
+  // construction — both sides sum the same schedule tasks).
+  obs::Registry::global().reset();
+  const MdgrapeMachine machine;
+  const StepTimings t = machine.simulate_step(StepConfig{});
+  record_step_metrics(t);
+
+  const obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
+  double stage_sum = 0.0, step_total = -1.0;
+  for (const auto& [path, stat] : snap.timers) {
+    if (path == "step") {
+      step_total = stat.seconds;
+    } else if (path.rfind("step/", 0) == 0) {
+      stage_sum += stat.seconds;
+    }
+  }
+  ASSERT_GT(step_total, 0.0);
+  EXPECT_NEAR(stage_sum, step_total, 0.05 * step_total);
+  EXPECT_NEAR(stage_sum, t.long_range_total, 1e-12);
 }
 
 }  // namespace

@@ -1,6 +1,8 @@
 #include <atomic>
 #include <cmath>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -84,6 +86,115 @@ TEST(ThreadPool, RangesPartitionIsDisjointAndComplete) {
     for (std::size_t i = b; i < e; ++i) ++cover[i];
   }
   for (const int c : cover) EXPECT_EQ(c, 1);
+}
+
+TEST(ThreadPool, ZeroWorkerPoolRunsSeriallyOnCaller) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.concurrency(), 1u);
+  const auto caller = std::this_thread::get_id();
+  std::vector<int> hits(100, 0);  // plain ints: no other thread may touch them
+  pool.parallel_for_blocks(0, hits.size(), [&](std::size_t b, std::size_t e) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    for (std::size_t i = b; i < e; ++i) ++hits[i];
+  });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, OversubscribedPoolStillCoversRangeExactlyOnce) {
+  // Far more threads than cores (and than work blocks): the dispatch must
+  // not lose or duplicate blocks when most workers find nothing to do.
+  ThreadPool pool(64);
+  EXPECT_EQ(pool.concurrency(), 65u);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::atomic<int>> hits(257);
+    pool.parallel_for_blocks(0, hits.size(), [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, NestedParallelForRunsSeriallyWithoutDeadlock) {
+  EXPECT_FALSE(ThreadPool::in_parallel_region());
+  std::atomic<long> sum{0};
+  std::atomic<int> nested_parallel{0};
+  parallel_for(0, 16, [&](std::size_t) {
+    EXPECT_TRUE(ThreadPool::in_parallel_region());
+    // The inner call must not re-enter the pool: it runs as one serial
+    // block on this thread.  If it re-entered the in-flight dispatch this
+    // would deadlock or corrupt the outer loop's bookkeeping.
+    parallel_for_ranges(0, 100, [&](std::size_t b, std::size_t e) {
+      if (b != 0 || e != 100) nested_parallel.fetch_add(1);
+      for (std::size_t i = b; i < e; ++i) sum += static_cast<long>(i);
+    });
+  });
+  EXPECT_FALSE(ThreadPool::in_parallel_region());
+  EXPECT_EQ(nested_parallel.load(), 0);
+  EXPECT_EQ(sum.load(), 16L * (99L * 100L / 2L));
+}
+
+TEST(ThreadPool, RegionFlagRestoredAfterNestedCall) {
+  parallel_for(0, 4, [&](std::size_t) {
+    parallel_for(0, 2, [](std::size_t) {});
+    // A sloppy guard would clear the flag when the nested call returned.
+    EXPECT_TRUE(ThreadPool::in_parallel_region());
+  });
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndOtherBlocksStillRun) {
+  std::vector<std::atomic<int>> hits(1000);
+  try {
+    parallel_for(0, hits.size(), [&](std::size_t i) {
+      hits[i].fetch_add(1);
+      if (i == 137) throw std::runtime_error("block 137 failed");
+    });
+    FAIL() << "expected parallel_for to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "block 137 failed");
+  }
+  // Every index before the throwing one in its block — and every other
+  // block — still ran: only the throwing block stops early.  (On a
+  // single-core pool the whole range is one block, so only the prefix up
+  // to the throw runs.)
+  int covered = 0;
+  for (const auto& h : hits) covered += h.load();
+  if (global_pool().concurrency() > 1) {
+    const std::size_t chunk =
+        (hits.size() + global_pool().concurrency() - 1) /
+        global_pool().concurrency();
+    EXPECT_GE(covered, static_cast<int>(hits.size() - chunk));
+  } else {
+    EXPECT_EQ(covered, 138);
+  }
+}
+
+TEST(ThreadPool, PoolRemainsUsableAfterException) {
+  EXPECT_THROW(
+      parallel_for(0, 64, [](std::size_t i) {
+        if (i % 2 == 0) throw std::logic_error("boom");
+      }),
+      std::logic_error);
+  // Same global pool, next dispatch must be clean (no stale error, no lost
+  // workers).
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<long> sum{0};
+    parallel_for(0, 1000, [&](std::size_t i) { sum += static_cast<long>(i); });
+    EXPECT_EQ(sum.load(), 999L * 1000L / 2L);
+  }
+}
+
+TEST(ThreadPool, ExceptionInNestedSerialCallPropagates) {
+  EXPECT_THROW(parallel_for(0, 8,
+                            [&](std::size_t) {
+                              parallel_for(0, 4, [](std::size_t j) {
+                                if (j == 2) throw std::runtime_error("nested");
+                              });
+                            }),
+               std::runtime_error);
+  // And the pool still works.
+  std::atomic<int> n{0};
+  parallel_for(0, 100, [&](std::size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 100);
 }
 
 TEST(Rng, DeterministicAcrossInstances) {
