@@ -1,0 +1,153 @@
+// Thread-scaling and kernel-accuracy bench for the parallel short-range
+// engine (md/short_range_engine.hpp) on the standard water-box workload.
+//
+// Sweeps pool sizes 1, 2, 4, ... up to --threads for both Coulomb kernels
+// (analytic erfc vs the segmented-polynomial r² table) and reports per-eval
+// time, pair throughput, speedup over 1 thread, and the force deviation from
+// the serial reference loop.  The run *fails* (non-zero exit) when the
+// parallel analytic forces drift from the serial ones beyond 1e-10 relative
+// or the tabulated forces drift from analytic beyond 1e-6 relative — CI runs
+// this as a correctness smoke, never asserting on raw timing.
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ewald/splitting.hpp"
+#include "md/short_range_engine.hpp"
+#include "md/water_box.hpp"
+#include "util/args.hpp"
+#include "util/parallel.hpp"
+#include "util/timer.hpp"
+
+#include "common.hpp"
+
+namespace {
+
+using namespace tme;
+
+// max_i |a_i - b_i| / max_i |b_i| — scale-relative force deviation.
+double force_deviation(const std::vector<Vec3>& a, const std::vector<Vec3>& b) {
+  double worst = 0.0, scale = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, norm(a[i] - b[i]));
+    scale = std::max(scale, norm(b[i]));
+  }
+  return scale > 0.0 ? worst / scale : worst;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tme;
+  const Args args(argc, argv);
+  const std::size_t molecules =
+      static_cast<std::size_t>(args.get_int("molecules", 1728));
+  const int reps = args.get_int("reps", 3);
+  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned max_threads =
+      static_cast<unsigned>(args.get_int("threads", static_cast<int>(hardware)));
+
+  WaterBoxSpec spec;
+  spec.molecules = molecules;
+  WaterBox wb = build_water_box(spec);
+  add_ion_pairs(wb, std::max<std::size_t>(1, molecules / 64));
+  const std::size_t n = wb.system.size();
+
+  ShortRangeParams params;
+  params.cutoff = std::min(1.2, 0.45 * wb.system.box.lengths.x);
+  params.alpha = alpha_from_tolerance(params.cutoff, 1e-4);
+  params.shift_lj = true;
+
+  bench::print_header("bench_shortrange: parallel short-range engine");
+  std::printf("atoms %zu  box %.3f nm  cutoff %.3f nm  alpha %.3f  reps %d\n",
+              n, wb.system.box.lengths.x, params.cutoff, params.alpha, reps);
+
+  obs::Registry::global().reset();
+
+  // Serial reference: the plain cell-list loop.
+  std::vector<Vec3> f_serial;
+  ShortRangeResult ref;
+  double serial_seconds = 0.0;
+  {
+    Timer timer;
+    for (int rep = 0; rep < reps; ++rep) {
+      wb.system.forces.assign(n, Vec3{});
+      timer.reset();
+      ref = compute_short_range(wb.system, wb.topology, params);
+      const double s = timer.seconds();
+      if (rep == 0 || s < serial_seconds) serial_seconds = s;
+    }
+    f_serial = wb.system.forces;
+  }
+  std::printf("serial reference: %8.2f ms/eval  %zu pairs\n",
+              serial_seconds * 1e3, ref.pair_count);
+
+  struct ModeSpec {
+    const char* name;
+    CoulombKernel kernel;
+    double tolerance;  // vs the serial analytic reference
+  };
+  const ModeSpec modes[] = {
+      {"analytic", CoulombKernel::kAnalytic, 1e-10},
+      {"tabulated", CoulombKernel::kTabulated, 1e-6},
+  };
+
+  bench::print_header("thread sweep");
+  std::printf("%-10s %8s %12s %14s %9s %12s\n", "kernel", "threads",
+              "ms/eval", "pairs/s", "speedup", "max rel dF");
+
+  bool mismatch = false;
+  for (const ModeSpec& mode : modes) {
+    ShortRangeParams p = params;
+    p.kernel = mode.kernel;
+    const ShortRangeEngine engine(p);
+    if (engine.force_table() != nullptr) {
+      obs::Registry::global().gauge_set(
+          "shortrange/table_max_rel_error_energy",
+          engine.force_table()->max_rel_error_energy());
+      obs::Registry::global().gauge_set(
+          "shortrange/table_max_rel_error_force",
+          engine.force_table()->max_rel_error_force());
+    }
+    double t1 = 0.0;  // 1-thread time for the speedup column
+    for (unsigned threads = 1; threads <= max_threads; threads *= 2) {
+      ThreadPool pool(threads - 1);
+      double best = 0.0;
+      ShortRangeResult r{};
+      Timer timer;
+      for (int rep = 0; rep < reps; ++rep) {
+        wb.system.forces.assign(n, Vec3{});
+        timer.reset();
+        r = engine.compute(wb.system, wb.topology, &pool);
+        const double s = timer.seconds();
+        if (rep == 0 || s < best) best = s;
+      }
+      if (threads == 1) t1 = best;
+      const double deviation = force_deviation(wb.system.forces, f_serial);
+      const double pairs_per_s = static_cast<double>(r.pair_count) / best;
+      std::printf("%-10s %8u %12.2f %14.3e %9.2f %12.2e%s\n", mode.name,
+                  threads, best * 1e3, pairs_per_s, t1 / best, deviation,
+                  deviation > mode.tolerance ? "  ** MISMATCH **" : "");
+      const std::string prefix = std::string("shortrange/") + mode.name +
+                                 "/t" + std::to_string(threads);
+      obs::Registry::global().gauge_set(prefix + "/seconds_per_eval", best);
+      obs::Registry::global().gauge_set(prefix + "/pairs_per_s", pairs_per_s);
+      obs::Registry::global().gauge_set(prefix + "/speedup", t1 / best);
+      obs::Registry::global().gauge_set(prefix + "/force_deviation", deviation);
+      if (deviation > mode.tolerance) mismatch = true;
+      if (r.pair_count != ref.pair_count) {
+        std::printf("  ** pair count mismatch: %zu vs serial %zu **\n",
+                    r.pair_count, ref.pair_count);
+        mismatch = true;
+      }
+    }
+  }
+
+  bench::emit_metrics("shortrange");
+  if (mismatch) {
+    std::printf("FAILED: parallel/tabulated forces deviate beyond tolerance\n");
+    return 1;
+  }
+  return 0;
+}

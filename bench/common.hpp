@@ -58,12 +58,40 @@ inline void print_header(const std::string& title) {
   print_rule();
 }
 
+// Derives short-range pair throughput (pairs/s) from the registry's pair
+// counter and accumulated short_range timer and records it as a gauge, so
+// every bench export reports a throughput number comparable across benches
+// (bench_shortrange and bench_table2 in particular).  No-op when either
+// input is missing or zero.
+inline void record_pair_throughput() {
+  const obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
+  std::uint64_t pairs = 0;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "short_range/pairs") pairs = value;
+  }
+  double seconds = 0.0;
+  for (const auto& [path, stat] : snap.timers) {
+    // The phase path is "short_range" at top level or ".../short_range"
+    // when the evaluator runs inside an enclosing phase.
+    if (path == "short_range" || (path.size() > 12 &&
+                                  path.compare(path.size() - 12, 12,
+                                               "/short_range") == 0)) {
+      seconds += stat.seconds;
+    }
+  }
+  if (pairs > 0 && seconds > 0.0) {
+    obs::Registry::global().gauge_set(
+        "short_range/pairs_per_s", static_cast<double>(pairs) / seconds);
+  }
+}
+
 // Emits the current metrics registry as a machine-readable per-stage
 // breakdown: printed to stdout under a marked header and written to
 // BENCH_<name>.json in the working directory (the perf-trajectory record).
 // Callers that want a single clean breakdown should reset the registry
 // before the run they mean to export.
 inline void emit_metrics(const std::string& bench_name) {
+  record_pair_throughput();
   const obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
   obs::JsonValue root = obs::json_parse(obs::to_json(snap));
   root.as_object()["bench"] = obs::JsonValue::make_string(bench_name);

@@ -1,8 +1,10 @@
 #include "ewald/charge_assignment.hpp"
 
+#include <algorithm>
 #include <mutex>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "spline/bspline.hpp"
 #include "util/parallel.hpp"
 
@@ -17,18 +19,12 @@ ChargeAssigner::ChargeAssigner(const Box& box, GridDims dims, int order)
         box.lengths.z / static_cast<double>(dims.nz)};
 }
 
-Grid3d ChargeAssigner::assign(std::span<const Vec3> positions,
-                              std::span<const double> charges) const {
-  if (positions.size() != charges.size()) {
-    throw std::invalid_argument("ChargeAssigner::assign: size mismatch");
-  }
-  Grid3d grid(dims_);
+void ChargeAssigner::spread_range(Grid3d& grid, std::span<const Vec3> positions,
+                                  std::span<const double> charges,
+                                  std::size_t first, std::size_t last) const {
   const int p = p_;
   std::vector<double> wx(static_cast<std::size_t>(p)), wy(wx), wz(wx);
-  // Scatter is sequential: the hardware accumulates through the global
-  // memory's atomic-add write mode; in software a serial loop is both exact
-  // and fast enough (the mesh pipeline is FFT/convolution dominated).
-  for (std::size_t i = 0; i < positions.size(); ++i) {
+  for (std::size_t i = first; i < last; ++i) {
     const Vec3 u = hadamard_div(box_.wrap(positions[i]), h_);
     const long mx0 = bspline_weights_central(p, u.x, wx, {});
     const long my0 = bspline_weights_central(p, u.y, wy, {});
@@ -48,6 +44,43 @@ Grid3d ChargeAssigner::assign(std::span<const Vec3> positions,
       }
     }
   }
+}
+
+Grid3d ChargeAssigner::assign(std::span<const Vec3> positions,
+                              std::span<const double> charges,
+                              ThreadPool* pool_ptr) const {
+  if (positions.size() != charges.size()) {
+    throw std::invalid_argument("ChargeAssigner::assign: size mismatch");
+  }
+  TME_COUNTER_ADD("charge_assignment/assign_calls", 1);
+  Grid3d grid(dims_);
+  const std::size_t n = positions.size();
+  ThreadPool& pool = pool_ptr != nullptr ? *pool_ptr : global_pool();
+  // The hardware accumulates through the global memory's atomic-add write
+  // mode; in software each batch scatters into a private scratch grid and
+  // the grids are summed point-wise in fixed batch order (deterministic per
+  // pool size).  The scratch count is capped to bound the extra memory on
+  // wide machines.
+  constexpr std::size_t kMaxScratchGrids = 16;
+  const std::size_t nb = std::min<std::size_t>(
+      {ThreadPool::in_parallel_region() ? std::size_t{1} : pool.concurrency(),
+       std::max<std::size_t>(n, 1), kMaxScratchGrids});
+  if (nb <= 1) {
+    spread_range(grid, positions, charges, 0, n);
+    return grid;
+  }
+  const std::size_t chunk = (n + nb - 1) / nb;
+  std::vector<Grid3d> scratch(nb);
+  parallel_for(pool, 0, nb, [&](std::size_t b) {
+    scratch[b] = Grid3d(dims_);
+    spread_range(scratch[b], positions, charges, b * chunk,
+                 std::min(b * chunk + chunk, n));
+  });
+  parallel_for(pool, 0, grid.size(), [&](std::size_t g) {
+    double acc = 0.0;
+    for (std::size_t b = 0; b < nb; ++b) acc += scratch[b][g];
+    grid[g] = acc;
+  });
   return grid;
 }
 

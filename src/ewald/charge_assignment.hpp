@@ -17,6 +17,8 @@
 
 namespace tme {
 
+class ThreadPool;
+
 class ChargeAssigner {
  public:
   // `dims` is the target grid; grid spacing is box.lengths / dims per axis.
@@ -26,8 +28,12 @@ class ChargeAssigner {
   const GridDims& dims() const { return dims_; }
   Vec3 spacing() const { return h_; }
 
-  // Anterpolation: scatter all charges onto a fresh grid.
-  Grid3d assign(std::span<const Vec3> positions, std::span<const double> charges) const;
+  // Anterpolation: scatter all charges onto a fresh grid.  Particle batches
+  // spread into per-thread scratch grids on `pool` (nullptr = the
+  // process-wide pool) and are reduced point-wise in fixed batch order; a
+  // one-thread pool reproduces the serial scatter exactly.
+  Grid3d assign(std::span<const Vec3> positions, std::span<const double> charges,
+                ThreadPool* pool = nullptr) const;
 
   // Back interpolation: per-atom potential phi_i = sum_m Phi_m M_p(u_i - m)
   // and (if forces != nullptr) the accumulated force
@@ -39,6 +45,11 @@ class ChargeAssigner {
                           std::vector<double>* phi_out = nullptr) const;
 
  private:
+  // Serial scatter of particles [first, last) into `grid` (accumulating).
+  void spread_range(Grid3d& grid, std::span<const Vec3> positions,
+                    std::span<const double> charges, std::size_t first,
+                    std::size_t last) const;
+
   Box box_;
   GridDims dims_;
   int p_;

@@ -1,0 +1,82 @@
+#include "ewald/force_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "ewald/splitting.hpp"
+
+namespace tme {
+
+namespace {
+
+// Kernel values and their d/ds derivatives (s = r²) at one node.
+struct Node {
+  double energy, denergy_ds;
+  double force, dforce_ds;
+};
+
+Node eval_node(double s, double alpha) {
+  const double r = std::sqrt(s);
+  const double g = g_short(r, alpha);
+  const double dg = g_short_derivative(r, alpha);
+  const double d2g = g_short_second_derivative(r, alpha);
+  // dE/ds = g'(r) dr/ds with dr/ds = 1/(2r);
+  // G(s) = -g'(r)/r, dG/ds = (g'(r) - r g''(r)) / (2 r³).
+  return {g, dg / (2.0 * r), -dg / r, (dg - r * d2g) / (2.0 * r * r * r)};
+}
+
+// Cubic Hermite coefficients on t in [0,1] for values f0,f1 and
+// t-derivatives m0,m1 (i.e. already scaled by the segment width).
+void hermite(double f0, double m0, double f1, double m1, double* c) {
+  c[0] = f0;
+  c[1] = m0;
+  c[2] = -3.0 * f0 + 3.0 * f1 - 2.0 * m0 - m1;
+  c[3] = 2.0 * f0 - 2.0 * f1 + m0 + m1;
+}
+
+}  // namespace
+
+ForceTable::ForceTable(double alpha, double r_min, double r_max,
+                       std::size_t segments)
+    : alpha_(alpha), r_min_(r_min), r_max_(r_max), segments_(segments) {
+  if (alpha <= 0.0 || r_min <= 0.0 || r_min >= r_max || segments < 2) {
+    throw std::invalid_argument("ForceTable: bad arguments");
+  }
+  s_min_ = r_min * r_min;
+  s_max_ = r_max * r_max;
+  const double ds = (s_max_ - s_min_) / static_cast<double>(segments);
+  inv_ds_ = 1.0 / ds;
+  coeff_.resize(8 * segments);
+
+  Node lo = eval_node(s_min_, alpha);
+  for (std::size_t k = 0; k < segments; ++k) {
+    const double s1 = s_min_ + static_cast<double>(k + 1) * ds;
+    const Node hi = eval_node(std::min(s1, s_max_), alpha);
+    double* c = coeff_.data() + 8 * k;
+    hermite(lo.energy, lo.denergy_ds * ds, hi.energy, hi.denergy_ds * ds, c);
+    hermite(lo.force, lo.dforce_ds * ds, hi.force, hi.dforce_ds * ds, c + 4);
+    lo = hi;
+  }
+
+  // Measured accuracy bound: probe the interior of every segment.
+  for (std::size_t k = 0; k < segments; ++k) {
+    for (const double t : {0.2, 0.5, 0.8}) {
+      const double s = s_min_ + (static_cast<double>(k) + t) * ds;
+      const Sample tab = lookup(s);
+      const Sample ref = analytic(s);
+      err_energy_ = std::max(
+          err_energy_, std::abs(tab.energy - ref.energy) / std::abs(ref.energy));
+      err_force_ =
+          std::max(err_force_, std::abs(tab.force_over_r - ref.force_over_r) /
+                                   std::abs(ref.force_over_r));
+    }
+  }
+}
+
+ForceTable::Sample ForceTable::analytic(double r2) const {
+  const double r = std::sqrt(r2);
+  return {g_short(r, alpha_), -g_short_derivative(r, alpha_) / r};
+}
+
+}  // namespace tme

@@ -36,6 +36,16 @@ double g_short_derivative(double r, double alpha) {
   return -std::erfc(ar) / (r * r) - kTwoOverSqrtPi * alpha * std::exp(-ar * ar) / r;
 }
 
+double g_short_second_derivative(double r, double alpha) {
+  if (r <= 0.0) {
+    throw std::invalid_argument("g_short_second_derivative: r must be positive");
+  }
+  const double ar = alpha * r;
+  const double gauss = kTwoOverSqrtPi * alpha * std::exp(-ar * ar);
+  return 2.0 * std::erfc(ar) / (r * r * r) + 2.0 * gauss / (r * r) +
+         2.0 * alpha * alpha * gauss;
+}
+
 double g_long_derivative(double r, double alpha) {
   if (r <= 0.0) throw std::invalid_argument("g_long_derivative: r must be positive");
   const double ar = alpha * r;

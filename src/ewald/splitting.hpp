@@ -26,6 +26,10 @@ double g_shell(double r, double alpha, int level);
 double g_short_derivative(double r, double alpha);
 double g_long_derivative(double r, double alpha);
 
+// d²/dr² of g_short — needed by the Hermite segment fits of the tabulated
+// pair kernel (ewald/force_table.hpp), which interpolates in r².
+double g_short_second_derivative(double r, double alpha);
+
 // Chooses alpha from the GROMACS-style condition erfc(alpha r_c) = rtol
 // (bisection; the paper uses rtol = 1e-4).
 double alpha_from_tolerance(double r_cut, double rtol);

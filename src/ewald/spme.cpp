@@ -6,6 +6,7 @@
 #include "ewald/greens_function.hpp"
 #include "obs/metrics.hpp"
 #include "util/constants.hpp"
+#include "util/parallel.hpp"
 
 namespace tme {
 
@@ -33,7 +34,9 @@ Grid3d Spme::solve_potential(const Grid3d& charge_grid) const {
   }
   {
     TME_PHASE("influence_apply");
-    for (std::size_t i = 0; i < spectrum.size(); ++i) spectrum[i] *= influence_[i];
+    // Element-wise, so threading cannot change the result bits.
+    parallel_for(0, spectrum.size(),
+                 [&](std::size_t i) { spectrum[i] *= influence_[i]; });
   }
   Grid3d potential(params_.grid);
   {

@@ -77,7 +77,7 @@ std::unique_ptr<LongRangeSolver> make_ewald_solver(double alpha, int n_cut) {
 
 ForceField::ForceField(ShortRangeParams short_range,
                        std::unique_ptr<LongRangeSolver> solver)
-    : short_range_(short_range), solver_(std::move(solver)) {
+    : short_range_(short_range), engine_(short_range), solver_(std::move(solver)) {
   if (!solver_) throw std::invalid_argument("ForceField: null long-range solver");
   if (solver_->alpha() != short_range_.alpha) {
     throw std::invalid_argument(
@@ -90,7 +90,7 @@ EnergyReport ForceField::evaluate(ParticleSystem& system,
   EnergyReport report;
   system.forces.assign(system.size(), Vec3{});
 
-  const ShortRangeResult sr = compute_short_range(system, topology, short_range_);
+  const ShortRangeResult sr = engine_.compute(system, topology);
   report.coulomb_short = sr.energy_coulomb;
   report.lj = sr.energy_lj;
 

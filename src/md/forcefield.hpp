@@ -11,6 +11,7 @@
 #include "ewald/spme.hpp"
 #include "md/bonded.hpp"
 #include "md/short_range.hpp"
+#include "md/short_range_engine.hpp"
 #include "md/system.hpp"
 #include "md/topology.hpp"
 
@@ -58,9 +59,11 @@ class ForceField {
 
   const LongRangeSolver& long_range() const { return *solver_; }
   const ShortRangeParams& short_range_params() const { return short_range_; }
+  const ShortRangeEngine& short_range_engine() const { return engine_; }
 
  private:
   ShortRangeParams short_range_;
+  ShortRangeEngine engine_;  // parallel evaluator for the short-range sum
   std::unique_ptr<LongRangeSolver> solver_;
 };
 

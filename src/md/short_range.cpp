@@ -6,6 +6,7 @@
 #include "md/cell_list.hpp"
 #include "obs/metrics.hpp"
 #include "util/constants.hpp"
+#include "util/parallel.hpp"
 
 namespace tme {
 
@@ -66,19 +67,37 @@ ShortRangeResult compute_short_range(ParticleSystem& system, const Topology& top
 }
 
 double apply_exclusion_corrections(ParticleSystem& system, const Topology& topology,
-                                   double alpha) {
-  double energy = 0.0;
-  for (const auto& [i, j] : topology.exclusions()) {
+                                   double alpha, ThreadPool* pool) {
+  TME_PHASE("exclusion_corrections");
+  TME_COUNTER_ADD("exclusion_corrections/calls", 1);
+  const auto& exclusions = topology.exclusions();
+  const std::size_t n = exclusions.size();
+  TME_COUNTER_ADD("exclusion_corrections/pairs", n);
+  if (n == 0) return 0.0;
+
+  // Pass 1 (parallel): per-exclusion energy and pair force, no shared writes.
+  std::vector<double> pair_energy(n, 0.0);
+  std::vector<Vec3> pair_force(n, Vec3{});
+  ThreadPool& p = pool != nullptr ? *pool : global_pool();
+  parallel_for(p, 0, n, [&](std::size_t k) {
+    const auto& [i, j] = exclusions[k];
     const Vec3 d = system.box.min_image_disp(system.positions[i], system.positions[j]);
     const double r = norm(d);
     const double qq = constants::kCoulomb * system.charges[i] * system.charges[j];
-    if (qq == 0.0 || r == 0.0) continue;
-    energy -= qq * g_long(r, alpha);
+    if (qq == 0.0 || r == 0.0) return;
+    pair_energy[k] = -qq * g_long(r, alpha);
     // Subtracting the erf pair term adds the opposite of its force.
-    const double f_over_r = qq * g_long_derivative(r, alpha) / r;
-    const Vec3 fij = f_over_r * d;
-    system.forces[i] += fij;
-    system.forces[j] -= fij;
+    pair_force[k] = (qq * g_long_derivative(r, alpha) / r) * d;
+  });
+
+  // Pass 2 (serial, list order): scatter and sum — bitwise independent of
+  // the pool size.
+  double energy = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto& [i, j] = exclusions[k];
+    system.forces[i] += pair_force[k];
+    system.forces[j] -= pair_force[k];
+    energy += pair_energy[k];
   }
   return energy;
 }

@@ -2,8 +2,16 @@
 // dedicated nonbond pipelines (paper Sec. II): the erfc-screened real-space
 // Coulomb term of the Ewald splitting plus Lennard-Jones, evaluated with a
 // cell list under the minimum-image convention, skipping excluded pairs.
+//
+// Two evaluators share these parameter/result types:
+//  - compute_short_range (below): the serial reference loop, kept as the
+//    equivalence baseline for tests;
+//  - ShortRangeEngine (md/short_range_engine.hpp): the production path —
+//    parallel cell traversal, precombined LJ table, optional tabulated
+//    Coulomb kernel mirroring the hardware's table-lookup evaluators.
 #pragma once
 
+#include <cstddef>
 #include <span>
 #include <vector>
 
@@ -12,10 +20,26 @@
 
 namespace tme {
 
+class ThreadPool;
+
+// How the real-space (erfc) Coulomb kernel is evaluated per pair.
+enum class CoulombKernel {
+  kAnalytic,   // std::erfc / std::sqrt per pair (exact)
+  kTabulated,  // segmented-polynomial table in r² (hardware-faithful; see
+               // ewald/force_table.hpp for the measured accuracy bound)
+};
+
 struct ShortRangeParams {
   double cutoff = 1.2;     // nm, shared by LJ and real-space Coulomb
   double alpha = 3.0;      // Ewald splitting parameter, nm^-1
   bool shift_lj = false;   // subtract LJ at the cutoff (energy continuity)
+
+  // Kernel selection (used by ShortRangeEngine; the serial reference loop is
+  // always analytic).  The table covers [table_r_min, cutoff] and falls back
+  // to the analytic kernel below table_r_min.
+  CoulombKernel kernel = CoulombKernel::kAnalytic;
+  double table_r_min = 0.1;           // nm
+  std::size_t table_segments = 4096;
 };
 
 struct ShortRangeResult {
@@ -24,14 +48,19 @@ struct ShortRangeResult {
   std::size_t pair_count = 0;   // pairs inside the cutoff (after exclusions)
 };
 
-// Accumulates forces into system.forces (does not clear them).
+// Serial reference evaluator.  Accumulates forces into system.forces (does
+// not clear them).  Production code should prefer ShortRangeEngine.
 ShortRangeResult compute_short_range(ParticleSystem& system, const Topology& topology,
                                      const ShortRangeParams& params);
 
 // Correction for excluded pairs: the mesh (long-range) solvers include the
 // erf part for *all* pairs, so for every excluded pair subtract
 // q_i q_j erf(alpha r)/r (energy and force).  Accumulates into forces.
+//
+// The per-pair kernel evaluations run on `pool` (nullptr = the process-wide
+// pool); the scatter into forces and the energy sum stay serial in exclusion
+// list order, so the result is bitwise identical for every pool size.
 double apply_exclusion_corrections(ParticleSystem& system, const Topology& topology,
-                                   double alpha);
+                                   double alpha, ThreadPool* pool = nullptr);
 
 }  // namespace tme

@@ -1,0 +1,204 @@
+#include "md/short_range_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "ewald/splitting.hpp"
+#include "md/cell_list.hpp"
+#include "obs/metrics.hpp"
+#include "util/constants.hpp"
+#include "util/parallel.hpp"
+
+namespace tme {
+
+namespace {
+
+// Precombined Lorentz–Berthelot pair parameters: E = (c12/r⁶ - c6)/r⁶ -
+// e_shift and f·r = (12 c12/r⁶ - 6 c6)/r⁶ / r².
+struct MixedLj {
+  double c6 = 0.0;       // 4 ε σ⁶
+  double c12 = 0.0;      // 4 ε σ¹²
+  double e_shift = 0.0;  // energy at the cutoff (0 when shift_lj is off)
+};
+
+// Per-batch private accumulators, merged in batch order after the sweep.
+struct Partial {
+  std::vector<Vec3> forces;  // indexed by sorted (cell-order) particle index
+  double energy_coulomb = 0.0;
+  double energy_lj = 0.0;
+  std::size_t pairs = 0;
+};
+
+}  // namespace
+
+ShortRangeEngine::ShortRangeEngine(const ShortRangeParams& params)
+    : params_(params) {
+  if (params.kernel == CoulombKernel::kTabulated) {
+    table_ = std::make_unique<ForceTable>(params.alpha, params.table_r_min,
+                                          params.cutoff, params.table_segments);
+  }
+}
+
+ShortRangeResult ShortRangeEngine::compute(ParticleSystem& system,
+                                           const Topology& topology,
+                                           ThreadPool* pool_ptr) const {
+  TME_PHASE("short_range");
+  TME_COUNTER_ADD("short_range/calls", 1);
+  ShortRangeResult out;
+  const std::size_t n = system.size();
+  if (n == 0) return out;
+  ThreadPool& pool = pool_ptr != nullptr ? *pool_ptr : global_pool();
+
+  const double cutoff2 = params_.cutoff * params_.cutoff;
+  const CellList cells(system.box, system.positions, params_.cutoff);
+  const std::size_t ncells = cells.cell_count();
+
+  // --- LJ type compression + flat mixing table -----------------------------
+  const auto& lj = topology.lj();
+  std::vector<std::uint32_t> type_of(n);
+  std::vector<LjParams> types;
+  {
+    std::map<std::pair<double, double>, std::uint32_t> ids;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto [it, inserted] = ids.try_emplace(
+          {lj[i].sigma, lj[i].epsilon}, static_cast<std::uint32_t>(types.size()));
+      if (inserted) types.push_back(lj[i]);
+      type_of[i] = it->second;
+    }
+  }
+  const std::size_t ntypes = types.size();
+  TME_GAUGE_SET("short_range/lj_types", ntypes);
+  double inv_rc6 = 0.0;
+  if (params_.shift_lj) inv_rc6 = 1.0 / (cutoff2 * cutoff2 * cutoff2);
+  std::vector<MixedLj> mix(ntypes * ntypes);
+  for (std::size_t a = 0; a < ntypes; ++a) {
+    for (std::size_t b = 0; b < ntypes; ++b) {
+      const double eps = std::sqrt(types[a].epsilon * types[b].epsilon);
+      if (eps <= 0.0) continue;
+      const double sigma = 0.5 * (types[a].sigma + types[b].sigma);
+      const double sig2 = sigma * sigma;
+      const double sig6 = sig2 * sig2 * sig2;
+      MixedLj& m = mix[a * ntypes + b];
+      m.c6 = 4.0 * eps * sig6;
+      m.c12 = m.c6 * sig6;
+      m.e_shift = (m.c12 * inv_rc6 - m.c6) * inv_rc6;
+    }
+  }
+
+  // --- cell-sorted SoA packing ---------------------------------------------
+  std::vector<double> sx(n), sy(n), sz(n), sq(n);
+  std::vector<std::uint32_t> stype(n);
+  std::vector<std::size_t> orig(n);          // sorted index -> original index
+  std::vector<std::size_t> cstart(ncells + 1, 0);
+  {
+    std::size_t k = 0;
+    for (std::size_t c = 0; c < ncells; ++c) {
+      cstart[c] = k;
+      for (const std::size_t i : cells.cell_atoms(c)) {
+        orig[k] = i;
+        sx[k] = system.positions[i].x;
+        sy[k] = system.positions[i].y;
+        sz[k] = system.positions[i].z;
+        sq[k] = system.charges[i];
+        stype[k] = type_of[i];
+        ++k;
+      }
+    }
+    cstart[ncells] = k;
+  }
+
+  // Stencils are precomputed once per call instead of allocating a vector
+  // per cell inside the sweep.
+  std::vector<std::vector<std::size_t>> stencil(ncells);
+  parallel_for(pool, 0, ncells,
+               [&](std::size_t c) { stencil[c] = cells.half_stencil(c); });
+
+  // --- parallel sweep over contiguous cell batches -------------------------
+  const std::size_t nb =
+      std::min<std::size_t>(ThreadPool::in_parallel_region() ? 1 : pool.concurrency(),
+                            ncells);
+  const std::size_t chunk = (ncells + nb - 1) / nb;
+  std::vector<Partial> partials(nb);
+
+  const Box box = system.box;
+  const double alpha = params_.alpha;
+  const ForceTable* table = table_.get();
+  parallel_for(pool, 0, nb, [&](std::size_t b) {
+    Partial& part = partials[b];
+    part.forces.assign(n, Vec3{});
+    auto pair = [&](std::size_t ka, std::size_t kb) {
+      const double dx = min_image(sx[ka] - sx[kb], box.lengths.x);
+      const double dy = min_image(sy[ka] - sy[kb], box.lengths.y);
+      const double dz = min_image(sz[ka] - sz[kb], box.lengths.z);
+      const double r2 = dx * dx + dy * dy + dz * dz;
+      if (r2 >= cutoff2 || r2 == 0.0) return;
+      if (topology.excluded(orig[ka], orig[kb])) return;
+      ++part.pairs;
+      double f_over_r = 0.0;
+
+      const double qq = constants::kCoulomb * sq[ka] * sq[kb];
+      if (qq != 0.0) {
+        if (table != nullptr) {
+          const ForceTable::Sample s = table->lookup(r2);
+          part.energy_coulomb += qq * s.energy;
+          f_over_r += qq * s.force_over_r;
+        } else {
+          const double r = std::sqrt(r2);
+          part.energy_coulomb += qq * g_short(r, alpha);
+          f_over_r += -qq * g_short_derivative(r, alpha) / r;
+        }
+      }
+
+      const MixedLj& m = mix[stype[ka] * ntypes + stype[kb]];
+      if (m.c6 != 0.0 || m.c12 != 0.0) {
+        const double inv_r2 = 1.0 / r2;
+        const double inv_r6 = inv_r2 * inv_r2 * inv_r2;
+        part.energy_lj += (m.c12 * inv_r6 - m.c6) * inv_r6 - m.e_shift;
+        f_over_r += (12.0 * m.c12 * inv_r6 - 6.0 * m.c6) * inv_r6 * inv_r2;
+      }
+
+      const Vec3 fij{f_over_r * dx, f_over_r * dy, f_over_r * dz};
+      part.forces[ka] += fij;
+      part.forces[kb] -= fij;
+    };
+
+    const std::size_t c_begin = b * chunk;
+    const std::size_t c_end = std::min(c_begin + chunk, ncells);
+    for (std::size_t c = c_begin; c < c_end; ++c) {
+      // Pairs within the cell.
+      for (std::size_t ka = cstart[c]; ka < cstart[c + 1]; ++ka) {
+        for (std::size_t kb = ka + 1; kb < cstart[c + 1]; ++kb) pair(ka, kb);
+      }
+      // Pairs with the 13 forward neighbour cells; cross-batch neighbours
+      // accumulate into this batch's private buffer, so no writes conflict.
+      for (const std::size_t nc : stencil[c]) {
+        for (std::size_t ka = cstart[c]; ka < cstart[c + 1]; ++ka) {
+          for (std::size_t kb = cstart[nc]; kb < cstart[nc + 1]; ++kb) pair(ka, kb);
+        }
+      }
+    }
+  });
+
+  // --- deterministic reduction (fixed batch order) -------------------------
+  {
+    TME_PHASE("reduce");
+    parallel_for(pool, 0, n, [&](std::size_t k) {
+      Vec3 acc{};
+      for (std::size_t b = 0; b < nb; ++b) acc += partials[b].forces[k];
+      system.forces[orig[k]] += acc;
+    });
+  }
+  for (std::size_t b = 0; b < nb; ++b) {
+    out.energy_coulomb += partials[b].energy_coulomb;
+    out.energy_lj += partials[b].energy_lj;
+    out.pair_count += partials[b].pairs;
+  }
+  TME_COUNTER_ADD("short_range/pairs", out.pair_count);
+  TME_GAUGE_SET("short_range/batches", nb);
+  return out;
+}
+
+}  // namespace tme

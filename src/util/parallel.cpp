@@ -1,6 +1,7 @@
 #include "util/parallel.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "obs/metrics.hpp"
 
@@ -126,8 +127,20 @@ void ThreadPool::parallel_for_blocks(
   }
 }
 
+unsigned pool_workers_from_env(const char* text, unsigned hardware_threads) {
+  const unsigned fallback = std::max(1u, hardware_threads) - 1u;
+  if (text == nullptr || *text == '\0') return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  // Reject trailing garbage and out-of-range values; 4096 is a sanity bound,
+  // not a tuning knob.
+  if (end == text || *end != '\0' || v < 1 || v > 4096) return fallback;
+  return static_cast<unsigned>(v) - 1u;
+}
+
 ThreadPool& global_pool() {
-  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()) - 1u);
+  static ThreadPool pool(pool_workers_from_env(
+      std::getenv("TME_THREADS"), std::thread::hardware_concurrency()));
   return pool;
 }
 

@@ -70,25 +70,47 @@ class ThreadPool {
   std::exception_ptr first_error_;
 };
 
-// Process-wide pool sized from hardware_concurrency (min 1 thread total).
+// Process-wide pool.  Sized from hardware_concurrency by default; the
+// TME_THREADS environment variable overrides the total participating thread
+// count (callers + workers, so TME_THREADS=1 is fully serial) without a
+// rebuild — benches and CI use it to pin thread counts.  Invalid or unset
+// values fall back to hardware_concurrency.
 ThreadPool& global_pool();
 
+// Parses a TME_THREADS-style override into a ThreadPool worker count
+// (participating threads minus one).  `text` is the raw environment value
+// (may be null); out-of-range or malformed input falls back to
+// hardware_threads - 1.  Exposed separately so tests can cover the parsing
+// without re-execing the process.
+unsigned pool_workers_from_env(const char* text, unsigned hardware_threads);
+
 // Convenience wrapper: body(i) for i in [first, last), parallelised over the
-// global pool.
+// given pool.
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::size_t first, std::size_t last,
+                  Body&& body) {
+  pool.parallel_for_blocks(first, last, [&body](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) body(i);
+  });
+}
+
 template <typename Body>
 void parallel_for(std::size_t first, std::size_t last, Body&& body) {
-  global_pool().parallel_for_blocks(
-      first, last, [&body](std::size_t b, std::size_t e) {
-        for (std::size_t i = b; i < e; ++i) body(i);
-      });
+  parallel_for(global_pool(), first, last, std::forward<Body>(body));
 }
 
 // Like parallel_for but hands whole ranges to the body — useful when the
 // body wants per-thread accumulators.
 template <typename Body>
+void parallel_for_ranges(ThreadPool& pool, std::size_t first, std::size_t last,
+                         Body&& body) {
+  pool.parallel_for_blocks(first, last, std::function<void(std::size_t, std::size_t)>(
+                                            std::forward<Body>(body)));
+}
+
+template <typename Body>
 void parallel_for_ranges(std::size_t first, std::size_t last, Body&& body) {
-  global_pool().parallel_for_blocks(first, last, std::function<void(std::size_t, std::size_t)>(
-                                                     std::forward<Body>(body)));
+  parallel_for_ranges(global_pool(), first, last, std::forward<Body>(body));
 }
 
 }  // namespace tme

@@ -1,0 +1,236 @@
+// Parallel short-range engine, tabulated kernel, and threaded particle-grid
+// path tests: parallel-vs-serial equivalence across pool sizes (1, 2, and N
+// participating threads), force-table accuracy against analytic erfc, and
+// determinism of the threaded exclusion corrections.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ewald/charge_assignment.hpp"
+#include "ewald/force_table.hpp"
+#include "ewald/splitting.hpp"
+#include "md/short_range.hpp"
+#include "md/short_range_engine.hpp"
+#include "md/water_box.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace tme {
+namespace {
+
+// max_i |a_i - b_i| / max_i |b_i|.
+double force_deviation(const std::vector<Vec3>& a, const std::vector<Vec3>& b) {
+  double worst = 0.0, scale = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, norm(a[i] - b[i]));
+    scale = std::max(scale, norm(b[i]));
+  }
+  return scale > 0.0 ? worst / scale : worst;
+}
+
+WaterBox test_box() {
+  WaterBoxSpec spec;
+  spec.molecules = 216;
+  spec.seed = 7;
+  WaterBox wb = build_water_box(spec);
+  add_ion_pairs(wb, 4);  // several LJ types, non-trivial mixing table
+  return wb;
+}
+
+ShortRangeParams test_params(const WaterBox& wb) {
+  ShortRangeParams params;
+  params.cutoff = std::min(0.9, 0.45 * wb.system.box.lengths.x);
+  params.alpha = alpha_from_tolerance(params.cutoff, 1e-4);
+  params.shift_lj = true;
+  return params;
+}
+
+// --- force table -------------------------------------------------------------
+
+TEST(ForceTable, MatchesAnalyticErfcWithinBound) {
+  const double alpha = alpha_from_tolerance(1.2, 1e-4);
+  const ForceTable table(alpha, 0.1, 1.2);
+  // The constructor-measured bound must hold and sit below the 1e-6 target.
+  EXPECT_LT(table.max_rel_error_energy(), 1e-6);
+  EXPECT_LT(table.max_rel_error_force(), 1e-6);
+  // Independent dense sampling (not the constructor's probe points).
+  double worst_e = 0.0, worst_f = 0.0;
+  for (int k = 0; k < 20000; ++k) {
+    const double r = 0.1 + (1.2 - 0.1) * (k + 0.5) / 20000.0;
+    const double r2 = r * r;
+    const ForceTable::Sample tab = table.lookup(r2);
+    const ForceTable::Sample ref = table.analytic(r2);
+    worst_e = std::max(worst_e,
+                       std::abs(tab.energy - ref.energy) / std::abs(ref.energy));
+    worst_f = std::max(worst_f, std::abs(tab.force_over_r - ref.force_over_r) /
+                                    std::abs(ref.force_over_r));
+  }
+  EXPECT_LT(worst_e, 1e-6);
+  EXPECT_LT(worst_f, 1e-6);
+}
+
+TEST(ForceTable, FallsBackToAnalyticOutsideRange) {
+  const ForceTable table(3.0, 0.1, 1.0);
+  for (const double r : {0.01, 0.05, 0.0999, 1.001, 2.0}) {
+    const ForceTable::Sample got = table.lookup(r * r);
+    const ForceTable::Sample ref = table.analytic(r * r);
+    EXPECT_EQ(got.energy, ref.energy);
+    EXPECT_EQ(got.force_over_r, ref.force_over_r);
+  }
+}
+
+TEST(ForceTable, RejectsBadArguments) {
+  EXPECT_THROW(ForceTable(0.0, 0.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(ForceTable(3.0, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ForceTable(3.0, 1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(ForceTable(3.0, 0.1, 1.0, 1), std::invalid_argument);
+}
+
+// --- engine vs serial reference ----------------------------------------------
+
+TEST(ShortRangeEngine, AnalyticMatchesSerialAcrossPoolSizes) {
+  WaterBox wb = test_box();
+  const ShortRangeParams params = test_params(wb);
+  const std::size_t n = wb.system.size();
+
+  wb.system.forces.assign(n, Vec3{});
+  const ShortRangeResult serial = compute_short_range(wb.system, wb.topology, params);
+  const std::vector<Vec3> f_serial = wb.system.forces;
+
+  const ShortRangeEngine engine(params);
+  for (const unsigned workers : {0u, 1u, 3u}) {  // 1, 2, and N threads total
+    ThreadPool pool(workers);
+    wb.system.forces.assign(n, Vec3{});
+    const ShortRangeResult r = engine.compute(wb.system, wb.topology, &pool);
+    EXPECT_EQ(r.pair_count, serial.pair_count) << "workers=" << workers;
+    EXPECT_NEAR(r.energy_coulomb, serial.energy_coulomb,
+                1e-10 * std::abs(serial.energy_coulomb));
+    EXPECT_NEAR(r.energy_lj, serial.energy_lj, 1e-10 * std::abs(serial.energy_lj));
+    EXPECT_LT(force_deviation(wb.system.forces, f_serial), 1e-10)
+        << "workers=" << workers;
+  }
+}
+
+TEST(ShortRangeEngine, SamePoolSizeIsDeterministic) {
+  WaterBox wb = test_box();
+  const ShortRangeParams params = test_params(wb);
+  const std::size_t n = wb.system.size();
+  const ShortRangeEngine engine(params);
+  ThreadPool pool(3);
+
+  wb.system.forces.assign(n, Vec3{});
+  const ShortRangeResult a = engine.compute(wb.system, wb.topology, &pool);
+  const std::vector<Vec3> f_a = wb.system.forces;
+  wb.system.forces.assign(n, Vec3{});
+  const ShortRangeResult b = engine.compute(wb.system, wb.topology, &pool);
+  EXPECT_EQ(a.energy_coulomb, b.energy_coulomb);
+  EXPECT_EQ(a.energy_lj, b.energy_lj);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(f_a[i].x, wb.system.forces[i].x);
+    EXPECT_EQ(f_a[i].y, wb.system.forces[i].y);
+    EXPECT_EQ(f_a[i].z, wb.system.forces[i].z);
+  }
+}
+
+TEST(ShortRangeEngine, TabulatedKernelTracksAnalyticForces) {
+  WaterBox wb = test_box();
+  ShortRangeParams params = test_params(wb);
+  const std::size_t n = wb.system.size();
+
+  const ShortRangeEngine analytic(params);
+  wb.system.forces.assign(n, Vec3{});
+  const ShortRangeResult ra = analytic.compute(wb.system, wb.topology);
+  const std::vector<Vec3> f_analytic = wb.system.forces;
+
+  params.kernel = CoulombKernel::kTabulated;
+  const ShortRangeEngine tabulated(params);
+  ASSERT_NE(tabulated.force_table(), nullptr);
+  wb.system.forces.assign(n, Vec3{});
+  const ShortRangeResult rt = tabulated.compute(wb.system, wb.topology);
+
+  EXPECT_EQ(rt.pair_count, ra.pair_count);
+  EXPECT_LT(force_deviation(wb.system.forces, f_analytic), 1e-6);
+  EXPECT_NEAR(rt.energy_coulomb, ra.energy_coulomb,
+              1e-6 * std::abs(ra.energy_coulomb));
+  // LJ is evaluated identically in both modes.
+  EXPECT_EQ(rt.energy_lj, ra.energy_lj);
+}
+
+// --- threaded charge spreading -----------------------------------------------
+
+TEST(ChargeAssignment, ThreadedSpreadMatchesSerialAcrossPoolSizes) {
+  const Box box{{2.0, 2.0, 2.0}};
+  Rng rng(99);
+  const std::size_t n = 500;
+  std::vector<Vec3> pos(n);
+  std::vector<double> q(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pos[i] = {rng.uniform(0.0, 2.0), rng.uniform(0.0, 2.0), rng.uniform(0.0, 2.0)};
+    q[i] = rng.uniform(-1.0, 1.0);
+  }
+  const ChargeAssigner assigner(box, {16, 16, 16}, 6);
+
+  ThreadPool serial_pool(0);
+  const Grid3d serial = assigner.assign(pos, q, &serial_pool);
+  double scale = serial.max_abs();
+  for (const unsigned workers : {1u, 3u}) {
+    ThreadPool pool(workers);
+    const Grid3d threaded = assigner.assign(pos, q, &pool);
+    double worst = 0.0;
+    for (std::size_t g = 0; g < serial.size(); ++g) {
+      worst = std::max(worst, std::abs(threaded[g] - serial[g]));
+    }
+    EXPECT_LT(worst, 1e-12 * scale) << "workers=" << workers;
+  }
+}
+
+// --- threaded exclusion corrections ------------------------------------------
+
+TEST(ExclusionCorrections, BitwiseStableAcrossPoolSizes) {
+  WaterBox wb = test_box();
+  const double alpha = 3.0;
+  const std::size_t n = wb.system.size();
+  ASSERT_FALSE(wb.topology.exclusions().empty());
+
+  ThreadPool serial_pool(0);
+  wb.system.forces.assign(n, Vec3{});
+  const double e_serial =
+      apply_exclusion_corrections(wb.system, wb.topology, alpha, &serial_pool);
+  const std::vector<Vec3> f_serial = wb.system.forces;
+
+  for (const unsigned workers : {1u, 3u}) {
+    ThreadPool pool(workers);
+    wb.system.forces.assign(n, Vec3{});
+    const double e =
+        apply_exclusion_corrections(wb.system, wb.topology, alpha, &pool);
+    EXPECT_EQ(e, e_serial) << "workers=" << workers;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(wb.system.forces[i].x, f_serial[i].x);
+      EXPECT_EQ(wb.system.forces[i].y, f_serial[i].y);
+      EXPECT_EQ(wb.system.forces[i].z, f_serial[i].z);
+    }
+  }
+}
+
+// --- TME_THREADS parsing -----------------------------------------------------
+
+TEST(PoolSizing, WorkersFromEnv) {
+  // Valid overrides: TME_THREADS is the total participating thread count.
+  EXPECT_EQ(pool_workers_from_env("1", 8), 0u);
+  EXPECT_EQ(pool_workers_from_env("4", 8), 3u);
+  EXPECT_EQ(pool_workers_from_env("16", 2), 15u);
+  // Unset / invalid values fall back to hardware_concurrency - 1.
+  EXPECT_EQ(pool_workers_from_env(nullptr, 8), 7u);
+  EXPECT_EQ(pool_workers_from_env("", 8), 7u);
+  EXPECT_EQ(pool_workers_from_env("0", 8), 7u);
+  EXPECT_EQ(pool_workers_from_env("-2", 8), 7u);
+  EXPECT_EQ(pool_workers_from_env("abc", 8), 7u);
+  EXPECT_EQ(pool_workers_from_env("4x", 8), 7u);
+  EXPECT_EQ(pool_workers_from_env("99999", 8), 7u);
+  // Degenerate hardware report still yields a valid (serial) pool.
+  EXPECT_EQ(pool_workers_from_env(nullptr, 0), 0u);
+}
+
+}  // namespace
+}  // namespace tme
