@@ -26,6 +26,21 @@ double quantize_value(double value, const FixedFormat& fmt) {
   return dequantize(quantize(value, fmt), fmt);
 }
 
+bool fits(double value, const FixedFormat& fmt) {
+  if (!std::isfinite(value)) return false;
+  const double rounded = std::nearbyint(std::ldexp(value, fmt.frac_bits));
+  return rounded < static_cast<double>(fmt.max_raw()) &&
+         rounded > static_cast<double>(fmt.min_raw());
+}
+
+std::size_t count_overflow(std::span<const double> values, const FixedFormat& fmt) {
+  std::size_t overflowed = 0;
+  for (const double v : values) {
+    if (!fits(v, fmt)) ++overflowed;
+  }
+  return overflowed;
+}
+
 std::size_t quantize_grid(Grid3d& grid, const FixedFormat& fmt) {
   std::size_t saturated = 0;
   for (std::size_t i = 0; i < grid.size(); ++i) {

@@ -9,7 +9,9 @@
 // numbers depend on can be reproduced and tested in software.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "grid/grid3d.hpp"
@@ -38,6 +40,14 @@ double quantize_value(double value, const FixedFormat& fmt);
 
 // Quantise a whole grid in place; returns the number of saturated points.
 std::size_t quantize_grid(Grid3d& grid, const FixedFormat& fmt);
+
+// True when the value survives quantisation to `fmt` without saturating
+// (non-finite values never fit).
+bool fits(double value, const FixedFormat& fmt);
+
+// Number of values that would saturate the format — the numerical
+// guardrail's overflow probe over force/position arrays.
+std::size_t count_overflow(std::span<const double> values, const FixedFormat& fmt);
 
 // Fixed-point separable convolution along one axis, mirroring the GCU:
 //  - kernel taps quantised to `coeff_fmt` (24-bit fractional),

@@ -14,8 +14,17 @@ TaskId EventSimulator::add_task(TaskSpec spec) {
     if (dep >= id) throw std::invalid_argument("EventSimulator: forward dependency");
   }
   if (spec.duration < 0.0) throw std::invalid_argument("EventSimulator: negative duration");
+  if (spec.failures < 0) throw std::invalid_argument("EventSimulator: negative failures");
+  if (spec.retry_penalty < 0.0) {
+    throw std::invalid_argument("EventSimulator: negative retry penalty");
+  }
   tasks_.push_back(std::move(spec));
   return id;
+}
+
+void EventSimulator::set_retry_limit(int limit) {
+  if (limit < 0) throw std::invalid_argument("EventSimulator: negative retry limit");
+  retry_limit_ = limit;
 }
 
 std::vector<ScheduledTask> EventSimulator::run() {
@@ -23,6 +32,8 @@ std::vector<ScheduledTask> EventSimulator::run() {
   std::vector<ScheduledTask> schedule(n);
   std::vector<bool> done(n, false);
   std::map<int, double> resource_free;  // resource id -> time it frees up
+  total_retries_ = 0;
+  failed_tasks_ = 0;
 
   // List scheduling: repeatedly pick the ready task with the earliest
   // possible start time (dependency-ready time, then resource availability).
@@ -57,9 +68,21 @@ std::vector<ScheduledTask> EventSimulator::run() {
       }
     }
     if (best == n) throw std::logic_error("EventSimulator: dependency cycle");
+    // Bounded retry: replay the duration for every injected failure up to the
+    // limit, then give up (the final attempt's result is what dependents get).
+    const int failures = tasks_[best].failures;
+    const int replays = std::min(failures, retry_limit_ + 1);
+    const bool gave_up = failures > retry_limit_;
+    const double effective =
+        tasks_[best].duration * static_cast<double>(replays + (gave_up ? 0 : 1)) +
+        tasks_[best].retry_penalty * static_cast<double>(replays);
     schedule[best].spec = tasks_[best];
     schedule[best].start = best_start;
-    schedule[best].end = best_start + tasks_[best].duration;
+    schedule[best].end = best_start + effective;
+    schedule[best].attempts = replays + (gave_up ? 0 : 1);
+    schedule[best].completed = !gave_up;
+    total_retries_ += static_cast<std::size_t>(schedule[best].attempts - 1);
+    if (gave_up) ++failed_tasks_;
     if (tasks_[best].resource >= 0) {
       resource_free[tasks_[best].resource] = schedule[best].end;
     }
@@ -73,6 +96,8 @@ std::vector<ScheduledTask> EventSimulator::run() {
     obs::Registry& reg = obs::Registry::global();
     reg.counter("hw/event_sim/runs").add(1);
     reg.counter("hw/event_sim/tasks").add(n);
+    reg.counter("hw/event_sim/task_retries").add(total_retries_);
+    reg.counter("hw/event_sim/tasks_given_up").add(failed_tasks_);
     for (const ScheduledTask& t : schedule) {
       reg.timer_add("hw/unit/" + t.spec.lane, t.spec.duration);
     }

@@ -23,12 +23,20 @@ struct TaskSpec {
   double duration = 0.0; // seconds
   std::vector<TaskId> deps;
   int resource = -1;     // exclusive resource id, -1 = none
+  // Fault injection: attempts that fail before the task succeeds.  Each
+  // failed attempt replays the full duration plus `retry_penalty` (fault
+  // detection + re-dispatch) while holding the task's resource.  Failures
+  // beyond the simulator's retry limit mark the task as given-up.
+  int failures = 0;
+  double retry_penalty = 0.0;  // seconds per failed attempt
 };
 
 struct ScheduledTask {
   TaskSpec spec;
   double start = 0.0;
   double end = 0.0;
+  int attempts = 1;        // 1 + replayed failures (bounded by the retry limit)
+  bool completed = true;   // false when failures exceeded the retry limit
 };
 
 class EventSimulator {
@@ -36,15 +44,28 @@ class EventSimulator {
   // Adds a task and returns its id.  Dependencies must already exist.
   TaskId add_task(TaskSpec spec);
 
+  // Retransmission bound: a task whose injected `failures` exceed this limit
+  // stops retrying and is marked completed = false (dependents still run —
+  // the machine degrades rather than hangs).
+  void set_retry_limit(int limit);
+  int retry_limit() const { return retry_limit_; }
+
   // Runs the list scheduler; returns the schedule sorted by task id.
   std::vector<ScheduledTask> run();
 
   // Makespan of the last run().
   double makespan() const { return makespan_; }
 
+  // Retries replayed / tasks given up during the last run().
+  std::size_t total_retries() const { return total_retries_; }
+  std::size_t failed_tasks() const { return failed_tasks_; }
+
  private:
   std::vector<TaskSpec> tasks_;
   double makespan_ = 0.0;
+  int retry_limit_ = 3;
+  std::size_t total_retries_ = 0;
+  std::size_t failed_tasks_ = 0;
 };
 
 }  // namespace tme::hw

@@ -1,0 +1,94 @@
+#include "hw/fault.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "util/logging.hpp"
+
+namespace tme::hw {
+
+FaultConfig fault_config_from_env() {
+  FaultConfig config;
+  if (const char* seed = std::getenv("TME_FAULT_SEED"); seed != nullptr && *seed != '\0') {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(seed, &end, 10);
+    if (end == seed || *end != '\0') {
+      log_warn("TME_FAULT_SEED='", seed, "' is not an unsigned integer; keeping seed ",
+               config.seed);
+    } else {
+      config.seed = static_cast<std::uint64_t>(v);
+    }
+  }
+  if (const char* rate = std::getenv("TME_FAULT_LINK_ERROR_RATE");
+      rate != nullptr && *rate != '\0') {
+    char* end = nullptr;
+    const double v = std::strtod(rate, &end);
+    if (end == rate || *end != '\0' || !(v >= 0.0) || v > 1.0) {
+      log_warn("TME_FAULT_LINK_ERROR_RATE='", rate,
+               "' is not a probability in [0, 1]; keeping ", config.link_error_rate);
+    } else {
+      config.link_error_rate = v;
+    }
+  }
+  return config;
+}
+
+FaultInjector::FaultInjector(const FaultConfig& config)
+    : config_(config), rng_(config.seed) {
+  if (config_.link_error_rate < 0.0 || config_.link_error_rate > 1.0) {
+    throw std::invalid_argument("FaultInjector: link_error_rate outside [0, 1]");
+  }
+  if (config_.max_retries < 0) {
+    throw std::invalid_argument("FaultInjector: negative max_retries");
+  }
+}
+
+void FaultInjector::kill_node(std::size_t node) {
+  dead_nodes_.insert(node);
+  TME_COUNTER_ADD("hw/fault/dead_nodes", 1);
+}
+
+void FaultInjector::kill_link(std::size_t a, std::size_t b) {
+  if (a == b) throw std::invalid_argument("FaultInjector::kill_link: self link");
+  if (a > b) std::swap(a, b);
+  dead_links_.insert({a, b});
+  TME_COUNTER_ADD("hw/fault/dead_links", 1);
+}
+
+void FaultInjector::kill_random_nodes(std::size_t count, std::size_t node_count) {
+  if (count > node_count) {
+    throw std::invalid_argument("FaultInjector::kill_random_nodes: count > nodes");
+  }
+  // Rejection sampling over a fresh SplitMix stream keeps the kill set
+  // independent of how many corruption draws happened before this call.
+  SplitMix64 sm(config_.seed ^ 0x6b6c6c6e6f646573ULL);
+  std::size_t killed = 0;
+  while (killed < count) {
+    const std::size_t node = static_cast<std::size_t>(sm.next() % node_count);
+    if (dead_nodes_.count(node) != 0) continue;
+    kill_node(node);
+    ++killed;
+  }
+}
+
+bool FaultInjector::link_dead(std::size_t a, std::size_t b) const {
+  if (a > b) std::swap(a, b);
+  return dead_links_.count({a, b}) != 0;
+}
+
+bool FaultInjector::attempt_corrupted(std::size_t hops) const {
+  const double p = config_.link_error_rate;
+  if (p <= 0.0 || hops == 0) return false;
+  // Route survives only if every link does: P(corrupt) = 1 - (1 - p)^hops.
+  const double p_route = 1.0 - std::pow(1.0 - p, static_cast<double>(hops));
+  const bool corrupt = rng_.uniform() < p_route;
+  if (corrupt) {
+    ++injected_errors_;
+    TME_COUNTER_ADD("hw/fault/link_errors", 1);
+  }
+  return corrupt;
+}
+
+}  // namespace tme::hw

@@ -1,0 +1,82 @@
+// Seeded fault injection for the simulated MDGRAPE-4A machine.
+//
+// Production runs on a 512-SoC torus must survive link errors, dead nodes
+// and straggling transfers; this module is the single source of truth for
+// which parts of the simulated machine are broken.  Faults come in two
+// kinds:
+//  - structural: nodes and links killed explicitly (or by a seeded draw),
+//    consumed by the fault-aware torus routing and the parallel TME's
+//    recovery plan;
+//  - stochastic: per-transfer corruption drawn from a seeded Xoshiro stream
+//    (probability 1 - (1 - p)^hops for a route of `hops` links), consumed by
+//    the network model's CRC-detect/retry path.
+//
+// All draws are deterministic for a fixed seed, so a degraded-machine run is
+// exactly reproducible — the property the fault-injection soak in CI and the
+// golden-trace tests rely on.  The injector is not thread-safe; share one
+// per simulated machine, not across concurrent simulations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace tme::hw {
+
+struct FaultConfig {
+  std::uint64_t seed = 2021;        // stream for corruption draws + random kills
+  double link_error_rate = 0.0;     // per-link per-transfer corruption probability
+  int max_retries = 8;              // retransmissions before a transfer is dropped
+  double retry_backoff_base_s = 400e-9;  // first backoff; doubles per retry
+  double detect_timeout_s = 2e-6;   // receiver CRC window before the NACK
+};
+
+// Reads TME_FAULT_SEED and TME_FAULT_LINK_ERROR_RATE from the environment
+// (unset or malformed values keep the defaults; malformed values log a
+// warning).
+FaultConfig fault_config_from_env();
+
+class FaultInjector {
+ public:
+  FaultInjector() : FaultInjector(FaultConfig{}) {}
+  explicit FaultInjector(const FaultConfig& config);
+
+  const FaultConfig& config() const { return config_; }
+
+  // --- structural faults ----------------------------------------------------
+  void kill_node(std::size_t node);
+  // Links are undirected; the pair is stored normalised.
+  void kill_link(std::size_t a, std::size_t b);
+  // Kills `count` distinct nodes drawn from [0, node_count) with the
+  // injector's seed (deterministic).  Throws if count > node_count.
+  void kill_random_nodes(std::size_t count, std::size_t node_count);
+
+  bool node_dead(std::size_t node) const { return dead_nodes_.count(node) != 0; }
+  bool link_dead(std::size_t a, std::size_t b) const;
+  const std::set<std::size_t>& dead_nodes() const { return dead_nodes_; }
+  std::size_t dead_link_count() const { return dead_links_.size(); }
+  bool has_structural_faults() const {
+    return !dead_nodes_.empty() || !dead_links_.empty();
+  }
+
+  // --- stochastic faults ----------------------------------------------------
+  // One Bernoulli draw per transfer attempt over a `hops`-link route.  Counts
+  // every corruption it injects (see injected_errors()).
+  bool attempt_corrupted(std::size_t hops) const;
+
+  // Total corruptions injected so far — non-zero whenever the retry machinery
+  // actually fired, independent of whether metrics are compiled in.
+  std::uint64_t injected_errors() const { return injected_errors_; }
+
+ private:
+  FaultConfig config_;
+  mutable Rng rng_;
+  mutable std::uint64_t injected_errors_ = 0;
+  std::set<std::size_t> dead_nodes_;
+  std::set<std::pair<std::size_t, std::size_t>> dead_links_;
+};
+
+}  // namespace tme::hw

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "hw/fault.hpp"
 #include "obs/metrics.hpp"
 
 namespace tme::hw {
@@ -21,9 +22,12 @@ struct Workload {
   std::size_t halo_hops = 1;
 };
 
-Workload derive_workload(const MachineParams& mp, const StepConfig& cfg) {
+Workload derive_workload(const MachineParams& mp, const StepConfig& cfg,
+                         std::size_t alive_nodes) {
   Workload w;
-  const double nodes = static_cast<double>(mp.node_count());
+  // Dead nodes shed their atoms/terms onto the survivors: per-node work is
+  // divided by the alive count, not the installed count.
+  const double nodes = static_cast<double>(alive_nodes);
   w.atoms_per_node = static_cast<double>(cfg.atoms) / nodes;
   w.bonded_terms_per_node = static_cast<double>(cfg.bonded_terms) / nodes;
 
@@ -91,7 +95,28 @@ MdgrapeMachine::MdgrapeMachine(MachineParams params) : params_(params) {
 
 StepTimings MdgrapeMachine::simulate_step(const StepConfig& cfg) const {
   const MachineParams& mp = params_;
-  const Workload w = derive_workload(mp, cfg);
+
+  // --- Fault model ----------------------------------------------------------
+  const bool faulty = cfg.dead_node_count > 0 || cfg.link_error_rate > 0.0;
+  FaultConfig fault_config;
+  fault_config.seed = cfg.fault_seed;
+  fault_config.link_error_rate = cfg.link_error_rate;
+  FaultInjector faults(fault_config);
+  if (cfg.dead_node_count > 0) {
+    if (cfg.dead_node_count >= mp.node_count()) {
+      throw std::invalid_argument("MdgrapeMachine: every node is dead");
+    }
+    faults.kill_random_nodes(cfg.dead_node_count, mp.node_count());
+    const PartitionReport part =
+        TorusTopology(mp.nodes_x, mp.nodes_y, mp.nodes_z).partition_report(faults);
+    if (!part.unreachable.empty()) {
+      throw std::runtime_error(
+          "MdgrapeMachine: dead nodes cut the torus into unreachable partitions (" +
+          std::to_string(part.unreachable.size()) + " nodes isolated)");
+    }
+  }
+  const std::size_t alive = mp.node_count() - faults.dead_nodes().size();
+  const Workload w = derive_workload(mp, cfg, alive);
 
   // --- Component durations -------------------------------------------------
   const double gp_rate = mp.gp.cycles_per_second();
@@ -102,8 +127,10 @@ StepTimings MdgrapeMachine::simulate_step(const StepConfig& cfg) const {
   const double pp_rate =
       mp.pp.clock_hz * mp.pp.pipelines * mp.pp.efficiency;
   const double t_nonbond = w.nonbond_interactions_per_node / pp_rate;
-  const double t_coord_ex = transfer_time(mp.nw, w.halo_bytes, w.halo_hops);
-  const double t_force_ex = transfer_time(mp.nw, w.force_bytes, w.halo_hops);
+  // Routes that would cross a dead node take a one-hop detour around it.
+  const std::size_t halo_hops = w.halo_hops + (faults.dead_nodes().empty() ? 0 : 1);
+  const double t_coord_ex = transfer_time(mp.nw, w.halo_bytes, halo_hops);
+  const double t_force_ex = transfer_time(mp.nw, w.force_bytes, halo_hops);
 
   StepTimings out;
   out.lru_ca = lru_pass_time(mp.lru, static_cast<std::size_t>(w.atoms_per_node));
@@ -138,13 +165,27 @@ StepTimings MdgrapeMachine::simulate_step(const StepConfig& cfg) const {
   // --- Task DAG (Fig. 9 structure) -----------------------------------------
   constexpr int kNw = 0;  // shared network resource (GCU-exclusive rule)
   EventSimulator sim;
+  sim.set_retry_limit(fault_config.max_retries);
+  // CRC failures replay an NW task: draw the failed-attempt count from the
+  // seeded corruption stream (geometric at the route's error probability).
+  auto nw_task = [&](const char* name, double duration, std::vector<TaskId> deps,
+                     std::size_t hops) {
+    TaskSpec spec{name, "NW", duration, std::move(deps), kNw};
+    if (faulty && cfg.link_error_rate > 0.0) {
+      while (spec.failures <= fault_config.max_retries &&
+             faults.attempt_corrupted(hops)) {
+        ++spec.failures;
+      }
+      spec.retry_penalty =
+          fault_config.detect_timeout_s + fault_config.retry_backoff_base_s;
+    }
+    return sim.add_task(std::move(spec));
+  };
   const TaskId integrate1 = sim.add_task({"INTEGRATE", "GP", t_integrate, {}, -1});
-  const TaskId coord_ex =
-      sim.add_task({"coord exchange", "NW", t_coord_ex, {integrate1}, kNw});
+  const TaskId coord_ex = nw_task("coord exchange", t_coord_ex, {integrate1}, halo_hops);
   const TaskId nonbond =
       sim.add_task({"nonbond pipelines", "PP", t_nonbond, {coord_ex}, -1});
-  const TaskId force_ex =
-      sim.add_task({"force exchange", "NW", t_force_ex, {nonbond}, kNw});
+  const TaskId force_ex = nw_task("force exchange", t_force_ex, {nonbond}, halo_hops);
 
   TaskId final_force_dep = force_ex;
   TaskId bonded_tail;
@@ -157,8 +198,7 @@ StepTimings MdgrapeMachine::simulate_step(const StepConfig& cfg) const {
 
     const TaskId bonded_a = sim.add_task({"bonded (GP)", "GP", chunk_a, {coord_ex}, -1});
     const TaskId ca = sim.add_task({"LRU charge assign", "LRU", out.lru_ca, {integrate1}, -1});
-    const TaskId ca_sleeve =
-        sim.add_task({"CA sleeve exchange", "NW", t_sleeve, {ca}, kNw});
+    const TaskId ca_sleeve = nw_task("CA sleeve exchange", t_sleeve, {ca}, 1);
     const TaskId restriction = sim.add_task(
         {"GCU restriction", "GCU", t_restriction, {ca_sleeve, bonded_a}, kNw});
     const TaskId tmenw =
@@ -169,8 +209,7 @@ StepTimings MdgrapeMachine::simulate_step(const StepConfig& cfg) const {
         {"GCU convolution", "GCU", t_convolution, {restriction, bonded_b}, kNw});
     const TaskId prolong = sim.add_task(
         {"GCU prolongation", "GCU", t_prolongation, {conv, tmenw}, kNw});
-    const TaskId grid_out =
-        sim.add_task({"grid to LRU", "NW", t_sleeve, {prolong}, kNw});
+    const TaskId grid_out = nw_task("grid to LRU", t_sleeve, {prolong}, 1);
     const TaskId bi =
         sim.add_task({"LRU back interp", "LRU", out.lru_bi, {grid_out}, -1});
     bonded_tail = sim.add_task({"bonded (GP)", "GP", chunk_c, {prolong}, -1});
@@ -183,6 +222,9 @@ StepTimings MdgrapeMachine::simulate_step(const StepConfig& cfg) const {
 
   out.schedule = sim.run();
   out.step_time = sim.makespan();
+  out.dead_nodes = faults.dead_nodes().size();
+  out.task_retries = sim.total_retries();
+  out.tasks_given_up = sim.failed_tasks();
 
   if (cfg.long_range) {
     double lr_start = std::numeric_limits<double>::infinity();
@@ -228,6 +270,8 @@ void record_step_metrics(const StepTimings& timings) {
   reg.gauge_set("step/makespan_s", timings.step_time);
   reg.gauge_set("step/long_range_span_s", timings.long_range_span);
   reg.gauge_set("step/gcu_window_s", timings.gcu_window);
+  reg.gauge_set("step/dead_nodes", static_cast<double>(timings.dead_nodes));
+  reg.gauge_set("step/task_retries", static_cast<double>(timings.task_retries));
 }
 
 double MdgrapeMachine::performance_us_per_day(const StepConfig& cfg) const {

@@ -17,6 +17,7 @@
 // makes the long-range term cost ~10 us net despite taking ~50 us.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -72,6 +73,12 @@ struct StepConfig {
   int spline_order = 6;
   bool long_range = true;
   double timestep_fs = 2.5;
+  // Fault injection (seeded, deterministic): dead nodes shift their workload
+  // onto the survivors and force detour routes; link errors replay NW tasks
+  // with bounded retries.  Zero values simulate the perfect machine.
+  std::size_t dead_node_count = 0;
+  double link_error_rate = 0.0;
+  std::uint64_t fault_seed = 2021;
 };
 
 struct StepTimings {
@@ -87,6 +94,10 @@ struct StepTimings {
   double restriction = 0.0, convolution = 0.0, prolongation = 0.0;
   double tmenw = 0.0;
   double gcu_window = 0.0;  // exclusive restriction+convolution+prolongation
+  // Degraded-machine accounting (all zero on a fault-free run).
+  std::size_t dead_nodes = 0;
+  std::size_t task_retries = 0;    // NW attempts replayed after CRC errors
+  std::size_t tasks_given_up = 0;  // tasks that exhausted the retry bound
 };
 
 // Records one simulated step's long-range stage breakdown into the global

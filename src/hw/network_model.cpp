@@ -1,6 +1,10 @@
 #include "hw/network_model.hpp"
 
+#include <cmath>
 #include <stdexcept>
+
+#include "hw/fault.hpp"
+#include "obs/metrics.hpp"
 
 namespace tme::hw {
 
@@ -13,6 +17,30 @@ double transfer_time(const NetworkParams& params, std::size_t bytes, std::size_t
   // Cut-through: the head pays the hop latencies, the body streams behind.
   return static_cast<double>(hops) * params.hop_latency_s +
          static_cast<double>(bytes) / params.effective_bandwidth();
+}
+
+TransferOutcome transfer_with_faults(const NetworkParams& params, std::size_t bytes,
+                                     std::size_t hops, const FaultInjector& faults) {
+  TransferOutcome outcome;
+  const double clean = transfer_time(params, bytes, hops);
+  if (clean == 0.0) return outcome;  // nothing moved, nothing to corrupt
+
+  const FaultConfig& fc = faults.config();
+  TME_COUNTER_ADD("hw/nw/transfers", 1);
+  outcome.attempts = 0;
+  for (int attempt = 0; attempt <= fc.max_retries; ++attempt) {
+    ++outcome.attempts;
+    outcome.time_s += clean;
+    if (!faults.attempt_corrupted(hops)) return outcome;
+    // CRC mismatch at the receiver: wait out the detection window, back off
+    // exponentially, retransmit.
+    outcome.time_s += fc.detect_timeout_s +
+                      fc.retry_backoff_base_s * std::ldexp(1.0, attempt);
+    TME_COUNTER_ADD("hw/nw/retries", 1);
+  }
+  outcome.delivered = false;
+  TME_COUNTER_ADD("hw/nw/undelivered", 1);
+  return outcome;
 }
 
 }  // namespace tme::hw

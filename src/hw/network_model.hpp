@@ -10,6 +10,8 @@
 
 namespace tme::hw {
 
+class FaultInjector;
+
 struct NetworkParams {
   double raw_bandwidth_bps = 7.2e9;  // bytes per second, per direction
   double protocol_efficiency = 0.8;  // 64B66B-style framing + headers
@@ -20,5 +22,23 @@ struct NetworkParams {
 
 // Time to move `bytes` over `hops` consecutive links.
 double transfer_time(const NetworkParams& params, std::size_t bytes, std::size_t hops);
+
+// A transfer's fate on a machine with link errors.
+struct TransferOutcome {
+  double time_s = 0.0;     // wall clock including retransmissions + backoff
+  int attempts = 1;        // 1 = clean first try
+  bool delivered = true;   // false once max_retries is exhausted
+};
+
+// transfer_time with the link-error/CRC/retry semantics of the real torus:
+// every attempt pays the full cut-through time; a corrupted attempt (drawn
+// from `faults`, probability 1 - (1 - p)^hops) is detected by the receiver's
+// CRC after `detect_timeout_s` and retransmitted after an exponential
+// backoff (retry_backoff_base_s * 2^k).  After max_retries corrupted
+// attempts the transfer is reported undelivered, with the accrued time —
+// the caller decides whether that is fatal.  Draws mutate the injector's
+// stream, so outcomes are deterministic for a fixed seed and call order.
+TransferOutcome transfer_with_faults(const NetworkParams& params, std::size_t bytes,
+                                     std::size_t hops, const FaultInjector& faults);
 
 }  // namespace tme::hw

@@ -1,19 +1,29 @@
 #include "hw/torus.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <stdexcept>
+#include <string>
+
+#include "hw/fault.hpp"
+#include "obs/metrics.hpp"
 
 namespace tme::hw {
 
 TorusTopology::TorusTopology(std::size_t nx, std::size_t ny, std::size_t nz)
     : nx_(nx), ny_(ny), nz_(nz) {
   if (nx == 0 || ny == 0 || nz == 0) {
-    throw std::invalid_argument("TorusTopology: extents must be positive");
+    throw std::invalid_argument("TorusTopology: extents must be positive, got " +
+                                std::to_string(nx) + "x" + std::to_string(ny) + "x" +
+                                std::to_string(nz));
   }
 }
 
 NodeCoord TorusTopology::coord(std::size_t index) const {
-  if (index >= node_count()) throw std::out_of_range("TorusTopology::coord");
+  if (index >= node_count()) {
+    throw std::out_of_range("TorusTopology::coord: index " + std::to_string(index) +
+                            " >= node count " + std::to_string(node_count()));
+  }
   return {index % nx_, (index / nx_) % ny_, index / (nx_ * ny_)};
 }
 
@@ -36,6 +46,91 @@ std::array<NodeCoord, 6> TorusTopology::neighbours(const NodeCoord& c) const {
   return {NodeCoord{wrap(c.x, 1, nx_), c.y, c.z}, NodeCoord{wrap(c.x, -1, nx_), c.y, c.z},
           NodeCoord{c.x, wrap(c.y, 1, ny_), c.z}, NodeCoord{c.x, wrap(c.y, -1, ny_), c.z},
           NodeCoord{c.x, c.y, wrap(c.z, 1, nz_)}, NodeCoord{c.x, c.y, wrap(c.z, -1, nz_)}};
+}
+
+std::vector<NodeCoord> TorusTopology::route(const NodeCoord& a,
+                                            const NodeCoord& b) const {
+  // Step one axis coordinate toward its target along the shorter wrap
+  // direction (ties toward +), matching the hardware's dimension-ordered
+  // router.
+  auto step = [](std::size_t v, std::size_t target, std::size_t extent) {
+    const std::size_t fwd = (target + extent - v) % extent;   // hops going +
+    const std::size_t bwd = (v + extent - target) % extent;   // hops going -
+    const long d = fwd <= bwd ? 1 : -1;
+    return static_cast<std::size_t>(
+        (static_cast<long>(v) + d + static_cast<long>(extent)) %
+        static_cast<long>(extent));
+  };
+  std::vector<NodeCoord> path;
+  path.reserve(hops(a, b) + 1);
+  NodeCoord cur = a;
+  path.push_back(cur);
+  while (cur.x != b.x) path.push_back(cur = {step(cur.x, b.x, nx_), cur.y, cur.z});
+  while (cur.y != b.y) path.push_back(cur = {cur.x, step(cur.y, b.y, ny_), cur.z});
+  while (cur.z != b.z) path.push_back(cur = {cur.x, cur.y, step(cur.z, b.z, nz_)});
+  return path;
+}
+
+std::size_t TorusTopology::hops_avoiding(const NodeCoord& a, const NodeCoord& b,
+                                         const FaultInjector& faults) const {
+  const std::size_t src = index(a);
+  const std::size_t dst = index(b);
+  if (faults.node_dead(src) || faults.node_dead(dst)) return kUnreachable;
+  if (src == dst) return 0;
+  if (!faults.has_structural_faults()) return hops(a, b);
+
+  std::vector<std::size_t> dist(node_count(), kUnreachable);
+  dist[src] = 0;
+  std::deque<std::size_t> frontier{src};
+  while (!frontier.empty()) {
+    const std::size_t cur = frontier.front();
+    frontier.pop_front();
+    if (cur == dst) break;
+    for (const NodeCoord& nb : neighbours(coord(cur))) {
+      const std::size_t ni = index(nb);
+      if (dist[ni] != kUnreachable) continue;
+      if (faults.node_dead(ni) || faults.link_dead(cur, ni)) continue;
+      dist[ni] = dist[cur] + 1;
+      frontier.push_back(ni);
+    }
+  }
+  if (dist[dst] != kUnreachable && dist[dst] > hops(a, b)) {
+    TME_COUNTER_ADD("hw/fault/reroutes", 1);
+  }
+  return dist[dst];
+}
+
+PartitionReport TorusTopology::partition_report(const FaultInjector& faults) const {
+  PartitionReport report;
+  const std::size_t n = node_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (faults.node_dead(i)) {
+      report.dead.push_back(i);
+    } else if (report.root == kUnreachable) {
+      report.root = i;
+    }
+  }
+  if (report.root == kUnreachable) return report;  // the whole machine is dead
+
+  std::vector<char> seen(n, 0);
+  seen[report.root] = 1;
+  std::deque<std::size_t> frontier{report.root};
+  while (!frontier.empty()) {
+    const std::size_t cur = frontier.front();
+    frontier.pop_front();
+    ++report.alive;
+    for (const NodeCoord& nb : neighbours(coord(cur))) {
+      const std::size_t ni = index(nb);
+      if (seen[ni] != 0 || faults.node_dead(ni) || faults.link_dead(cur, ni)) continue;
+      seen[ni] = 1;
+      frontier.push_back(ni);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (seen[i] == 0 && !faults.node_dead(i)) report.unreachable.push_back(i);
+  }
+  TME_GAUGE_SET("hw/fault/unreachable_nodes", report.unreachable.size());
+  return report;
 }
 
 }  // namespace tme::hw

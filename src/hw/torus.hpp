@@ -4,12 +4,29 @@
 
 #include <array>
 #include <cstddef>
+#include <limits>
+#include <vector>
 
 namespace tme::hw {
+
+class FaultInjector;
+
+// Sentinel hop count for a route that no longer exists on a faulted machine.
+inline constexpr std::size_t kUnreachable = std::numeric_limits<std::size_t>::max();
 
 struct NodeCoord {
   std::size_t x = 0, y = 0, z = 0;
   bool operator==(const NodeCoord&) const = default;
+};
+
+// Connectivity summary of a faulted machine: which nodes are alive, dead, or
+// alive-but-cut-off from the surviving partition containing `root` (the
+// lowest-indexed alive node).
+struct PartitionReport {
+  std::size_t root = kUnreachable;          // kUnreachable if every node is dead
+  std::size_t alive = 0;                    // reachable alive nodes (incl. root)
+  std::vector<std::size_t> dead;            // killed outright
+  std::vector<std::size_t> unreachable;     // alive but cut off from root
 };
 
 class TorusTopology {
@@ -34,6 +51,24 @@ class TorusTopology {
 
   // The six neighbours of a node (+-x, +-y, +-z).
   std::array<NodeCoord, 6> neighbours(const NodeCoord& c) const;
+
+  // The healthy machine's deterministic dimension-ordered route (x, then y,
+  // then z, shorter wrap direction, ties broken toward +): the node sequence
+  // a, ..., b inclusive.  Its length is hops(a, b) + 1.
+  std::vector<NodeCoord> route(const NodeCoord& a, const NodeCoord& b) const;
+
+  // Shortest surviving route between two nodes when links/nodes are dead:
+  // BFS over alive neighbours, skipping killed links.  Returns kUnreachable
+  // when either endpoint is dead or no route survives; equals hops() on a
+  // fault-free machine.  Detours longer than the Manhattan distance bump the
+  // hw/fault/reroutes counter.
+  std::size_t hops_avoiding(const NodeCoord& a, const NodeCoord& b,
+                            const FaultInjector& faults) const;
+
+  // BFS from the lowest-indexed alive node, classifying every node as
+  // reachable / dead / cut off — the "unreachable partition" check a
+  // degraded production run must pass before it is allowed to proceed.
+  PartitionReport partition_report(const FaultInjector& faults) const;
 
  private:
   std::size_t nx_, ny_, nz_;

@@ -1,0 +1,166 @@
+#include "md/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/crc32.hpp"
+
+namespace tme {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'M', 'E', 'C', 'K', 'P', 'T', '\0'};
+constexpr std::uint32_t kVersion = 1;
+
+// Payload serialisation into a flat byte buffer: simplest way to both write
+// in one shot and CRC the exact bytes on disk.
+class Writer {
+ public:
+  void raw(const void* data, std::size_t len) {
+    const std::size_t old = bytes_.size();
+    bytes_.resize(old + len);
+    std::memcpy(bytes_.data() + old, data, len);
+  }
+  template <typename T>
+  void value(const T& v) {
+    raw(&v, sizeof(T));
+  }
+  void vecs(const std::vector<Vec3>& v) {
+    for (const Vec3& e : v) {
+      value(e.x);
+      value(e.y);
+      value(e.z);
+    }
+  }
+  void doubles(const std::vector<double>& v) { raw(v.data(), v.size() * sizeof(double)); }
+
+  const std::vector<unsigned char>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<unsigned char> bytes_;
+};
+
+class Reader {
+ public:
+  Reader(const unsigned char* data, std::size_t len) : data_(data), len_(len) {}
+
+  void raw(void* out, std::size_t len) {
+    if (pos_ + len > len_) {
+      throw std::runtime_error("checkpoint: truncated file");
+    }
+    std::memcpy(out, data_ + pos_, len);
+    pos_ += len;
+  }
+  template <typename T>
+  T value() {
+    T v;
+    raw(&v, sizeof(T));
+    return v;
+  }
+  void vecs(std::vector<Vec3>& v, std::size_t n) {
+    v.resize(n);
+    for (Vec3& e : v) {
+      e.x = value<double>();
+      e.y = value<double>();
+      e.z = value<double>();
+    }
+  }
+  void doubles(std::vector<double>& v, std::size_t n) {
+    v.resize(n);
+    raw(v.data(), n * sizeof(double));
+  }
+
+ private:
+  const unsigned char* data_;
+  std::size_t len_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+void write_checkpoint(const std::string& path, const ParticleSystem& system,
+                      std::uint64_t step) {
+  Writer w;
+  w.raw(kMagic, sizeof(kMagic));
+  w.value(kVersion);
+  w.value(step);
+  w.value(static_cast<std::uint64_t>(system.size()));
+  w.value(system.box.lengths.x);
+  w.value(system.box.lengths.y);
+  w.value(system.box.lengths.z);
+  w.vecs(system.positions);
+  w.vecs(system.velocities);
+  w.vecs(system.forces);
+  w.doubles(system.masses);
+  w.doubles(system.charges);
+  const std::uint32_t crc = crc32(w.bytes().data(), w.bytes().size());
+  w.value(crc);
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("checkpoint: cannot open " + tmp + " for writing");
+    }
+    out.write(reinterpret_cast<const char*>(w.bytes().data()),
+              static_cast<std::streamsize>(w.bytes().size()));
+    if (!out) {
+      throw std::runtime_error("checkpoint: short write to " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("checkpoint: cannot rename " + tmp + " to " + path);
+  }
+  TME_COUNTER_ADD("md/checkpoint/writes", 1);
+}
+
+Checkpoint read_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("checkpoint: cannot open " + path);
+  }
+  std::vector<unsigned char> bytes((std::istreambuf_iterator<char>(in)),
+                                   std::istreambuf_iterator<char>());
+
+  if (bytes.size() < sizeof(kMagic) + sizeof(std::uint32_t)) {
+    throw std::runtime_error("checkpoint: truncated file");
+  }
+  const std::size_t payload = bytes.size() - sizeof(std::uint32_t);
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + payload, sizeof(stored_crc));
+  if (crc32(bytes.data(), payload) != stored_crc) {
+    throw std::runtime_error("checkpoint: CRC mismatch (corrupted file)");
+  }
+
+  Reader r(bytes.data(), payload);
+  char magic[8];
+  r.raw(magic, sizeof(magic));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("checkpoint: bad magic (not a TME checkpoint)");
+  }
+  const auto version = r.value<std::uint32_t>();
+  if (version != kVersion) {
+    throw std::runtime_error("checkpoint: unsupported version " +
+                             std::to_string(version));
+  }
+
+  Checkpoint ckpt;
+  ckpt.step = r.value<std::uint64_t>();
+  const auto n = static_cast<std::size_t>(r.value<std::uint64_t>());
+  ckpt.system.box.lengths.x = r.value<double>();
+  ckpt.system.box.lengths.y = r.value<double>();
+  ckpt.system.box.lengths.z = r.value<double>();
+  r.vecs(ckpt.system.positions, n);
+  r.vecs(ckpt.system.velocities, n);
+  r.vecs(ckpt.system.forces, n);
+  r.doubles(ckpt.system.masses, n);
+  r.doubles(ckpt.system.charges, n);
+  TME_COUNTER_ADD("md/checkpoint/restores", 1);
+  return ckpt;
+}
+
+}  // namespace tme

@@ -1,0 +1,41 @@
+// Binary checkpoint / restart for MD runs.
+//
+// A checkpoint captures the complete integrator-visible state of a
+// ParticleSystem — positions, velocities, *and* forces (Velocity-Verlet's
+// first half-kick uses the forces of the previous step), plus masses,
+// charges, box and step counter — so a restored run continues
+// bitwise-identically to one that never stopped.  The payload carries a
+// trailing CRC-32; a flipped bit or truncated file is rejected on read
+// rather than silently resuming from garbage.
+//
+// Format (little-endian, version 1):
+//   magic "TMECKPT\0" | u32 version | u64 step | u64 n_particles |
+//   box lengths 3 x f64 |
+//   positions 3n x f64 | velocities 3n x f64 | forces 3n x f64 |
+//   masses n x f64 | charges n x f64 |
+//   u32 CRC-32 over everything above
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "md/system.hpp"
+
+namespace tme {
+
+struct Checkpoint {
+  std::uint64_t step = 0;
+  ParticleSystem system;
+};
+
+// Writes atomically enough for a crash-interrupted run: the file is staged
+// as <path>.tmp and renamed into place, so `path` always holds either the
+// previous checkpoint or a complete new one.
+void write_checkpoint(const std::string& path, const ParticleSystem& system,
+                      std::uint64_t step);
+
+// Throws std::runtime_error on a missing file, bad magic, unsupported
+// version, truncation, or CRC mismatch.
+Checkpoint read_checkpoint(const std::string& path);
+
+}  // namespace tme

@@ -1,0 +1,173 @@
+#include "md/guardrail.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+#include "md/checkpoint.hpp"
+#include "obs/metrics.hpp"
+#include "util/logging.hpp"
+
+namespace tme {
+
+const char* to_string(GuardrailPolicy policy) {
+  switch (policy) {
+    case GuardrailPolicy::kWarn: return "warn";
+    case GuardrailPolicy::kRecover: return "recover";
+    case GuardrailPolicy::kAbort: return "abort";
+  }
+  return "?";
+}
+
+GuardrailPolicy guardrail_policy_from_env(GuardrailPolicy fallback) {
+  const char* text = std::getenv("TME_GUARDRAIL");
+  if (text == nullptr) return fallback;
+  const std::string value(text);
+  if (value == "warn") return GuardrailPolicy::kWarn;
+  if (value == "recover") return GuardrailPolicy::kRecover;
+  if (value == "abort") return GuardrailPolicy::kAbort;
+  log_warn("TME_GUARDRAIL='", value, "' is not warn|recover|abort; using ",
+           to_string(fallback));
+  return fallback;
+}
+
+namespace {
+
+// Count of non-finite components in an array of vectors.
+std::size_t non_finite(const std::vector<Vec3>& vs) {
+  std::size_t bad = 0;
+  for (const Vec3& v : vs) {
+    if (!std::isfinite(v.x) || !std::isfinite(v.y) || !std::isfinite(v.z)) ++bad;
+  }
+  return bad;
+}
+
+}  // namespace
+
+std::vector<GuardrailViolation> Guardrail::check(const ParticleSystem& system,
+                                                 const StepReport& report,
+                                                 std::uint64_t step) {
+  std::vector<GuardrailViolation> found;
+  auto flag = [&](std::string what) {
+    log_warn("guardrail: step ", step, ": ", what);
+    found.push_back({step, std::move(what)});
+  };
+
+  if (const std::size_t bad = non_finite(system.positions); bad > 0) {
+    flag(std::to_string(bad) + " particles with non-finite positions");
+  }
+  if (const std::size_t bad = non_finite(system.velocities); bad > 0) {
+    flag(std::to_string(bad) + " particles with non-finite velocities");
+  }
+  if (const std::size_t bad = non_finite(system.forces); bad > 0) {
+    flag(std::to_string(bad) + " particles with non-finite forces");
+  }
+
+  double max_f = 0.0;
+  for (const Vec3& f : system.forces) {
+    for (std::size_t k = 0; k < 3; ++k) {
+      const double a = std::abs(f[k]);
+      if (a > max_f) max_f = a;
+    }
+  }
+  if (std::isfinite(max_f) && max_f > config_.max_force) {
+    flag("force blow-up: max |component| " + std::to_string(max_f) + " > " +
+         std::to_string(config_.max_force));
+  }
+
+  if (config_.check_fixed_overflow) {
+    std::size_t overflowed = 0;
+    for (const Vec3& f : system.forces) {
+      for (std::size_t k = 0; k < 3; ++k) {
+        if (!fits(f[k], config_.fixed_format)) ++overflowed;
+      }
+    }
+    if (overflowed > 0) {
+      flag(std::to_string(overflowed) + " force components saturate Q" +
+           std::to_string(config_.fixed_format.total_bits - config_.fixed_format.frac_bits) +
+           "." + std::to_string(config_.fixed_format.frac_bits));
+    }
+  }
+
+  const double total = report.total();
+  if (!std::isfinite(total)) {
+    flag("non-finite total energy");
+  } else if (!reference_energy_.has_value()) {
+    reference_energy_ = total;
+  } else {
+    const double ref = *reference_energy_;
+    const double scale = std::max(std::abs(ref), config_.energy_floor);
+    if (std::abs(total - ref) > config_.energy_drift_tol * scale) {
+      flag("energy drift " + std::to_string(total - ref) + " kJ/mol exceeds " +
+           std::to_string(config_.energy_drift_tol) + " x " + std::to_string(scale));
+    }
+  }
+
+  TME_COUNTER_ADD("md/guardrail/violations", found.size());
+  violations_.insert(violations_.end(), found.begin(), found.end());
+  return found;
+}
+
+GuardedRunResult run_guarded(ParticleSystem& system, const Topology& topology,
+                             const ForceField& ff, const VelocityVerlet& integrator,
+                             std::uint64_t steps, const GuardedRunParams& params) {
+  Guardrail guard(params.guardrail);
+  GuardedRunResult result;
+  const bool checkpointing = !params.checkpoint_path.empty();
+
+  result.last_report = integrator.prime(system, topology, ff);
+  if (checkpointing) {
+    write_checkpoint(params.checkpoint_path, system, 0);
+  }
+
+  while (result.steps_completed < steps) {
+    const std::uint64_t step = result.steps_completed + 1;
+    if (params.fault_hook) params.fault_hook(step, system);
+    const StepReport report = integrator.step(system, topology, ff);
+    const std::vector<GuardrailViolation> bad = guard.check(system, report, step);
+
+    if (bad.empty()) {
+      result.steps_completed = step;
+      result.last_report = report;
+      if (checkpointing && step % params.checkpoint_interval == 0) {
+        write_checkpoint(params.checkpoint_path, system, step);
+      }
+      continue;
+    }
+
+    result.violation_count += bad.size();
+    switch (params.guardrail.policy) {
+      case GuardrailPolicy::kWarn:
+        // Logged in check(); keep going with the (possibly damaged) state.
+        result.steps_completed = step;
+        result.last_report = report;
+        break;
+      case GuardrailPolicy::kRecover: {
+        if (!checkpointing || result.recoveries >= params.max_recoveries) {
+          log_error("guardrail: cannot recover (",
+                    checkpointing ? "recovery limit reached" : "no checkpoint path",
+                    "); aborting at step ", step);
+          TME_COUNTER_ADD("md/guardrail/aborts", 1);
+          result.aborted = true;
+          return result;
+        }
+        const Checkpoint ckpt = read_checkpoint(params.checkpoint_path);
+        system = ckpt.system;
+        result.steps_completed = ckpt.step;
+        ++result.recoveries;
+        guard.reset_energy_reference();
+        log_warn("guardrail: rolled back to checkpoint at step ", ckpt.step);
+        TME_COUNTER_ADD("md/guardrail/recoveries", 1);
+        break;
+      }
+      case GuardrailPolicy::kAbort:
+        log_error("guardrail: aborting at step ", step);
+        TME_COUNTER_ADD("md/guardrail/aborts", 1);
+        result.aborted = true;
+        return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace tme

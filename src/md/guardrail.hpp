@@ -1,0 +1,113 @@
+// Numerical guardrails and guarded execution for MD runs.
+//
+// A production run on the simulated machine must notice when the physics
+// goes bad — NaN/Inf escaping into coordinates, forces blowing past the
+// short-range table range, values that would saturate the chip's fixed-point
+// grid format, or NVE energy drifting beyond tolerance — and react by
+// policy: log and continue (warn), roll back to the last good checkpoint
+// (recover), or stop the run (abort).
+//
+// The policy is selectable at runtime through TME_GUARDRAIL=warn|recover|
+// abort, so the same binary serves CI soaks (abort fast) and long
+// production-style runs (recover).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fixed/fixed_point.hpp"
+#include "md/integrator.hpp"
+#include "md/system.hpp"
+
+namespace tme {
+
+enum class GuardrailPolicy { kWarn, kRecover, kAbort };
+
+// Reads TME_GUARDRAIL ("warn" | "recover" | "abort", case-sensitive).
+// Unset keeps the fallback; a malformed value logs a warning and keeps the
+// fallback.
+GuardrailPolicy guardrail_policy_from_env(
+    GuardrailPolicy fallback = GuardrailPolicy::kWarn);
+
+const char* to_string(GuardrailPolicy policy);
+
+struct GuardrailConfig {
+  GuardrailPolicy policy = GuardrailPolicy::kWarn;
+  // Any |force component| above this is a blow-up (kJ mol^-1 nm^-1); generous
+  // default — healthy TIP3P forces stay orders of magnitude below.
+  double max_force = 1e7;
+  // Relative NVE drift tolerance: |E(t) - E(ref)| <= tol * max(|E(ref)|,
+  // energy_floor), referenced to the first checked step.
+  double energy_drift_tol = 0.05;
+  double energy_floor = 1.0;  // kJ/mol, guards the relative test near E = 0
+  // When set, count force components that would saturate the chip's grid
+  // fixed-point format (src/fixed) and flag any overflow.
+  bool check_fixed_overflow = false;
+  FixedFormat fixed_format{};
+};
+
+struct GuardrailViolation {
+  std::uint64_t step = 0;
+  std::string what;
+};
+
+class Guardrail {
+ public:
+  explicit Guardrail(GuardrailConfig config) : config_(std::move(config)) {}
+
+  const GuardrailConfig& config() const { return config_; }
+
+  // Inspects post-step state; returns the violations found this step (empty
+  // = healthy) and remembers them (see violations()).  The first checked
+  // step's total energy becomes the drift reference.  Never throws — the
+  // policy reaction is the caller's job (see run_guarded).
+  std::vector<GuardrailViolation> check(const ParticleSystem& system,
+                                        const StepReport& report,
+                                        std::uint64_t step);
+
+  const std::vector<GuardrailViolation>& violations() const { return violations_; }
+
+  // Re-arm the drift reference (after a checkpoint restore the next checked
+  // step re-establishes it).
+  void reset_energy_reference() { reference_energy_.reset(); }
+
+ private:
+  GuardrailConfig config_;
+  std::optional<double> reference_energy_;
+  std::vector<GuardrailViolation> violations_;
+};
+
+// --- guarded run driver ------------------------------------------------------
+
+struct GuardedRunParams {
+  GuardrailConfig guardrail;
+  // Empty = no checkpointing (recover policy then degrades to abort).
+  std::string checkpoint_path;
+  std::uint64_t checkpoint_interval = 100;  // steps between checkpoint writes
+  int max_recoveries = 3;
+  // Test hook: invoked before each step's force half-kick with the step
+  // number about to be computed; lets tests corrupt state mid-run.
+  std::function<void(std::uint64_t, ParticleSystem&)> fault_hook;
+};
+
+struct GuardedRunResult {
+  std::uint64_t steps_completed = 0;  // steps that passed the guardrail
+  int recoveries = 0;
+  bool aborted = false;
+  std::size_t violation_count = 0;
+  StepReport last_report;
+};
+
+// Runs `steps` Velocity-Verlet steps under the guardrail: primes the system,
+// checkpoints every `checkpoint_interval` steps (if a path is set), checks
+// every step, and reacts per policy — warn logs and continues, recover rolls
+// back to the last checkpoint (bounded by max_recoveries, then aborts),
+// abort stops the run with `aborted = true`.
+GuardedRunResult run_guarded(ParticleSystem& system, const Topology& topology,
+                             const ForceField& ff, const VelocityVerlet& integrator,
+                             std::uint64_t steps, const GuardedRunParams& params);
+
+}  // namespace tme

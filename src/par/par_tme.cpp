@@ -12,6 +12,46 @@ namespace tme::par {
 
 namespace {
 
+// Degraded-machine context threaded through the traffic helpers: an optional
+// host remapping for dead nodes plus the corruption stream retransmissions
+// are drawn from.  Default-constructed = healthy machine.
+struct FaultContext {
+  const RecoveryPlan* plan = nullptr;
+  const FaultInjector* faults = nullptr;
+};
+
+// Log one logical message, mapped through the recovery plan (if any) and
+// charged for CRC-detected retransmissions drawn from the corruption stream
+// (if any).  Messages between blocks that now share a surviving host become
+// node-local and are dropped from the log.
+void log_transfer(TrafficLog* log, const std::string& phase, std::size_t words,
+                  std::size_t from, std::size_t to, const TorusTopology& topo,
+                  const FaultContext& ctx) {
+  std::size_t hops;
+  if (ctx.plan != nullptr) {
+    if (ctx.plan->host(from) == ctx.plan->host(to)) return;
+    hops = ctx.plan->hops(from, to);
+    if (ctx.plan->rerouted(from, to)) {
+      TME_COUNTER_ADD("par_tme/rerouted_messages", 1);
+    }
+  } else {
+    hops = topo.hops(topo.coord(from), topo.coord(to));
+  }
+  log->add(phase, 1, words, hops);
+  if (ctx.faults != nullptr && ctx.faults->config().link_error_rate > 0.0) {
+    std::size_t retries = 0;
+    const auto max_retries =
+        static_cast<std::size_t>(ctx.faults->config().max_retries);
+    while (retries < max_retries && ctx.faults->attempt_corrupted(hops)) {
+      ++retries;
+    }
+    if (retries > 0) {
+      log->add("fault retransmission", retries, retries * words, hops);
+      TME_COUNTER_ADD("par_tme/nw_retries", retries);
+    }
+  }
+}
+
 // An extended (halo-carrying) local buffer for one node: global coordinates
 // [x0, x0+nx) x [y0, ...) x [z0, ...), unwrapped (may be negative).
 struct ExtendedBlock {
@@ -47,7 +87,8 @@ struct ExtendedBlock {
 // node, hops measured on the torus.
 void import_halo(const DistributedGrid& grid, const GridDecomposition& decomp,
                  const NodeCoord& me, ExtendedBlock& buffer,
-                 const std::string& phase, TrafficLog* log) {
+                 const std::string& phase, TrafficLog* log,
+                 const FaultContext& ctx = {}) {
   const GridDims& local = decomp.local();
   const TorusTopology& topo = decomp.topology();
   const std::size_t me_idx = topo.index(me);
@@ -70,7 +111,7 @@ void import_halo(const DistributedGrid& grid, const GridDecomposition& decomp,
   if (log != nullptr) {
     for (std::size_t src = 0; src < words_from.size(); ++src) {
       if (words_from[src] == 0) continue;
-      log->add(phase, 1, words_from[src], topo.hops(topo.coord(src), me));
+      log_transfer(log, phase, words_from[src], src, me_idx, topo, ctx);
     }
   }
 }
@@ -80,7 +121,8 @@ void import_halo(const DistributedGrid& grid, const GridDecomposition& decomp,
 // neighbour that owns them).
 void export_sleeves(DistributedGrid& grid, const GridDecomposition& decomp,
                     const NodeCoord& me, const ExtendedBlock& buffer,
-                    const std::string& phase, TrafficLog* log) {
+                    const std::string& phase, TrafficLog* log,
+                    const FaultContext& ctx = {}) {
   const GridDims& local = decomp.local();
   const TorusTopology& topo = decomp.topology();
   const std::size_t me_idx = topo.index(me);
@@ -105,7 +147,7 @@ void export_sleeves(DistributedGrid& grid, const GridDecomposition& decomp,
   if (log != nullptr) {
     for (std::size_t dst = 0; dst < words_to.size(); ++dst) {
       if (words_to[dst] == 0) continue;
-      log->add(phase, 1, words_to[dst], topo.hops(topo.coord(dst), me));
+      log_transfer(log, phase, words_to[dst], me_idx, dst, topo, ctx);
     }
   }
 }
@@ -169,10 +211,32 @@ ParallelTme::ParallelTme(const Box& box, const TmeParams& params,
   }
 }
 
+void ParallelTme::set_fault_injector(const FaultInjector* faults) {
+  faults_ = faults;
+  plan_.reset();
+  if (faults != nullptr && faults->has_structural_faults()) {
+    plan_ = std::make_unique<RecoveryPlan>(topo_, *faults);
+  }
+}
+
 DistributedGrid ParallelTme::solve_potential(const DistributedGrid& finest_charges,
                                              TrafficLog* log) const {
   TME_PHASE("par_tme_solve");
   TME_GAUGE_SET("par_tme/nodes", topo_.node_count());
+  const FaultContext ctx{plan_.get(), faults_};
+  if (log != nullptr && plan_ != nullptr) {
+    // One-time block migration: every dead node's per-level blocks are
+    // re-fetched by the surviving host (from the neighbour-held redundant
+    // copy) before the pipeline starts.
+    for (const std::size_t dead : plan_->faults().dead_nodes()) {
+      const std::size_t host = plan_->host(dead);
+      const std::size_t hops =
+          topo_.hops(topo_.coord(dead), topo_.coord(host));
+      for (const GridDecomposition& d : level_decomp_) {
+        log->add("fault redistribution", 1, d.local().total(), hops);
+      }
+    }
+  }
   const TmeParams& params = tme_.params();
   const int levels = params.levels;
   const int p = params.order;
@@ -198,7 +262,7 @@ DistributedGrid ParallelTme::solve_potential(const DistributedGrid& finest_charg
       halo.reset(fx0, fy0, fz0, 2 * coarse_d.local().nx + p,
                  2 * coarse_d.local().ny + p, 2 * coarse_d.local().nz + p);
       import_halo(q[static_cast<std::size_t>(l - 1)], fine_d, me, halo,
-                  "restriction halo", log);
+                  "restriction halo", log, ctx);
       Grid3d& out = coarse.block(n);
       for (std::size_t mz = 0; mz < coarse_d.local().nz; ++mz) {
         for (std::size_t my = 0; my < coarse_d.local().ny; ++my) {
@@ -238,9 +302,8 @@ DistributedGrid ParallelTme::solve_potential(const DistributedGrid& finest_charg
       // the root's corner as a proxy for the board-level route).
       for (std::size_t n = 1; n < topo_.node_count(); ++n) {
         const std::size_t words = top_d.local().total();
-        const std::size_t hops = topo_.hops(topo_.coord(n), {0, 0, 0});
-        log->add("TMENW gather", 1, words, hops);
-        log->add("TMENW scatter", 1, words, hops);
+        log_transfer(log, "TMENW gather", words, n, 0, topo_, ctx);
+        log_transfer(log, "TMENW scatter", words, 0, n, topo_, ctx);
       }
     }
     Grid3d top_phi_global = tme_.top_level().solve_potential(top_global);
@@ -270,7 +333,7 @@ DistributedGrid ParallelTme::solve_potential(const DistributedGrid& finest_charg
       const std::size_t ext_z =
           (fine_d.local().nz + static_cast<std::size_t>(p)) / 2 + 2;
       halo.reset(cx0, cy0, cz0, ext_x, ext_y, ext_z);
-      import_halo(phi, coarse_d, me, halo, "prolongation halo", log);
+      import_halo(phi, coarse_d, me, halo, "prolongation halo", log, ctx);
 
       Grid3d& out = fine_phi.block(n);
       for (std::size_t fz = 0; fz < fine_d.local().nz; ++fz) {
@@ -348,7 +411,7 @@ DistributedGrid ParallelTme::solve_potential(const DistributedGrid& finest_charg
                          local.nz + 2 * reach);
               break;
           }
-          import_halo(src, fine_d, me, halo, "level convolution", log);
+          import_halo(src, fine_d, me, halo, "level convolution", log, ctx);
 
           // On the x pass every term convolves the same input; on y/z each
           // term convolves its own intermediate.
@@ -411,6 +474,7 @@ CoulombResult ParallelTme::compute(std::span<const Vec3> positions,
   TME_PHASE("par_tme");
   TME_COUNTER_ADD("par_tme/compute_calls", 1);
   TME_GAUGE_SET("par_tme/atoms", positions.size());
+  const FaultContext ctx{plan_.get(), faults_};
   const TmeParams& params = tme_.params();
   const GridDecomposition& fine_d = level_decomp_.front();
   const GridDims& local = fine_d.local();
@@ -470,7 +534,7 @@ CoulombResult ParallelTme::compute(std::span<const Vec3> positions,
         }
       }
     }
-    export_sleeves(q, fine_d, me, buffer, "CA sleeve exchange", log);
+    export_sleeves(q, fine_d, me, buffer, "CA sleeve exchange", log, ctx);
   }
   }  // charge_assignment phase
 
@@ -491,7 +555,7 @@ CoulombResult ParallelTme::compute(std::span<const Vec3> positions,
                static_cast<long>(fine_d.origin_z(me)) - sleeve,
                local.nx + 2 * sleeve, local.ny + 2 * sleeve,
                local.nz + 2 * sleeve);
-    import_halo(phi, fine_d, me, halo, "BI grid transfer", log);
+    import_halo(phi, fine_d, me, halo, "BI grid transfer", log, ctx);
     for (std::size_t i = 0; i < positions.size(); ++i) {
       if (owner_of[i] != n) continue;
       const Vec3 u = hadamard_div(box_.wrap(positions[i]), h);

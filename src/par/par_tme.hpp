@@ -25,6 +25,7 @@
 
 #include "core/tme.hpp"
 #include "par/decomposition.hpp"
+#include "par/recovery.hpp"
 #include "par/traffic.hpp"
 
 namespace tme::par {
@@ -59,6 +60,16 @@ class ParallelTme {
   const Tme& serial() const { return tme_; }
   const TorusTopology& topology() const { return topo_; }
 
+  // Degraded-machine mode: build a RecoveryPlan for the injector's structural
+  // faults (throws if the fault set partitions the machine) and account all
+  // subsequent traffic against surviving hosts — including retransmissions
+  // drawn from the injector's corruption stream.  Pass nullptr (or an
+  // injector with no structural/stochastic faults) to return to the healthy
+  // machine.  The injector must outlive this object.  Physics is unaffected:
+  // forces stay bitwise-identical to the fault-free run.
+  void set_fault_injector(const FaultInjector* faults);
+  const RecoveryPlan* recovery_plan() const { return plan_.get(); }
+
   // Long-range energy/forces, identical contract to Tme::compute, with
   // per-phase message accounting.
   CoulombResult compute(std::span<const Vec3> positions,
@@ -74,6 +85,8 @@ class ParallelTme {
   Tme tme_;  // owns parameters, kernels, and the top-level SPME
   TorusTopology topo_;
   std::vector<GridDecomposition> level_decomp_;  // levels 1 .. L+1
+  const FaultInjector* faults_ = nullptr;
+  std::unique_ptr<RecoveryPlan> plan_;  // non-null only with structural faults
 };
 
 // One dense (B-spline MSM) level convolution executed with per-node halo

@@ -1,0 +1,132 @@
+#include "par/recovery.hpp"
+
+#include <deque>
+#include <stdexcept>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace tme::par {
+
+namespace {
+
+// Fault-aware BFS distances from `src` to every node of the surviving
+// machine (kUnreachable for dead / cut-off nodes).
+std::vector<std::size_t> bfs_distances(const TorusTopology& topo,
+                                       const FaultInjector& faults,
+                                       std::size_t src) {
+  std::vector<std::size_t> dist(topo.node_count(), hw::kUnreachable);
+  dist[src] = 0;
+  std::deque<std::size_t> frontier{src};
+  while (!frontier.empty()) {
+    const std::size_t cur = frontier.front();
+    frontier.pop_front();
+    for (const hw::NodeCoord& nb : topo.neighbours(topo.coord(cur))) {
+      const std::size_t ni = topo.index(nb);
+      if (dist[ni] != hw::kUnreachable) continue;
+      if (faults.node_dead(ni) || faults.link_dead(cur, ni)) continue;
+      dist[ni] = dist[cur] + 1;
+      frontier.push_back(ni);
+    }
+  }
+  return dist;
+}
+
+// Does the healthy dimension-ordered route between two alive nodes cross
+// dead hardware?
+bool route_broken(const TorusTopology& topo, const FaultInjector& faults,
+                  std::size_t from, std::size_t to) {
+  const std::vector<hw::NodeCoord> path =
+      topo.route(topo.coord(from), topo.coord(to));
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const std::size_t prev = topo.index(path[i - 1]);
+    const std::size_t cur = topo.index(path[i]);
+    if (faults.link_dead(prev, cur)) return true;
+    if (i + 1 < path.size() && faults.node_dead(cur)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+RecoveryPlan::RecoveryPlan(const TorusTopology& topo, const FaultInjector& faults)
+    : topo_(&topo), faults_(&faults) {
+  const std::size_t n = topo.node_count();
+
+  const hw::PartitionReport part = topo.partition_report(faults);
+  if (part.root == hw::kUnreachable) {
+    throw std::runtime_error("RecoveryPlan: every node is dead");
+  }
+  if (!part.unreachable.empty()) {
+    throw std::runtime_error("RecoveryPlan: " + std::to_string(part.unreachable.size()) +
+                             " alive nodes are cut off from the surviving partition");
+  }
+  dead_count_ = part.dead.size();
+
+  // Host mapping: alive nodes host themselves; a dead node's blocks go to
+  // the nearest alive node (healthy-torus metric; ties to the lowest index).
+  host_.resize(n);
+  for (std::size_t node = 0; node < n; ++node) {
+    if (!faults.node_dead(node)) {
+      host_[node] = node;
+      continue;
+    }
+    std::size_t best = hw::kUnreachable;
+    std::size_t best_hops = hw::kUnreachable;
+    const hw::NodeCoord c = topo.coord(node);
+    for (std::size_t candidate = 0; candidate < n; ++candidate) {
+      if (faults.node_dead(candidate)) continue;
+      const std::size_t h = topo.hops(c, topo.coord(candidate));
+      if (h < best_hops) {
+        best_hops = h;
+        best = candidate;
+      }
+    }
+    host_[node] = best;
+  }
+
+  // Broken dimension-ordered routes between distinct host pairs, symmetric
+  // in direction (the adaptive router detours both ways if either healthy
+  // route crosses dead hardware).
+  std::vector<char> host_broken(n * n, 0);
+  for (std::size_t p = 0; p < n; ++p) {
+    if (faults.node_dead(p)) continue;
+    for (std::size_t q = p + 1; q < n; ++q) {
+      if (faults.node_dead(q)) continue;
+      const bool broken = route_broken(topo, faults, p, q) ||
+                          route_broken(topo, faults, q, p);
+      host_broken[p * n + q] = host_broken[q * n + p] = broken ? 1 : 0;
+      if (broken) ++reroute_count_;
+    }
+  }
+
+  // All-pairs fault-aware distances between hosts: one BFS per surviving
+  // node, shared by every logical pair it hosts.
+  hop_table_.assign(n * n, 0);
+  reroute_table_.assign(n * n, 0);
+  std::vector<std::vector<std::size_t>> dist_from(n);
+  for (std::size_t from = 0; from < n; ++from) {
+    const std::size_t pf = host_[from];
+    if (dist_from[pf].empty()) dist_from[pf] = bfs_distances(topo, faults, pf);
+    const std::vector<std::size_t>& dist = dist_from[pf];
+    for (std::size_t to = 0; to < n; ++to) {
+      const std::size_t pt = host_[to];
+      if (pf == pt) continue;
+      hop_table_[from * n + to] = dist[pt];
+      reroute_table_[from * n + to] = host_broken[pf * n + pt];
+    }
+  }
+
+  TME_GAUGE_SET("par_tme/dead_nodes", dead_count_);
+  TME_GAUGE_SET("par_tme/reroutes", reroute_count_);
+}
+
+std::size_t RecoveryPlan::hops(std::size_t from, std::size_t to) const {
+  return hop_table_[from * topo_->node_count() + to];
+}
+
+bool RecoveryPlan::rerouted(std::size_t from, std::size_t to) const {
+  return reroute_table_[from * topo_->node_count() + to] != 0;
+}
+
+}  // namespace tme::par

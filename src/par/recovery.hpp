@@ -1,0 +1,67 @@
+// Graceful degradation of the distributed TME on a faulted machine.
+//
+// When a node dies, the paper's machine cannot simply drop its grid blocks:
+// the decomposition re-homes them on surviving torus neighbours and every
+// message that would have touched the dead node is routed to (and accounted
+// against) the hosting node instead, over fault-aware detour routes.  The
+// RecoveryPlan is the static part of that story: a logical-node -> physical
+// -host mapping plus an all-pairs fault-aware hop table, computed once per
+// fault set and shared by every phase of the pipeline.
+//
+// The physics is untouched — blocks keep their logical identity, so a
+// degraded run produces bitwise-identical forces; only the measured traffic
+// (hops, messages, retransmissions) reflects the damage.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hw/fault.hpp"
+#include "hw/torus.hpp"
+
+namespace tme::par {
+
+using hw::FaultInjector;
+using hw::TorusTopology;
+
+class RecoveryPlan {
+ public:
+  // Builds the host mapping: every dead node's blocks move to the nearest
+  // alive node (Manhattan metric, lowest index breaks ties — with isolated
+  // single-node failures that is always a torus neighbour).  Throws
+  // std::runtime_error if the fault set isolates part of the machine
+  // (unreachable partitions cannot recover each other's blocks) or kills
+  // every node.
+  RecoveryPlan(const TorusTopology& topo, const FaultInjector& faults);
+
+  const FaultInjector& faults() const { return *faults_; }
+
+  // Physical node hosting the given logical node's blocks (identity for
+  // alive nodes).
+  std::size_t host(std::size_t node) const { return host_[node]; }
+  std::size_t dead_count() const { return dead_count_; }
+
+  // Fault-aware hop count between the *hosts* of two logical nodes (0 when
+  // both land on the same survivor).
+  std::size_t hops(std::size_t from, std::size_t to) const;
+
+  // True when the healthy machine's dimension-ordered route between the two
+  // hosts crosses a dead node or dead link, forcing the adaptive router onto
+  // a detour (which may or may not be longer).
+  bool rerouted(std::size_t from, std::size_t to) const;
+
+  // Host pairs (unordered) whose dimension-ordered route is broken — the
+  // re-route count the acceptance soak asserts on.
+  std::size_t reroute_count() const { return reroute_count_; }
+
+ private:
+  const TorusTopology* topo_ = nullptr;
+  const FaultInjector* faults_ = nullptr;
+  std::vector<std::size_t> host_;
+  std::vector<std::size_t> hop_table_;  // node_count^2, host-to-host distances
+  std::vector<char> reroute_table_;     // node_count^2, DOR route broken?
+  std::size_t dead_count_ = 0;
+  std::size_t reroute_count_ = 0;
+};
+
+}  // namespace tme::par

@@ -1,0 +1,46 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum the
+// checkpoint format and the simulated network's CRC-detect path use to
+// reject corrupted payloads.  Header-only; crc32("123456789") = 0xCBF43926.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace tme {
+
+namespace detail {
+inline const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+}  // namespace detail
+
+// Incremental update: start from 0 and feed buffers in order; chaining
+// crc32_update calls over a split buffer equals one call over the whole.
+inline std::uint32_t crc32_update(std::uint32_t crc, const void* data,
+                                  std::size_t len) {
+  const auto& table = detail::crc32_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc ^= 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+inline std::uint32_t crc32(const void* data, std::size_t len) {
+  return crc32_update(0, data, len);
+}
+
+}  // namespace tme

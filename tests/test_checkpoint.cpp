@@ -1,0 +1,346 @@
+// Checkpoint write/restore (CRC-validated, bitwise resume) and the numerical
+// guardrail policies.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ewald/splitting.hpp"
+#include "md/checkpoint.hpp"
+#include "md/forcefield.hpp"
+#include "md/guardrail.hpp"
+#include "md/integrator.hpp"
+#include "md/water_box.hpp"
+#include "util/crc32.hpp"
+#include "util/rng.hpp"
+
+namespace tme {
+namespace {
+
+// --- CRC-32 ------------------------------------------------------------------
+
+TEST(Crc32, MatchesTheStandardTestVector) {
+  const char digits[] = "123456789";
+  EXPECT_EQ(crc32(digits, 9), 0xCBF43926u);
+}
+
+TEST(Crc32, IncrementalUpdateEqualsOneShot) {
+  const char digits[] = "123456789";
+  std::uint32_t crc = 0;
+  crc = crc32_update(crc, digits, 4);
+  crc = crc32_update(crc, digits + 4, 5);
+  EXPECT_EQ(crc, 0xCBF43926u);
+}
+
+// --- checkpoint I/O ----------------------------------------------------------
+
+ParticleSystem random_state(std::size_t n, std::uint64_t seed) {
+  ParticleSystem sys;
+  sys.box.lengths = {2.5, 3.0, 3.5};
+  sys.resize(n);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    sys.positions[i] = {rng.uniform(0.0, 2.5), rng.uniform(0.0, 3.0),
+                        rng.uniform(0.0, 3.5)};
+    sys.velocities[i] = {rng.normal(), rng.normal(), rng.normal()};
+    sys.forces[i] = {rng.normal(), rng.normal(), rng.normal()};
+    sys.masses[i] = rng.uniform(1.0, 16.0);
+    sys.charges[i] = rng.uniform(-1.0, 1.0);
+  }
+  return sys;
+}
+
+void expect_bitwise_equal(const ParticleSystem& a, const ParticleSystem& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.box.lengths.x, b.box.lengths.x);
+  EXPECT_EQ(a.box.lengths.y, b.box.lengths.y);
+  EXPECT_EQ(a.box.lengths.z, b.box.lengths.z);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t k = 0; k < 3; ++k) {
+      EXPECT_EQ(a.positions[i][k], b.positions[i][k]) << "particle " << i;
+      EXPECT_EQ(a.velocities[i][k], b.velocities[i][k]) << "particle " << i;
+      EXPECT_EQ(a.forces[i][k], b.forces[i][k]) << "particle " << i;
+    }
+    EXPECT_EQ(a.masses[i], b.masses[i]);
+    EXPECT_EQ(a.charges[i], b.charges[i]);
+  }
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  std::string path(const char* name) const {
+    return ::testing::TempDir() + name;
+  }
+};
+
+TEST_F(CheckpointTest, RoundTripIsBitwiseExact) {
+  const ParticleSystem sys = random_state(64, 9);
+  const std::string file = path("roundtrip.ckpt");
+  write_checkpoint(file, sys, 1234);
+  const Checkpoint ckpt = read_checkpoint(file);
+  EXPECT_EQ(ckpt.step, 1234u);
+  expect_bitwise_equal(ckpt.system, sys);
+  std::remove(file.c_str());
+}
+
+TEST_F(CheckpointTest, CorruptedByteIsRejectedByCrc) {
+  const ParticleSystem sys = random_state(16, 10);
+  const std::string file = path("corrupt.ckpt");
+  write_checkpoint(file, sys, 7);
+
+  std::vector<char> bytes;
+  {
+    std::ifstream in(file, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  bytes[bytes.size() / 2] ^= 0x40;  // flip one payload bit
+  {
+    std::ofstream out(file, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_THROW(read_checkpoint(file), std::runtime_error);
+  std::remove(file.c_str());
+}
+
+TEST_F(CheckpointTest, TruncatedFileIsRejected) {
+  const ParticleSystem sys = random_state(16, 11);
+  const std::string file = path("truncated.ckpt");
+  write_checkpoint(file, sys, 7);
+
+  std::vector<char> bytes;
+  {
+    std::ifstream in(file, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  {
+    std::ofstream out(file, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 3));
+  }
+  EXPECT_THROW(read_checkpoint(file), std::runtime_error);
+  std::remove(file.c_str());
+}
+
+TEST_F(CheckpointTest, NonCheckpointFileIsRejected) {
+  const std::string file = path("garbage.ckpt");
+  {
+    std::ofstream out(file, std::ios::binary | std::ios::trunc);
+    out << "this is not a checkpoint at all, but it is long enough to parse";
+  }
+  EXPECT_THROW(read_checkpoint(file), std::runtime_error);
+  EXPECT_THROW(read_checkpoint(path("does-not-exist.ckpt")), std::runtime_error);
+  std::remove(file.c_str());
+}
+
+// --- bitwise resume of a real MD run ----------------------------------------
+
+struct MdSetup {
+  WaterBox wb;
+  ForceField ff;
+  VelocityVerlet integrator;
+};
+
+MdSetup make_md() {
+  WaterBoxSpec spec;
+  spec.molecules = 125;
+  spec.temperature = 300.0;
+  WaterBox wb = build_water_box(spec);
+  const double r_cut = 0.7;
+  const double alpha = alpha_from_tolerance(r_cut, 1e-4);
+  ShortRangeParams sr;
+  sr.cutoff = r_cut;
+  sr.alpha = alpha;
+  SpmeParams sp;
+  sp.alpha = alpha;
+  sp.grid = {16, 16, 16};
+  ForceField ff(sr, make_spme_solver(wb.system.box, sp));
+  VelocityVerlet integrator(wb.topology, wb.system, IntegratorParams{});
+  return {std::move(wb), std::move(ff), std::move(integrator)};
+}
+
+TEST_F(CheckpointTest, MidRunKillAndRestoreResumesBitwiseIdentically) {
+  const std::string file = path("midrun.ckpt");
+
+  // Uninterrupted reference: prime, 5 steps, checkpoint, 5 more steps.
+  MdSetup md = make_md();
+  md.integrator.prime(md.wb.system, md.wb.topology, md.ff);
+  for (int s = 0; s < 5; ++s) md.integrator.step(md.wb.system, md.wb.topology, md.ff);
+  write_checkpoint(file, md.wb.system, 5);
+  for (int s = 0; s < 5; ++s) md.integrator.step(md.wb.system, md.wb.topology, md.ff);
+
+  // "Killed" run: restore the checkpoint into a fresh system and replay the
+  // remaining 5 steps.  No re-prime — the checkpoint carries the forces.
+  const Checkpoint ckpt = read_checkpoint(file);
+  EXPECT_EQ(ckpt.step, 5u);
+  ParticleSystem resumed = ckpt.system;
+  for (int s = 0; s < 5; ++s) md.integrator.step(resumed, md.wb.topology, md.ff);
+
+  expect_bitwise_equal(resumed, md.wb.system);
+  std::remove(file.c_str());
+}
+
+// --- guardrail ---------------------------------------------------------------
+
+TEST(Guardrail, PolicyEnvParsing) {
+  setenv("TME_GUARDRAIL", "abort", 1);
+  EXPECT_EQ(guardrail_policy_from_env(), GuardrailPolicy::kAbort);
+  setenv("TME_GUARDRAIL", "recover", 1);
+  EXPECT_EQ(guardrail_policy_from_env(), GuardrailPolicy::kRecover);
+  setenv("TME_GUARDRAIL", "warn", 1);
+  EXPECT_EQ(guardrail_policy_from_env(GuardrailPolicy::kAbort),
+            GuardrailPolicy::kWarn);
+  setenv("TME_GUARDRAIL", "bogus", 1);
+  EXPECT_EQ(guardrail_policy_from_env(GuardrailPolicy::kRecover),
+            GuardrailPolicy::kRecover);
+  unsetenv("TME_GUARDRAIL");
+  EXPECT_EQ(guardrail_policy_from_env(), GuardrailPolicy::kWarn);
+}
+
+TEST(Guardrail, FlagsNonFiniteStateAndForceBlowups) {
+  ParticleSystem sys = random_state(8, 12);
+  Guardrail guard{GuardrailConfig{}};
+  StepReport report{};
+  EXPECT_TRUE(guard.check(sys, report, 1).empty());
+
+  sys.forces[3].y = std::numeric_limits<double>::quiet_NaN();
+  sys.positions[1].x = std::numeric_limits<double>::infinity();
+  const auto bad = guard.check(sys, report, 2);
+  EXPECT_EQ(bad.size(), 2u);
+  EXPECT_EQ(guard.violations().size(), 2u);
+
+  ParticleSystem blowup = random_state(8, 13);
+  blowup.forces[0] = {1e9, 0.0, 0.0};
+  Guardrail guard2{GuardrailConfig{}};
+  EXPECT_EQ(guard2.check(blowup, report, 1).size(), 1u);
+}
+
+TEST(Guardrail, FlagsFixedPointOverflow) {
+  ParticleSystem sys = random_state(8, 14);
+  GuardrailConfig cfg;
+  cfg.check_fixed_overflow = true;
+  cfg.fixed_format = FixedFormat{16, 8};  // tiny: max ~127.996
+  sys.forces[2] = {500.0, 0.0, 0.0};      // fits the default max_force, not Q8.8
+  Guardrail guard{cfg};
+  const auto bad = guard.check(sys, StepReport{}, 1);
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_NE(bad[0].what.find("saturate"), std::string::npos);
+}
+
+TEST(Guardrail, FlagsEnergyDrift) {
+  const ParticleSystem sys = random_state(8, 15);
+  GuardrailConfig cfg;
+  cfg.energy_drift_tol = 0.01;
+  Guardrail guard{cfg};
+  StepReport report{};
+  report.kinetic = 100.0;
+  EXPECT_TRUE(guard.check(sys, report, 1).empty());  // establishes reference
+  report.kinetic = 100.5;
+  EXPECT_TRUE(guard.check(sys, report, 2).empty());  // within 1%
+  report.kinetic = 110.0;
+  EXPECT_EQ(guard.check(sys, report, 3).size(), 1u);  // 10% drift
+}
+
+// --- guarded run driver ------------------------------------------------------
+
+TEST(GuardedRun, HealthyRunCompletesAndCheckpoints) {
+  MdSetup md = make_md();
+  GuardedRunParams params;
+  params.checkpoint_path = ::testing::TempDir() + "guarded-healthy.ckpt";
+  params.checkpoint_interval = 2;
+  const GuardedRunResult result =
+      run_guarded(md.wb.system, md.wb.topology, md.ff, md.integrator, 6, params);
+  EXPECT_EQ(result.steps_completed, 6u);
+  EXPECT_EQ(result.recoveries, 0);
+  EXPECT_FALSE(result.aborted);
+  EXPECT_EQ(result.violation_count, 0u);
+  const Checkpoint last = read_checkpoint(params.checkpoint_path);
+  EXPECT_EQ(last.step, 6u);
+  std::remove(params.checkpoint_path.c_str());
+}
+
+TEST(GuardedRun, AbortPolicyStopsOnInjectedNan) {
+  MdSetup md = make_md();
+  GuardedRunParams params;
+  params.guardrail.policy = GuardrailPolicy::kAbort;
+  params.fault_hook = [](std::uint64_t step, ParticleSystem& sys) {
+    if (step == 4) {
+      sys.velocities[0].x = std::numeric_limits<double>::quiet_NaN();
+    }
+  };
+  const GuardedRunResult result =
+      run_guarded(md.wb.system, md.wb.topology, md.ff, md.integrator, 10, params);
+  EXPECT_TRUE(result.aborted);
+  EXPECT_EQ(result.steps_completed, 3u);
+  EXPECT_GT(result.violation_count, 0u);
+}
+
+TEST(GuardedRun, RecoverPolicyRollsBackToCheckpointAndFinishes) {
+  MdSetup md = make_md();
+  GuardedRunParams params;
+  params.guardrail.policy = GuardrailPolicy::kRecover;
+  params.checkpoint_path = ::testing::TempDir() + "guarded-recover.ckpt";
+  params.checkpoint_interval = 2;
+  bool injected = false;
+  params.fault_hook = [&injected](std::uint64_t step, ParticleSystem& sys) {
+    if (step == 5 && !injected) {
+      injected = true;  // transient fault: one corrupted force evaluation
+      sys.positions[2].z = std::numeric_limits<double>::quiet_NaN();
+    }
+  };
+  const GuardedRunResult result =
+      run_guarded(md.wb.system, md.wb.topology, md.ff, md.integrator, 8, params);
+  EXPECT_FALSE(result.aborted);
+  EXPECT_EQ(result.steps_completed, 8u);
+  EXPECT_EQ(result.recoveries, 1);
+  EXPECT_GT(result.violation_count, 0u);
+  std::remove(params.checkpoint_path.c_str());
+
+  // The recovered trajectory matches an undisturbed one bitwise: the
+  // rollback restored the exact step-4 state.
+  MdSetup clean = make_md();
+  GuardedRunParams quiet;
+  const GuardedRunResult clean_result = run_guarded(
+      clean.wb.system, clean.wb.topology, clean.ff, clean.integrator, 8, quiet);
+  EXPECT_EQ(clean_result.steps_completed, 8u);
+  expect_bitwise_equal(md.wb.system, clean.wb.system);
+}
+
+TEST(GuardedRun, RecoverWithoutCheckpointPathAborts) {
+  MdSetup md = make_md();
+  GuardedRunParams params;
+  params.guardrail.policy = GuardrailPolicy::kRecover;  // but no path set
+  params.fault_hook = [](std::uint64_t step, ParticleSystem& sys) {
+    if (step == 2) sys.velocities[0].x = std::numeric_limits<double>::quiet_NaN();
+  };
+  const GuardedRunResult result =
+      run_guarded(md.wb.system, md.wb.topology, md.ff, md.integrator, 5, params);
+  EXPECT_TRUE(result.aborted);
+}
+
+TEST(GuardedRun, PersistentFaultExhaustsRecoveryBudget) {
+  MdSetup md = make_md();
+  GuardedRunParams params;
+  params.guardrail.policy = GuardrailPolicy::kRecover;
+  params.checkpoint_path = ::testing::TempDir() + "guarded-persistent.ckpt";
+  params.checkpoint_interval = 2;
+  params.max_recoveries = 2;
+  params.fault_hook = [](std::uint64_t step, ParticleSystem& sys) {
+    // Deterministic fault that reappears after every rollback.
+    if (step == 3) sys.forces[0].x = std::numeric_limits<double>::quiet_NaN();
+  };
+  const GuardedRunResult result =
+      run_guarded(md.wb.system, md.wb.topology, md.ff, md.integrator, 6, params);
+  EXPECT_TRUE(result.aborted);
+  EXPECT_EQ(result.recoveries, 2);
+  std::remove(params.checkpoint_path.c_str());
+}
+
+}  // namespace
+}  // namespace tme
