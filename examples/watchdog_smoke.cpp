@@ -1,0 +1,43 @@
+// Watchdog smoke test for CI: proves that a hung run dies with exit code
+// 124 instead of stalling the build, and that a healthy run is untouched.
+//
+//   watchdog_smoke hang    — arms a fatal 0.2 s watchdog, then sleeps
+//                            forever; the watchdog must _Exit(124).
+//   watchdog_smoke healthy — pets a fatal watchdog through a short loop of
+//                            simulated work and exits 0.
+//
+// The CI watchdog-smoke job runs both and asserts the exit codes.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "util/watchdog.hpp"
+
+int main(int argc, char** argv) {
+  const char* mode = argc > 1 ? argv[1] : "healthy";
+
+  if (std::strcmp(mode, "hang") == 0) {
+    tme::Watchdog wd(0.2, [] { std::fprintf(stderr, "stalled in 'hang' mode\n"); },
+                     /*fatal=*/true);
+    // Simulated deadlock: never pet again.  The watchdog must end the
+    // process with code 124; reaching the return below is the failure.
+    std::this_thread::sleep_for(std::chrono::seconds(30));
+    std::fprintf(stderr, "watchdog never fired\n");
+    return 1;
+  }
+
+  if (std::strcmp(mode, "healthy") == 0) {
+    tme::Watchdog wd(1.0, [] { std::fprintf(stderr, "spurious firing\n"); },
+                     /*fatal=*/true);
+    for (int i = 0; i < 20; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      wd.pet();
+    }
+    std::printf("healthy run completed\n");
+    return 0;
+  }
+
+  std::fprintf(stderr, "usage: %s hang|healthy\n", argv[0]);
+  return 2;
+}

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "util/logging.hpp"
 
 namespace tme::hw {
 
@@ -27,6 +28,18 @@ void EventSimulator::set_retry_limit(int limit) {
   retry_limit_ = limit;
 }
 
+void EventSimulator::set_heartbeat(
+    std::function<void(std::size_t, std::size_t, double)> cb) {
+  heartbeat_ = std::move(cb);
+}
+
+void EventSimulator::set_stall_horizon(double seconds) {
+  if (!(seconds > 0.0)) {
+    throw std::invalid_argument("EventSimulator: stall horizon must be > 0");
+  }
+  stall_horizon_ = seconds;
+}
+
 std::vector<ScheduledTask> EventSimulator::run() {
   const std::size_t n = tasks_.size();
   std::vector<ScheduledTask> schedule(n);
@@ -34,6 +47,7 @@ std::vector<ScheduledTask> EventSimulator::run() {
   std::map<int, double> resource_free;  // resource id -> time it frees up
   total_retries_ = 0;
   failed_tasks_ = 0;
+  stalled_ = false;
 
   // List scheduling: repeatedly pick the ready task with the earliest
   // possible start time (dependency-ready time, then resource availability).
@@ -68,6 +82,24 @@ std::vector<ScheduledTask> EventSimulator::run() {
       }
     }
     if (best == n) throw std::logic_error("EventSimulator: dependency cycle");
+    if (best_start > stall_horizon_) {
+      // The schedule ran away (e.g. a retry storm serialised on one
+      // resource): stop with a diagnostic instead of simulating forever.
+      log_error("EventSimulator: stall horizon ", stall_horizon_,
+                " s exceeded with ", n - completed,
+                " tasks unscheduled; first blocked task '", tasks_[best].name,
+                "' would start at ", best_start, " s");
+      for (TaskId t = 0; t < n; ++t) {
+        if (done[t]) continue;
+        schedule[t].spec = tasks_[t];
+        schedule[t].completed = false;
+        schedule[t].attempts = 0;
+        ++failed_tasks_;
+      }
+      stalled_ = true;
+      TME_COUNTER_ADD("hw/event_sim/stalls", 1);
+      break;
+    }
     // Bounded retry: replay the duration for every injected failure up to the
     // limit, then give up (the final attempt's result is what dependents get).
     const int failures = tasks_[best].failures;
@@ -89,6 +121,7 @@ std::vector<ScheduledTask> EventSimulator::run() {
     done[best] = true;
     ++completed;
     makespan_ = std::max(makespan_, schedule[best].end);
+    if (heartbeat_) heartbeat_(completed, n, makespan_);
   }
   // Per-unit busy time: the same numbers the timechart lanes render, exposed
   // through the metrics registry for machine-readable export.

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <limits>
 #include <string>
 #include <vector>
@@ -50,6 +51,22 @@ class EventSimulator {
   void set_retry_limit(int limit);
   int retry_limit() const { return retry_limit_; }
 
+  // Progress heartbeat: called after every scheduled task with
+  // (tasks_completed, tasks_total, simulated_time_so_far).  The guarded run
+  // drivers use it to pet their wall-clock watchdog, so a simulation that
+  // stops scheduling is indistinguishable from a hang and times out.
+  void set_heartbeat(std::function<void(std::size_t, std::size_t, double)> cb);
+
+  // Simulated-time horizon: a task whose start time would exceed this is
+  // never scheduled; run() stops, logs a diagnostic listing the blocked
+  // tasks, marks the remainder completed = false and sets stalled().  Guards
+  // against runaway retry storms inflating the schedule without bound.
+  // Default: no horizon.
+  void set_stall_horizon(double seconds);
+
+  // True when the last run() hit the stall horizon before completing.
+  bool stalled() const { return stalled_; }
+
   // Runs the list scheduler; returns the schedule sorted by task id.
   std::vector<ScheduledTask> run();
 
@@ -66,6 +83,9 @@ class EventSimulator {
   int retry_limit_ = 3;
   std::size_t total_retries_ = 0;
   std::size_t failed_tasks_ = 0;
+  std::function<void(std::size_t, std::size_t, double)> heartbeat_;
+  double stall_horizon_ = std::numeric_limits<double>::infinity();
+  bool stalled_ = false;
 };
 
 }  // namespace tme::hw

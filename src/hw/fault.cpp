@@ -1,44 +1,39 @@
 #include "hw/fault.hpp"
 
 #include <cmath>
-#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
-#include "util/logging.hpp"
+#include "util/env.hpp"
 
 namespace tme::hw {
 
 FaultConfig fault_config_from_env() {
   FaultConfig config;
-  if (const char* seed = std::getenv("TME_FAULT_SEED"); seed != nullptr && *seed != '\0') {
-    char* end = nullptr;
-    const unsigned long long v = std::strtoull(seed, &end, 10);
-    if (end == seed || *end != '\0') {
-      log_warn("TME_FAULT_SEED='", seed, "' is not an unsigned integer; keeping seed ",
-               config.seed);
-    } else {
-      config.seed = static_cast<std::uint64_t>(v);
-    }
-  }
-  if (const char* rate = std::getenv("TME_FAULT_LINK_ERROR_RATE");
-      rate != nullptr && *rate != '\0') {
-    char* end = nullptr;
-    const double v = std::strtod(rate, &end);
-    if (end == rate || *end != '\0' || !(v >= 0.0) || v > 1.0) {
-      log_warn("TME_FAULT_LINK_ERROR_RATE='", rate,
-               "' is not a probability in [0, 1]; keeping ", config.link_error_rate);
-    } else {
-      config.link_error_rate = v;
-    }
-  }
+  config.seed = env::u64_or("TME_FAULT_SEED", config.seed);
+  config.link_error_rate =
+      env::probability_or("TME_FAULT_LINK_ERROR_RATE", config.link_error_rate);
+  config.sdc_rate = env::probability_or("TME_FAULT_SDC_RATE", config.sdc_rate);
   return config;
+}
+
+const char* to_string(SdcSite site) {
+  switch (site) {
+    case SdcSite::kLruAccumulator: return "lru_accumulator";
+    case SdcSite::kGcuAccumulator: return "gcu_accumulator";
+    case SdcSite::kFpgaFft: return "fpga_fft";
+  }
+  return "?";
 }
 
 FaultInjector::FaultInjector(const FaultConfig& config)
     : config_(config), rng_(config.seed) {
   if (config_.link_error_rate < 0.0 || config_.link_error_rate > 1.0) {
     throw std::invalid_argument("FaultInjector: link_error_rate outside [0, 1]");
+  }
+  if (config_.sdc_rate < 0.0 || config_.sdc_rate > 1.0) {
+    throw std::invalid_argument("FaultInjector: sdc_rate outside [0, 1]");
   }
   if (config_.max_retries < 0) {
     throw std::invalid_argument("FaultInjector: negative max_retries");
@@ -76,6 +71,68 @@ void FaultInjector::kill_random_nodes(std::size_t count, std::size_t node_count)
 bool FaultInjector::link_dead(std::size_t a, std::size_t b) const {
   if (a > b) std::swap(a, b);
   return dead_links_.count({a, b}) != 0;
+}
+
+namespace {
+
+// Per-site injection counters, so a soak can see where the corruption
+// landed without parsing the event log.
+void count_sdc(SdcSite site) {
+  TME_COUNTER_ADD("hw/fault/sdc_injected", 1);
+  switch (site) {
+    case SdcSite::kLruAccumulator:
+      TME_COUNTER_ADD("hw/fault/sdc_lru", 1);
+      break;
+    case SdcSite::kGcuAccumulator:
+      TME_COUNTER_ADD("hw/fault/sdc_gcu", 1);
+      break;
+    case SdcSite::kFpgaFft:
+      TME_COUNTER_ADD("hw/fault/sdc_fpga", 1);
+      break;
+  }
+}
+
+}  // namespace
+
+std::int64_t FaultInjector::sdc_fixed(std::int64_t raw, int bits, SdcSite site,
+                                      double resolution) const {
+  if (!sdc_enabled() || rng_.uniform() >= config_.sdc_rate) return raw;
+  const int bit = static_cast<int>(rng_.next_u64() % static_cast<std::uint64_t>(bits));
+  const std::int64_t flipped = raw ^ (std::int64_t{1} << bit);
+  sdc_events_.push_back({site, bit, static_cast<double>(raw) * resolution,
+                         static_cast<double>(flipped) * resolution, sdc_stage_,
+                         sdc_index_});
+  count_sdc(site);
+  return flipped;
+}
+
+double FaultInjector::sdc_double(double value, SdcSite site) const {
+  if (!sdc_enabled() || rng_.uniform() >= config_.sdc_rate) return value;
+  // Mantissa-only flip: the upset lands in the accumulator register's
+  // fraction field, scaling the damage with the accumulated magnitude.
+  const int bit = static_cast<int>(rng_.next_u64() % 52);
+  std::uint64_t word;
+  std::memcpy(&word, &value, sizeof(word));
+  word ^= std::uint64_t{1} << bit;
+  double flipped;
+  std::memcpy(&flipped, &word, sizeof(flipped));
+  sdc_events_.push_back({site, bit, value, flipped, sdc_stage_, sdc_index_});
+  count_sdc(site);
+  return flipped;
+}
+
+float FaultInjector::sdc_float(float value, SdcSite site) const {
+  if (!sdc_enabled() || rng_.uniform() >= config_.sdc_rate) return value;
+  const int bit = static_cast<int>(rng_.next_u64() % 32);
+  std::uint32_t word;
+  std::memcpy(&word, &value, sizeof(word));
+  word ^= std::uint32_t{1} << bit;
+  float flipped;
+  std::memcpy(&flipped, &word, sizeof(flipped));
+  sdc_events_.push_back({site, bit, static_cast<double>(value),
+                         static_cast<double>(flipped), sdc_stage_, sdc_index_});
+  count_sdc(site);
+  return flipped;
 }
 
 bool FaultInjector::attempt_corrupted(std::size_t hops) const {

@@ -105,7 +105,9 @@ void real_pair_inverse(const PackedSpectra& spectra, float* line_a, float* line_
 }
 
 std::vector<float> fpga_top_level_convolve(const std::vector<float>& charges,
-                                           const std::vector<double>& green) {
+                                           const std::vector<double>& green,
+                                           FaultInjector* faults,
+                                           FpgaAbftProbe* probe) {
   constexpr std::size_t n = 16;
   if (charges.size() != n * n * n || green.size() != n * n * n) {
     throw std::invalid_argument("fpga_top_level_convolve: 16^3 data required");
@@ -116,6 +118,35 @@ std::vector<float> fpga_top_level_convolve(const std::vector<float>& charges,
   auto at = [&](std::size_t kx, std::size_t y, std::size_t z) -> CF& {
     return work[(z * n + y) * hx + kx];
   };
+  // SDC exposure of a spectrum word: the real and imaginary parts are two
+  // single-precision datapath words on the FPGA, so each gets its own draw.
+  const bool sdc = faults != nullptr && faults->sdc_enabled();
+  auto corrupt = [&](CF& w) {
+    if (!sdc) return;
+    w = {faults->sdc_float(w.real(), SdcSite::kFpgaFft),
+         faults->sdc_float(w.imag(), SdcSite::kFpgaFft)};
+  };
+  // Hermitian-unfolded spectrum energy: interior kx planes stand for their
+  // conjugate mirrors too, so they count twice.
+  auto spectrum_energy = [&] {
+    double e = 0.0;
+    for (std::size_t kz = 0; kz < n; ++kz) {
+      for (std::size_t ky = 0; ky < n; ++ky) {
+        for (std::size_t kx = 0; kx < hx; ++kx) {
+          const double w = (kx == 0 || kx == 8) ? 1.0 : 2.0;
+          e += w * std::norm(at(kx, ky, kz));
+        }
+      }
+    }
+    return e / static_cast<double>(n * n * n);
+  };
+
+  if (probe != nullptr) {
+    probe->input_energy = 0.0;
+    for (const float c : charges) {
+      probe->input_energy += static_cast<double>(c) * static_cast<double>(c);
+    }
+  }
 
   // Forward x through the real-pair packing (two lines per CFFT16 call).
   for (std::size_t z = 0; z < n; ++z) {
@@ -129,6 +160,8 @@ std::vector<float> fpga_top_level_convolve(const std::vector<float>& charges,
       for (std::size_t kx = 0; kx < hx; ++kx) {
         at(kx, y, z) = s.a[kx];
         at(kx, y + 1, z) = s.b[kx];
+        corrupt(at(kx, y, z));
+        corrupt(at(kx, y + 1, z));
       }
     }
   }
@@ -138,7 +171,10 @@ std::vector<float> fpga_top_level_convolve(const std::vector<float>& charges,
       CF line[16];
       for (std::size_t y = 0; y < n; ++y) line[y] = at(kx, y, z);
       cfft16(line, false);
-      for (std::size_t y = 0; y < n; ++y) at(kx, y, z) = line[y];
+      for (std::size_t y = 0; y < n; ++y) {
+        at(kx, y, z) = line[y];
+        corrupt(at(kx, y, z));
+      }
     }
   }
   for (std::size_t ky = 0; ky < n; ++ky) {
@@ -146,9 +182,13 @@ std::vector<float> fpga_top_level_convolve(const std::vector<float>& charges,
       CF line[16];
       for (std::size_t z = 0; z < n; ++z) line[z] = at(kx, ky, z);
       cfft16(line, false);
-      for (std::size_t z = 0; z < n; ++z) at(kx, ky, z) = line[z];
+      for (std::size_t z = 0; z < n; ++z) {
+        at(kx, ky, z) = line[z];
+        corrupt(at(kx, ky, z));
+      }
     }
   }
+  if (probe != nullptr) probe->forward_energy = spectrum_energy();
   // Green multiply (folded into the post/preprocess units on the FPGA).
   for (std::size_t kz = 0; kz < n; ++kz) {
     for (std::size_t ky = 0; ky < n; ++ky) {
@@ -157,13 +197,17 @@ std::vector<float> fpga_top_level_convolve(const std::vector<float>& charges,
       }
     }
   }
+  if (probe != nullptr) probe->green_energy = spectrum_energy();
   // Inverse z, inverse y.
   for (std::size_t ky = 0; ky < n; ++ky) {
     for (std::size_t kx = 0; kx < hx; ++kx) {
       CF line[16];
       for (std::size_t z = 0; z < n; ++z) line[z] = at(kx, ky, z);
       cfft16(line, true);
-      for (std::size_t z = 0; z < n; ++z) at(kx, ky, z) = line[z];
+      for (std::size_t z = 0; z < n; ++z) {
+        at(kx, ky, z) = line[z];
+        corrupt(at(kx, ky, z));
+      }
     }
   }
   for (std::size_t z = 0; z < n; ++z) {
@@ -171,7 +215,10 @@ std::vector<float> fpga_top_level_convolve(const std::vector<float>& charges,
       CF line[16];
       for (std::size_t y = 0; y < n; ++y) line[y] = at(kx, y, z);
       cfft16(line, true);
-      for (std::size_t y = 0; y < n; ++y) at(kx, y, z) = line[y];
+      for (std::size_t y = 0; y < n; ++y) {
+        at(kx, y, z) = line[y];
+        corrupt(at(kx, y, z));
+      }
     }
   }
   // Inverse x through the packing trick, two real lines at a time.
@@ -182,6 +229,10 @@ std::vector<float> fpga_top_level_convolve(const std::vector<float>& charges,
       for (std::size_t kx = 0; kx < hx; ++kx) {
         s.a[kx] = at(kx, y, z);
         s.b[kx] = at(kx, y + 1, z);
+        // Last chance for a spectrum-side flip: past here the data is the
+        // output itself and an energy check could no longer see it.
+        corrupt(s.a[kx]);
+        corrupt(s.b[kx]);
       }
       float line_a[16], line_b[16];
       real_pair_inverse(s, line_a, line_b);
@@ -189,6 +240,12 @@ std::vector<float> fpga_top_level_convolve(const std::vector<float>& charges,
         out[(z * n + y) * n + x] = line_a[x];
         out[(z * n + y + 1) * n + x] = line_b[x];
       }
+    }
+  }
+  if (probe != nullptr) {
+    probe->output_energy = 0.0;
+    for (const float v : out) {
+      probe->output_energy += static_cast<double>(v) * static_cast<double>(v);
     }
   }
   return out;

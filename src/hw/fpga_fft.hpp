@@ -18,6 +18,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "hw/fault.hpp"
+
 namespace tme::hw {
 
 // In-place 16-point complex FFT (radix-4, two stages), single precision.
@@ -38,11 +40,31 @@ PackedSpectra real_pair_forward(const float* line_a, const float* line_b);
 // spectra.
 void real_pair_inverse(const PackedSpectra& spectra, float* line_a, float* line_b);
 
+// ABFT energy probe for the engine: Parseval's theorem ties the grid-domain
+// energy to the spectrum-domain energy on both sides of the Green multiply,
+//   sum_i x_i^2 = (1/N) sum_k |X_k|^2            (forward side)
+//   (1/N) sum_k |G_k X_k|^2 = sum_i y_i^2        (inverse side)
+// with the half-spectrum Hermitian-unfolded (kx = 1..7 weighted twice).  A
+// bit flip in any FFT pass lands between exactly one of the two capture
+// pairs, so the mismatched side localises the fault to forward or inverse.
+struct FpgaAbftProbe {
+  double input_energy = 0.0;    // sum x^2 over the 16^3 input grid
+  double forward_energy = 0.0;  // (1/N) sum |X|^2 after the forward passes
+  double green_energy = 0.0;    // (1/N) sum |G X|^2 after the Green multiply
+  double output_energy = 0.0;   // sum y^2 over the output grid
+};
+
 // The full top-level solve on a 16^3 grid: forward 3D FFT, Green multiply,
 // inverse 3D FFT, all in single precision.  `green` is the (real) influence
-// function in the same layout as ewald/greens_function.
+// function in the same layout as ewald/greens_function.  A non-null `faults`
+// with sdc_rate > 0 exposes every spectrum word written by the FFT passes to
+// a seeded full-word bit flip (SdcSite::kFpgaFft; the Green multiply itself
+// is not an injection site).  A non-null `probe` captures the four Parseval
+// energies above.
 std::vector<float> fpga_top_level_convolve(const std::vector<float>& charges,
-                                           const std::vector<double>& green);
+                                           const std::vector<double>& green,
+                                           FaultInjector* faults = nullptr,
+                                           FpgaAbftProbe* probe = nullptr);
 
 // First-principles cycle estimate of the engine (paper: 330 cycles at
 // 156.25 MHz = 2.112 us): line FFTs through 4 CFFT16 units, pipelined with

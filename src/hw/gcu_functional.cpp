@@ -38,7 +38,8 @@ GcuFunctionalUnit::GcuFunctionalUnit(std::array<std::size_t, 3> origin,
 }
 
 std::size_t GcuFunctionalUnit::process_block(const GcuBlock& block,
-                                             const Kernel1d& kernel, int axis) {
+                                             const Kernel1d& kernel, int axis,
+                                             FaultInjector* faults) {
   const int gc = kernel.cutoff;
   const std::size_t level_axis =
       axis == 0 ? level_.nx : (axis == 1 ? level_.ny : level_.nz);
@@ -88,6 +89,9 @@ std::size_t GcuFunctionalUnit::process_block(const GcuBlock& block,
           }
           acc += h * kernel.tap(static_cast<int>(tap_index));
         }
+        if (faults != nullptr && faults->sdc_enabled()) {
+          acc = faults->sdc_double(acc, SdcSite::kGcuAccumulator);
+        }
         memory_.at(ox - origin_[0], oy - origin_[1], oz - origin_[2]) += acc;
         ++evals;
       }
@@ -97,7 +101,8 @@ std::size_t GcuFunctionalUnit::process_block(const GcuBlock& block,
 }
 
 Grid3d gcu_functional_axis_pass(const Grid3d& in, const Kernel1d& kernel,
-                                int axis, GridDims local, std::size_t* evals) {
+                                int axis, GridDims local, std::size_t* evals,
+                                FaultInjector* faults) {
   const GridDims& level = in.dims();
   if (level.nx % local.nx != 0 || level.ny % local.ny != 0 ||
       level.nz % local.nz != 0) {
@@ -119,7 +124,7 @@ Grid3d gcu_functional_axis_pass(const Grid3d& in, const Kernel1d& kernel,
   const std::vector<GcuBlock> blocks = blocks_of(in);
   for (GcuFunctionalUnit& unit : units) {
     for (const GcuBlock& blk : blocks) {
-      total_evals += unit.process_block(blk, kernel, axis);
+      total_evals += unit.process_block(blk, kernel, axis, faults);
     }
   }
   if (evals != nullptr) *evals = total_evals;

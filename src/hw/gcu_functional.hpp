@@ -21,6 +21,7 @@
 
 #include "grid/grid3d.hpp"
 #include "grid/separable_conv.hpp"
+#include "hw/fault.hpp"
 
 namespace tme::hw {
 
@@ -48,9 +49,12 @@ class GcuFunctionalUnit {
   // Processes one incoming block against a 1D kernel along `axis`
   // (0 = x, 1 = y, 2 = z), accumulating into the local grid memory.
   // Returns the grid-point evaluations spent on owned points (the unit of
-  // the timing model's throughput).
+  // the timing model's throughput).  A non-null `faults` with sdc_rate > 0
+  // exposes every row accumulator to a seeded mantissa bit flip
+  // (SdcSite::kGcuAccumulator) — caught by the per-line convolution
+  // checksums in core/abft.
   std::size_t process_block(const GcuBlock& block, const Kernel1d& kernel,
-                            int axis);
+                            int axis, FaultInjector* faults = nullptr);
 
   const Grid3d& memory() const { return memory_; }
   void clear() { memory_.fill(0.0); }
@@ -67,6 +71,7 @@ class GcuFunctionalUnit {
 // `evals` (optional) returns the total grid-point evaluations consumed.
 Grid3d gcu_functional_axis_pass(const Grid3d& in, const Kernel1d& kernel,
                                 int axis, GridDims local,
-                                std::size_t* evals = nullptr);
+                                std::size_t* evals = nullptr,
+                                FaultInjector* faults = nullptr);
 
 }  // namespace tme::hw

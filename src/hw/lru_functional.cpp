@@ -34,7 +34,7 @@ long lru_spline_weights(double u, std::span<double> values,
 Grid3d lru_charge_assign(const Box& box, GridDims dims,
                          std::span<const Vec3> positions,
                          std::span<const double> charges,
-                         const LruFixedFormats& fmt) {
+                         const LruFixedFormats& fmt, FaultInjector* faults) {
   if (positions.size() != charges.size()) {
     throw std::invalid_argument("lru_charge_assign: size mismatch");
   }
@@ -45,6 +45,8 @@ Grid3d lru_charge_assign(const Box& box, GridDims dims,
   // Grid memory in raw 32-bit words (the GM's accumulate-on-write mode).
   std::vector<std::int64_t> raw(dims.total(), 0);
   const FixedFormat grid_fmt{32, fmt.charge_frac_bits};
+  const bool sdc = faults != nullptr && faults->sdc_enabled();
+  const double resolution = std::ldexp(1.0, -fmt.charge_frac_bits);
 
   std::vector<double> wx(6), wy(6), wz(6);
   for (std::size_t i = 0; i < positions.size(); ++i) {
@@ -64,7 +66,12 @@ Grid3d lru_charge_assign(const Box& box, GridDims dims,
           const double contrib = charges[i] * wx[static_cast<std::size_t>(kx)] *
                                  wy[static_cast<std::size_t>(ky)] *
                                  wz[static_cast<std::size_t>(kz)];
-          raw[(iz * dims.ny + iy) * dims.nx + ix] += quantize(contrib, grid_fmt);
+          std::int64_t& word = raw[(iz * dims.ny + iy) * dims.nx + ix];
+          word += quantize(contrib, grid_fmt);
+          if (sdc) {
+            word = faults->sdc_fixed(word, 32, SdcSite::kLruAccumulator,
+                                     resolution);
+          }
         }
       }
     }
@@ -78,7 +85,7 @@ double lru_back_interpolate(const Box& box, const Grid3d& potential,
                             std::span<const Vec3> positions,
                             std::span<const double> charges,
                             std::vector<Vec3>& forces,
-                            const LruFixedFormats& fmt) {
+                            const LruFixedFormats& fmt, FaultInjector* faults) {
   if (positions.size() != charges.size() || forces.size() != positions.size()) {
     throw std::invalid_argument("lru_back_interpolate: size mismatch");
   }
@@ -122,7 +129,11 @@ double lru_back_interpolate(const Box& box, const Grid3d& potential,
       }
     }
     // Per-atom potential at 32-bit fixed point; total at 64 bits.
-    const std::int64_t phi_raw = quantize(phi, grid_fmt);
+    std::int64_t phi_raw = quantize(phi, grid_fmt);
+    if (faults != nullptr && faults->sdc_enabled()) {
+      phi_raw = faults->sdc_fixed(phi_raw, 32, SdcSite::kLruAccumulator,
+                                  std::ldexp(1.0, -fmt.potential_frac_bits));
+    }
     total_raw += quantize(charges[i] * dequantize(phi_raw, grid_fmt), grid_fmt);
     // Force accumulation at 32-bit fixed point with a tunable binary point.
     const Vec3 f{-charges[i] * grad.x / h.x, -charges[i] * grad.y / h.y,

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "grid/grid3d.hpp"
+#include "hw/fault.hpp"
 #include "util/vec3.hpp"
 
 namespace tme::hw {
@@ -34,19 +35,25 @@ long lru_spline_weights(double u, std::span<double> values,
                         std::span<double> derivs, const LruFixedFormats& fmt);
 
 // CA mode: scatter charges onto a fresh grid through the fixed-point
-// tensor-multiplier path.
+// tensor-multiplier path.  A non-null `faults` with sdc_rate > 0 exposes
+// every 32-bit grid-word accumulation to a seeded bit-flip draw
+// (SdcSite::kLruAccumulator) — the corruption the total-charge ABFT
+// invariant exists to catch.
 Grid3d lru_charge_assign(const Box& box, GridDims dims,
                          std::span<const Vec3> positions,
                          std::span<const double> charges,
-                         const LruFixedFormats& fmt = {});
+                         const LruFixedFormats& fmt = {},
+                         FaultInjector* faults = nullptr);
 
 // BI mode: per-atom potential and force through the fixed-point
 // convolution/accumulation path.  Returns sum_i q_i phi_i accumulated at
-// 64-bit fixed point.
+// 64-bit fixed point.  `faults` exposes each per-atom potential word to the
+// same SDC draw as CA mode.
 double lru_back_interpolate(const Box& box, const Grid3d& potential,
                             std::span<const Vec3> positions,
                             std::span<const double> charges,
                             std::vector<Vec3>& forces,
-                            const LruFixedFormats& fmt = {});
+                            const LruFixedFormats& fmt = {},
+                            FaultInjector* faults = nullptr);
 
 }  // namespace tme::hw

@@ -1,0 +1,299 @@
+#include "hw/sdc_guard.hpp"
+
+#include <cmath>
+#include <cstddef>
+
+#include "ewald/greens_function.hpp"
+#include "grid/transfer.hpp"
+#include "hw/fpga_fft.hpp"
+#include "hw/gcu_functional.hpp"
+#include "obs/metrics.hpp"
+#include "util/constants.hpp"
+
+namespace tme::hw {
+
+namespace {
+
+constexpr double kEpsDouble = 0x1p-52;
+constexpr double kEpsFloat = 0x1p-23;
+
+double sum_abs(const Grid3d& g) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < g.size(); ++i) s += std::abs(g[i]);
+  return s;
+}
+
+double tap_abs_sum(const Kernel1d& k) {
+  double s = 0.0;
+  for (const double t : k.taps) s += std::abs(t);
+  return s;
+}
+
+}  // namespace
+
+const char* to_string(GuardedStage stage) {
+  switch (stage) {
+    case GuardedStage::kChargeAssign: return "charge_assign";
+    case GuardedStage::kRestriction: return "restriction";
+    case GuardedStage::kTopSolve: return "top_solve";
+    case GuardedStage::kProlongation: return "prolongation";
+    case GuardedStage::kConvolution: return "convolution";
+    case GuardedStage::kBackInterpolate: return "back_interpolate";
+  }
+  return "?";
+}
+
+GuardedTmePipeline::GuardedTmePipeline(const Box& box, const TmeParams& params,
+                                       GuardedTmeConfig config,
+                                       FaultInjector* faults)
+    : box_(box), config_(config), faults_(faults), tme_(box, params) {
+  const GridDims top = tme_.level_dims(params.levels + 1);
+  if (params.top_level_mode == TopLevelMode::kSpme && top.nx == 16 &&
+      top.ny == 16 && top.nz == 16) {
+    // The FPGA engine handles exactly this geometry; other tops fall back to
+    // the library SPME solve (zero-mean check only, no Parseval probe).
+    top_influence_ = spme_influence(
+        box, top, params.order, params.alpha / std::ldexp(1.0, params.levels));
+  }
+}
+
+bool GuardedTmePipeline::guarded_stage(
+    GuardedStage stage, int index, const std::function<void()>& stage_fn,
+    const std::function<bool(abft::CheckSet&)>& verify, abft::CheckSet& checks,
+    GuardedTmeReport& report) const {
+  if (faults_ != nullptr) {
+    faults_->set_sdc_context(static_cast<int>(stage), index);
+  }
+  stage_fn();
+  if (!config_.checks_enabled) return true;
+  if (verify(checks)) return true;
+  if (on_violation_) on_violation_(stage, index);
+  for (int retry = 0; retry < config_.max_stage_recomputes; ++retry) {
+    // The upset is transient: suspend injection and re-execute just this
+    // stage — the retry is bitwise identical to a fault-free evaluation.
+    SdcSuspend suspend(faults_);
+    stage_fn();
+    if (verify(checks)) {
+      ++report.stage_recomputes;
+      TME_COUNTER_ADD("abft/stage_recomputes", 1);
+      return true;
+    }
+    if (on_violation_) on_violation_(stage, index);
+  }
+  report.recovered = false;
+  TME_COUNTER_ADD("abft/unrecovered_stages", 1);
+  return false;
+}
+
+Grid3d GuardedTmePipeline::axis_pass(const Grid3d& in, const Kernel1d& kernel,
+                                     int axis) const {
+  const GridDims& d = in.dims();
+  const std::size_t along = axis == 0 ? d.nx : (axis == 1 ? d.ny : d.nz);
+  const bool gcu_fits = d.nx % 4 == 0 && d.ny % 4 == 0 && d.nz % 4 == 0 &&
+                        static_cast<std::size_t>(2 * kernel.cutoff + 4) <= along;
+  if (gcu_fits) {
+    return gcu_functional_axis_pass(in, kernel, axis, d, nullptr, faults_);
+  }
+  // Kernel reach wraps the level period: the library path (which the
+  // machine's wide-kernel fallback mirrors) — not an SDC injection site.
+  Grid3d out(d);
+  convolve_axis(in, kernel, static_cast<ConvAxis>(axis), out);
+  return out;
+}
+
+CoulombResult GuardedTmePipeline::compute(std::span<const Vec3> positions,
+                                          std::span<const double> charges,
+                                          GuardedTmeReport* report) const {
+  TME_PHASE("guarded_tme");
+  const TmeParams& params = tme_.params();
+  const int levels = params.levels;
+  const int p = params.order;
+
+  GuardedTmeReport scratch;
+  GuardedTmeReport& rep = report != nullptr ? *report : scratch;
+  rep = GuardedTmeReport{};
+  abft::CheckSet checks(config_.tolerance_scale);
+
+  CoulombResult out;
+  out.forces.assign(positions.size(), Vec3{});
+
+  double q_sum = 0.0, q_abs = 0.0;
+  for (const double q : charges) {
+    q_sum += q;
+    q_abs += std::abs(q);
+  }
+
+  // Stage 0: charge assignment through the LRU fixed-point datapath.  The
+  // order-p B-spline weights sum to 1 per axis, so the grid total must equal
+  // the total charge to within the accumulated quantisation error.
+  Grid3d q_grid;
+  const std::size_t ca_ops = positions.size() * static_cast<std::size_t>(p * p * p);
+  guarded_stage(
+      GuardedStage::kChargeAssign, -1,
+      [&] {
+        q_grid = lru_charge_assign(box_, params.grid, positions, charges,
+                                   config_.lru_formats, faults_);
+      },
+      [&](abft::CheckSet& c) {
+        return c.check("charge_total", q_sum, abft::grid_total(q_grid),
+                       abft::fixed_tolerance(ca_ops,
+                                             config_.lru_formats.charge_frac_bits));
+      },
+      checks, rep);
+
+  // Downward pass: each restriction preserves the grid total exactly (the
+  // even and odd halves of the two-scale coefficients both sum to 1).
+  std::vector<Grid3d> q(static_cast<std::size_t>(levels) + 1);
+  q[0] = std::move(q_grid);
+  for (int l = 1; l <= levels; ++l) {
+    const Grid3d& fine = q[static_cast<std::size_t>(l - 1)];
+    Grid3d& coarse = q[static_cast<std::size_t>(l)];
+    const double fine_total = abft::grid_total(fine);
+    const double tol =
+        abft::rounding_tolerance(fine.size(), sum_abs(fine), kEpsDouble);
+    guarded_stage(
+        GuardedStage::kRestriction, l + 1,
+        [&] { coarse = restrict_grid(fine, p); },
+        [&](abft::CheckSet& c) {
+          return c.check("restrict_total", fine_total, abft::grid_total(coarse),
+                         tol, l + 1);
+        },
+        checks, rep);
+  }
+
+  // Stage 2: top-level solve.  The k = 0 influence is zero (tinfoil), so the
+  // output grid has zero mean; the FPGA path additionally checks Parseval on
+  // both sides of the Green multiply.
+  Grid3d phi;
+  const Grid3d& q_top = q[static_cast<std::size_t>(levels)];
+  if (!top_influence_.empty()) {
+    FpgaAbftProbe probe;
+    guarded_stage(
+        GuardedStage::kTopSolve, -1,
+        [&] {
+          std::vector<float> cf(q_top.size());
+          for (std::size_t i = 0; i < cf.size(); ++i) {
+            cf[i] = static_cast<float>(q_top[i]);
+          }
+          const std::vector<float> pf =
+              fpga_top_level_convolve(cf, top_influence_, faults_, &probe);
+          phi = Grid3d(q_top.dims());
+          for (std::size_t i = 0; i < pf.size(); ++i) {
+            phi[i] = static_cast<double>(pf[i]);
+          }
+        },
+        [&](abft::CheckSet& c) {
+          const auto n = static_cast<std::size_t>(q_top.size());
+          bool ok = c.check(
+              "fpga_parseval_forward", probe.input_energy, probe.forward_energy,
+              abft::rounding_tolerance(n, probe.input_energy, kEpsFloat), 0);
+          ok &= c.check(
+              "fpga_parseval_inverse", probe.green_energy, probe.output_energy,
+              abft::rounding_tolerance(n, probe.green_energy, kEpsFloat), 1);
+          ok &= c.check("top_zero_mean", 0.0, abft::grid_total(phi),
+                        abft::rounding_tolerance(n, phi.max_abs(), kEpsFloat));
+          return ok;
+        },
+        checks, rep);
+  } else {
+    guarded_stage(
+        GuardedStage::kTopSolve, -1,
+        [&] { phi = tme_.top_level().solve_potential(q_top); },
+        [&](abft::CheckSet& c) {
+          return c.check("top_zero_mean", 0.0, abft::grid_total(phi),
+                         abft::rounding_tolerance(phi.size(), phi.max_abs(),
+                                                  kEpsDouble));
+        },
+        checks, rep);
+  }
+
+  // Upward pass: prolongation scales the total by exactly 8 (two-scale
+  // coefficients sum to 2 per axis); each GCU axis pass satisfies the
+  // Huang–Abraham per-line checksum, which localises a flip to one line of
+  // one axis of one term of one level — the unit the recompute re-runs.
+  for (int l = levels; l >= 1; --l) {
+    Grid3d level_phi;
+    const double phi_total = abft::grid_total(phi);
+    const double prolong_tol =
+        abft::rounding_tolerance(8 * phi.size(), sum_abs(phi), kEpsDouble);
+    guarded_stage(
+        GuardedStage::kProlongation, l,
+        [&] { level_phi = prolong_grid(phi, p); },
+        [&](abft::CheckSet& c) {
+          return c.check("prolong_total", 8.0 * phi_total,
+                         abft::grid_total(level_phi), prolong_tol, l);
+        },
+        checks, rep);
+
+    const std::vector<SeparableTerm>& terms = tme_.level_kernels(l);
+    const double scale = constants::kCoulomb / std::ldexp(1.0, l - 1);
+    const Grid3d& src = q[static_cast<std::size_t>(l - 1)];
+    for (std::size_t t = 0; t < terms.size(); ++t) {
+      Grid3d cur = src;
+      for (int axis = 0; axis < 3; ++axis) {
+        const Kernel1d& k = axis == 0   ? terms[t].kx
+                            : axis == 1 ? terms[t].ky
+                                        : terms[t].kz;
+        const Grid3d in = std::move(cur);
+        const GridDims& d = in.dims();
+        const std::size_t along =
+            axis == 0 ? d.nx : (axis == 1 ? d.ny : d.nz);
+        const double line_tol = abft::rounding_tolerance(
+            along * static_cast<std::size_t>(2 * k.cutoff + 1),
+            in.max_abs() * tap_abs_sum(k), kEpsDouble);
+        const int idx = l * 100 + static_cast<int>(t) * 10 + axis;
+        guarded_stage(
+            GuardedStage::kConvolution, idx,
+            [&] { cur = axis_pass(in, k, axis); },
+            [&](abft::CheckSet& c) {
+              return abft::check_conv_axis_lines(in, cur, k, axis, line_tol,
+                                                 c) == 0;
+            },
+            checks, rep);
+      }
+      for (std::size_t i = 0; i < level_phi.size(); ++i) {
+        level_phi[i] += scale * cur[i];
+      }
+    }
+    phi = std::move(level_phi);
+  }
+
+  // Stage 5: back interpolation through the LRU.  No conservation law ties
+  // the per-atom sums to a precomputed checksum, so the invariant here is a
+  // sanity envelope: the energy accumulator is finite and bounded by
+  // max|phi| * sum|q| (B-spline weights are non-negative and sum to 1); the
+  // MD guardrail's force/energy checks are the downstream backstop.
+  double q_phi = 0.0;
+  guarded_stage(
+      GuardedStage::kBackInterpolate, -1,
+      [&] {
+        out.forces.assign(positions.size(), Vec3{});
+        q_phi = lru_back_interpolate(box_, phi, positions, charges, out.forces,
+                                     config_.lru_formats, faults_);
+      },
+      [&](abft::CheckSet& c) {
+        const double bound =
+            phi.max_abs() * q_abs +
+            abft::fixed_tolerance(positions.size(),
+                                  config_.lru_formats.potential_frac_bits);
+        const double excess = std::max(0.0, std::abs(q_phi) - bound);
+        return c.check("bi_energy_bound", 0.0, excess, 0.0);
+      },
+      checks, rep);
+
+  out.energy_reciprocal = 0.5 * q_phi;
+  if (params.subtract_self) {
+    double q2 = 0.0;
+    for (const double q_i : charges) q2 += q_i * q_i;
+    out.energy_self =
+        -constants::kCoulomb * params.alpha / std::sqrt(M_PI) * q2;
+  }
+  out.energy = out.energy_reciprocal + out.energy_self;
+
+  rep.checks_run = checks.checks_run();
+  rep.violations = checks.violations().size();
+  rep.details = checks.violations();
+  return out;
+}
+
+}  // namespace tme::hw

@@ -150,7 +150,32 @@ Checkpoint read_checkpoint(const std::string& path) {
 
   Checkpoint ckpt;
   ckpt.step = r.value<std::uint64_t>();
-  const auto n = static_cast<std::size_t>(r.value<std::uint64_t>());
+  const auto declared_n = r.value<std::uint64_t>();
+  // Defensive header validation: the declared particle count fixes the exact
+  // payload size, so verify it against the file length BEFORE sizing any
+  // allocation from it.  A forged or bit-rotted count that happens to carry
+  // a matching CRC must fail here, not in a multi-gigabyte resize.
+  constexpr std::uint64_t kPerParticleBytes =
+      3 * 3 * sizeof(double) + 2 * sizeof(double);  // 3 Vec3 arrays + 2 scalars
+  const std::uint64_t header_bytes = sizeof(kMagic) + sizeof(std::uint32_t) +
+                                     2 * sizeof(std::uint64_t) +
+                                     3 * sizeof(double);
+  if (payload < header_bytes) {
+    throw std::runtime_error("checkpoint: truncated file");
+  }
+  if (declared_n > (payload - header_bytes) / kPerParticleBytes) {
+    throw std::runtime_error(
+        "checkpoint: declared particle count " + std::to_string(declared_n) +
+        " exceeds file size");
+  }
+  const std::uint64_t expected = header_bytes + declared_n * kPerParticleBytes;
+  if (expected != payload) {
+    throw std::runtime_error(
+        "checkpoint: payload size " + std::to_string(payload) +
+        " does not match declared particle count (expected " +
+        std::to_string(expected) + ")");
+  }
+  const auto n = static_cast<std::size_t>(declared_n);
   ckpt.system.box.lengths.x = r.value<double>();
   ckpt.system.box.lengths.y = r.value<double>();
   ckpt.system.box.lengths.z = r.value<double>();

@@ -40,12 +40,24 @@ struct ShortRangeParams {
   CoulombKernel kernel = CoulombKernel::kAnalytic;
   double table_r_min = 0.1;           // nm
   std::size_t table_segments = 4096;
+
+  // Multiplies the Newton's-third-law (net-force) ABFT tolerance — the same
+  // loosening knob as GuardedTmeConfig::tolerance_scale, for reduced formats.
+  double abft_tolerance_scale = 1.0;
 };
 
 struct ShortRangeResult {
   double energy_coulomb = 0.0;  // kJ/mol (erfc part)
   double energy_lj = 0.0;       // kJ/mol
   std::size_t pair_count = 0;   // pairs inside the cutoff (after exclusions)
+
+  // Newton's-third-law ABFT check (filled by ShortRangeEngine).  Every pair
+  // accumulates +f on one particle and -f on the other, so the engine's own
+  // contribution sums to zero up to reduction rounding; an SDC flip in a
+  // force accumulator breaks the cancellation.
+  Vec3 net_force{};                  // engine's summed force contribution
+  double net_force_tolerance = 0.0;  // rounding envelope for that sum
+  bool third_law_ok = true;          // |net_force| within tolerance, per axis
 };
 
 // Serial reference evaluator.  Accumulates forces into system.forces (does

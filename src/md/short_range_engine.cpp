@@ -6,6 +6,7 @@
 #include <map>
 #include <vector>
 
+#include "core/abft.hpp"
 #include "ewald/splitting.hpp"
 #include "md/cell_list.hpp"
 #include "obs/metrics.hpp"
@@ -196,6 +197,35 @@ ShortRangeResult ShortRangeEngine::compute(ParticleSystem& system,
     out.energy_lj += partials[b].energy_lj;
     out.pair_count += partials[b].pairs;
   }
+
+  // Newton's-third-law ABFT check: the pair kernel writes +fij/-fij, so the
+  // engine's net contribution cancels exactly in real arithmetic.  The sum
+  // below reassociates 2·pairs accumulations plus the nb·n merge, so the
+  // residual must stay inside that chain's rounding envelope.
+  {
+    double fmax = 0.0;
+    for (std::size_t b = 0; b < nb; ++b) {
+      for (std::size_t k = 0; k < n; ++k) {
+        const Vec3& f = partials[b].forces[k];
+        out.net_force += f;
+        fmax = std::max({fmax, std::abs(f.x), std::abs(f.y), std::abs(f.z)});
+      }
+    }
+    out.net_force_tolerance =
+        abft::rounding_tolerance(2 * out.pair_count + nb * n, fmax, 0x1p-52);
+    abft::CheckSet checks(params_.abft_tolerance_scale);
+    const bool ok_x = checks.check("sr_net_force", 0.0, out.net_force.x,
+                                   out.net_force_tolerance, 0,
+                                   "short-range net force x");
+    const bool ok_y = checks.check("sr_net_force", 0.0, out.net_force.y,
+                                   out.net_force_tolerance, 1,
+                                   "short-range net force y");
+    const bool ok_z = checks.check("sr_net_force", 0.0, out.net_force.z,
+                                   out.net_force_tolerance, 2,
+                                   "short-range net force z");
+    out.third_law_ok = ok_x && ok_y && ok_z;
+  }
+
   TME_COUNTER_ADD("short_range/pairs", out.pair_count);
   TME_GAUGE_SET("short_range/batches", nb);
   return out;

@@ -1,0 +1,93 @@
+#include "par/health.hpp"
+
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "util/logging.hpp"
+
+namespace tme::par {
+
+HealthMonitor::HealthMonitor(const TorusTopology& topo, FaultInjector& faults,
+                             HealthConfig config)
+    : topo_(&topo),
+      faults_(&faults),
+      config_(config),
+      violations_(topo.node_count(), 0),
+      quarantined_(topo.node_count(), 0),
+      refused_(topo.node_count(), 0) {
+  if (config_.violation_threshold < 1) {
+    throw std::invalid_argument("HealthMonitor: threshold must be >= 1");
+  }
+}
+
+bool HealthMonitor::report_violation(std::size_t node) {
+  if (node >= violations_.size()) return false;
+  ++violations_[node];
+  TME_COUNTER_ADD("par/health/violations", 1);
+  if (quarantined_[node] != 0 || refused_[node] != 0) return false;
+  if (violations_[node] < static_cast<std::uint64_t>(config_.violation_threshold)) {
+    return false;
+  }
+  // Trial on a copy first: kills are irreversible, so make sure the machine
+  // stays connected (and populated) before touching the shared injector.
+  FaultInjector trial(*faults_);
+  trial.kill_node(node);
+  if (trial.dead_nodes().size() >= topo_->node_count()) {
+    refused_[node] = 1;
+    ++refused_count_;
+    log_warn("health: refusing to quarantine node ", node,
+             " — it is the last survivor");
+    return false;
+  }
+  try {
+    RecoveryPlan probe(*topo_, trial);
+  } catch (const std::runtime_error&) {
+    refused_[node] = 1;
+    ++refused_count_;
+    log_warn("health: refusing to quarantine node ", node,
+             " — the machine would partition");
+    TME_COUNTER_ADD("par/health/quarantines_refused", 1);
+    return false;
+  }
+  faults_->kill_node(node);
+  plan_ = std::make_unique<RecoveryPlan>(*topo_, *faults_);
+  quarantined_[node] = 1;
+  ++quarantine_count_;
+  log_warn("health: quarantined node ", node, " after ", violations_[node],
+           " ABFT violations; blocks re-homed to node ", plan_->host(node));
+  TME_COUNTER_ADD("par/health/quarantines", 1);
+  return true;
+}
+
+std::uint64_t HealthMonitor::violations(std::size_t node) const {
+  return node < violations_.size() ? violations_[node] : 0;
+}
+
+bool HealthMonitor::quarantined(std::size_t node) const {
+  return node < quarantined_.size() && quarantined_[node] != 0;
+}
+
+std::size_t attribute_conv_line(const GridDecomposition& decomp, int axis,
+                                int line_index) {
+  const GridDims& g = decomp.global();
+  // Perpendicular extents in the order check_conv_axis_lines flattens them:
+  // line = b * na + a.
+  std::size_t na = 0;
+  switch (axis) {
+    case 0: na = g.ny; break;
+    case 1: na = g.nx; break;
+    default: na = g.nx; break;
+  }
+  const auto line = static_cast<std::size_t>(line_index < 0 ? 0 : line_index);
+  const std::size_t a = na == 0 ? 0 : line % na;
+  const std::size_t b = na == 0 ? 0 : line / na;
+  long gx = 0, gy = 0, gz = 0;
+  switch (axis) {
+    case 0: gy = static_cast<long>(a); gz = static_cast<long>(b); break;
+    case 1: gx = static_cast<long>(a); gz = static_cast<long>(b); break;
+    default: gx = static_cast<long>(a); gy = static_cast<long>(b); break;
+  }
+  return decomp.topology().index(decomp.owner(gx, gy, gz));
+}
+
+}  // namespace tme::par

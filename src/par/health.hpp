@@ -1,0 +1,73 @@
+// Online health monitoring: promote repeated ABFT violations into dynamic
+// re-homing of a suspect node's work.
+//
+// The guarded pipeline (hw/sdc_guard) detects and repairs individual upsets;
+// this monitor watches the *pattern*.  A node whose datapath keeps tripping
+// invariants is not suffering transient upsets — it is broken hardware — so
+// after `violation_threshold` attributed violations the monitor quarantines
+// it: the node is killed in the shared FaultInjector and a fresh
+// RecoveryPlan re-homes its grid blocks onto surviving torus neighbours,
+// mid-run, without restarting the simulation.  Quarantine is refused (and
+// the node keeps running, still counted) when killing it would disconnect
+// the machine or leave no survivors — a trial plan on a copy of the fault
+// set decides before the real injector is touched, since kills cannot be
+// undone.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "par/decomposition.hpp"
+#include "par/recovery.hpp"
+
+namespace tme::par {
+
+struct HealthConfig {
+  // Attributed violations before a node is quarantined.
+  int violation_threshold = 3;
+};
+
+class HealthMonitor {
+ public:
+  // `topo` and `faults` must outlive the monitor; `faults` is the machine's
+  // shared injector, so a quarantine is visible to routing and traffic
+  // accounting immediately.
+  HealthMonitor(const TorusTopology& topo, FaultInjector& faults,
+                HealthConfig config = {});
+
+  // Records one ABFT violation attributed to `node`.  Returns true when this
+  // report pushed the node over the threshold and it was quarantined (plan()
+  // is rebuilt).  Already-quarantined and out-of-range nodes are counted but
+  // never re-quarantined.
+  bool report_violation(std::size_t node);
+
+  std::uint64_t violations(std::size_t node) const;
+  bool quarantined(std::size_t node) const;
+  std::size_t quarantine_count() const { return quarantine_count_; }
+  std::size_t refused_count() const { return refused_count_; }
+
+  // The re-homing plan after the latest quarantine; null until the first.
+  const RecoveryPlan* plan() const { return plan_.get(); }
+
+ private:
+  const TorusTopology* topo_;
+  FaultInjector* faults_;
+  HealthConfig config_;
+  std::vector<std::uint64_t> violations_;
+  std::vector<char> quarantined_;
+  std::vector<char> refused_;  // quarantine attempted and rejected
+  std::size_t quarantine_count_ = 0;
+  std::size_t refused_count_ = 0;
+  std::unique_ptr<RecoveryPlan> plan_;
+};
+
+// Attribution helper for the guarded pipeline's per-line convolution
+// violations: maps the flattened perpendicular line index of a conv_line
+// violation on `level_dims` to the node owning the line's first cell under
+// an even block decomposition of that level grid.
+std::size_t attribute_conv_line(const GridDecomposition& decomp, int axis,
+                                int line_index);
+
+}  // namespace tme::par

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "obs/metrics.hpp"
+#include "util/env.hpp"
 #include "util/logging.hpp"
 
 namespace tme {
@@ -131,16 +132,14 @@ void ThreadPool::parallel_for_blocks(
 unsigned pool_workers_from_env(const char* text, unsigned hardware_threads) {
   const unsigned fallback = std::max(1u, hardware_threads) - 1u;
   if (text == nullptr || *text == '\0') return fallback;
-  char* end = nullptr;
-  const long v = std::strtol(text, &end, 10);
-  // Reject trailing garbage and out-of-range values; 4096 is a sanity bound,
-  // not a tuning knob.
-  if (end == text || *end != '\0' || v < 1 || v > 4096) {
+  // 4096 is a sanity bound, not a tuning knob.
+  const auto v = env::parse_long(text);
+  if (!v || *v < 1 || *v > 4096) {
     log_warn("TME_THREADS='", text, "' is not an integer in [1, 4096]; using ",
              fallback + 1u, " threads");
     return fallback;
   }
-  return static_cast<unsigned>(v) - 1u;
+  return static_cast<unsigned>(*v) - 1u;
 }
 
 ThreadPool& global_pool() {

@@ -1,0 +1,82 @@
+#include "util/watchdog.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "util/logging.hpp"
+
+namespace tme {
+
+Watchdog::Watchdog(double timeout_s, std::function<void()> on_timeout, bool fatal)
+    : timeout_(std::chrono::nanoseconds(
+          static_cast<std::int64_t>(timeout_s * 1e9))),
+      on_timeout_(std::move(on_timeout)),
+      fatal_(fatal) {
+  if (!(timeout_s > 0.0)) {
+    throw std::invalid_argument("Watchdog: timeout must be > 0");
+  }
+  last_pet_ = std::chrono::steady_clock::now();
+  thread_ = std::thread([this] { monitor_loop(); });
+}
+
+Watchdog::~Watchdog() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void Watchdog::pet() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    last_pet_ = std::chrono::steady_clock::now();
+    ++pets_;
+    armed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool Watchdog::fired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return firings_ > 0;
+}
+
+std::uint64_t Watchdog::firings() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return firings_;
+}
+
+void Watchdog::monitor_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    const auto deadline = last_pet_ + timeout_;
+    if (armed_ && std::chrono::steady_clock::now() >= deadline) {
+      // Stall: fire once, then stay quiet until the next pet re-arms us.
+      ++firings_;
+      armed_ = false;
+      TME_COUNTER_ADD("util/watchdog/firings", 1);
+      if (on_timeout_) {
+        // Release the lock around user code: the callback may log at length
+        // or query state that in turn pets the watchdog.
+        lock.unlock();
+        on_timeout_();
+        lock.lock();
+      }
+      if (fatal_) {
+        log_error("watchdog: no progress within timeout; exiting 124");
+        std::_Exit(124);
+      }
+      continue;
+    }
+    if (armed_) {
+      cv_.wait_until(lock, deadline);
+    } else {
+      cv_.wait(lock);  // disarmed: sleep until a pet or shutdown
+    }
+  }
+}
+
+}  // namespace tme

@@ -1,0 +1,60 @@
+// Wall-clock watchdog for long-running drivers.
+//
+// A production run that stops making progress — a deadlocked pool, a task
+// stuck in an unbounded retry loop, a pathological input that turns a step
+// into an effectively infinite computation — should produce a diagnostic
+// dump instead of a silent hang.  The watchdog runs a monitor thread; the
+// guarded driver pets it once per unit of progress.  If no pet arrives
+// within the timeout the on_timeout callback fires (once per stall) on the
+// monitor thread, typically logging a dump of where the run was.  A later
+// pet re-arms the watchdog.
+//
+// With `fatal = true` the process exits with code 124 (the conventional
+// timeout status) right after the callback — the mode the CI watchdog-smoke
+// job uses so an introduced hang fails the build instead of stalling it.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace tme {
+
+class Watchdog {
+ public:
+  // Starts the monitor thread.  `timeout_s` must be > 0.
+  Watchdog(double timeout_s, std::function<void()> on_timeout, bool fatal = false);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  // Records progress: resets the stall clock and re-arms after a firing.
+  void pet();
+
+  // True once the watchdog has fired at least once.
+  bool fired() const;
+
+  // Times the watchdog fired (a pet between stalls re-arms it).
+  std::uint64_t firings() const;
+
+ private:
+  void monitor_loop();
+
+  const std::chrono::nanoseconds timeout_;
+  const std::function<void()> on_timeout_;
+  const bool fatal_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::chrono::steady_clock::time_point last_pet_;
+  std::uint64_t pets_ = 0;
+  std::uint64_t firings_ = 0;
+  bool armed_ = true;   // false between a firing and the next pet
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace tme

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <limits>
 #include <stdexcept>
@@ -128,6 +129,40 @@ TEST_F(CheckpointTest, TruncatedFileIsRejected) {
   std::remove(file.c_str());
 }
 
+TEST_F(CheckpointTest, ForgedParticleCountIsRejectedBeforeAllocation) {
+  const ParticleSystem sys = random_state(16, 21);
+  const std::string file = path("forged.ckpt");
+
+  // Forge the declared particle count *and* recompute the trailing CRC so
+  // the forgery passes the integrity check — the size validation must still
+  // reject it before any allocation is sized from the bogus count.
+  auto forge = [&](std::uint64_t declared_n) {
+    write_checkpoint(file, sys, 7);
+    std::vector<unsigned char> bytes;
+    {
+      std::ifstream in(file, std::ios::binary);
+      bytes.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+    }
+    // Layout: magic(8) version(4) step(8) n(8) ... crc(4).
+    constexpr std::size_t kCountOffset = 8 + 4 + 8;
+    std::memcpy(bytes.data() + kCountOffset, &declared_n, sizeof(declared_n));
+    const std::uint32_t crc = crc32(bytes.data(), bytes.size() - 4);
+    std::memcpy(bytes.data() + bytes.size() - 4, &crc, sizeof(crc));
+    std::ofstream out(file, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  };
+
+  forge(std::uint64_t{1} << 40);  // would be a multi-TB allocation
+  EXPECT_THROW(read_checkpoint(file), std::runtime_error);
+  forge(15);  // undersized: payload no longer matches the count
+  EXPECT_THROW(read_checkpoint(file), std::runtime_error);
+  forge(16);  // control: the forgery helper round-trips an honest count
+  EXPECT_NO_THROW(read_checkpoint(file));
+  std::remove(file.c_str());
+}
+
 TEST_F(CheckpointTest, NonCheckpointFileIsRejected) {
   const std::string file = path("garbage.ckpt");
   {
@@ -193,6 +228,8 @@ TEST(Guardrail, PolicyEnvParsing) {
   EXPECT_EQ(guardrail_policy_from_env(), GuardrailPolicy::kAbort);
   setenv("TME_GUARDRAIL", "recover", 1);
   EXPECT_EQ(guardrail_policy_from_env(), GuardrailPolicy::kRecover);
+  setenv("TME_GUARDRAIL", "recompute", 1);
+  EXPECT_EQ(guardrail_policy_from_env(), GuardrailPolicy::kRecompute);
   setenv("TME_GUARDRAIL", "warn", 1);
   EXPECT_EQ(guardrail_policy_from_env(GuardrailPolicy::kAbort),
             GuardrailPolicy::kWarn);
@@ -322,6 +359,72 @@ TEST(GuardedRun, RecoverWithoutCheckpointPathAborts) {
   const GuardedRunResult result =
       run_guarded(md.wb.system, md.wb.topology, md.ff, md.integrator, 5, params);
   EXPECT_TRUE(result.aborted);
+}
+
+TEST(GuardedRun, RecomputePolicyRetriesTransientFaultInPlace) {
+  MdSetup md = make_md();
+  GuardedRunParams params;
+  params.guardrail.policy = GuardrailPolicy::kRecompute;
+  params.watchdog_timeout_s = 30.0;  // generous: must never fire here
+  bool injected = false;
+  params.fault_hook = [&injected](std::uint64_t step, ParticleSystem& sys) {
+    if (step == 4 && !injected) {
+      injected = true;  // transient upset: one corrupted step input
+      sys.velocities[1].y = std::numeric_limits<double>::quiet_NaN();
+    }
+  };
+  const GuardedRunResult result =
+      run_guarded(md.wb.system, md.wb.topology, md.ff, md.integrator, 8, params);
+  EXPECT_FALSE(result.aborted);
+  EXPECT_EQ(result.steps_completed, 8u);
+  EXPECT_EQ(result.step_recomputes, 1u);
+  EXPECT_EQ(result.recoveries, 0);  // no rollback, no checkpoint needed
+  EXPECT_GT(result.violation_count, 0u);
+  EXPECT_FALSE(result.watchdog_fired);
+
+  // The localized recompute restored the exact pre-step state, so the whole
+  // trajectory is bitwise identical to an undisturbed run.
+  MdSetup clean = make_md();
+  GuardedRunParams quiet;
+  const GuardedRunResult clean_result = run_guarded(
+      clean.wb.system, clean.wb.topology, clean.ff, clean.integrator, 8, quiet);
+  EXPECT_EQ(clean_result.steps_completed, 8u);
+  expect_bitwise_equal(md.wb.system, clean.wb.system);
+}
+
+TEST(GuardedRun, RecomputeBudgetExhaustionEscalatesToRollback) {
+  MdSetup md = make_md();
+  GuardedRunParams params;
+  params.guardrail.policy = GuardrailPolicy::kRecompute;
+  params.max_step_recomputes = 0;  // force the escalation path
+  params.checkpoint_path = ::testing::TempDir() + "guarded-escalate.ckpt";
+  params.checkpoint_interval = 2;
+  bool injected = false;
+  params.fault_hook = [&injected](std::uint64_t step, ParticleSystem& sys) {
+    if (step == 5 && !injected) {
+      injected = true;
+      sys.positions[0].x = std::numeric_limits<double>::quiet_NaN();
+    }
+  };
+  const GuardedRunResult result =
+      run_guarded(md.wb.system, md.wb.topology, md.ff, md.integrator, 8, params);
+  EXPECT_FALSE(result.aborted);
+  EXPECT_EQ(result.steps_completed, 8u);
+  EXPECT_EQ(result.step_recomputes, 0u);
+  EXPECT_EQ(result.recoveries, 1);  // rung above recompute
+  std::remove(params.checkpoint_path.c_str());
+
+  // With no checkpoint to fall back on, the same exhaustion aborts.
+  MdSetup bare = make_md();
+  GuardedRunParams no_ckpt;
+  no_ckpt.guardrail.policy = GuardrailPolicy::kRecompute;
+  no_ckpt.max_step_recomputes = 0;
+  no_ckpt.fault_hook = [](std::uint64_t step, ParticleSystem& sys) {
+    if (step == 2) sys.forces[0].x = std::numeric_limits<double>::quiet_NaN();
+  };
+  const GuardedRunResult bare_result = run_guarded(
+      bare.wb.system, bare.wb.topology, bare.ff, bare.integrator, 5, no_ckpt);
+  EXPECT_TRUE(bare_result.aborted);
 }
 
 TEST(GuardedRun, PersistentFaultExhaustsRecoveryBudget) {

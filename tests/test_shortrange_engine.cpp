@@ -133,6 +133,46 @@ TEST(ShortRangeEngine, SamePoolSizeIsDeterministic) {
   }
 }
 
+TEST(ShortRangeEngine, ThirdLawNetForceCancelsWithinRoundingEnvelope) {
+  WaterBox wb = test_box();
+  const ShortRangeParams params = test_params(wb);
+  const std::size_t n = wb.system.size();
+  const ShortRangeEngine engine(params);
+
+  for (const unsigned workers : {0u, 3u}) {
+    ThreadPool pool(workers);
+    wb.system.forces.assign(n, Vec3{});
+    const ShortRangeResult r = engine.compute(wb.system, wb.topology, &pool);
+    EXPECT_TRUE(r.third_law_ok) << "workers=" << workers;
+    EXPECT_GT(r.net_force_tolerance, 0.0);
+    EXPECT_LE(std::abs(r.net_force.x), r.net_force_tolerance);
+    EXPECT_LE(std::abs(r.net_force.y), r.net_force_tolerance);
+    EXPECT_LE(std::abs(r.net_force.z), r.net_force_tolerance);
+
+    // Forces started at zero, so their sum is the engine's contribution too
+    // (summed in a different order — both land inside the same envelope).
+    Vec3 delta{};
+    for (const Vec3& f : wb.system.forces) delta += f;
+    EXPECT_LE(std::abs(delta.x), r.net_force_tolerance) << "workers=" << workers;
+    EXPECT_LE(std::abs(delta.y), r.net_force_tolerance);
+    EXPECT_LE(std::abs(delta.z), r.net_force_tolerance);
+  }
+
+  // abft_tolerance_scale = 0 collapses the envelope: the check must then
+  // reject the (nonzero) rounding residual, proving the violation path and
+  // the loosening knob are both wired through.
+  ShortRangeParams strict = params;
+  strict.abft_tolerance_scale = 0.0;
+  const ShortRangeEngine zealot(strict);
+  ThreadPool pool(3);
+  wb.system.forces.assign(n, Vec3{});
+  const ShortRangeResult rs = zealot.compute(wb.system, wb.topology, &pool);
+  const bool exactly_zero = rs.net_force.x == 0.0 && rs.net_force.y == 0.0 &&
+                            rs.net_force.z == 0.0;
+  EXPECT_EQ(rs.third_law_ok, exactly_zero);
+  EXPECT_FALSE(rs.third_law_ok);  // this box leaves a nonzero residual
+}
+
 TEST(ShortRangeEngine, TabulatedKernelTracksAnalyticForces) {
   WaterBox wb = test_box();
   ShortRangeParams params = test_params(wb);

@@ -1,5 +1,7 @@
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
@@ -8,9 +10,11 @@
 #include <gtest/gtest.h>
 
 #include "util/args.hpp"
+#include "util/env.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/vec3.hpp"
+#include "util/watchdog.hpp"
 
 namespace tme {
 namespace {
@@ -250,6 +254,129 @@ TEST(Args, TracksUnusedKeys) {
 TEST(Args, RejectsPositionalArguments) {
   const char* argv[] = {"prog", "stray"};
   EXPECT_THROW(Args(2, argv), std::invalid_argument);
+}
+
+// RAII environment variable override for the env-helper tests.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+TEST(Env, StrictParsersRejectPartialInput) {
+  EXPECT_EQ(env::parse_u64("42"), 42u);
+  EXPECT_FALSE(env::parse_u64("42x").has_value());
+  EXPECT_FALSE(env::parse_u64(" 42").has_value());
+  EXPECT_FALSE(env::parse_u64("-1").has_value());
+  EXPECT_EQ(env::parse_long("-7"), -7);
+  EXPECT_FALSE(env::parse_long("7.5").has_value());
+  EXPECT_EQ(env::parse_double("2.5e-3"), 2.5e-3);
+  EXPECT_FALSE(env::parse_double("fast").has_value());
+  EXPECT_FALSE(env::parse_double("").has_value());
+}
+
+TEST(Env, UnsetAndEmptyFallBackSilently) {
+  ScopedEnv unset("TME_TEST_ENV_KNOB", nullptr);
+  EXPECT_FALSE(env::raw("TME_TEST_ENV_KNOB").has_value());
+  EXPECT_EQ(env::u64_or("TME_TEST_ENV_KNOB", 9), 9u);
+  ScopedEnv empty("TME_TEST_ENV_KNOB", "");
+  EXPECT_FALSE(env::raw("TME_TEST_ENV_KNOB").has_value());
+  EXPECT_EQ(env::u64_or("TME_TEST_ENV_KNOB", 9), 9u);
+}
+
+TEST(Env, MalformedValuesKeepTheFallback) {
+  ScopedEnv bad("TME_TEST_ENV_KNOB", "banana");
+  EXPECT_EQ(env::u64_or("TME_TEST_ENV_KNOB", 3), 3u);
+  EXPECT_EQ(env::probability_or("TME_TEST_ENV_KNOB", 0.25), 0.25);
+  EXPECT_EQ(env::non_negative_or("TME_TEST_ENV_KNOB", 1.5), 1.5);
+  EXPECT_EQ(env::bounded_long_or("TME_TEST_ENV_KNOB", 2, 0, 8), 2);
+  EXPECT_TRUE(env::flag_or("TME_TEST_ENV_KNOB", true));
+}
+
+TEST(Env, RangeViolationsKeepTheFallback) {
+  {
+    ScopedEnv over("TME_TEST_ENV_KNOB", "1.5");
+    EXPECT_EQ(env::probability_or("TME_TEST_ENV_KNOB", 0.1), 0.1);
+  }
+  {
+    ScopedEnv negative("TME_TEST_ENV_KNOB", "-2");
+    EXPECT_EQ(env::non_negative_or("TME_TEST_ENV_KNOB", 4.0), 4.0);
+    EXPECT_EQ(env::bounded_long_or("TME_TEST_ENV_KNOB", 1, 0, 8), 1);
+  }
+  {
+    ScopedEnv good("TME_TEST_ENV_KNOB", "0.75");
+    EXPECT_EQ(env::probability_or("TME_TEST_ENV_KNOB", 0.1), 0.75);
+  }
+}
+
+TEST(Env, FlagAcceptsConventionalSpellings) {
+  for (const char* spelling : {"1", "on", "true"}) {
+    ScopedEnv e("TME_TEST_ENV_KNOB", spelling);
+    EXPECT_TRUE(env::flag_or("TME_TEST_ENV_KNOB", false)) << spelling;
+  }
+  for (const char* spelling : {"0", "off", "false"}) {
+    ScopedEnv e("TME_TEST_ENV_KNOB", spelling);
+    EXPECT_FALSE(env::flag_or("TME_TEST_ENV_KNOB", true)) << spelling;
+  }
+}
+
+TEST(Env, ChoiceMatchesExactlyOrKeepsFallback) {
+  const std::vector<std::string> ladder = {"warn", "recompute", "recover",
+                                           "abort"};
+  {
+    ScopedEnv e("TME_TEST_ENV_KNOB", "recover");
+    EXPECT_EQ(env::choice_or("TME_TEST_ENV_KNOB", ladder, 0), 2u);
+  }
+  {
+    ScopedEnv e("TME_TEST_ENV_KNOB", "Recover");  // case-sensitive
+    EXPECT_EQ(env::choice_or("TME_TEST_ENV_KNOB", ladder, 1), 1u);
+  }
+  {
+    ScopedEnv e("TME_TEST_ENV_KNOB", nullptr);
+    EXPECT_EQ(env::choice_or("TME_TEST_ENV_KNOB", ladder, 3), 3u);
+  }
+}
+
+TEST(Watchdog, FiresOnStallAndRearmsOnPet) {
+  std::atomic<int> fired{0};
+  Watchdog wd(0.05, [&fired] { ++fired; });
+  // Stall long enough for one firing (the callback fires once per stall,
+  // not repeatedly).
+  for (int i = 0; i < 200 && fired.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(fired.load(), 1);
+  EXPECT_TRUE(wd.fired());
+  EXPECT_EQ(wd.firings(), 1u);
+
+  // A pet re-arms it; a second stall fires again.
+  wd.pet();
+  for (int i = 0; i < 200 && fired.load() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(fired.load(), 2);
+  EXPECT_EQ(wd.firings(), 2u);
+}
+
+TEST(Watchdog, StaysQuietWhilePetted) {
+  std::atomic<int> fired{0};
+  Watchdog wd(0.25, [&fired] { ++fired; });
+  for (int i = 0; i < 20; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    wd.pet();
+  }
+  EXPECT_EQ(fired.load(), 0);
+  EXPECT_FALSE(wd.fired());
+  EXPECT_THROW(Watchdog(0.0, [] {}), std::invalid_argument);
 }
 
 }  // namespace
