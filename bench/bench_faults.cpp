@@ -60,6 +60,7 @@ int main(int argc, char** argv) {
   using namespace tme::hw;
   const Args args(argc, argv);
   const int soak_seeds = args.get_int("soak-seeds", 8);
+  const std::string trace_path = bench::begin_trace(args, "faults");
 
   obs::Registry::global().reset();
   auto& reg = obs::Registry::global();
@@ -291,5 +292,6 @@ int main(int argc, char** argv) {
               g_violations == 0 ? "PASS" : "FAIL", g_violations);
 
   bench::emit_metrics("faults");
+  bench::finish_trace(trace_path);
   return g_violations == 0 ? 0 : 1;
 }

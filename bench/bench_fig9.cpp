@@ -17,13 +17,18 @@ int main(int argc, char** argv) {
   MdgrapeMachine machine;
   StepConfig config;  // defaults = the paper's Fig. 9 system
   config.atoms = args.get_int("atoms", 80540);
+  config.dead_node_count =
+      static_cast<std::size_t>(args.get_int("dead-nodes", 0));
+  config.link_error_rate = args.get_double("link-error-rate", 0.0);
+  const std::string trace_path = bench::begin_trace(args, "fig9");
 
   bench::print_header(
       "Fig 9: time chart of one MD step (80,540 atoms, 512 nodes, N=32^3, "
       "L=1, g_c=8, M=4)");
   obs::Registry::global().reset();  // one clean breakdown for the export
   const StepTimings with_lr = machine.simulate_step(config);
-  record_step_metrics(with_lr);
+  record_step_metrics(with_lr, machine.params().nw);
+  trace_step(with_lr, machine.params());
   std::printf("%s\n", render_timechart(with_lr.schedule, 100).c_str());
   std::printf("%s\n", render_task_table(with_lr.schedule).c_str());
 
@@ -62,6 +67,12 @@ int main(int argc, char** argv) {
               "simulated throughput",
               machine.performance_us_per_day(config));
 
-  bench::emit_metrics("fig9");
+  bench::ExtraJson extra;
+  if (with_lr.links != nullptr) {
+    extra.emplace_back("link_report", with_lr.links->report_json(
+                                          machine.params().nw, with_lr.step_time));
+  }
+  bench::emit_metrics("fig9", extra);
+  bench::finish_trace(trace_path);
   return 0;
 }

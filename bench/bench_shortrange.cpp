@@ -47,6 +47,7 @@ int main(int argc, char** argv) {
   const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
   const unsigned max_threads =
       static_cast<unsigned>(args.get_int("threads", static_cast<int>(hardware)));
+  const std::string trace_path = bench::begin_trace(args, "shortrange");
 
   WaterBoxSpec spec;
   spec.molecules = molecules;
@@ -145,6 +146,7 @@ int main(int argc, char** argv) {
   }
 
   bench::emit_metrics("shortrange");
+  bench::finish_trace(trace_path);
   if (mismatch) {
     std::printf("FAILED: parallel/tabulated forces deviate beyond tolerance\n");
     return 1;

@@ -14,13 +14,14 @@ int main(int argc, char** argv) {
   using namespace tme;
   using namespace tme::hw;
   const Args args(argc, argv);
-  (void)args;
+  const std::string trace_path = bench::begin_trace(args, "table2");
 
   MdgrapeMachine machine;
   const StepConfig config;  // Fig. 9 system, 2.5 fs steps
   obs::Registry::global().reset();  // one clean breakdown for the export
   const StepTimings t = machine.simulate_step(config);
-  record_step_metrics(t);
+  record_step_metrics(t, machine.params().nw);
+  trace_step(t, machine.params());
   const double mdgrape_perf = machine.performance_us_per_day(config);
   const double mdgrape_step = t.step_time * 1e6;
   const double mdgrape_lr = t.long_range_total * 1e6;
@@ -68,6 +69,12 @@ int main(int argc, char** argv) {
               "(paper: 'comparable')\n",
               mdgrape_lr / 20.0);
 
-  bench::emit_metrics("table2");
+  bench::ExtraJson extra;
+  if (t.links != nullptr) {
+    extra.emplace_back("link_report",
+                       t.links->report_json(machine.params().nw, t.step_time));
+  }
+  bench::emit_metrics("table2", extra);
+  bench::finish_trace(trace_path);
   return 0;
 }

@@ -13,7 +13,10 @@
 #include "md/system.hpp"
 #include "md/topology.hpp"
 #include "obs/json.hpp"
+#include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/args.hpp"
 #include "util/constants.hpp"
 #include "util/vec3.hpp"
 
@@ -85,16 +88,27 @@ inline void record_pair_throughput() {
   }
 }
 
+// Extra top-level JSON blocks a bench can attach to its export (e.g. the
+// per-link "link_report" from a hardware-model run).
+using ExtraJson = std::vector<std::pair<std::string, obs::JsonValue>>;
+
 // Emits the current metrics registry as a machine-readable per-stage
 // breakdown: printed to stdout under a marked header and written to
 // BENCH_<name>.json in the working directory (the perf-trajectory record).
+// Every export carries a "manifest" block (git describe, build type, TME_*
+// environment, runtime facts) so a BENCH json is self-describing.
 // Callers that want a single clean breakdown should reset the registry
 // before the run they mean to export.
-inline void emit_metrics(const std::string& bench_name) {
+inline void emit_metrics(const std::string& bench_name,
+                         const ExtraJson& extra = {}) {
   record_pair_throughput();
   const obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
   obs::JsonValue root = obs::json_parse(obs::to_json(snap));
   root.as_object()["bench"] = obs::JsonValue::make_string(bench_name);
+  root.as_object()["manifest"] = obs::manifest_json();
+  for (const auto& [key, value] : extra) {
+    root.as_object()[key] = value;
+  }
   const std::string json = root.dump();
 
   print_header("metrics (json)");
@@ -104,6 +118,34 @@ inline void emit_metrics(const std::string& bench_name) {
   std::ofstream out(path);
   out << json << "\n";
   std::printf("[written: %s]\n", path.c_str());
+}
+
+// --trace-out support.  `--trace-out <path>` (or the bare flag, which picks
+// TRACE_<bench>.json next to the BENCH json) turns the tracer on for the
+// run; returns the output path, or "" when tracing was not requested.
+inline std::string begin_trace(const Args& args, const std::string& bench_name) {
+  if (!args.has("trace-out")) return {};
+  std::string path = args.get("trace-out", "");
+  if (path.empty() || path == "1") path = "TRACE_" + bench_name + ".json";
+  if constexpr (!obs::kTraceEnabled) {
+    std::fprintf(stderr,
+                 "[--trace-out ignored: tracing compiled out (-DTME_TRACE=OFF)]\n");
+    return {};
+  }
+  obs::Tracer::global().set_enabled(true);
+  return path;
+}
+
+// Writes the trace collected since begin_trace; no-op for an empty path.
+inline void finish_trace(const std::string& path) {
+  if (path.empty()) return;
+  const obs::Tracer& tracer = obs::Tracer::global();
+  if (obs::Tracer::global().write(path)) {
+    std::printf("[trace written: %s (%zu events, %zu dropped)]\n", path.c_str(),
+                tracer.event_count(), tracer.dropped_count());
+  } else {
+    std::fprintf(stderr, "[trace write failed: %s]\n", path.c_str());
+  }
 }
 
 }  // namespace tme::bench

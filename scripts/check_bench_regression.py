@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json exports against committed baselines.
+
+Usage:
+    check_bench_regression.py [--baseline-dir bench/baseline] [--report-only]
+                              BENCH_fig9.json [BENCH_table2.json ...]
+
+For each candidate file the baseline with the same file name is loaded from
+the baseline directory and the two metric trees are compared:
+
+  counters    exact match (event counts are deterministic for a fixed
+              configuration; a changed count means the workload changed)
+  gauges      relative tolerance (default 5%), except volatile wall-clock
+              throughput gauges (*_per_s, *seconds_per_eval*, *speedup*)
+              which are reported but never gate
+  timers      the call count must match exactly; accumulated seconds gate
+              only under the deterministic sim-time prefixes (step/ and
+              hw/unit/), where "time" is simulated and bit-stable
+  histograms  ignored (distribution shapes are informational)
+
+Keys present on one side only are reported: a missing baseline key FAILs
+(coverage regressed), a new candidate key is a NOTE (run with --update or
+recommit the baseline to pick it up).
+
+Exit code 0 when every gating comparison passes, 1 otherwise.  With
+--report-only all failures are downgraded to notes and the exit code is 0
+(CI wires this first so a noisy runner cannot block merges while the
+tolerance bands are tuned).
+
+Stdlib only; no external dependencies.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+GAUGE_REL_TOL = 0.05
+TIMER_REL_TOL = 0.05
+
+# Gauges whose value depends on host wall-clock speed: report, never gate.
+VOLATILE_GAUGE_MARKERS = ("_per_s", "seconds_per_eval", "speedup")
+
+# Timer paths where accumulated seconds are *simulated* time (deterministic
+# for a fixed configuration) and may gate.
+DETERMINISTIC_TIMER_PREFIXES = ("step", "hw/unit/")
+
+
+def is_volatile_gauge(name):
+    return any(marker in name for marker in VOLATILE_GAUGE_MARKERS)
+
+
+def is_deterministic_timer(path):
+    return path == "step" or any(
+        path.startswith(p) for p in DETERMINISTIC_TIMER_PREFIXES
+    )
+
+
+def rel_delta(old, new):
+    scale = max(abs(old), abs(new))
+    if scale == 0.0:
+        return 0.0
+    return abs(new - old) / scale
+
+
+class Report:
+    def __init__(self, report_only):
+        self.report_only = report_only
+        self.failures = 0
+        self.notes = 0
+
+    def fail(self, msg):
+        if self.report_only:
+            self.notes += 1
+            print(f"  NOTE (would fail): {msg}")
+        else:
+            self.failures += 1
+            print(f"  FAIL: {msg}")
+
+    def note(self, msg):
+        self.notes += 1
+        print(f"  note: {msg}")
+
+
+def compare_counters(base, cand, rep):
+    for name, value in sorted(base.items()):
+        if name not in cand:
+            rep.fail(f"counter {name} missing from candidate (baseline {value})")
+        elif cand[name] != value:
+            rep.fail(f"counter {name}: {value} -> {cand[name]} (exact match required)")
+    for name in sorted(set(cand) - set(base)):
+        rep.note(f"new counter {name} = {cand[name]} (not in baseline)")
+
+
+def compare_gauges(base, cand, rep, tol):
+    for name, value in sorted(base.items()):
+        if name not in cand:
+            rep.fail(f"gauge {name} missing from candidate (baseline {value})")
+            continue
+        delta = rel_delta(value, cand[name])
+        if is_volatile_gauge(name):
+            if delta > tol:
+                rep.note(
+                    f"volatile gauge {name}: {value:g} -> {cand[name]:g} "
+                    f"({delta * 100:.1f}% shift, not gating)"
+                )
+            continue
+        if delta > tol:
+            rep.fail(
+                f"gauge {name}: {value:g} -> {cand[name]:g} "
+                f"({delta * 100:.1f}% > {tol * 100:.0f}% tolerance)"
+            )
+    for name in sorted(set(cand) - set(base)):
+        rep.note(f"new gauge {name} = {cand[name]:g} (not in baseline)")
+
+
+def compare_timers(base, cand, rep, tol):
+    for path, stat in sorted(base.items()):
+        if path not in cand:
+            rep.fail(f"timer {path} missing from candidate")
+            continue
+        cstat = cand[path]
+        if cstat.get("count") != stat.get("count"):
+            rep.fail(
+                f"timer {path} count: {stat.get('count')} -> {cstat.get('count')} "
+                "(exact match required)"
+            )
+        if is_deterministic_timer(path):
+            delta = rel_delta(stat.get("seconds", 0.0), cstat.get("seconds", 0.0))
+            if delta > tol:
+                rep.fail(
+                    f"timer {path} seconds: {stat.get('seconds'):g} -> "
+                    f"{cstat.get('seconds'):g} ({delta * 100:.1f}% > "
+                    f"{tol * 100:.0f}% tolerance; simulated time is deterministic)"
+                )
+    for path in sorted(set(cand) - set(base)):
+        rep.note(f"new timer {path} (not in baseline)")
+
+
+def compare_file(baseline_path, candidate_path, rep, args):
+    with open(baseline_path) as f:
+        base = json.load(f)
+    with open(candidate_path) as f:
+        cand = json.load(f)
+    compare_counters(base.get("counters", {}), cand.get("counters", {}), rep)
+    compare_gauges(base.get("gauges", {}), cand.get("gauges", {}), rep, args.gauge_tol)
+    compare_timers(base.get("timers", {}), cand.get("timers", {}), rep, args.timer_tol)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("candidates", nargs="+", help="BENCH_*.json files to check")
+    parser.add_argument(
+        "--baseline-dir",
+        default="bench/baseline",
+        help="directory holding committed baseline BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--report-only",
+        action="store_true",
+        help="print failures as notes and always exit 0",
+    )
+    parser.add_argument("--gauge-tol", type=float, default=GAUGE_REL_TOL)
+    parser.add_argument("--timer-tol", type=float, default=TIMER_REL_TOL)
+    args = parser.parse_args()
+
+    rep = Report(args.report_only)
+    checked = 0
+    for candidate in args.candidates:
+        name = os.path.basename(candidate)
+        baseline = os.path.join(args.baseline_dir, name)
+        print(f"{name}:")
+        if not os.path.exists(baseline):
+            rep.note(f"no baseline at {baseline}; skipping")
+            continue
+        if not os.path.exists(candidate):
+            rep.fail(f"candidate {candidate} does not exist")
+            continue
+        compare_file(baseline, candidate, rep, args)
+        checked += 1
+        print(f"  checked against {baseline}")
+
+    print(
+        f"\n{checked} file(s) compared, {rep.failures} failure(s), "
+        f"{rep.notes} note(s)"
+        + (" [report-only]" if args.report_only else "")
+    )
+    return 1 if rep.failures > 0 else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event / Perfetto JSON file (stdlib only).
+
+Usage:
+    validate_trace.py TRACE_fig9.json [--require-hardware] [--require-counters]
+
+Checks, against the trace-event format Chrome and Perfetto accept:
+  - the top level is an object with a "traceEvents" array
+  - every event has ph/pid/tid, and ts except metadata ("M") records
+  - "X" (complete) events carry a numeric non-negative dur
+  - "i" (instant) events carry a valid scope s in {"t", "p", "g"} when present
+  - "C" (counter) events carry numeric args values
+  - "M" records are process_name / thread_name with args.name
+  - per-(pid, tid) track timestamps of sorted export are monotone
+  - dropped-event accounting in otherData is consistent
+
+--require-hardware additionally fails unless at least one process besides
+"software" has span events (the simulated-machine tracks), and
+--require-counters unless at least one counter series exists (per-link
+telemetry).  Exit code 0 = valid.
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+VALID_PH = {"X", "i", "C", "M", "B", "E", "b", "e", "n", "s", "t", "f"}
+VALID_INSTANT_SCOPES = {"t", "p", "g"}
+
+
+def fail(msg):
+    print(f"FAIL: {msg}")
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="trace JSON file")
+    parser.add_argument("--require-hardware", action="store_true",
+                        help="fail unless simulated-hardware tracks are present")
+    parser.add_argument("--require-counters", action="store_true",
+                        help="fail unless counter series are present")
+    args = parser.parse_args()
+
+    with open(args.trace) as f:
+        root = json.load(f)
+
+    if not isinstance(root, dict) or "traceEvents" not in root:
+        return fail("top level must be an object with a traceEvents array")
+    events = root["traceEvents"]
+    if not isinstance(events, list):
+        return fail("traceEvents is not an array")
+
+    process_names = {}
+    spans_by_process = collections.Counter()
+    counter_events = 0
+    last_ts = {}
+    for i, e in enumerate(events):
+        where = f"event #{i}"
+        if not isinstance(e, dict):
+            return fail(f"{where}: not an object")
+        ph = e.get("ph")
+        if ph not in VALID_PH:
+            return fail(f"{where}: invalid ph {ph!r}")
+        if "pid" not in e or "tid" not in e:
+            return fail(f"{where}: missing pid/tid")
+        if ph == "M":
+            if e.get("name") in ("process_name", "thread_name"):
+                if "name" not in e.get("args", {}):
+                    return fail(f"{where}: metadata record without args.name")
+                if e["name"] == "process_name":
+                    process_names[e["pid"]] = e["args"]["name"]
+            continue
+        if "ts" not in e or not isinstance(e["ts"], (int, float)):
+            return fail(f"{where}: missing or non-numeric ts")
+        if "name" not in e or not isinstance(e["name"], str):
+            return fail(f"{where}: missing name")
+        key = (e["pid"], e["tid"])
+        if e["ts"] < last_ts.get(key, float("-inf")):
+            return fail(
+                f"{where}: ts {e['ts']} not monotone on track pid={e['pid']} "
+                f"tid={e['tid']} (prev {last_ts[key]})"
+            )
+        last_ts[key] = e["ts"]
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                return fail(f"{where}: complete event with invalid dur {dur!r}")
+            spans_by_process[e["pid"]] += 1
+        elif ph == "i":
+            if "s" in e and e["s"] not in VALID_INSTANT_SCOPES:
+                return fail(f"{where}: instant event with invalid scope {e['s']!r}")
+        elif ph == "C":
+            trace_args = e.get("args")
+            if not isinstance(trace_args, dict) or not trace_args:
+                return fail(f"{where}: counter event without args")
+            for k, v in trace_args.items():
+                if not isinstance(v, (int, float)):
+                    return fail(f"{where}: counter series {k} non-numeric: {v!r}")
+            counter_events += 1
+
+    other = root.get("otherData", {})
+    dropped = other.get("trace_dropped")
+    if dropped is not None and dropped > 0:
+        print(f"note: {dropped} events were dropped (ring buffers full)")
+
+    hardware_procs = sorted(
+        process_names[pid]
+        for pid in spans_by_process
+        if process_names.get(pid, "") != "software"
+    )
+    if args.require_hardware and not hardware_procs:
+        return fail("no simulated-hardware span tracks found")
+    if args.require_counters and counter_events == 0:
+        return fail("no counter series found")
+
+    n_spans = sum(spans_by_process.values())
+    print(
+        f"OK: {len(events)} events ({n_spans} spans, {counter_events} counter "
+        f"samples) across {len(process_names)} processes"
+        + (f"; hardware tracks: {', '.join(hardware_procs)}" if hardware_procs else "")
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

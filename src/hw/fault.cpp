@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "util/env.hpp"
 
@@ -15,6 +16,7 @@ FaultConfig fault_config_from_env() {
   config.link_error_rate =
       env::probability_or("TME_FAULT_LINK_ERROR_RATE", config.link_error_rate);
   config.sdc_rate = env::probability_or("TME_FAULT_SDC_RATE", config.sdc_rate);
+  obs::manifest_set("fault_seed", static_cast<double>(config.seed));
   return config;
 }
 

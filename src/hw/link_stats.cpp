@@ -1,0 +1,193 @@
+#include "hw/link_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace tme::hw {
+
+namespace {
+
+constexpr const char* kDirNames[LinkTelemetry::kDirections] = {
+    "+x", "-x", "+y", "-y", "+z", "-z"};
+
+// Direction of the single-hop step a -> b on the torus (they must be
+// neighbours); -1 when the step is not a single hop.
+int step_direction(const TorusTopology& topo, const NodeCoord& a,
+                   const NodeCoord& b) {
+  auto axis_step = [](std::size_t from, std::size_t to, std::size_t extent,
+                      int plus, int minus) -> int {
+    if (to == (from + 1) % extent) return plus;
+    if ((to + 1) % extent == from) return minus;
+    return -1;
+  };
+  if (a.y == b.y && a.z == b.z && a.x != b.x)
+    return axis_step(a.x, b.x, topo.nx(), 0, 1);
+  if (a.x == b.x && a.z == b.z && a.y != b.y)
+    return axis_step(a.y, b.y, topo.ny(), 2, 3);
+  if (a.x == b.x && a.y == b.y && a.z != b.z)
+    return axis_step(a.z, b.z, topo.nz(), 4, 5);
+  return -1;
+}
+
+}  // namespace
+
+const char* LinkTelemetry::direction_name(int dir) { return kDirNames[dir]; }
+
+LinkTelemetry::LinkTelemetry(const TorusTopology& topo)
+    : topo_(topo), stats_(topo.node_count() * kDirections) {}
+
+std::string LinkTelemetry::link_name(std::size_t index) const {
+  const NodeCoord c = topo_.coord(index / kDirections);
+  return "(" + std::to_string(c.x) + "," + std::to_string(c.y) + "," +
+         std::to_string(c.z) + ")" + kDirNames[index % kDirections];
+}
+
+void LinkTelemetry::record_transfer(std::size_t from, std::size_t to,
+                                    std::uint64_t bytes,
+                                    std::uint64_t crc_retries) {
+  if (from == to) return;
+  const std::vector<NodeCoord> route =
+      topo_.route(topo_.coord(from), topo_.coord(to));
+  for (std::size_t i = 0; i + 1 < route.size(); ++i) {
+    const int dir = step_direction(topo_, route[i], route[i + 1]);
+    if (dir < 0) continue;  // defensive: route() only produces unit steps
+    LinkStat& s = stats_[link_index(topo_.index(route[i]), dir)];
+    s.bytes += bytes;
+    s.messages += 1;
+    if (i + 2 == route.size()) s.crc_retries += crc_retries;
+  }
+}
+
+void LinkTelemetry::record_link(std::size_t node, int dir, std::uint64_t bytes,
+                                std::uint64_t messages,
+                                std::uint64_t crc_retries) {
+  LinkStat& s = stats_[link_index(node, dir)];
+  s.bytes += bytes;
+  s.messages += messages;
+  s.crc_retries += crc_retries;
+}
+
+std::uint64_t LinkTelemetry::total_bytes() const {
+  std::uint64_t sum = 0;
+  for (const LinkStat& s : stats_) sum += s.bytes;
+  return sum;
+}
+
+std::uint64_t LinkTelemetry::total_messages() const {
+  std::uint64_t sum = 0;
+  for (const LinkStat& s : stats_) sum += s.messages;
+  return sum;
+}
+
+std::uint64_t LinkTelemetry::total_crc_retries() const {
+  std::uint64_t sum = 0;
+  for (const LinkStat& s : stats_) sum += s.crc_retries;
+  return sum;
+}
+
+std::size_t LinkTelemetry::busiest_link() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < stats_.size(); ++i) {
+    if (stats_[i].bytes > stats_[best].bytes) best = i;
+  }
+  return best;
+}
+
+double LinkTelemetry::utilization(std::size_t index, const NetworkParams& nw,
+                                  double window_s) const {
+  if (window_s <= 0.0) return 0.0;
+  return static_cast<double>(stats_[index].bytes) /
+         (nw.effective_bandwidth() * window_s);
+}
+
+double LinkTelemetry::queue_occupancy(std::size_t index,
+                                      const NetworkParams& nw,
+                                      double window_s) const {
+  const double rho = utilization(index, nw, window_s);
+  if (rho >= 1.0) return 1e3;
+  return std::min(1e3, rho * rho / (2.0 * (1.0 - rho)));
+}
+
+void LinkTelemetry::record_gauges(const NetworkParams& nw,
+                                  double window_s) const {
+  if constexpr (!obs::kMetricsEnabled) {
+    (void)nw;
+    (void)window_s;
+    return;
+  } else {
+    obs::Registry& reg = obs::Registry::global();
+    double max_util = 0.0, sum_util = 0.0;
+    std::size_t active = 0;
+    for (std::size_t i = 0; i < stats_.size(); ++i) {
+      if (stats_[i].bytes == 0) continue;
+      const double u = utilization(i, nw, window_s);
+      max_util = std::max(max_util, u);
+      sum_util += u;
+      ++active;
+    }
+    reg.gauge_set("hw/link/total_bytes", static_cast<double>(total_bytes()));
+    reg.gauge_set("hw/link/total_messages",
+                  static_cast<double>(total_messages()));
+    reg.gauge_set("hw/link/crc_retries",
+                  static_cast<double>(total_crc_retries()));
+    reg.gauge_set("hw/link/active_links", static_cast<double>(active));
+    reg.gauge_set("hw/link/max_utilization", max_util);
+    reg.gauge_set("hw/link/mean_utilization",
+                  active == 0 ? 0.0 : sum_util / static_cast<double>(active));
+  }
+}
+
+obs::JsonValue LinkTelemetry::report_json(const NetworkParams& nw,
+                                          double window_s) const {
+  obs::JsonValue root = obs::JsonValue::make_object();
+  auto& obj = root.as_object();
+  obj["window_s"] = obs::JsonValue::make_number(window_s);
+  obj["total_bytes"] =
+      obs::JsonValue::make_number(static_cast<double>(total_bytes()));
+  obj["total_messages"] =
+      obs::JsonValue::make_number(static_cast<double>(total_messages()));
+  obj["crc_retries"] =
+      obs::JsonValue::make_number(static_cast<double>(total_crc_retries()));
+  const std::size_t busiest = busiest_link();
+  obj["busiest_link"] = obs::JsonValue::make_string(
+      total_bytes() == 0 ? "" : link_name(busiest));
+
+  obs::JsonValue links = obs::JsonValue::make_object();
+  auto& links_obj = links.as_object();
+  for (std::size_t i = 0; i < stats_.size(); ++i) {
+    const LinkStat& s = stats_[i];
+    if (s.bytes == 0 && s.crc_retries == 0) continue;
+    obs::JsonValue entry = obs::JsonValue::make_object();
+    auto& e = entry.as_object();
+    e["bytes"] = obs::JsonValue::make_number(static_cast<double>(s.bytes));
+    e["messages"] =
+        obs::JsonValue::make_number(static_cast<double>(s.messages));
+    e["crc_retries"] =
+        obs::JsonValue::make_number(static_cast<double>(s.crc_retries));
+    e["utilization"] = obs::JsonValue::make_number(utilization(i, nw, window_s));
+    e["queue_occupancy"] =
+        obs::JsonValue::make_number(queue_occupancy(i, nw, window_s));
+    links_obj[link_name(i)] = std::move(entry);
+  }
+  obj["links"] = std::move(links);
+  return root;
+}
+
+void LinkTelemetry::emit_trace_counters(const NetworkParams& nw,
+                                        double window_s, double ts_us) const {
+  if (!obs::tracing_active()) return;
+  obs::Tracer& tracer = obs::Tracer::global();
+  for (std::size_t i = 0; i < stats_.size(); ++i) {
+    const LinkStat& s = stats_[i];
+    if (s.bytes == 0) continue;
+    const obs::TrackId track = tracer.track("torus links", link_name(i));
+    tracer.counter(track, "bytes", ts_us, static_cast<double>(s.bytes));
+    tracer.counter(track, "util_pct", ts_us,
+                   100.0 * utilization(i, nw, window_s));
+  }
+}
+
+}  // namespace tme::hw

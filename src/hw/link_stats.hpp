@@ -1,0 +1,101 @@
+// Per-link telemetry for the 3D-torus interconnect.
+//
+// Every node owns six directed outgoing links (+x, -x, +y, -y, +z, -z).
+// Transfers are charged hop by hop along the deterministic dimension-ordered
+// route, so the per-link byte counts decompose the aggregate traffic the
+// paper's Sec. III.C model predicts: on a healthy machine the sum of all
+// per-link bytes equals sum(bytes x hops) over the logged transfers — the
+// conservation invariant the tests assert against par/traffic totals.
+//
+// Derived quantities (utilization fraction, queue occupancy) are *model
+// estimates* over a caller-supplied observation window, not measurements:
+// utilization is bytes / (effective bandwidth x window), and the queue
+// occupancy is the M/D/1 mean rho^2 / (2 (1 - rho)) — a standard stand-in
+// for "how congested would this link be", capped so a saturated link reports
+// a large finite value instead of infinity.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/network_model.hpp"
+#include "hw/torus.hpp"
+#include "obs/json.hpp"
+
+namespace tme::hw {
+
+// One directed link's accumulated traffic.
+struct LinkStat {
+  std::uint64_t bytes = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t crc_retries = 0;
+};
+
+class LinkTelemetry {
+ public:
+  // The six outgoing directions, in link-index order.
+  static constexpr int kDirections = 6;
+  static const char* direction_name(int dir);  // "+x", "-x", ...
+
+  explicit LinkTelemetry(const TorusTopology& topo);
+
+  const TorusTopology& topology() const { return topo_; }
+  std::size_t link_count() const { return stats_.size(); }
+
+  // Directed link leaving `node` in direction `dir` (0..5).
+  std::size_t link_index(std::size_t node, int dir) const {
+    return node * kDirections + static_cast<std::size_t>(dir);
+  }
+  const LinkStat& link(std::size_t index) const { return stats_[index]; }
+  // "(x,y,z)+x" — the source node and outgoing direction.
+  std::string link_name(std::size_t index) const;
+
+  // Charges `bytes` to every link along the dimension-ordered route from
+  // `from` to `to` (one message per link), and `crc_retries` to the final
+  // link (the receiver's CRC is where corruption is detected).  Node-local
+  // transfers (from == to) are ignored.
+  void record_transfer(std::size_t from, std::size_t to, std::uint64_t bytes,
+                       std::uint64_t crc_retries = 0);
+
+  // Direct accounting for callers that know the link (machine-model feeder).
+  void record_link(std::size_t node, int dir, std::uint64_t bytes,
+                   std::uint64_t messages = 1, std::uint64_t crc_retries = 0);
+
+  std::uint64_t total_bytes() const;
+  std::uint64_t total_messages() const;
+  std::uint64_t total_crc_retries() const;
+  // Index of the link with the most bytes (0 if no traffic at all).
+  std::size_t busiest_link() const;
+
+  // bytes / (effective bandwidth x window); 0 when window <= 0.
+  double utilization(std::size_t index, const NetworkParams& nw,
+                     double window_s) const;
+  // M/D/1 mean queue occupancy at that utilization, capped at 1e3.
+  double queue_occupancy(std::size_t index, const NetworkParams& nw,
+                         double window_s) const;
+
+  // Summary gauges into the global metrics registry:
+  //   hw/link/total_bytes, hw/link/total_messages, hw/link/crc_retries,
+  //   hw/link/active_links, hw/link/max_utilization, hw/link/mean_utilization
+  // (utilizations over `window_s`; mean over links that carried traffic).
+  void record_gauges(const NetworkParams& nw, double window_s) const;
+
+  // The `link_report` JSON block benches attach next to the metrics export:
+  // totals, the busiest link, and every non-idle link with bytes, messages,
+  // CRC retries, utilization and queue occupancy.
+  obs::JsonValue report_json(const NetworkParams& nw, double window_s) const;
+
+  // One trace counter sample per non-idle link ("torus links" process):
+  // series "bytes" and "util_pct" at simulated time `ts_us`.  No-op unless
+  // tracing is active.
+  void emit_trace_counters(const NetworkParams& nw, double window_s,
+                           double ts_us) const;
+
+ private:
+  TorusTopology topo_;
+  std::vector<LinkStat> stats_;
+};
+
+}  // namespace tme::hw

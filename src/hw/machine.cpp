@@ -1,11 +1,14 @@
 #include "hw/machine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
 
 #include "hw/fault.hpp"
+#include "hw/track_meta.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace tme::hw {
 
@@ -94,6 +97,9 @@ MdgrapeMachine::MdgrapeMachine(MachineParams params) : params_(params) {
 }
 
 StepTimings MdgrapeMachine::simulate_step(const StepConfig& cfg) const {
+  // Trace-only span: a registry timer here would put wall-clock time into
+  // the otherwise bit-deterministic bench JSON exports.
+  TME_TRACE_SPAN("simulate_step");
   const MachineParams& mp = params_;
 
   // --- Fault model ----------------------------------------------------------
@@ -223,8 +229,49 @@ StepTimings MdgrapeMachine::simulate_step(const StepConfig& cfg) const {
   out.schedule = sim.run();
   out.step_time = sim.makespan();
   out.dead_nodes = faults.dead_nodes().size();
+  out.dead_node_list.assign(faults.dead_nodes().begin(),
+                            faults.dead_nodes().end());
   out.task_retries = sim.total_retries();
   out.tasks_given_up = sim.failed_tasks();
+
+  // --- Per-link telemetry ----------------------------------------------------
+  // The modelled NW activities are symmetric neighbour exchanges, so each
+  // alive node's halo/force (and, with long range, the two sleeve passes)
+  // traffic is split evenly across its outgoing links to alive neighbours.
+  // CRC replays are attributed round-robin over the alive nodes' +x links —
+  // an attribution model, not a measurement (the DAG has no per-node blame).
+  {
+    const TorusTopology topo(mp.nodes_x, mp.nodes_y, mp.nodes_z);
+    out.links = std::make_shared<LinkTelemetry>(topo);
+    const std::uint64_t sleeve_bytes =
+        cfg.long_range ? static_cast<std::uint64_t>(sleeve_words) * 4 * 2 : 0;
+    const std::uint64_t node_bytes =
+        static_cast<std::uint64_t>(w.halo_bytes) +
+        static_cast<std::uint64_t>(w.force_bytes) + sleeve_bytes;
+    std::vector<std::size_t> alive_nodes;
+    for (std::size_t n = 0; n < mp.node_count(); ++n) {
+      if (!faults.node_dead(n)) alive_nodes.push_back(n);
+    }
+    for (const std::size_t n : alive_nodes) {
+      const NodeCoord c = topo.coord(n);
+      const auto nbrs = topo.neighbours(c);
+      std::uint64_t live_dirs = 0;
+      for (int d = 0; d < LinkTelemetry::kDirections; ++d) {
+        if (!faults.node_dead(topo.index(nbrs[static_cast<std::size_t>(d)])))
+          ++live_dirs;
+      }
+      if (live_dirs == 0) continue;
+      const std::uint64_t per_dir = node_bytes / live_dirs;
+      for (int d = 0; d < LinkTelemetry::kDirections; ++d) {
+        if (faults.node_dead(topo.index(nbrs[static_cast<std::size_t>(d)])))
+          continue;
+        out.links->record_link(n, d, per_dir, 1, 0);
+      }
+    }
+    for (std::size_t r = 0; r < out.task_retries && !alive_nodes.empty(); ++r) {
+      out.links->record_link(alive_nodes[r % alive_nodes.size()], 0, 0, 0, 1);
+    }
+  }
 
   if (cfg.long_range) {
     double lr_start = std::numeric_limits<double>::infinity();
@@ -244,7 +291,7 @@ StepTimings MdgrapeMachine::simulate_step(const StepConfig& cfg) const {
   return out;
 }
 
-void record_step_metrics(const StepTimings& timings) {
+void record_step_metrics(const StepTimings& timings, const NetworkParams& nw) {
   obs::Registry& reg = obs::Registry::global();
   // Table 2 stage names <- the schedule's task names.  Summing exactly the
   // tasks that long_range_total sums keeps sum(stages) == total.
@@ -272,6 +319,68 @@ void record_step_metrics(const StepTimings& timings) {
   reg.gauge_set("step/gcu_window_s", timings.gcu_window);
   reg.gauge_set("step/dead_nodes", static_cast<double>(timings.dead_nodes));
   reg.gauge_set("step/task_retries", static_cast<double>(timings.task_retries));
+  if (timings.links != nullptr) {
+    timings.links->record_gauges(nw, timings.step_time);
+  }
+}
+
+void trace_step(const StepTimings& timings, const MachineParams& machine) {
+  if (!obs::tracing_active()) return;
+  obs::Tracer& tracer = obs::Tracer::global();
+  // Distinct process names per replay keep repeated steps from overlapping
+  // on the same rows.
+  static std::atomic<int> g_step_serial{0};
+  const int serial = ++g_step_serial;
+  const std::string step_process = "machine step " + std::to_string(serial);
+
+  // Unit lanes (GP/PP/NW/LRU/GCU/TMENW), labelled via the shared metadata.
+  trace_schedule(timings.schedule, step_process);
+
+  // FPGA FFT sub-stages of the TMENW window: the forward transform, the
+  // pointwise Green's-function multiply, and the inverse transform are
+  // modelled as equal thirds of the round trip.
+  for (const ScheduledTask& t : timings.schedule) {
+    if (t.spec.name != "TMENW top level" || t.spec.duration <= 0.0) continue;
+    const obs::TrackId fft = tracer.track(step_process, "FPGA FFT stages");
+    const double start_us = t.start * 1e6;
+    const double third_us = (t.end - t.start) * 1e6 / 3.0;
+    tracer.complete(fft, "fft forward", start_us, third_us);
+    tracer.complete(fft, "greens pointwise", start_us + third_us, third_us);
+    tracer.complete(fft, "fft inverse", start_us + 2.0 * third_us, third_us);
+  }
+
+  // Per-node tracks: every torus node gets a row; alive nodes replay the
+  // replicated halo/nonbond/force activity, dead nodes carry a marker.
+  const std::string node_process = "torus nodes " + std::to_string(serial);
+  const TorusTopology topo(machine.nodes_x, machine.nodes_y, machine.nodes_z);
+  std::vector<bool> dead(topo.node_count(), false);
+  for (const std::size_t n : timings.dead_node_list) dead[n] = true;
+  const char* kPerNodeTasks[] = {"coord exchange", "nonbond pipelines",
+                                 "force exchange"};
+  for (std::size_t n = 0; n < topo.node_count(); ++n) {
+    const NodeCoord c = topo.coord(n);
+    const obs::TrackId track =
+        tracer.track(node_process, "node (" + std::to_string(c.x) + "," +
+                                       std::to_string(c.y) + "," +
+                                       std::to_string(c.z) + ")");
+    if (dead[n]) {
+      tracer.instant(track, "dead", 0.0, "structural fault");
+      continue;
+    }
+    for (const ScheduledTask& t : timings.schedule) {
+      for (const char* name : kPerNodeTasks) {
+        if (t.spec.name == name && t.spec.duration > 0.0) {
+          tracer.complete(track, t.spec.name, t.start * 1e6,
+                          (t.end - t.start) * 1e6);
+        }
+      }
+    }
+  }
+
+  if (timings.links != nullptr) {
+    timings.links->emit_trace_counters(machine.nw, timings.step_time,
+                                       timings.step_time * 1e6);
+  }
 }
 
 double MdgrapeMachine::performance_us_per_day(const StepConfig& cfg) const {

@@ -18,12 +18,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "grid/grid3d.hpp"
 #include "hw/event_sim.hpp"
 #include "hw/gcu_model.hpp"
+#include "hw/link_stats.hpp"
 #include "hw/lru_model.hpp"
 #include "hw/network_model.hpp"
 #include "hw/tmenw_model.hpp"
@@ -98,6 +100,12 @@ struct StepTimings {
   std::size_t dead_nodes = 0;
   std::size_t task_retries = 0;    // NW attempts replayed after CRC errors
   std::size_t tasks_given_up = 0;  // tasks that exhausted the retry bound
+  std::vector<std::size_t> dead_node_list;  // indices of the killed nodes
+  // Per-link torus traffic this step (halo, force and sleeve exchanges
+  // distributed over each alive node's outgoing links; CRC replays charged
+  // as per-link retries).  Always populated; shared_ptr keeps StepTimings
+  // cheap to copy.
+  std::shared_ptr<LinkTelemetry> links;
 };
 
 // Records one simulated step's long-range stage breakdown into the global
@@ -106,10 +114,21 @@ struct StepTimings {
 //   step/convolution, step/prolongation, step/top_fft, step/grid_to_lru,
 //   step/back_interpolation
 // plus a "step" timer holding the long-range busy total (the stage timers
-// sum to it exactly) and gauges for the makespan and long-range span.
+// sum to it exactly), gauges for the makespan and long-range span, and the
+// hw/link/* per-link summary gauges (utilizations over the makespan window).
 // Call Registry::global().reset() first when a single headline breakdown is
 // wanted (the registry otherwise accumulates across simulate_step calls).
-void record_step_metrics(const StepTimings& timings);
+void record_step_metrics(const StepTimings& timings,
+                         const NetworkParams& nw = {});
+
+// Replays one simulated step into the global tracer (no-op unless tracing
+// is active): unit-lane tracks via trace_schedule under "machine step",
+// a per-node track for every torus node ("torus nodes" process — halo /
+// nonbond / force activity for alive nodes, an instant "dead" marker for
+// killed ones), FPGA FFT sub-stages of the TMENW window, and per-link
+// counter samples at the makespan.  Simulated seconds map to trace
+// microseconds 1:1.
+void trace_step(const StepTimings& timings, const MachineParams& machine);
 
 // Estimate of a *software* distributed 3D FFT on the torus (the paper's
 // MDGRAPE-4 prototype: "repetition of 1D FFT and transposition on the torus

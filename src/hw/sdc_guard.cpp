@@ -2,12 +2,14 @@
 
 #include <cmath>
 #include <cstddef>
+#include <string>
 
 #include "ewald/greens_function.hpp"
 #include "grid/transfer.hpp"
 #include "hw/fpga_fft.hpp"
 #include "hw/gcu_functional.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/constants.hpp"
 
 namespace tme::hw {
@@ -61,6 +63,7 @@ bool GuardedTmePipeline::guarded_stage(
     GuardedStage stage, int index, const std::function<void()>& stage_fn,
     const std::function<bool(abft::CheckSet&)>& verify, abft::CheckSet& checks,
     GuardedTmeReport& report) const {
+  TME_TRACE_SPAN(to_string(stage));
   if (faults_ != nullptr) {
     faults_->set_sdc_context(static_cast<int>(stage), index);
   }
@@ -68,6 +71,8 @@ bool GuardedTmePipeline::guarded_stage(
   if (!config_.checks_enabled) return true;
   if (verify(checks)) return true;
   if (on_violation_) on_violation_(stage, index);
+  TME_TRACE_INSTANT_D("abft violation", std::string(to_string(stage)) +
+                                            " index " + std::to_string(index));
   for (int retry = 0; retry < config_.max_stage_recomputes; ++retry) {
     // The upset is transient: suspend injection and re-execute just this
     // stage — the retry is bitwise identical to a fault-free evaluation.
@@ -76,12 +81,17 @@ bool GuardedTmePipeline::guarded_stage(
     if (verify(checks)) {
       ++report.stage_recomputes;
       TME_COUNTER_ADD("abft/stage_recomputes", 1);
+      TME_TRACE_INSTANT_D("abft recompute ok",
+                          std::string(to_string(stage)) + " retry " +
+                              std::to_string(retry + 1));
       return true;
     }
     if (on_violation_) on_violation_(stage, index);
   }
   report.recovered = false;
   TME_COUNTER_ADD("abft/unrecovered_stages", 1);
+  TME_TRACE_INSTANT_D("abft unrecovered", std::string(to_string(stage)) +
+                                              " index " + std::to_string(index));
   return false;
 }
 

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <map>
 
+#include "hw/track_meta.hpp"
+
 namespace tme::hw {
 
 std::string render_timechart(const std::vector<ScheduledTask>& schedule, int width) {
@@ -20,7 +22,7 @@ std::string render_timechart(const std::vector<ScheduledTask>& schedule, int wid
   }
 
   std::string out;
-  char buf[160];
+  char buf[200];
   std::snprintf(buf, sizeof(buf), "%-7s 0%*s%.1f us\n", "", width - 6, "",
                 makespan * 1e6);
   out += buf;
@@ -41,21 +43,28 @@ std::string render_timechart(const std::vector<ScheduledTask>& schedule, int wid
     std::snprintf(buf, sizeof(buf), "%-7s [%s]\n", lane.c_str(), bar.c_str());
     out += buf;
   }
+  // Legend: lane key -> track label, same metadata the trace exporter uses.
+  for (const auto& lane : lanes) {
+    std::snprintf(buf, sizeof(buf), "  %-7s %s\n", lane.c_str(),
+                  lane_label(lane).c_str());
+    out += buf;
+  }
   return out;
 }
 
 std::string render_task_table(const std::vector<ScheduledTask>& schedule) {
-  std::string out = "  task                    lane     start(us)   end(us)   dur(us)\n";
-  char buf[160];
+  std::string out =
+      "  task                    unit                              start(us)   end(us)   dur(us)\n";
+  char buf[200];
   std::vector<ScheduledTask> sorted = schedule;
   std::sort(sorted.begin(), sorted.end(),
             [](const ScheduledTask& a, const ScheduledTask& b) {
               return a.start < b.start;
             });
   for (const auto& t : sorted) {
-    std::snprintf(buf, sizeof(buf), "  %-23s %-7s %9.2f %9.2f %9.2f\n",
-                  t.spec.name.c_str(), t.spec.lane.c_str(), t.start * 1e6,
-                  t.end * 1e6, t.spec.duration * 1e6);
+    std::snprintf(buf, sizeof(buf), "  %-23s %-32s %9.2f %9.2f %9.2f\n",
+                  t.spec.name.c_str(), lane_label(t.spec.lane).c_str(),
+                  t.start * 1e6, t.end * 1e6, t.spec.duration * 1e6);
     out += buf;
   }
   return out;

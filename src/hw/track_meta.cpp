@@ -1,0 +1,52 @@
+#include "hw/track_meta.hpp"
+
+#include "obs/trace.hpp"
+
+namespace tme::hw {
+
+const std::vector<LaneMeta>& lane_metadata() {
+  static const std::vector<LaneMeta> kLanes = {
+      {"GP", "GP cores (integrate/bonded)", "software"},
+      {"PP", "PP nonbond pipelines", "hardware"},
+      {"NW", "torus network", "hardware"},
+      {"LRU", "LRU charge assign / back interp", "hardware"},
+      {"GCU", "GCU grid convolution", "hardware"},
+      {"TMENW", "TMENW top-level FFT", "hardware"},
+  };
+  return kLanes;
+}
+
+std::string lane_label(const std::string& lane) {
+  for (const LaneMeta& m : lane_metadata()) {
+    if (lane == m.lane) return m.label;
+  }
+  return lane;
+}
+
+void trace_schedule(const std::vector<ScheduledTask>& schedule,
+                    const std::string& process) {
+  if (!obs::tracing_active()) return;
+  obs::Tracer& tracer = obs::Tracer::global();
+  for (const ScheduledTask& t : schedule) {
+    if (t.spec.duration <= 0.0 && t.attempts <= 1 && t.completed) continue;
+    const obs::TrackId track = tracer.track(process, lane_label(t.spec.lane));
+    const double start_us = t.start * 1e6;
+    const double end_us = t.end * 1e6;
+    tracer.complete(track, t.spec.name, start_us, end_us - start_us);
+    if (t.attempts > 1) {
+      // Failed attempts replay the full duration plus the retry penalty from
+      // the start of the task window; mark each replay boundary.
+      const double attempt_us =
+          (end_us - start_us) / static_cast<double>(t.attempts);
+      for (int k = 1; k < t.attempts; ++k) {
+        tracer.instant(track, "retry", start_us + k * attempt_us,
+                       t.spec.name + " attempt " + std::to_string(k + 1));
+      }
+    }
+    if (!t.completed) {
+      tracer.instant(track, "gave up", end_us, t.spec.name);
+    }
+  }
+}
+
+}  // namespace tme::hw

@@ -1,0 +1,35 @@
+// Display metadata for the simulated machine's execution lanes, shared by
+// the ASCII timechart and the Perfetto trace exporter so both render the
+// same labels for the same hardware units.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/event_sim.hpp"
+
+namespace tme::hw {
+
+struct LaneMeta {
+  const char* lane;   // the TaskSpec::lane key ("GP", "GCU", ...)
+  const char* label;  // human-readable row label
+  const char* kind;   // "software" or "hardware"
+};
+
+// The known lanes, in the paper's Fig. 9 row order.
+const std::vector<LaneMeta>& lane_metadata();
+
+// Full label for a lane key; unknown lanes fall back to the key itself.
+std::string lane_label(const std::string& lane);
+
+// Replays a completed schedule into the global tracer as simulated-time
+// spans: one track per lane (labelled via lane_metadata) grouped under
+// `process`, one "X" span per task, an instant "retry" event per replayed
+// attempt (attempts > 1) and an instant "gave up" event for tasks that
+// exhausted the retry bound.  Simulated seconds map to trace microseconds
+// 1:1 (the step is a ~200 us object; Perfetto shows it full-scale).  No-op
+// unless tracing is active.
+void trace_schedule(const std::vector<ScheduledTask>& schedule,
+                    const std::string& process);
+
+}  // namespace tme::hw

@@ -7,6 +7,7 @@
 
 #include "md/checkpoint.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/env.hpp"
 #include "util/logging.hpp"
 #include "util/watchdog.hpp"
@@ -50,7 +51,10 @@ std::vector<GuardrailViolation> Guardrail::check(const ParticleSystem& system,
                                                  std::uint64_t step) {
   std::vector<GuardrailViolation> found;
   auto flag = [&](std::string what) {
-    log_warn("guardrail: step ", step, ": ", what);
+    log_structured(LogLevel::kWarn, "guardrail_violation",
+                   {{"step", std::to_string(step)}, {"what", what}});
+    TME_TRACE_INSTANT_D("guardrail violation",
+                        "step " + std::to_string(step) + ": " + what);
     found.push_back({step, std::move(what)});
   };
 
@@ -126,9 +130,13 @@ GuardedRunResult run_guarded(ParticleSystem& system, const Topology& topology,
     watched_step = std::make_shared<std::atomic<std::uint64_t>>(0);
     watchdog = std::make_unique<Watchdog>(
         params.watchdog_timeout_s, [watched_step, &params] {
-          log_error("guardrail: watchdog fired — no progress for ",
-                    params.watchdog_timeout_s, " s while computing step ",
-                    watched_step->load() + 1);
+          log_structured(
+              LogLevel::kError, "guardrail_watchdog_fired",
+              {{"timeout_s", std::to_string(params.watchdog_timeout_s)},
+               {"step", std::to_string(watched_step->load() + 1)}});
+          TME_TRACE_INSTANT_D("watchdog fired",
+                              "no progress while computing step " +
+                                  std::to_string(watched_step->load() + 1));
         });
   }
   auto finish = [&](GuardedRunResult& r) -> GuardedRunResult& {
@@ -163,8 +171,14 @@ GuardedRunResult run_guarded(ParticleSystem& system, const Topology& topology,
       while (!bad.empty() && result.step_recomputes < params.max_step_recomputes) {
         ++result.step_recomputes;
         TME_COUNTER_ADD("md/guardrail/step_recomputes", 1);
-        log_warn("guardrail: recomputing step ", step, " (retry ",
-                 result.step_recomputes, "/", params.max_step_recomputes, ")");
+        log_structured(
+            LogLevel::kWarn, "guardrail_step_recompute",
+            {{"step", std::to_string(step)},
+             {"retry", std::to_string(result.step_recomputes)},
+             {"max", std::to_string(params.max_step_recomputes)}});
+        TME_TRACE_INSTANT_D("guardrail recompute",
+                            "step " + std::to_string(step) + " retry " +
+                                std::to_string(result.step_recomputes));
         system = prestep;
         report = integrator.step(system, topology, ff);
         bad = guard.check(system, report, step);
@@ -205,6 +219,8 @@ GuardedRunResult run_guarded(ParticleSystem& system, const Topology& topology,
                     checkpointing ? "recovery limit reached" : "no checkpoint path",
                     "); aborting at step ", step);
           TME_COUNTER_ADD("md/guardrail/aborts", 1);
+          TME_TRACE_INSTANT_D("guardrail abort",
+                              "unrecoverable at step " + std::to_string(step));
           result.aborted = true;
           return finish(result);
         }
@@ -213,13 +229,21 @@ GuardedRunResult run_guarded(ParticleSystem& system, const Topology& topology,
         result.steps_completed = ckpt.step;
         ++result.recoveries;
         guard.reset_energy_reference();
-        log_warn("guardrail: rolled back to checkpoint at step ", ckpt.step);
+        log_structured(LogLevel::kWarn, "guardrail_rollback",
+                       {{"failed_step", std::to_string(step)},
+                        {"checkpoint_step", std::to_string(ckpt.step)}});
+        TME_TRACE_INSTANT_D("guardrail rollback",
+                            "to checkpoint at step " +
+                                std::to_string(ckpt.step));
         TME_COUNTER_ADD("md/guardrail/recoveries", 1);
         break;
       }
       case GuardrailPolicy::kAbort:
-        log_error("guardrail: aborting at step ", step);
+        log_structured(LogLevel::kError, "guardrail_abort",
+                       {{"step", std::to_string(step)}});
         TME_COUNTER_ADD("md/guardrail/aborts", 1);
+        TME_TRACE_INSTANT_D("guardrail abort",
+                            "policy abort at step " + std::to_string(step));
         result.aborted = true;
         return finish(result);
     }

@@ -10,6 +10,7 @@
 #include "ewald/splitting.hpp"
 #include "md/cell_list.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/constants.hpp"
 #include "util/parallel.hpp"
 
@@ -128,6 +129,7 @@ ShortRangeResult ShortRangeEngine::compute(ParticleSystem& system,
   const double alpha = params_.alpha;
   const ForceTable* table = table_.get();
   parallel_for(pool, 0, nb, [&](std::size_t b) {
+    TME_TRACE_SPAN("short_range/batch");
     Partial& part = partials[b];
     part.forces.assign(n, Vec3{});
     auto pair = [&](std::size_t ka, std::size_t kb) {

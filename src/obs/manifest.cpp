@@ -1,0 +1,89 @@
+#include "obs/manifest.hpp"
+
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <variant>
+
+extern char** environ;
+
+namespace tme::obs {
+
+namespace {
+
+#if !defined(TME_GIT_DESCRIBE)
+#define TME_GIT_DESCRIBE "unknown"
+#endif
+#if !defined(TME_BUILD_TYPE)
+#define TME_BUILD_TYPE "unknown"
+#endif
+
+struct RuntimeFacts {
+  std::mutex mutex;
+  std::map<std::string, std::variant<std::string, double>> values;
+};
+
+RuntimeFacts& facts() {
+  static RuntimeFacts f;
+  return f;
+}
+
+}  // namespace
+
+void manifest_set(const std::string& key, const std::string& value) {
+  RuntimeFacts& f = facts();
+  std::lock_guard<std::mutex> lock(f.mutex);
+  f.values[key] = value;
+}
+
+void manifest_set(const std::string& key, double value) {
+  RuntimeFacts& f = facts();
+  std::lock_guard<std::mutex> lock(f.mutex);
+  f.values[key] = value;
+}
+
+JsonValue manifest_json() {
+  JsonValue root = JsonValue::make_object();
+  auto& obj = root.as_object();
+  obj["git_describe"] = JsonValue::make_string(TME_GIT_DESCRIBE);
+  obj["build_type"] = JsonValue::make_string(TME_BUILD_TYPE);
+#if defined(TME_METRICS_ENABLED)
+  obj["metrics_compiled"] = JsonValue::make_number(1);
+#else
+  obj["metrics_compiled"] = JsonValue::make_number(0);
+#endif
+#if defined(TME_TRACE_ENABLED)
+  obj["trace_compiled"] = JsonValue::make_number(1);
+#else
+  obj["trace_compiled"] = JsonValue::make_number(0);
+#endif
+
+  JsonValue env = JsonValue::make_object();
+  auto& env_obj = env.as_object();
+  for (char** e = environ; e != nullptr && *e != nullptr; ++e) {
+    if (std::strncmp(*e, "TME_", 4) != 0) continue;
+    const char* eq = std::strchr(*e, '=');
+    if (eq == nullptr) continue;
+    env_obj[std::string(*e, static_cast<std::size_t>(eq - *e))] =
+        JsonValue::make_string(eq + 1);
+  }
+  obj["env"] = std::move(env);
+
+  JsonValue runtime = JsonValue::make_object();
+  auto& run_obj = runtime.as_object();
+  {
+    RuntimeFacts& f = facts();
+    std::lock_guard<std::mutex> lock(f.mutex);
+    for (const auto& [key, value] : f.values) {
+      if (std::holds_alternative<double>(value)) {
+        run_obj[key] = JsonValue::make_number(std::get<double>(value));
+      } else {
+        run_obj[key] = JsonValue::make_string(std::get<std::string>(value));
+      }
+    }
+  }
+  obj["runtime"] = std::move(runtime);
+  return root;
+}
+
+}  // namespace tme::obs

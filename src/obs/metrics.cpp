@@ -1,8 +1,11 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "obs/json.hpp"
+#include "obs/trace.hpp"
 
 namespace tme::obs {
 
@@ -38,10 +41,107 @@ void Registry::gauge_set(const std::string& name, double value) {
 }
 
 void Registry::timer_add(const std::string& path, double seconds) {
+  Histogram* h = nullptr;
+  {
+    std::lock_guard lock(mutex_);
+    TimerStat& t = timers_[path];
+    t.seconds += seconds;
+    t.count += 1;
+    h = &histograms_[path];
+  }
+  h->record(seconds);
+}
+
+Histogram& Registry::histogram(const std::string& name) {
   std::lock_guard lock(mutex_);
-  TimerStat& t = timers_[path];
-  t.seconds += seconds;
-  t.count += 1;
+  return histograms_[name];
+}
+
+void Histogram::record(double value) {
+  bins_[static_cast<std::size_t>(bin_index(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  // min/max via CAS; first sample initialises both (count_ orders this:
+  // racing first samples both CAS against the other's value, so the final
+  // min/max still cover every recorded sample).
+  if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    min_.store(value, std::memory_order_relaxed);
+    max_.store(value, std::memory_order_relaxed);
+  }
+  double seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+int Histogram::bin_index(double value) {
+  if (!(value >= kMinValue)) return 0;  // underflow (also NaN, negatives)
+  const double decades = std::log10(value / kMinValue);
+  const int idx = 1 + static_cast<int>(decades * kBinsPerDecade);
+  if (idx >= kBinCount - 1) return kBinCount - 1;  // overflow
+  return idx;
+}
+
+double Histogram::bin_lower(int index) {
+  return kMinValue *
+         std::pow(10.0, static_cast<double>(index - 1) / kBinsPerDecade);
+}
+
+double Histogram::bin_mid(int index) {
+  return kMinValue *
+         std::pow(10.0, (static_cast<double>(index) - 0.5) / kBinsPerDecade);
+}
+
+void Histogram::reset() {
+  for (auto& b : bins_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+HistogramStat HistogramStat::from(const Histogram& h) {
+  HistogramStat out;
+  out.count = h.count_.load(std::memory_order_relaxed);
+  out.sum = h.sum_.load(std::memory_order_relaxed);
+  out.min = h.min_.load(std::memory_order_relaxed);
+  out.max = h.max_.load(std::memory_order_relaxed);
+  for (int i = 0; i < Histogram::kBinCount; ++i) {
+    const std::uint64_t n = h.bin(i);
+    if (n != 0) out.bins.emplace_back(i, n);
+  }
+  out.p50 = out.quantile(0.50);
+  out.p95 = out.quantile(0.95);
+  out.p99 = out.quantile(0.99);
+  return out;
+}
+
+double HistogramStat::quantile(double q) const {
+  if (count == 0) return 0.0;
+  // Rank of the q-th sample (1-based, nearest-rank definition).
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count))));
+  std::uint64_t cum = 0;
+  for (const auto& [index, n] : bins) {
+    cum += n;
+    if (cum >= rank) {
+      double v;
+      if (index == 0) {
+        v = min;  // underflow bin: all we know is "below the grid"
+      } else if (index == Histogram::kBinCount - 1) {
+        v = max;  // overflow bin
+      } else {
+        v = Histogram::bin_mid(index);
+      }
+      return std::clamp(v, min, max);
+    }
+  }
+  return max;
 }
 
 MetricsSnapshot Registry::snapshot() const {
@@ -51,12 +151,17 @@ MetricsSnapshot Registry::snapshot() const {
   for (const auto& [name, c] : counters_) out.counters.emplace_back(name, c.value());
   out.gauges.assign(gauges_.begin(), gauges_.end());
   out.timers.assign(timers_.begin(), timers_.end());
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    out.histograms.emplace_back(name, HistogramStat::from(h));
+  }
   return out;
 }
 
 void Registry::reset() {
   std::lock_guard lock(mutex_);
   for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, h] : histograms_) h.reset();
   gauges_.clear();
   timers_.clear();
 }
@@ -71,6 +176,14 @@ ScopedPhase::~ScopedPhase() {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count();
   Registry::global().timer_add(path_, elapsed);
+  // Bridge into the tracer: every TME_PHASE site doubles as a trace span on
+  // the calling thread's track, named by the full slash-joined path.
+  if (tracing_active()) {
+    Tracer& tracer = Tracer::global();
+    const double end_us = tracer.now_us();
+    tracer.complete(tracer.thread_track(), path_, end_us - elapsed * 1e6,
+                    elapsed * 1e6);
+  }
   g_phase_stack.pop_back();
 }
 
@@ -95,9 +208,29 @@ std::string to_json(const MetricsSnapshot& snapshot) {
         JsonValue::make_number(static_cast<double>(stat.count));
     timers.as_object()[path] = std::move(entry);
   }
+  JsonValue histograms = JsonValue::make_object();
+  for (const auto& [path, stat] : snapshot.histograms) {
+    JsonValue entry = JsonValue::make_object();
+    auto& obj = entry.as_object();
+    obj["count"] = JsonValue::make_number(static_cast<double>(stat.count));
+    obj["sum"] = JsonValue::make_number(stat.sum);
+    obj["min"] = JsonValue::make_number(stat.min);
+    obj["max"] = JsonValue::make_number(stat.max);
+    obj["p50"] = JsonValue::make_number(stat.p50);
+    obj["p95"] = JsonValue::make_number(stat.p95);
+    obj["p99"] = JsonValue::make_number(stat.p99);
+    JsonValue bins = JsonValue::make_object();
+    for (const auto& [index, n] : stat.bins) {
+      bins.as_object()[std::to_string(index)] =
+          JsonValue::make_number(static_cast<double>(n));
+    }
+    obj["bins"] = std::move(bins);
+    histograms.as_object()[path] = std::move(entry);
+  }
   root.as_object()["counters"] = std::move(counters);
   root.as_object()["gauges"] = std::move(gauges);
   root.as_object()["timers"] = std::move(timers);
+  root.as_object()["histograms"] = std::move(histograms);
   return root.dump();
 }
 
@@ -116,6 +249,25 @@ MetricsSnapshot metrics_from_json(const std::string& json) {
     stat.seconds = entry.at("seconds").as_number();
     stat.count = static_cast<std::uint64_t>(entry.at("count").as_number());
     out.timers.emplace_back(path, stat);
+  }
+  // Optional: BENCH files written before histograms existed lack this key.
+  if (root.contains("histograms")) {
+    for (const auto& [path, entry] : root.at("histograms").as_object()) {
+      HistogramStat stat;
+      stat.count = static_cast<std::uint64_t>(entry.at("count").as_number());
+      stat.sum = entry.at("sum").as_number();
+      stat.min = entry.at("min").as_number();
+      stat.max = entry.at("max").as_number();
+      stat.p50 = entry.at("p50").as_number();
+      stat.p95 = entry.at("p95").as_number();
+      stat.p99 = entry.at("p99").as_number();
+      for (const auto& [index, n] : entry.at("bins").as_object()) {
+        stat.bins.emplace_back(std::stoi(index),
+                               static_cast<std::uint64_t>(n.as_number()));
+      }
+      std::sort(stat.bins.begin(), stat.bins.end());
+      out.histograms.emplace_back(path, stat);
+    }
   }
   return out;
 }

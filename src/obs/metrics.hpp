@@ -1,13 +1,18 @@
 // Pipeline observability: a process-wide metrics registry.
 //
-// Three metric kinds, mirroring what the paper's evaluation needs (Table 2,
+// Four metric kinds, mirroring what the paper's evaluation needs (Table 2,
 // Fig. 9 per-stage breakdowns):
-//  - counters: monotonically increasing event counts (atomic, safe to bump
+//  - counters:   monotonically increasing event counts (atomic, safe to bump
 //    concurrently from ThreadPool workers);
-//  - gauges:   last-written values (grid sizes, traffic volumes);
-//  - timers:   accumulated wall-clock seconds + invocation counts, keyed by
+//  - gauges:     last-written values (grid sizes, traffic volumes);
+//  - timers:     accumulated wall-clock seconds + invocation counts, keyed by
 //    a hierarchical slash-joined path built from nested ScopedPhase scopes
-//    ("tme/convolution" is the convolution stage inside Tme::compute).
+//    ("tme/convolution" is the convolution stage inside Tme::compute);
+//  - histograms: log-spaced fixed-bin distributions with p50/p95/p99/min/max
+//    in snapshots.  Every timer_add also records its sample into a histogram
+//    at the same path, so per-stage timing *distributions* (not just sums)
+//    appear in BENCH_*.json — the percentile-level fidelity the mesh-Ewald
+//    comparisons in the literature report.
 //
 // Instrumentation sites use the TME_PHASE / TME_COUNTER_ADD / TME_GAUGE_SET
 // macros below.  When the build is configured with -DTME_METRICS=OFF the
@@ -50,11 +55,72 @@ struct TimerStat {
   std::uint64_t count = 0;
 };
 
+// Log-spaced fixed-bin histogram.  record() is lock-free (atomic bin bumps),
+// so ThreadPool workers may record concurrently; quantiles are computed on
+// demand from the bins.  The bin grid is fixed at construction: 8 bins per
+// decade over [1e-9, 1e4) — fine enough that a quantile read off a bin's
+// geometric midpoint is within ±15% of the true sample (10^(1/16) ≈ 1.155),
+// wide enough to span nanosecond kernels to multi-hour runs.  Samples
+// outside the grid land in dedicated underflow/overflow bins.
+class Histogram {
+ public:
+  static constexpr double kMinValue = 1e-9;
+  static constexpr int kBinsPerDecade = 8;
+  static constexpr int kDecades = 13;
+  // underflow + graded bins + overflow
+  static constexpr int kBinCount = 2 + kBinsPerDecade * kDecades;
+
+  void record(double value);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t bin(int index) const {
+    return bins_[static_cast<std::size_t>(index)].load(std::memory_order_relaxed);
+  }
+
+  // Inclusive lower edge of a graded bin (index in [1, kBinCount-2]).
+  static double bin_lower(int index);
+  // Geometric midpoint used as the representative value of a bin.
+  static double bin_mid(int index);
+  // Bin index a value lands in.
+  static int bin_index(double value);
+
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> bins_[kBinCount] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};  // valid only when count_ > 0
+  std::atomic<double> max_{0.0};
+
+  friend struct HistogramStat;
+  friend class Registry;
+};
+
+// A read-out of one histogram: summary stats, quantiles, and the non-empty
+// bins (sparse, as (bin index, count) pairs) for exact reconstruction.
+struct HistogramStat {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  std::vector<std::pair<int, std::uint64_t>> bins;
+
+  static HistogramStat from(const Histogram& h);
+  // Quantile from the captured bins (q in [0, 1]); bin-midpoint resolution,
+  // clamped to the observed [min, max].
+  double quantile(double q) const;
+};
+
 // A point-in-time copy of the registry, sorted by name within each kind.
 struct MetricsSnapshot {
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<std::pair<std::string, TimerStat>> timers;
+  std::vector<std::pair<std::string, HistogramStat>> histograms;
 };
 
 class Registry {
@@ -67,12 +133,20 @@ class Registry {
   Counter& counter(const std::string& name);
 
   void gauge_set(const std::string& name, double value);
+  // Accumulates into the timer at `path` AND records the sample into the
+  // histogram of the same name, so every timer site gets a distribution
+  // for free.
   void timer_add(const std::string& path, double seconds);
+
+  // Returns the named histogram, creating it empty on first use.  The
+  // reference stays valid for the registry's lifetime (like counter()).
+  Histogram& histogram(const std::string& name);
 
   MetricsSnapshot snapshot() const;
 
-  // Zeroes every counter and drops all gauges and timers.  Counter
-  // references handed out earlier stay valid (counters are kept, reset).
+  // Zeroes every counter and histogram and drops all gauges and timers.
+  // Counter/histogram references handed out earlier stay valid (they are
+  // kept, reset).
   void reset();
 
  private:
@@ -80,6 +154,7 @@ class Registry {
   std::map<std::string, Counter> counters_;  // node-based: stable addresses
   std::map<std::string, double> gauges_;
   std::map<std::string, TimerStat> timers_;
+  std::map<std::string, Histogram> histograms_;  // node-based: stable
 };
 
 // RAII wall-clock phase timer.  Nested instances on the same thread build a
@@ -104,13 +179,15 @@ class ScopedPhase {
 
 // Serialises a snapshot as a JSON object:
 //   {"counters": {...}, "gauges": {...}, "timers": {"p": {"seconds": s,
-//    "count": n}, ...}}
+//    "count": n}, ...}, "histograms": {"p": {"count": n, "sum": s, "min": m,
+//    "max": M, "p50": ..., "p95": ..., "p99": ..., "bins": {"<idx>": n}}}}
 // Doubles are printed with enough digits to round-trip.
 std::string to_json(const MetricsSnapshot& snapshot);
 
 // Parses the output of to_json back into a snapshot (throws
 // std::runtime_error on malformed input).  Used by tests and tools that
-// ingest the bench BENCH_*.json breakdowns.
+// ingest the bench BENCH_*.json breakdowns.  The "histograms" key is
+// optional so artifacts written before histograms existed still parse.
 MetricsSnapshot metrics_from_json(const std::string& json);
 
 }  // namespace tme::obs

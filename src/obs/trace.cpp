@@ -1,0 +1,302 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/manifest.hpp"
+
+namespace tme::obs {
+
+namespace {
+
+// obs sits below util in the link order, so it cannot use util/env; the two
+// variables read here are simple enough for direct parsing.
+bool env_flag(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return false;
+  return std::strcmp(raw, "1") == 0 || std::strcmp(raw, "on") == 0 ||
+         std::strcmp(raw, "ON") == 0 || std::strcmp(raw, "true") == 0 ||
+         std::strcmp(raw, "TRUE") == 0;
+}
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0' || v == 0) return fallback;
+  return static_cast<std::size_t>(v);
+}
+
+void append_number(std::string& out, double v) {
+  char buf[32];
+  // Timestamps and counter values: fixed microsecond precision keeps the
+  // file compact and is far below anything the viewer can display.
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out += buf;
+}
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {
+  enabled_.store(env_flag("TME_TRACE"), std::memory_order_relaxed);
+  capacity_.store(env_size("TME_TRACE_BUFFER", 65536), std::memory_order_relaxed);
+}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+double Tracer::now_us() const {
+  const auto delta = std::chrono::steady_clock::now() - epoch_;
+  return std::chrono::duration<double, std::micro>(delta).count();
+}
+
+TrackId Tracer::track(const std::string& process, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    if (tracks_[i].process == process && tracks_[i].name == name)
+      return static_cast<TrackId>(i);
+  }
+  std::uint32_t pid = 0;
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    if (processes_[i] == process) pid = static_cast<std::uint32_t>(i + 1);
+  }
+  if (pid == 0) {
+    processes_.push_back(process);
+    pid = static_cast<std::uint32_t>(processes_.size());
+  }
+  // tids only need to be unique within a pid; globally unique is simpler
+  // and renders identically.
+  const std::uint32_t tid = static_cast<std::uint32_t>(tracks_.size() + 1);
+  tracks_.push_back(TrackInfo{process, name, pid, tid});
+  return static_cast<TrackId>(tracks_.size() - 1);
+}
+
+Tracer::Buffer& Tracer::local_buffer() {
+  struct Local {
+    std::shared_ptr<Buffer> buffer;
+    std::uint64_t generation = ~std::uint64_t{0};
+    TrackId track = 0;
+  };
+  thread_local Local local;
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  if (local.buffer == nullptr || local.generation != gen) {
+    auto buffer = std::make_shared<Buffer>();
+    buffer->capacity = capacity_.load(std::memory_order_relaxed);
+    buffer->events.reserve(buffer->capacity);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      buffers_.push_back(buffer);
+    }
+    local.buffer = std::move(buffer);
+    local.generation = gen;
+  }
+  return *local.buffer;
+}
+
+TrackId Tracer::thread_track() {
+  struct Local {
+    TrackId track = 0;
+    std::uint64_t generation = ~std::uint64_t{0};
+  };
+  thread_local Local local;
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  if (local.generation != gen) {
+    std::uint32_t index = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      index = thread_count_++;
+    }
+    local.track = track("software", "thread " + std::to_string(index));
+    local.generation = gen;
+  }
+  return local.track;
+}
+
+void Tracer::append(TraceEvent event) {
+  Buffer& buf = local_buffer();
+  const std::size_t size = buf.size.load(std::memory_order_relaxed);
+  if (size >= buf.capacity) {
+    buf.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buf.events.push_back(std::move(event));
+  // Publish after the element is fully constructed so a concurrent export
+  // sees only complete events.
+  buf.size.store(size + 1, std::memory_order_release);
+}
+
+void Tracer::complete(TrackId track, std::string name, double ts_us,
+                      double dur_us, std::string detail) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.type = TraceEventType::kComplete;
+  e.track = track;
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.name = std::move(name);
+  e.detail = std::move(detail);
+  append(std::move(e));
+}
+
+void Tracer::instant(TrackId track, std::string name, double ts_us,
+                     std::string detail) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.type = TraceEventType::kInstant;
+  e.track = track;
+  e.ts_us = ts_us;
+  e.name = std::move(name);
+  e.detail = std::move(detail);
+  append(std::move(e));
+}
+
+void Tracer::instant_now(std::string name, std::string detail) {
+  if (!enabled()) return;
+  instant(thread_track(), std::move(name), now_us(), std::move(detail));
+}
+
+void Tracer::counter(TrackId track, std::string name, double ts_us,
+                     double value) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.type = TraceEventType::kCounter;
+  e.track = track;
+  e.ts_us = ts_us;
+  e.value = value;
+  e.name = std::move(name);
+  append(std::move(e));
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& buf : buffers_) total += buf->size.load(std::memory_order_acquire);
+  return total;
+}
+
+std::size_t Tracer::dropped_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& buf : buffers_)
+    total += static_cast<std::size_t>(buf->dropped.load(std::memory_order_relaxed));
+  return total;
+}
+
+std::string Tracer::to_json() const {
+  // Snapshot under the lock, then format without it.
+  std::vector<TraceEvent> events;
+  std::vector<TrackInfo> tracks;
+  std::vector<std::string> processes;
+  std::size_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tracks = tracks_;
+    processes = processes_;
+    for (const auto& buf : buffers_) {
+      const std::size_t size = buf->size.load(std::memory_order_acquire);
+      for (std::size_t i = 0; i < size; ++i) events.push_back(buf->events[i]);
+      dropped += static_cast<std::size_t>(buf->dropped.load(std::memory_order_relaxed));
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [&](const TraceEvent& a, const TraceEvent& b) {
+                     const TrackInfo& ta = tracks[a.track];
+                     const TrackInfo& tb = tracks[b.track];
+                     if (ta.pid != tb.pid) return ta.pid < tb.pid;
+                     if (ta.tid != tb.tid) return ta.tid < tb.tid;
+                     return a.ts_us < b.ts_us;
+                   });
+
+  std::string out;
+  out.reserve(events.size() * 96 + 4096);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+  // Metadata records: name the processes and track rows.
+  for (std::size_t p = 0; p < processes.size(); ++p) {
+    sep();
+    out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":";
+    out += std::to_string(p + 1);
+    out += ",\"tid\":0,\"args\":{\"name\":" + json_quote(processes[p]) + "}}";
+  }
+  for (const TrackInfo& t : tracks) {
+    sep();
+    out += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":";
+    out += std::to_string(t.pid);
+    out += ",\"tid\":";
+    out += std::to_string(t.tid);
+    out += ",\"args\":{\"name\":" + json_quote(t.name) + "}}";
+  }
+  for (const TraceEvent& e : events) {
+    const TrackInfo& t = tracks[e.track];
+    sep();
+    out += "{\"ph\":\"";
+    switch (e.type) {
+      case TraceEventType::kComplete: out += 'X'; break;
+      case TraceEventType::kInstant: out += 'i'; break;
+      case TraceEventType::kCounter: out += 'C'; break;
+    }
+    out += "\",\"name\":" + json_quote(e.name);
+    out += ",\"pid\":" + std::to_string(t.pid);
+    out += ",\"tid\":" + std::to_string(t.tid);
+    out += ",\"ts\":";
+    append_number(out, e.ts_us);
+    if (e.type == TraceEventType::kComplete) {
+      out += ",\"dur\":";
+      append_number(out, e.dur_us);
+    }
+    if (e.type == TraceEventType::kInstant) out += ",\"s\":\"t\"";
+    if (e.type == TraceEventType::kCounter) {
+      out += ",\"args\":{\"value\":";
+      append_number(out, e.value);
+      out += "}";
+    } else if (!e.detail.empty()) {
+      out += ",\"args\":{\"detail\":" + json_quote(e.detail) + "}";
+    }
+    out += "}";
+  }
+  out += "],\"displayTimeUnit\":\"ns\",\"otherData\":";
+  JsonValue other = manifest_json();
+  other.as_object()["trace_events"] = JsonValue::make_number(static_cast<double>(events.size()));
+  other.as_object()["trace_dropped"] = JsonValue::make_number(static_cast<double>(dropped));
+  out += other.dump();
+  out += "}\n";
+  return out;
+}
+
+bool Tracer::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string json = to_json();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = written == json.size() && std::fclose(f) == 0;
+  if (written != json.size()) std::fclose(f);
+  return ok;
+}
+
+void Tracer::set_buffer_capacity(std::size_t events) {
+  if (events == 0) events = 1;
+  capacity_.store(events, std::memory_order_relaxed);
+}
+
+void Tracer::reset_for_testing() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffers_.clear();
+  tracks_.clear();
+  processes_.clear();
+  thread_count_ = 0;
+  epoch_ = std::chrono::steady_clock::now();
+  generation_.fetch_add(1, std::memory_order_release);
+}
+
+}  // namespace tme::obs

@@ -1,0 +1,228 @@
+// Low-overhead span tracing with Chrome trace-event / Perfetto JSON export.
+//
+// The metrics registry (obs/metrics.hpp) answers "how much time did each
+// stage take in aggregate"; this module answers "when did every span run,
+// on which thread or simulated hardware unit".  Three event sources feed
+// one process-wide Tracer:
+//  - software spans: every TME_PHASE site (bridged from ScopedPhase) plus
+//    explicit TME_TRACE_SPAN scopes, stamped with wall-clock monotonic
+//    timestamps on the emitting thread's track;
+//  - simulated-hardware spans: schedule tasks, torus-node activity and
+//    retry/backoff episodes replayed in *simulated* time onto explicitly
+//    registered tracks (hw/track_meta.hpp feeds these from the event
+//    simulator and the machine model);
+//  - counter samples: per-link traffic/utilization tracks (hw/link_stats).
+//
+// Recording is wait-free on the hot path: each thread appends into its own
+// pre-reserved ring buffer (registered once with the Tracer), and a full
+// buffer counts drops instead of blocking or reallocating.  Tracing costs
+// one relaxed atomic load when runtime-disabled, and compiles out entirely
+// (macros expand to nothing, kTraceEnabled = false) when the build is
+// configured with -DTME_TRACE=OFF — mirroring TME_METRICS.  At runtime the
+// tracer starts disabled unless the TME_TRACE environment variable is set
+// to 1/on/true; benches enable it for --trace-out runs.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tme::obs {
+
+#if defined(TME_TRACE_ENABLED)
+inline constexpr bool kTraceEnabled = true;
+#else
+inline constexpr bool kTraceEnabled = false;
+#endif
+
+// Identifies a (process, thread) row in the exported trace.  Obtain from
+// Tracer::track(); the id stays valid until reset_for_testing().
+using TrackId = std::uint32_t;
+
+enum class TraceEventType : std::uint8_t {
+  kComplete,  // "X": a span with ts + dur
+  kInstant,   // "i": a point event
+  kCounter,   // "C": a sampled counter value
+};
+
+struct TraceEvent {
+  TraceEventType type = TraceEventType::kComplete;
+  TrackId track = 0;
+  double ts_us = 0.0;   // microseconds: wall (since tracer epoch) or sim time
+  double dur_us = 0.0;  // kComplete only
+  double value = 0.0;   // kCounter only
+  std::string name;
+  std::string detail;   // optional; exported as args.detail when non-empty
+};
+
+class Tracer {
+ public:
+  // The process-wide tracer used by all instrumentation macros and feeders.
+  static Tracer& global();
+
+  // Runtime switch.  The initial value comes from the TME_TRACE environment
+  // variable (1/on/true enables); set_enabled overrides it.  Spans opened
+  // while disabled are not recorded even if tracing is enabled before they
+  // close (no half-captured spans).
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+
+  // Registers (or looks up) a track.  Tracks are grouped by `process` in the
+  // trace viewer; `name` labels the row.  Thread-safe; ids are assigned in
+  // first-registration order, so a fixed call order gives a fixed layout.
+  TrackId track(const std::string& process, const std::string& name);
+
+  // The calling thread's own wall-clock track ("software" process), created
+  // on first use as "thread <n>" in registration order.
+  TrackId thread_track();
+
+  // Microseconds of monotonic wall clock since the tracer epoch.
+  double now_us() const;
+
+  // --- recording (no-ops when runtime-disabled) ---------------------------
+  // Wall-clock span/instant on the calling thread's software track.
+  void complete(TrackId track, std::string name, double ts_us, double dur_us,
+                std::string detail = {});
+  void instant(TrackId track, std::string name, double ts_us,
+               std::string detail = {});
+  void instant_now(std::string name, std::string detail = {});
+  // Counter sample (ph "C"): one series named `name` on `track`.
+  void counter(TrackId track, std::string name, double ts_us, double value);
+
+  // --- export -------------------------------------------------------------
+  // Events recorded / events dropped because a thread's ring was full.
+  std::size_t event_count() const;
+  std::size_t dropped_count() const;
+
+  // Serialises everything as a Chrome trace-event JSON object
+  // ({"traceEvents": [...], "displayTimeUnit": "ns", "otherData": manifest}).
+  // Events are sorted by (pid, tid, ts) so per-track timestamps are monotone;
+  // process/thread metadata records carry the registered names.  Safe to call
+  // while other threads record (they keep appending; the export sees a
+  // consistent prefix of each buffer).
+  std::string to_json() const;
+
+  // to_json() to a file; returns false (and logs nothing) on I/O failure.
+  bool write(const std::string& path) const;
+
+  // Per-thread ring capacity for buffers created *after* this call (existing
+  // buffers are retired by reset_for_testing).  Default 65536 events,
+  // overridable at startup with TME_TRACE_BUFFER.
+  void set_buffer_capacity(std::size_t events);
+  std::size_t buffer_capacity() const { return capacity_.load(std::memory_order_relaxed); }
+
+  // Drops all recorded events, tracks and thread buffers and re-arms the
+  // epoch.  Outstanding TrackIds become invalid.  Tests only.
+  void reset_for_testing();
+
+ private:
+  friend class TraceSpan;
+
+  struct Buffer {
+    std::vector<TraceEvent> events;       // reserved to capacity, append-only
+    std::atomic<std::size_t> size{0};     // published length (release on write)
+    std::atomic<std::uint64_t> dropped{0};
+    std::size_t capacity = 0;
+  };
+
+  struct TrackInfo {
+    std::string process;
+    std::string name;
+    std::uint32_t pid = 0;
+    std::uint32_t tid = 0;
+  };
+
+  Tracer();
+  Buffer& local_buffer();
+  void append(TraceEvent event);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::size_t> capacity_{65536};
+  std::atomic<std::uint64_t> generation_{0};
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mutex_;  // guards buffers_, tracks_, processes_
+  std::vector<std::shared_ptr<Buffer>> buffers_;
+  std::vector<TrackInfo> tracks_;
+  std::vector<std::string> processes_;  // index + 1 == pid
+  std::uint32_t thread_count_ = 0;
+};
+
+// True when tracing is compiled in *and* runtime-enabled — the one check
+// every feeder performs before doing any work.
+inline bool tracing_active() {
+  if constexpr (!kTraceEnabled) {
+    return false;
+  } else {
+    return Tracer::global().enabled();
+  }
+}
+
+// RAII wall-clock span on the calling thread's track.  `name` must outlive
+// the scope (string literals at the instrumentation sites).  If tracing is
+// disabled at construction the destructor does nothing.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (tracing_active()) {
+      name_ = name;
+      start_us_ = Tracer::global().now_us();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr && tracing_active()) {
+      Tracer& t = Tracer::global();
+      const double now = t.now_us();
+      t.complete(t.thread_track(), name_, start_us_, now - start_us_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  double start_us_ = 0.0;
+};
+
+}  // namespace tme::obs
+
+#if defined(TME_TRACE_ENABLED)
+
+#define TME_TRACE_SPAN(name) \
+  ::tme::obs::TraceSpan TME_OBS_TRACE_CONCAT(tme_trace_span_, __LINE__)(name)
+
+#define TME_TRACE_INSTANT(name)                                   \
+  do {                                                            \
+    if (::tme::obs::tracing_active())                             \
+      ::tme::obs::Tracer::global().instant_now(name);             \
+  } while (0)
+
+// `detail` may be any std::string-convertible expression; it is evaluated
+// only when tracing is active.
+#define TME_TRACE_INSTANT_D(name, detail)                         \
+  do {                                                            \
+    if (::tme::obs::tracing_active())                             \
+      ::tme::obs::Tracer::global().instant_now(name, (detail));   \
+  } while (0)
+
+#define TME_OBS_TRACE_CONCAT_INNER(a, b) a##b
+#define TME_OBS_TRACE_CONCAT(a, b) TME_OBS_TRACE_CONCAT_INNER(a, b)
+
+#else  // tracing compiled out
+
+#define TME_TRACE_SPAN(name) \
+  do {                       \
+  } while (0)
+#define TME_TRACE_INSTANT(name) \
+  do {                          \
+  } while (0)
+#define TME_TRACE_INSTANT_D(name, detail) \
+  do {                                    \
+    (void)sizeof(detail);                 \
+  } while (0)
+
+#endif

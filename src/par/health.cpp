@@ -1,8 +1,10 @@
 #include "par/health.hpp"
 
 #include <stdexcept>
+#include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace tme::par {
@@ -35,8 +37,11 @@ bool HealthMonitor::report_violation(std::size_t node) {
   if (trial.dead_nodes().size() >= topo_->node_count()) {
     refused_[node] = 1;
     ++refused_count_;
-    log_warn("health: refusing to quarantine node ", node,
-             " — it is the last survivor");
+    log_structured(LogLevel::kWarn, "health_quarantine_refused",
+                   {{"node", std::to_string(node)},
+                    {"reason", "last survivor"}});
+    TME_TRACE_INSTANT_D("quarantine refused",
+                        "node " + std::to_string(node) + " is last survivor");
     return false;
   }
   try {
@@ -44,8 +49,12 @@ bool HealthMonitor::report_violation(std::size_t node) {
   } catch (const std::runtime_error&) {
     refused_[node] = 1;
     ++refused_count_;
-    log_warn("health: refusing to quarantine node ", node,
-             " — the machine would partition");
+    log_structured(LogLevel::kWarn, "health_quarantine_refused",
+                   {{"node", std::to_string(node)},
+                    {"reason", "machine would partition"}});
+    TME_TRACE_INSTANT_D("quarantine refused",
+                        "node " + std::to_string(node) +
+                            " would partition the machine");
     TME_COUNTER_ADD("par/health/quarantines_refused", 1);
     return false;
   }
@@ -53,8 +62,15 @@ bool HealthMonitor::report_violation(std::size_t node) {
   plan_ = std::make_unique<RecoveryPlan>(*topo_, *faults_);
   quarantined_[node] = 1;
   ++quarantine_count_;
-  log_warn("health: quarantined node ", node, " after ", violations_[node],
-           " ABFT violations; blocks re-homed to node ", plan_->host(node));
+  log_structured(LogLevel::kWarn, "health_quarantine",
+                 {{"node", std::to_string(node)},
+                  {"violations", std::to_string(violations_[node])},
+                  {"host", std::to_string(plan_->host(node))}});
+  TME_TRACE_INSTANT_D("node quarantined",
+                      "node " + std::to_string(node) + " after " +
+                          std::to_string(violations_[node]) +
+                          " ABFT violations, re-homed to node " +
+                          std::to_string(plan_->host(node)));
   TME_COUNTER_ADD("par/health/quarantines", 1);
   return true;
 }

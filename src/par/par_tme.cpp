@@ -18,6 +18,7 @@ namespace {
 struct FaultContext {
   const RecoveryPlan* plan = nullptr;
   const FaultInjector* faults = nullptr;
+  hw::LinkTelemetry* links = nullptr;
 };
 
 // Log one logical message, mapped through the recovery plan (if any) and
@@ -28,8 +29,12 @@ void log_transfer(TrafficLog* log, const std::string& phase, std::size_t words,
                   std::size_t from, std::size_t to, const TorusTopology& topo,
                   const FaultContext& ctx) {
   std::size_t hops;
+  std::size_t host_from = from;
+  std::size_t host_to = to;
   if (ctx.plan != nullptr) {
-    if (ctx.plan->host(from) == ctx.plan->host(to)) return;
+    host_from = ctx.plan->host(from);
+    host_to = ctx.plan->host(to);
+    if (host_from == host_to) return;
     hops = ctx.plan->hops(from, to);
     if (ctx.plan->rerouted(from, to)) {
       TME_COUNTER_ADD("par_tme/rerouted_messages", 1);
@@ -38,6 +43,9 @@ void log_transfer(TrafficLog* log, const std::string& phase, std::size_t words,
     hops = topo.hops(topo.coord(from), topo.coord(to));
   }
   log->add(phase, 1, words, hops);
+  if (ctx.links != nullptr) {
+    ctx.links->record_transfer(host_from, host_to, words * 4);
+  }
   if (ctx.faults != nullptr && ctx.faults->config().link_error_rate > 0.0) {
     std::size_t retries = 0;
     const auto max_retries =
@@ -48,6 +56,10 @@ void log_transfer(TrafficLog* log, const std::string& phase, std::size_t words,
     if (retries > 0) {
       log->add("fault retransmission", retries, retries * words, hops);
       TME_COUNTER_ADD("par_tme/nw_retries", retries);
+      if (ctx.links != nullptr) {
+        ctx.links->record_transfer(host_from, host_to, retries * words * 4,
+                                   retries);
+      }
     }
   }
 }
@@ -219,11 +231,15 @@ void ParallelTme::set_fault_injector(const FaultInjector* faults) {
   }
 }
 
+void ParallelTme::set_link_telemetry(hw::LinkTelemetry* links) {
+  links_ = links;
+}
+
 DistributedGrid ParallelTme::solve_potential(const DistributedGrid& finest_charges,
                                              TrafficLog* log) const {
   TME_PHASE("par_tme_solve");
   TME_GAUGE_SET("par_tme/nodes", topo_.node_count());
-  const FaultContext ctx{plan_.get(), faults_};
+  const FaultContext ctx{plan_.get(), faults_, links_};
   if (log != nullptr && plan_ != nullptr) {
     // One-time block migration: every dead node's per-level blocks are
     // re-fetched by the surviving host (from the neighbour-held redundant
@@ -234,6 +250,9 @@ DistributedGrid ParallelTme::solve_potential(const DistributedGrid& finest_charg
           topo_.hops(topo_.coord(dead), topo_.coord(host));
       for (const GridDecomposition& d : level_decomp_) {
         log->add("fault redistribution", 1, d.local().total(), hops);
+        if (links_ != nullptr) {
+          links_->record_transfer(dead, host, d.local().total() * 4);
+        }
       }
     }
   }
@@ -474,7 +493,7 @@ CoulombResult ParallelTme::compute(std::span<const Vec3> positions,
   TME_PHASE("par_tme");
   TME_COUNTER_ADD("par_tme/compute_calls", 1);
   TME_GAUGE_SET("par_tme/atoms", positions.size());
-  const FaultContext ctx{plan_.get(), faults_};
+  const FaultContext ctx{plan_.get(), faults_, links_};
   const TmeParams& params = tme_.params();
   const GridDecomposition& fine_d = level_decomp_.front();
   const GridDims& local = fine_d.local();

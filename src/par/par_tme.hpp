@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/tme.hpp"
+#include "hw/link_stats.hpp"
 #include "par/decomposition.hpp"
 #include "par/recovery.hpp"
 #include "par/traffic.hpp"
@@ -70,6 +71,13 @@ class ParallelTme {
   void set_fault_injector(const FaultInjector* faults);
   const RecoveryPlan* recovery_plan() const { return plan_.get(); }
 
+  // Optional per-link accounting: every logged transfer is additionally
+  // charged hop-by-hop along its dimension-ordered route into `links`
+  // (which must be built over the same topology and outlive this object).
+  // On a degraded machine the route runs between the surviving *hosts*.
+  // Pass nullptr to stop accounting.
+  void set_link_telemetry(hw::LinkTelemetry* links);
+
   // Long-range energy/forces, identical contract to Tme::compute, with
   // per-phase message accounting.
   CoulombResult compute(std::span<const Vec3> positions,
@@ -87,6 +95,7 @@ class ParallelTme {
   std::vector<GridDecomposition> level_decomp_;  // levels 1 .. L+1
   const FaultInjector* faults_ = nullptr;
   std::unique_ptr<RecoveryPlan> plan_;  // non-null only with structural faults
+  hw::LinkTelemetry* links_ = nullptr;
 };
 
 // One dense (B-spline MSM) level convolution executed with per-node halo

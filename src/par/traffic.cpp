@@ -24,10 +24,11 @@ void TrafficLog::add(const std::string& phase, std::size_t messages,
       p.messages += messages;
       p.words += words;
       p.max_hops = std::max(p.max_hops, hops);
+      p.word_hops += words * hops;
       return;
     }
   }
-  phases_.push_back({phase, messages, words, hops});
+  phases_.push_back({phase, messages, words, hops, words * hops});
 }
 
 std::size_t TrafficLog::total_words() const {
@@ -39,6 +40,12 @@ std::size_t TrafficLog::total_words() const {
 std::size_t TrafficLog::total_messages() const {
   std::size_t sum = 0;
   for (const PhaseTraffic& p : phases_) sum += p.messages;
+  return sum;
+}
+
+std::size_t TrafficLog::total_word_hops() const {
+  std::size_t sum = 0;
+  for (const PhaseTraffic& p : phases_) sum += p.word_hops;
   return sum;
 }
 

@@ -16,6 +16,10 @@ struct PhaseTraffic {
   std::size_t messages = 0;
   std::size_t words = 0;     // grid values moved (4-byte words on the chip)
   std::size_t max_hops = 0;  // longest torus route used in the phase
+  // Sum of words x hops over the phase's transfers: the link-level load the
+  // per-link telemetry (hw/link_stats) must conserve — on a healthy machine
+  // sum(per-link bytes) == 4 x total_word_hops().
+  std::size_t word_hops = 0;
 };
 
 class TrafficLog {
@@ -27,6 +31,7 @@ class TrafficLog {
   const std::vector<PhaseTraffic>& phases() const { return phases_; }
   std::size_t total_words() const;
   std::size_t total_messages() const;
+  std::size_t total_word_hops() const;
 
   // Words of the phase, 0 if absent.
   std::size_t words_in(const std::string& phase) const;

@@ -1,14 +1,23 @@
 #include "util/logging.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <mutex>
+
+#include "obs/json.hpp"
+#include "util/env.hpp"
 
 namespace tme {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::mutex g_mutex;
+
+// JSONL sink state, guarded by g_mutex.  Initialised lazily from
+// TME_LOG_JSON so library users get the sink without any setup call.
+std::FILE* g_json_file = nullptr;
+bool g_json_initialised = false;
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -19,14 +28,103 @@ const char* level_tag(LogLevel level) {
   }
   return "?";
 }
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+  }
+  return "?";
+}
+
+double monotonic_us() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+int thread_id() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1);
+  return id;
+}
+
+// Must hold g_mutex.
+std::FILE* json_sink_locked() {
+  if (!g_json_initialised) {
+    g_json_initialised = true;
+    if (const auto path = env::raw("TME_LOG_JSON"); path.has_value() && !path->empty()) {
+      g_json_file = std::fopen(path->c_str(), "ab");
+    }
+  }
+  return g_json_file;
+}
+
+// Must hold g_mutex.  `body` is the pre-rendered payload members
+// ("\"msg\":..." or "\"event\":...,fields").
+void write_json_locked(LogLevel level, const std::string& body) {
+  std::FILE* f = json_sink_locked();
+  if (f == nullptr) return;
+  std::fprintf(f, "{\"ts_us\":%.3f,\"level\":\"%s\",\"tid\":%d,%s}\n",
+               monotonic_us(), level_name(level), thread_id(), body.c_str());
+  std::fflush(f);
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
+void set_log_json_path(const std::string& path) {
+  std::lock_guard lock(g_mutex);
+  if (g_json_file != nullptr) std::fclose(g_json_file);
+  g_json_file = nullptr;
+  g_json_initialised = true;
+  if (!path.empty()) g_json_file = std::fopen(path.c_str(), "ab");
+}
+
+bool log_json_enabled() {
+  std::lock_guard lock(g_mutex);
+  return json_sink_locked() != nullptr;
+}
+
 void log_message(LogLevel level, const std::string& text) {
   std::lock_guard lock(g_mutex);
   std::fprintf(stderr, "[%s] %s\n", level_tag(level), text.c_str());
+  write_json_locked(level, "\"msg\":" + obs::json_quote(text));
+}
+
+void log_structured(LogLevel level, const std::string& event,
+                    const LogFields& fields) {
+  // stderr rendering obeys the level filter like the log_* templates...
+  if (level == LogLevel::kError || log_level() >= level) {
+    std::string text = event;
+    for (const auto& [key, value] : fields) {
+      text += ' ';
+      text += key;
+      text += '=';
+      text += value;
+    }
+    std::lock_guard lock(g_mutex);
+    std::fprintf(stderr, "[%s] %s\n", level_tag(level), text.c_str());
+    std::string body = "\"event\":" + obs::json_quote(event);
+    for (const auto& [key, value] : fields) {
+      body += ',' + obs::json_quote(key) + ':' + obs::json_quote(value);
+    }
+    write_json_locked(level, body);
+    return;
+  }
+  // ...but the JSONL sink records every structured event regardless: the
+  // whole point is a complete machine-readable record of a fault run.
+  std::lock_guard lock(g_mutex);
+  std::string body = "\"event\":" + obs::json_quote(event);
+  for (const auto& [key, value] : fields) {
+    body += ',' + obs::json_quote(key) + ':' + obs::json_quote(value);
+  }
+  write_json_locked(level, body);
 }
 
 }  // namespace tme

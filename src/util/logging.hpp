@@ -1,11 +1,22 @@
-// Lightweight leveled logging to stderr.
+// Lightweight leveled logging to stderr, with an optional structured JSONL
+// sink for machine-parseable fault-run analysis.
 //
 // The library itself logs nothing at Info by default; benches raise the level
 // to show progress on long sweeps.
+//
+// When TME_LOG_JSON=<path> is set (or set_log_json_path is called), every
+// log line is additionally appended to <path> as one JSON object per line:
+//   {"ts_us": <monotonic us since process start>, "level": "warn",
+//    "tid": <small per-thread id>, "msg": "..."}
+// Structured events (log_structured) replace "msg" with "event" plus their
+// key=value fields, so guardrail/health/watchdog warnings from fault runs
+// can be grepped and joined without parsing prose.
 #pragma once
 
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace tme {
 
@@ -14,6 +25,21 @@ enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 void log_message(LogLevel level, const std::string& text);
+
+// Key=value pairs attached to a structured event; values are logged as JSON
+// strings (callers stringify numbers — exact formatting is theirs to pick).
+using LogFields = std::vector<std::pair<std::string, std::string>>;
+
+// Emits a structured event: to stderr as "event key=value ..." (subject to
+// the level filter) and to the JSONL sink (always, when configured).
+void log_structured(LogLevel level, const std::string& event,
+                    const LogFields& fields = {});
+
+// Points the JSONL sink at `path` (append mode; "" closes it).  Overrides
+// the TME_LOG_JSON environment variable, which otherwise configures the
+// sink on first use.
+void set_log_json_path(const std::string& path);
+bool log_json_enabled();
 
 namespace detail {
 template <typename... Parts>

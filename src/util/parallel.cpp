@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "util/env.hpp"
 #include "util/logging.hpp"
@@ -145,6 +146,11 @@ unsigned pool_workers_from_env(const char* text, unsigned hardware_threads) {
 ThreadPool& global_pool() {
   static ThreadPool pool(pool_workers_from_env(
       std::getenv("TME_THREADS"), std::thread::hardware_concurrency()));
+  static const bool recorded = [] {
+    obs::manifest_set("pool_threads", static_cast<double>(pool.concurrency()));
+    return true;
+  }();
+  (void)recorded;
   return pool;
 }
 

@@ -1,8 +1,11 @@
 // Unit tests for the observability subsystem (src/obs): registry semantics,
 // hierarchical phase nesting, thread-safety under parallel_for, JSON
 // round-tripping, and the TME_METRICS compile-out guarantee.
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -179,6 +182,118 @@ TEST_F(ObsTest, SnapshotIsSortedByName) {
   for (std::size_t i = 1; i < snap.counters.size(); ++i) {
     EXPECT_LT(snap.counters[i - 1].first, snap.counters[i].first);
   }
+}
+
+// --- histograms --------------------------------------------------------------
+
+// Nearest-rank percentile of a sorted sample — the exact reference the
+// bin-walk quantile approximates.
+double exact_quantile(std::vector<double> sorted, double q) {
+  const auto n = sorted.size();
+  std::size_t rank = static_cast<std::size_t>(std::ceil(q * static_cast<double>(n)));
+  if (rank < 1) rank = 1;
+  return sorted[rank - 1];
+}
+
+TEST_F(ObsTest, HistogramPercentilesTrackSortedReference) {
+  // Log-spaced values across four decades: the bin-walk estimate must land
+  // within one bin's width (ratio 10^(1/8) ~ 1.334) of the exact percentile.
+  Histogram& h = Registry::global().histogram("test/latency");
+  std::vector<double> samples;
+  double v = 1e-6;
+  for (int i = 0; i < 400; ++i) {
+    samples.push_back(v);
+    h.record(v);
+    v *= 1.0233;  // ~400 points spanning 1e-6 .. 1e-2
+  }
+  std::sort(samples.begin(), samples.end());
+  const HistogramStat stat = HistogramStat::from(h);
+  EXPECT_EQ(stat.count, samples.size());
+  EXPECT_EQ(stat.min, samples.front());
+  EXPECT_EQ(stat.max, samples.back());
+  const double bin_ratio = std::pow(10.0, 1.0 / 8.0);
+  for (const double q : {0.5, 0.95, 0.99}) {
+    const double exact = exact_quantile(samples, q);
+    const double approx = stat.quantile(q);
+    EXPECT_LE(approx / exact, bin_ratio) << "q=" << q;
+    EXPECT_GE(approx / exact, 1.0 / bin_ratio) << "q=" << q;
+  }
+  // The precomputed fields match the quantile walk.
+  EXPECT_EQ(stat.p50, stat.quantile(0.5));
+  EXPECT_EQ(stat.p95, stat.quantile(0.95));
+  EXPECT_EQ(stat.p99, stat.quantile(0.99));
+}
+
+TEST_F(ObsTest, HistogramSingleValueCollapsesToIt) {
+  Histogram& h = Registry::global().histogram("test/constant");
+  for (int i = 0; i < 10; ++i) h.record(2.5e-3);
+  const HistogramStat stat = HistogramStat::from(h);
+  EXPECT_EQ(stat.p50, 2.5e-3);  // quantiles clamp to [min, max]
+  EXPECT_EQ(stat.p99, 2.5e-3);
+  EXPECT_EQ(stat.min, 2.5e-3);
+  EXPECT_EQ(stat.max, 2.5e-3);
+}
+
+TEST_F(ObsTest, HistogramHandlesUnderflowAndOverflow) {
+  Histogram& h = Registry::global().histogram("test/extremes");
+  h.record(0.0);      // below kMinValue -> underflow bin
+  h.record(-1.0);     // negative -> underflow bin
+  h.record(1e20);     // beyond the top decade -> overflow bin
+  const HistogramStat stat = HistogramStat::from(h);
+  EXPECT_EQ(stat.count, 3u);
+  EXPECT_EQ(stat.min, -1.0);
+  EXPECT_EQ(stat.max, 1e20);
+  // Underflow quantiles report the tracked min, overflow the tracked max.
+  EXPECT_EQ(stat.quantile(0.01), -1.0);
+  EXPECT_EQ(stat.quantile(0.99), 1e20);
+}
+
+TEST_F(ObsTest, TimerSitesFeedHistograms) {
+  Registry::global().timer_add("test/phase", 1e-3);
+  Registry::global().timer_add("test/phase", 2e-3);
+  const MetricsSnapshot snap = Registry::global().snapshot();
+  bool found = false;
+  for (const auto& [path, stat] : snap.histograms) {
+    if (path == "test/phase") {
+      found = true;
+      EXPECT_EQ(stat.count, 2u);
+      EXPECT_EQ(stat.min, 1e-3);
+      EXPECT_EQ(stat.max, 2e-3);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ObsTest, HistogramJsonRoundTrip) {
+  Histogram& h = Registry::global().histogram("test/rt");
+  h.record(1e-4);
+  h.record(5e-4);
+  h.record(2e-3);
+  const MetricsSnapshot snap = Registry::global().snapshot();
+  const MetricsSnapshot back = metrics_from_json(to_json(snap));
+  ASSERT_EQ(back.histograms.size(), snap.histograms.size());
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    EXPECT_EQ(back.histograms[i].first, snap.histograms[i].first);
+    const HistogramStat& a = snap.histograms[i].second;
+    const HistogramStat& b = back.histograms[i].second;
+    EXPECT_EQ(a.count, b.count);
+    EXPECT_EQ(a.min, b.min);
+    EXPECT_EQ(a.max, b.max);
+    EXPECT_EQ(a.p50, b.p50);
+    EXPECT_EQ(a.p95, b.p95);
+    EXPECT_EQ(a.p99, b.p99);
+    EXPECT_EQ(a.bins, b.bins);
+  }
+}
+
+TEST_F(ObsTest, HistogramResetKeepsReference) {
+  Histogram& h = Registry::global().histogram("test/reset");
+  h.record(1.0);
+  EXPECT_EQ(h.count(), 1u);
+  Registry::global().reset();
+  EXPECT_EQ(h.count(), 0u);
+  h.record(2.0);
+  EXPECT_EQ(HistogramStat::from(Registry::global().histogram("test/reset")).count, 1u);
 }
 
 }  // namespace
