@@ -1,0 +1,95 @@
+// Solver x scenario accuracy/cost sweep over every registered long-range
+// backend: the bench twin of tests/test_solver_matrix.cpp.  For each
+// scenario the classical Ewald backend provides the force reference; every
+// backend's cell reports the Table 1 relative RMS force error, the total
+// long-range energy deviation, and the per-call wall time.  The export
+// (BENCH_solver_matrix.json) embeds each solver's describe() manifest, so a
+// recorded run names every backend knob it measured.
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/solvers.hpp"
+#include "ewald/splitting.hpp"
+#include "md/scenarios.hpp"
+#include "util/args.hpp"
+#include "util/timer.hpp"
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tme;
+  const Args args(argc, argv);
+  const int repeats = args.get_int("repeats", 3);
+  const int molecules = args.get_int("molecules", 64);
+  const std::uint64_t seed = args.get_int("seed", 2021);
+
+  std::vector<Scenario> scenarios;
+  scenarios.push_back(scenario_tip3p_water(molecules, seed));
+  scenarios.push_back(scenario_nacl_electrolyte(molecules, 4, seed + 1));
+  scenarios.push_back(scenario_charged_solute(molecules / 2, 2.0, seed + 2));
+  scenarios.push_back(scenario_anisotropic_water(molecules / 2, seed + 3));
+  scenarios.push_back(scenario_random_gas(4 * molecules, 1.6, seed + 4));
+
+  bench::print_header("solver x scenario matrix");
+  std::printf("%-10s %-20s %6s %12s %12s %10s\n", "solver", "scenario", "N",
+              "dF/F (rms)", "dE/E", "ms/call");
+
+  obs::JsonValue cells = obs::JsonValue::make_array();
+  obs::JsonValue solver_manifests = obs::JsonValue::make_object();
+
+  for (const Scenario& sc : scenarios) {
+    const double min_length =
+        std::min({sc.box.lengths.x, sc.box.lengths.y, sc.box.lengths.z});
+    const double r_cut = 0.45 * min_length;
+    SolverTuning tuning;
+    tuning.alpha = alpha_from_tolerance(r_cut, 1e-4);
+    tuning.grid = sc.grid;
+
+    const CoulombResult reference =
+        make_long_range_solver("ewald", sc.box, tuning)
+            ->compute(sc.positions, sc.charges);
+
+    for (const std::string& backend : long_range_backends()) {
+      const std::unique_ptr<LongRangeSolver> solver =
+          make_long_range_solver(backend, sc.box, tuning);
+      solver_manifests.as_object()[backend] = solver->describe();
+
+      CoulombResult out;
+      const Timer timer;
+      for (int r = 0; r < repeats; ++r) {
+        out = solver->compute(sc.positions, sc.charges);
+      }
+      const double ms = timer.milliseconds() / repeats;
+      const double force_err = out.relative_force_error_against(reference);
+      const double energy_err = std::abs(out.energy - reference.energy) /
+                                std::abs(reference.energy);
+
+      std::printf("%-10s %-20s %6zu %12.3e %12.3e %10.3f\n", backend.c_str(),
+                  sc.name.c_str(), sc.positions.size(), force_err, energy_err,
+                  ms);
+
+      obs::JsonValue rec = obs::JsonValue::make_object();
+      auto& r = rec.as_object();
+      r["solver"] = obs::JsonValue::make_string(backend);
+      r["scenario"] = obs::JsonValue::make_string(sc.name);
+      r["scenario_config"] = sc.describe();
+      r["solver_config"] = solver->describe();
+      r["force_rms_rel"] = obs::JsonValue::make_number(force_err);
+      r["energy_rel"] = obs::JsonValue::make_number(energy_err);
+      r["ms_per_call"] = obs::JsonValue::make_number(ms);
+      cells.as_array().push_back(std::move(rec));
+    }
+  }
+
+  // The solver manifests also ride the run manifest itself, exercising the
+  // describe() -> manifest_json() round trip the bench exports rely on.
+  obs::manifest_set("solver_backends", solver_manifests);
+
+  bench::ExtraJson extra;
+  extra.emplace_back("matrix", std::move(cells));
+  bench::emit_metrics("solver_matrix", extra);
+  return 0;
+}

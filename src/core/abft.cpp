@@ -1,0 +1,82 @@
+#include "core/abft.hpp"
+
+#include <cmath>
+
+namespace tme::abft {
+
+bool CheckSet::check(const std::string& name, double expected, double actual,
+                     double tolerance, int index, const std::string& detail) {
+  ++checks_run_;
+  const bool ok = std::isfinite(actual) &&
+                  std::abs(actual - expected) <= tolerance * scale_;
+  if (!ok) {
+    violations_.push_back(
+        {name, expected, actual, tolerance * scale_, index, detail});
+  }
+  return ok;
+}
+
+double rounding_tolerance(std::size_t ops, double magnitude, double eps) {
+  return static_cast<double>(ops) * eps * std::abs(magnitude);
+}
+
+double fixed_tolerance(std::size_t ops, int frac_bits) {
+  return static_cast<double>(ops) * std::ldexp(1.0, -frac_bits);
+}
+
+double grid_total(const Grid3d& grid) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < grid.size(); ++i) total += grid[i];
+  return total;
+}
+
+double tap_sum(const Kernel1d& kernel) {
+  double s = 0.0;
+  for (const double t : kernel.taps) s += t;
+  return s;
+}
+
+double tensor_gain(const std::vector<SeparableTerm>& terms) {
+  double gain = 0.0;
+  for (const SeparableTerm& term : terms) {
+    gain += tap_sum(term.kx) * tap_sum(term.ky) * tap_sum(term.kz);
+  }
+  return gain;
+}
+
+std::size_t check_conv_axis_lines(const Grid3d& in, const Grid3d& out,
+                                  const Kernel1d& kernel, int axis, double tol,
+                                  CheckSet& checks) {
+  const GridDims& d = in.dims();
+  const double gain = tap_sum(kernel);
+  std::size_t bad = 0;
+
+  // Sum `in` and `out` along `axis` for every perpendicular line; the line
+  // index flattens the two perpendicular coordinates with the slower one
+  // (larger stride) first.
+  const std::size_t na = axis == 0 ? d.nx : (axis == 1 ? d.ny : d.nz);
+  const std::size_t nb = axis == 0 ? d.ny : (axis == 1 ? d.nx : d.nx);
+  const std::size_t nc = axis == 0 ? d.nz : (axis == 1 ? d.nz : d.ny);
+  for (std::size_t c = 0; c < nc; ++c) {
+    for (std::size_t b = 0; b < nb; ++b) {
+      double in_sum = 0.0, out_sum = 0.0;
+      for (std::size_t a = 0; a < na; ++a) {
+        std::size_t x, y, z;
+        if (axis == 0) {
+          x = a; y = b; z = c;
+        } else if (axis == 1) {
+          x = b; y = a; z = c;
+        } else {
+          x = b; y = c; z = a;
+        }
+        in_sum += in.at(x, y, z);
+        out_sum += out.at(x, y, z);
+      }
+      const int line = static_cast<int>(c * nb + b);
+      if (!checks.check("conv_line", gain * in_sum, out_sum, tol, line)) ++bad;
+    }
+  }
+  return bad;
+}
+
+}  // namespace tme::abft

@@ -1,0 +1,83 @@
+// Algorithm-based fault tolerance (ABFT) invariants for the TME pipeline.
+//
+// Every grid stage of the multilevel solve conserves a cheap checksum:
+// charge assignment and restriction preserve the grid total (B-spline /
+// two-scale weights sum to 1), prolongation scales it by exactly 8, a
+// periodic 1D convolution scales every line sum by the kernel's tap sum,
+// and the tinfoil top solve returns a zero-mean grid.  Verifying those
+// invariants after each stage detects silent data corruption online with
+// O(grid) extra work; the tolerances below bound the rounding (or
+// fixed-point quantisation) noise a clean evaluation may legitimately
+// accumulate, so a violation implies a real upset.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "grid/grid3d.hpp"
+#include "grid/separable_conv.hpp"
+
+namespace tme::abft {
+
+struct Violation {
+  std::string name;        // which invariant (e.g. "charge_total")
+  double expected = 0.0;
+  double actual = 0.0;
+  double tolerance = 0.0;  // scaled tolerance in effect at the check
+  int index = -1;          // stage-specific locator (level, line, axis...)
+  std::string detail;
+};
+
+// Accumulates invariant checks; `tolerance_scale` multiplies every
+// tolerance (0 collapses the envelope so any residual fails — the strict
+// mode tests use, large values effectively disable checking).
+class CheckSet {
+ public:
+  explicit CheckSet(double tolerance_scale) : scale_(tolerance_scale) {}
+
+  // Returns true when `actual` is finite and within the scaled tolerance of
+  // `expected`; records a Violation otherwise.
+  bool check(const std::string& name, double expected, double actual,
+             double tolerance, int index = -1, const std::string& detail = "");
+
+  std::size_t checks_run() const { return checks_run_; }
+  const std::vector<Violation>& violations() const { return violations_; }
+
+ private:
+  double scale_;
+  std::size_t checks_run_ = 0;
+  std::vector<Violation> violations_;
+};
+
+// Worst-case rounding envelope for a chain of `ops` accumulations of values
+// bounded by `magnitude` at machine epsilon `eps` (0x1p-52 for double,
+// 0x1p-23 for float).
+double rounding_tolerance(std::size_t ops, double magnitude, double eps);
+
+// Quantisation envelope for `ops` values rounded to a fixed-point format
+// with `frac_bits` fractional bits.
+double fixed_tolerance(std::size_t ops, int frac_bits);
+
+// Sum of every grid value — the conserved total of CA / restriction /
+// prolongation.
+double grid_total(const Grid3d& grid);
+
+// Sum of a 1D kernel's taps — the per-line gain of a periodic convolution.
+double tap_sum(const Kernel1d& kernel);
+
+// Total gain of a separable tensor kernel: sum over terms of the product of
+// the three axes' tap sums.
+double tensor_gain(const std::vector<SeparableTerm>& terms);
+
+// Huang–Abraham per-line checksum for one periodic axis pass: every line
+// along `axis` must satisfy sum(out_line) = tap_sum(kernel) * sum(in_line).
+// Each line is one check in `checks` (index = the flattened line id:
+// axis 0 -> gz*ny + gy, axis 1 -> gz*nx + gx, axis 2 -> gy*nx + gx), which
+// localises a flip to the exact line the recompute must redo.  Returns the
+// number of violating lines.
+std::size_t check_conv_axis_lines(const Grid3d& in, const Grid3d& out,
+                                  const Kernel1d& kernel, int axis, double tol,
+                                  CheckSet& checks);
+
+}  // namespace tme::abft

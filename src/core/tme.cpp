@@ -5,6 +5,7 @@
 
 #include "core/grid_kernel.hpp"
 #include "ewald/greens_function.hpp"
+#include "ewald/splitting.hpp"
 #include "fft/fft3d.hpp"
 #include "grid/transfer.hpp"
 #include "obs/metrics.hpp"
@@ -197,7 +198,15 @@ CoulombResult Tme::compute(std::span<const Vec3> positions,
     for (const double q : charges) q2 += q * q;
     out.energy_self = -constants::kCoulomb * params_.alpha / std::sqrt(M_PI) * q2;
   }
-  out.energy = out.energy_reciprocal + out.energy_self;
+  // Net-charge background: only the top level drops its k = 0 mode (the
+  // middle-level separable stencils carry their shell kernels' finite DC),
+  // so the correction uses the top-level splitting alpha / 2^L.  The shell
+  // DC terms telescope with it to the full -pi/alpha^2 correction.
+  double q_total = 0.0;
+  for (const double q : charges) q_total += q;
+  out.energy_background = net_charge_background_energy(
+      q_total, top_->params().alpha, box_.volume());
+  out.energy = out.energy_reciprocal + out.energy_self + out.energy_background;
   return out;
 }
 

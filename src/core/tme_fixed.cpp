@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "ewald/splitting.hpp"
 #include "grid/separable_conv.hpp"
 #include "grid/transfer.hpp"
 #include "obs/metrics.hpp"
@@ -103,7 +104,12 @@ CoulombResult tme_compute_single(const Tme& tme, std::span<const Vec3> positions
     out.energy_self =
         -constants::kCoulomb * tme.params().alpha / std::sqrt(M_PI) * q2;
   }
-  out.energy = out.energy_reciprocal + out.energy_self;
+  double q_total = 0.0;
+  for (const double q : charges) q_total += q;
+  // Same top-level-only k = 0 drop as Tme::compute (see the note there).
+  out.energy_background = net_charge_background_energy(
+      q_total, tme.top_level().params().alpha, tme.box().volume());
+  out.energy = out.energy_reciprocal + out.energy_self + out.energy_background;
   return out;
 }
 
@@ -134,7 +140,12 @@ CoulombResult tme_compute_fixed(const Tme& tme, std::span<const Vec3> positions,
     out.energy_self =
         -constants::kCoulomb * tme.params().alpha / std::sqrt(M_PI) * q2;
   }
-  out.energy = out.energy_reciprocal + out.energy_self;
+  double q_total = 0.0;
+  for (const double q : charges) q_total += q;
+  // Same top-level-only k = 0 drop as Tme::compute (see the note there).
+  out.energy_background = net_charge_background_energy(
+      q_total, tme.top_level().params().alpha, tme.box().volume());
+  out.energy = out.energy_reciprocal + out.energy_self + out.energy_background;
   return out;
 }
 

@@ -1,0 +1,35 @@
+#include "ewald/error_estimate.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/constants.hpp"
+
+namespace tme {
+
+double ewald_real_space_rms_force_error(double q2_sum, std::size_t n_atoms,
+                                        double volume, double r_cut,
+                                        double alpha) {
+  if (n_atoms == 0 || volume <= 0.0 || r_cut <= 0.0 || alpha <= 0.0) {
+    throw std::invalid_argument("ewald_real_space_rms_force_error: bad arguments");
+  }
+  return 2.0 * constants::kCoulomb * q2_sum *
+         std::exp(-alpha * alpha * r_cut * r_cut) /
+         std::sqrt(static_cast<double>(n_atoms) * r_cut * volume);
+}
+
+double ewald_reciprocal_rms_force_error(double q2_sum, std::size_t n_atoms,
+                                        double volume, double box_length,
+                                        double alpha, int n_cut) {
+  if (n_atoms == 0 || volume <= 0.0 || box_length <= 0.0 || alpha <= 0.0 ||
+      n_cut < 1) {
+    throw std::invalid_argument(
+        "ewald_reciprocal_rms_force_error: bad arguments");
+  }
+  const double k_cut = 2.0 * M_PI * static_cast<double>(n_cut) / box_length;
+  return 2.0 * std::sqrt(2.0) * constants::kCoulomb * q2_sum * alpha *
+         std::exp(-k_cut * k_cut / (4.0 * alpha * alpha)) /
+         std::sqrt(static_cast<double>(n_atoms) * volume * k_cut);
+}
+
+}  // namespace tme

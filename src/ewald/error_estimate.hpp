@@ -1,0 +1,33 @@
+// A-priori RMS force-error estimates for the Ewald splitting, after
+// Kolafa & Perram (1992) as popularised by Deserno & Holm ("How to mesh up
+// Ewald sums", J. Chem. Phys. 109, 7678 (1998)).  These are the estimates
+// production codes use to pick (alpha, r_c, k_c) for a requested accuracy
+// instead of trial-and-error; the solver-matrix tier property-tests that
+// they upper-bound the measured truncation error of this library's solvers.
+//
+// Both assume a homogeneous random system (charges uncorrelated with
+// positions) in a periodic cell of volume V with N particles and
+// Q2 = sum q_i^2; errors are absolute RMS forces in kJ mol^-1 nm^-1,
+//   Delta F = sqrt( sum_i |F_i - F_i^exact|^2 / N ).
+#pragma once
+
+#include <cstddef>
+
+namespace tme {
+
+// Real-space truncation at r_c:
+//   Delta F_dir = 2 kC Q2 exp(-alpha^2 r_c^2) / sqrt(N r_c V).
+double ewald_real_space_rms_force_error(double q2_sum, std::size_t n_atoms,
+                                        double volume, double r_cut,
+                                        double alpha);
+
+// Reciprocal-space truncation at |n| <= n_c (classical Ewald sum, cubic-ish
+// cell of edge `box_length`, K = 2 pi n_c / L):
+//   Delta F_rec = 2 sqrt(2) kC Q2 alpha exp(-K^2 / 4 alpha^2) / sqrt(N V K),
+// from integrating the mean-square force carried by the neglected modes over
+// the tail k > K (Kolafa–Perram Gaussian-tail estimate).
+double ewald_reciprocal_rms_force_error(double q2_sum, std::size_t n_atoms,
+                                        double volume, double box_length,
+                                        double alpha, int n_cut);
+
+}  // namespace tme

@@ -69,4 +69,29 @@ std::vector<double> spme_influence(const Box& box, GridDims dims, int p,
   return g;
 }
 
+std::vector<double> spme_virial_influence(const Box& box, GridDims dims, int p,
+                                          double alpha) {
+  std::vector<double> g = spme_influence(box, dims, p, alpha);
+  // k^2 / (2 alpha^2) = 2 pi^2 m^2 / alpha^2.
+  const double two_pi2_over_a2 = 2.0 * M_PI * M_PI / (alpha * alpha);
+  for (std::size_t nz = 0; nz < dims.nz; ++nz) {
+    const long sz = nz <= dims.nz / 2 ? static_cast<long>(nz)
+                                      : static_cast<long>(nz) - static_cast<long>(dims.nz);
+    const double mz = static_cast<double>(sz) / box.lengths.z;
+    for (std::size_t ny = 0; ny < dims.ny; ++ny) {
+      const long sy = ny <= dims.ny / 2 ? static_cast<long>(ny)
+                                        : static_cast<long>(ny) - static_cast<long>(dims.ny);
+      const double my = static_cast<double>(sy) / box.lengths.y;
+      for (std::size_t nx = 0; nx < dims.nx; ++nx) {
+        const long sx = nx <= dims.nx / 2 ? static_cast<long>(nx)
+                                          : static_cast<long>(nx) - static_cast<long>(dims.nx);
+        const double mx = static_cast<double>(sx) / box.lengths.x;
+        const double m2 = mx * mx + my * my + mz * mz;
+        g[(nz * dims.ny + ny) * dims.nx + nx] *= 1.0 - two_pi2_over_a2 * m2;
+      }
+    }
+  }
+  return g;
+}
+
 }  // namespace tme

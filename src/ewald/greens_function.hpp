@@ -24,4 +24,13 @@ std::vector<double> euler_factors(int p, std::size_t n_grid);
 std::vector<double> spme_influence(const Box& box, GridDims dims, int p,
                                    double alpha);
 
+// Virial-weighted influence function: G_n * (1 - k^2 / (2 alpha^2)) with
+// k = 2 pi m.  Applied like spme_influence, 0.5 * sum(Q (.) Phi_vir) is the
+// trace of the reciprocal-space virial tensor — each mode's energy times its
+// lambda-derivative factor under uniform box + coordinate scaling at fixed
+// alpha (the fractional coordinates, and hence Q-hat and the Euler factors,
+// are scaling-invariant, so the formula is exact for the SPME energy).
+std::vector<double> spme_virial_influence(const Box& box, GridDims dims, int p,
+                                          double alpha);
+
 }  // namespace tme

@@ -1,0 +1,146 @@
+#include "ewald/long_range_solver.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "ewald/splitting.hpp"
+#include "util/constants.hpp"
+
+namespace tme {
+
+namespace {
+
+obs::JsonValue json_number(double v) { return obs::JsonValue::make_number(v); }
+
+class EwaldSolver final : public LongRangeSolver {
+ public:
+  EwaldSolver(const Box& box, const EwaldSolverParams& params)
+      : box_(box), params_(params) {
+    if (params_.n_cut <= 0) {
+      params_.n_cut = reciprocal_cutoff_from_tolerance(
+          params_.alpha,
+          std::max({box.lengths.x, box.lengths.y, box.lengths.z}), 1e-15);
+    }
+  }
+
+  CoulombResult compute(std::span<const Vec3> positions,
+                        std::span<const double> charges) const override {
+    // Long-range part only: a vanishing real-space cutoff leaves
+    // reciprocal + self + background, exactly what the mesh methods compute.
+    EwaldParams params;
+    params.alpha = params_.alpha;
+    params.n_cut = params_.n_cut;
+    params.r_cut = 1e-9;
+    return ewald_reference(box_, positions, charges, params);
+  }
+
+  std::string name() const override { return "ewald"; }
+  double alpha() const override { return params_.alpha; }
+  const Box& box() const override { return box_; }
+  bool computes_virial() const override { return true; }
+
+  obs::JsonValue describe() const override {
+    obs::JsonValue d = obs::JsonValue::make_object();
+    auto& obj = d.as_object();
+    obj["backend"] = obs::JsonValue::make_string(name());
+    obj["alpha"] = json_number(params_.alpha);
+    obj["n_cut"] = json_number(params_.n_cut);
+    obj["virial"] = obs::JsonValue::make_bool(true);
+    return d;
+  }
+
+ private:
+  Box box_;
+  EwaldSolverParams params_;
+};
+
+class SpmeSolver final : public LongRangeSolver {
+ public:
+  SpmeSolver(const Box& box, const SpmeParams& params) : spme_(box, params) {}
+
+  CoulombResult compute(std::span<const Vec3> positions,
+                        std::span<const double> charges) const override {
+    return spme_.compute(positions, charges);
+  }
+
+  std::string name() const override { return "spme"; }
+  double alpha() const override { return spme_.params().alpha; }
+  const Box& box() const override { return spme_.box(); }
+  bool computes_virial() const override { return spme_.params().compute_virial; }
+
+  obs::JsonValue describe() const override {
+    const SpmeParams& p = spme_.params();
+    obs::JsonValue d = obs::JsonValue::make_object();
+    auto& obj = d.as_object();
+    obj["backend"] = obs::JsonValue::make_string(name());
+    obj["alpha"] = json_number(p.alpha);
+    obj["order"] = json_number(p.order);
+    obj["grid_x"] = json_number(static_cast<double>(p.grid.nx));
+    obj["grid_y"] = json_number(static_cast<double>(p.grid.ny));
+    obj["grid_z"] = json_number(static_cast<double>(p.grid.nz));
+    obj["virial"] = obs::JsonValue::make_bool(p.compute_virial);
+    return d;
+  }
+
+ private:
+  Spme spme_;
+};
+
+}  // namespace
+
+double finite_difference_virial(const LongRangeFactory& make, const Box& box,
+                                std::span<const Vec3> positions,
+                                std::span<const double> charges, double delta) {
+  if (delta <= 0.0 || delta >= 0.5) {
+    throw std::invalid_argument("finite_difference_virial: bad delta");
+  }
+  const auto energy_at = [&](double lambda) {
+    Box scaled;
+    scaled.lengths = box.lengths * lambda;
+    std::vector<Vec3> pos(positions.size());
+    for (std::size_t i = 0; i < positions.size(); ++i) pos[i] = positions[i] * lambda;
+    return make(scaled)->compute(pos, charges).energy;
+  };
+  const double e_hi = energy_at(1.0 + delta);
+  const double e_lo = energy_at(1.0 - delta);
+  // virial trace = -dE/dln(lambda) at lambda = 1.
+  return -(e_hi - e_lo) / (2.0 * delta);
+}
+
+void add_short_range_direct(const Box& box, std::span<const Vec3> positions,
+                            std::span<const double> charges, double alpha,
+                            double r_cut, CoulombResult& inout) {
+  if (inout.forces.size() != positions.size()) {
+    throw std::invalid_argument("add_short_range_direct: size mismatch");
+  }
+  const double r_cut2 = r_cut * r_cut;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    for (std::size_t j = i + 1; j < positions.size(); ++j) {
+      const Vec3 d = box.min_image_disp(positions[i], positions[j]);
+      const double r2 = norm2(d);
+      if (r2 >= r_cut2 || r2 == 0.0) continue;
+      const double r = std::sqrt(r2);
+      const double qq = constants::kCoulomb * charges[i] * charges[j];
+      inout.energy_real += qq * g_short(r, alpha);
+      const double fr = -qq * g_short_derivative(r, alpha) / r;
+      inout.forces[i] += fr * d;
+      inout.forces[j] -= fr * d;
+      inout.virial += fr * r2;
+    }
+  }
+  inout.energy = inout.energy_real + inout.energy_reciprocal +
+                 inout.energy_self + inout.energy_background;
+}
+
+std::unique_ptr<LongRangeSolver> make_ewald_solver(const Box& box,
+                                                   const EwaldSolverParams& params) {
+  return std::make_unique<EwaldSolver>(box, params);
+}
+
+std::unique_ptr<LongRangeSolver> make_spme_solver(const Box& box,
+                                                  const SpmeParams& params) {
+  return std::make_unique<SpmeSolver>(box, params);
+}
+
+}  // namespace tme

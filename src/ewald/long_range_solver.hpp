@@ -1,0 +1,88 @@
+// Pluggable long-range Coulomb solver backends.
+//
+// Every mesh/reciprocal-space method in the library (classical Ewald, SPME,
+// TME, fixed-point TME) evaluates the same contract — the erf-part energy,
+// forces, and (where supported) virial of a periodic point-charge system —
+// behind one interface, so the force field, the solver x scenario
+// cross-validation tier (tests/test_solver_matrix.cpp), and the benches can
+// swap backends freely.  Each backend also exports a describe() manifest of
+// every accuracy knob it honours, which flows into the per-run manifest and
+// BENCH_*.json exports so artifacts record exactly which solver
+// configuration produced them.
+//
+// Backend construction: make_ewald_solver / make_spme_solver here;
+// make_tme_solver / make_tme_fixed_solver and the name-driven registry in
+// core/solvers.hpp (the TME lives above the ewald layer).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "ewald/reference_ewald.hpp"
+#include "ewald/spme.hpp"
+#include "obs/json.hpp"
+
+namespace tme {
+
+class LongRangeSolver {
+ public:
+  virtual ~LongRangeSolver() = default;
+
+  // Long-range (erf-part) energy, forces, and — when computes_virial() —
+  // the trace of the long-range virial tensor.  Includes the self term and
+  // the net-charge neutralising-background correction.
+  virtual CoulombResult compute(std::span<const Vec3> positions,
+                                std::span<const double> charges) const = 0;
+
+  virtual std::string name() const = 0;
+  virtual double alpha() const = 0;
+  // The periodic cell the solver was built for (mesh geometry is fixed at
+  // construction).
+  virtual const Box& box() const = 0;
+  // Whether compute() fills CoulombResult::virial analytically.  Backends
+  // without one can still be differenced via finite_difference_virial.
+  virtual bool computes_virial() const { return false; }
+
+  // Config manifest: backend name plus every accuracy knob, as a JSON
+  // object.  Round-trips through obs::manifest_json / BENCH exports.
+  virtual obs::JsonValue describe() const = 0;
+};
+
+// Builds a solver for a given box — how the cross-validation tier and the
+// finite-difference virial rebuild a backend at a scaled geometry.
+using LongRangeFactory =
+    std::function<std::unique_ptr<LongRangeSolver>(const Box&)>;
+
+// Central-difference virial trace at fixed splitting parameter and fixed
+// integer knobs (grid sizes, cutoff counts): rebuilds the solver at
+// uniformly (1 +- delta)-scaled boxes with scaled coordinates and returns
+// -dE/dln(lambda) — the reference any backend's analytic virial must match.
+double finite_difference_virial(const LongRangeFactory& make, const Box& box,
+                                std::span<const Vec3> positions,
+                                std::span<const double> charges,
+                                double delta = 1e-4);
+
+// Completes a long-range result into the total Coulomb interaction by adding
+// the real-space erfc pair sum (direct O(N^2) minimum-image loop over all
+// pairs, no exclusions) — the Table 1 protocol for comparing a mesh solver
+// against the converged ewald_reference.
+void add_short_range_direct(const Box& box, std::span<const Vec3> positions,
+                            std::span<const double> charges, double alpha,
+                            double r_cut, CoulombResult& inout);
+
+// Classical Ewald long-range part (reciprocal + self + background) — the
+// accuracy-reference backend.  n_cut = 0 derives the cutoff from the
+// Kolafa–Perram factor at 1e-15.
+struct EwaldSolverParams {
+  double alpha = 3.0;
+  int n_cut = 0;
+};
+std::unique_ptr<LongRangeSolver> make_ewald_solver(const Box& box,
+                                                   const EwaldSolverParams& params);
+
+std::unique_ptr<LongRangeSolver> make_spme_solver(const Box& box,
+                                                  const SpmeParams& params);
+
+}  // namespace tme

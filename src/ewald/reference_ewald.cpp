@@ -37,7 +37,7 @@ void add_real_space(const Box& box, std::span<const Vec3> pos,
   std::mutex merge_mutex;
   parallel_for_ranges(0, n, [&](std::size_t begin, std::size_t end) {
     std::vector<Vec3> f_local(n);
-    double e_local = 0.0;
+    double e_local = 0.0, v_local = 0.0;
     for (std::size_t i = begin; i < end; ++i) {
       for (std::size_t j = i + 1; j < n; ++j) {
         const Vec3 d = box.min_image_disp(pos[i], pos[j]);
@@ -51,10 +51,13 @@ void add_real_space(const Box& box, std::span<const Vec3> pos,
         const Vec3 fij = fr * d;
         f_local[i] += fij;
         f_local[j] -= fij;
+        // Pair virial r_ij . F_ij.
+        v_local += fr * r2;
       }
     }
     const std::lock_guard lock(merge_mutex);
     out.energy_real += e_local;
+    out.virial += v_local;
     for (std::size_t i = 0; i < n; ++i) out.forces[i] += f_local[i];
   });
 }
@@ -112,7 +115,7 @@ void add_reciprocal(const Box& box, std::span<const Vec3> pos,
   std::mutex merge_mutex;
   parallel_for_ranges(0, kvecs.size(), [&](std::size_t begin, std::size_t end) {
     std::vector<Vec3> f_local(n_atoms);
-    double e_local = 0.0;
+    double e_local = 0.0, v_local = 0.0;
     std::vector<std::complex<double>> phase(n_atoms);
     for (std::size_t kv = begin; kv < end; ++kv) {
       const auto [nx, ny, nz] = kvecs[kv];
@@ -137,6 +140,10 @@ void add_reciprocal(const Box& box, std::span<const Vec3> pos,
       const double ak = 2.0 * constants::kCoulomb * (4.0 * M_PI / k2) *
                         std::exp(-k2 * quarter_inv_a2) / (2.0 * volume);
       e_local += ak * std::norm(s);
+      // Virial trace of one mode: E_k (1 - k^2 / (2 alpha^2)) — the
+      // lambda-derivative of E_k under uniform box + coordinate scaling at
+      // fixed alpha (the standard Ewald reciprocal virial, traced).
+      v_local += ak * std::norm(s) * (1.0 - 2.0 * k2 * quarter_inv_a2);
       // F_i = ak * 2 q_i Im(S^* e^{i k r_i}) k   (derived from d|S|^2/dr_i).
       for (std::size_t i = 0; i < n_atoms; ++i) {
         const double im = (std::conj(s) * phase[i]).imag();
@@ -145,6 +152,7 @@ void add_reciprocal(const Box& box, std::span<const Vec3> pos,
     }
     const std::lock_guard lock(merge_mutex);
     out.energy_reciprocal += e_local;
+    out.virial += v_local;
     for (std::size_t i = 0; i < n_atoms; ++i) out.forces[i] += f_local[i];
   });
 }
@@ -180,11 +188,20 @@ CoulombResult ewald_reference(const Box& box, std::span<const Vec3> positions,
   add_real_space(box, wrapped, charges, params.alpha, r_cut, out);
   add_reciprocal(box, wrapped, charges, params.alpha, n_cut, out);
 
-  double q2 = 0.0;
-  for (const double qi : charges) q2 += qi * qi;
+  double q2 = 0.0, q_total = 0.0;
+  for (const double qi : charges) {
+    q2 += qi * qi;
+    q_total += qi;
+  }
+  // Self term: volume-independent, so it contributes nothing to the virial.
   out.energy_self = -constants::kCoulomb * params.alpha / std::sqrt(M_PI) * q2;
+  out.energy_background =
+      net_charge_background_energy(q_total, params.alpha, box.volume());
+  // E_bg ~ 1/V under uniform scaling, so its virial-trace share is 3 E_bg.
+  out.virial += 3.0 * out.energy_background;
 
-  out.energy = out.energy_real + out.energy_reciprocal + out.energy_self;
+  out.energy = out.energy_real + out.energy_reciprocal + out.energy_self +
+               out.energy_background;
   return out;
 }
 

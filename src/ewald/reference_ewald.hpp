@@ -29,7 +29,14 @@ struct CoulombResult {
   double energy_real = 0.0;
   double energy_reciprocal = 0.0;
   double energy_self = 0.0;
+  double energy_background = 0.0;       // net-charge neutralising background
   std::vector<Vec3> forces;             // kJ mol^-1 nm^-1
+
+  // Trace of the Coulomb virial tensor (kJ/mol), with the convention
+  // P V = N k T + virial / 3.  Filled analytically by ewald_reference and by
+  // Spme when SpmeParams::compute_virial is set; other solvers leave it 0
+  // (their LongRangeSolver adapters report computes_virial() = false).
+  double virial = 0.0;
 
   // Root-sum-square relative force deviation against a reference
   // (the paper's Table 1 metric).

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/constants.hpp"
+
 namespace tme {
 
 namespace {
@@ -72,6 +74,14 @@ int reciprocal_cutoff_from_tolerance(double alpha, double box_length, double rto
   // exp(-(pi n / (alpha L))^2) <= rtol  =>  n >= alpha L sqrt(-ln rtol) / pi.
   const double n = alpha * box_length * std::sqrt(-std::log(rtol)) / M_PI;
   return static_cast<int>(std::ceil(n));
+}
+
+double net_charge_background_energy(double q_total, double alpha, double volume) {
+  if (alpha <= 0.0 || volume <= 0.0) {
+    throw std::invalid_argument("net_charge_background_energy: bad arguments");
+  }
+  return -constants::kCoulomb * M_PI * q_total * q_total /
+         (2.0 * alpha * alpha * volume);
 }
 
 }  // namespace tme

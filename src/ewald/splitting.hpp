@@ -38,4 +38,15 @@ double alpha_from_tolerance(double r_cut, double rtol);
 // exp(-(pi n_c / (alpha L))^2) <= rtol.
 int reciprocal_cutoff_from_tolerance(double alpha, double box_length, double rtol);
 
+// Neutralising-background correction for net-charged cells, in kJ/mol:
+//   E_bg = -kC * pi * (sum q)^2 / (2 alpha^2 V).
+// Dropping the k = 0 mode of the screened kernel (tinfoil boundary) removes
+// not only the divergent 4pi/k^2 background term but also the finite
+// -pi/alpha^2 part of its small-k expansion,
+//   (4pi/k^2) exp(-k^2/4alpha^2) = 4pi/k^2 - pi/alpha^2 + O(k^2);
+// this restores the finite part, making the total energy of a charged cell
+// (point charges + uniform neutralising background) alpha-independent.
+// Exactly zero for neutral systems.
+double net_charge_background_energy(double q_total, double alpha, double volume);
+
 }  // namespace tme

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "ewald/greens_function.hpp"
+#include "ewald/splitting.hpp"
 #include "obs/metrics.hpp"
 #include "util/constants.hpp"
 #include "util/parallel.hpp"
@@ -18,6 +19,10 @@ Spme::Spme(const Box& box, const SpmeParams& params)
       influence_(spme_influence(box, params.grid, params.order, params.alpha)) {
   if (params.order % 2 != 0) {
     throw std::invalid_argument("Spme: B-spline order must be even");
+  }
+  if (params.compute_virial) {
+    virial_influence_ =
+        spme_virial_influence(box, params.grid, params.order, params.alpha);
   }
 }
 
@@ -67,13 +72,32 @@ CoulombResult Spme::compute(std::span<const Vec3> positions,
   }
   out.energy_reciprocal = 0.5 * q_phi;
 
+  if (params_.compute_virial) {
+    TME_PHASE("virial_solve");
+    // Reciprocal virial via Parseval: 0.5 sum(Q (.) IFFT[G_vir FFT(Q)]).
+    std::vector<std::complex<double>> spectrum =
+        fft_.forward_real(q_grid.values());
+    parallel_for(0, spectrum.size(),
+                 [&](std::size_t i) { spectrum[i] *= virial_influence_[i]; });
+    const std::vector<double> phi_vir = fft_.inverse_to_real(std::move(spectrum));
+    double w = 0.0;
+    const std::vector<double>& q_values = q_grid.values();
+    for (std::size_t i = 0; i < phi_vir.size(); ++i) w += q_values[i] * phi_vir[i];
+    out.virial = 0.5 * w;
+  }
+
   if (params_.subtract_self) {
     double q2 = 0.0;
     for (const double q : charges) q2 += q * q;
     out.energy_self =
         -constants::kCoulomb * params_.alpha / std::sqrt(M_PI) * q2;
   }
-  out.energy = out.energy_reciprocal + out.energy_self;
+  double q_total = 0.0;
+  for (const double q : charges) q_total += q;
+  out.energy_background =
+      net_charge_background_energy(q_total, params_.alpha, box_.volume());
+  if (params_.compute_virial) out.virial += 3.0 * out.energy_background;
+  out.energy = out.energy_reciprocal + out.energy_self + out.energy_background;
   return out;
 }
 

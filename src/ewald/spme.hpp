@@ -24,6 +24,8 @@ struct SpmeParams {
   GridDims grid;           // N = (Nx, Ny, Nz)
   double alpha = 3.0;      // Ewald splitting parameter, nm^-1
   bool subtract_self = true;
+  // Also fill CoulombResult::virial (one extra grid solve per compute).
+  bool compute_virial = false;
 };
 
 class Spme {
@@ -50,6 +52,7 @@ class Spme {
   ChargeAssigner assigner_;
   Fft3d fft_;
   std::vector<double> influence_;
+  std::vector<double> virial_influence_;  // empty unless compute_virial
 };
 
 }  // namespace tme

@@ -2,78 +2,7 @@
 
 #include <stdexcept>
 
-#include "ewald/reference_ewald.hpp"
-
 namespace tme {
-
-namespace {
-
-class SpmeSolver final : public LongRangeSolver {
- public:
-  SpmeSolver(const Box& box, const SpmeParams& params) : spme_(box, params) {}
-  CoulombResult compute(const Box& box, std::span<const Vec3> positions,
-                        std::span<const double> charges) const override {
-    (void)box;  // geometry fixed at construction
-    return spme_.compute(positions, charges);
-  }
-  std::string name() const override { return "SPME"; }
-  double alpha() const override { return spme_.params().alpha; }
-
- private:
-  Spme spme_;
-};
-
-class TmeSolver final : public LongRangeSolver {
- public:
-  TmeSolver(const Box& box, const TmeParams& params) : tme_(box, params) {}
-  CoulombResult compute(const Box& box, std::span<const Vec3> positions,
-                        std::span<const double> charges) const override {
-    (void)box;
-    return tme_.compute(positions, charges);
-  }
-  std::string name() const override { return "TME"; }
-  double alpha() const override { return tme_.params().alpha; }
-
- private:
-  Tme tme_;
-};
-
-class EwaldSolver final : public LongRangeSolver {
- public:
-  EwaldSolver(double alpha, int n_cut) : alpha_(alpha), n_cut_(n_cut) {}
-  CoulombResult compute(const Box& box, std::span<const Vec3> positions,
-                        std::span<const double> charges) const override {
-    // Long-range part only: a reference Ewald with a vanishing real-space
-    // cutoff leaves reciprocal + self, exactly what the mesh methods compute.
-    EwaldParams params;
-    params.alpha = alpha_;
-    params.n_cut = n_cut_;
-    params.r_cut = 1e-9;
-    return ewald_reference(box, positions, charges, params);
-  }
-  std::string name() const override { return "Ewald"; }
-  double alpha() const override { return alpha_; }
-
- private:
-  double alpha_;
-  int n_cut_;
-};
-
-}  // namespace
-
-std::unique_ptr<LongRangeSolver> make_spme_solver(const Box& box,
-                                                  const SpmeParams& params) {
-  return std::make_unique<SpmeSolver>(box, params);
-}
-
-std::unique_ptr<LongRangeSolver> make_tme_solver(const Box& box,
-                                                 const TmeParams& params) {
-  return std::make_unique<TmeSolver>(box, params);
-}
-
-std::unique_ptr<LongRangeSolver> make_ewald_solver(double alpha, int n_cut) {
-  return std::make_unique<EwaldSolver>(alpha, n_cut);
-}
 
 ForceField::ForceField(ShortRangeParams short_range,
                        std::unique_ptr<LongRangeSolver> solver)
@@ -99,8 +28,7 @@ EnergyReport ForceField::evaluate(ParticleSystem& system,
   report.angles = bonded.energy_angles;
   report.dihedrals = bonded.energy_dihedrals;
 
-  const CoulombResult lr =
-      solver_->compute(system.box, system.positions, system.charges);
+  const CoulombResult lr = solver_->compute(system.positions, system.charges);
   report.coulomb_long = lr.energy;
   for (std::size_t i = 0; i < system.size(); ++i) system.forces[i] += lr.forces[i];
 

@@ -1,14 +1,15 @@
 // Force field assembly: short range + bonded + long range + corrections.
 //
-// The long-range Coulomb solver is pluggable (classical Ewald, SPME, or the
-// TME) — the configuration axis of the paper's Fig. 4 experiment.
+// The long-range Coulomb solver is pluggable — any LongRangeSolver backend
+// (classical Ewald, SPME, TME, fixed-point TME; see core/solvers.hpp for the
+// name-driven registry) — the configuration axis of the paper's Fig. 4
+// experiment.
 #pragma once
 
 #include <memory>
 #include <string>
 
-#include "core/tme.hpp"
-#include "ewald/spme.hpp"
+#include "core/solvers.hpp"
 #include "md/bonded.hpp"
 #include "md/short_range.hpp"
 #include "md/short_range_engine.hpp"
@@ -16,24 +17,6 @@
 #include "md/topology.hpp"
 
 namespace tme {
-
-// Abstract long-range (erf-part) Coulomb solver.
-class LongRangeSolver {
- public:
-  virtual ~LongRangeSolver() = default;
-  virtual CoulombResult compute(const Box& box, std::span<const Vec3> positions,
-                                std::span<const double> charges) const = 0;
-  virtual std::string name() const = 0;
-  virtual double alpha() const = 0;
-};
-
-std::unique_ptr<LongRangeSolver> make_spme_solver(const Box& box,
-                                                  const SpmeParams& params);
-std::unique_ptr<LongRangeSolver> make_tme_solver(const Box& box,
-                                                 const TmeParams& params);
-// Brute-force classical Ewald long-range part (reciprocal + self), mostly
-// for validation runs.
-std::unique_ptr<LongRangeSolver> make_ewald_solver(double alpha, int n_cut);
 
 struct EnergyReport {
   double coulomb_short = 0.0;
@@ -52,6 +35,9 @@ struct EnergyReport {
 
 class ForceField {
  public:
+  // The solver's alpha must match short_range.alpha and its box must match
+  // the system the field is evaluated on (mesh geometry is fixed at solver
+  // construction).
   ForceField(ShortRangeParams short_range, std::unique_ptr<LongRangeSolver> solver);
 
   // Clears system.forces and evaluates all terms.

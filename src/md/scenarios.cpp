@@ -1,0 +1,126 @@
+#include "md/scenarios.hpp"
+
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace tme {
+
+namespace {
+
+Scenario from_water_box(std::string name, WaterBox wb, GridDims grid) {
+  Scenario s;
+  s.name = std::move(name);
+  s.box = wb.system.box;
+  s.positions = wb.system.positions;
+  s.charges = wb.system.charges;
+  s.grid = grid;
+  s.md = std::move(wb);
+  return s;
+}
+
+}  // namespace
+
+double Scenario::total_charge() const {
+  double q = 0.0;
+  for (const double qi : charges) q += qi;
+  return q;
+}
+
+obs::JsonValue Scenario::describe() const {
+  obs::JsonValue d = obs::JsonValue::make_object();
+  auto& obj = d.as_object();
+  obj["scenario"] = obs::JsonValue::make_string(name);
+  obj["n_atoms"] = obs::JsonValue::make_number(static_cast<double>(positions.size()));
+  obj["box_x"] = obs::JsonValue::make_number(box.lengths.x);
+  obj["box_y"] = obs::JsonValue::make_number(box.lengths.y);
+  obj["box_z"] = obs::JsonValue::make_number(box.lengths.z);
+  obj["total_charge"] = obs::JsonValue::make_number(total_charge());
+  obj["has_md"] = obs::JsonValue::make_bool(md.has_value());
+  return d;
+}
+
+Scenario scenario_tip3p_water(std::size_t molecules, std::uint64_t seed) {
+  WaterBoxSpec spec;
+  spec.molecules = molecules;
+  spec.seed = seed;
+  return from_water_box("tip3p_water", build_water_box(spec), {16, 16, 16});
+}
+
+Scenario scenario_nacl_electrolyte(std::size_t molecules, std::size_t pairs,
+                                   std::uint64_t seed) {
+  WaterBoxSpec spec;
+  spec.molecules = molecules;
+  spec.seed = seed;
+  WaterBox wb = build_water_box(spec);
+  add_ion_pairs(wb, pairs, seed + 1);
+  return from_water_box("nacl_electrolyte", std::move(wb), {16, 16, 16});
+}
+
+Scenario scenario_charged_solute(std::size_t molecules, double solute_charge,
+                                 std::uint64_t seed) {
+  WaterBoxSpec spec;
+  spec.molecules = molecules;
+  spec.seed = seed;
+  const WaterBox wb = build_water_box(spec);
+  Scenario s;
+  s.name = "charged_solute";
+  s.box = wb.system.box;
+  s.positions = wb.system.positions;
+  s.charges = wb.system.charges;
+  // Collapse molecule 0 (atoms 0..2: O, H, H) to a bare point charge at the
+  // oxygen site; the hydrogens stay in place with zero charge, so the atom
+  // count is unchanged but the cell is no longer neutral.
+  s.charges[0] = solute_charge;
+  s.charges[1] = 0.0;
+  s.charges[2] = 0.0;
+  s.grid = {16, 16, 16};
+  return s;
+}
+
+Scenario scenario_anisotropic_water(std::size_t molecules, std::uint64_t seed) {
+  WaterBoxSpec spec;
+  spec.molecules = molecules;
+  spec.seed = seed;
+  const WaterBox wb = build_water_box(spec);
+  Scenario s;
+  s.name = "anisotropic_water";
+  s.box = wb.system.box;
+  const double lz = s.box.lengths.z;
+  s.box.lengths.z = 2.0 * lz;
+  s.positions = wb.system.positions;
+  s.charges = wb.system.charges;
+  s.positions.reserve(2 * wb.system.positions.size());
+  s.charges.reserve(2 * wb.system.charges.size());
+  for (std::size_t i = 0; i < wb.system.positions.size(); ++i) {
+    Vec3 p = wb.system.positions[i];
+    p.z += lz;
+    s.positions.push_back(p);
+    s.charges.push_back(wb.system.charges[i]);
+  }
+  s.grid = {16, 16, 32};
+  return s;
+}
+
+Scenario scenario_random_gas(std::size_t atoms, double box_length,
+                             std::uint64_t seed) {
+  Scenario s;
+  s.name = "random_gas_n" + std::to_string(atoms);
+  s.box.lengths = {box_length, box_length, box_length};
+  Rng rng(seed);
+  s.positions.resize(atoms);
+  s.charges.resize(atoms);
+  double total = 0.0;
+  for (std::size_t i = 0; i < atoms; ++i) {
+    s.positions[i] = {rng.uniform(0.0, box_length),
+                      rng.uniform(0.0, box_length),
+                      rng.uniform(0.0, box_length)};
+    s.charges[i] = rng.uniform(-1.0, 1.0);
+    total += s.charges[i];
+  }
+  for (double& q : s.charges) q -= total / static_cast<double>(atoms);
+  s.grid = {16, 16, 16};
+  return s;
+}
+
+}  // namespace tme

@@ -1,0 +1,66 @@
+// Deterministic scenario library for the solver x scenario cross-validation
+// tier (tests/test_solver_matrix.cpp) and the solver benches.
+//
+// Each scenario is a reproducible periodic point-charge configuration —
+// built from a seed, never from global state — covering the regimes the
+// long-range backends must agree on: neutral TIP3P water, NaCl electrolyte,
+// a net-charged solute (exercising the uniform-background correction),
+// non-cubic/anisotropic cells, and random-gas N-size sweeps.  Scenarios
+// built from a full WaterBox also carry the MD system/topology so matrix
+// cells can run short NVE energy-drift checks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "grid/grid3d.hpp"
+#include "md/water_box.hpp"
+#include "obs/json.hpp"
+#include "util/vec3.hpp"
+
+namespace tme {
+
+struct Scenario {
+  std::string name;
+  Box box;
+  std::vector<Vec3> positions;  // nm
+  std::vector<double> charges;  // e; non-neutral for charged solutes
+  // Recommended finest mesh: anisotropic cells get anisotropic grids so the
+  // spacing stays (roughly) uniform per axis.
+  GridDims grid{16, 16, 16};
+  // Full MD state for NVE-drift cells; absent for pure point-charge
+  // configurations (charged solute, replicated cells, random gas).
+  std::optional<WaterBox> md;
+
+  double total_charge() const;
+  // Scenario manifest (name, atom count, box, net charge) for per-cell
+  // exports.
+  obs::JsonValue describe() const;
+};
+
+// Neutral TIP3P water on a lattice (carries MD state).
+Scenario scenario_tip3p_water(std::size_t molecules, std::uint64_t seed);
+
+// TIP3P water with `pairs` molecules swapped for Na+/Cl- (neutral; carries
+// MD state) — the paper's "ions and solvent water" composition.
+Scenario scenario_nacl_electrolyte(std::size_t molecules, std::size_t pairs,
+                                   std::uint64_t seed);
+
+// Water box whose first molecule is collapsed to a bare point charge of
+// `solute_charge`, leaving the cell with a net charge: every backend must
+// apply the same neutralising-background correction for totals to agree.
+Scenario scenario_charged_solute(std::size_t molecules, double solute_charge,
+                                 std::uint64_t seed);
+
+// A 1 x 1 x 2 replication of a water box: an anisotropic {L, L, 2L} cell
+// with a matching {n, n, 2n} mesh.
+Scenario scenario_anisotropic_water(std::size_t molecules, std::uint64_t seed);
+
+// Neutralised uniform random charges in a cubic box — the N-size sweep
+// workload.
+Scenario scenario_random_gas(std::size_t atoms, double box_length,
+                             std::uint64_t seed);
+
+}  // namespace tme

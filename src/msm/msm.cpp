@@ -197,7 +197,14 @@ CoulombResult Msm::compute(std::span<const Vec3> positions,
     for (const double q : charges) q2 += q * q;
     out.energy_self = -constants::kCoulomb * params_.alpha / std::sqrt(M_PI) * q2;
   }
-  out.energy = out.energy_reciprocal + out.energy_self;
+  // Net-charge background, top-level splitting only: the dense middle-level
+  // stencils carry their shell kernels' finite DC, and only the top SPME
+  // drops its k = 0 mode (same telescoping as Tme::compute).
+  double q_total = 0.0;
+  for (const double q : charges) q_total += q;
+  out.energy_background = net_charge_background_energy(
+      q_total, top_->params().alpha, box_.volume());
+  out.energy = out.energy_reciprocal + out.energy_self + out.energy_background;
   return out;
 }
 

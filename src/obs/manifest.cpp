@@ -20,7 +20,7 @@ namespace {
 
 struct RuntimeFacts {
   std::mutex mutex;
-  std::map<std::string, std::variant<std::string, double>> values;
+  std::map<std::string, std::variant<std::string, double, JsonValue>> values;
 };
 
 RuntimeFacts& facts() {
@@ -40,6 +40,12 @@ void manifest_set(const std::string& key, double value) {
   RuntimeFacts& f = facts();
   std::lock_guard<std::mutex> lock(f.mutex);
   f.values[key] = value;
+}
+
+void manifest_set(const std::string& key, JsonValue value) {
+  RuntimeFacts& f = facts();
+  std::lock_guard<std::mutex> lock(f.mutex);
+  f.values[key] = std::move(value);
 }
 
 JsonValue manifest_json() {
@@ -77,6 +83,8 @@ JsonValue manifest_json() {
     for (const auto& [key, value] : f.values) {
       if (std::holds_alternative<double>(value)) {
         run_obj[key] = JsonValue::make_number(std::get<double>(value));
+      } else if (std::holds_alternative<JsonValue>(value)) {
+        run_obj[key] = std::get<JsonValue>(value);
       } else {
         run_obj[key] = JsonValue::make_string(std::get<std::string>(value));
       }

@@ -15,9 +15,11 @@
 namespace tme::obs {
 
 // Records a runtime fact under `key`.  Later calls with the same key
-// overwrite; thread-safe.
+// overwrite; thread-safe.  The JsonValue overload stores a structured fact
+// (e.g. a LongRangeSolver::describe() manifest) verbatim.
 void manifest_set(const std::string& key, const std::string& value);
 void manifest_set(const std::string& key, double value);
+void manifest_set(const std::string& key, JsonValue value);
 
 // Assembles the manifest: build facts, every TME_* environment variable in
 // effect, and all manifest_set entries (under "runtime").

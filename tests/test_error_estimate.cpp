@@ -1,0 +1,134 @@
+// Property tests for the Kolafa–Perram / Deserno–Holm a-priori RMS
+// force-error estimates: across an alpha sweep the estimates must
+// upper-bound (within the customary factor-of-two headroom) the measured
+// truncation error of this library's reference Ewald, while staying in the
+// right ballpark (not orders of magnitude loose).
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ewald/error_estimate.hpp"
+#include "ewald/reference_ewald.hpp"
+#include "ewald/splitting.hpp"
+#include "util/rng.hpp"
+
+namespace tme {
+namespace {
+
+struct TestSystem {
+  Box box;
+  std::vector<Vec3> positions;
+  std::vector<double> charges;
+  double q2 = 0.0;
+};
+
+TestSystem random_system(std::size_t n, double box_length, std::uint64_t seed) {
+  TestSystem sys;
+  sys.box.lengths = {box_length, box_length, box_length};
+  Rng rng(seed);
+  sys.positions.resize(n);
+  sys.charges.resize(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sys.positions[i] = {rng.uniform(0.0, box_length),
+                        rng.uniform(0.0, box_length),
+                        rng.uniform(0.0, box_length)};
+    sys.charges[i] = rng.uniform(-1.0, 1.0);
+    total += sys.charges[i];
+  }
+  for (auto& q : sys.charges) {
+    q -= total / static_cast<double>(n);
+    sys.q2 += q * q;
+  }
+  return sys;
+}
+
+double rms_force_difference(const CoulombResult& a, const CoulombResult& b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.forces.size(); ++i) {
+    sum += norm2(a.forces[i] - b.forces[i]);
+  }
+  return std::sqrt(sum / static_cast<double>(a.forces.size()));
+}
+
+TEST(ErrorEstimate, RejectsBadArgumentsAndDecaysMonotonically) {
+  EXPECT_THROW(ewald_real_space_rms_force_error(1.0, 0, 8.0, 0.9, 3.0),
+               std::invalid_argument);
+  EXPECT_THROW(ewald_real_space_rms_force_error(1.0, 10, 8.0, -0.9, 3.0),
+               std::invalid_argument);
+  EXPECT_THROW(ewald_reciprocal_rms_force_error(1.0, 10, 8.0, 2.0, 3.0, 0),
+               std::invalid_argument);
+
+  // Larger cutoffs mean smaller truncation error, always.
+  double prev = ewald_real_space_rms_force_error(10.0, 100, 8.0, 0.4, 4.0);
+  for (const double rc : {0.6, 0.8, 1.0}) {
+    const double cur = ewald_real_space_rms_force_error(10.0, 100, 8.0, rc, 4.0);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+  prev = ewald_reciprocal_rms_force_error(10.0, 100, 8.0, 2.0, 4.0, 4);
+  for (const int nc : {6, 8, 10}) {
+    const double cur =
+        ewald_reciprocal_rms_force_error(10.0, 100, 8.0, 2.0, 4.0, nc);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(ErrorEstimate, RealSpaceEstimateBoundsMeasuredErrorAcrossAlphaSweep) {
+  const TestSystem sys = random_system(200, 2.0, 41);
+  const double r_cut = 0.7;  // < L/2
+
+  for (const double alpha : {2.5, 3.5, 4.5, 5.5}) {
+    // Same converged reciprocal part in both; the force difference is purely
+    // the real-space tail beyond r_cut.
+    EwaldParams full;
+    full.alpha = alpha;  // r_cut = L/2
+    EwaldParams truncated;
+    truncated.alpha = alpha;
+    truncated.r_cut = r_cut;
+    const CoulombResult a =
+        ewald_reference(sys.box, sys.positions, sys.charges, full);
+    const CoulombResult b =
+        ewald_reference(sys.box, sys.positions, sys.charges, truncated);
+    const double measured = rms_force_difference(a, b);
+    const double estimate = ewald_real_space_rms_force_error(
+        sys.q2, sys.positions.size(), sys.box.volume(), r_cut, alpha);
+
+    // Upper bound with the customary 2x headroom; ballpark floor keeps the
+    // estimate honest (no silent over-estimation by orders of magnitude).
+    EXPECT_LT(measured, 2.0 * estimate) << "alpha=" << alpha;
+    EXPECT_GT(measured, 0.02 * estimate) << "alpha=" << alpha;
+  }
+}
+
+TEST(ErrorEstimate, ReciprocalEstimateBoundsMeasuredErrorAcrossAlphaSweep) {
+  const TestSystem sys = random_system(200, 2.0, 42);
+
+  for (const double alpha : {3.0, 4.0, 5.0}) {
+    // n_cut chosen mid-decay so the truncated tail is measurable; the
+    // reference keeps the converged auto cutoff.
+    const int n_cut = std::max(
+        2, reciprocal_cutoff_from_tolerance(alpha, sys.box.lengths.x, 1e-4));
+    EwaldParams full;
+    full.alpha = alpha;
+    EwaldParams truncated;
+    truncated.alpha = alpha;
+    truncated.n_cut = n_cut;
+    const CoulombResult a =
+        ewald_reference(sys.box, sys.positions, sys.charges, full);
+    const CoulombResult b =
+        ewald_reference(sys.box, sys.positions, sys.charges, truncated);
+    const double measured = rms_force_difference(a, b);
+    const double estimate = ewald_reciprocal_rms_force_error(
+        sys.q2, sys.positions.size(), sys.box.volume(), sys.box.lengths.x,
+        alpha, n_cut);
+
+    EXPECT_LT(measured, 2.0 * estimate) << "alpha=" << alpha;
+    EXPECT_GT(measured, 0.02 * estimate) << "alpha=" << alpha;
+  }
+}
+
+}  // namespace
+}  // namespace tme

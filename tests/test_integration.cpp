@@ -251,9 +251,11 @@ TEST(Integration, EwaldSolverAgreesWithSpmeSolverInForceField) {
   sp.alpha = alpha;
   sp.grid = {24, 24, 24};  // fine grid: SPME error well below the comparison
   const ForceField ff_spme(sr, make_spme_solver(wb_a.system.box, sp));
-  const int n_cut = reciprocal_cutoff_from_tolerance(
+  EwaldSolverParams ep;
+  ep.alpha = alpha;
+  ep.n_cut = reciprocal_cutoff_from_tolerance(
       alpha, wb_b.system.box.lengths.x, 1e-10);
-  const ForceField ff_ewald(sr, make_ewald_solver(alpha, n_cut));
+  const ForceField ff_ewald(sr, make_ewald_solver(wb_b.system.box, ep));
 
   const EnergyReport e_spme = ff_spme.evaluate(wb_a.system, wb_a.topology);
   const EnergyReport e_ewald = ff_ewald.evaluate(wb_b.system, wb_b.topology);

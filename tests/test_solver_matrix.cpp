@@ -1,0 +1,251 @@
+// Solver x scenario cross-validation matrix.
+//
+// Every registered long-range backend runs against every scenario in the
+// library (md/scenarios.hpp); each (solver, scenario) cell completes the
+// long-range result with the identical direct erfc pair sum and gates on
+//   - pairwise RMS force error against the classical-Ewald long-range
+//     reference at the same (alpha, r_cut) — the paper's Table 1 metric,
+//   - total-energy agreement,
+//   - Newton's-third-law net force,
+//   - short NVE total-energy drift (scenarios that carry MD state).
+// Cells are parameterized gtest instances, so a failure names the exact
+// (solver, scenario) pair; every cell also appends its measurements to a
+// JSON report (TME_SOLVER_MATRIX_OUT, default SOLVER_MATRIX.json) stamped
+// with the per-run manifest, written once when the process exits.
+//
+// Registered as ONE ctest entry (`ctest -R solver_matrix`) so all cells
+// share the process and the report aggregates the full matrix.
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/solvers.hpp"
+#include "ewald/splitting.hpp"
+#include "md/forcefield.hpp"
+#include "md/integrator.hpp"
+#include "md/scenarios.hpp"
+#include "md/short_range.hpp"
+#include "obs/manifest.hpp"
+#include "util/constants.hpp"
+
+namespace tme {
+namespace {
+
+// --- scenario roster ---------------------------------------------------------
+
+std::vector<Scenario> build_scenarios() {
+  std::vector<Scenario> out;
+  out.push_back(scenario_tip3p_water(64, 2021));
+  out.push_back(scenario_nacl_electrolyte(64, 4, 2022));
+  out.push_back(scenario_charged_solute(32, 2.0, 2023));
+  out.push_back(scenario_anisotropic_water(32, 2024));
+  out.push_back(scenario_random_gas(64, 1.6, 2025));
+  out.push_back(scenario_random_gas(128, 1.6, 2026));
+  out.push_back(scenario_random_gas(256, 1.6, 2027));
+  return out;
+}
+
+// Per-scenario reference data, built once and shared by every solver's cell.
+struct ScenarioData {
+  Scenario sc;
+  double r_cut = 0.0;
+  double alpha = 0.0;
+  CoulombResult reference;  // classical-Ewald LR + direct erfc pair sum
+};
+
+const std::vector<ScenarioData>& scenario_data() {
+  static const std::vector<ScenarioData> data = [] {
+    std::vector<ScenarioData> out;
+    for (Scenario& sc : build_scenarios()) {
+      ScenarioData d;
+      d.sc = std::move(sc);
+      const double min_length = std::min(
+          {d.sc.box.lengths.x, d.sc.box.lengths.y, d.sc.box.lengths.z});
+      d.r_cut = 0.45 * min_length;
+      d.alpha = alpha_from_tolerance(d.r_cut, 1e-4);
+      SolverTuning tuning;
+      tuning.alpha = d.alpha;
+      tuning.grid = d.sc.grid;
+      d.reference = make_long_range_solver("ewald", d.sc.box, tuning)
+                        ->compute(d.sc.positions, d.sc.charges);
+      add_short_range_direct(d.sc.box, d.sc.positions, d.sc.charges, d.alpha,
+                            d.r_cut, d.reference);
+      out.push_back(std::move(d));
+    }
+    return out;
+  }();
+  return data;
+}
+
+// --- per-backend accuracy gates ----------------------------------------------
+
+struct CellGates {
+  double force_rms_rel;   // vs the Ewald reference, Table 1 metric
+  double energy_rel;      // |E - E_ref| / |E_ref|
+  double net_force_rel;   // |sum F| / (N * rms|F|)
+};
+
+CellGates gates_for(const std::string& backend) {
+  // ewald-vs-ewald anchors the matrix at rounding level; the mesh methods
+  // get envelopes ~5-10x above their measured worst cells (forces ~6e-4 on
+  // the anisotropic box, energies ~5e-4 on the small gas boxes, net force
+  // ~1.3e-5 from mesh back-interpolation).
+  if (backend == "ewald") return {1e-12, 1e-12, 1e-12};
+  if (backend == "spme") return {5e-4, 1e-3, 5e-5};
+  if (backend == "tme") return {5e-3, 2e-3, 5e-5};
+  if (backend == "tme_fixed") return {5e-3, 2e-3, 5e-5};
+  return {1e-3, 1e-3, 5e-5};
+}
+
+// --- JSON report -------------------------------------------------------------
+
+std::vector<obs::JsonValue>& cell_records() {
+  static std::vector<obs::JsonValue> records;
+  return records;
+}
+
+class MatrixReportEnvironment : public ::testing::Environment {
+ public:
+  void TearDown() override {
+    obs::JsonValue root = obs::JsonValue::make_object();
+    auto& obj = root.as_object();
+    obj["manifest"] = obs::manifest_json();
+    obs::JsonValue cells = obs::JsonValue::make_array();
+    cells.as_array() = cell_records();
+    obj["cells"] = std::move(cells);
+
+    const char* path = std::getenv("TME_SOLVER_MATRIX_OUT");
+    std::ofstream out(path != nullptr ? path : "SOLVER_MATRIX.json");
+    out << root.dump() << "\n";
+  }
+};
+
+const ::testing::Environment* const kMatrixEnv =
+    ::testing::AddGlobalTestEnvironment(new MatrixReportEnvironment);
+
+// --- the matrix --------------------------------------------------------------
+
+class SolverMatrix
+    : public ::testing::TestWithParam<std::tuple<std::string, std::size_t>> {};
+
+TEST_P(SolverMatrix, CellPassesAccuracyGates) {
+  const std::string backend = std::get<0>(GetParam());
+  const ScenarioData& d = scenario_data()[std::get<1>(GetParam())];
+  const Scenario& sc = d.sc;
+  const CellGates gates = gates_for(backend);
+
+  SolverTuning tuning;
+  tuning.alpha = d.alpha;
+  tuning.grid = sc.grid;
+  const std::unique_ptr<LongRangeSolver> solver =
+      make_long_range_solver(backend, sc.box, tuning);
+
+  CoulombResult cell = solver->compute(sc.positions, sc.charges);
+  add_short_range_direct(sc.box, sc.positions, sc.charges, d.alpha, d.r_cut,
+                         cell);
+
+  // Pairwise RMS force error against the Ewald reference (Table 1 metric).
+  const double force_rms_rel = cell.relative_force_error_against(d.reference);
+  EXPECT_LE(force_rms_rel, gates.force_rms_rel)
+      << backend << " x " << sc.name << ": force error above gate";
+
+  // Total-energy agreement.
+  const double energy_rel =
+      std::abs(cell.energy - d.reference.energy) / std::abs(d.reference.energy);
+  EXPECT_LE(energy_rel, gates.energy_rel)
+      << backend << " x " << sc.name << ": E=" << cell.energy
+      << " ref=" << d.reference.energy;
+
+  // Newton's third law: the net force must vanish relative to the typical
+  // force magnitude (the direct pair sum cancels exactly; what remains is
+  // the mesh back-interpolation's non-conservation).
+  Vec3 net{};
+  double rms = 0.0;
+  for (const Vec3& f : cell.forces) {
+    net += f;
+    rms += norm2(f);
+  }
+  const std::size_t n = cell.forces.size();
+  rms = std::sqrt(rms / static_cast<double>(n));
+  const double net_force_rel = norm(net) / (static_cast<double>(n) * rms);
+  EXPECT_LE(net_force_rel, gates.net_force_rel)
+      << backend << " x " << sc.name << ": net force " << norm(net);
+
+  // Short NVE drift for scenarios that carry MD state.
+  double drift = -1.0, drift_gate = -1.0;
+  if (sc.md.has_value()) {
+    WaterBox wb = *sc.md;  // fresh copy: cells must not share MD state
+    ShortRangeParams sr;
+    sr.cutoff = d.r_cut;
+    sr.alpha = d.alpha;
+    sr.shift_lj = true;
+    SolverTuning md_tuning = tuning;
+    const ForceField ff(sr, make_long_range_solver(backend, wb.system.box,
+                                                   md_tuning));
+    const VelocityVerlet integrator(wb.topology, wb.system, IntegratorParams{});
+    integrator.prime(wb.system, wb.topology, ff);
+    StepReport report{};
+    for (int s = 0; s < 10; ++s) {
+      report = integrator.step(wb.system, wb.topology, ff);
+    }
+    const double e0 = report.total();
+    drift = 0.0;
+    for (int s = 0; s < 50; ++s) {
+      report = integrator.step(wb.system, wb.topology, ff);
+      drift = std::max(drift, std::abs(report.total() - e0));
+    }
+    drift_gate = 0.01 * report.kinetic + 1.0;
+    EXPECT_LT(drift, drift_gate)
+        << backend << " x " << sc.name << ": NVE drift";
+  }
+
+  // Per-cell record for the aggregated JSON report.
+  obs::JsonValue rec = obs::JsonValue::make_object();
+  auto& r = rec.as_object();
+  r["solver"] = obs::JsonValue::make_string(backend);
+  r["scenario"] = obs::JsonValue::make_string(sc.name);
+  r["solver_config"] = solver->describe();
+  r["scenario_config"] = sc.describe();
+  r["alpha"] = obs::JsonValue::make_number(d.alpha);
+  r["r_cut"] = obs::JsonValue::make_number(d.r_cut);
+  r["force_rms_rel"] = obs::JsonValue::make_number(force_rms_rel);
+  r["force_gate"] = obs::JsonValue::make_number(gates.force_rms_rel);
+  r["energy_rel"] = obs::JsonValue::make_number(energy_rel);
+  r["energy_gate"] = obs::JsonValue::make_number(gates.energy_rel);
+  r["net_force_rel"] = obs::JsonValue::make_number(net_force_rel);
+  r["net_force_gate"] = obs::JsonValue::make_number(gates.net_force_rel);
+  r["nve_drift"] = obs::JsonValue::make_number(drift);
+  r["nve_drift_gate"] = obs::JsonValue::make_number(drift_gate);
+  r["passed"] = obs::JsonValue::make_bool(!::testing::Test::HasFailure());
+  cell_records().push_back(std::move(rec));
+}
+
+std::vector<std::string> backend_names() { return long_range_backends(); }
+
+std::vector<std::size_t> scenario_indices() {
+  std::vector<std::size_t> idx(build_scenarios().size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  return idx;
+}
+
+std::string cell_name(
+    const ::testing::TestParamInfo<SolverMatrix::ParamType>& info) {
+  return std::get<0>(info.param) + "_x_" +
+         scenario_data()[std::get<1>(info.param)].sc.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SolverMatrix,
+    ::testing::Combine(::testing::ValuesIn(backend_names()),
+                       ::testing::ValuesIn(scenario_indices())),
+    cell_name);
+
+}  // namespace
+}  // namespace tme

@@ -1,0 +1,234 @@
+// The LongRangeSolver interface: describe() manifests and their round-trip
+// through the run manifest, analytic virials against the finite-difference
+// reference, and the net-charge neutralising-background correction.
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/solvers.hpp"
+#include "ewald/splitting.hpp"
+#include "md/scenarios.hpp"
+#include "obs/manifest.hpp"
+#include "util/constants.hpp"
+#include "util/rng.hpp"
+
+namespace tme {
+namespace {
+
+// Neutral random charge system (the test_ewald fixture idiom).
+struct TestSystem {
+  Box box;
+  std::vector<Vec3> positions;
+  std::vector<double> charges;
+};
+
+TestSystem random_system(std::size_t n, double box_length, std::uint64_t seed) {
+  TestSystem sys;
+  sys.box.lengths = {box_length, box_length, box_length};
+  Rng rng(seed);
+  sys.positions.resize(n);
+  sys.charges.resize(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sys.positions[i] = {rng.uniform(0.0, box_length),
+                        rng.uniform(0.0, box_length),
+                        rng.uniform(0.0, box_length)};
+    sys.charges[i] = rng.uniform(-1.0, 1.0);
+    total += sys.charges[i];
+  }
+  for (auto& q : sys.charges) q -= total / static_cast<double>(n);
+  return sys;
+}
+
+// --- registry and describe() manifests --------------------------------------
+
+TEST(SolverRegistry, BuildsEveryRegisteredBackend) {
+  const Box box{{2.0, 2.0, 2.0}};
+  SolverTuning tuning;
+  tuning.alpha = 3.0;
+  ASSERT_GE(long_range_backends().size(), 4u);
+  for (const std::string& backend : long_range_backends()) {
+    const auto solver = make_long_range_solver(backend, box, tuning);
+    ASSERT_NE(solver, nullptr) << backend;
+    EXPECT_EQ(solver->name(), backend);
+    EXPECT_DOUBLE_EQ(solver->alpha(), 3.0);
+    EXPECT_DOUBLE_EQ(solver->box().lengths.x, 2.0);
+  }
+  EXPECT_THROW(make_long_range_solver("pppm", box, tuning),
+               std::invalid_argument);
+}
+
+TEST(SolverRegistry, DescribeNamesTheBackendAndItsKnobs) {
+  const Box box{{2.0, 2.0, 2.0}};
+  SolverTuning tuning;
+  tuning.alpha = 2.5;
+  tuning.order = 4;
+  for (const std::string& backend : long_range_backends()) {
+    const auto solver = make_long_range_solver(backend, box, tuning);
+    const obs::JsonValue d = solver->describe();
+    ASSERT_TRUE(d.is_object()) << backend;
+    EXPECT_EQ(d.at("backend").as_string(), backend);
+    EXPECT_DOUBLE_EQ(d.at("alpha").as_number(), 2.5);
+  }
+  // Backend-specific knobs survive.
+  const auto spme = make_long_range_solver("spme", box, tuning);
+  EXPECT_DOUBLE_EQ(spme->describe().at("order").as_number(), 4.0);
+  const auto tme_fixed = make_long_range_solver("tme_fixed", box, tuning);
+  EXPECT_TRUE(tme_fixed->describe().contains("grid_frac_bits"));
+}
+
+TEST(SolverRegistry, DescribeRoundTripsThroughTheRunManifest) {
+  const Box box{{2.0, 2.0, 2.0}};
+  SolverTuning tuning;
+  tuning.alpha = 3.5;
+  const auto solver = make_long_range_solver("tme", box, tuning);
+  obs::manifest_set("solver", solver->describe());
+
+  // Serialise the assembled manifest and parse it back: the solver config
+  // must survive the full JSON round trip the BENCH exports use.
+  const obs::JsonValue parsed = obs::json_parse(obs::manifest_json().dump());
+  const obs::JsonValue& entry = parsed.at("runtime").at("solver");
+  EXPECT_EQ(entry.at("backend").as_string(), "tme");
+  EXPECT_DOUBLE_EQ(entry.at("alpha").as_number(), 3.5);
+  EXPECT_DOUBLE_EQ(entry.at("levels").as_number(), 1.0);
+}
+
+// --- virials -----------------------------------------------------------------
+
+TEST(SolverVirial, EwaldAnalyticVirialMatchesFiniteDifference) {
+  const TestSystem sys = random_system(40, 2.2, 31);
+  EwaldSolverParams params;
+  params.alpha = 3.0;
+  const LongRangeFactory make = [&](const Box& b) {
+    return make_ewald_solver(b, params);
+  };
+  const auto solver = make(sys.box);
+  ASSERT_TRUE(solver->computes_virial());
+  const CoulombResult out = solver->compute(sys.positions, sys.charges);
+  const double fd =
+      finite_difference_virial(make, sys.box, sys.positions, sys.charges);
+  EXPECT_NEAR(out.virial, fd, 1e-4 * std::max(1.0, std::abs(fd)));
+}
+
+TEST(SolverVirial, SpmeAnalyticVirialMatchesFiniteDifferenceAndEwald) {
+  const TestSystem sys = random_system(40, 2.2, 32);
+  SpmeParams sp;
+  sp.alpha = 3.0;
+  sp.grid = {24, 24, 24};
+  sp.compute_virial = true;
+  const LongRangeFactory make = [&](const Box& b) {
+    return make_spme_solver(b, sp);
+  };
+  const auto solver = make(sys.box);
+  ASSERT_TRUE(solver->computes_virial());
+  const CoulombResult out = solver->compute(sys.positions, sys.charges);
+
+  const double fd =
+      finite_difference_virial(make, sys.box, sys.positions, sys.charges);
+  EXPECT_NEAR(out.virial, fd, 1e-4 * std::max(1.0, std::abs(fd)));
+
+  EwaldSolverParams ep;
+  ep.alpha = 3.0;
+  const CoulombResult exact =
+      make_ewald_solver(sys.box, ep)->compute(sys.positions, sys.charges);
+  EXPECT_NEAR(out.virial, exact.virial,
+              1e-3 * std::max(1.0, std::abs(exact.virial)));
+}
+
+TEST(SolverVirial, ChargedCellVirialIncludesTheBackgroundTerm) {
+  // Same FD identity, but with a net-charged cell: -dE/dln(lambda) only
+  // matches when the analytic virial carries the background's 3 E_bg.
+  TestSystem sys = random_system(30, 2.0, 33);
+  sys.charges[0] += 2.0;  // net charge +2
+  EwaldSolverParams params;
+  params.alpha = 3.0;
+  const LongRangeFactory make = [&](const Box& b) {
+    return make_ewald_solver(b, params);
+  };
+  const CoulombResult out =
+      make(sys.box)->compute(sys.positions, sys.charges);
+  EXPECT_LT(out.energy_background, 0.0);
+  const double fd =
+      finite_difference_virial(make, sys.box, sys.positions, sys.charges);
+  EXPECT_NEAR(out.virial, fd, 1e-4 * std::max(1.0, std::abs(fd)));
+}
+
+// --- net-charge background ---------------------------------------------------
+
+TEST(NetChargeBackground, FormulaAndArgumentChecks) {
+  EXPECT_DOUBLE_EQ(net_charge_background_energy(0.0, 3.0, 8.0), 0.0);
+  const double expected =
+      -constants::kCoulomb * M_PI * 4.0 / (2.0 * 9.0 * 8.0);
+  EXPECT_DOUBLE_EQ(net_charge_background_energy(2.0, 3.0, 8.0), expected);
+  EXPECT_DOUBLE_EQ(net_charge_background_energy(-2.0, 3.0, 8.0), expected);
+  EXPECT_THROW(net_charge_background_energy(1.0, 0.0, 8.0),
+               std::invalid_argument);
+  EXPECT_THROW(net_charge_background_energy(1.0, 3.0, -1.0),
+               std::invalid_argument);
+}
+
+TEST(NetChargeBackground, ChargedCellEnergyIsAlphaIndependent) {
+  // The total energy of point charges + neutralising background is a
+  // physical quantity; with the -pi/(2 alpha^2 V) (sum q)^2 correction the
+  // split into real + reciprocal + self + background must not depend on the
+  // splitting parameter.
+  TestSystem sys = random_system(24, 1.8, 34);
+  sys.charges[5] += 1.5;
+  double e_prev = 0.0;
+  bool first = true;
+  // alpha r_cut >= 4.5 keeps the real-space truncation below the 1e-8 gate
+  // (erfc(4.5) ~ 2e-10); the auto reciprocal cutoff converges at any alpha.
+  for (const double alpha : {5.0, 6.0, 7.0}) {
+    EwaldParams params;
+    params.alpha = alpha;  // r_cut = L/2
+    const CoulombResult out =
+        ewald_reference(sys.box, sys.positions, sys.charges, params);
+    if (!first) {
+      EXPECT_NEAR(out.energy, e_prev, 1e-8 * std::abs(e_prev))
+          << "alpha=" << alpha;
+    }
+    e_prev = out.energy;
+    first = false;
+  }
+}
+
+TEST(NetChargeBackground, SingleChargeReproducesTheWignerConstant) {
+  // One unit point charge + uniform background in a cubic cell of edge L:
+  // E = -kC * 2.837297 / (2 L) (the Madelung constant of the Wigner
+  // lattice).  alpha L = 8 pushes the real-space image sum below 1e-15, so
+  // the ewald backend's reciprocal + self + background alone must hit it.
+  const double box_length = 1.0;
+  const Box box{{box_length, box_length, box_length}};
+  EwaldSolverParams params;
+  params.alpha = 8.0 / box_length;
+  const std::vector<Vec3> pos{{0.25, 0.5, 0.75}};
+  const std::vector<double> q{1.0};
+  const CoulombResult out = make_ewald_solver(box, params)->compute(pos, q);
+  const double expected = -constants::kCoulomb * 2.837297 / (2.0 * box_length);
+  EXPECT_NEAR(out.energy, expected, 1e-5 * std::abs(expected));
+}
+
+TEST(NetChargeBackground, MeshBackendsAgreeWithEwaldOnAChargedCell) {
+  // Every mesh backend applies the correction at its own effective top-level
+  // alpha; totals must still agree with the classical Ewald long-range part.
+  const Scenario sc = scenario_charged_solute(32, 2.0, 91);
+  SolverTuning tuning;
+  const double r_cut = 0.45 * sc.box.lengths.x;
+  tuning.alpha = alpha_from_tolerance(r_cut, 1e-4);
+  tuning.grid = sc.grid;
+  const CoulombResult ref =
+      make_long_range_solver("ewald", sc.box, tuning)
+          ->compute(sc.positions, sc.charges);
+  for (const std::string backend : {"spme", "tme", "tme_fixed"}) {
+    const CoulombResult out =
+        make_long_range_solver(backend, sc.box, tuning)
+            ->compute(sc.positions, sc.charges);
+    EXPECT_NEAR(out.energy, ref.energy, 2e-3 * std::abs(ref.energy))
+        << backend;
+  }
+}
+
+}  // namespace
+}  // namespace tme
