@@ -1,24 +1,38 @@
-// Thread-scaling and kernel-accuracy bench for the parallel short-range
-// engine (md/short_range_engine.hpp) on the standard water-box workload.
+// Thread-scaling, SIMD, and kernel-accuracy bench for the parallel
+// short-range engine (md/short_range_engine.hpp) on the standard water-box
+// workload.
 //
-// Sweeps pool sizes 1, 2, 4, ... up to --threads for both Coulomb kernels
-// (analytic erfc vs the segmented-polynomial r² table) and reports per-eval
-// time, pair throughput, speedup over 1 thread, and the force deviation from
-// the serial reference loop.  The run *fails* (non-zero exit) when the
-// parallel analytic forces drift from the serial ones beyond 1e-10 relative
-// or the tabulated forces drift from analytic beyond 1e-6 relative — CI runs
-// this as a correctness smoke, never asserting on raw timing.
+// Sweeps kernel (analytic erfc vs the segmented-polynomial r² table) ×
+// SIMD mode (scalar twin vs native-width vec kernel) × pool sizes 1, 2, 4,
+// ... up to --threads, and reports per-eval time, pair throughput, speedup
+// over 1 thread, speedup over the scalar twin, and the force deviation from
+// the serial reference loop.  The run *fails* (non-zero exit) when
+//  - the analytic forces drift from the serial ones beyond 1e-10 relative,
+//  - the tabulated forces drift from analytic beyond 1e-6 relative, or
+//  - the native-mode forces are not BITWISE identical to the scalar-mode
+//    forces at the same pool size (the SIMD parity contract, util/simd.hpp).
+// CI runs this as a correctness smoke, never asserting on raw timing.
+//
+// A final "isolated kernel micro" block times the batched pair kernel and
+// the separable axis convolution without the scalar enumeration overhead,
+// exporting shortrange/kernel_micro/<path>/speedup_vs_scalar — the
+// headline scalar-vs-native numbers for the SIMD layer.
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "ewald/splitting.hpp"
+#include "grid/separable_conv.hpp"
 #include "md/short_range_engine.hpp"
+#include "md/short_range_kernels.hpp"
 #include "md/water_box.hpp"
 #include "util/args.hpp"
 #include "util/parallel.hpp"
-#include "util/timer.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
 
 #include "common.hpp"
 
@@ -34,6 +48,12 @@ double force_deviation(const std::vector<Vec3>& a, const std::vector<Vec3>& b) {
     scale = std::max(scale, norm(b[i]));
   }
   return scale > 0.0 ? worst / scale : worst;
+}
+
+bool bitwise_equal(const std::vector<Vec3>& a, const std::vector<Vec3>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(Vec3)) == 0);
 }
 
 }  // namespace
@@ -61,94 +81,222 @@ int main(int argc, char** argv) {
   params.shift_lj = true;
 
   bench::print_header("bench_shortrange: parallel short-range engine");
-  std::printf("atoms %zu  box %.3f nm  cutoff %.3f nm  alpha %.3f  reps %d\n",
-              n, wb.system.box.lengths.x, params.cutoff, params.alpha, reps);
+  std::printf(
+      "atoms %zu  box %.3f nm  cutoff %.3f nm  alpha %.3f  reps %d  isa %s\n",
+      n, wb.system.box.lengths.x, params.cutoff, params.alpha, reps,
+      simd::active_isa());
 
   obs::Registry::global().reset();
 
-  // Serial reference: the plain cell-list loop.
+  // Serial reference: the plain cell-list loop (warmed up by time_best).
   std::vector<Vec3> f_serial;
   ShortRangeResult ref;
-  double serial_seconds = 0.0;
-  {
-    Timer timer;
-    for (int rep = 0; rep < reps; ++rep) {
-      wb.system.forces.assign(n, Vec3{});
-      timer.reset();
-      ref = compute_short_range(wb.system, wb.topology, params);
-      const double s = timer.seconds();
-      if (rep == 0 || s < serial_seconds) serial_seconds = s;
-    }
-    f_serial = wb.system.forces;
-  }
+  const double serial_seconds = bench::time_best(reps, [&] {
+    wb.system.forces.assign(n, Vec3{});
+    ref = compute_short_range(wb.system, wb.topology, params);
+  });
+  f_serial = wb.system.forces;
   std::printf("serial reference: %8.2f ms/eval  %zu pairs\n",
               serial_seconds * 1e3, ref.pair_count);
 
-  struct ModeSpec {
+  struct KernelSpec {
     const char* name;
     CoulombKernel kernel;
     double tolerance;  // vs the serial analytic reference
   };
-  const ModeSpec modes[] = {
+  const KernelSpec kernels[] = {
       {"analytic", CoulombKernel::kAnalytic, 1e-10},
       {"tabulated", CoulombKernel::kTabulated, 1e-6},
   };
 
-  bench::print_header("thread sweep");
-  std::printf("%-10s %8s %12s %14s %9s %12s\n", "kernel", "threads",
-              "ms/eval", "pairs/s", "speedup", "max rel dF");
+  bench::print_header("kernel x simd-mode x thread sweep");
+  std::printf("%-10s %-7s %8s %12s %14s %9s %10s %12s\n", "kernel", "mode",
+              "threads", "ms/eval", "pairs/s", "speedup", "vs_scalar",
+              "max rel dF");
 
   bool mismatch = false;
-  for (const ModeSpec& mode : modes) {
-    ShortRangeParams p = params;
-    p.kernel = mode.kernel;
-    const ShortRangeEngine engine(p);
-    if (engine.force_table() != nullptr) {
+  for (const KernelSpec& kernel : kernels) {
+    ShortRangeParams p_scalar = params;
+    p_scalar.kernel = kernel.kernel;
+    p_scalar.simd = ShortRangeParams::SimdChoice::kScalar;
+    ShortRangeParams p_native = p_scalar;
+    p_native.simd = ShortRangeParams::SimdChoice::kNative;
+    const ShortRangeEngine engines[] = {ShortRangeEngine(p_scalar),
+                                        ShortRangeEngine(p_native)};
+    if (engines[0].force_table() != nullptr) {
       obs::Registry::global().gauge_set(
           "shortrange/table_max_rel_error_energy",
-          engine.force_table()->max_rel_error_energy());
+          engines[0].force_table()->max_rel_error_energy());
       obs::Registry::global().gauge_set(
           "shortrange/table_max_rel_error_force",
-          engine.force_table()->max_rel_error_force());
+          engines[0].force_table()->max_rel_error_force());
     }
-    double t1 = 0.0;  // 1-thread time for the speedup column
+    // t1 per mode (for the thread-speedup column); scalar best per thread
+    // count (for the SIMD-speedup column and the bitwise parity gate).
+    double t1[2] = {0.0, 0.0};
     for (unsigned threads = 1; threads <= max_threads; threads *= 2) {
       ThreadPool pool(threads - 1);
-      double best = 0.0;
-      ShortRangeResult r{};
-      Timer timer;
-      for (int rep = 0; rep < reps; ++rep) {
-        wb.system.forces.assign(n, Vec3{});
-        timer.reset();
-        r = engine.compute(wb.system, wb.topology, &pool);
-        const double s = timer.seconds();
-        if (rep == 0 || s < best) best = s;
+      double scalar_best = 0.0;
+      std::vector<Vec3> f_scalar;
+      for (int m = 0; m < 2; ++m) {
+        const ShortRangeEngine& engine = engines[m];
+        ShortRangeResult r{};
+        const double best = bench::time_best(reps, [&] {
+          wb.system.forces.assign(n, Vec3{});
+          r = engine.compute(wb.system, wb.topology, &pool);
+        });
+        if (threads == 1) t1[m] = best;
+        if (m == 0) {
+          scalar_best = best;
+          f_scalar = wb.system.forces;
+        }
+        const double deviation = force_deviation(wb.system.forces, f_serial);
+        const double pairs_per_s = static_cast<double>(r.pair_count) / best;
+        const double vs_scalar = scalar_best / best;
+        const char* mode_name = simd::mode_name(engine.simd_mode());
+        const bool parity_ok = m == 0 || bitwise_equal(wb.system.forces, f_scalar);
+        std::printf("%-10s %-7s %8u %12.2f %14.3e %9.2f %10.2f %12.2e%s%s\n",
+                    kernel.name, mode_name, threads, best * 1e3, pairs_per_s,
+                    t1[m] / best, vs_scalar, deviation,
+                    deviation > kernel.tolerance ? "  ** MISMATCH **" : "",
+                    parity_ok ? "" : "  ** SIMD PARITY BROKEN **");
+        const std::string prefix = std::string("shortrange/") + kernel.name +
+                                   "/" + mode_name + "/t" +
+                                   std::to_string(threads);
+        obs::Registry::global().gauge_set(prefix + "/seconds_per_eval", best);
+        obs::Registry::global().gauge_set(prefix + "/pairs_per_s", pairs_per_s);
+        obs::Registry::global().gauge_set(prefix + "/speedup", t1[m] / best);
+        obs::Registry::global().gauge_set(prefix + "/speedup_vs_scalar",
+                                          vs_scalar);
+        if (deviation > kernel.tolerance) mismatch = true;
+        if (!parity_ok) mismatch = true;
+        if (r.pair_count != ref.pair_count) {
+          std::printf("  ** pair count mismatch: %zu vs serial %zu **\n",
+                      r.pair_count, ref.pair_count);
+          mismatch = true;
+        }
       }
-      if (threads == 1) t1 = best;
-      const double deviation = force_deviation(wb.system.forces, f_serial);
-      const double pairs_per_s = static_cast<double>(r.pair_count) / best;
-      std::printf("%-10s %8u %12.2f %14.3e %9.2f %12.2e%s\n", mode.name,
-                  threads, best * 1e3, pairs_per_s, t1 / best, deviation,
-                  deviation > mode.tolerance ? "  ** MISMATCH **" : "");
-      const std::string prefix = std::string("shortrange/") + mode.name +
-                                 "/t" + std::to_string(threads);
-      obs::Registry::global().gauge_set(prefix + "/seconds_per_eval", best);
-      obs::Registry::global().gauge_set(prefix + "/pairs_per_s", pairs_per_s);
-      obs::Registry::global().gauge_set(prefix + "/speedup", t1 / best);
-      obs::Registry::global().gauge_set(prefix + "/force_deviation", deviation);
-      if (deviation > mode.tolerance) mismatch = true;
-      if (r.pair_count != ref.pair_count) {
-        std::printf("  ** pair count mismatch: %zu vs serial %zu **\n",
-                    r.pair_count, ref.pair_count);
-        mismatch = true;
+    }
+  }
+
+  // --- isolated vectorized-kernel micro (single thread) --------------------
+  // The engine sweep above folds scalar pair enumeration (cell walk,
+  // minimum image, cutoff/exclusion filter) into every timing, which dilutes
+  // the kernel-level SIMD gain.  These rows time the vectorized kernels by
+  // themselves: the batched pair kernel on a synthetic batch matching the
+  // water-box distance distribution, and the separable axis convolution that
+  // the TME long-range pass runs on the same step.  The speedup_vs_scalar
+  // gauges here are the headline scalar-vs-native kernel numbers.
+  bench::print_header("isolated kernel micro: scalar vs native");
+  std::printf("%-28s %10s %10s %9s\n", "path", "scalar ms", "native ms",
+              "speedup");
+  {
+    const double micro_cutoff = params.cutoff;
+    const ForceTable micro_table(params.alpha, 0.1, micro_cutoff, 4096);
+    Rng rng(20210817);
+    PairBatch proto;
+    const std::size_t micro_pairs = 200000;
+    proto.reserve(micro_pairs);
+    for (std::size_t i = 0; i < micro_pairs; ++i) {
+      const double r = rng.uniform(0.05, micro_cutoff);
+      const double qq = i % 5 == 0 ? 0.0 : rng.uniform(-140.0, 140.0);
+      const double c6 = i % 3 == 0 ? 0.0 : rng.uniform(0.0, 3e-3);
+      proto.push(r, 0.0, 0.0, r * r, qq, c6, c6 * rng.uniform(0.0, 1e-5), 0.0,
+                 static_cast<std::uint32_t>(i),
+                 static_cast<std::uint32_t>(i + 1));
+    }
+    struct MicroRow {
+      std::string path;
+      double scalar_s = 0.0;
+      double native_s = 0.0;
+      bool parity_ok = true;
+    };
+    auto emit_micro = [&](const MicroRow& row) {
+      const double speedup =
+          row.native_s > 0.0 ? row.scalar_s / row.native_s : 0.0;
+      std::printf("%-28s %10.3f %10.3f %8.2fx%s\n", row.path.c_str(),
+                  row.scalar_s * 1e3, row.native_s * 1e3, speedup,
+                  row.parity_ok ? "" : "  ** SIMD PARITY BROKEN **");
+      const std::string prefix = "shortrange/kernel_micro/" + row.path;
+      obs::Registry::global().gauge_set(prefix + "/scalar_seconds_per_eval",
+                                        row.scalar_s);
+      obs::Registry::global().gauge_set(prefix + "/native_seconds_per_eval",
+                                        row.native_s);
+      obs::Registry::global().gauge_set(prefix + "/speedup_vs_scalar", speedup);
+      if (!row.parity_ok) mismatch = true;
+    };
+    const PairKernelConfig micro_cfgs[] = {{params.alpha, &micro_table},
+                                           {params.alpha, nullptr}};
+    const char* micro_names[] = {"pair_tabulated", "pair_analytic"};
+    for (int c = 0; c < 2; ++c) {
+      MicroRow row;
+      row.path = micro_names[c];
+      std::vector<double> out_scalar;
+      for (int m = 0; m < 2; ++m) {
+        const simd::Mode mode =
+            m == 0 ? simd::Mode::kScalar : simd::Mode::kNative;
+        PairBatch batch = proto;
+        batch.finalize(simd::lanes(mode));
+        const double best = bench::time_best(
+            reps, [&] { evaluate_pair_batch(batch, micro_cfgs[c], mode); });
+        const long real = static_cast<long>(batch.size());
+        std::vector<double> out;
+        out.insert(out.end(), batch.e_coul.begin(), batch.e_coul.begin() + real);
+        out.insert(out.end(), batch.e_lj.begin(), batch.e_lj.begin() + real);
+        out.insert(out.end(), batch.f_over_r.begin(),
+                   batch.f_over_r.begin() + real);
+        if (m == 0) {
+          row.scalar_s = best;
+          out_scalar = std::move(out);
+        } else {
+          row.native_s = best;
+          row.parity_ok =
+              out.size() == out_scalar.size() &&
+              std::memcmp(out.data(), out_scalar.data(),
+                          out.size() * sizeof(double)) == 0;
+        }
       }
+      emit_micro(row);
+    }
+
+    // Gaussian axis convolution on a 64³ grid (the TME per-axis pass).
+    const GridDims dims{64, 64, 64};
+    Grid3d src(dims);
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      src.values()[i] = rng.uniform(-1.0, 1.0);
+    }
+    Kernel1d gauss;
+    gauss.cutoff = 8;
+    gauss.taps.resize(17);
+    for (int t = -8; t <= 8; ++t) {
+      gauss.taps[static_cast<std::size_t>(t + 8)] = std::exp(-0.08 * t * t);
+    }
+    const ConvAxis conv_axes[] = {ConvAxis::kX, ConvAxis::kY, ConvAxis::kZ};
+    const char* conv_names[] = {"conv_axis_x", "conv_axis_y", "conv_axis_z"};
+    for (int a = 0; a < 3; ++a) {
+      MicroRow row;
+      row.path = conv_names[a];
+      Grid3d out_scalar(dims), out_native(dims);
+      for (int m = 0; m < 2; ++m) {
+        const simd::Mode mode =
+            m == 0 ? simd::Mode::kScalar : simd::Mode::kNative;
+        Grid3d& out = m == 0 ? out_scalar : out_native;
+        const double best = bench::time_best(
+            reps, [&] { convolve_axis(src, gauss, conv_axes[a], out, mode); });
+        (m == 0 ? row.scalar_s : row.native_s) = best;
+      }
+      row.parity_ok =
+          std::memcmp(out_scalar.values().data(), out_native.values().data(),
+                      out_scalar.size() * sizeof(double)) == 0;
+      emit_micro(row);
     }
   }
 
   bench::emit_metrics("shortrange");
   bench::finish_trace(trace_path);
   if (mismatch) {
-    std::printf("FAILED: parallel/tabulated forces deviate beyond tolerance\n");
+    std::printf(
+        "FAILED: forces deviate beyond tolerance or SIMD parity broke\n");
     return 1;
   }
   return 0;

@@ -1,6 +1,7 @@
 // Shared helpers for the reproduction benches.
 #pragma once
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -18,6 +19,7 @@
 #include "obs/trace.hpp"
 #include "util/args.hpp"
 #include "util/constants.hpp"
+#include "util/simd.hpp"
 #include "util/vec3.hpp"
 
 namespace tme::bench {
@@ -88,6 +90,25 @@ inline void record_pair_throughput() {
   }
 }
 
+// Times `fn` over `reps` repetitions and returns the best (minimum) seconds
+// per call.  The kernel runs ONCE untimed first so every timed repetition
+// sees warm caches, a populated force table, and resolved lazy init — cold
+// first-call costs used to leak into single-rep timings and made
+// scalar-vs-native comparisons depend on sweep order.
+template <typename Fn>
+double time_best(int reps, Fn&& fn) {
+  fn();  // warm-up, never timed
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double s = std::chrono::duration<double>(t1 - t0).count();
+    if (r == 0 || s < best) best = s;
+  }
+  return best;
+}
+
 // Extra top-level JSON blocks a bench can attach to its export (e.g. the
 // per-link "link_report" from a hardware-model run).
 using ExtraJson = std::vector<std::pair<std::string, obs::JsonValue>>;
@@ -102,6 +123,8 @@ using ExtraJson = std::vector<std::pair<std::string, obs::JsonValue>>;
 inline void emit_metrics(const std::string& bench_name,
                          const ExtraJson& extra = {}) {
   record_pair_throughput();
+  // Every export records which SIMD backend and mode produced it.
+  obs::manifest_set("simd", simd::describe_json());
   const obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
   obs::JsonValue root = obs::json_parse(obs::to_json(snap));
   root.as_object()["bench"] = obs::JsonValue::make_string(bench_name);

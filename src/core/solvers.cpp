@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/simd.hpp"
+
 namespace tme {
 
 namespace {
@@ -18,6 +20,7 @@ void describe_tme_params(const TmeParams& p, obs::JsonValue& d) {
   obj["num_gaussians"] =
       obs::JsonValue::make_number(static_cast<double>(p.num_gaussians));
   obj["virial"] = obs::JsonValue::make_bool(false);
+  obj["simd"] = simd::describe_json();
 }
 
 class TmeSolver final : public LongRangeSolver {

@@ -7,8 +7,84 @@
 #include "obs/metrics.hpp"
 #include "spline/bspline.hpp"
 #include "util/parallel.hpp"
+#include "util/simd.hpp"
 
 namespace tme {
+
+namespace {
+
+// Accumulate one x-line of the P×P×P stencil into the grid:
+//   grid_row[wrap(mx0 + k)] = fma(qyz, wx[k], grid_row[wrap(mx0 + k)]).
+// When the x-window stays inside [0, nx) the stores are contiguous and run W
+// elements at a time; the wrapped fallback applies the identical per-element
+// fma, so both paths — and both W instantiations — are bitwise interchangeable.
+template <int W>
+void spread_line(double* grid_row, long mx0, std::size_t nx, int p, double qyz,
+                 const double* wx) {
+  using V = simd::vec<double, W>;
+  const std::size_t ix0 = Grid3d::wrap(mx0, nx);
+  if (ix0 + static_cast<std::size_t>(p) <= nx) {
+    double* g = grid_row + ix0;
+    const V qv = V::broadcast(qyz);
+    int k = 0;
+    for (; k + W <= p; k += W) {
+      V::fma(qv, V::load(wx + k), V::load(g + k)).store(g + k);
+    }
+    if (k < p) {
+      const int tail = p - k;
+      V::fma(qv, V::load_partial(wx + k, tail), V::load_partial(g + k, tail))
+          .store_partial(g + k, tail);
+    }
+  } else {
+    for (int k = 0; k < p; ++k) {
+      double& cell = grid_row[Grid3d::wrap(mx0 + k, nx)];
+      cell = simd::fma1(qyz, wx[k], cell);
+    }
+  }
+}
+
+// Dot the x-line of grid values against the value and derivative weights:
+//   line_v = sum_k pm[k] * wx[k],  line_d = sum_k pm[k] * dx[k].
+// Lane partials are combined with vec::reduce_add's fixed tree, so W > 1
+// differs from the scalar twin by reassociation rounding only (the gather
+// relaxation documented in util/simd.hpp).
+template <int W>
+void gather_line(const double* pm, const double* wx, const double* dx, int p,
+                 double& line_v, double& line_d) {
+  using V = simd::vec<double, W>;
+  V acc_v = V::zero();
+  V acc_d = V::zero();
+  int k = 0;
+  for (; k + W <= p; k += W) {
+    const V pv = V::load(pm + k);
+    acc_v = V::fma(pv, V::load(wx + k), acc_v);
+    acc_d = V::fma(pv, V::load(dx + k), acc_d);
+  }
+  if (k < p) {
+    const int tail = p - k;
+    const V pv = V::load_partial(pm + k, tail);
+    acc_v = V::fma(pv, V::load_partial(wx + k, tail), acc_v);
+    acc_d = V::fma(pv, V::load_partial(dx + k, tail), acc_d);
+  }
+  line_v = acc_v.reduce_add();
+  line_d = acc_d.reduce_add();
+}
+
+// Wrapped fallback for gather_line — same fma chain as the W = 1 path.
+void gather_line_wrapped(const double* row, long mx0, std::size_t nx,
+                         const double* wx, const double* dx, int p,
+                         double& line_v, double& line_d) {
+  double acc_v = 0.0, acc_d = 0.0;
+  for (int k = 0; k < p; ++k) {
+    const double pm = row[Grid3d::wrap(mx0 + k, nx)];
+    acc_v = simd::fma1(pm, wx[k], acc_v);
+    acc_d = simd::fma1(pm, dx[k], acc_d);
+  }
+  line_v = acc_v;
+  line_d = acc_d;
+}
+
+}  // namespace
 
 ChargeAssigner::ChargeAssigner(const Box& box, GridDims dims, int order)
     : box_(box), dims_(dims), p_(order) {
@@ -23,6 +99,8 @@ void ChargeAssigner::spread_range(Grid3d& grid, std::span<const Vec3> positions,
                                   std::span<const double> charges,
                                   std::size_t first, std::size_t last) const {
   const int p = p_;
+  const int width = simd::lanes(simd_mode_);
+  double* gdata = grid.data();
   std::vector<double> wx(static_cast<std::size_t>(p)), wy(wx), wz(wx);
   for (std::size_t i = first; i < last; ++i) {
     const Vec3 u = hadamard_div(box_.wrap(positions[i]), h_);
@@ -36,10 +114,11 @@ void ChargeAssigner::spread_range(Grid3d& grid, std::span<const Vec3> positions,
       for (int ky = 0; ky < p; ++ky) {
         const double qyz = qz * wy[static_cast<std::size_t>(ky)];
         const std::size_t iy = Grid3d::wrap(my0 + ky, dims_.ny);
-        const std::size_t row = (iz * dims_.ny + iy) * dims_.nx;
-        for (int kx = 0; kx < p; ++kx) {
-          const std::size_t ix = Grid3d::wrap(mx0 + kx, dims_.nx);
-          grid[row + ix] += qyz * wx[static_cast<std::size_t>(kx)];
+        double* row = gdata + (iz * dims_.ny + iy) * dims_.nx;
+        if (width > 1) {
+          spread_line<simd::kNativeWidth>(row, mx0, dims_.nx, p, qyz, wx.data());
+        } else {
+          spread_line<1>(row, mx0, dims_.nx, p, qyz, wx.data());
         }
       }
     }
@@ -101,6 +180,8 @@ double ChargeAssigner::back_interpolate(const Grid3d& potential,
   if (phi_out != nullptr) phi_out->assign(positions.size(), 0.0);
 
   const int p = p_;
+  const int width = simd::lanes(simd_mode_);
+  const double* pdata = potential.data();
   std::mutex sum_mutex;
   double total = 0.0;
   parallel_for_ranges(0, positions.size(), [&](std::size_t begin, std::size_t end) {
@@ -114,6 +195,8 @@ double ChargeAssigner::back_interpolate(const Grid3d& potential,
       const long mz0 = bspline_weights_central(p, u.z, wz, dz);
       double phi = 0.0;
       Vec3 grad{};  // d phi / d u (grid units)
+      const std::size_t ix0 = Grid3d::wrap(mx0, dims_.nx);
+      const bool contiguous = ix0 + static_cast<std::size_t>(p) <= dims_.nx;
       for (int kz = 0; kz < p; ++kz) {
         const std::size_t iz = Grid3d::wrap(mz0 + kz, dims_.nz);
         const double vz = wz[static_cast<std::size_t>(kz)];
@@ -122,13 +205,16 @@ double ChargeAssigner::back_interpolate(const Grid3d& potential,
           const std::size_t iy = Grid3d::wrap(my0 + ky, dims_.ny);
           const double vy = wy[static_cast<std::size_t>(ky)];
           const double gy = dy[static_cast<std::size_t>(ky)];
-          const std::size_t row = (iz * dims_.ny + iy) * dims_.nx;
+          const double* row = pdata + (iz * dims_.ny + iy) * dims_.nx;
           double line_v = 0.0, line_d = 0.0;
-          for (int kx = 0; kx < p; ++kx) {
-            const std::size_t ix = Grid3d::wrap(mx0 + kx, dims_.nx);
-            const double pm = potential[row + ix];
-            line_v += pm * wx[static_cast<std::size_t>(kx)];
-            line_d += pm * dx[static_cast<std::size_t>(kx)];
+          if (!contiguous) {
+            gather_line_wrapped(row, mx0, dims_.nx, wx.data(), dx.data(), p,
+                                line_v, line_d);
+          } else if (width > 1) {
+            gather_line<simd::kNativeWidth>(row + ix0, wx.data(), dx.data(), p,
+                                            line_v, line_d);
+          } else {
+            gather_line<1>(row + ix0, wx.data(), dx.data(), p, line_v, line_d);
           }
           phi += line_v * vy * vz;
           grad.x += line_d * vy * vz;

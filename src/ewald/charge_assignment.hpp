@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "grid/grid3d.hpp"
+#include "util/simd.hpp"
 #include "util/vec3.hpp"
 
 namespace tme {
@@ -27,6 +28,15 @@ class ChargeAssigner {
   int order() const { return p_; }
   const GridDims& dims() const { return dims_; }
   Vec3 spacing() const { return h_; }
+
+  // Which instantiation of the stencil kernels this assigner runs (resolved
+  // from TME_SIMD at construction; settable for A/B parity tests).  Spreading
+  // is bitwise invariant under the mode (element-wise fma on the grid); the
+  // back-interpolation gather reduces lane partials with a fixed tree, so
+  // native differs from scalar by reassociation rounding only — the one
+  // documented relaxation of the SIMD parity contract (util/simd.hpp).
+  simd::Mode simd_mode() const { return simd_mode_; }
+  void set_simd_mode(simd::Mode mode) { simd_mode_ = mode; }
 
   // Anterpolation: scatter all charges onto a fresh grid.  Particle batches
   // spread into per-thread scratch grids on `pool` (nullptr = the
@@ -54,6 +64,7 @@ class ChargeAssigner {
   GridDims dims_;
   int p_;
   Vec3 h_;
+  simd::Mode simd_mode_ = simd::mode_from_env();
 };
 
 }  // namespace tme

@@ -57,6 +57,14 @@ class ForceTable {
   double r_max() const { return r_max_; }
   std::size_t segments() const { return segments_; }
 
+  // Raw table geometry and coefficient storage for the vectorized batch
+  // kernel (md/short_range_kernels.cpp), which replicates lookup() across
+  // SIMD lanes: segment k's 8 coefficients live at coeff() + 8k.
+  double s_min() const { return s_min_; }
+  double s_max() const { return s_max_; }
+  double inv_ds() const { return inv_ds_; }
+  const double* coeff() const { return coeff_.data(); }
+
   // Maximum relative error observed against the analytic kernel when
   // sampling the interior of every segment at construction time.
   double max_rel_error_energy() const { return err_energy_; }

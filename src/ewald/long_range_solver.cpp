@@ -6,6 +6,7 @@
 
 #include "ewald/splitting.hpp"
 #include "util/constants.hpp"
+#include "util/simd.hpp"
 
 namespace tme {
 
@@ -47,6 +48,7 @@ class EwaldSolver final : public LongRangeSolver {
     obj["alpha"] = json_number(params_.alpha);
     obj["n_cut"] = json_number(params_.n_cut);
     obj["virial"] = obs::JsonValue::make_bool(true);
+    obj["simd"] = simd::describe_json();
     return d;
   }
 
@@ -80,6 +82,7 @@ class SpmeSolver final : public LongRangeSolver {
     obj["grid_y"] = json_number(static_cast<double>(p.grid.ny));
     obj["grid_z"] = json_number(static_cast<double>(p.grid.nz));
     obj["virial"] = obs::JsonValue::make_bool(p.compute_virial);
+    obj["simd"] = simd::describe_json();
     return d;
   }
 

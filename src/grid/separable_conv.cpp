@@ -1,5 +1,6 @@
 #include "grid/separable_conv.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/parallel.hpp"
@@ -14,10 +15,85 @@ void check_kernel(const Kernel1d& k) {
   }
 }
 
+// One x-axis line of outputs.  Interior columns n in [c, nx - c) read
+// contiguous source windows src[n + c - t] and run W outputs at a time; the
+// wrapped boundary columns replay the identical per-element fma chain over
+// the taps, so every output is bitwise invariant under W.
+template <int W>
+void conv_line_x(const double* src, double* dst, std::size_t nx,
+                 const double* taps, std::size_t ntaps, std::size_t c,
+                 const std::size_t* wrapped) {
+  using V = simd::vec<double, W>;
+  auto scalar_out = [&](std::size_t n) {
+    const std::size_t* wrap_row = wrapped + n * ntaps;
+    double acc = 0.0;
+    for (std::size_t t = 0; t < ntaps; ++t) {
+      acc = simd::fma1(taps[t], src[wrap_row[t]], acc);
+    }
+    dst[n] = acc;
+  };
+  const std::size_t lo = std::min(c, nx);
+  const std::size_t hi = nx >= 2 * c ? nx - c : lo;
+  for (std::size_t n = 0; n < lo; ++n) scalar_out(n);
+  std::size_t n = lo;
+  for (; n + W <= hi; n += W) {
+    V acc = V::zero();
+    for (std::size_t t = 0; t < ntaps; ++t) {
+      acc = V::fma(V::broadcast(taps[t]), V::load(src + n + c - t), acc);
+    }
+    acc.store(dst + n);
+  }
+  if (n < hi) {
+    const int tail = static_cast<int>(hi - n);
+    V acc = V::zero();
+    for (std::size_t t = 0; t < ntaps; ++t) {
+      acc = V::fma(V::broadcast(taps[t]),
+                   V::load_partial(src + n + c - t, tail), acc);
+    }
+    acc.store_partial(dst + n, tail);
+    n = hi;
+  }
+  for (; n < nx; ++n) scalar_out(n);
+}
+
+// One y- or z-axis output row: every tap reads the contiguous x-row at
+// src[wrap_row[t] * stride + row_off + ix], so the whole row vectorizes
+// across ix with the per-element tap order unchanged.
+template <int W>
+void conv_strided_row(const double* src, const std::size_t* wrap_row,
+                      std::size_t stride, std::size_t row_off, double* dst_row,
+                      std::size_t nx, const double* taps, std::size_t ntaps) {
+  using V = simd::vec<double, W>;
+  std::size_t ix = 0;
+  for (; ix + W <= nx; ix += W) {
+    V acc = V::zero();
+    for (std::size_t t = 0; t < ntaps; ++t) {
+      acc = V::fma(V::broadcast(taps[t]),
+                   V::load(src + wrap_row[t] * stride + row_off + ix), acc);
+    }
+    acc.store(dst_row + ix);
+  }
+  if (ix < nx) {
+    const int tail = static_cast<int>(nx - ix);
+    V acc = V::zero();
+    for (std::size_t t = 0; t < ntaps; ++t) {
+      acc = V::fma(V::broadcast(taps[t]),
+                   V::load_partial(src + wrap_row[t] * stride + row_off + ix, tail),
+                   acc);
+    }
+    acc.store_partial(dst_row + ix, tail);
+  }
+}
+
 }  // namespace
 
 void convolve_axis(const Grid3d& in, const Kernel1d& kernel, ConvAxis axis,
                    Grid3d& out) {
+  convolve_axis(in, kernel, axis, out, simd::mode_from_env());
+}
+
+void convolve_axis(const Grid3d& in, const Kernel1d& kernel, ConvAxis axis,
+                   Grid3d& out, simd::Mode mode) {
   check_kernel(kernel);
   if (!(in.dims() == out.dims())) {
     throw std::invalid_argument("convolve_axis: dimension mismatch");
@@ -48,19 +124,21 @@ void convolve_axis(const Grid3d& in, const Kernel1d& kernel, ConvAxis axis,
 
   const double* src = in.data();
   double* dst = out.data();
+  const double* tap = kernel.taps.data();
   const std::size_t taps = static_cast<std::size_t>(2 * c + 1);
+  const std::size_t uc = static_cast<std::size_t>(c);
+  const bool native = mode == simd::Mode::kNative;
 
   switch (axis) {
     case ConvAxis::kX:
       parallel_for(0, ny * nz, [&](std::size_t line) {
         const std::size_t base = line * nx;
-        for (std::size_t n = 0; n < nx; ++n) {
-          double acc = 0.0;
-          const std::size_t* wrap_row = wrapped.data() + n * taps;
-          for (std::size_t t = 0; t < taps; ++t) {
-            acc += kernel.taps[t] * src[base + wrap_row[t]];
-          }
-          dst[base + n] = acc;
+        if (native) {
+          conv_line_x<simd::kNativeWidth>(src + base, dst + base, nx, tap, taps,
+                                          uc, wrapped.data());
+        } else {
+          conv_line_x<1>(src + base, dst + base, nx, tap, taps, uc,
+                         wrapped.data());
         }
       });
       break;
@@ -69,12 +147,13 @@ void convolve_axis(const Grid3d& in, const Kernel1d& kernel, ConvAxis axis,
         const std::size_t plane = iz * ny * nx;
         for (std::size_t n = 0; n < ny; ++n) {
           const std::size_t* wrap_row = wrapped.data() + n * taps;
-          for (std::size_t ix = 0; ix < nx; ++ix) {
-            double acc = 0.0;
-            for (std::size_t t = 0; t < taps; ++t) {
-              acc += kernel.taps[t] * src[plane + wrap_row[t] * nx + ix];
-            }
-            dst[plane + n * nx + ix] = acc;
+          if (native) {
+            conv_strided_row<simd::kNativeWidth>(src + plane, wrap_row, nx, 0,
+                                                 dst + plane + n * nx, nx, tap,
+                                                 taps);
+          } else {
+            conv_strided_row<1>(src + plane, wrap_row, nx, 0,
+                                dst + plane + n * nx, nx, tap, taps);
           }
         }
       });
@@ -84,12 +163,13 @@ void convolve_axis(const Grid3d& in, const Kernel1d& kernel, ConvAxis axis,
       parallel_for(0, ny, [&](std::size_t iy) {
         for (std::size_t n = 0; n < nz; ++n) {
           const std::size_t* wrap_row = wrapped.data() + n * taps;
-          for (std::size_t ix = 0; ix < nx; ++ix) {
-            double acc = 0.0;
-            for (std::size_t t = 0; t < taps; ++t) {
-              acc += kernel.taps[t] * src[wrap_row[t] * plane + iy * nx + ix];
-            }
-            dst[n * plane + iy * nx + ix] = acc;
+          if (native) {
+            conv_strided_row<simd::kNativeWidth>(src, wrap_row, plane, iy * nx,
+                                                 dst + n * plane + iy * nx, nx,
+                                                 tap, taps);
+          } else {
+            conv_strided_row<1>(src, wrap_row, plane, iy * nx,
+                                dst + n * plane + iy * nx, nx, tap, taps);
           }
         }
       });

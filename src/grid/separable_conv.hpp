@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "grid/grid3d.hpp"
+#include "util/simd.hpp"
 
 namespace tme {
 
@@ -26,8 +27,17 @@ enum class ConvAxis { kX = 0, kY = 1, kZ = 2 };
 
 // out[n] = sum_{|m| <= cutoff} k[m] * in[n - m]  along the chosen axis
 // (periodic).  in and out must have identical dims; in-place is not allowed.
+//
+// The inner loops run W grid elements at a time through the portable SIMD
+// layer (interior columns for the x axis, contiguous x-rows for y/z); every
+// element sees the same fma chain over the taps in the same order in both
+// instantiations, so TME_SIMD=scalar and native are bitwise identical.  The
+// 4-argument form follows the TME_SIMD environment knob; pass an explicit
+// mode for A/B parity tests and benches.
 void convolve_axis(const Grid3d& in, const Kernel1d& kernel, ConvAxis axis,
                    Grid3d& out);
+void convolve_axis(const Grid3d& in, const Kernel1d& kernel, ConvAxis axis,
+                   Grid3d& out, simd::Mode mode);
 
 // Full separable pass: z(y(x(in))) with per-axis kernels.
 Grid3d convolve_separable(const Grid3d& in, const Kernel1d& kx,

@@ -44,6 +44,13 @@ struct ShortRangeParams {
   // Multiplies the Newton's-third-law (net-force) ABFT tolerance — the same
   // loosening knob as GuardedTmeConfig::tolerance_scale, for reduced formats.
   double abft_tolerance_scale = 1.0;
+
+  // Which instantiation of the batched pair kernel the engine runs: follow
+  // the TME_SIMD environment knob (default), or pin scalar/native for A/B
+  // sweeps within one process (bench_shortrange, parity tests).  Scalar and
+  // native are bitwise identical per build (see util/simd.hpp).
+  enum class SimdChoice { kEnv, kScalar, kNative };
+  SimdChoice simd = SimdChoice::kEnv;
 };
 
 struct ShortRangeResult {

@@ -7,12 +7,13 @@
 #include <vector>
 
 #include "core/abft.hpp"
-#include "ewald/splitting.hpp"
 #include "md/cell_list.hpp"
+#include "md/short_range_kernels.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/constants.hpp"
 #include "util/parallel.hpp"
+#include "util/simd.hpp"
 
 namespace tme {
 
@@ -34,6 +35,13 @@ struct Partial {
   std::size_t pairs = 0;
 };
 
+// Pairs buffered between kernel evaluations.  The flush boundary is bitwise
+// transparent: every pair's outputs depend only on its own lanes, and the
+// scalar accumulation that follows runs in enumeration order regardless of
+// where the batch was cut.  4096 pairs keeps the SoA working set (~14
+// doubles/pair) inside L2.
+constexpr std::size_t kFlushPairs = 4096;
+
 }  // namespace
 
 ShortRangeEngine::ShortRangeEngine(const ShortRangeParams& params)
@@ -41,6 +49,17 @@ ShortRangeEngine::ShortRangeEngine(const ShortRangeParams& params)
   if (params.kernel == CoulombKernel::kTabulated) {
     table_ = std::make_unique<ForceTable>(params.alpha, params.table_r_min,
                                           params.cutoff, params.table_segments);
+  }
+  switch (params.simd) {
+    case ShortRangeParams::SimdChoice::kScalar:
+      mode_ = simd::Mode::kScalar;
+      break;
+    case ShortRangeParams::SimdChoice::kNative:
+      mode_ = simd::Mode::kNative;
+      break;
+    case ShortRangeParams::SimdChoice::kEnv:
+      mode_ = simd::mode_from_env();
+      break;
   }
 }
 
@@ -126,12 +145,38 @@ ShortRangeResult ShortRangeEngine::compute(ParticleSystem& system,
   std::vector<Partial> partials(nb);
 
   const Box box = system.box;
-  const double alpha = params_.alpha;
-  const ForceTable* table = table_.get();
+  const PairKernelConfig kernel_cfg{params_.alpha, table_.get()};
+  const simd::Mode mode = mode_;
+  const int width = simd::lanes(mode);
   parallel_for(pool, 0, nb, [&](std::size_t b) {
     TME_TRACE_SPAN("short_range/batch");
     Partial& part = partials[b];
     part.forces.assign(n, Vec3{});
+
+    // The sweep filters pairs into an SoA batch; the vectorized kernel
+    // (md/short_range_kernels.hpp) evaluates them, and the flush scatters
+    // the results serially in the same enumeration order the old per-pair
+    // loop used, so energies and forces stay bitwise reproducible per pool
+    // size and identical between TME_SIMD=scalar and native.
+    PairBatch batch;
+    batch.reserve(kFlushPairs + 64);
+    auto flush = [&] {
+      if (batch.size() == 0) return;
+      batch.finalize(width);
+      evaluate_pair_batch(batch, kernel_cfg, mode);
+      const std::size_t np = batch.size();
+      for (std::size_t i = 0; i < np; ++i) {
+        part.energy_coulomb += batch.e_coul[i];
+        part.energy_lj += batch.e_lj[i];
+        const double f_over_r = batch.f_over_r[i];
+        const Vec3 fij{f_over_r * batch.dx[i], f_over_r * batch.dy[i],
+                       f_over_r * batch.dz[i]};
+        part.forces[batch.ia[i]] += fij;
+        part.forces[batch.ib[i]] -= fij;
+      }
+      part.pairs += np;
+      batch.clear();
+    };
     auto pair = [&](std::size_t ka, std::size_t kb) {
       const double dx = min_image(sx[ka] - sx[kb], box.lengths.x);
       const double dy = min_image(sy[ka] - sy[kb], box.lengths.y);
@@ -139,33 +184,11 @@ ShortRangeResult ShortRangeEngine::compute(ParticleSystem& system,
       const double r2 = dx * dx + dy * dy + dz * dz;
       if (r2 >= cutoff2 || r2 == 0.0) return;
       if (topology.excluded(orig[ka], orig[kb])) return;
-      ++part.pairs;
-      double f_over_r = 0.0;
-
-      const double qq = constants::kCoulomb * sq[ka] * sq[kb];
-      if (qq != 0.0) {
-        if (table != nullptr) {
-          const ForceTable::Sample s = table->lookup(r2);
-          part.energy_coulomb += qq * s.energy;
-          f_over_r += qq * s.force_over_r;
-        } else {
-          const double r = std::sqrt(r2);
-          part.energy_coulomb += qq * g_short(r, alpha);
-          f_over_r += -qq * g_short_derivative(r, alpha) / r;
-        }
-      }
-
       const MixedLj& m = mix[stype[ka] * ntypes + stype[kb]];
-      if (m.c6 != 0.0 || m.c12 != 0.0) {
-        const double inv_r2 = 1.0 / r2;
-        const double inv_r6 = inv_r2 * inv_r2 * inv_r2;
-        part.energy_lj += (m.c12 * inv_r6 - m.c6) * inv_r6 - m.e_shift;
-        f_over_r += (12.0 * m.c12 * inv_r6 - 6.0 * m.c6) * inv_r6 * inv_r2;
-      }
-
-      const Vec3 fij{f_over_r * dx, f_over_r * dy, f_over_r * dz};
-      part.forces[ka] += fij;
-      part.forces[kb] -= fij;
+      batch.push(dx, dy, dz, r2, constants::kCoulomb * sq[ka] * sq[kb], m.c6,
+                 m.c12, m.e_shift, static_cast<std::uint32_t>(ka),
+                 static_cast<std::uint32_t>(kb));
+      if (batch.size() >= kFlushPairs) flush();
     };
 
     const std::size_t c_begin = b * chunk;
@@ -183,6 +206,7 @@ ShortRangeResult ShortRangeEngine::compute(ParticleSystem& system,
         }
       }
     }
+    flush();
   });
 
   // --- deterministic reduction (fixed batch order) -------------------------

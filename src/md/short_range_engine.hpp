@@ -13,6 +13,9 @@
 //  - the erfc Coulomb kernel can run through a segmented-polynomial table in
 //    r² (ewald/force_table.hpp), the pipelines' table-lookup function
 //    evaluator, or analytically (CoulombKernel in the params);
+//  - filtered pairs are buffered into SoA batches and evaluated W at a time
+//    by the portable SIMD kernel (md/short_range_kernels.hpp); the W = 1
+//    scalar twin (TME_SIMD=scalar) is bitwise identical;
 //  - cells are traversed in parallel batches with thread-private
 //    force/energy/virial-style accumulators, reduced in fixed batch order so
 //    a given pool size always reproduces the same bits (different pool sizes
@@ -25,6 +28,7 @@
 #include "md/short_range.hpp"
 #include "md/system.hpp"
 #include "md/topology.hpp"
+#include "util/simd.hpp"
 
 namespace tme {
 
@@ -41,6 +45,11 @@ class ShortRangeEngine {
   // Non-null iff the engine runs the tabulated kernel.
   const ForceTable* force_table() const { return table_.get(); }
 
+  // Which pair-kernel instantiation this engine runs (resolved once at
+  // construction from params.simd / the TME_SIMD environment knob).  Scalar
+  // and native produce bitwise-identical results for a given build.
+  simd::Mode simd_mode() const { return mode_; }
+
   // Accumulates forces into system.forces (does not clear them), exactly
   // like compute_short_range.  `pool` selects the worker pool (nullptr = the
   // process-wide pool); results for a given pool size are deterministic.
@@ -50,6 +59,7 @@ class ShortRangeEngine {
  private:
   ShortRangeParams params_;
   std::unique_ptr<ForceTable> table_;
+  simd::Mode mode_ = simd::Mode::kNative;
 };
 
 }  // namespace tme

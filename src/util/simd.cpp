@@ -1,0 +1,37 @@
+#include "util/simd.hpp"
+
+#include "obs/json.hpp"
+#include "util/env.hpp"
+
+namespace tme::simd {
+
+Mode mode_from_env() {
+  // Parsed once: kernels must not change width mid-run or the bitwise
+  // per-(pool size, ISA, mode) determinism contract would silently break.
+  static const Mode mode = [] {
+    const std::size_t pick = env::choice_or("TME_SIMD", {"scalar", "native"}, 1);
+    return pick == 0 ? Mode::kScalar : Mode::kNative;
+  }();
+  return mode;
+}
+
+const char* active_isa() { return kIsaName; }
+
+int lanes(Mode mode) { return mode == Mode::kScalar ? 1 : kNativeWidth; }
+
+const char* mode_name(Mode mode) {
+  return mode == Mode::kScalar ? "scalar" : "native";
+}
+
+obs::JsonValue describe_json(Mode mode) {
+  obs::JsonValue d = obs::JsonValue::make_object();
+  auto& obj = d.as_object();
+  obj["isa"] = obs::JsonValue::make_string(kIsaName);
+  obj["native_width"] = obs::JsonValue::make_number(kNativeWidth);
+  obj["fma_fused"] = obs::JsonValue::make_bool(kFmaFused);
+  obj["mode"] = obs::JsonValue::make_string(mode_name(mode));
+  obj["width"] = obs::JsonValue::make_number(lanes(mode));
+  return d;
+}
+
+}  // namespace tme::simd
