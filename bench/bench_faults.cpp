@@ -18,6 +18,7 @@
 //
 // Writes BENCH_faults.json with the makespan, traffic-overhead and
 // detection-coverage gauges.
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -29,6 +30,7 @@
 #include "hw/sdc_guard.hpp"
 #include "hw/network_model.hpp"
 #include "hw/torus.hpp"
+#include "par/fleet.hpp"
 #include "par/par_tme.hpp"
 #include "par/traffic.hpp"
 #include "util/args.hpp"
@@ -285,6 +287,88 @@ int main(int argc, char** argv) {
                   static_cast<double>(recomputes));
     reg.gauge_set(gauge_name("faults/sdc/flips", sdc_rate, 0),
                   static_cast<double>(flips));
+  }
+
+  // --- E: real worker transport ----------------------------------------------
+  bench::print_header(
+      "E: worker transport backends (invariant: worker-farm forces bitwise "
+      "equal to serial, including after a mid-run worker kill)");
+  {
+    auto fleet_forces_match = [&](const CoulombResult& r) {
+      bool identical = r.energy == clean.energy;
+      for (std::size_t i = 0; identical && i < atoms; ++i) {
+        identical = r.forces[i].x == clean.forces[i].x &&
+                    r.forces[i].y == clean.forces[i].y &&
+                    r.forces[i].z == clean.forces[i].z;
+      }
+      return identical;
+    };
+    auto timed_fleet_run = [&](const char* label, par::FleetConfig fcfg,
+                               par::FleetStats* stats_out) {
+      par::ParallelTme tme(box, tp, small);
+      par::WorkerFleet fleet(tme.context(), tme.topology(), std::move(fcfg));
+      tme.set_executor(&fleet);
+      par::TrafficLog log;
+      const auto t0 = std::chrono::steady_clock::now();
+      const CoulombResult r = tme.compute(positions, charges, &log);
+      const auto t1 = std::chrono::steady_clock::now();
+      const double seconds = std::chrono::duration<double>(t1 - t0).count();
+      check(fleet_forces_match(r),
+            std::string(label) + " forces differ from the serial run");
+      if (stats_out != nullptr) *stats_out = fleet.stats();
+      return seconds;
+    };
+
+    std::printf("  %-10s %10s %12s %14s %8s %9s\n", "backend", "workers",
+                "time (ms)", "tasks/s", "deaths", "respawns");
+    const std::size_t farm = 4;
+    for (const auto backend : {par::FleetConfig::Backend::kInProc,
+                               par::FleetConfig::Backend::kProc}) {
+      const bool proc = backend == par::FleetConfig::Backend::kProc;
+      par::FleetConfig fcfg;
+      fcfg.backend = backend;
+      fcfg.workers = farm;
+      par::FleetStats stats;
+      const double seconds =
+          timed_fleet_run(proc ? "proc" : "inproc", fcfg, &stats);
+      const double tasks_per_s =
+          static_cast<double>(stats.tasks_sent) / seconds;
+      std::printf("  %-10s %10zu %12.1f %14.0f %8llu %9llu\n",
+                  proc ? "proc" : "inproc", farm, seconds * 1e3, tasks_per_s,
+                  static_cast<unsigned long long>(stats.worker_deaths),
+                  static_cast<unsigned long long>(stats.respawns));
+      check(stats.worker_deaths == 0, "healthy fleet run lost a worker");
+      const std::string stem =
+          std::string("faults/transport/") + (proc ? "proc" : "inproc");
+      reg.gauge_set(stem + "/time_ms", seconds * 1e3);
+      reg.gauge_set(stem + "/tasks_per_s", tasks_per_s);
+    }
+
+    // Recovery drill: one real process worker SIGKILLs itself mid-run and is
+    // restarted from the CRC-sealed context checkpoint.
+    par::FleetConfig kill_cfg;
+    kill_cfg.backend = par::FleetConfig::Backend::kProc;
+    kill_cfg.workers = farm;
+    kill_cfg.context_path = "bench_faults_worker.ctx";
+    kill_cfg.worker_faults.resize(farm);
+    kill_cfg.worker_faults[1].crash_after_tasks = 8;
+    par::FleetStats kill_stats;
+    const double kill_seconds = timed_fleet_run("kill-drill", kill_cfg,
+                                                &kill_stats);
+    std::remove(kill_cfg.context_path.c_str());
+    check(kill_stats.worker_deaths >= 1, "kill drill never killed a worker");
+    check(kill_stats.respawns >= 1, "killed worker was never respawned");
+    std::printf("  kill drill: %.1f ms, %llu deaths, %llu respawns, %llu "
+                "tasks re-homed\n",
+                kill_seconds * 1e3,
+                static_cast<unsigned long long>(kill_stats.worker_deaths),
+                static_cast<unsigned long long>(kill_stats.respawns),
+                static_cast<unsigned long long>(kill_stats.rehomed_tasks));
+    reg.gauge_set("faults/transport/kill_drill/time_ms", kill_seconds * 1e3);
+    reg.gauge_set("faults/transport/kill_drill/deaths",
+                  static_cast<double>(kill_stats.worker_deaths));
+    reg.gauge_set("faults/transport/kill_drill/respawns",
+                  static_cast<double>(kill_stats.respawns));
   }
 
   bench::print_header("verdict");

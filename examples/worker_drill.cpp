@@ -1,0 +1,159 @@
+// Kill-a-worker-mid-run drill for CI and for the EXPERIMENTS.md recipe.
+//
+// Runs the distributed TME twice over the same system: once with the plain
+// in-process serial executor (the fault-free reference), once with a fleet of
+// real workers behind the Transport abstraction — and, when a drill is armed,
+// with one worker crashing (SIGKILL), hanging or straggling mid-run.  The
+// verdict is the robustness contract: after detection, checkpointed restart
+// and RecoveryPlan re-homing, the forces must be BITWISE identical to the
+// reference.  Exit code 0 only when they are.
+//
+// Configuration comes through the strict env knobs:
+//   TME_TRANSPORT=proc|inproc      backend (default proc: real processes)
+//   TME_WORKERS=N                  fleet size (default 2)
+//   TME_TRANSPORT_TIMEOUT_MS=MS    per-worker deadline (default 2000)
+//   TME_FAULT_KILL_WORKER_RANK=R   which worker the drill targets
+//   TME_FAULT_KILL_WORKER_TASK=N   crash (SIGKILL) after N completed tasks
+//   TME_FAULT_HANG_WORKER_TASK=N   or go silent after N completed tasks
+//   TME_FAULT_WORKER_DELAY_MS=MS   or straggle by MS per task
+//   TME_FAULT_PACKET_DROP_RATE=P   seeded frame loss on the transport
+//   TME_FAULT_PACKET_CORRUPT_RATE=P  seeded frame bit flips
+//
+// Typical CI invocation (SIGKILL worker 1 after 2 tasks, real processes):
+//   TME_TRANSPORT=proc TME_WORKERS=3 TME_FAULT_KILL_WORKER_RANK=1 \
+//   TME_FAULT_KILL_WORKER_TASK=2 ./worker_drill
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "ewald/splitting.hpp"
+#include "obs/trace.hpp"
+#include "par/fleet.hpp"
+#include "par/par_tme.hpp"
+#include "par/traffic.hpp"
+#include "util/args.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tme;
+  const Args args(argc, argv);
+  const std::size_t atoms =
+      static_cast<std::size_t>(args.get_int("atoms", 200));
+  const int steps = args.get_int("steps", 3);
+  // --trace-out <path>: record the run (fleet dispatch phases included) in
+  // Chrome trace-event format — the transport trace CI uploads.
+  const std::string trace_path = args.get("trace-out", "");
+  if (!trace_path.empty()) {
+    if constexpr (obs::kTraceEnabled) {
+      obs::Tracer::global().set_enabled(true);
+    } else {
+      std::fprintf(stderr, "[--trace-out ignored: tracing compiled out]\n");
+    }
+  }
+
+  Box box;
+  const double box_length = 3.2;
+  box.lengths = {box_length, box_length, box_length};
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 7)));
+  std::vector<Vec3> positions(atoms);
+  std::vector<double> charges(atoms);
+  double total_q = 0.0;
+  for (std::size_t i = 0; i < atoms; ++i) {
+    positions[i] = {rng.uniform(0.0, box_length), rng.uniform(0.0, box_length),
+                    rng.uniform(0.0, box_length)};
+    charges[i] = rng.uniform(-1.0, 1.0);
+    total_q += charges[i];
+  }
+  for (double& q : charges) q -= total_q / static_cast<double>(atoms);
+
+  TmeParams tp;
+  tp.alpha = alpha_from_tolerance(0.8, 1e-4);
+  tp.grid = {16, 16, 16};
+  tp.levels = 1;
+  tp.grid_cutoff = 4;
+  tp.num_gaussians = 3;
+  const hw::TorusTopology topo(2, 2, 1);
+
+  par::FleetConfig base;
+  base.backend = par::FleetConfig::Backend::kProc;
+  base.context_path = "worker_drill.ctx";
+  const par::FleetConfig cfg = par::fleet_config_from_env(base);
+  const bool proc = cfg.backend == par::FleetConfig::Backend::kProc;
+  std::printf("worker drill: %zu atoms, %d evaluations, %zu %s workers\n",
+              atoms, steps, cfg.workers, proc ? "process" : "in-proc");
+
+  // Fault-free reference: the serial in-process executor.
+  par::ParallelTme reference(box, tp, topo);
+  std::vector<CoulombResult> want(static_cast<std::size_t>(steps));
+  for (int s = 0; s < steps; ++s) {
+    par::TrafficLog log;
+    want[static_cast<std::size_t>(s)] =
+        reference.compute(positions, charges, &log);
+  }
+
+  // The same evaluations through the worker fleet, drills armed.
+  par::ParallelTme distributed(box, tp, topo);
+  par::WorkerFleet fleet(distributed.context(), distributed.topology(), cfg);
+  distributed.set_executor(&fleet);
+
+  bool identical = true;
+  for (int s = 0; s < steps; ++s) {
+    par::TrafficLog log;
+    const CoulombResult got = distributed.compute(positions, charges, &log);
+    const CoulombResult& ref = want[static_cast<std::size_t>(s)];
+    bool step_ok = got.energy == ref.energy;
+    for (std::size_t i = 0; step_ok && i < atoms; ++i) {
+      step_ok = got.forces[i].x == ref.forces[i].x &&
+                got.forces[i].y == ref.forces[i].y &&
+                got.forces[i].z == ref.forces[i].z;
+    }
+    std::printf("  evaluation %d: %s\n", s,
+                step_ok ? "bitwise equal" : "DIVERGED");
+    identical = identical && step_ok;
+  }
+  std::remove(cfg.context_path.c_str());
+
+  const par::FleetStats& st = fleet.stats();
+  const par::TransportStats& ts = fleet.transport_stats();
+  std::printf(
+      "  fleet: %llu tasks, %llu results, %llu retransmissions, %llu deaths, "
+      "%llu respawns, %llu re-homed\n",
+      static_cast<unsigned long long>(st.tasks_sent),
+      static_cast<unsigned long long>(st.results_received),
+      static_cast<unsigned long long>(st.retransmissions),
+      static_cast<unsigned long long>(st.worker_deaths),
+      static_cast<unsigned long long>(st.respawns),
+      static_cast<unsigned long long>(st.rehomed_tasks));
+  std::printf(
+      "  transport: %llu msgs out, %llu msgs in, %llu dropped, %llu "
+      "corrupted, %llu CRC rejects\n",
+      static_cast<unsigned long long>(ts.messages_sent),
+      static_cast<unsigned long long>(ts.messages_received),
+      static_cast<unsigned long long>(ts.frames_dropped),
+      static_cast<unsigned long long>(ts.frames_corrupted),
+      static_cast<unsigned long long>(ts.crc_rejects));
+
+  // When a kill drill was armed, recovery machinery must actually have run.
+  if (cfg.worker_faults.size() > 0) {
+    bool armed_kill = false;
+    for (const par::WorkerFaultPolicy& f : cfg.worker_faults) {
+      armed_kill = armed_kill || f.crash_after_tasks >= 0 ||
+                   f.hang_after_tasks >= 0;
+    }
+    if (armed_kill && st.worker_deaths == 0) {
+      std::printf("verdict: FAIL (drill armed but no worker death detected)\n");
+      return 1;
+    }
+  }
+
+  if (!trace_path.empty() && obs::kTraceEnabled) {
+    if (obs::Tracer::global().write(trace_path)) {
+      std::printf("[trace written: %s]\n", trace_path.c_str());
+    }
+  }
+
+  std::printf("verdict: %s\n", identical ? "PASS (forces bitwise identical)"
+                                         : "FAIL (forces diverged)");
+  return identical ? 0 : 1;
+}

@@ -1,8 +1,10 @@
 #include "md/checkpoint.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
@@ -50,7 +52,8 @@ class Reader {
 
   void raw(void* out, std::size_t len) {
     if (pos_ + len > len_) {
-      throw std::runtime_error("checkpoint: truncated file");
+      throw CheckpointError(CheckpointFault::kTruncated,
+                            "checkpoint: truncated file");
     }
     std::memcpy(out, data_ + pos_, len);
     pos_ += len;
@@ -104,16 +107,19 @@ void write_checkpoint(const std::string& path, const ParticleSystem& system,
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {
-      throw std::runtime_error("checkpoint: cannot open " + tmp + " for writing");
+      throw CheckpointError(CheckpointFault::kIoError,
+                            "checkpoint: cannot open " + tmp + " for writing");
     }
     out.write(reinterpret_cast<const char*>(w.bytes().data()),
               static_cast<std::streamsize>(w.bytes().size()));
     if (!out) {
-      throw std::runtime_error("checkpoint: short write to " + tmp);
+      throw CheckpointError(CheckpointFault::kIoError,
+                            "checkpoint: short write to " + tmp);
     }
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    throw std::runtime_error("checkpoint: cannot rename " + tmp + " to " + path);
+    throw CheckpointError(CheckpointFault::kIoError,
+                          "checkpoint: cannot rename " + tmp + " to " + path);
   }
   TME_COUNTER_ADD("md/checkpoint/writes", 1);
 }
@@ -121,31 +127,36 @@ void write_checkpoint(const std::string& path, const ParticleSystem& system,
 Checkpoint read_checkpoint(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
-    throw std::runtime_error("checkpoint: cannot open " + path);
+    throw CheckpointError(CheckpointFault::kMissingFile,
+                          "checkpoint: cannot open " + path);
   }
   std::vector<unsigned char> bytes((std::istreambuf_iterator<char>(in)),
                                    std::istreambuf_iterator<char>());
 
   if (bytes.size() < sizeof(kMagic) + sizeof(std::uint32_t)) {
-    throw std::runtime_error("checkpoint: truncated file");
+    throw CheckpointError(CheckpointFault::kTruncated,
+                          "checkpoint: truncated file");
   }
   const std::size_t payload = bytes.size() - sizeof(std::uint32_t);
   std::uint32_t stored_crc = 0;
   std::memcpy(&stored_crc, bytes.data() + payload, sizeof(stored_crc));
   if (crc32(bytes.data(), payload) != stored_crc) {
-    throw std::runtime_error("checkpoint: CRC mismatch (corrupted file)");
+    throw CheckpointError(CheckpointFault::kCrcMismatch,
+                          "checkpoint: CRC mismatch (corrupted file)");
   }
 
   Reader r(bytes.data(), payload);
   char magic[8];
   r.raw(magic, sizeof(magic));
   if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw std::runtime_error("checkpoint: bad magic (not a TME checkpoint)");
+    throw CheckpointError(CheckpointFault::kBadMagic,
+                          "checkpoint: bad magic (not a TME checkpoint)");
   }
   const auto version = r.value<std::uint32_t>();
   if (version != kVersion) {
-    throw std::runtime_error("checkpoint: unsupported version " +
-                             std::to_string(version));
+    throw CheckpointError(CheckpointFault::kBadVersion,
+                          "checkpoint: unsupported version " +
+                              std::to_string(version));
   }
 
   Checkpoint ckpt;
@@ -161,19 +172,22 @@ Checkpoint read_checkpoint(const std::string& path) {
                                      2 * sizeof(std::uint64_t) +
                                      3 * sizeof(double);
   if (payload < header_bytes) {
-    throw std::runtime_error("checkpoint: truncated file");
+    throw CheckpointError(CheckpointFault::kTruncated,
+                          "checkpoint: truncated file");
   }
   if (declared_n > (payload - header_bytes) / kPerParticleBytes) {
-    throw std::runtime_error(
+    throw CheckpointError(
+        CheckpointFault::kBadLength,
         "checkpoint: declared particle count " + std::to_string(declared_n) +
-        " exceeds file size");
+            " exceeds file size");
   }
   const std::uint64_t expected = header_bytes + declared_n * kPerParticleBytes;
   if (expected != payload) {
-    throw std::runtime_error(
+    throw CheckpointError(
+        CheckpointFault::kBadLength,
         "checkpoint: payload size " + std::to_string(payload) +
-        " does not match declared particle count (expected " +
-        std::to_string(expected) + ")");
+            " does not match declared particle count (expected " +
+            std::to_string(expected) + ")");
   }
   const auto n = static_cast<std::size_t>(declared_n);
   ckpt.system.box.lengths.x = r.value<double>();
@@ -186,6 +200,68 @@ Checkpoint read_checkpoint(const std::string& path) {
   r.doubles(ckpt.system.charges, n);
   TME_COUNTER_ADD("md/checkpoint/restores", 1);
   return ckpt;
+}
+
+const char* to_string(CheckpointFault fault) {
+  switch (fault) {
+    case CheckpointFault::kMissingFile:
+      return "missing-file";
+    case CheckpointFault::kTruncated:
+      return "truncated";
+    case CheckpointFault::kCrcMismatch:
+      return "crc-mismatch";
+    case CheckpointFault::kBadMagic:
+      return "bad-magic";
+    case CheckpointFault::kBadVersion:
+      return "bad-version";
+    case CheckpointFault::kBadLength:
+      return "bad-length";
+    case CheckpointFault::kIoError:
+      return "io-error";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string generation_path(const std::string& path, int gen) {
+  return gen == 0 ? path : path + "." + std::to_string(gen);
+}
+
+}  // namespace
+
+void write_checkpoint_rotating(const std::string& path,
+                               const ParticleSystem& system,
+                               std::uint64_t step, int keep) {
+  if (keep < 1) {
+    throw CheckpointError(CheckpointFault::kIoError,
+                          "checkpoint: keep must be >= 1");
+  }
+  // Shift older generations out of the way, oldest first.  A missing
+  // generation is fine (rename just fails); a crash mid-shift leaves every
+  // file either at its old or its new slot, all still self-validating.
+  for (int gen = keep - 1; gen >= 1; --gen) {
+    std::rename(generation_path(path, gen - 1).c_str(),
+                generation_path(path, gen).c_str());
+  }
+  write_checkpoint(path, system, step);
+}
+
+Checkpoint read_latest_checkpoint(const std::string& path, int keep,
+                                  std::string* used) {
+  std::optional<CheckpointError> newest_error;
+  for (int gen = 0; gen < std::max(keep, 1); ++gen) {
+    const std::string candidate = generation_path(path, gen);
+    try {
+      Checkpoint ckpt = read_checkpoint(candidate);
+      if (used != nullptr) *used = candidate;
+      return ckpt;
+    } catch (const CheckpointError& e) {
+      TME_COUNTER_ADD("md/checkpoint/fallbacks", 1);
+      if (!newest_error) newest_error = e;
+    }
+  }
+  throw *newest_error;
 }
 
 }  // namespace tme

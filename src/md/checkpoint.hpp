@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 #include "md/system.hpp"
@@ -28,14 +29,56 @@ struct Checkpoint {
   ParticleSystem system;
 };
 
+// What exactly was wrong with a rejected checkpoint file.  Callers that
+// distinguish "no file yet" (fresh start) from "file exists but is damaged"
+// (fall back to an older generation, alert) switch on this instead of
+// parsing message strings.
+enum class CheckpointFault {
+  kMissingFile,   // cannot open for reading
+  kTruncated,     // shorter than its own structure claims
+  kCrcMismatch,   // seal does not cover the bytes on disk
+  kBadMagic,      // not a TME checkpoint at all
+  kBadVersion,    // format newer/older than this build understands
+  kBadLength,     // declared particle count disagrees with the payload size
+  kIoError,       // write-side open/write/rename failure
+};
+
+const char* to_string(CheckpointFault fault);
+
+class CheckpointError : public std::runtime_error {
+ public:
+  CheckpointError(CheckpointFault fault, const std::string& what)
+      : std::runtime_error(what), fault_(fault) {}
+  CheckpointFault fault() const { return fault_; }
+
+ private:
+  CheckpointFault fault_;
+};
+
 // Writes atomically enough for a crash-interrupted run: the file is staged
 // as <path>.tmp and renamed into place, so `path` always holds either the
 // previous checkpoint or a complete new one.
 void write_checkpoint(const std::string& path, const ParticleSystem& system,
                       std::uint64_t step);
 
-// Throws std::runtime_error on a missing file, bad magic, unsupported
-// version, truncation, or CRC mismatch.
+// Throws CheckpointError (a std::runtime_error) on a missing file, bad
+// magic, unsupported version, truncation, or CRC mismatch.  Every header
+// field is validated against the actual file size before any allocation is
+// sized from it.
 Checkpoint read_checkpoint(const std::string& path);
+
+// Generational writes: shifts path -> path.1 -> ... -> path.<keep-1> before
+// renaming the fresh checkpoint into `path`, so a write torn by a crash (or
+// a disk that lies) still leaves the previous generation intact.
+void write_checkpoint_rotating(const std::string& path,
+                               const ParticleSystem& system,
+                               std::uint64_t step, int keep = 2);
+
+// Restores the newest readable generation: `path` first, then path.1, ...
+// A damaged newer file is skipped (and counted under
+// md/checkpoint/fallbacks); if no generation is readable the error from the
+// newest file is rethrown.  `used`, when non-null, reports which file loaded.
+Checkpoint read_latest_checkpoint(const std::string& path, int keep = 2,
+                                  std::string* used = nullptr);
 
 }  // namespace tme

@@ -1,0 +1,63 @@
+#include "par/executor.hpp"
+
+#include <stdexcept>
+
+namespace tme::par {
+
+Grid3d execute_grid_task(const PipelineContext& ctx, const GridBlockTask& task) {
+  switch (task.kind) {
+    case GridBlockTask::Kind::kRestrict:
+      return restrict_block(task.halo, task.ox, task.oy, task.oz, task.out_dims,
+                            ctx.p, ctx.j_coeff);
+    case GridBlockTask::Kind::kProlong:
+      return prolong_block(task.halo, task.ox, task.oy, task.oz, task.out_dims,
+                           ctx.p, ctx.j_coeff);
+    case GridBlockTask::Kind::kConvolve: {
+      const std::size_t level_idx = static_cast<std::size_t>(task.level - 1);
+      if (level_idx >= ctx.kernels.size() ||
+          task.term >= ctx.kernels[level_idx].size()) {
+        throw std::invalid_argument("execute_grid_task: kernel key out of range");
+      }
+      const SeparableTerm& t = ctx.kernels[level_idx][task.term];
+      const Kernel1d& k = task.axis == 0 ? t.kx : (task.axis == 1 ? t.ky : t.kz);
+      return convolve_block_axis(task.halo, task.ox, task.oy, task.oz,
+                                 task.out_dims, task.axis, task.reach,
+                                 task.n_axis, k);
+    }
+  }
+  throw std::invalid_argument("execute_grid_task: unknown task kind");
+}
+
+ExtendedBlock execute_ca_task(const PipelineContext& ctx, const CaBlockTask& task) {
+  return ca_spread_block(task.positions, task.charges, ctx.box, ctx.h, ctx.p,
+                         task.x0, task.y0, task.z0, task.ex, task.ey, task.ez,
+                         ctx.fine_global);
+}
+
+BiBlockResult execute_bi_task(const PipelineContext& ctx, const BiBlockTask& task) {
+  return bi_interpolate_block(task.halo, task.positions, task.charges, ctx.box,
+                              ctx.h, ctx.p, ctx.fine_global);
+}
+
+std::vector<Grid3d> SerialExecutor::run_grid(std::vector<GridBlockTask> tasks) {
+  std::vector<Grid3d> out;
+  out.reserve(tasks.size());
+  for (const GridBlockTask& t : tasks) out.push_back(execute_grid_task(*ctx_, t));
+  return out;
+}
+
+std::vector<ExtendedBlock> SerialExecutor::run_ca(std::vector<CaBlockTask> tasks) {
+  std::vector<ExtendedBlock> out;
+  out.reserve(tasks.size());
+  for (const CaBlockTask& t : tasks) out.push_back(execute_ca_task(*ctx_, t));
+  return out;
+}
+
+std::vector<BiBlockResult> SerialExecutor::run_bi(std::vector<BiBlockTask> tasks) {
+  std::vector<BiBlockResult> out;
+  out.reserve(tasks.size());
+  for (const BiBlockTask& t : tasks) out.push_back(execute_bi_task(*ctx_, t));
+  return out;
+}
+
+}  // namespace tme::par

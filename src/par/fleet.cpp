@@ -1,0 +1,530 @@
+#include "par/fleet.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "obs/metrics.hpp"
+#include "par/proc_transport.hpp"
+#include "par/wire.hpp"
+#include "util/crc32.hpp"
+#include "util/env.hpp"
+
+namespace tme::par {
+
+FleetConfig with_fault_modes(FleetConfig base, const hw::FaultConfig& faults) {
+  base.net_fault.seed = faults.seed;
+  base.net_fault.drop_rate = faults.packet_drop_rate;
+  base.net_fault.corrupt_rate = faults.packet_corrupt_rate;
+  if (faults.kill_worker_rank >= 0) {
+    const auto rank = static_cast<std::size_t>(faults.kill_worker_rank);
+    if (base.worker_faults.size() <= rank) base.worker_faults.resize(rank + 1);
+    base.worker_faults[rank].crash_after_tasks = faults.kill_worker_task;
+    base.worker_faults[rank].hang_after_tasks = faults.hang_worker_task;
+    base.worker_faults[rank].delay_ms = faults.worker_delay_ms;
+  }
+  return base;
+}
+
+FleetConfig fleet_config_from_env(FleetConfig base) {
+  const std::size_t backend = env::choice_or(
+      "TME_TRANSPORT", {"inproc", "proc"},
+      base.backend == FleetConfig::Backend::kProc ? 1 : 0);
+  base.backend =
+      backend == 1 ? FleetConfig::Backend::kProc : FleetConfig::Backend::kInProc;
+  base.workers = static_cast<std::size_t>(env::bounded_long_or(
+      "TME_WORKERS", static_cast<long>(base.workers), 1, 1024));
+  base.timeout_ms =
+      env::bounded_long_or("TME_TRANSPORT_TIMEOUT_MS", base.timeout_ms, 1,
+                           600000);
+  return with_fault_modes(std::move(base), hw::fault_config_from_env());
+}
+
+// One outstanding task: the encoded payload (task id baked in) plus a
+// callback that decodes and stores the accepted result.
+struct WorkerFleet::Pending {
+  std::uint64_t id = 0;
+  std::size_t node = 0;
+  std::size_t worker = 0;
+  bool ever_sent = false;
+  bool done = false;
+  std::vector<std::uint8_t> payload;
+  std::function<void(const std::vector<std::uint8_t>&)> accept;
+};
+
+WorkerFleet::WorkerFleet(const PipelineContext& ctx,
+                         const hw::TorusTopology& topo, FleetConfig cfg)
+    : ctx_(&ctx), topo_(&topo), cfg_(std::move(cfg)) {
+  if (cfg_.workers == 0) {
+    throw std::invalid_argument("WorkerFleet: need at least one worker");
+  }
+  worker_dead_.assign(cfg_.workers, 0);
+  WorkerContext wc;
+  wc.pipeline = *ctx_;
+  wc.workers = static_cast<std::uint32_t>(cfg_.workers);
+  base_context_ = encode_context(wc);
+  if (!cfg_.context_path.empty()) {
+    write_context_file(cfg_.context_path, base_context_);
+  }
+  spawn_transport();
+  for (std::size_t w = 0; w < cfg_.workers; ++w) {
+    if (!init_worker(w)) {
+      throw TransportError("fleet: worker " + std::to_string(w) +
+                           " failed the init handshake");
+    }
+  }
+}
+
+WorkerFleet::~WorkerFleet() {
+  Message shutdown;
+  shutdown.type = MsgType::kShutdown;
+  for (std::size_t w = 0; w < cfg_.workers; ++w) {
+    if (worker_dead_[w]) continue;
+    try {
+      transport_->send(w, shutdown);
+    } catch (...) {
+      continue;
+    }
+  }
+  // Give each live worker a moment to answer kBye so processes exit cleanly;
+  // the transport destructor reaps any straggler.
+  Message out;
+  for (std::size_t w = 0; w < cfg_.workers; ++w) {
+    if (worker_dead_[w]) continue;
+    for (;;) {
+      RecvStatus st;
+      try {
+        st = transport_->recv(w, out, std::chrono::milliseconds(300));
+      } catch (...) {
+        break;
+      }
+      if (st != RecvStatus::kOk || out.type == MsgType::kBye) break;
+    }
+  }
+}
+
+void WorkerFleet::spawn_transport() {
+  if (cfg_.backend == FleetConfig::Backend::kInProc) {
+    transport_ = std::make_unique<InProcTransport>(
+        cfg_.workers,
+        [](Endpoint& ep) {
+          try {
+            worker_loop(ep);
+          } catch (...) {
+            // A misbehaving in-proc worker closes its connection (below)
+            // exactly like a crashing process closes its socket.
+          }
+        },
+        cfg_.net_fault);
+    return;
+  }
+  ProcTransport::Options opts;
+  opts.worker_bin = cfg_.worker_bin;
+  opts.fault = cfg_.net_fault;
+  if (opts.worker_bin.empty()) {
+    opts.fork_child = [](int fd) {
+      FdEndpoint ep(fd);
+      try {
+        worker_loop(ep);
+      } catch (...) {
+      }
+    };
+  }
+  transport_ = std::make_unique<ProcTransport>(cfg_.workers, std::move(opts));
+}
+
+std::vector<std::uint8_t> WorkerFleet::context_bytes_for(
+    std::size_t rank) const {
+  // A respawned worker restarts from the CRC-sealed context checkpoint when
+  // one was written — the read path validates the seal before trusting it.
+  WorkerContext wc = decode_context(cfg_.context_path.empty()
+                                        ? base_context_
+                                        : read_context_file(cfg_.context_path));
+  wc.rank = static_cast<std::uint32_t>(rank);
+  wc.workers = static_cast<std::uint32_t>(cfg_.workers);
+  wc.fault = rank < cfg_.worker_faults.size() ? cfg_.worker_faults[rank]
+                                              : WorkerFaultPolicy{};
+  return encode_context(wc);
+}
+
+bool WorkerFleet::init_worker(std::size_t w) {
+  Message init;
+  init.type = MsgType::kInit;
+  init.payload = context_bytes_for(w);
+  const std::uint32_t crc = crc32(init.payload.data(), init.payload.size());
+  for (int attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
+    try {
+      transport_->send(w, init);
+    } catch (const PeerDead&) {
+      return false;
+    }
+    Message reply;
+    const RecvStatus st =
+        transport_->recv(w, reply, std::chrono::milliseconds(cfg_.timeout_ms));
+    if (st == RecvStatus::kClosed) return false;
+    if (st != RecvStatus::kOk || reply.type != MsgType::kInitAck) continue;
+    wire::Reader r(reply.payload);
+    if (r.u32() == crc) {
+      ++stats_.reinits;
+      return true;
+    }
+    return false;  // half-applied context: refuse the worker
+  }
+  return false;
+}
+
+std::size_t WorkerFleet::worker_of_node(std::size_t node) const {
+  const std::size_t host = plan_ ? plan_->host(node) : node;
+  return host % cfg_.workers;
+}
+
+std::size_t WorkerFleet::alive_workers() const {
+  std::size_t n = 0;
+  for (const char d : worker_dead_) n += d == 0 ? 1 : 0;
+  return n;
+}
+
+void WorkerFleet::kill_worker(std::size_t w) { transport_->kill(w); }
+
+pid_t WorkerFleet::worker_pid(std::size_t w) const {
+  if (const auto* proc = dynamic_cast<const ProcTransport*>(transport_.get())) {
+    return proc->pid(w);
+  }
+  return -1;
+}
+
+void WorkerFleet::rebuild_plan() {
+  auto faults = std::make_unique<hw::FaultInjector>();
+  bool any = false;
+  const std::size_t nodes = topo_->node_count();
+  for (std::size_t w = 0; w < cfg_.workers; ++w) {
+    if (!worker_dead_[w]) continue;
+    for (std::size_t n = w; n < nodes; n += cfg_.workers) {
+      faults->kill_node(n);
+      any = true;
+    }
+  }
+  if (any) {
+    // Throws when the dead set partitions the torus or leaves no survivor —
+    // the last-survivor refusal the recovery tests assert on.
+    plan_ = std::make_unique<RecoveryPlan>(*topo_, *faults);
+  } else {
+    plan_.reset();
+  }
+  faults_ = std::move(faults);
+}
+
+void WorkerFleet::handle_worker_death(std::size_t w, const char* cause) {
+  if (w >= cfg_.workers || worker_dead_[w]) return;
+  worker_dead_[w] = 1;
+  ++stats_.worker_deaths;
+  TME_COUNTER_ADD("par/fleet/worker_deaths", 1);
+  std::fprintf(stderr, "[fleet] worker %zu declared dead (%s)\n", w, cause);
+  if (health_ != nullptr && w < topo_->node_count()) {
+    health_->report_violation(w);
+  }
+  if (cfg_.respawn) {
+    transport_->respawn(w);
+    ++stats_.respawns;
+    TME_COUNTER_ADD("par/fleet/respawns", 1);
+    if (init_worker(w)) {
+      worker_dead_[w] = 0;
+      std::fprintf(stderr, "[fleet] worker %zu respawned from sealed context\n",
+                   w);
+    }
+  }
+  rebuild_plan();
+}
+
+void WorkerFleet::record_transfer(std::size_t node, std::size_t bytes) {
+  if (links_ == nullptr) return;
+  const std::size_t n = node % topo_->node_count();
+  links_->record_transfer(0, n, bytes);
+}
+
+void WorkerFleet::dispatch(std::vector<Pending>& pending) {
+  if (pending.empty()) return;
+  const std::size_t W = cfg_.workers;
+  struct WState {
+    std::vector<std::size_t> inflight;  // pending indices, oldest first
+    int attempts = 0;
+    std::chrono::steady_clock::time_point deadline{};
+  };
+  std::vector<WState> ws(W);
+  std::unordered_map<std::uint64_t, std::size_t> by_id;
+  std::deque<std::size_t> to_send;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    by_id.emplace(pending[i].id, i);
+    to_send.push_back(i);
+  }
+  std::size_t remaining = pending.size();
+  const auto timeout =
+      std::chrono::milliseconds(cfg_.timeout_ms > 0 ? cfg_.timeout_ms : 1);
+  const auto now = [] { return std::chrono::steady_clock::now(); };
+  // A worker whose fault policy crashes it on every generation would respawn
+  // forever; bound the deaths one dispatch tolerates.
+  std::size_t deaths_budget = 3 * W + 8;
+
+  std::function<void(std::size_t, const char*)> on_death =
+      [&](std::size_t w, const char* cause) {
+        if (deaths_budget == 0) {
+          throw TransportError(
+              "fleet: worker death limit exceeded (crash loop?)");
+        }
+        --deaths_budget;
+        handle_worker_death(w, cause);
+        for (const std::size_t pi : ws[w].inflight) {
+          if (!pending[pi].done) to_send.push_back(pi);
+        }
+        ws[w].inflight.clear();
+        ws[w].attempts = 0;
+      };
+
+  const auto send_task = [&](std::size_t pi) {
+    Pending& p = pending[pi];
+    const std::size_t target = worker_of_node(p.node);
+    Message m;
+    m.type = MsgType::kTask;
+    m.payload = p.payload;
+    try {
+      transport_->send(target, m);
+    } catch (const PeerDead&) {
+      on_death(target, "send to dead worker");
+      to_send.push_back(pi);
+      return;
+    }
+    if (p.ever_sent && target != p.worker) {
+      ++stats_.rehomed_tasks;
+      TME_COUNTER_ADD("par/fleet/rehomed_tasks", 1);
+    }
+    p.worker = target;
+    p.ever_sent = true;
+    WState& s = ws[target];
+    if (std::find(s.inflight.begin(), s.inflight.end(), pi) ==
+        s.inflight.end()) {
+      s.inflight.push_back(pi);
+    }
+    if (s.inflight.size() == 1) {
+      s.attempts = 0;
+      s.deadline = now() + timeout;
+    }
+    ++stats_.tasks_sent;
+    TME_COUNTER_ADD("par/fleet/tasks_sent", 1);
+    record_transfer(p.node, p.payload.size());
+  };
+
+  const auto expire = [&](std::size_t w) {
+    WState& s = ws[w];
+    ++s.attempts;
+    if (s.attempts > cfg_.max_retries) {
+      // Retries exhausted: a hung worker holds a live socket, so make the
+      // death real before recovering.
+      transport_->kill(w);
+      on_death(w, "deadline exhausted");
+      return;
+    }
+    ++stats_.retransmissions;
+    TME_COUNTER_ADD("par/fleet/retransmissions", 1);
+    const int shift = std::min(s.attempts - 1, 20);
+    s.deadline =
+        now() + timeout +
+        std::chrono::milliseconds(cfg_.backoff_base_ms << shift);
+    const std::vector<std::size_t> flight = s.inflight;  // on_death may clear
+    for (const std::size_t pi : flight) {
+      Pending& p = pending[pi];
+      Message m;
+      m.type = MsgType::kTask;
+      m.payload = p.payload;
+      try {
+        transport_->send(w, m);
+      } catch (const PeerDead&) {
+        on_death(w, "send on retransmit");
+        return;
+      }
+      ++stats_.tasks_sent;
+      record_transfer(p.node, p.payload.size());
+    }
+  };
+
+  while (remaining > 0) {
+    while (!to_send.empty()) {
+      const std::size_t pi = to_send.front();
+      to_send.pop_front();
+      if (!pending[pi].done) send_task(pi);
+    }
+    std::vector<char> want(W, 0);
+    bool any = false;
+    auto earliest = now() + timeout;
+    for (std::size_t w = 0; w < W; ++w) {
+      if (worker_dead_[w] || ws[w].inflight.empty()) continue;
+      want[w] = 1;
+      any = true;
+      if (ws[w].deadline < earliest) earliest = ws[w].deadline;
+    }
+    if (!any) {
+      if (!to_send.empty()) continue;
+      throw TransportError(
+          "fleet: tasks outstanding but no live worker owes results");
+    }
+    auto slice =
+        std::chrono::duration_cast<std::chrono::milliseconds>(earliest - now());
+    if (slice.count() < 0) slice = std::chrono::milliseconds(0);
+    Message out;
+    const auto arrived = transport_->recv_any(want, out, slice);
+    if (!arrived) {
+      const auto t = now();
+      for (std::size_t w = 0; w < W; ++w) {
+        if (want[w] && ws[w].deadline <= t) expire(w);
+      }
+      continue;
+    }
+    if (arrived->status == RecvStatus::kClosed) {
+      on_death(arrived->worker, "connection closed");
+      continue;
+    }
+    if (out.type != MsgType::kResult) continue;  // stray pong/ack
+    const ResultHeader header = peek_result_header(out.payload);
+    const auto it = by_id.find(header.task_id);
+    if (it == by_id.end()) {
+      ++stats_.duplicate_results;
+      continue;
+    }
+    Pending& p = pending[it->second];
+    WState& s = ws[arrived->worker];
+    const auto f = std::find(s.inflight.begin(), s.inflight.end(), it->second);
+    if (f != s.inflight.end()) s.inflight.erase(f);
+    s.attempts = 0;
+    s.deadline = now() + timeout;
+    if (p.done) {
+      ++stats_.duplicate_results;
+      TME_COUNTER_ADD("par/fleet/duplicate_results", 1);
+      continue;
+    }
+    p.accept(out.payload);
+    p.done = true;
+    --remaining;
+    ++stats_.results_received;
+    TME_COUNTER_ADD("par/fleet/results_received", 1);
+    record_transfer(p.node, out.payload.size());
+  }
+}
+
+std::vector<Grid3d> WorkerFleet::run_grid(std::vector<GridBlockTask> tasks) {
+  TME_PHASE("fleet_grid");
+  std::vector<Grid3d> results(tasks.size());
+  std::vector<Pending> pending(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    Pending& p = pending[i];
+    p.id = next_task_id_++;
+    p.node = tasks[i].node;
+    p.payload = encode_grid_task(p.id, tasks[i]);
+    Grid3d* slot = &results[i];
+    p.accept = [slot](const std::vector<std::uint8_t>& payload) {
+      *slot = decode_grid_result(payload);
+    };
+  }
+  dispatch(pending);
+  return results;
+}
+
+std::vector<ExtendedBlock> WorkerFleet::run_ca(std::vector<CaBlockTask> tasks) {
+  TME_PHASE("fleet_ca");
+  std::vector<ExtendedBlock> results(tasks.size());
+  std::vector<Pending> pending(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    Pending& p = pending[i];
+    p.id = next_task_id_++;
+    p.node = tasks[i].node;
+    p.payload = encode_ca_task(p.id, tasks[i]);
+    ExtendedBlock* slot = &results[i];
+    p.accept = [slot](const std::vector<std::uint8_t>& payload) {
+      *slot = decode_ca_result(payload);
+    };
+  }
+  dispatch(pending);
+  return results;
+}
+
+std::vector<BiBlockResult> WorkerFleet::run_bi(std::vector<BiBlockTask> tasks) {
+  TME_PHASE("fleet_bi");
+  std::vector<BiBlockResult> results(tasks.size());
+  std::vector<Pending> pending(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    Pending& p = pending[i];
+    p.id = next_task_id_++;
+    p.node = tasks[i].node;
+    p.payload = encode_bi_task(p.id, tasks[i]);
+    BiBlockResult* slot = &results[i];
+    p.accept = [slot](const std::vector<std::uint8_t>& payload) {
+      *slot = decode_bi_result(payload);
+    };
+  }
+  dispatch(pending);
+  return results;
+}
+
+std::size_t WorkerFleet::heartbeat(std::chrono::milliseconds timeout) {
+  const std::size_t W = cfg_.workers;
+  std::vector<char> want(W, 0);
+  std::vector<char> pongd(W, 0);
+  const std::uint64_t nonce_base = next_task_id_;
+  next_task_id_ += W;
+  for (std::size_t w = 0; w < W; ++w) {
+    if (worker_dead_[w]) continue;
+    wire::Writer body;
+    body.u64(nonce_base + w);
+    Message ping;
+    ping.type = MsgType::kPing;
+    ping.payload = body.take();
+    try {
+      transport_->send(w, ping);
+    } catch (const PeerDead&) {
+      handle_worker_death(w, "heartbeat send");
+      continue;
+    }
+    want[w] = 1;
+    ++stats_.heartbeats_sent;
+    TME_COUNTER_ADD("par/fleet/heartbeats_sent", 1);
+  }
+  const auto until = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    bool any = false;
+    for (const char wnt : want) any = any || wnt != 0;
+    if (!any) break;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        until - std::chrono::steady_clock::now());
+    if (left.count() <= 0) break;
+    Message out;
+    const auto arrived = transport_->recv_any(want, out, left);
+    if (!arrived) break;
+    if (arrived->status == RecvStatus::kClosed) {
+      want[arrived->worker] = 0;
+      handle_worker_death(arrived->worker, "heartbeat eof");
+      continue;
+    }
+    if (out.type != MsgType::kPong) continue;  // stale result straggler
+    wire::Reader r(out.payload);
+    if (r.u64() == nonce_base + arrived->worker) {
+      pongd[arrived->worker] = 1;
+      want[arrived->worker] = 0;
+    }
+  }
+  std::size_t answered = 0;
+  for (std::size_t w = 0; w < W; ++w) {
+    if (pongd[w]) {
+      ++answered;
+      continue;
+    }
+    if (!want[w]) continue;  // never pinged or already handled as dead
+    ++stats_.heartbeats_missed;
+    TME_COUNTER_ADD("par/fleet/heartbeats_missed", 1);
+    if (health_ != nullptr && w < topo_->node_count()) {
+      health_->report_violation(w);
+    }
+  }
+  return answered;
+}
+
+}  // namespace tme::par

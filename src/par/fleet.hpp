@@ -1,0 +1,151 @@
+// WorkerFleet: a NodeExecutor that ships node tasks to real workers over a
+// Transport, with the fault machinery the ISSUE's drill demands:
+//
+//   detection    a crashed worker surfaces as a closed connection (EOF on a
+//                SIGKILLed process's socket); a hung or starved worker is
+//                caught by a per-worker deadline on its oldest unanswered
+//                task.
+//   retry        deadline expiry retransmits the worker's in-flight tasks
+//                with exponential backoff (timeout + base * 2^attempt), the
+//                same discipline hw/network_model applies per link; CRC
+//                rejects on either side are absorbed the same way.  Tasks
+//                are pure and results dedup by task id, so at-least-once
+//                delivery cannot change the physics.
+//   re-homing    a worker declared dead gets its torus nodes killed in a
+//                fleet-owned FaultInjector and a RecoveryPlan re-homes each
+//                block onto a surviving node — whose worker is alive by
+//                construction (an alive node's worker has at least that node
+//                alive).  Killing the last worker makes RecoveryPlan throw:
+//                the last-survivor refusal.
+//   restart      with respawn enabled the dead worker is relaunched and
+//                re-initialised from the CRC-sealed context checkpoint, then
+//                rejoins the mapping for subsequent work.
+//
+// The coordinator integrates results in task order regardless of which
+// worker (or respawn generation) produced them, so forces after any number
+// of recoveries are bitwise identical to the fault-free run.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/link_stats.hpp"
+#include "par/executor.hpp"
+#include "par/health.hpp"
+#include "par/recovery.hpp"
+#include "par/transport.hpp"
+#include "par/worker.hpp"
+
+namespace tme::par {
+
+struct FleetConfig {
+  enum class Backend { kInProc = 0, kProc = 1 };
+  Backend backend = Backend::kInProc;
+  std::size_t workers = 2;
+  long timeout_ms = 2000;      // per-worker deadline on the oldest unanswered task
+  int max_retries = 3;         // retransmission rounds before a worker is declared dead
+  long backoff_base_ms = 10;   // first retransmission backoff; doubles per round
+  bool respawn = true;         // relaunch dead workers from the sealed context
+  std::string worker_bin;      // proc backend: fork+exec this binary (empty = fork)
+  std::string context_path;    // CRC-sealed context checkpoint (empty = in-memory)
+  TransportFaultPolicy net_fault;
+  // Per-rank misbehaviour drills; shorter than `workers` means default
+  // (well-behaved) policies for the remaining ranks.
+  std::vector<WorkerFaultPolicy> worker_faults;
+};
+
+// Overlays the process-level modes of a hw::FaultConfig onto `base`: packet
+// drop/corrupt rates (and seed) onto the transport fault policy, and the
+// kill/hang/delay drill onto the targeted rank's WorkerFaultPolicy.
+FleetConfig with_fault_modes(FleetConfig base, const hw::FaultConfig& faults);
+
+// Applies TME_TRANSPORT ("inproc"/"proc"), TME_WORKERS and
+// TME_TRANSPORT_TIMEOUT_MS on top of `base` via the strict util/env parser
+// (malformed values warn and keep `base`'s setting), then overlays the
+// process-level TME_FAULT_* modes via with_fault_modes.
+FleetConfig fleet_config_from_env(FleetConfig base = {});
+
+struct FleetStats {
+  std::uint64_t tasks_sent = 0;
+  std::uint64_t results_received = 0;
+  std::uint64_t duplicate_results = 0;  // retransmission echoes, dropped by id
+  std::uint64_t retransmissions = 0;    // deadline-expiry resend rounds
+  std::uint64_t worker_deaths = 0;      // EOF crashes + hung declarations
+  std::uint64_t rehomed_tasks = 0;      // tasks moved to a survivor's worker
+  std::uint64_t respawns = 0;
+  std::uint64_t reinits = 0;            // successful Init/InitAck handshakes
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t heartbeats_missed = 0;
+};
+
+class WorkerFleet : public NodeExecutor {
+ public:
+  // `topo` is the logical node torus the tasks' node ids index into (the one
+  // ParallelTme was built with); worker w hosts nodes {n : n % workers == w}.
+  // Both references must outlive the fleet.
+  WorkerFleet(const PipelineContext& ctx, const hw::TorusTopology& topo,
+              FleetConfig cfg);
+  ~WorkerFleet() override;
+
+  std::vector<Grid3d> run_grid(std::vector<GridBlockTask> tasks) override;
+  std::vector<ExtendedBlock> run_ca(std::vector<CaBlockTask> tasks) override;
+  std::vector<BiBlockResult> run_bi(std::vector<BiBlockTask> tasks) override;
+
+  // Pings every live worker and waits for the pongs; a miss counts against
+  // the worker (and is reported to the health monitor, if any).  Returns the
+  // number of workers that answered in time.
+  std::size_t heartbeat(std::chrono::milliseconds timeout);
+
+  // Drill triggers / introspection.
+  void kill_worker(std::size_t w);  // SIGKILL (proc) / channel teardown (inproc)
+  pid_t worker_pid(std::size_t w) const;  // -1 on the in-proc backend
+  bool worker_alive(std::size_t w) const { return !worker_dead_[w]; }
+  std::size_t alive_workers() const;
+  std::size_t worker_of_node(std::size_t node) const;
+
+  // Heartbeat misses and deaths are attributed to the worker's first torus
+  // node on this monitor (PR 4's quarantine machinery).
+  void set_health_monitor(HealthMonitor* hm) { health_ = hm; }
+  // When set, task/result payload bytes are charged along coordinator->node
+  // routes so per-link telemetry reflects the real socket traffic.
+  void set_link_telemetry(hw::LinkTelemetry* links) { links_ = links; }
+
+  const FleetStats& stats() const { return stats_; }
+  const TransportStats& transport_stats() const { return transport_->stats(); }
+  const Transport& transport() const { return *transport_; }
+  const FleetConfig& config() const { return cfg_; }
+  // Null while every worker is alive.
+  const RecoveryPlan* plan() const { return plan_.get(); }
+
+ private:
+  struct Pending;  // one outstanding task (defined in fleet.cpp)
+
+  void spawn_transport();
+  std::vector<std::uint8_t> context_bytes_for(std::size_t rank) const;
+  bool init_worker(std::size_t w);
+  // Declares w dead: kills its nodes in a fresh injector, rebuilds the
+  // recovery plan (throws on last survivor), optionally respawns.
+  void handle_worker_death(std::size_t w, const char* cause);
+  void rebuild_plan();
+  void record_transfer(std::size_t node, std::size_t bytes);
+
+  // The shared dispatch loop; encode/decode close over the task vectors.
+  void dispatch(std::vector<Pending>& pending);
+
+  const PipelineContext* ctx_;
+  const hw::TorusTopology* topo_;
+  FleetConfig cfg_;
+  std::unique_ptr<Transport> transport_;
+  std::vector<std::uint8_t> base_context_;  // rank-0 encoding, the sealed bytes
+  std::vector<char> worker_dead_;
+  std::unique_ptr<hw::FaultInjector> faults_;
+  std::unique_ptr<RecoveryPlan> plan_;
+  HealthMonitor* health_ = nullptr;
+  hw::LinkTelemetry* links_ = nullptr;
+  FleetStats stats_;
+  std::uint64_t next_task_id_ = 1;
+};
+
+}  // namespace tme::par

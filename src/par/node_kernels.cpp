@@ -1,0 +1,200 @@
+#include "par/node_kernels.hpp"
+
+#include <stdexcept>
+
+#include "spline/bspline.hpp"
+
+namespace tme::par {
+
+namespace {
+
+// Shift the spline base so the whole support lands inside [lo, hi) (at most
+// one period in either direction).
+long unwrap_base(int p, long base, long lo, long hi, long period) {
+  if (base < lo) base += period;
+  if (base + p > hi) base -= period;
+  if (base < lo || base + p > hi) {
+    throw std::logic_error("parallel CA/BI: atom support exceeds sleeve");
+  }
+  return base;
+}
+
+}  // namespace
+
+Grid3d restrict_block(const ExtendedBlock& halo, long ox, long oy, long oz,
+                      const GridDims& out_dims, int p,
+                      std::span<const double> j_coeff) {
+  const int half_p = p / 2;
+  Grid3d out(out_dims);
+  for (std::size_t mz = 0; mz < out_dims.nz; ++mz) {
+    for (std::size_t my = 0; my < out_dims.ny; ++my) {
+      for (std::size_t mx = 0; mx < out_dims.nx; ++mx) {
+        const long gx = 2 * (ox + static_cast<long>(mx));
+        const long gy = 2 * (oy + static_cast<long>(my));
+        const long gz = 2 * (oz + static_cast<long>(mz));
+        double acc = 0.0;
+        for (int kz = -half_p; kz <= half_p; ++kz) {
+          const double jz = j_coeff[static_cast<std::size_t>(kz + half_p)];
+          for (int ky = -half_p; ky <= half_p; ++ky) {
+            const double jyz = jz * j_coeff[static_cast<std::size_t>(ky + half_p)];
+            for (int kx = -half_p; kx <= half_p; ++kx) {
+              acc += jyz * j_coeff[static_cast<std::size_t>(kx + half_p)] *
+                     halo.at(gx + kx, gy + ky, gz + kz);
+            }
+          }
+        }
+        out.at(mx, my, mz) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+Grid3d prolong_block(const ExtendedBlock& halo, long ox, long oy, long oz,
+                     const GridDims& out_dims, int p,
+                     std::span<const double> j_coeff) {
+  const int half_p = p / 2;
+  Grid3d out(out_dims);
+  for (std::size_t fz = 0; fz < out_dims.nz; ++fz) {
+    for (std::size_t fy = 0; fy < out_dims.ny; ++fy) {
+      for (std::size_t fx = 0; fx < out_dims.nx; ++fx) {
+        const long gx = ox + static_cast<long>(fx);
+        const long gy = oy + static_cast<long>(fy);
+        const long gz = oz + static_cast<long>(fz);
+        double acc = 0.0;
+        for (int kz = -half_p; kz <= half_p; ++kz) {
+          if (((gz - kz) & 1L) != 0) continue;
+          const long mz = (gz - kz) / 2;
+          const double jz = j_coeff[static_cast<std::size_t>(kz + half_p)];
+          for (int ky = -half_p; ky <= half_p; ++ky) {
+            if (((gy - ky) & 1L) != 0) continue;
+            const long my = (gy - ky) / 2;
+            const double jyz = jz * j_coeff[static_cast<std::size_t>(ky + half_p)];
+            for (int kx = -half_p; kx <= half_p; ++kx) {
+              if (((gx - kx) & 1L) != 0) continue;
+              const long mx = (gx - kx) / 2;
+              acc += jyz * j_coeff[static_cast<std::size_t>(kx + half_p)] *
+                     halo.at(mx, my, mz);
+            }
+          }
+        }
+        out.at(fx, fy, fz) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+Grid3d convolve_block_axis(const ExtendedBlock& halo, long ox, long oy, long oz,
+                           const GridDims& out_dims, int axis, long reach,
+                           std::size_t n_axis, const Kernel1d& kernel) {
+  Grid3d out(out_dims);
+  for (std::size_t lz = 0; lz < out_dims.nz; ++lz) {
+    for (std::size_t ly = 0; ly < out_dims.ny; ++ly) {
+      for (std::size_t lx = 0; lx < out_dims.nx; ++lx) {
+        const long gx = ox + static_cast<long>(lx);
+        const long gy = oy + static_cast<long>(ly);
+        const long gz = oz + static_cast<long>(lz);
+        double acc = 0.0;
+        for (int m = -kernel.cutoff; m <= kernel.cutoff; ++m) {
+          // Fold taps beyond the clamped halo into the period.
+          long sx = gx, sy = gy, sz = gz;
+          long off = -m;
+          if (off > reach) off -= static_cast<long>(n_axis);
+          if (off < -reach) off += static_cast<long>(n_axis);
+          switch (axis) {
+            case 0: sx += off; break;
+            case 1: sy += off; break;
+            default: sz += off; break;
+          }
+          acc += kernel.tap(m) * halo.at(sx, sy, sz);
+        }
+        out.at(lx, ly, lz) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+ExtendedBlock ca_spread_block(std::span<const Vec3> positions,
+                              std::span<const double> charges, const Box& box,
+                              const Vec3& h, int p, long x0, long y0, long z0,
+                              std::size_t ex, std::size_t ey, std::size_t ez,
+                              const GridDims& global) {
+  ExtendedBlock buffer;
+  buffer.reset(x0, y0, z0, ex, ey, ez);
+  std::vector<double> wx(static_cast<std::size_t>(p)), wy(wx), wz(wx);
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const Vec3 u = hadamard_div(box.wrap(positions[i]), h);
+    long mx0 = bspline_weights_central(p, u.x, wx, {});
+    long my0 = bspline_weights_central(p, u.y, wy, {});
+    long mz0 = bspline_weights_central(p, u.z, wz, {});
+    mx0 = unwrap_base(p, mx0, buffer.x0, buffer.x0 + static_cast<long>(buffer.nx),
+                      static_cast<long>(global.nx));
+    my0 = unwrap_base(p, my0, buffer.y0, buffer.y0 + static_cast<long>(buffer.ny),
+                      static_cast<long>(global.ny));
+    mz0 = unwrap_base(p, mz0, buffer.z0, buffer.z0 + static_cast<long>(buffer.nz),
+                      static_cast<long>(global.nz));
+    const double qi = charges[i];
+    for (int kz = 0; kz < p; ++kz) {
+      const double qz = qi * wz[static_cast<std::size_t>(kz)];
+      for (int ky = 0; ky < p; ++ky) {
+        const double qyz = qz * wy[static_cast<std::size_t>(ky)];
+        for (int kx = 0; kx < p; ++kx) {
+          buffer.at(mx0 + kx, my0 + ky, mz0 + kz) +=
+              qyz * wx[static_cast<std::size_t>(kx)];
+        }
+      }
+    }
+  }
+  return buffer;
+}
+
+BiBlockResult bi_interpolate_block(const ExtendedBlock& halo,
+                                   std::span<const Vec3> positions,
+                                   std::span<const double> charges,
+                                   const Box& box, const Vec3& h, int p,
+                                   const GridDims& global) {
+  BiBlockResult res;
+  res.forces.assign(positions.size(), Vec3{});
+  std::vector<double> wx(static_cast<std::size_t>(p)), wy(wx), wz(wx);
+  std::vector<double> dx(wx), dy(wx), dz(wx);
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const Vec3 u = hadamard_div(box.wrap(positions[i]), h);
+    long mx0 = bspline_weights_central(p, u.x, wx, dx);
+    long my0 = bspline_weights_central(p, u.y, wy, dy);
+    long mz0 = bspline_weights_central(p, u.z, wz, dz);
+    mx0 = unwrap_base(p, mx0, halo.x0, halo.x0 + static_cast<long>(halo.nx),
+                      static_cast<long>(global.nx));
+    my0 = unwrap_base(p, my0, halo.y0, halo.y0 + static_cast<long>(halo.ny),
+                      static_cast<long>(global.ny));
+    mz0 = unwrap_base(p, mz0, halo.z0, halo.z0 + static_cast<long>(halo.nz),
+                      static_cast<long>(global.nz));
+    double phi_i = 0.0;
+    Vec3 grad{};
+    for (int kz = 0; kz < p; ++kz) {
+      for (int ky = 0; ky < p; ++ky) {
+        double line_v = 0.0, line_d = 0.0;
+        for (int kx = 0; kx < p; ++kx) {
+          const double pm = halo.at(mx0 + kx, my0 + ky, mz0 + kz);
+          line_v += pm * wx[static_cast<std::size_t>(kx)];
+          line_d += pm * dx[static_cast<std::size_t>(kx)];
+        }
+        const double vy = wy[static_cast<std::size_t>(ky)];
+        const double gy = dy[static_cast<std::size_t>(ky)];
+        const double vz = wz[static_cast<std::size_t>(kz)];
+        const double gz = dz[static_cast<std::size_t>(kz)];
+        phi_i += line_v * vy * vz;
+        grad.x += line_d * vy * vz;
+        grad.y += line_v * gy * vz;
+        grad.z += line_v * vy * gz;
+      }
+    }
+    res.q_phi += charges[i] * phi_i;
+    res.forces[i] = {-charges[i] * grad.x / h.x, -charges[i] * grad.y / h.y,
+                     -charges[i] * grad.z / h.z};
+  }
+  return res;
+}
+
+}  // namespace tme::par

@@ -1,0 +1,97 @@
+// Pure per-node compute kernels of the parallel TME pipeline.
+//
+// Each function here is the body of one node's work in one pipeline phase
+// (charge assignment, restriction, prolongation, one axis of the separable
+// level convolution, back-interpolation), expressed as a pure function from
+// a halo-carrying input buffer to that node's output block.  The coordinator
+// (ParallelTme) owns all distributed state and traffic accounting; these
+// kernels own none — which is what lets a NodeExecutor run them inline, on a
+// worker thread, or in a forked worker process and still produce bitwise
+// identical results: the same function over the same bytes.
+//
+// Workers deliberately avoid the thread pool (a forked child inherits dead
+// pool threads), so everything here is plain scalar loops.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "grid/grid3d.hpp"
+#include "grid/separable_conv.hpp"
+#include "util/vec3.hpp"
+
+namespace tme::par {
+
+// An extended (halo-carrying) local buffer for one node: global coordinates
+// [x0, x0+nx) x [y0, ...) x [z0, ...), unwrapped (may be negative).
+struct ExtendedBlock {
+  long x0 = 0, y0 = 0, z0 = 0;
+  std::size_t nx = 0, ny = 0, nz = 0;
+  std::vector<double> data;
+
+  void reset(long x, long y, long z, std::size_t ex, std::size_t ey, std::size_t ez) {
+    x0 = x;
+    y0 = y;
+    z0 = z;
+    nx = ex;
+    ny = ey;
+    nz = ez;
+    data.assign(ex * ey * ez, 0.0);
+  }
+  double& at(long gx, long gy, long gz) {
+    return data[(static_cast<std::size_t>(gz - z0) * ny +
+                 static_cast<std::size_t>(gy - y0)) *
+                    nx +
+                static_cast<std::size_t>(gx - x0)];
+  }
+  double at(long gx, long gy, long gz) const {
+    return data[(static_cast<std::size_t>(gz - z0) * ny +
+                 static_cast<std::size_t>(gy - y0)) *
+                    nx +
+                static_cast<std::size_t>(gx - x0)];
+  }
+};
+
+// Restriction: coarse cell m at global (ox+mx, ...) accumulates fine cells
+// 2m +- p/2 through the two-scale J stencil.  `halo` is the fine-grid halo
+// buffer; `out_dims` the coarse local block.
+Grid3d restrict_block(const ExtendedBlock& halo, long ox, long oy, long oz,
+                      const GridDims& out_dims, int p,
+                      std::span<const double> j_coeff);
+
+// Prolongation: fine cell g draws coarse cells m with g = 2m + k, |k| <= p/2
+// (parity-guarded).  `halo` is the coarse-grid halo buffer.
+Grid3d prolong_block(const ExtendedBlock& halo, long ox, long oy, long oz,
+                     const GridDims& out_dims, int p,
+                     std::span<const double> j_coeff);
+
+// One axis pass of the separable level convolution over a slab halo, with
+// taps beyond the clamped reach folded into the level period n_axis.
+Grid3d convolve_block_axis(const ExtendedBlock& halo, long ox, long oy, long oz,
+                           const GridDims& out_dims, int axis, long reach,
+                           std::size_t n_axis, const Kernel1d& kernel);
+
+// Charge assignment: spread `positions`/`charges` (one node's atoms) into a
+// sleeved buffer with the given origin/extents.  Throws std::logic_error when
+// an atom's spline support exceeds the sleeve.
+ExtendedBlock ca_spread_block(std::span<const Vec3> positions,
+                              std::span<const double> charges, const Box& box,
+                              const Vec3& h, int p, long x0, long y0, long z0,
+                              std::size_t ex, std::size_t ey, std::size_t ez,
+                              const GridDims& global);
+
+// Back-interpolation: per-atom potential and force from the potential halo.
+// `forces` is indexed like `positions`; `q_phi` is this node's partial
+// sum of q_i * phi_i (the coordinator adds partials in node order).
+struct BiBlockResult {
+  std::vector<Vec3> forces;
+  double q_phi = 0.0;
+};
+BiBlockResult bi_interpolate_block(const ExtendedBlock& halo,
+                                   std::span<const Vec3> positions,
+                                   std::span<const double> charges,
+                                   const Box& box, const Vec3& h, int p,
+                                   const GridDims& global);
+
+}  // namespace tme::par

@@ -64,36 +64,6 @@ void log_transfer(TrafficLog* log, const std::string& phase, std::size_t words,
   }
 }
 
-// An extended (halo-carrying) local buffer for one node: global coordinates
-// [x0, x0+nx) x [y0, ...) x [z0, ...), unwrapped (may be negative).
-struct ExtendedBlock {
-  long x0 = 0, y0 = 0, z0 = 0;
-  std::size_t nx = 0, ny = 0, nz = 0;
-  std::vector<double> data;
-
-  void reset(long x, long y, long z, std::size_t ex, std::size_t ey, std::size_t ez) {
-    x0 = x;
-    y0 = y;
-    z0 = z;
-    nx = ex;
-    ny = ey;
-    nz = ez;
-    data.assign(ex * ey * ez, 0.0);
-  }
-  double& at(long gx, long gy, long gz) {
-    return data[(static_cast<std::size_t>(gz - z0) * ny +
-                 static_cast<std::size_t>(gy - y0)) *
-                    nx +
-                static_cast<std::size_t>(gx - x0)];
-  }
-  double at(long gx, long gy, long gz) const {
-    return data[(static_cast<std::size_t>(gz - z0) * ny +
-                 static_cast<std::size_t>(gy - y0)) *
-                    nx +
-                static_cast<std::size_t>(gx - x0)];
-  }
-};
-
 // Fill a node's extended buffer from the distributed grid; every cell that
 // lives on another node is a received word.  Messages are grouped by source
 // node, hops measured on the torus.
@@ -221,6 +191,17 @@ ParallelTme::ParallelTme(const Box& box, const TmeParams& params,
   for (int level = 1; level <= params.levels + 1; ++level) {
     level_decomp_.emplace_back(tme_.level_dims(level), topo_);
   }
+  ctx_.box = box_;
+  ctx_.p = params.order;
+  ctx_.fine_global = tme_.level_dims(1);
+  ctx_.h = {box_.lengths.x / static_cast<double>(ctx_.fine_global.nx),
+            box_.lengths.y / static_cast<double>(ctx_.fine_global.ny),
+            box_.lengths.z / static_cast<double>(ctx_.fine_global.nz)};
+  ctx_.j_coeff = two_scale_coefficients(params.order);
+  for (int l = 1; l <= params.levels; ++l) {
+    ctx_.kernels.push_back(tme_.level_kernels(l));
+  }
+  serial_exec_ = std::make_unique<SerialExecutor>(ctx_);
 }
 
 void ParallelTme::set_fault_injector(const FaultInjector* faults) {
@@ -240,6 +221,7 @@ DistributedGrid ParallelTme::solve_potential(const DistributedGrid& finest_charg
   TME_PHASE("par_tme_solve");
   TME_GAUGE_SET("par_tme/nodes", topo_.node_count());
   const FaultContext ctx{plan_.get(), faults_, links_};
+  NodeExecutor& exec = executor();
   if (log != nullptr && plan_ != nullptr) {
     // One-time block migration: every dead node's per-level blocks are
     // re-fetched by the surviving host (from the neighbour-held redundant
@@ -260,7 +242,6 @@ DistributedGrid ParallelTme::solve_potential(const DistributedGrid& finest_charg
   const int levels = params.levels;
   const int p = params.order;
   const int gc = params.grid_cutoff;
-  const std::vector<double> j_coeff = two_scale_coefficients(p);
 
   // -- Downward pass: restrictions -------------------------------------------
   std::vector<DistributedGrid> q(static_cast<std::size_t>(levels) + 1);
@@ -271,40 +252,30 @@ DistributedGrid ParallelTme::solve_potential(const DistributedGrid& finest_charg
     const GridDecomposition& coarse_d = level_decomp_[static_cast<std::size_t>(l)];
     DistributedGrid coarse(coarse_d);
     const int half_p = p / 2;
+    std::vector<GridBlockTask> tasks;
+    tasks.reserve(topo_.node_count());
     for (std::size_t n = 0; n < topo_.node_count(); ++n) {
       const NodeCoord me = topo_.coord(n);
       // Fine halo: output coarse cell m needs fine cells 2m +- p/2.
-      ExtendedBlock halo;
+      GridBlockTask t;
+      t.kind = GridBlockTask::Kind::kRestrict;
+      t.node = n;
       const long fx0 = 2 * static_cast<long>(coarse_d.origin_x(me)) - half_p;
       const long fy0 = 2 * static_cast<long>(coarse_d.origin_y(me)) - half_p;
       const long fz0 = 2 * static_cast<long>(coarse_d.origin_z(me)) - half_p;
-      halo.reset(fx0, fy0, fz0, 2 * coarse_d.local().nx + p,
-                 2 * coarse_d.local().ny + p, 2 * coarse_d.local().nz + p);
-      import_halo(q[static_cast<std::size_t>(l - 1)], fine_d, me, halo,
+      t.halo.reset(fx0, fy0, fz0, 2 * coarse_d.local().nx + p,
+                   2 * coarse_d.local().ny + p, 2 * coarse_d.local().nz + p);
+      import_halo(q[static_cast<std::size_t>(l - 1)], fine_d, me, t.halo,
                   "restriction halo", log, ctx);
-      Grid3d& out = coarse.block(n);
-      for (std::size_t mz = 0; mz < coarse_d.local().nz; ++mz) {
-        for (std::size_t my = 0; my < coarse_d.local().ny; ++my) {
-          for (std::size_t mx = 0; mx < coarse_d.local().nx; ++mx) {
-            const long gx = 2 * static_cast<long>(coarse_d.origin_x(me) + mx);
-            const long gy = 2 * static_cast<long>(coarse_d.origin_y(me) + my);
-            const long gz = 2 * static_cast<long>(coarse_d.origin_z(me) + mz);
-            double acc = 0.0;
-            for (int kz = -half_p; kz <= half_p; ++kz) {
-              const double jz = j_coeff[static_cast<std::size_t>(kz + half_p)];
-              for (int ky = -half_p; ky <= half_p; ++ky) {
-                const double jyz =
-                    jz * j_coeff[static_cast<std::size_t>(ky + half_p)];
-                for (int kx = -half_p; kx <= half_p; ++kx) {
-                  acc += jyz * j_coeff[static_cast<std::size_t>(kx + half_p)] *
-                         halo.at(gx + kx, gy + ky, gz + kz);
-                }
-              }
-            }
-            out.at(mx, my, mz) = acc;
-          }
-        }
-      }
+      t.ox = static_cast<long>(coarse_d.origin_x(me));
+      t.oy = static_cast<long>(coarse_d.origin_y(me));
+      t.oz = static_cast<long>(coarse_d.origin_z(me));
+      t.out_dims = coarse_d.local();
+      tasks.push_back(std::move(t));
+    }
+    std::vector<Grid3d> blocks = exec.run_grid(std::move(tasks));
+    for (std::size_t n = 0; n < topo_.node_count(); ++n) {
+      coarse.block(n) = std::move(blocks[n]);
     }
     q[static_cast<std::size_t>(l)] = std::move(coarse);
   }
@@ -339,9 +310,13 @@ DistributedGrid ParallelTme::solve_potential(const DistributedGrid& finest_charg
     DistributedGrid fine_phi(fine_d);
     {
     TME_PHASE("prolongation");
+    std::vector<GridBlockTask> tasks;
+    tasks.reserve(topo_.node_count());
     for (std::size_t n = 0; n < topo_.node_count(); ++n) {
       const NodeCoord me = topo_.coord(n);
-      ExtendedBlock halo;
+      GridBlockTask t;
+      t.kind = GridBlockTask::Kind::kProlong;
+      t.node = n;
       const long cx0 = (static_cast<long>(fine_d.origin_x(me)) - half_p - 1) / 2;
       const long cy0 = (static_cast<long>(fine_d.origin_y(me)) - half_p - 1) / 2;
       const long cz0 = (static_cast<long>(fine_d.origin_z(me)) - half_p - 1) / 2;
@@ -351,38 +326,17 @@ DistributedGrid ParallelTme::solve_potential(const DistributedGrid& finest_charg
           (fine_d.local().ny + static_cast<std::size_t>(p)) / 2 + 2;
       const std::size_t ext_z =
           (fine_d.local().nz + static_cast<std::size_t>(p)) / 2 + 2;
-      halo.reset(cx0, cy0, cz0, ext_x, ext_y, ext_z);
-      import_halo(phi, coarse_d, me, halo, "prolongation halo", log, ctx);
-
-      Grid3d& out = fine_phi.block(n);
-      for (std::size_t fz = 0; fz < fine_d.local().nz; ++fz) {
-        for (std::size_t fy = 0; fy < fine_d.local().ny; ++fy) {
-          for (std::size_t fx = 0; fx < fine_d.local().nx; ++fx) {
-            const long gx = static_cast<long>(fine_d.origin_x(me) + fx);
-            const long gy = static_cast<long>(fine_d.origin_y(me) + fy);
-            const long gz = static_cast<long>(fine_d.origin_z(me) + fz);
-            double acc = 0.0;
-            for (int kz = -half_p; kz <= half_p; ++kz) {
-              if (((gz - kz) & 1L) != 0) continue;
-              const long mz = (gz - kz) / 2;
-              const double jz = j_coeff[static_cast<std::size_t>(kz + half_p)];
-              for (int ky = -half_p; ky <= half_p; ++ky) {
-                if (((gy - ky) & 1L) != 0) continue;
-                const long my = (gy - ky) / 2;
-                const double jyz =
-                    jz * j_coeff[static_cast<std::size_t>(ky + half_p)];
-                for (int kx = -half_p; kx <= half_p; ++kx) {
-                  if (((gx - kx) & 1L) != 0) continue;
-                  const long mx = (gx - kx) / 2;
-                  acc += jyz * j_coeff[static_cast<std::size_t>(kx + half_p)] *
-                         halo.at(mx, my, mz);
-                }
-              }
-            }
-            out.at(fx, fy, fz) = acc;
-          }
-        }
-      }
+      t.halo.reset(cx0, cy0, cz0, ext_x, ext_y, ext_z);
+      import_halo(phi, coarse_d, me, t.halo, "prolongation halo", log, ctx);
+      t.ox = static_cast<long>(fine_d.origin_x(me));
+      t.oy = static_cast<long>(fine_d.origin_y(me));
+      t.oz = static_cast<long>(fine_d.origin_z(me));
+      t.out_dims = fine_d.local();
+      tasks.push_back(std::move(t));
+    }
+    std::vector<Grid3d> blocks = exec.run_grid(std::move(tasks));
+    for (std::size_t n = 0; n < topo_.node_count(); ++n) {
+      fine_phi.block(n) = std::move(blocks[n]);
     }
     }  // prolongation phase
 
@@ -400,20 +354,21 @@ DistributedGrid ParallelTme::solve_potential(const DistributedGrid& finest_charg
     for (int axis = 0; axis < 3; ++axis) {
       // Halo extent along the convolved axis, clamped to the level period.
       const std::size_t n_axis = axis == 0 ? level_nx : (axis == 1 ? level_ny : level_nz);
-      const std::size_t l_axis = axis == 0 ? local.nx : (axis == 1 ? local.ny : local.nz);
       const long reach = std::min<long>(gc, static_cast<long>(n_axis));
       const std::size_t inputs = axis == 0 ? 1 : m_terms;
 
-      std::vector<DistributedGrid> next(m_terms, DistributedGrid(fine_d));
+      // One task per (node, output term), in node-major order.  On the x
+      // pass all M outputs convolve the same single input halo (imported —
+      // and logged — once per node); on y/z each term has its own.
+      std::vector<GridBlockTask> tasks(topo_.node_count() * m_terms);
       for (std::size_t n = 0; n < topo_.node_count(); ++n) {
         const NodeCoord me = topo_.coord(n);
         const long ox = static_cast<long>(fine_d.origin_x(me));
         const long oy = static_cast<long>(fine_d.origin_y(me));
         const long oz = static_cast<long>(fine_d.origin_z(me));
-        for (std::size_t term = 0; term < m_terms; ++term) {
+        for (std::size_t term = 0; term < inputs; ++term) {
           const DistributedGrid& src =
               axis == 0 ? q[static_cast<std::size_t>(l - 1)] : work[term];
-          if (axis == 0 && term >= inputs) break;  // single input on x
 
           ExtendedBlock halo;
           switch (axis) {
@@ -437,36 +392,27 @@ DistributedGrid ParallelTme::solve_potential(const DistributedGrid& finest_charg
           const std::size_t out_terms_begin = axis == 0 ? 0 : term;
           const std::size_t out_terms_end = axis == 0 ? m_terms : term + 1;
           for (std::size_t out_t = out_terms_begin; out_t < out_terms_end; ++out_t) {
-            const Kernel1d& k = axis == 0   ? kernels[out_t].kx
-                                : axis == 1 ? kernels[out_t].ky
-                                             : kernels[out_t].kz;
-            Grid3d& out = next[out_t].block(n);
-            for (std::size_t lz = 0; lz < local.nz; ++lz) {
-              for (std::size_t ly = 0; ly < local.ny; ++ly) {
-                for (std::size_t lx = 0; lx < local.nx; ++lx) {
-                  const long gx = ox + static_cast<long>(lx);
-                  const long gy = oy + static_cast<long>(ly);
-                  const long gz = oz + static_cast<long>(lz);
-                  double acc = 0.0;
-                  for (int m = -k.cutoff; m <= k.cutoff; ++m) {
-                    // Fold taps beyond the clamped halo into the period.
-                    long sx = gx, sy = gy, sz = gz;
-                    long off = -m;
-                    if (off > reach) off -= static_cast<long>(n_axis);
-                    if (off < -reach) off += static_cast<long>(n_axis);
-                    switch (axis) {
-                      case 0: sx += off; break;
-                      case 1: sy += off; break;
-                      default: sz += off; break;
-                    }
-                    acc += k.tap(m) * halo.at(sx, sy, sz);
-                  }
-                  out.at(lx, ly, lz) = acc;
-                }
-              }
-            }
+            GridBlockTask& t = tasks[n * m_terms + out_t];
+            t.kind = GridBlockTask::Kind::kConvolve;
+            t.node = n;
+            t.halo = halo;
+            t.ox = ox;
+            t.oy = oy;
+            t.oz = oz;
+            t.out_dims = local;
+            t.axis = axis;
+            t.reach = reach;
+            t.n_axis = n_axis;
+            t.level = l;
+            t.term = out_t;
           }
-          (void)l_axis;
+        }
+      }
+      std::vector<Grid3d> blocks = exec.run_grid(std::move(tasks));
+      std::vector<DistributedGrid> next(m_terms, DistributedGrid(fine_d));
+      for (std::size_t n = 0; n < topo_.node_count(); ++n) {
+        for (std::size_t term = 0; term < m_terms; ++term) {
+          next[term].block(n) = std::move(blocks[n * m_terms + term]);
         }
       }
       work = std::move(next);
@@ -494,66 +440,48 @@ CoulombResult ParallelTme::compute(std::span<const Vec3> positions,
   TME_COUNTER_ADD("par_tme/compute_calls", 1);
   TME_GAUGE_SET("par_tme/atoms", positions.size());
   const FaultContext ctx{plan_.get(), faults_, links_};
+  NodeExecutor& exec = executor();
   const TmeParams& params = tme_.params();
   const GridDecomposition& fine_d = level_decomp_.front();
   const GridDims& local = fine_d.local();
   const int p = params.order;
-  const Vec3 h{box_.lengths.x / static_cast<double>(fine_d.global().nx),
-               box_.lengths.y / static_cast<double>(fine_d.global().ny),
-               box_.lengths.z / static_cast<double>(fine_d.global().nz)};
 
   const std::vector<std::size_t> owner_of =
       assign_atoms_to_nodes(box_, positions, topo_);
+  std::vector<std::vector<std::size_t>> node_atoms(topo_.node_count());
+  for (std::size_t i = 0; i < owner_of.size(); ++i) {
+    node_atoms[owner_of[i]].push_back(i);
+  }
 
   // --- CA: per-node anterpolation into sleeved buffers, sleeve export ------
   DistributedGrid q(fine_d);
   const int sleeve = p / 2 + 1;  // paper Sec. IV.A: 4 sleeves for p = 6
-  std::vector<double> wx(static_cast<std::size_t>(p)), wy(wx), wz(wx);
   {
   TME_PHASE("charge_assignment");
+  std::vector<CaBlockTask> tasks;
+  tasks.reserve(topo_.node_count());
   for (std::size_t n = 0; n < topo_.node_count(); ++n) {
     const NodeCoord me = topo_.coord(n);
-    ExtendedBlock buffer;
-    buffer.reset(static_cast<long>(fine_d.origin_x(me)) - sleeve,
-                 static_cast<long>(fine_d.origin_y(me)) - sleeve,
-                 static_cast<long>(fine_d.origin_z(me)) - sleeve,
-                 local.nx + 2 * sleeve, local.ny + 2 * sleeve,
-                 local.nz + 2 * sleeve);
-    for (std::size_t i = 0; i < positions.size(); ++i) {
-      if (owner_of[i] != n) continue;
-      const Vec3 u = hadamard_div(box_.wrap(positions[i]), h);
-      long mx0 = bspline_weights_central(p, u.x, wx, {});
-      long my0 = bspline_weights_central(p, u.y, wy, {});
-      long mz0 = bspline_weights_central(p, u.z, wz, {});
-      // Shift the base so the whole spline support lands inside this
-      // node's buffer (at most one period in either direction).
-      auto unwrap = [p](long base, long lo, long hi, long period) {
-        if (base < lo) base += period;
-        if (base + p > hi) base -= period;
-        if (base < lo || base + p > hi) {
-          throw std::logic_error("parallel CA/BI: atom support exceeds sleeve");
-        }
-        return base;
-      };
-      mx0 = unwrap(mx0, buffer.x0, buffer.x0 + static_cast<long>(buffer.nx),
-                   static_cast<long>(fine_d.global().nx));
-      my0 = unwrap(my0, buffer.y0, buffer.y0 + static_cast<long>(buffer.ny),
-                   static_cast<long>(fine_d.global().ny));
-      mz0 = unwrap(mz0, buffer.z0, buffer.z0 + static_cast<long>(buffer.nz),
-                   static_cast<long>(fine_d.global().nz));
-      const double qi = charges[i];
-      for (int kz = 0; kz < p; ++kz) {
-        const double qz = qi * wz[static_cast<std::size_t>(kz)];
-        for (int ky = 0; ky < p; ++ky) {
-          const double qyz = qz * wy[static_cast<std::size_t>(ky)];
-          for (int kx = 0; kx < p; ++kx) {
-            buffer.at(mx0 + kx, my0 + ky, mz0 + kz) +=
-                qyz * wx[static_cast<std::size_t>(kx)];
-          }
-        }
-      }
+    CaBlockTask t;
+    t.node = n;
+    t.x0 = static_cast<long>(fine_d.origin_x(me)) - sleeve;
+    t.y0 = static_cast<long>(fine_d.origin_y(me)) - sleeve;
+    t.z0 = static_cast<long>(fine_d.origin_z(me)) - sleeve;
+    t.ex = local.nx + 2 * sleeve;
+    t.ey = local.ny + 2 * sleeve;
+    t.ez = local.nz + 2 * sleeve;
+    t.positions.reserve(node_atoms[n].size());
+    t.charges.reserve(node_atoms[n].size());
+    for (const std::size_t i : node_atoms[n]) {
+      t.positions.push_back(positions[i]);
+      t.charges.push_back(charges[i]);
     }
-    export_sleeves(q, fine_d, me, buffer, "CA sleeve exchange", log, ctx);
+    tasks.push_back(std::move(t));
+  }
+  std::vector<ExtendedBlock> buffers = exec.run_ca(std::move(tasks));
+  for (std::size_t n = 0; n < topo_.node_count(); ++n) {
+    export_sleeves(q, fine_d, topo_.coord(n), buffers[n], "CA sleeve exchange",
+                   log, ctx);
   }
   }  // charge_assignment phase
 
@@ -564,62 +492,36 @@ CoulombResult ParallelTme::compute(std::span<const Vec3> positions,
   CoulombResult out;
   out.forces.assign(positions.size(), Vec3{});
   double q_phi = 0.0;
-  std::vector<double> dx(static_cast<std::size_t>(p)), dy(dx), dz(dx);
+  {
   TME_PHASE("back_interpolation");
+  std::vector<BiBlockTask> tasks;
+  tasks.reserve(topo_.node_count());
   for (std::size_t n = 0; n < topo_.node_count(); ++n) {
     const NodeCoord me = topo_.coord(n);
-    ExtendedBlock halo;
-    halo.reset(static_cast<long>(fine_d.origin_x(me)) - sleeve,
-               static_cast<long>(fine_d.origin_y(me)) - sleeve,
-               static_cast<long>(fine_d.origin_z(me)) - sleeve,
-               local.nx + 2 * sleeve, local.ny + 2 * sleeve,
-               local.nz + 2 * sleeve);
-    import_halo(phi, fine_d, me, halo, "BI grid transfer", log, ctx);
-    for (std::size_t i = 0; i < positions.size(); ++i) {
-      if (owner_of[i] != n) continue;
-      const Vec3 u = hadamard_div(box_.wrap(positions[i]), h);
-      long mx0 = bspline_weights_central(p, u.x, wx, dx);
-      long my0 = bspline_weights_central(p, u.y, wy, dy);
-      long mz0 = bspline_weights_central(p, u.z, wz, dz);
-      auto unwrap = [p](long base, long lo, long hi, long period) {
-        if (base < lo) base += period;
-        if (base + p > hi) base -= period;
-        if (base < lo || base + p > hi) {
-          throw std::logic_error("parallel CA/BI: atom support exceeds sleeve");
-        }
-        return base;
-      };
-      mx0 = unwrap(mx0, halo.x0, halo.x0 + static_cast<long>(halo.nx),
-                   static_cast<long>(fine_d.global().nx));
-      my0 = unwrap(my0, halo.y0, halo.y0 + static_cast<long>(halo.ny),
-                   static_cast<long>(fine_d.global().ny));
-      mz0 = unwrap(mz0, halo.z0, halo.z0 + static_cast<long>(halo.nz),
-                   static_cast<long>(fine_d.global().nz));
-      double phi_i = 0.0;
-      Vec3 grad{};
-      for (int kz = 0; kz < p; ++kz) {
-        for (int ky = 0; ky < p; ++ky) {
-          double line_v = 0.0, line_d = 0.0;
-          for (int kx = 0; kx < p; ++kx) {
-            const double pm = halo.at(mx0 + kx, my0 + ky, mz0 + kz);
-            line_v += pm * wx[static_cast<std::size_t>(kx)];
-            line_d += pm * dx[static_cast<std::size_t>(kx)];
-          }
-          const double vy = wy[static_cast<std::size_t>(ky)];
-          const double gy = dy[static_cast<std::size_t>(ky)];
-          const double vz = wz[static_cast<std::size_t>(kz)];
-          const double gz = dz[static_cast<std::size_t>(kz)];
-          phi_i += line_v * vy * vz;
-          grad.x += line_d * vy * vz;
-          grad.y += line_v * gy * vz;
-          grad.z += line_v * vy * gz;
-        }
-      }
-      q_phi += charges[i] * phi_i;
-      out.forces[i] = {-charges[i] * grad.x / h.x, -charges[i] * grad.y / h.y,
-                       -charges[i] * grad.z / h.z};
+    BiBlockTask t;
+    t.node = n;
+    t.halo.reset(static_cast<long>(fine_d.origin_x(me)) - sleeve,
+                 static_cast<long>(fine_d.origin_y(me)) - sleeve,
+                 static_cast<long>(fine_d.origin_z(me)) - sleeve,
+                 local.nx + 2 * sleeve, local.ny + 2 * sleeve,
+                 local.nz + 2 * sleeve);
+    import_halo(phi, fine_d, me, t.halo, "BI grid transfer", log, ctx);
+    t.positions.reserve(node_atoms[n].size());
+    t.charges.reserve(node_atoms[n].size());
+    for (const std::size_t i : node_atoms[n]) {
+      t.positions.push_back(positions[i]);
+      t.charges.push_back(charges[i]);
     }
+    tasks.push_back(std::move(t));
   }
+  std::vector<BiBlockResult> results = exec.run_bi(std::move(tasks));
+  for (std::size_t n = 0; n < topo_.node_count(); ++n) {
+    for (std::size_t j = 0; j < node_atoms[n].size(); ++j) {
+      out.forces[node_atoms[n][j]] = results[n].forces[j];
+    }
+    q_phi += results[n].q_phi;
+  }
+  }  // back_interpolation phase
   out.energy_reciprocal = 0.5 * q_phi;
   if (params.subtract_self) {
     double q2 = 0.0;

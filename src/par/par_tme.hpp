@@ -13,6 +13,11 @@
 //   prolongation  coarse-grid halo exchange, two-scale stencil
 //   BI            potential halo import, per-node interpolation
 //
+// The coordinator owns every distributed grid and the traffic log; the
+// per-node compute is batched through a NodeExecutor (par/executor.hpp), so
+// the same pipeline runs inline (SerialExecutor, the default) or across real
+// worker processes (par/fleet.hpp) with bitwise identical results.
+//
 // The result is bitwise-independent of the decomposition up to floating
 // summation order (tests assert agreement with the serial Tme to 1e-10),
 // and the TrafficLog gives *measured* per-phase word counts to check the
@@ -26,6 +31,7 @@
 #include "core/tme.hpp"
 #include "hw/link_stats.hpp"
 #include "par/decomposition.hpp"
+#include "par/executor.hpp"
 #include "par/recovery.hpp"
 #include "par/traffic.hpp"
 
@@ -58,8 +64,23 @@ class ParallelTme {
   // with power-of-two grids).
   ParallelTme(const Box& box, const TmeParams& params, const TorusTopology& nodes);
 
+  // The built-in SerialExecutor holds a pointer into this object.
+  ParallelTme(const ParallelTme&) = delete;
+  ParallelTme& operator=(const ParallelTme&) = delete;
+
   const Tme& serial() const { return tme_; }
   const TorusTopology& topology() const { return topo_; }
+
+  // The shared kernel/geometry context every executor needs — ship this to
+  // worker processes (par/worker.hpp Init message) so they can run tasks
+  // without ever constructing a Tme.
+  const PipelineContext& context() const { return ctx_; }
+
+  // Route the per-node compute through `exec` (which must outlive this
+  // object); nullptr restores the built-in inline SerialExecutor.  Any
+  // executor that returns results in task order leaves forces bitwise
+  // unchanged — that is the whole contract.
+  void set_executor(NodeExecutor* exec) { exec_ = exec; }
 
   // Degraded-machine mode: build a RecoveryPlan for the injector's structural
   // faults (throws if the fault set partitions the machine) and account all
@@ -89,10 +110,17 @@ class ParallelTme {
                                   TrafficLog* log) const;
 
  private:
+  NodeExecutor& executor() const {
+    return exec_ != nullptr ? *exec_ : *serial_exec_;
+  }
+
   Box box_;
   Tme tme_;  // owns parameters, kernels, and the top-level SPME
   TorusTopology topo_;
   std::vector<GridDecomposition> level_decomp_;  // levels 1 .. L+1
+  PipelineContext ctx_;
+  std::unique_ptr<SerialExecutor> serial_exec_;
+  NodeExecutor* exec_ = nullptr;  // non-owning override
   const FaultInjector* faults_ = nullptr;
   std::unique_ptr<RecoveryPlan> plan_;  // non-null only with structural faults
   hw::LinkTelemetry* links_ = nullptr;

@@ -1,0 +1,94 @@
+// Multi-process transport backend: real worker processes over Unix-domain
+// socketpairs.
+//
+// Workers are spawned either by fork() (the worker loop runs in the child —
+// the default for tests, no binary needed) or by fork()+exec() of the
+// standalone `tme_worker` binary with the socket on an inherited fd.  The
+// coordinator multiplexes every connection through poll(), so deadlines are
+// real wall-clock deadlines and a SIGKILLed worker surfaces as POLLHUP/EOF
+// on its socket — crash *detection*, not simulation.
+//
+// Forked children never touch the thread pool (see par/node_kernels.hpp) and
+// terminate with _exit() so they cannot run the parent's atexit handlers or
+// leak-check machinery.
+#pragma once
+
+#include <sys/types.h>
+
+#include <deque>
+
+#include "par/transport.hpp"
+#include "util/rng.hpp"
+
+namespace tme::par {
+
+// Worker side of one fd-backed connection; also used by the tme_worker
+// binary (exec mode), which finds its socket on an inherited fd.
+class FdEndpoint : public Endpoint {
+ public:
+  explicit FdEndpoint(int fd) : fd_(fd) {}
+  ~FdEndpoint() override;
+
+  RecvStatus recv(Message& out, std::chrono::milliseconds deadline) override;
+  bool send(const Message& m) override;
+  // Real abrupt death: SIGKILL to self.  The coordinator sees EOF.
+  void crash() override;
+
+ private:
+  int fd_;
+  std::vector<std::uint8_t> rxbuf_;
+  std::uint64_t tx_seq_ = 0;
+};
+
+class ProcTransport : public Transport {
+ public:
+  struct Options {
+    // Non-empty: fork+exec this binary with `--fd N`.  Empty: plain fork,
+    // running `fork_child(fd)` in the child (which must not return).
+    std::string worker_bin;
+    std::function<void(int fd)> fork_child;
+    TransportFaultPolicy fault;
+  };
+
+  ProcTransport(std::size_t workers, Options opts);
+  ~ProcTransport() override;
+
+  const char* name() const override { return "proc"; }
+  std::size_t worker_count() const override { return peers_.size(); }
+  bool alive(std::size_t worker) const override;
+  void send(std::size_t worker, const Message& m) override;
+  RecvStatus recv(std::size_t worker, Message& out,
+                  std::chrono::milliseconds deadline) override;
+  std::optional<AnyResult> recv_any(const std::vector<char>& want, Message& out,
+                                    std::chrono::milliseconds deadline) override;
+  // SIGKILL + reap: the real thing, usable as a drill trigger from tests.
+  void kill(std::size_t worker) override;
+  void respawn(std::size_t worker) override;
+
+  pid_t pid(std::size_t worker) const;
+
+ private:
+  struct Peer {
+    pid_t pid = -1;
+    int fd = -1;
+    bool alive = false;
+    bool reaped = true;
+    std::vector<std::uint8_t> rxbuf;
+    std::deque<Message> rxq;
+    std::uint64_t tx_seq = 0;
+  };
+
+  void spawn(std::size_t worker);
+  void mark_dead(std::size_t worker);
+  void reap(std::size_t worker, bool block);
+  // Drains every readable socket into the per-peer queues; optionally waits
+  // up to `timeout_ms` for readiness, watching `want_writable_fd` for
+  // writability (sets *writable).
+  void pump(int timeout_ms, int want_writable_fd = -1, bool* writable = nullptr);
+
+  std::vector<Peer> peers_;
+  Options opts_;
+  Rng fault_rng_{2021};
+};
+
+}  // namespace tme::par

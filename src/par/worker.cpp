@@ -1,0 +1,493 @@
+#include "par/worker.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <thread>
+
+#include "par/wire.hpp"
+#include "util/crc32.hpp"
+
+namespace tme::par {
+
+namespace {
+
+constexpr std::uint32_t kContextMagic = 0x58544354u;  // "TCTX"
+constexpr std::uint32_t kContextVersion = 1;
+constexpr std::uint32_t kContextFileMagic = 0x46435458u;  // "XTCF"
+
+// Guards applied to counts decoded from the wire before any allocation.
+constexpr std::uint64_t kMaxGridElems = 1ull << 28;  // 256M doubles = 2 GiB
+constexpr std::uint64_t kMaxAtoms = 1ull << 26;
+constexpr std::uint64_t kMaxTaps = 1ull << 16;
+constexpr std::uint64_t kMaxTerms = 1024;
+constexpr std::uint64_t kMaxLevels = 64;
+
+void put_dims(wire::Writer& w, const GridDims& d) {
+  w.u64(d.nx);
+  w.u64(d.ny);
+  w.u64(d.nz);
+}
+
+GridDims get_dims(wire::Reader& r) {
+  GridDims d;
+  d.nx = r.count(kMaxGridElems);
+  d.ny = r.count(kMaxGridElems);
+  d.nz = r.count(kMaxGridElems);
+  if (d.nx != 0 && d.ny != 0 && d.total() / (d.nx * d.ny) != d.nz) {
+    throw wire::Error("wire: grid dims overflow");
+  }
+  if (d.total() > kMaxGridElems) throw wire::Error("wire: grid too large");
+  return d;
+}
+
+void put_block(wire::Writer& w, const ExtendedBlock& b) {
+  w.i64(b.x0);
+  w.i64(b.y0);
+  w.i64(b.z0);
+  w.u64(b.nx);
+  w.u64(b.ny);
+  w.u64(b.nz);
+  w.doubles(b.data);
+}
+
+ExtendedBlock get_block(wire::Reader& r) {
+  ExtendedBlock b;
+  b.x0 = static_cast<long>(r.i64());
+  b.y0 = static_cast<long>(r.i64());
+  b.z0 = static_cast<long>(r.i64());
+  b.nx = r.count(kMaxGridElems);
+  b.ny = r.count(kMaxGridElems);
+  b.nz = r.count(kMaxGridElems);
+  b.data = r.doubles();
+  if (b.data.size() != b.nx * b.ny * b.nz) {
+    throw wire::Error("wire: extended block size mismatch");
+  }
+  return b;
+}
+
+void put_kernel(wire::Writer& w, const Kernel1d& k) {
+  w.i64(k.cutoff);
+  w.doubles(k.taps);
+}
+
+Kernel1d get_kernel(wire::Reader& r) {
+  Kernel1d k;
+  k.cutoff = static_cast<int>(r.i64());
+  k.taps = r.doubles();
+  if (k.taps.size() > kMaxTaps) throw wire::Error("wire: kernel too wide");
+  return k;
+}
+
+}  // namespace
+
+// --- Context codec -----------------------------------------------------------
+
+std::vector<std::uint8_t> encode_context(const WorkerContext& ctx) {
+  wire::Writer w;
+  w.u32(kContextMagic);
+  w.u32(kContextVersion);
+  const PipelineContext& p = ctx.pipeline;
+  w.f64(p.box.lengths.x);
+  w.f64(p.box.lengths.y);
+  w.f64(p.box.lengths.z);
+  w.f64(p.h.x);
+  w.f64(p.h.y);
+  w.f64(p.h.z);
+  w.i64(p.p);
+  put_dims(w, p.fine_global);
+  w.doubles(p.j_coeff);
+  w.u64(p.kernels.size());
+  for (const auto& level : p.kernels) {
+    w.u64(level.size());
+    for (const SeparableTerm& t : level) {
+      put_kernel(w, t.kx);
+      put_kernel(w, t.ky);
+      put_kernel(w, t.kz);
+    }
+  }
+  w.u32(ctx.rank);
+  w.u32(ctx.workers);
+  w.i64(ctx.fault.crash_after_tasks);
+  w.i64(ctx.fault.hang_after_tasks);
+  w.i64(ctx.fault.delay_ms);
+  return w.take();
+}
+
+WorkerContext decode_context(const std::vector<std::uint8_t>& bytes) {
+  wire::Reader r(bytes);
+  if (r.u32() != kContextMagic) {
+    throw TransportError("worker context: bad magic");
+  }
+  if (const std::uint32_t v = r.u32(); v != kContextVersion) {
+    throw TransportError("worker context: unsupported version " +
+                         std::to_string(v));
+  }
+  WorkerContext ctx;
+  PipelineContext& p = ctx.pipeline;
+  p.box.lengths.x = r.f64();
+  p.box.lengths.y = r.f64();
+  p.box.lengths.z = r.f64();
+  p.h.x = r.f64();
+  p.h.y = r.f64();
+  p.h.z = r.f64();
+  p.p = static_cast<int>(r.i64());
+  p.fine_global = get_dims(r);
+  p.j_coeff = r.doubles();
+  const std::size_t n_levels = r.count(kMaxLevels);
+  p.kernels.resize(n_levels);
+  for (auto& level : p.kernels) {
+    level.resize(r.count(kMaxTerms));
+    for (SeparableTerm& t : level) {
+      t.kx = get_kernel(r);
+      t.ky = get_kernel(r);
+      t.kz = get_kernel(r);
+    }
+  }
+  ctx.rank = r.u32();
+  ctx.workers = r.u32();
+  ctx.fault.crash_after_tasks = static_cast<long>(r.i64());
+  ctx.fault.hang_after_tasks = static_cast<long>(r.i64());
+  ctx.fault.delay_ms = static_cast<long>(r.i64());
+  if (!r.done()) throw TransportError("worker context: trailing bytes");
+  return ctx;
+}
+
+// --- Context file ------------------------------------------------------------
+
+void write_context_file(const std::string& path,
+                        const std::vector<std::uint8_t>& context_bytes) {
+  wire::Writer w;
+  w.u32(kContextFileMagic);
+  w.u64(context_bytes.size());
+  w.raw(context_bytes.data(), context_bytes.size());
+  const std::vector<std::uint8_t>& body = w.bytes();
+  const std::uint32_t crc = crc32(body.data(), body.size());
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw TransportError("context file: cannot open " + tmp);
+    out.write(reinterpret_cast<const char*>(body.data()),
+              static_cast<std::streamsize>(body.size()));
+    out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    if (!out) throw TransportError("context file: write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw TransportError("context file: rename failed: " + path);
+  }
+}
+
+std::vector<std::uint8_t> read_context_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw TransportError("context file: cannot open " + path);
+  const std::streamsize size = in.tellg();
+  if (size < static_cast<std::streamsize>(4 + 8 + 4)) {
+    throw TransportError("context file: truncated: " + path);
+  }
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!in) throw TransportError("context file: short read: " + path);
+  std::uint32_t stored_crc;
+  std::memcpy(&stored_crc, bytes.data() + bytes.size() - 4, 4);
+  if (crc32(bytes.data(), bytes.size() - 4) != stored_crc) {
+    throw TransportError("context file: CRC mismatch: " + path);
+  }
+  wire::Reader r(bytes.data(), bytes.size() - 4);
+  if (r.u32() != kContextFileMagic) {
+    throw TransportError("context file: bad magic: " + path);
+  }
+  const std::uint64_t len = r.u64();
+  if (len != r.remaining()) {
+    throw TransportError("context file: length mismatch: " + path);
+  }
+  std::vector<std::uint8_t> payload(static_cast<std::size_t>(len));
+  r.raw(payload.data(), payload.size());
+  return payload;
+}
+
+// --- Task codecs -------------------------------------------------------------
+
+namespace {
+
+void put_task_header(wire::Writer& w, std::uint64_t task_id, TaskClass cls) {
+  w.u64(task_id);
+  w.u16(static_cast<std::uint16_t>(cls));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_grid_task(std::uint64_t task_id,
+                                           const GridBlockTask& t) {
+  wire::Writer w;
+  put_task_header(w, task_id, TaskClass::kGrid);
+  w.u16(static_cast<std::uint16_t>(t.kind));
+  w.u64(t.node);
+  put_block(w, t.halo);
+  w.i64(t.ox);
+  w.i64(t.oy);
+  w.i64(t.oz);
+  put_dims(w, t.out_dims);
+  w.i64(t.axis);
+  w.i64(t.reach);
+  w.u64(t.n_axis);
+  w.i64(t.level);
+  w.u64(t.term);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_ca_task(std::uint64_t task_id,
+                                         const CaBlockTask& t) {
+  wire::Writer w;
+  put_task_header(w, task_id, TaskClass::kCa);
+  w.u64(t.node);
+  w.vec3s(t.positions);
+  w.doubles(t.charges);
+  w.i64(t.x0);
+  w.i64(t.y0);
+  w.i64(t.z0);
+  w.u64(t.ex);
+  w.u64(t.ey);
+  w.u64(t.ez);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_bi_task(std::uint64_t task_id,
+                                         const BiBlockTask& t) {
+  wire::Writer w;
+  put_task_header(w, task_id, TaskClass::kBi);
+  w.u64(t.node);
+  put_block(w, t.halo);
+  w.vec3s(t.positions);
+  w.doubles(t.charges);
+  return w.take();
+}
+
+namespace {
+
+struct TaskHeader {
+  std::uint64_t task_id = 0;
+  TaskClass task_class = TaskClass::kGrid;
+};
+
+TaskHeader get_task_header(wire::Reader& r) {
+  TaskHeader h;
+  h.task_id = r.u64();
+  const std::uint16_t cls = r.u16();
+  if (cls > static_cast<std::uint16_t>(TaskClass::kBi)) {
+    throw TransportError("worker: unknown task class " + std::to_string(cls));
+  }
+  h.task_class = static_cast<TaskClass>(cls);
+  return h;
+}
+
+GridBlockTask get_grid_task(wire::Reader& r) {
+  GridBlockTask t;
+  const std::uint16_t kind = r.u16();
+  if (kind > static_cast<std::uint16_t>(GridBlockTask::Kind::kConvolve)) {
+    throw TransportError("worker: unknown grid task kind");
+  }
+  t.kind = static_cast<GridBlockTask::Kind>(kind);
+  t.node = r.u64();
+  t.halo = get_block(r);
+  t.ox = static_cast<long>(r.i64());
+  t.oy = static_cast<long>(r.i64());
+  t.oz = static_cast<long>(r.i64());
+  t.out_dims = get_dims(r);
+  t.axis = static_cast<int>(r.i64());
+  t.reach = static_cast<long>(r.i64());
+  t.n_axis = static_cast<std::size_t>(r.u64());
+  t.level = static_cast<int>(r.i64());
+  t.term = static_cast<std::size_t>(r.u64());
+  return t;
+}
+
+CaBlockTask get_ca_task(wire::Reader& r) {
+  CaBlockTask t;
+  t.node = r.u64();
+  t.positions = r.vec3s();
+  t.charges = r.doubles();
+  if (t.positions.size() != t.charges.size() ||
+      t.positions.size() > kMaxAtoms) {
+    throw TransportError("worker: CA task atom arrays mismatch");
+  }
+  t.x0 = static_cast<long>(r.i64());
+  t.y0 = static_cast<long>(r.i64());
+  t.z0 = static_cast<long>(r.i64());
+  t.ex = r.count(kMaxGridElems);
+  t.ey = r.count(kMaxGridElems);
+  t.ez = r.count(kMaxGridElems);
+  return t;
+}
+
+BiBlockTask get_bi_task(wire::Reader& r) {
+  BiBlockTask t;
+  t.node = r.u64();
+  t.halo = get_block(r);
+  t.positions = r.vec3s();
+  t.charges = r.doubles();
+  if (t.positions.size() != t.charges.size() ||
+      t.positions.size() > kMaxAtoms) {
+    throw TransportError("worker: BI task atom arrays mismatch");
+  }
+  return t;
+}
+
+std::vector<std::uint8_t> encode_grid_result(std::uint64_t task_id,
+                                             const Grid3d& g) {
+  wire::Writer w;
+  put_task_header(w, task_id, TaskClass::kGrid);
+  put_dims(w, g.dims());
+  w.doubles(g.values());
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_ca_result(std::uint64_t task_id,
+                                           const ExtendedBlock& b) {
+  wire::Writer w;
+  put_task_header(w, task_id, TaskClass::kCa);
+  put_block(w, b);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_bi_result(std::uint64_t task_id,
+                                           const BiBlockResult& res) {
+  wire::Writer w;
+  put_task_header(w, task_id, TaskClass::kBi);
+  w.vec3s(res.forces);
+  w.f64(res.q_phi);
+  return w.take();
+}
+
+}  // namespace
+
+ResultHeader peek_result_header(const std::vector<std::uint8_t>& payload) {
+  wire::Reader r(payload);
+  const TaskHeader h = get_task_header(r);
+  return ResultHeader{h.task_id, h.task_class};
+}
+
+Grid3d decode_grid_result(const std::vector<std::uint8_t>& payload) {
+  wire::Reader r(payload);
+  (void)get_task_header(r);
+  const GridDims dims = get_dims(r);
+  std::vector<double> values = r.doubles();
+  if (values.size() != dims.total()) {
+    throw TransportError("worker result: grid size mismatch");
+  }
+  Grid3d g(dims);
+  g.values() = std::move(values);
+  return g;
+}
+
+ExtendedBlock decode_ca_result(const std::vector<std::uint8_t>& payload) {
+  wire::Reader r(payload);
+  (void)get_task_header(r);
+  return get_block(r);
+}
+
+BiBlockResult decode_bi_result(const std::vector<std::uint8_t>& payload) {
+  wire::Reader r(payload);
+  (void)get_task_header(r);
+  BiBlockResult res;
+  res.forces = r.vec3s();
+  res.q_phi = r.f64();
+  return res;
+}
+
+// --- Worker loop -------------------------------------------------------------
+
+void worker_loop(Endpoint& ep) {
+  WorkerContext ctx;
+  bool inited = false;
+  long tasks_done = 0;
+  bool hung = false;
+  Message msg;
+  for (;;) {
+    const RecvStatus st = ep.recv(msg, std::chrono::milliseconds(1000));
+    if (st == RecvStatus::kClosed) return;  // coordinator gone: exit quietly
+    if (st == RecvStatus::kTimeout) continue;
+    switch (msg.type) {
+      case MsgType::kInit: {
+        ctx = decode_context(msg.payload);
+        inited = true;
+        tasks_done = 0;
+        hung = false;
+        Message ack;
+        ack.type = MsgType::kInitAck;
+        wire::Writer w;
+        w.u32(crc32(msg.payload.data(), msg.payload.size()));
+        ack.payload = w.take();
+        if (!ep.send(ack)) return;
+        break;
+      }
+      case MsgType::kPing: {
+        if (hung) break;  // a hung worker misses heartbeats too
+        Message pong;
+        pong.type = MsgType::kPong;
+        pong.payload = msg.payload;
+        if (!ep.send(pong)) return;
+        break;
+      }
+      case MsgType::kTask: {
+        if (!inited) {
+          throw TransportError("worker: task received before init");
+        }
+        if (hung) break;  // drill: swallow the task, keep the socket open
+        if (ctx.fault.hang_after_tasks >= 0 &&
+            tasks_done >= ctx.fault.hang_after_tasks) {
+          hung = true;
+          break;
+        }
+        if (ctx.fault.crash_after_tasks >= 0 &&
+            tasks_done >= ctx.fault.crash_after_tasks) {
+          ep.crash();  // SIGKILL in a process worker; never returns there
+          return;
+        }
+        wire::Reader r(msg.payload);
+        const TaskHeader header = get_task_header(r);
+        Message result;
+        result.type = MsgType::kResult;
+        switch (header.task_class) {
+          case TaskClass::kGrid: {
+            const GridBlockTask t = get_grid_task(r);
+            result.payload =
+                encode_grid_result(header.task_id,
+                                   execute_grid_task(ctx.pipeline, t));
+            break;
+          }
+          case TaskClass::kCa: {
+            const CaBlockTask t = get_ca_task(r);
+            result.payload = encode_ca_result(
+                header.task_id, execute_ca_task(ctx.pipeline, t));
+            break;
+          }
+          case TaskClass::kBi: {
+            const BiBlockTask t = get_bi_task(r);
+            result.payload = encode_bi_result(
+                header.task_id, execute_bi_task(ctx.pipeline, t));
+            break;
+          }
+        }
+        if (ctx.fault.delay_ms > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(ctx.fault.delay_ms));
+        }
+        ++tasks_done;
+        if (!ep.send(result)) return;
+        break;
+      }
+      case MsgType::kShutdown: {
+        Message bye;
+        bye.type = MsgType::kBye;
+        ep.send(bye);
+        return;
+      }
+      default:
+        break;  // unexpected types are ignored (stale retransmissions)
+    }
+  }
+}
+
+}  // namespace tme::par

@@ -1,0 +1,77 @@
+// Worker protocol: what travels inside transport Messages.
+//
+// The coordinator sends one kInit carrying the full WorkerContext (pipeline
+// geometry + kernels + this worker's rank and fault-drill policy); the
+// worker replies kInitAck echoing the context's CRC-32 so a half-applied
+// init is detected before any task runs.  Tasks and results are keyed by a
+// u64 task id: retransmitted tasks are simply re-executed (every kernel is a
+// pure function) and duplicate results are deduplicated by id on the
+// coordinator, so at-least-once delivery still yields bitwise identical
+// forces.
+//
+// The same context bytes are also persisted as a CRC-sealed context file —
+// the restart checkpoint a respawned worker (or the standalone tme_worker
+// binary) can be re-initialised from.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "par/executor.hpp"
+#include "par/transport.hpp"
+
+namespace tme::par {
+
+// Deterministic misbehaviour drills, applied inside the worker loop.
+struct WorkerFaultPolicy {
+  long crash_after_tasks = -1;  // >=0: SIGKILL/teardown after N completed tasks
+  long hang_after_tasks = -1;   // >=0: stop answering after N completed tasks
+  long delay_ms = 0;            // slow worker: sleep before each result
+};
+
+struct WorkerContext {
+  PipelineContext pipeline;
+  std::uint32_t rank = 0;
+  std::uint32_t workers = 1;
+  WorkerFaultPolicy fault;
+};
+
+// Context payload codec.  decode throws wire::Error / TransportError on any
+// malformed byte stream.
+std::vector<std::uint8_t> encode_context(const WorkerContext& ctx);
+WorkerContext decode_context(const std::vector<std::uint8_t>& bytes);
+
+// CRC-sealed context file: magic + length + payload + CRC-32.  read throws
+// TransportError on truncation or seal mismatch.
+void write_context_file(const std::string& path,
+                        const std::vector<std::uint8_t>& context_bytes);
+std::vector<std::uint8_t> read_context_file(const std::string& path);
+
+// Task payloads open with `u64 task_id | u16 task_class`; results echo both.
+enum class TaskClass : std::uint16_t { kGrid = 0, kCa = 1, kBi = 2 };
+
+std::vector<std::uint8_t> encode_grid_task(std::uint64_t task_id,
+                                           const GridBlockTask& t);
+std::vector<std::uint8_t> encode_ca_task(std::uint64_t task_id,
+                                         const CaBlockTask& t);
+std::vector<std::uint8_t> encode_bi_task(std::uint64_t task_id,
+                                         const BiBlockTask& t);
+
+struct ResultHeader {
+  std::uint64_t task_id = 0;
+  TaskClass task_class = TaskClass::kGrid;
+};
+ResultHeader peek_result_header(const std::vector<std::uint8_t>& payload);
+
+Grid3d decode_grid_result(const std::vector<std::uint8_t>& payload);
+ExtendedBlock decode_ca_result(const std::vector<std::uint8_t>& payload);
+BiBlockResult decode_bi_result(const std::vector<std::uint8_t>& payload);
+
+// Runs one worker: Init -> InitAck, then Task -> Result / Ping -> Pong until
+// kShutdown (answers kBye) or the coordinator's connection closes.  All
+// compute goes through execute_*_task — the exact code path SerialExecutor
+// uses in-process.
+void worker_loop(Endpoint& ep);
+
+}  // namespace tme::par

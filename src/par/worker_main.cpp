@@ -1,0 +1,28 @@
+// Standalone TME worker (exec mode): the coordinator fork+execs this binary
+// with the Unix-socket connection on an inherited fd and drives it through
+// the Init/Task/Result protocol.  All state arrives in the Init message; a
+// respawned worker is re-initialised from the coordinator's CRC-sealed
+// context checkpoint.
+#include <cstdio>
+#include <exception>
+
+#include "par/proc_transport.hpp"
+#include "par/worker.hpp"
+#include "util/args.hpp"
+
+int main(int argc, char** argv) {
+  tme::Args args(argc, argv);
+  const int fd = args.get_int("fd", -1);
+  if (fd < 0) {
+    std::fprintf(stderr, "usage: tme_worker --fd <socket-fd>\n");
+    return 2;
+  }
+  tme::par::FdEndpoint ep(fd);
+  try {
+    tme::par::worker_loop(ep);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tme_worker: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

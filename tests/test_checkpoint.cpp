@@ -174,6 +174,138 @@ TEST_F(CheckpointTest, NonCheckpointFileIsRejected) {
   std::remove(file.c_str());
 }
 
+// --- typed checkpoint faults -------------------------------------------------
+
+CheckpointFault fault_of(const std::string& file) {
+  try {
+    (void)read_checkpoint(file);
+  } catch (const CheckpointError& e) {
+    return e.fault();
+  }
+  ADD_FAILURE() << file << " unexpectedly read back cleanly";
+  return CheckpointFault::kIoError;
+}
+
+TEST_F(CheckpointTest, EveryRejectionCarriesItsFaultKind) {
+  const ParticleSystem sys = random_state(16, 31);
+  const std::string file = path("typed.ckpt");
+
+  EXPECT_EQ(fault_of(path("typed-missing.ckpt")), CheckpointFault::kMissingFile);
+
+  auto rewrite = [&](const std::vector<unsigned char>& bytes) {
+    std::ofstream out(file, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  };
+  auto read_bytes = [&]() {
+    std::ifstream in(file, std::ios::binary);
+    return std::vector<unsigned char>(std::istreambuf_iterator<char>(in),
+                                      std::istreambuf_iterator<char>());
+  };
+
+  write_checkpoint(file, sys, 7);
+  std::vector<unsigned char> good = read_bytes();
+
+  std::vector<unsigned char> torn(good.begin(), good.begin() + 10);
+  rewrite(torn);
+  EXPECT_EQ(fault_of(file), CheckpointFault::kTruncated);
+
+  std::vector<unsigned char> flipped = good;
+  flipped[flipped.size() / 2] ^= 0x01;
+  rewrite(flipped);
+  EXPECT_EQ(fault_of(file), CheckpointFault::kCrcMismatch);
+
+  // Forgeries that re-seal the CRC: bad magic, bad version, bad length.
+  auto reseal = [](std::vector<unsigned char> bytes) {
+    const std::uint32_t crc = crc32(bytes.data(), bytes.size() - 4);
+    std::memcpy(bytes.data() + bytes.size() - 4, &crc, sizeof(crc));
+    return bytes;
+  };
+  std::vector<unsigned char> wrong_magic = good;
+  wrong_magic[0] ^= 0xFF;
+  rewrite(reseal(wrong_magic));
+  EXPECT_EQ(fault_of(file), CheckpointFault::kBadMagic);
+
+  std::vector<unsigned char> wrong_version = good;
+  wrong_version[8] = 0x7F;  // version lives right after the 8-byte magic
+  rewrite(reseal(wrong_version));
+  EXPECT_EQ(fault_of(file), CheckpointFault::kBadVersion);
+
+  std::vector<unsigned char> wrong_count = good;
+  const std::uint64_t forged_n = 15;
+  std::memcpy(wrong_count.data() + 8 + 4 + 8, &forged_n, sizeof(forged_n));
+  rewrite(reseal(wrong_count));
+  EXPECT_EQ(fault_of(file), CheckpointFault::kBadLength);
+
+  EXPECT_STREQ(to_string(CheckpointFault::kCrcMismatch), "crc-mismatch");
+  std::remove(file.c_str());
+}
+
+// --- rotating generations + partial-write resume ------------------------------
+
+TEST_F(CheckpointTest, RotationKeepsOlderGenerationsReadable) {
+  const std::string file = path("rotating.ckpt");
+  const ParticleSystem first = random_state(16, 41);
+  const ParticleSystem second = random_state(16, 42);
+
+  write_checkpoint_rotating(file, first, 10, 2);
+  write_checkpoint_rotating(file, second, 20, 2);
+
+  std::string used;
+  const Checkpoint newest = read_latest_checkpoint(file, 2, &used);
+  EXPECT_EQ(newest.step, 20u);
+  EXPECT_EQ(used, file);
+  expect_bitwise_equal(newest.system, second);
+
+  const Checkpoint older = read_checkpoint(file + ".1");
+  EXPECT_EQ(older.step, 10u);
+  expect_bitwise_equal(older.system, first);
+
+  std::remove(file.c_str());
+  std::remove((file + ".1").c_str());
+}
+
+TEST_F(CheckpointTest, PartialWriteFallsBackToThePreviousGeneration) {
+  const std::string file = path("torn.ckpt");
+  const ParticleSystem first = random_state(16, 43);
+  const ParticleSystem second = random_state(16, 44);
+
+  write_checkpoint_rotating(file, first, 10, 2);
+  write_checkpoint_rotating(file, second, 20, 2);
+
+  // Simulate a crash mid-write of the newest generation: keep only a prefix.
+  {
+    std::ifstream in(file, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    std::ofstream out(file, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+
+  std::string used;
+  const Checkpoint resumed = read_latest_checkpoint(file, 2, &used);
+  EXPECT_EQ(resumed.step, 10u);  // the previous generation carried the run
+  EXPECT_EQ(used, file + ".1");
+  expect_bitwise_equal(resumed.system, first);
+
+  // With every generation damaged, the NEWEST file's error is what surfaces.
+  {
+    std::ofstream out(file + ".1", std::ios::binary | std::ios::trunc);
+    out << "xx";
+  }
+  try {
+    (void)read_latest_checkpoint(file, 2);
+    ADD_FAILURE() << "all-damaged read unexpectedly succeeded";
+  } catch (const CheckpointError& e) {
+    // Gen 0's torn prefix still clears the minimum-size check, so it dies at
+    // the CRC — and that newest-generation fault is the one reported.
+    EXPECT_EQ(e.fault(), CheckpointFault::kCrcMismatch);
+  }
+
+  std::remove(file.c_str());
+  std::remove((file + ".1").c_str());
+}
+
 // --- bitwise resume of a real MD run ----------------------------------------
 
 struct MdSetup {

@@ -360,6 +360,88 @@ TEST(RecoveryPlan, BrokenRoutesAreCountedAsReroutes) {
   EXPECT_GT(plan.reroute_count(), 0u);
 }
 
+TEST(RecoveryPlan, MultipleSimultaneousDeathsAllRehome) {
+  const TorusTopology topo(4, 4, 4);
+  hw::FaultInjector faults;
+  // Four scattered nodes die in the same step.
+  const std::size_t dead[] = {topo.index({0, 0, 0}), topo.index({1, 2, 3}),
+                              topo.index({3, 3, 0}), topo.index({2, 1, 1})};
+  for (const std::size_t n : dead) faults.kill_node(n);
+  const RecoveryPlan plan(topo, faults);
+  EXPECT_EQ(plan.dead_count(), 4u);
+  for (const std::size_t n : dead) {
+    const std::size_t host = plan.host(n);
+    EXPECT_NE(host, n);
+    EXPECT_FALSE(faults.node_dead(host)) << "node " << n;
+  }
+  for (std::size_t n = 0; n < topo.node_count(); ++n) {
+    if (faults.node_dead(n)) continue;
+    EXPECT_EQ(plan.host(n), n);
+  }
+}
+
+TEST(RecoveryPlan, AdjacentDeathClusterRehomesOutsideTheCluster) {
+  // A whole 2x2 face of a 4x4x1 machine dies at once; every victim must land
+  // on a survivor, never on another member of the dead cluster.
+  const TorusTopology topo(4, 4, 1);
+  hw::FaultInjector faults;
+  std::vector<std::size_t> cluster;
+  for (std::size_t x = 0; x < 2; ++x) {
+    for (std::size_t y = 0; y < 2; ++y) {
+      cluster.push_back(topo.index({x, y, 0}));
+    }
+  }
+  for (const std::size_t n : cluster) faults.kill_node(n);
+  const RecoveryPlan plan(topo, faults);
+  EXPECT_EQ(plan.dead_count(), cluster.size());
+  for (const std::size_t n : cluster) {
+    EXPECT_FALSE(faults.node_dead(plan.host(n))) << "node " << n;
+  }
+}
+
+TEST(RecoveryPlan, CascadingLinkFailuresGrowReroutes) {
+  const TorusTopology topo(4, 4, 4);
+  // Cut links one at a time along the +x ring through the origin; each cut
+  // can only add broken dimension-ordered routes, never repair one.
+  std::size_t previous = 0;
+  hw::FaultInjector faults;
+  for (std::size_t x = 0; x < 3; ++x) {
+    faults.kill_link(topo.index({x, 0, 0}), topo.index({x + 1, 0, 0}));
+    const RecoveryPlan plan(topo, faults);
+    EXPECT_EQ(plan.dead_count(), 0u);  // links only: every node hosts itself
+    EXPECT_GE(plan.reroute_count(), previous);
+    previous = plan.reroute_count();
+  }
+  EXPECT_GT(previous, 0u);
+  // The straight-line route along the severed ring must be flagged.
+  const RecoveryPlan plan(topo, faults);
+  EXPECT_TRUE(plan.rerouted(topo.index({0, 0, 0}), topo.index({1, 0, 0})));
+}
+
+TEST(RecoveryPlan, LastSurvivorHostsEverything) {
+  const TorusTopology topo(2, 2, 2);
+  hw::FaultInjector faults;
+  for (std::size_t n = 1; n < topo.node_count(); ++n) faults.kill_node(n);
+  const RecoveryPlan plan(topo, faults);
+  EXPECT_EQ(plan.dead_count(), topo.node_count() - 1);
+  for (std::size_t n = 0; n < topo.node_count(); ++n) {
+    EXPECT_EQ(plan.host(n), 0u);
+  }
+  // And killing the survivor too crosses into refusal.
+  faults.kill_node(0);
+  EXPECT_THROW(RecoveryPlan(topo, faults), std::runtime_error);
+}
+
+TEST(RecoveryPlan, DeadNodesThatPartitionTheSurvivorsAreRefused) {
+  // On a 4-node ring, killing two opposite nodes splits the survivors into
+  // two islands that cannot reach each other.
+  const TorusTopology topo(4, 1, 1);
+  hw::FaultInjector faults;
+  faults.kill_node(1);
+  faults.kill_node(3);
+  EXPECT_THROW(RecoveryPlan(topo, faults), std::runtime_error);
+}
+
 TEST(RecoveryPlan, RefusesUnrecoverableMachines) {
   const TorusTopology topo(2, 2, 2);
   hw::FaultInjector all;
