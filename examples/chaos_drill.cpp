@@ -1,0 +1,125 @@
+// Seeded chaos drill for CI and for the EXPERIMENTS.md recipe.
+//
+// Three modes over the src/chaos harness:
+//
+//   survive (default)   run a schedule and demand every oracle stays green;
+//                       exit 0 only when the run survives.
+//   --replay <file>     re-run the schedule recorded in a replay file (the
+//                       output of a previous drill or of the shrinker) and
+//                       report whether the same verdict reproduces.
+//   --shrink            expect the schedule to be LETHAL: shrink it to a
+//                       minimal reproducer, write the replay file, and exit 0
+//                       only when the minimal schedule still fails with the
+//                       original signature.
+//
+// The schedule comes from --spec <file> (JSON, see chaos/schedule.hpp), from
+// the TME_CHAOS_* environment (TME_CHAOS_SURFACES=node,packet,io,... builds
+// a seeded random timeline), or defaults to a four-surface survivable mix.
+// --out <file> records the realized run as a replay file either way.
+//
+// Typical CI invocations:
+//   TME_CHAOS_SURFACES=node,packet,worker,io TME_CHAOS_SEED=7 ./chaos_drill
+//   ./chaos_drill --spec lethal.json --shrink --out repro.json
+//   ./chaos_drill --replay repro.json
+#include <cstdio>
+#include <string>
+
+#include "chaos/runner.hpp"
+#include "chaos/schedule.hpp"
+#include "chaos/shrink.hpp"
+#include "util/args.hpp"
+
+#ifndef TME_WORKER_BIN
+#define TME_WORKER_BIN ""
+#endif
+
+int main(int argc, char** argv) {
+  using namespace tme;
+  const Args args(argc, argv);
+
+  chaos::ChaosSpec spec;
+  const std::string replay_path = args.get("replay", "");
+  const std::string spec_path = args.get("spec", "");
+  if (!replay_path.empty()) {
+    spec = chaos::read_replay_spec(replay_path);
+  } else if (!spec_path.empty()) {
+    setenv("TME_CHAOS_SPEC", spec_path.c_str(), 1);
+    spec = chaos::spec_from_env();
+  } else {
+    // Default: a survivable four-surface composition.
+    chaos::ChaosSpec base = chaos::random_spec(
+        2021, 8,
+        {chaos::Surface::kNode, chaos::Surface::kPacket,
+         chaos::Surface::kWorker, chaos::Surface::kIo});
+    spec = chaos::spec_from_env(base);
+  }
+
+  chaos::RunnerOptions opts;
+  opts.workdir = args.get("workdir", ".");
+  opts.worker_bin = args.get("worker-bin", TME_WORKER_BIN);
+  opts.verbose = !args.get_flag("quiet");
+  const std::string out_path = args.get("out", "");
+
+  std::printf("chaos drill: seed %llu, %llu steps, %zu atoms, %zu %s workers, "
+              "%zu event(s)\n",
+              static_cast<unsigned long long>(spec.seed),
+              static_cast<unsigned long long>(spec.steps), spec.atoms,
+              spec.workers, spec.backend.c_str(), spec.events.size());
+
+  if (args.get_flag("shrink")) {
+    chaos::ShrinkOptions sopts;
+    sopts.verbose = opts.verbose;
+    sopts.max_runs = args.get_int("max-runs", 64);
+    const chaos::ShrinkResult shrunk =
+        chaos::shrink_schedule(spec, opts, sopts);
+    if (shrunk.signature.empty()) {
+      std::printf("verdict: FAIL (schedule survived; nothing to shrink)\n");
+      return 1;
+    }
+    std::printf("shrunk %zu -> %zu event(s), signature %s, %d run(s)\n",
+                shrunk.events_before, shrunk.events_after,
+                shrunk.signature.c_str(), shrunk.runs);
+    if (!out_path.empty()) {
+      chaos::write_replay_file(out_path, shrunk.spec, shrunk.last_run);
+      std::printf("minimal reproducer written: %s\n", out_path.c_str());
+    }
+    return 0;
+  }
+
+  chaos::ChaosRunner runner(spec, opts);
+  const chaos::ChaosRunResult result = runner.run();
+  if (!out_path.empty()) {
+    chaos::write_replay_file(out_path, spec, result);
+    std::printf("replay file written: %s\n", out_path.c_str());
+  }
+  std::printf("  %llu/%llu steps, %llu ckpt writes (%llu refused, %llu "
+              "fallbacks), %llu deaths, %llu respawns, %llu retransmissions, "
+              "%llu dropped, %llu corrupted, %llu sdc, %llu io faults\n",
+              static_cast<unsigned long long>(result.steps_completed),
+              static_cast<unsigned long long>(spec.steps),
+              static_cast<unsigned long long>(result.checkpoint_writes),
+              static_cast<unsigned long long>(result.checkpoint_write_failures),
+              static_cast<unsigned long long>(result.checkpoint_fallbacks),
+              static_cast<unsigned long long>(result.worker_deaths),
+              static_cast<unsigned long long>(result.respawns),
+              static_cast<unsigned long long>(result.retransmissions),
+              static_cast<unsigned long long>(result.frames_dropped),
+              static_cast<unsigned long long>(result.frames_corrupted),
+              static_cast<unsigned long long>(result.sdc_injected),
+              static_cast<unsigned long long>(result.io_faults_injected));
+
+  if (!replay_path.empty()) {
+    // A replay reproduces whatever verdict the file records — for a shrunk
+    // reproducer that is the deterministic failure.
+    std::printf("replay verdict: %s\n",
+                chaos::failure_signature(result).c_str());
+    return 0;
+  }
+  std::printf("verdict: %s\n",
+              result.ok
+                  ? "PASS (all oracles green)"
+                  : ("FAIL (" + chaos::failure_signature(result) + ": " +
+                     result.failure_detail + ")")
+                        .c_str());
+  return result.ok ? 0 : 1;
+}

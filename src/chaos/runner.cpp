@@ -1,0 +1,637 @@
+#include "chaos/runner.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "ewald/splitting.hpp"
+#include "hw/fault.hpp"
+#include "hw/sdc_guard.hpp"
+#include "md/checkpoint.hpp"
+#include "md/guardrail.hpp"
+#include "md/integrator.hpp"
+#include "par/fleet.hpp"
+#include "par/par_tme.hpp"
+#include "util/io_shim.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace tme::chaos {
+
+namespace {
+
+// Deterministic drift per step; small enough that the gas never leaves the
+// regime the short TME parameters were tuned for.
+constexpr double kDriftGamma = 1e-5;
+
+double wrap(double x, double length) {
+  x = std::fmod(x, length);
+  return x < 0.0 ? x + length : x;
+}
+
+void drift(ParticleSystem& system, const std::vector<Vec3>& forces) {
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    system.forces[i] = forces[i];
+    system.positions[i].x =
+        wrap(system.positions[i].x + kDriftGamma * forces[i].x,
+             system.box.lengths.x);
+    system.positions[i].y =
+        wrap(system.positions[i].y + kDriftGamma * forces[i].y,
+             system.box.lengths.y);
+    system.positions[i].z =
+        wrap(system.positions[i].z + kDriftGamma * forces[i].z,
+             system.box.lengths.z);
+  }
+}
+
+bool bitwise_equal(const CoulombResult& a, const CoulombResult& b) {
+  if (a.energy != b.energy || a.forces.size() != b.forces.size()) return false;
+  for (std::size_t i = 0; i < a.forces.size(); ++i) {
+    if (a.forces[i].x != b.forces[i].x || a.forces[i].y != b.forces[i].y ||
+        a.forces[i].z != b.forces[i].z) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool bitwise_equal(const ParticleSystem& a, const ParticleSystem& b) {
+  if (a.size() != b.size()) return false;
+  if (a.box.lengths.x != b.box.lengths.x ||
+      a.box.lengths.y != b.box.lengths.y ||
+      a.box.lengths.z != b.box.lengths.z) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.positions[i].x != b.positions[i].x ||
+        a.positions[i].y != b.positions[i].y ||
+        a.positions[i].z != b.positions[i].z ||
+        a.velocities[i].x != b.velocities[i].x ||
+        a.velocities[i].y != b.velocities[i].y ||
+        a.velocities[i].z != b.velocities[i].z ||
+        a.forces[i].x != b.forces[i].x || a.forces[i].y != b.forces[i].y ||
+        a.forces[i].z != b.forces[i].z || a.masses[i] != b.masses[i] ||
+        a.charges[i] != b.charges[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t io_faults_total(const io::IoStats& s) {
+  return s.injected_enospc + s.injected_short_writes + s.injected_eintr +
+         s.injected_fsync_failures + s.injected_rename_failures +
+         s.injected_open_failures + s.injected_alloc_failures;
+}
+
+// Disarms the process-global shim on every exit path of run().
+struct ShimDisarm {
+  ~ShimDisarm() { io::IoShim::instance().disarm(); }
+};
+
+}  // namespace
+
+std::string failure_signature(const ChaosRunResult& result) {
+  if (result.ok) return "ok";
+  return result.failed_oracle + "@" + std::to_string(result.failed_step);
+}
+
+ChaosRunner::ChaosRunner(ChaosSpec spec, RunnerOptions options)
+    : spec_(std::move(spec)), options_(std::move(options)) {}
+
+ChaosRunResult ChaosRunner::run() {
+  using clock = std::chrono::steady_clock;
+  ChaosRunResult result;
+  io::IoShim& shim = io::IoShim::instance();
+  shim.disarm();
+  shim.reset_stats();
+  ShimDisarm disarm_on_exit;
+
+  const std::string ckpt_path = options_.workdir + "/chaos.ckpt";
+  const std::string ctx_path = options_.workdir + "/chaos.ctx";
+  // Stale generations from a previous run (the shrinker re-runs dozens in
+  // the same workdir) must not leak into this run's fallback chain.
+  std::remove((ckpt_path + ".tmp").c_str());
+  std::remove(ckpt_path.c_str());
+  for (int g = 1; g < spec_.checkpoint_keep; ++g) {
+    std::remove((ckpt_path + "." + std::to_string(g)).c_str());
+  }
+  std::remove(ctx_path.c_str());
+
+  const auto note = [&](std::uint64_t step, Surface surface,
+                        const std::string& what) {
+    result.log.push_back({step, to_string(surface), what});
+    if (options_.verbose) {
+      std::printf("  [chaos] step %llu %s: %s\n",
+                  static_cast<unsigned long long>(step), to_string(surface),
+                  what.c_str());
+    }
+  };
+  const auto fail = [&](const char* oracle, std::uint64_t step,
+                        const std::string& detail) {
+    result.ok = false;
+    result.failed_oracle = oracle;
+    result.failed_step = step;
+    result.failure_detail = detail;
+    if (options_.verbose) {
+      std::printf("  [chaos] ORACLE FAILED %s@%llu: %s\n", oracle,
+                  static_cast<unsigned long long>(step), detail.c_str());
+    }
+  };
+
+  // --- the physics: a seeded neutral charge gas (worker_drill's system) -----
+  Box box;
+  box.lengths = {3.2, 3.2, 3.2};
+  const std::size_t atoms = spec_.atoms;
+  ParticleSystem sys;
+  sys.resize(atoms);
+  sys.box = box;
+  Rng rng(spec_.seed);
+  double total_q = 0.0;
+  for (std::size_t i = 0; i < atoms; ++i) {
+    sys.positions[i] = {rng.uniform(0.0, box.lengths.x),
+                        rng.uniform(0.0, box.lengths.y),
+                        rng.uniform(0.0, box.lengths.z)};
+    sys.charges[i] = rng.uniform(-1.0, 1.0);
+    sys.masses[i] = 1.0;
+    total_q += sys.charges[i];
+  }
+  for (double& q : sys.charges) q -= total_q / static_cast<double>(atoms);
+  ParticleSystem ref = sys;  // the clean twin's state
+
+  TmeParams tp;
+  tp.alpha = alpha_from_tolerance(0.8, 1e-4);
+  tp.grid = {16, 16, 16};
+  tp.levels = 1;
+  tp.grid_cutoff = 4;
+  tp.num_gaussians = 3;
+  const hw::TorusTopology topo(2, 2, 1);
+  const std::size_t node_count = topo.node_count();
+
+  // Clean twin: inline serial executor, no faults armed, ever.
+  par::ParallelTme twin(box, tp, topo);
+
+  // Chaos side: the same pipeline through a worker fleet.
+  par::ParallelTme distributed(box, tp, topo);
+  par::FleetConfig fc;
+  fc.backend = spec_.backend == "proc" ? par::FleetConfig::Backend::kProc
+                                       : par::FleetConfig::Backend::kInProc;
+  fc.workers = spec_.workers;
+  fc.timeout_ms = spec_.timeout_ms;
+  fc.term_grace_ms = 1000;
+  fc.worker_bin = options_.worker_bin;
+  fc.context_path = ctx_path;
+  auto fleet = std::make_unique<par::WorkerFleet>(distributed.context(),
+                                                  distributed.topology(), fc);
+  distributed.set_executor(fleet.get());
+
+  // ABFT baseline: the guarded hardware-functional pipeline with every check
+  // disabled and no injector — SDC-burst steps must match it bitwise after
+  // recovery (the fleet's library-path forces are a *different* datapath, so
+  // they are not the comparison point).
+  hw::GuardedTmeConfig clean_cfg;
+  clean_cfg.checks_enabled = false;
+  const hw::GuardedTmePipeline clean_guarded(box, tp, clean_cfg, nullptr);
+
+  // Degraded-machine state: rebuilt whenever a node/link event lands (the
+  // injector's config is fixed at construction).
+  std::set<std::size_t> dead_nodes;
+  double link_rate = 0.0;
+  std::unique_ptr<hw::FaultInjector> machine;
+  const auto rebuild_machine = [&]() -> bool {
+    hw::FaultConfig mc;
+    mc.seed = spec_.seed ^ 0x5eedull;
+    mc.link_error_rate = link_rate;
+    auto next = std::make_unique<hw::FaultInjector>(mc);
+    for (const std::size_t n : dead_nodes) next->kill_node(n);
+    try {
+      distributed.set_fault_injector(next.get());
+    } catch (const std::exception& e) {
+      fail("machine-partition", result.steps_completed, e.what());
+      return false;
+    }
+    machine = std::move(next);
+    return true;
+  };
+
+  GuardrailConfig gc;
+  gc.policy = GuardrailPolicy::kWarn;
+  gc.energy_drift_tol = 1e12;  // NaN / blow-up detection only: positions
+                               // drift, so the energy legitimately walks
+  Guardrail guardrail(gc);
+
+  std::vector<Checkpoint> snapshots;  // every write that reported success
+  std::uint64_t alloc_refusals_armed = 0;
+  bool packet_window_open = false;
+
+  const auto stats_total = [&]() { return io_faults_total(shim.stats()); };
+
+  for (std::uint64_t s = 0; s < spec_.steps; ++s) {
+    // ---- schedule: one-shot events firing before this step ----------------
+    bool sabotage = false;
+    long sabotage_at = 0;
+    double sdc_rate = 0.0;
+    for (const ChaosEvent& e : spec_.events) {
+      if (e.step != s || e.until_step > e.step) continue;
+      switch (e.surface) {
+        case Surface::kNode: {
+          const std::size_t node =
+              static_cast<std::size_t>(e.a < 0 ? 0 : e.a) % node_count;
+          dead_nodes.insert(node);
+          note(s, e.surface, "kill node " + std::to_string(node));
+          if (!rebuild_machine()) return result;
+          break;
+        }
+        case Surface::kLink: {
+          link_rate = e.rate;
+          note(s, e.surface,
+               "link error rate -> " + std::to_string(link_rate));
+          if (!rebuild_machine()) return result;
+          break;
+        }
+        case Surface::kSdc:
+          sdc_rate = e.rate;
+          break;
+        case Surface::kWorker: {
+          const std::size_t rank =
+              static_cast<std::size_t>(e.a < 0 ? 0 : e.a) % spec_.workers;
+          if (e.detail == "term") {
+            fleet->term_worker(rank, e.b > 0 ? e.b : 500);
+            note(s, e.surface,
+                 "SIGTERM worker " + std::to_string(rank) +
+                     (fleet->worker_exited_cleanly(rank) ? " (exited 0)"
+                                                         : " (escalated)"));
+          } else {
+            fleet->kill_worker(rank);
+            note(s, e.surface, "SIGKILL worker " + std::to_string(rank));
+          }
+          break;
+        }
+        case Surface::kBitrot: {
+          std::fstream f(ckpt_path,
+                         std::ios::in | std::ios::out | std::ios::binary);
+          if (!f) {
+            note(s, e.surface, "no checkpoint on disk yet, skipped");
+            break;
+          }
+          f.seekg(0, std::ios::end);
+          const auto size = static_cast<long>(f.tellg());
+          if (size <= 0) break;
+          const long at = (e.a < 0 ? 0 : e.a) % size;
+          f.seekg(at);
+          char byte = 0;
+          f.read(&byte, 1);
+          byte = static_cast<char>(byte ^ 0x40);
+          f.seekp(at);
+          f.write(&byte, 1);
+          note(s, e.surface,
+               "flipped bit 6 of byte " + std::to_string(at) + " in " +
+                   ckpt_path);
+          break;
+        }
+        case Surface::kIo:
+          break;  // handled as a window below
+        case Surface::kAlloc:
+          alloc_refusals_armed += static_cast<std::uint64_t>(e.a < 1 ? 1 : e.a);
+          note(s, e.surface,
+               "armed " + std::to_string(e.a < 1 ? 1 : e.a) +
+                   " allocation refusals");
+          break;
+        case Surface::kSigterm: {
+          // Graceful drain: checkpoint the current state, quiesce the fleet
+          // (which re-seals the worker context), tear it down, then restart
+          // and prove the resume is bitwise-identical.
+          bool drained = true;
+          try {
+            write_checkpoint_rotating(ckpt_path, sys, s, spec_.checkpoint_keep);
+            result.checkpoint_writes++;
+            snapshots.push_back({s, sys});
+          } catch (const CheckpointError& ce) {
+            result.checkpoint_write_failures++;
+            drained = false;
+            note(s, e.surface,
+                 std::string("drain checkpoint refused (") +
+                     to_string(ce.fault()) + "), resume check skipped");
+          }
+          const bool acked = fleet->quiesce();
+          result.quiesces++;
+          note(s, e.surface,
+               acked ? "fleet quiesced, all workers acked"
+                     : "fleet quiesced with unacked workers");
+          fleet.reset();
+          fleet = std::make_unique<par::WorkerFleet>(
+              distributed.context(), distributed.topology(), fc);
+          distributed.set_executor(fleet.get());
+          packet_window_open = false;  // fresh transport, default policy
+          if (drained) {
+            try {
+              const Checkpoint resumed =
+                  read_latest_checkpoint(ckpt_path, spec_.checkpoint_keep);
+              if (resumed.step != s || !bitwise_equal(resumed.system, sys)) {
+                fail("sigterm-resume", s,
+                     "drain checkpoint did not restore bitwise-identically");
+                return result;
+              }
+              sys = resumed.system;  // resume *from* the checkpoint, literally
+              note(s, e.surface, "resumed bitwise-identically from drain");
+            } catch (const CheckpointError& ce) {
+              fail("sigterm-resume", s,
+                   std::string("drain checkpoint unreadable: ") + ce.what());
+              return result;
+            }
+          }
+          break;
+        }
+        case Surface::kSabotage:
+          sabotage = true;
+          sabotage_at = e.a < 0 ? 0 : e.a;
+          break;
+        case Surface::kPacket:
+          break;  // windows handled below
+      }
+    }
+
+    // ---- windows: transport packet faults and the IO shim -----------------
+    const ChaosEvent* packet = nullptr;
+    const ChaosEvent* io_event = nullptr;
+    for (const ChaosEvent& e : spec_.events) {
+      const std::uint64_t until =
+          e.until_step > e.step ? e.until_step : e.step + 1;
+      if (s < e.step || s >= until) continue;
+      if (e.surface == Surface::kPacket) packet = &e;
+      if (e.surface == Surface::kIo) io_event = &e;
+    }
+    if (packet != nullptr && !packet_window_open) {
+      par::TransportFaultPolicy policy;
+      policy.seed = spec_.seed ^ (0xAB00ull + packet->step);
+      policy.drop_rate = packet->rate;
+      policy.corrupt_rate = packet->rate2;
+      fleet->set_net_fault(policy);
+      packet_window_open = true;
+      note(s, Surface::kPacket,
+           "window open: drop " + std::to_string(policy.drop_rate) +
+               ", corrupt " + std::to_string(policy.corrupt_rate));
+    } else if (packet == nullptr && packet_window_open) {
+      fleet->set_net_fault(par::TransportFaultPolicy{});
+      packet_window_open = false;
+      note(s, Surface::kPacket, "window closed");
+    }
+
+    const std::uint64_t alloc_left =
+        alloc_refusals_armed > shim.stats().injected_alloc_failures
+            ? alloc_refusals_armed - shim.stats().injected_alloc_failures
+            : 0;
+    io::IoFaultPlan plan;
+    plan.path_substring = "chaos.ckpt";
+    if (io_event != nullptr) {
+      if (io_event->detail == "enospc") {
+        plan.enospc_after_bytes = io_event->a >= 0 ? io_event->a : 128;
+      } else if (io_event->detail == "short") {
+        plan.short_writes = true;
+      } else if (io_event->detail == "eintr") {
+        plan.eintr_every = 2;  // 1 would starve the retry loops forever
+      } else if (io_event->detail == "open") {
+        plan.fail_open = true;
+      } else {
+        plan.fail_fsync = true;
+      }
+      note(s, Surface::kIo, "shim armed: " + io_event->detail);
+    }
+    plan.fail_allocs = static_cast<long>(alloc_left);
+    if (plan.any()) {
+      shim.arm(plan);
+    } else {
+      shim.disarm();
+    }
+
+    // ---- the step: clean twin, then the chaos side under the deadline -----
+    par::TrafficLog twin_log;
+    const CoulombResult want = twin.compute(ref.positions, ref.charges,
+                                            &twin_log);
+    const auto t0 = clock::now();
+    CoulombResult got;
+    try {
+      par::TrafficLog log;
+      got = distributed.compute(sys.positions, sys.charges, &log);
+    } catch (const std::exception& e) {
+      fail("recovery", s, e.what());
+      return result;
+    }
+    const auto elapsed_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(clock::now() - t0)
+            .count();
+    if (elapsed_ms > spec_.step_deadline_ms) {
+      fail("recovery-deadline", s,
+           "step took " + std::to_string(elapsed_ms) + " ms (deadline " +
+               std::to_string(spec_.step_deadline_ms) + " ms)");
+      return result;
+    }
+
+    if (sabotage) {
+      const std::size_t i = static_cast<std::size_t>(sabotage_at) % atoms;
+      got.forces[i].x += 1.0;
+      note(s, Surface::kSabotage,
+           "corrupted force[" + std::to_string(i) + "].x past every defense");
+    }
+
+    // Oracle: force parity with the clean twin, bitwise.
+    if (!bitwise_equal(got, want)) {
+      fail("force-parity", s,
+           "fleet forces diverged from the clean twin");
+      return result;
+    }
+
+    // Oracle: SDC burst through the guarded pipeline recovers bitwise.
+    if (sdc_rate > 0.0) {
+      hw::FaultConfig sc;
+      sc.seed = spec_.seed ^ (0x5dc0ull + s);
+      sc.sdc_rate = sdc_rate;
+      hw::FaultInjector sdc_inj(sc);
+      hw::GuardedTmeConfig gcfg;  // checks enabled
+      const hw::GuardedTmePipeline guarded(box, tp, gcfg, &sdc_inj);
+      hw::GuardedTmeReport report;
+      const CoulombResult shielded =
+          guarded.compute(sys.positions, sys.charges, &report);
+      const CoulombResult baseline =
+          clean_guarded.compute(sys.positions, sys.charges, nullptr);
+      result.sdc_injected += sdc_inj.injected_sdc();
+      result.abft_violations += report.violations;
+      note(s, Surface::kSdc,
+           "burst at rate " + std::to_string(sdc_rate) + ": " +
+               std::to_string(sdc_inj.injected_sdc()) + " flips, " +
+               std::to_string(report.violations) + " caught, " +
+               std::to_string(report.stage_recomputes) + " recomputes");
+      if (!report.recovered || !bitwise_equal(shielded, baseline)) {
+        fail("abft-recovery", s,
+             report.recovered
+                 ? "guarded forces differ from the checks-off baseline"
+                 : "a stage stayed bad after its recompute budget");
+        return result;
+      }
+    }
+
+    // Oracle: guardrail cleanliness (NaN / blow-up escaping into the run).
+    sys.forces = got.forces;
+    StepReport rep;
+    rep.energies.coulomb_long = got.energy;
+    rep.kinetic = 0.0;
+    const auto violations = guardrail.check(sys, rep, s);
+    if (!violations.empty()) {
+      fail("guardrail", s, violations.front().what);
+      return result;
+    }
+
+    // Advance both runs on their own forces; divergence shows up as a
+    // force-parity failure next step.
+    drift(sys, got.forces);
+    ParticleSystem ref_next = ref;
+    drift(ref_next, want.forces);
+    ref = std::move(ref_next);
+
+    // Rotating durable checkpoint; typed IO refusals are survival, not death.
+    if (spec_.checkpoint_interval > 0 &&
+        (s + 1) % spec_.checkpoint_interval == 0) {
+      try {
+        write_checkpoint_rotating(ckpt_path, sys, s + 1, spec_.checkpoint_keep);
+        result.checkpoint_writes++;
+        snapshots.push_back({s + 1, sys});
+      } catch (const CheckpointError& ce) {
+        result.checkpoint_write_failures++;
+        note(s, Surface::kIo,
+             std::string("checkpoint write refused, typed ") +
+                 to_string(ce.fault()) + " (older generations intact)");
+      }
+    }
+    result.steps_completed = s + 1;
+  }
+
+  // ---- end of run: the checkpoint-resume oracle ---------------------------
+  shim.disarm();
+  if (alloc_refusals_armed > shim.stats().injected_alloc_failures) {
+    io::IoFaultPlan plan;  // leftover alloc refusals hit the restore below
+    plan.fail_allocs = static_cast<long>(alloc_refusals_armed -
+                                         shim.stats().injected_alloc_failures);
+    shim.arm(plan);
+  }
+  if (!snapshots.empty()) {
+    std::string used;
+    try {
+      const Checkpoint last =
+          read_latest_checkpoint(ckpt_path, spec_.checkpoint_keep, &used);
+      if (used != ckpt_path) {
+        // path.N: N newer generations were skipped as damaged/refused.
+        const std::string suffix = used.substr(ckpt_path.size() + 1);
+        result.checkpoint_fallbacks =
+            static_cast<std::uint64_t>(std::stoul(suffix));
+        note(spec_.steps, Surface::kBitrot,
+             "restore fell back " + std::to_string(result.checkpoint_fallbacks) +
+                 " generation(s) to " + used);
+      }
+      const Checkpoint* match = nullptr;
+      for (const Checkpoint& snap : snapshots) {
+        if (snap.step == last.step) match = &snap;
+      }
+      if (match == nullptr) {
+        fail("checkpoint-resume", spec_.steps,
+             "restored step " + std::to_string(last.step) +
+                 " was never successfully written");
+      } else if (!bitwise_equal(match->system, last.system)) {
+        fail("checkpoint-resume", spec_.steps,
+             "restored state differs bitwise from the in-memory snapshot");
+      }
+    } catch (const CheckpointError& ce) {
+      fail("checkpoint-resume", spec_.steps,
+           std::string("no generation restorable: ") + ce.what());
+    }
+    if (!result.ok) return result;
+  }
+  shim.disarm();
+
+  // ---- harvest ------------------------------------------------------------
+  const par::FleetStats& fs = fleet->stats();
+  const par::TransportStats& ts = fleet->transport_stats();
+  result.worker_deaths += fs.worker_deaths;
+  result.respawns += fs.respawns;
+  result.retransmissions += fs.retransmissions;
+  result.frames_dropped += ts.frames_dropped;
+  result.frames_corrupted += ts.frames_corrupted;
+  result.io_faults_injected = stats_total();
+  fleet->quiesce();
+  result.quiesces++;
+  std::remove(ctx_path.c_str());
+  return result;
+}
+
+// --- replay file -------------------------------------------------------------
+
+void write_replay_file(const std::string& path, const ChaosSpec& spec,
+                       const ChaosRunResult& result) {
+  obs::JsonValue root = obs::JsonValue::make_object();
+  auto& obj = root.as_object();
+  obj["spec"] = spec_to_json(spec);
+  obs::JsonValue res = obs::JsonValue::make_object();
+  auto& ro = res.as_object();
+  ro["ok"] = obs::JsonValue::make_number(result.ok ? 1 : 0);
+  ro["signature"] = obs::JsonValue::make_string(failure_signature(result));
+  ro["failed_oracle"] = obs::JsonValue::make_string(result.failed_oracle);
+  ro["failed_step"] =
+      obs::JsonValue::make_number(static_cast<double>(result.failed_step));
+  ro["failure_detail"] = obs::JsonValue::make_string(result.failure_detail);
+  ro["steps_completed"] =
+      obs::JsonValue::make_number(static_cast<double>(result.steps_completed));
+  obs::JsonValue log = obs::JsonValue::make_array();
+  for (const RealizedEvent& e : result.log) {
+    obs::JsonValue ev = obs::JsonValue::make_object();
+    auto& eo = ev.as_object();
+    eo["step"] = obs::JsonValue::make_number(static_cast<double>(e.step));
+    eo["surface"] = obs::JsonValue::make_string(e.surface);
+    eo["what"] = obs::JsonValue::make_string(e.what);
+    log.as_array().push_back(std::move(ev));
+  }
+  ro["events"] = std::move(log);
+  obs::JsonValue stats = obs::JsonValue::make_object();
+  auto& so = stats.as_object();
+  const auto put = [&](const char* key, std::uint64_t v) {
+    so[key] = obs::JsonValue::make_number(static_cast<double>(v));
+  };
+  put("checkpoint_writes", result.checkpoint_writes);
+  put("checkpoint_write_failures", result.checkpoint_write_failures);
+  put("checkpoint_fallbacks", result.checkpoint_fallbacks);
+  put("worker_deaths", result.worker_deaths);
+  put("respawns", result.respawns);
+  put("retransmissions", result.retransmissions);
+  put("frames_dropped", result.frames_dropped);
+  put("frames_corrupted", result.frames_corrupted);
+  put("sdc_injected", result.sdc_injected);
+  put("abft_violations", result.abft_violations);
+  put("io_faults_injected", result.io_faults_injected);
+  put("quiesces", result.quiesces);
+  ro["stats"] = std::move(stats);
+  obj["result"] = std::move(res);
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("chaos: cannot write replay file " + path);
+  }
+  out << root.dump() << "\n";
+}
+
+ChaosSpec read_replay_spec(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("chaos: cannot read replay file " + path);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  const obs::JsonValue root = obs::json_parse(text.str());
+  // Accept both a full replay file and a bare spec.
+  if (root.contains("spec")) return spec_from_json(root.at("spec"));
+  return spec_from_json(root);
+}
+
+}  // namespace tme::chaos

@@ -1,0 +1,113 @@
+#include "chaos/shrink.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace tme::chaos {
+
+namespace {
+
+ChaosSpec with_events(const ChaosSpec& base, std::vector<ChaosEvent> events) {
+  ChaosSpec spec = base;
+  spec.events = std::move(events);
+  return spec;
+}
+
+}  // namespace
+
+ShrinkResult shrink_schedule(const ChaosSpec& spec,
+                             const RunnerOptions& options,
+                             const ShrinkOptions& shrink) {
+  ShrinkResult out;
+  out.spec = spec;
+  out.events_before = spec.events.size();
+
+  const auto attempt = [&](const ChaosSpec& candidate) -> ChaosRunResult {
+    ++out.runs;
+    ChaosRunner runner(candidate, options);
+    return runner.run();
+  };
+
+  ChaosRunResult first = attempt(spec);
+  if (first.ok) {
+    out.last_run = std::move(first);
+    out.events_after = spec.events.size();
+    return out;  // nothing to shrink: signature stays empty
+  }
+  out.signature = failure_signature(first);
+  out.last_run = first;
+  if (shrink.verbose) {
+    std::printf("shrink: signature %s, %zu event(s), budget %d runs\n",
+                out.signature.c_str(), spec.events.size(), shrink.max_runs);
+  }
+
+  // Does this candidate still die the same way?  On a hit, record it as the
+  // new best reproducer.
+  const auto reproduces = [&](const ChaosSpec& candidate) -> bool {
+    if (out.runs >= shrink.max_runs) return false;
+    ChaosRunResult r = attempt(candidate);
+    const bool same = !r.ok && failure_signature(r) == out.signature;
+    if (shrink.verbose) {
+      std::printf("shrink: %zu event(s), steps %llu -> %s\n",
+                  candidate.events.size(),
+                  static_cast<unsigned long long>(candidate.steps),
+                  same ? out.signature.c_str()
+                       : (r.ok ? "ok" : failure_signature(r).c_str()));
+    }
+    if (same) out.last_run = std::move(r);
+    return same;
+  };
+
+  // --- ddmin over the event list -------------------------------------------
+  std::vector<ChaosEvent> events = spec.events;
+  std::size_t granularity = 2;
+  while (events.size() >= 2 && out.runs < shrink.max_runs) {
+    const std::size_t n = events.size();
+    const std::size_t chunks = std::min(granularity, n);
+    const std::size_t chunk = (n + chunks - 1) / chunks;
+    bool reduced = false;
+    for (std::size_t c = 0; c < chunks && out.runs < shrink.max_runs; ++c) {
+      // The complement of chunk c: everything except events [c*chunk, ...).
+      std::vector<ChaosEvent> complement;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i / chunk != c) complement.push_back(events[i]);
+      }
+      if (complement.size() == n) continue;
+      if (reproduces(with_events(spec, complement))) {
+        events = std::move(complement);
+        granularity = std::max<std::size_t>(2, granularity - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (granularity >= events.size()) break;  // 1-minimal: done
+      granularity = std::min(events.size(), granularity * 2);
+    }
+  }
+
+  // --- trim the step count to just past the last surviving event ----------
+  ChaosSpec minimal = with_events(spec, events);
+  std::uint64_t last_step = 0;
+  for (const ChaosEvent& e : events) {
+    last_step = std::max(last_step, e.step);
+    last_step = std::max(last_step,
+                         e.until_step > 0 ? e.until_step : e.step);
+  }
+  const std::uint64_t trimmed = std::min(spec.steps, last_step + 1);
+  if (trimmed < minimal.steps && out.runs < shrink.max_runs) {
+    ChaosSpec candidate = minimal;
+    candidate.steps = trimmed;
+    if (reproduces(candidate)) minimal = std::move(candidate);
+  }
+
+  out.spec = std::move(minimal);
+  out.events_after = out.spec.events.size();
+  if (shrink.verbose) {
+    std::printf("shrink: %zu -> %zu event(s) in %d run(s)\n",
+                out.events_before, out.events_after, out.runs);
+  }
+  return out;
+}
+
+}  // namespace tme::chaos

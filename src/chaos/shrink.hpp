@@ -1,0 +1,44 @@
+// Delta-debugging shrinker for lethal chaos schedules.
+//
+// When a ChaosRunner run fails an oracle, the schedule that produced it may
+// compose a dozen events — most of them noise.  shrink_schedule() reduces it
+// to a *minimal reproducer*: the classic ddmin loop over the event list
+// (drop complements of ever-finer partitions, keep any reduction that still
+// reproduces the same failure signature "oracle@step"), followed by a
+// step-count trim (a schedule whose last event fires at step k rarely needs
+// steps beyond k+1).  Every candidate is re-run from scratch through a fresh
+// ChaosRunner — determinism of the runs (one seed drives everything) is what
+// makes the search sound.  The result is what `chaos_drill --replay` ships:
+// the smallest schedule that still kills the run the same way.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "chaos/runner.hpp"
+#include "chaos/schedule.hpp"
+
+namespace tme::chaos {
+
+struct ShrinkOptions {
+  int max_runs = 64;     // re-run budget for the whole search
+  bool verbose = false;  // narrate candidate verdicts to stdout
+};
+
+struct ShrinkResult {
+  ChaosSpec spec;            // the minimal reproducer
+  ChaosRunResult last_run;   // the reproducer's (failing) run
+  std::string signature;     // the preserved "oracle@step" identity
+  int runs = 0;              // candidate executions spent
+  std::size_t events_before = 0;
+  std::size_t events_after = 0;
+};
+
+// Shrinks `spec` (which must fail when run under `options`) to a minimal
+// schedule preserving the failure signature of its first run.  If the spec
+// does not fail at all, returns it unchanged with an empty signature.
+ShrinkResult shrink_schedule(const ChaosSpec& spec,
+                             const RunnerOptions& options,
+                             const ShrinkOptions& shrink = {});
+
+}  // namespace tme::chaos

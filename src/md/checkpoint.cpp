@@ -1,6 +1,7 @@
 #include "md/checkpoint.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -10,6 +11,7 @@
 
 #include "obs/metrics.hpp"
 #include "util/crc32.hpp"
+#include "util/io_shim.hpp"
 
 namespace tme {
 
@@ -104,22 +106,76 @@ void write_checkpoint(const std::string& path, const ParticleSystem& system,
   w.value(crc);
 
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      throw CheckpointError(CheckpointFault::kIoError,
-                            "checkpoint: cannot open " + tmp + " for writing");
-    }
-    out.write(reinterpret_cast<const char*>(w.bytes().data()),
-              static_cast<std::streamsize>(w.bytes().size()));
-    if (!out) {
-      throw CheckpointError(CheckpointFault::kIoError,
-                            "checkpoint: short write to " + tmp);
+  auto& shim = io::IoShim::instance();
+  const int fd = shim.open_for_write(tmp);
+  if (fd < 0) {
+    throw CheckpointError(CheckpointFault::kIoError,
+                          "checkpoint: cannot open " + tmp + " for writing: " +
+                              std::strerror(errno));
+  }
+  // fd is owned from here on: any failure unlinks the temp file so a full
+  // disk is not further polluted and older generations stay the newest
+  // readable state.
+  auto fail = [&](CheckpointFault fault, const std::string& what) {
+    const int saved = errno;
+    shim.close_fd(fd);
+    std::remove(tmp.c_str());
+    throw CheckpointError(fault, what + ": " + std::strerror(saved));
+  };
+
+  // Write-all loop with EINTR retry.  A zero-progress write (possible under
+  // an injected short-write plan colliding with an ENOSPC budget) is treated
+  // as out-of-space rather than spinning forever.
+  const unsigned char* data = w.bytes().data();
+  std::size_t remaining = w.bytes().size();
+  int zero_progress = 0;
+  while (remaining > 0) {
+    const ssize_t n = shim.write_some(fd, data, remaining, tmp);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail(errno == ENOSPC ? CheckpointFault::kNoSpace
+                           : CheckpointFault::kIoError,
+           "checkpoint: write to " + tmp + " failed");
+    } else if (n == 0) {
+      if (++zero_progress >= 8) {
+        errno = ENOSPC;
+        fail(CheckpointFault::kNoSpace,
+             "checkpoint: write to " + tmp + " made no progress");
+      }
+    } else {
+      zero_progress = 0;
+      data += n;
+      remaining -= static_cast<std::size_t>(n);
     }
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+
+  // Durability, step 1: the temp file's bytes must be on the device before
+  // the rename publishes them, or a crash can leave `path` pointing at a
+  // hole.  A failed fsync leaves the page cache in an undefined state, so
+  // the write is abandoned rather than renamed.
+  while (shim.fsync_fd(fd, tmp) != 0) {
+    if (errno == EINTR) continue;
+    fail(CheckpointFault::kIoError, "checkpoint: fsync of " + tmp + " failed");
+  }
+  if (shim.close_fd(fd) != 0) {
+    std::remove(tmp.c_str());
     throw CheckpointError(CheckpointFault::kIoError,
-                          "checkpoint: cannot rename " + tmp + " to " + path);
+                          "checkpoint: close of " + tmp + " failed: " +
+                              std::strerror(errno));
+  }
+  if (shim.rename_file(tmp, path) != 0) {
+    const int saved = errno;
+    std::remove(tmp.c_str());
+    throw CheckpointError(CheckpointFault::kIoError,
+                          "checkpoint: cannot rename " + tmp + " to " + path +
+                              ": " + std::strerror(saved));
+  }
+  // Durability, step 2: the rename itself lives in the directory; fsync it
+  // so the new name survives a power cut too.
+  if (shim.fsync_parent_dir(path) != 0) {
+    throw CheckpointError(CheckpointFault::kIoError,
+                          "checkpoint: fsync of parent directory of " + path +
+                              " failed: " + std::strerror(errno));
   }
   TME_COUNTER_ADD("md/checkpoint/writes", 1);
 }
@@ -189,6 +245,18 @@ Checkpoint read_checkpoint(const std::string& path) {
             " does not match declared particle count (expected " +
             std::to_string(expected) + ")");
   }
+  // Bounded allocation hook: the restore buffers are the one place this
+  // layer sizes memory from external input, so ask the shim before
+  // committing.  Under allocator pressure the caller falls back to an older
+  // (typically smaller or already-resident) generation instead of dying in
+  // a bad_alloc mid-recovery.
+  if (!io::IoShim::instance().alloc_allowed(
+          static_cast<std::size_t>(declared_n * kPerParticleBytes))) {
+    throw CheckpointError(CheckpointFault::kResource,
+                          "checkpoint: restore allocation of " +
+                              std::to_string(declared_n * kPerParticleBytes) +
+                              " bytes refused");
+  }
   const auto n = static_cast<std::size_t>(declared_n);
   ckpt.system.box.lengths.x = r.value<double>();
   ckpt.system.box.lengths.y = r.value<double>();
@@ -218,6 +286,10 @@ const char* to_string(CheckpointFault fault) {
       return "bad-length";
     case CheckpointFault::kIoError:
       return "io-error";
+    case CheckpointFault::kNoSpace:
+      return "no-space";
+    case CheckpointFault::kResource:
+      return "resource";
   }
   return "unknown";
 }

@@ -40,7 +40,9 @@ enum class CheckpointFault {
   kBadMagic,      // not a TME checkpoint at all
   kBadVersion,    // format newer/older than this build understands
   kBadLength,     // declared particle count disagrees with the payload size
-  kIoError,       // write-side open/write/rename failure
+  kIoError,       // write-side open/write/fsync/rename failure
+  kNoSpace,       // ENOSPC or persistent short write: the device is full
+  kResource,      // allocation refused while sizing the restore buffers
 };
 
 const char* to_string(CheckpointFault fault);
@@ -55,9 +57,14 @@ class CheckpointError : public std::runtime_error {
   CheckpointFault fault_;
 };
 
-// Writes atomically enough for a crash-interrupted run: the file is staged
-// as <path>.tmp and renamed into place, so `path` always holds either the
-// previous checkpoint or a complete new one.
+// Writes atomically *and durably* for a crash-interrupted run: the file is
+// staged as <path>.tmp, fsynced, renamed into place, and the parent
+// directory is fsynced after the rename — so after a power cut `path`
+// holds either the previous checkpoint or a complete new one, never a torn
+// or merely-cached write.  All IO goes through tme::io::IoShim, so the
+// chaos harness can inject ENOSPC / short writes / EINTR storms / fsync
+// failures; those surface as typed CheckpointErrors (kNoSpace, kIoError)
+// with the temp file unlinked, leaving older generations untouched.
 void write_checkpoint(const std::string& path, const ParticleSystem& system,
                       std::uint64_t step);
 

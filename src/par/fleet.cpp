@@ -39,6 +39,8 @@ FleetConfig fleet_config_from_env(FleetConfig base) {
   base.timeout_ms =
       env::bounded_long_or("TME_TRANSPORT_TIMEOUT_MS", base.timeout_ms, 1,
                            600000);
+  base.term_grace_ms = env::bounded_long_or("TME_TERM_GRACE_MS",
+                                            base.term_grace_ms, 0, 60000);
   return with_fault_modes(std::move(base), hw::fault_config_from_env());
 }
 
@@ -78,6 +80,12 @@ WorkerFleet::WorkerFleet(const PipelineContext& ctx,
 }
 
 WorkerFleet::~WorkerFleet() {
+  if (!stopped_) shutdown_workers();
+}
+
+// The kShutdown/kBye handshake with every live worker.  Returns true when
+// all of them acknowledged before their 300ms grace expired.
+bool WorkerFleet::shutdown_workers() {
   Message shutdown;
   shutdown.type = MsgType::kShutdown;
   for (std::size_t w = 0; w < cfg_.workers; ++w) {
@@ -90,9 +98,11 @@ WorkerFleet::~WorkerFleet() {
   }
   // Give each live worker a moment to answer kBye so processes exit cleanly;
   // the transport destructor reaps any straggler.
+  bool all_acked = true;
   Message out;
   for (std::size_t w = 0; w < cfg_.workers; ++w) {
     if (worker_dead_[w]) continue;
+    bool acked = false;
     for (;;) {
       RecvStatus st;
       try {
@@ -100,9 +110,40 @@ WorkerFleet::~WorkerFleet() {
       } catch (...) {
         break;
       }
-      if (st != RecvStatus::kOk || out.type == MsgType::kBye) break;
+      if (st != RecvStatus::kOk) break;
+      if (out.type == MsgType::kBye) {
+        acked = true;
+        break;
+      }
+    }
+    all_acked = all_acked && acked;
+  }
+  return all_acked;
+}
+
+bool WorkerFleet::quiesce() {
+  if (stopped_) return true;
+  // Checkpoint before teardown: re-seal the context file so the next fleet
+  // (or a post-restart supervisor) re-initialises workers from exactly the
+  // state this one was driving.
+  bool ok = true;
+  if (!cfg_.context_path.empty()) {
+    try {
+      write_context_file(cfg_.context_path, base_context_);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[fleet] quiesce: context re-seal failed: %s\n",
+                   e.what());
+      ok = false;
     }
   }
+  ok = shutdown_workers() && ok;
+  stopped_ = true;
+  return ok;
+}
+
+void WorkerFleet::set_net_fault(const TransportFaultPolicy& fault) {
+  cfg_.net_fault = fault;
+  transport_->set_fault_policy(fault);
 }
 
 void WorkerFleet::spawn_transport() {
@@ -123,6 +164,8 @@ void WorkerFleet::spawn_transport() {
   ProcTransport::Options opts;
   opts.worker_bin = cfg_.worker_bin;
   opts.fault = cfg_.net_fault;
+  opts.term_grace_ms = cfg_.term_grace_ms;
+  opts.context_path = cfg_.context_path;
   if (opts.worker_bin.empty()) {
     opts.fork_child = [](int fd) {
       FdEndpoint ep(fd);
@@ -187,6 +230,21 @@ std::size_t WorkerFleet::alive_workers() const {
 }
 
 void WorkerFleet::kill_worker(std::size_t w) { transport_->kill(w); }
+
+void WorkerFleet::term_worker(std::size_t w, long grace_ms) {
+  if (auto* proc = dynamic_cast<ProcTransport*>(transport_.get())) {
+    proc->terminate(w, grace_ms);
+    return;
+  }
+  transport_->kill(w);  // inproc has no graceful path: tear the channel down
+}
+
+bool WorkerFleet::worker_exited_cleanly(std::size_t w) const {
+  if (const auto* proc = dynamic_cast<const ProcTransport*>(transport_.get())) {
+    return proc->exited_cleanly(w);
+  }
+  return false;
+}
 
 pid_t WorkerFleet::worker_pid(std::size_t w) const {
   if (const auto* proc = dynamic_cast<const ProcTransport*>(transport_.get())) {

@@ -48,6 +48,9 @@ struct FleetConfig {
   int max_retries = 3;         // retransmission rounds before a worker is declared dead
   long backoff_base_ms = 10;   // first retransmission backoff; doubles per round
   bool respawn = true;         // relaunch dead workers from the sealed context
+  // >0: kill_worker / quiesce escalation sends SIGTERM and waits this long
+  // for a voluntary drain before SIGKILL (proc backend only).
+  long term_grace_ms = 0;
   std::string worker_bin;      // proc backend: fork+exec this binary (empty = fork)
   std::string context_path;    // CRC-sealed context checkpoint (empty = in-memory)
   TransportFaultPolicy net_fault;
@@ -61,8 +64,9 @@ struct FleetConfig {
 // kill/hang/delay drill onto the targeted rank's WorkerFaultPolicy.
 FleetConfig with_fault_modes(FleetConfig base, const hw::FaultConfig& faults);
 
-// Applies TME_TRANSPORT ("inproc"/"proc"), TME_WORKERS and
-// TME_TRANSPORT_TIMEOUT_MS on top of `base` via the strict util/env parser
+// Applies TME_TRANSPORT ("inproc"/"proc"), TME_WORKERS,
+// TME_TRANSPORT_TIMEOUT_MS and TME_TERM_GRACE_MS on top of `base` via the
+// strict util/env parser
 // (malformed values warn and keep `base`'s setting), then overlays the
 // process-level TME_FAULT_* modes via with_fault_modes.
 FleetConfig fleet_config_from_env(FleetConfig base = {});
@@ -98,8 +102,25 @@ class WorkerFleet : public NodeExecutor {
   // number of workers that answered in time.
   std::size_t heartbeat(std::chrono::milliseconds timeout);
 
+  // Graceful stop: re-seals the context checkpoint (when configured), then
+  // runs the kShutdown/kBye handshake with every live worker so processes
+  // drain and exit 0 instead of being SIGKILLed by the destructor.  Returns
+  // true when every live worker acknowledged.  Idempotent; after a quiesce
+  // the destructor only tears down the transport.
+  bool quiesce();
+  bool quiesced() const { return stopped_; }
+
+  // Swaps the packet drop/corrupt policy mid-run (chaos packet windows).
+  void set_net_fault(const TransportFaultPolicy& fault);
+
   // Drill triggers / introspection.
   void kill_worker(std::size_t w);  // SIGKILL (proc) / channel teardown (inproc)
+  // SIGTERM-with-deadline, falling back to SIGKILL (proc backend; the
+  // in-proc backend has no graceful path and tears the channel down).
+  void term_worker(std::size_t w, long grace_ms);
+  // True when the worker's last process exited voluntarily with status 0 —
+  // "asked to stop" rather than "crashed".  Always false on inproc.
+  bool worker_exited_cleanly(std::size_t w) const;
   pid_t worker_pid(std::size_t w) const;  // -1 on the in-proc backend
   bool worker_alive(std::size_t w) const { return !worker_dead_[w]; }
   std::size_t alive_workers() const;
@@ -123,6 +144,7 @@ class WorkerFleet : public NodeExecutor {
   struct Pending;  // one outstanding task (defined in fleet.cpp)
 
   void spawn_transport();
+  bool shutdown_workers();
   std::vector<std::uint8_t> context_bytes_for(std::size_t rank) const;
   bool init_worker(std::size_t w);
   // Declares w dead: kills its nodes in a fresh injector, rebuilds the
@@ -146,6 +168,7 @@ class WorkerFleet : public NodeExecutor {
   hw::LinkTelemetry* links_ = nullptr;
   FleetStats stats_;
   std::uint64_t next_task_id_ = 1;
+  bool stopped_ = false;  // quiesce() ran: the destructor skips the handshake
 };
 
 }  // namespace tme::par

@@ -186,8 +186,14 @@ void ProcTransport::spawn(std::size_t worker) {
     if (!opts_.worker_bin.empty()) {
       char fd_arg[16];
       std::snprintf(fd_arg, sizeof(fd_arg), "%d", sv[1]);
-      ::execl(opts_.worker_bin.c_str(), opts_.worker_bin.c_str(), "--fd",
-              fd_arg, static_cast<char*>(nullptr));
+      if (opts_.context_path.empty()) {
+        ::execl(opts_.worker_bin.c_str(), opts_.worker_bin.c_str(), "--fd",
+                fd_arg, static_cast<char*>(nullptr));
+      } else {
+        ::execl(opts_.worker_bin.c_str(), opts_.worker_bin.c_str(), "--fd",
+                fd_arg, "--ctx", opts_.context_path.c_str(),
+                static_cast<char*>(nullptr));
+      }
       _exit(127);  // exec failed
     }
     opts_.fork_child(sv[1]);
@@ -201,6 +207,8 @@ void ProcTransport::spawn(std::size_t worker) {
   p.fd = sv[0];
   p.alive = true;
   p.reaped = false;
+  p.have_status = false;
+  p.exit_status = 0;
   p.rxbuf.clear();
   p.rxq.clear();
   p.tx_seq = 0;
@@ -211,7 +219,13 @@ void ProcTransport::reap(std::size_t worker, bool block) {
   if (p.reaped || p.pid <= 0) return;
   int status = 0;
   const pid_t r = ::waitpid(p.pid, &status, block ? 0 : WNOHANG);
-  if (r == p.pid || (r < 0 && errno == ECHILD)) p.reaped = true;
+  if (r == p.pid) {
+    p.reaped = true;
+    p.have_status = true;
+    p.exit_status = status;
+  } else if (r < 0 && errno == ECHILD) {
+    p.reaped = true;
+  }
 }
 
 void ProcTransport::mark_dead(std::size_t worker) {
@@ -359,8 +373,24 @@ std::optional<Transport::AnyResult> ProcTransport::recv_any(
 }
 
 void ProcTransport::kill(std::size_t worker) {
+  terminate(worker, opts_.term_grace_ms);
+}
+
+void ProcTransport::terminate(std::size_t worker, long grace_ms) {
   Peer& p = peers_[worker];
-  if (p.alive && p.pid > 0) ::kill(p.pid, SIGKILL);
+  if (p.alive && p.pid > 0 && grace_ms > 0) {
+    // Graceful path: ask first, and keep draining sockets while waiting so
+    // the worker's final result and kBye are not lost with the connection.
+    ::kill(p.pid, SIGTERM);
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(grace_ms);
+    while (std::chrono::steady_clock::now() < until) {
+      reap(worker, false);
+      if (p.reaped) break;
+      pump(10);
+    }
+  }
+  if (p.pid > 0 && !p.reaped) ::kill(p.pid, SIGKILL);
   // Drain any final bytes, then tear the connection down.
   if (p.fd >= 0) {
     drain_fd(p.fd, p.rxbuf);
@@ -368,6 +398,23 @@ void ProcTransport::kill(std::size_t worker) {
   }
   mark_dead(worker);
   reap(worker, true);
+}
+
+void ProcTransport::set_fault_policy(const TransportFaultPolicy& fault) {
+  opts_.fault = fault;
+  fault_rng_ = Rng(fault.seed);
+}
+
+std::optional<int> ProcTransport::exit_status(std::size_t worker) const {
+  const Peer& p = peers_[worker];
+  if (!p.have_status) return std::nullopt;
+  return p.exit_status;
+}
+
+bool ProcTransport::exited_cleanly(std::size_t worker) const {
+  const Peer& p = peers_[worker];
+  return p.have_status && WIFEXITED(p.exit_status) &&
+         WEXITSTATUS(p.exit_status) == 0;
 }
 
 void ProcTransport::respawn(std::size_t worker) {

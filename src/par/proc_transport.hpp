@@ -16,6 +16,7 @@
 #include <sys/types.h>
 
 #include <deque>
+#include <optional>
 
 #include "par/transport.hpp"
 #include "util/rng.hpp"
@@ -48,6 +49,13 @@ class ProcTransport : public Transport {
     std::string worker_bin;
     std::function<void(int fd)> fork_child;
     TransportFaultPolicy fault;
+    // >0: kill() sends SIGTERM first and gives the worker this long to
+    // drain and exit on its own before escalating to SIGKILL.  0 keeps the
+    // abrupt SIGKILL semantics the crash drills rely on.
+    long term_grace_ms = 0;
+    // Exec-mode workers get `--ctx <path>` so a SIGTERM drain can flush
+    // their sealed context; empty omits the flag.
+    std::string context_path;
   };
 
   ProcTransport(std::size_t workers, Options opts);
@@ -61,11 +69,25 @@ class ProcTransport : public Transport {
                   std::chrono::milliseconds deadline) override;
   std::optional<AnyResult> recv_any(const std::vector<char>& want, Message& out,
                                     std::chrono::milliseconds deadline) override;
-  // SIGKILL + reap: the real thing, usable as a drill trigger from tests.
+  // With term_grace_ms == 0: SIGKILL + reap, the real thing, usable as a
+  // drill trigger from tests.  With a grace period: SIGTERM, wait for a
+  // voluntary exit up to the deadline (draining sockets meanwhile, so the
+  // final result and kBye still land), then SIGKILL whatever remains.
   void kill(std::size_t worker) override;
+  // kill() with an explicit grace period, overriding Options::term_grace_ms
+  // for this one call.
+  void terminate(std::size_t worker, long grace_ms);
   void respawn(std::size_t worker) override;
+  void set_fault_policy(const TransportFaultPolicy& fault) override;
 
   pid_t pid(std::size_t worker) const;
+
+  // Raw waitpid status of the worker's most recently reaped process, when
+  // one has been collected.  `exited_cleanly` distinguishes "asked to stop"
+  // (voluntary exit 0 after a SIGTERM drain) from "crashed" (signal death
+  // or a nonzero exit).
+  std::optional<int> exit_status(std::size_t worker) const;
+  bool exited_cleanly(std::size_t worker) const;
 
  private:
   struct Peer {
@@ -73,6 +95,8 @@ class ProcTransport : public Transport {
     int fd = -1;
     bool alive = false;
     bool reaped = true;
+    bool have_status = false;
+    int exit_status = 0;
     std::vector<std::uint8_t> rxbuf;
     std::deque<Message> rxq;
     std::uint64_t tx_seq = 0;

@@ -324,6 +324,14 @@ std::optional<Transport::AnyResult> InProcTransport::recv_any(
   }
 }
 
+void InProcTransport::set_fault_policy(const TransportFaultPolicy& fault) {
+  // Coordinator-thread only, like send(): fault_ and the shared rng are
+  // never touched by worker threads.  Reseeding makes a replayed schedule
+  // mangle bit-identical frames.
+  fault_ = fault;
+  state_->fault_rng = Rng(fault.seed);
+}
+
 void InProcTransport::kill(std::size_t worker) {
   state_->to_worker[worker]->close();
   {

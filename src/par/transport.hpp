@@ -147,6 +147,14 @@ class Transport {
   // worker is blank: the caller must re-send Init).
   virtual void respawn(std::size_t worker) = 0;
 
+  // Swaps the coordinator->worker frame-mangling policy mid-run and reseeds
+  // its RNG, so the chaos harness can open and close packet-fault windows at
+  // scheduled steps and a replay mangles the same frames.  Must be called
+  // from the coordinator thread (the same thread that calls send).
+  virtual void set_fault_policy(const TransportFaultPolicy& fault) {
+    (void)fault;
+  }
+
   const TransportStats& stats() const { return stats_; }
 
  protected:
@@ -172,6 +180,7 @@ class InProcTransport : public Transport {
                                     std::chrono::milliseconds deadline) override;
   void kill(std::size_t worker) override;
   void respawn(std::size_t worker) override;
+  void set_fault_policy(const TransportFaultPolicy& fault) override;
 
   struct State;  // shared with the worker-side endpoints
 

@@ -1,5 +1,6 @@
 #include "par/worker.hpp"
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -8,6 +9,7 @@
 
 #include "par/wire.hpp"
 #include "util/crc32.hpp"
+#include "util/io_shim.hpp"
 
 namespace tme::par {
 
@@ -162,19 +164,56 @@ void write_context_file(const std::string& path,
   w.u32(kContextFileMagic);
   w.u64(context_bytes.size());
   w.raw(context_bytes.data(), context_bytes.size());
-  const std::vector<std::uint8_t>& body = w.bytes();
-  const std::uint32_t crc = crc32(body.data(), body.size());
+  // Seal body + trailing CRC into one buffer, then write it through the IO
+  // shim with the same durable discipline as md/checkpoint: write-all with
+  // EINTR retry, fsync the temp file, rename, fsync the directory.  The
+  // context file is what a respawned worker re-inits from, so a torn or
+  // cached-only write here turns a survivable crash into an unrecoverable
+  // one.
+  wire::Writer sealed;
+  sealed.raw(w.bytes().data(), w.bytes().size());
+  const std::uint32_t crc = crc32(w.bytes().data(), w.bytes().size());
+  sealed.raw(&crc, sizeof(crc));
+  const std::vector<std::uint8_t>& body = sealed.bytes();
+
+  auto& shim = io::IoShim::instance();
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) throw TransportError("context file: cannot open " + tmp);
-    out.write(reinterpret_cast<const char*>(body.data()),
-              static_cast<std::streamsize>(body.size()));
-    out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
-    if (!out) throw TransportError("context file: write failed: " + tmp);
+  const int fd = shim.open_for_write(tmp);
+  if (fd < 0) throw TransportError("context file: cannot open " + tmp);
+  auto fail = [&](const std::string& what) {
+    shim.close_fd(fd);
+    std::remove(tmp.c_str());
+    throw TransportError("context file: " + what + ": " + tmp);
+  };
+  const std::uint8_t* data = body.data();
+  std::size_t remaining = body.size();
+  while (remaining > 0) {
+    const ssize_t n = shim.write_some(fd, data, remaining, tmp);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("write failed");
+    } else if (n == 0) {
+      fail("write made no progress");
+    } else {
+      data += n;
+      remaining -= static_cast<std::size_t>(n);
+    }
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+  while (shim.fsync_fd(fd, tmp) != 0) {
+    if (errno == EINTR) continue;
+    fail("fsync failed");
+  }
+  if (shim.close_fd(fd) != 0) {
+    std::remove(tmp.c_str());
+    throw TransportError("context file: close failed: " + tmp);
+  }
+  if (shim.rename_file(tmp, path) != 0) {
+    std::remove(tmp.c_str());
     throw TransportError("context file: rename failed: " + path);
+  }
+  if (shim.fsync_parent_dir(path) != 0) {
+    throw TransportError("context file: parent directory fsync failed: " +
+                         path);
   }
 }
 
@@ -398,19 +437,47 @@ BiBlockResult decode_bi_result(const std::vector<std::uint8_t>& payload) {
 
 // --- Worker loop -------------------------------------------------------------
 
-void worker_loop(Endpoint& ep) {
+void worker_loop(Endpoint& ep) { worker_loop(ep, WorkerLoopOptions{}); }
+
+void worker_loop(Endpoint& ep, const WorkerLoopOptions& opts) {
   WorkerContext ctx;
+  std::vector<std::uint8_t> ctx_bytes;
   bool inited = false;
   long tasks_done = 0;
   bool hung = false;
+  // Drain path: a requested stop is honoured between messages — the task
+  // being executed always finishes and its result is sent, so the
+  // coordinator never loses acknowledged work to a graceful shutdown.
+  auto drain = [&]() {
+    if (inited && !opts.context_flush_path.empty()) {
+      try {
+        write_context_file(opts.context_flush_path, ctx_bytes);
+      } catch (const std::exception&) {
+        // Flushing the context is best-effort on the way out; the
+        // coordinator still owns an authoritative copy.
+      }
+    }
+    Message bye;
+    bye.type = MsgType::kBye;
+    ep.send(bye);
+  };
+  // A stoppable worker polls at 100ms so a SIGTERM drains promptly; the
+  // plain loop keeps the old 1s cadence.
+  const auto recv_wait =
+      std::chrono::milliseconds(opts.stop_requested ? 100 : 1000);
   Message msg;
   for (;;) {
-    const RecvStatus st = ep.recv(msg, std::chrono::milliseconds(1000));
+    if (opts.stop_requested && opts.stop_requested()) {
+      drain();
+      return;
+    }
+    const RecvStatus st = ep.recv(msg, recv_wait);
     if (st == RecvStatus::kClosed) return;  // coordinator gone: exit quietly
     if (st == RecvStatus::kTimeout) continue;
     switch (msg.type) {
       case MsgType::kInit: {
         ctx = decode_context(msg.payload);
+        ctx_bytes = msg.payload;
         inited = true;
         tasks_done = 0;
         hung = false;

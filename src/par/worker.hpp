@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -68,10 +69,23 @@ Grid3d decode_grid_result(const std::vector<std::uint8_t>& payload);
 ExtendedBlock decode_ca_result(const std::vector<std::uint8_t>& payload);
 BiBlockResult decode_bi_result(const std::vector<std::uint8_t>& payload);
 
+// Graceful-shutdown knobs for worker_loop.  `stop_requested` is polled
+// between messages (and consulted before picking up new work): when it
+// returns true the worker finishes the task it is executing, flushes its
+// sealed context to `context_flush_path` (if set and it has one), and
+// returns cleanly — the SIGTERM drain path, as opposed to the SIGKILL
+// crash drills.  The functor must be async-signal-safe to *set* (the
+// standalone binary backs it with a volatile sig_atomic_t).
+struct WorkerLoopOptions {
+  std::function<bool()> stop_requested;  // null: never stops voluntarily
+  std::string context_flush_path;        // empty: no drain-time flush
+};
+
 // Runs one worker: Init -> InitAck, then Task -> Result / Ping -> Pong until
-// kShutdown (answers kBye) or the coordinator's connection closes.  All
-// compute goes through execute_*_task — the exact code path SerialExecutor
-// uses in-process.
+// kShutdown (answers kBye), a drain request via opts.stop_requested, or the
+// coordinator's connection closes.  All compute goes through
+// execute_*_task — the exact code path SerialExecutor uses in-process.
 void worker_loop(Endpoint& ep);
+void worker_loop(Endpoint& ep, const WorkerLoopOptions& opts);
 
 }  // namespace tme::par

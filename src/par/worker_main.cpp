@@ -3,6 +3,13 @@
 // the Init/Task/Result protocol.  All state arrives in the Init message; a
 // respawned worker is re-initialised from the coordinator's CRC-sealed
 // context checkpoint.
+//
+// SIGTERM is the graceful-shutdown path: the handler only flips a
+// sig_atomic_t flag; worker_loop notices it between messages, finishes the
+// task in flight, flushes its sealed context to --ctx (when given), answers
+// kBye, and the process exits 0 — so a supervisor (or ProcTransport's
+// term-grace kill) can tell "asked to stop" from "crashed".
+#include <csignal>
 #include <cstdio>
 #include <exception>
 
@@ -10,16 +17,34 @@
 #include "par/worker.hpp"
 #include "util/args.hpp"
 
+namespace {
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void on_sigterm(int) { g_stop_requested = 1; }
+
+}  // namespace
+
 int main(int argc, char** argv) {
   tme::Args args(argc, argv);
   const int fd = args.get_int("fd", -1);
   if (fd < 0) {
-    std::fprintf(stderr, "usage: tme_worker --fd <socket-fd>\n");
+    std::fprintf(stderr,
+                 "usage: tme_worker --fd <socket-fd> [--ctx <context-file>]\n");
     return 2;
   }
+  struct sigaction sa {};
+  sa.sa_handler = on_sigterm;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGTERM, &sa, nullptr);
+
+  tme::par::WorkerLoopOptions opts;
+  opts.stop_requested = [] { return g_stop_requested != 0; };
+  opts.context_flush_path = args.get("ctx", "");
+
   tme::par::FdEndpoint ep(fd);
   try {
-    tme::par::worker_loop(ep);
+    tme::par::worker_loop(ep, opts);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "tme_worker: %s\n", e.what());
     return 1;

@@ -1,0 +1,184 @@
+#include "util/io_shim.hpp"
+
+#include <cerrno>
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace tme::io {
+
+IoShim& IoShim::instance() {
+  static IoShim shim;
+  return shim;
+}
+
+void IoShim::arm(IoFaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = std::move(plan);
+  armed_ = plan_.any();
+  bytes_written_ = 0;
+  op_count_ = 0;
+}
+
+void IoShim::disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_ = false;
+  plan_ = IoFaultPlan{};
+  bytes_written_ = 0;
+  op_count_ = 0;
+}
+
+bool IoShim::armed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return armed_;
+}
+
+IoFaultPlan IoShim::plan() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plan_;
+}
+
+IoStats IoShim::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void IoShim::reset_stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = IoStats{};
+}
+
+bool IoShim::matches(const std::string& path) const {
+  return plan_.path_substring.empty() ||
+         path.find(plan_.path_substring) != std::string::npos;
+}
+
+int IoShim::open_for_write(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (armed_ && plan_.fail_open && matches(path)) {
+      ++stats_.injected_open_failures;
+      errno = EACCES;
+      return -1;
+    }
+  }
+  return ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+}
+
+ssize_t IoShim::write_some(int fd, const void* buf, std::size_t len,
+                           const std::string& path) {
+  std::size_t allowed = len;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (armed_ && matches(path)) {
+      if (plan_.eintr_every > 0 && ++op_count_ % plan_.eintr_every == 0) {
+        ++stats_.injected_eintr;
+        errno = EINTR;
+        return -1;
+      }
+      if (plan_.enospc_after_bytes >= 0 &&
+          bytes_written_ >= plan_.enospc_after_bytes) {
+        ++stats_.injected_enospc;
+        errno = ENOSPC;
+        return -1;
+      }
+      if (plan_.enospc_after_bytes >= 0) {
+        const long budget = plan_.enospc_after_bytes - bytes_written_;
+        if (static_cast<long>(allowed) > budget) {
+          allowed = static_cast<std::size_t>(budget);
+        }
+      }
+      if (plan_.short_writes && allowed > 1) {
+        allowed = (allowed + 1) / 2;
+        ++stats_.injected_short_writes;
+      }
+    }
+  }
+  const ssize_t n = ::write(fd, buf, allowed);
+  if (n > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    bytes_written_ += n;
+  }
+  return n;
+}
+
+int IoShim::fsync_fd(int fd, const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (armed_ && matches(path)) {
+      if (plan_.eintr_every > 0 && ++op_count_ % plan_.eintr_every == 0) {
+        ++stats_.injected_eintr;
+        errno = EINTR;
+        return -1;
+      }
+      if (plan_.fail_fsync) {
+        ++stats_.injected_fsync_failures;
+        errno = EIO;
+        return -1;
+      }
+    }
+  }
+  return ::fsync(fd);
+}
+
+int IoShim::close_fd(int fd) { return ::close(fd); }
+
+int IoShim::rename_file(const std::string& from, const std::string& to) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (armed_ && plan_.fail_rename && (matches(from) || matches(to))) {
+      ++stats_.injected_rename_failures;
+      errno = EIO;
+      return -1;
+    }
+  }
+  return ::rename(from.c_str(), to.c_str());
+}
+
+int IoShim::fsync_parent_dir(const std::string& path) {
+  std::string dir = ".";
+  const std::size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos) {
+    dir = slash == 0 ? "/" : path.substr(0, slash);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (armed_ && plan_.fail_fsync && matches(path)) {
+      ++stats_.injected_fsync_failures;
+      errno = EIO;
+      return -1;
+    }
+  }
+  const int dfd = ::open(dir.c_str(), O_RDONLY);
+  if (dfd < 0) return 0;  // directory fsync is best-effort by platform
+  const int rc = ::fsync(dfd);
+  ::close(dfd);
+  return rc;
+}
+
+bool IoShim::alloc_allowed(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_ || plan_.fail_allocs <= 0 || bytes < plan_.alloc_min_bytes) {
+    return true;
+  }
+  --plan_.fail_allocs;
+  ++stats_.injected_alloc_failures;
+  return false;
+}
+
+ScopedIoFaults::ScopedIoFaults(IoFaultPlan plan) {
+  auto& shim = IoShim::instance();
+  was_armed_ = shim.armed();
+  previous_ = shim.plan();
+  shim.arm(std::move(plan));
+}
+
+ScopedIoFaults::~ScopedIoFaults() {
+  auto& shim = IoShim::instance();
+  if (was_armed_) {
+    shim.arm(previous_);
+  } else {
+    shim.disarm();
+  }
+}
+
+}  // namespace tme::io

@@ -1,0 +1,258 @@
+// Chaos harness tests: spec round-trips, the oracle-checked runner under a
+// composed multi-surface schedule, graceful SIGTERM drain/resume, and the
+// acceptance contract of the shrinker — a lethal schedule reduces to a
+// minimal reproducer whose replay re-triggers the same oracle failure
+// deterministically.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "chaos/runner.hpp"
+#include "chaos/schedule.hpp"
+#include "chaos/shrink.hpp"
+#include "util/io_shim.hpp"
+
+#ifndef TME_WORKER_BIN
+#define TME_WORKER_BIN ""
+#endif
+
+namespace tme::chaos {
+namespace {
+
+// --- schedule spec -----------------------------------------------------------
+
+TEST(ChaosSpec, SurfaceNamesRoundTrip) {
+  const Surface all[] = {Surface::kNode,   Surface::kLink,  Surface::kSdc,
+                         Surface::kPacket, Surface::kWorker, Surface::kBitrot,
+                         Surface::kIo,     Surface::kAlloc, Surface::kSigterm,
+                         Surface::kSabotage};
+  for (const Surface s : all) {
+    Surface back;
+    ASSERT_TRUE(surface_from_string(to_string(s), &back)) << to_string(s);
+    EXPECT_EQ(back, s);
+  }
+  Surface out;
+  EXPECT_FALSE(surface_from_string("plasma", &out));
+}
+
+TEST(ChaosSpec, JsonRoundTripPreservesEveryField) {
+  ChaosSpec spec;
+  spec.seed = 77;
+  spec.steps = 12;
+  spec.atoms = 128;
+  spec.workers = 3;
+  spec.backend = "proc";
+  spec.checkpoint_interval = 3;
+  spec.checkpoint_keep = 4;
+  spec.timeout_ms = 1234;
+  spec.step_deadline_ms = 9999;
+  ChaosEvent e;
+  e.step = 2;
+  e.surface = Surface::kPacket;
+  e.rate = 0.125;
+  e.rate2 = 0.0625;
+  e.a = 5;
+  e.b = 6;
+  e.until_step = 4;
+  e.detail = "note";
+  spec.events.push_back(e);
+
+  const ChaosSpec back = parse_spec(dump_spec(spec));
+  EXPECT_EQ(back.seed, spec.seed);
+  EXPECT_EQ(back.steps, spec.steps);
+  EXPECT_EQ(back.atoms, spec.atoms);
+  EXPECT_EQ(back.workers, spec.workers);
+  EXPECT_EQ(back.backend, spec.backend);
+  EXPECT_EQ(back.checkpoint_interval, spec.checkpoint_interval);
+  EXPECT_EQ(back.checkpoint_keep, spec.checkpoint_keep);
+  EXPECT_EQ(back.timeout_ms, spec.timeout_ms);
+  EXPECT_EQ(back.step_deadline_ms, spec.step_deadline_ms);
+  ASSERT_EQ(back.events.size(), 1u);
+  EXPECT_EQ(back.events[0].step, e.step);
+  EXPECT_EQ(back.events[0].surface, e.surface);
+  EXPECT_EQ(back.events[0].rate, e.rate);
+  EXPECT_EQ(back.events[0].rate2, e.rate2);
+  EXPECT_EQ(back.events[0].a, e.a);
+  EXPECT_EQ(back.events[0].b, e.b);
+  EXPECT_EQ(back.events[0].until_step, e.until_step);
+  EXPECT_EQ(back.events[0].detail, e.detail);
+}
+
+TEST(ChaosSpec, UnknownSurfaceInJsonThrows) {
+  EXPECT_THROW(parse_spec("{\"events\":[{\"step\":0,\"surface\":\"gamma\"}]}"),
+               std::runtime_error);
+}
+
+TEST(ChaosSpec, RandomSpecIsDeterministicInTheSeed) {
+  const std::vector<Surface> surfaces = {Surface::kNode, Surface::kPacket,
+                                         Surface::kIo, Surface::kWorker};
+  const ChaosSpec a = random_spec(42, 8, surfaces);
+  const ChaosSpec b = random_spec(42, 8, surfaces);
+  const ChaosSpec c = random_spec(43, 8, surfaces);
+  EXPECT_EQ(dump_spec(a), dump_spec(b));
+  EXPECT_NE(dump_spec(a), dump_spec(c));
+  EXPECT_EQ(a.events.size(), surfaces.size());
+  for (const ChaosEvent& e : a.events) EXPECT_LT(e.step, a.steps);
+}
+
+TEST(ChaosSpec, EnvOverridesApplyOnTopOfBase) {
+  setenv("TME_CHAOS_SEED", "99", 1);
+  setenv("TME_CHAOS_STEPS", "5", 1);
+  setenv("TME_CHAOS_WORKERS", "3", 1);
+  setenv("TME_CHAOS_BACKEND", "proc", 1);
+  setenv("TME_CHAOS_SURFACES", "packet,io", 1);
+  const ChaosSpec spec = spec_from_env();
+  unsetenv("TME_CHAOS_SEED");
+  unsetenv("TME_CHAOS_STEPS");
+  unsetenv("TME_CHAOS_WORKERS");
+  unsetenv("TME_CHAOS_BACKEND");
+  unsetenv("TME_CHAOS_SURFACES");
+  EXPECT_EQ(spec.seed, 99u);
+  EXPECT_EQ(spec.steps, 5u);
+  EXPECT_EQ(spec.workers, 3u);
+  EXPECT_EQ(spec.backend, "proc");
+  EXPECT_EQ(spec.events.size(), 2u);
+}
+
+// --- the runner --------------------------------------------------------------
+
+RunnerOptions test_options() {
+  RunnerOptions opts;
+  opts.workdir = ::testing::TempDir();
+  opts.worker_bin = TME_WORKER_BIN;
+  return opts;
+}
+
+// The acceptance run: a seeded schedule composing five distinct fault
+// surfaces survives with every oracle green.
+TEST(ChaosRunner, ComposedMultiSurfaceScheduleStaysGreen) {
+  ChaosSpec spec;
+  spec.seed = 2021;
+  spec.steps = 6;
+  spec.timeout_ms = 400;  // dropped frames retransmit fast (tasks run in ms)
+  spec.events.push_back({0, Surface::kWorker, 0, 0, 0, -1, 0, "kill"});
+  spec.events.push_back({1, Surface::kNode, 0, 0, 1, -1, 0, ""});
+  spec.events.push_back({2, Surface::kPacket, 0.08, 0.05, -1, -1, 4, ""});
+  spec.events.push_back({2, Surface::kIo, 0, 0, -1, -1, 4, "fsync"});
+  spec.events.push_back({4, Surface::kSdc, 1e-5, 0, -1, -1, 0, ""});
+
+  ChaosRunner runner(spec, test_options());
+  const ChaosRunResult result = runner.run();
+  EXPECT_TRUE(result.ok) << failure_signature(result) << ": "
+                         << result.failure_detail;
+  EXPECT_EQ(result.steps_completed, spec.steps);
+  EXPECT_GE(result.worker_deaths, 1u);
+  EXPECT_GE(result.respawns, 1u);
+  EXPECT_GE(result.frames_dropped + result.frames_corrupted, 1u);
+  EXPECT_GE(result.checkpoint_write_failures, 1u);  // fsync window hit a write
+  EXPECT_GE(result.sdc_injected, 0u);
+  EXPECT_FALSE(result.log.empty());
+  EXPECT_FALSE(io::IoShim::instance().armed());  // runner cleaned up
+}
+
+TEST(ChaosRunner, SigtermDrainResumesBitwiseFromItsCheckpoint) {
+  ChaosSpec spec;
+  spec.seed = 7;
+  spec.steps = 5;
+  spec.events.push_back({2, Surface::kSigterm, 0, 0, -1, -1, 0, ""});
+
+  ChaosRunner runner(spec, test_options());
+  const ChaosRunResult result = runner.run();
+  ASSERT_TRUE(result.ok) << failure_signature(result) << ": "
+                         << result.failure_detail;
+  // One mid-run drain + the end-of-run quiesce.
+  EXPECT_GE(result.quiesces, 2u);
+  bool saw_resume = false;
+  for (const RealizedEvent& e : result.log) {
+    saw_resume = saw_resume || e.what.find("resumed bitwise") == 0;
+  }
+  EXPECT_TRUE(saw_resume);
+}
+
+TEST(ChaosRunner, BitrotOnNewestGenerationFallsBackAndStaysGreen) {
+  ChaosSpec spec;
+  spec.seed = 13;
+  spec.steps = 5;
+  spec.checkpoint_interval = 2;
+  // Damage the newest generation after the last rotating write (writes land
+  // at the end of steps 1 and 3), so the end-of-run restore must fall back.
+  spec.events.push_back({4, Surface::kBitrot, 0, 0, 40, -1, 0, ""});
+
+  ChaosRunner runner(spec, test_options());
+  const ChaosRunResult result = runner.run();
+  ASSERT_TRUE(result.ok) << failure_signature(result) << ": "
+                         << result.failure_detail;
+  EXPECT_GE(result.checkpoint_fallbacks, 1u);
+}
+
+TEST(ChaosRunner, ReplayFileRoundTripsTheSpec) {
+  ChaosSpec spec = random_spec(5, 6, {Surface::kPacket, Surface::kIo});
+  ChaosRunResult result;
+  result.ok = false;
+  result.failed_oracle = "force-parity";
+  result.failed_step = 3;
+  result.log.push_back({1, "packet", "window open"});
+  const std::string path = ::testing::TempDir() + "chaos_replay.json";
+  write_replay_file(path, spec, result);
+  const ChaosSpec back = read_replay_spec(path);
+  EXPECT_EQ(dump_spec(back), dump_spec(spec));
+  std::remove(path.c_str());
+}
+
+// --- the shrinker ------------------------------------------------------------
+
+TEST(ChaosShrink, SurvivableScheduleHasNothingToShrink) {
+  ChaosSpec spec;
+  spec.seed = 3;
+  spec.steps = 4;
+  spec.events.push_back({1, Surface::kWorker, 0, 0, 0, -1, 0, "kill"});
+  const ShrinkResult shrunk = shrink_schedule(spec, test_options());
+  EXPECT_TRUE(shrunk.signature.empty());
+  EXPECT_TRUE(shrunk.last_run.ok);
+  EXPECT_EQ(shrunk.runs, 1);
+}
+
+// The acceptance contract: an intentionally lethal schedule (an
+// undetectable force corruption buried in survivable noise) shrinks to a
+// minimal reproducer whose replay re-triggers the same oracle failure
+// deterministically.
+TEST(ChaosShrink, LethalScheduleShrinksToDeterministicMinimalReproducer) {
+  ChaosSpec spec;
+  spec.seed = 21;
+  spec.steps = 6;
+  spec.timeout_ms = 400;
+  // Survivable noise...
+  spec.events.push_back({0, Surface::kWorker, 0, 0, 1, -1, 0, "kill"});
+  spec.events.push_back({1, Surface::kPacket, 0.05, 0.05, -1, -1, 3, ""});
+  spec.events.push_back({2, Surface::kIo, 0, 0, -1, -1, 4, "enospc"});
+  spec.events.push_back({4, Surface::kNode, 0, 0, 2, -1, 0, ""});
+  // ...hiding the one lethal event.
+  spec.events.push_back({3, Surface::kSabotage, 0, 0, 9, -1, 0, ""});
+
+  const RunnerOptions opts = test_options();
+  const ShrinkResult shrunk = shrink_schedule(spec, opts);
+  EXPECT_EQ(shrunk.signature, "force-parity@3");
+  EXPECT_EQ(shrunk.events_before, 5u);
+  ASSERT_EQ(shrunk.events_after, 1u);  // exactly the sabotage survives
+  EXPECT_EQ(shrunk.spec.events[0].surface, Surface::kSabotage);
+  EXPECT_LE(shrunk.spec.steps, spec.steps);
+
+  // Replay file round-trip, then two independent replays: the minimal
+  // reproducer must fail identically every time.
+  const std::string path = ::testing::TempDir() + "chaos_repro.json";
+  write_replay_file(path, shrunk.spec, shrunk.last_run);
+  const ChaosSpec replay = read_replay_spec(path);
+  for (int i = 0; i < 2; ++i) {
+    ChaosRunner again(replay, opts);
+    const ChaosRunResult rerun = again.run();
+    EXPECT_FALSE(rerun.ok);
+    EXPECT_EQ(failure_signature(rerun), shrunk.signature);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tme::chaos

@@ -19,6 +19,7 @@
 #include "md/integrator.hpp"
 #include "md/water_box.hpp"
 #include "util/crc32.hpp"
+#include "util/io_shim.hpp"
 #include "util/rng.hpp"
 
 namespace tme {
@@ -304,6 +305,160 @@ TEST_F(CheckpointTest, PartialWriteFallsBackToThePreviousGeneration) {
 
   std::remove(file.c_str());
   std::remove((file + ".1").c_str());
+}
+
+// --- injected IO faults (util/io_shim) ---------------------------------------
+
+TEST_F(CheckpointTest, EnospcMidWriteIsTypedAndLeavesNoTemp) {
+  const ParticleSystem sys = random_state(32, 50);
+  const std::string file = path("enospc.ckpt");
+  io::IoFaultPlan plan;
+  plan.path_substring = "enospc.ckpt";
+  plan.enospc_after_bytes = 100;  // the payload is ~3 KB: fails mid-write
+  io::ScopedIoFaults armed(plan);
+  try {
+    write_checkpoint(file, sys, 1);
+    ADD_FAILURE() << "ENOSPC write unexpectedly succeeded";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.fault(), CheckpointFault::kNoSpace);
+  }
+  // The temp file was unlinked and nothing was renamed into place.
+  EXPECT_FALSE(std::ifstream(file + ".tmp").good());
+  EXPECT_FALSE(std::ifstream(file).good());
+  EXPECT_GE(io::IoShim::instance().stats().injected_enospc, 1u);
+}
+
+TEST_F(CheckpointTest, EnospcTornWriteFallsBackToOlderGeneration) {
+  const std::string file = path("enospc_rot.ckpt");
+  const ParticleSystem first = random_state(16, 51);
+  const ParticleSystem second = random_state(16, 52);
+  write_checkpoint_rotating(file, first, 10, 2);
+
+  {
+    io::IoFaultPlan plan;
+    plan.path_substring = "enospc_rot.ckpt";
+    plan.enospc_after_bytes = 64;
+    io::ScopedIoFaults armed(plan);
+    try {
+      write_checkpoint_rotating(file, second, 20, 2);
+      ADD_FAILURE() << "ENOSPC rotating write unexpectedly succeeded";
+    } catch (const CheckpointError& e) {
+      EXPECT_EQ(e.fault(), CheckpointFault::kNoSpace);
+    }
+  }
+
+  // The refused write already rotated step 10 down to .1; the fallback chain
+  // still resumes from it bitwise.
+  std::string used;
+  const Checkpoint resumed = read_latest_checkpoint(file, 2, &used);
+  EXPECT_EQ(resumed.step, 10u);
+  EXPECT_EQ(used, file + ".1");
+  expect_bitwise_equal(resumed.system, first);
+  std::remove((file + ".1").c_str());
+}
+
+TEST_F(CheckpointTest, FsyncFailureIsTypedIoErrorAndLeavesOldState) {
+  const std::string file = path("fsync.ckpt");
+  const ParticleSystem first = random_state(16, 53);
+  write_checkpoint(file, first, 5);
+
+  {
+    io::IoFaultPlan plan;
+    plan.path_substring = "fsync.ckpt";
+    plan.fail_fsync = true;
+    io::ScopedIoFaults armed(plan);
+    try {
+      write_checkpoint(file, random_state(16, 54), 6);
+      ADD_FAILURE() << "fsync-failure write unexpectedly succeeded";
+    } catch (const CheckpointError& e) {
+      EXPECT_EQ(e.fault(), CheckpointFault::kIoError);
+    }
+  }
+
+  // The unsynced temp never replaced the previous durable state.
+  const Checkpoint kept = read_checkpoint(file);
+  EXPECT_EQ(kept.step, 5u);
+  expect_bitwise_equal(kept.system, first);
+  EXPECT_GE(io::IoShim::instance().stats().injected_fsync_failures, 1u);
+  std::remove(file.c_str());
+}
+
+TEST_F(CheckpointTest, OpenFailureIsTypedIoError) {
+  io::IoFaultPlan plan;
+  plan.path_substring = "openfail.ckpt";
+  plan.fail_open = true;
+  io::ScopedIoFaults armed(plan);
+  try {
+    write_checkpoint(path("openfail.ckpt"), random_state(8, 55), 1);
+    ADD_FAILURE() << "open-failure write unexpectedly succeeded";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.fault(), CheckpointFault::kIoError);
+  }
+}
+
+TEST_F(CheckpointTest, EintrStormAndShortWritesAreRetriedToCompletion) {
+  const ParticleSystem sys = random_state(48, 56);
+  const std::string file = path("eintr.ckpt");
+  io::IoShim::instance().reset_stats();
+  {
+    io::IoFaultPlan plan;
+    plan.path_substring = "eintr.ckpt";
+    plan.short_writes = true;
+    plan.eintr_every = 2;  // every other write/fsync EINTRs once
+    io::ScopedIoFaults armed(plan);
+    write_checkpoint(file, sys, 99);  // must succeed despite the storm
+  }
+  const io::IoStats stats = io::IoShim::instance().stats();
+  EXPECT_GE(stats.injected_eintr, 1u);
+  EXPECT_GE(stats.injected_short_writes, 2u);
+  const Checkpoint ckpt = read_checkpoint(file);
+  EXPECT_EQ(ckpt.step, 99u);
+  expect_bitwise_equal(ckpt.system, sys);  // bitwise despite retries
+  std::remove(file.c_str());
+}
+
+TEST_F(CheckpointTest, AllocRefusalIsTypedResourceAndFallsBack) {
+  const std::string file = path("alloc.ckpt");
+  const ParticleSystem first = random_state(16, 57);
+  const ParticleSystem second = random_state(16, 58);
+  write_checkpoint_rotating(file, first, 10, 2);
+  write_checkpoint_rotating(file, second, 20, 2);
+
+  io::IoFaultPlan plan;
+  plan.fail_allocs = 2;  // the next two guarded restore sizings fail
+  io::ScopedIoFaults armed(plan);
+
+  // Direct read: the refusal surfaces as the typed kResource fault.
+  try {
+    (void)read_checkpoint(file);
+    ADD_FAILURE() << "alloc-refused read unexpectedly succeeded";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.fault(), CheckpointFault::kResource);
+  }
+
+  // Generational read: the second refusal burns the newest file, the budget
+  // is spent, and the older generation restores bitwise.
+  std::string used;
+  const Checkpoint resumed = read_latest_checkpoint(file, 2, &used);
+  EXPECT_EQ(resumed.step, 10u);
+  EXPECT_EQ(used, file + ".1");
+  expect_bitwise_equal(resumed.system, first);
+
+  std::remove(file.c_str());
+  std::remove((file + ".1").c_str());
+}
+
+TEST_F(CheckpointTest, ShimPathFilterLeavesOtherFilesAlone) {
+  io::IoFaultPlan plan;
+  plan.path_substring = "only_this.ckpt";
+  plan.fail_fsync = true;
+  io::ScopedIoFaults armed(plan);
+  const ParticleSystem sys = random_state(8, 59);
+  const std::string file = path("unrelated.ckpt");
+  write_checkpoint(file, sys, 3);  // untouched by the armed plan
+  const Checkpoint ckpt = read_checkpoint(file);
+  expect_bitwise_equal(ckpt.system, sys);
+  std::remove(file.c_str());
 }
 
 // --- bitwise resume of a real MD run ----------------------------------------

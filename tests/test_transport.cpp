@@ -559,5 +559,87 @@ TEST(FleetTelemetry, LinkTelemetrySeesRealSocketTraffic) {
   EXPECT_GT(links.total_messages(), 0u);
 }
 
+// --- graceful shutdown -------------------------------------------------------
+
+TEST(FleetShutdown, SigtermDrainsExecWorkerWhichExitsCleanly) {
+  const hw::TorusTopology topo(2, 2, 1);
+  const TestSystem sys = random_system(100, 3.2, 59);
+  const CoulombResult want = serial_reference(sys, topo);
+  FleetConfig cfg;
+  cfg.backend = FleetConfig::Backend::kProc;
+  cfg.workers = 2;
+  cfg.worker_bin = TME_WORKER_BIN;  // exec mode: the SIGTERM handler is live
+  cfg.term_grace_ms = 3000;
+  cfg.context_path = temp_path("term_drill.ctx");
+
+  ParallelTme par(sys.box, small_params(), topo);
+  WorkerFleet fleet(par.context(), par.topology(), cfg);
+  par.set_executor(&fleet);
+  TrafficLog log;
+  expect_bitwise(want, par.compute(sys.positions, sys.charges, &log));
+
+  const pid_t first_pid = fleet.worker_pid(1);
+  fleet.term_worker(1, cfg.term_grace_ms);
+  // The worker drained voluntarily (exit 0), not via the SIGKILL fallback.
+  // (The fleet itself only notices the death on its next dispatch.)
+  EXPECT_TRUE(fleet.worker_exited_cleanly(1));
+
+  // The respawned worker resumes from the sealed context, still bitwise.
+  expect_bitwise(want, par.compute(sys.positions, sys.charges, &log));
+  EXPECT_NE(fleet.worker_pid(1), first_pid);
+  std::remove(cfg.context_path.c_str());
+}
+
+TEST(FleetShutdown, QuiesceHandshakesEveryWorkerAndIsIdempotent) {
+  const hw::TorusTopology topo(2, 2, 1);
+  const TestSystem sys = random_system(100, 3.2, 61);
+  const CoulombResult want = serial_reference(sys, topo);
+  FleetConfig cfg;
+  cfg.backend = FleetConfig::Backend::kProc;
+  cfg.workers = 2;
+  cfg.worker_bin = TME_WORKER_BIN;
+  cfg.term_grace_ms = 3000;
+  cfg.context_path = temp_path("quiesce_drill.ctx");
+
+  ParallelTme par(sys.box, small_params(), topo);
+  {
+    WorkerFleet fleet(par.context(), par.topology(), cfg);
+    par.set_executor(&fleet);
+    TrafficLog log;
+    expect_bitwise(want, par.compute(sys.positions, sys.charges, &log));
+    EXPECT_FALSE(fleet.quiesced());
+    EXPECT_TRUE(fleet.quiesce());  // every live worker acks the shutdown
+    EXPECT_TRUE(fleet.quiesced());
+    EXPECT_TRUE(fleet.quiesce());  // idempotent
+    par.set_executor(nullptr);
+  }  // the destructor only tears down the transport now
+
+  // The quiesce re-sealed the context: a fresh fleet resumes from it bitwise.
+  {
+    WorkerFleet fleet(par.context(), par.topology(), cfg);
+    par.set_executor(&fleet);
+    TrafficLog log;
+    expect_bitwise(want, par.compute(sys.positions, sys.charges, &log));
+    par.set_executor(nullptr);
+  }
+  std::remove(cfg.context_path.c_str());
+}
+
+TEST(FleetShutdown, TermGraceZeroStillKillsForkModeWorkers) {
+  const hw::TorusTopology topo(2, 2, 1);
+  const TestSystem sys = random_system(80, 3.2, 67);
+  FleetConfig cfg;
+  cfg.backend = FleetConfig::Backend::kProc;
+  cfg.workers = 2;  // fork mode: no exec, no SIGTERM handler installed
+  cfg.respawn = false;
+  ParallelTme par(sys.box, small_params(), topo);
+  WorkerFleet fleet(par.context(), par.topology(), cfg);
+  fleet.term_worker(1, 0);  // grace 0: straight to SIGKILL
+  EXPECT_FALSE(fleet.worker_exited_cleanly(1));
+  // The next heartbeat notices the kill.
+  EXPECT_LE(fleet.heartbeat(std::chrono::milliseconds(300)), 1u);
+  EXPECT_FALSE(fleet.worker_alive(1));
+}
+
 }  // namespace
 }  // namespace tme::par
