@@ -18,6 +18,7 @@
 
 #include "chaos/runner.hpp"
 #include "chaos/schedule.hpp"
+#include "obs/trace.hpp"
 #include "util/args.hpp"
 
 #include "common.hpp"
@@ -61,7 +62,8 @@ int main(int argc, char** argv) {
   std::printf("%-10s %10s %10s %8s %8s %8s %8s %8s\n", "config", "wall ms",
               "ms/step", "deaths", "retrans", "ckptRef", "ioInj", "oracles");
 
-  const auto row = [&](const char* name, const chaos::ChaosSpec& spec) {
+  const auto row = [&](const char* name,
+                       const chaos::ChaosSpec& spec) -> double {
     chaos::ChaosRunner runner(spec, opts);
     const auto t0 = clock::now();
     const chaos::ChaosRunResult r = runner.run();
@@ -74,10 +76,32 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.checkpoint_write_failures),
                 static_cast<unsigned long long>(r.io_faults_injected),
                 r.ok ? "green" : chaos::failure_signature(r).c_str());
+    return ms;
   };
 
   row("clean", clean);
   row("composed", composed);
   row("io-heavy", io_heavy);
+
+  // Telemetry overhead: the same composed schedule on the real-process
+  // backend, with fleet-wide tracing + worker telemetry disarmed vs armed.
+  // The runner's force-parity oracle runs in both rows, so a "green" verdict
+  // is the forces-bitwise-identical-on/off check; the acceptance bar for
+  // the armed row is <= 5% ms/step over the disarmed one.
+  if (obs::kTraceEnabled) {
+    chaos::ChaosSpec fleet_spec = composed;
+    fleet_spec.backend = "proc";
+    fleet_spec.timeout_ms = 2000;
+    obs::Tracer::global().set_enabled(false);
+    const double off_ms = row("telem-off", fleet_spec);
+    obs::Tracer::global().set_enabled(true);
+    const double on_ms = row("telem-on", fleet_spec);
+    obs::Tracer::global().set_enabled(false);
+    std::printf(
+        "telemetry overhead: %+.2f%% ms/step (on %.1f, off %.1f; bar <=5%%)\n",
+        (on_ms - off_ms) / off_ms * 100.0,
+        on_ms / static_cast<double>(steps),
+        off_ms / static_cast<double>(steps));
+  }
   return 0;
 }

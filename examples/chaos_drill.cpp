@@ -27,6 +27,8 @@
 #include "chaos/runner.hpp"
 #include "chaos/schedule.hpp"
 #include "chaos/shrink.hpp"
+#include "obs/status.hpp"
+#include "obs/trace.hpp"
 #include "util/args.hpp"
 
 #ifndef TME_WORKER_BIN
@@ -59,6 +61,30 @@ int main(int argc, char** argv) {
   opts.worker_bin = args.get("worker-bin", TME_WORKER_BIN);
   opts.verbose = !args.get_flag("quiet");
   const std::string out_path = args.get("out", "");
+
+  // --trace-out <file>: merged fleet timeline (chaos instants + one process
+  // track per worker incarnation, surviving mid-run fleet restarts).
+  opts.trace_out = args.get("trace-out", "");
+  if (!opts.trace_out.empty()) {
+    if constexpr (obs::kTraceEnabled) {
+      obs::Tracer::global().set_enabled(true);
+    } else {
+      std::fprintf(stderr, "[--trace-out ignored: tracing compiled out]\n");
+    }
+  }
+  // --status-out <file> [--status-every N]: SIGUSR1 / periodic live-status
+  // snapshots with fleet and chaos sections (also TME_STATUS_OUT/_EVERY).
+  obs::StatusReporter& status = obs::StatusReporter::global();
+  status.configure_from_env();
+  const std::string status_path = args.get("status-out", "");
+  if (!status_path.empty()) {
+    status.set_path(status_path);
+    status.arm_signal();
+  }
+  const int status_every = args.get_int("status-every", 0);
+  if (status_every > 0) {
+    status.set_every(static_cast<std::uint64_t>(status_every));
+  }
 
   std::printf("chaos drill: seed %llu, %llu steps, %zu atoms, %zu %s workers, "
               "%zu event(s)\n",

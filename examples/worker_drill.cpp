@@ -19,6 +19,10 @@
 //   TME_FAULT_PACKET_DROP_RATE=P   seeded frame loss on the transport
 //   TME_FAULT_PACKET_CORRUPT_RATE=P  seeded frame bit flips
 //
+// Observability flags: --trace-out <f> writes the merged fleet timeline
+// (one Perfetto process track per worker incarnation), --status-out <f>
+// arms SIGUSR1/periodic live-status snapshots (--status-every N).
+//
 // Typical CI invocation (SIGKILL worker 1 after 2 tasks, real processes):
 //   TME_TRANSPORT=proc TME_WORKERS=3 TME_FAULT_KILL_WORKER_RANK=1 \
 //   TME_FAULT_KILL_WORKER_TASK=2 ./worker_drill
@@ -28,6 +32,7 @@
 #include <vector>
 
 #include "ewald/splitting.hpp"
+#include "obs/status.hpp"
 #include "obs/trace.hpp"
 #include "par/fleet.hpp"
 #include "par/par_tme.hpp"
@@ -41,8 +46,10 @@ int main(int argc, char** argv) {
   const std::size_t atoms =
       static_cast<std::size_t>(args.get_int("atoms", 200));
   const int steps = args.get_int("steps", 3);
-  // --trace-out <path>: record the run (fleet dispatch phases included) in
-  // Chrome trace-event format — the transport trace CI uploads.
+  // --trace-out <path>: record the run in Chrome trace-event format.  On the
+  // proc backend this is the *merged fleet* timeline: workers ship their own
+  // trace chunks back, and the file gets one process track per worker
+  // incarnation with dispatch->task flow arrows — the trace CI uploads.
   const std::string trace_path = args.get("trace-out", "");
   if (!trace_path.empty()) {
     if constexpr (obs::kTraceEnabled) {
@@ -50,6 +57,21 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "[--trace-out ignored: tracing compiled out]\n");
     }
+  }
+  // --status-out <path> [--status-every N]: live introspection.  SIGUSR1 (or
+  // every N evaluations) atomically writes a JSON snapshot with per-worker
+  // health, clock offsets and outstanding tasks.  TME_STATUS_OUT /
+  // TME_STATUS_EVERY configure the same thing from the environment.
+  obs::StatusReporter& status = obs::StatusReporter::global();
+  status.configure_from_env();
+  const std::string status_path = args.get("status-out", "");
+  if (!status_path.empty()) {
+    status.set_path(status_path);
+    status.arm_signal();
+  }
+  const int status_every = args.get_int("status-every", 0);
+  if (status_every > 0) {
+    status.set_every(static_cast<std::uint64_t>(status_every));
   }
 
   Box box;
@@ -96,6 +118,8 @@ int main(int argc, char** argv) {
   par::ParallelTme distributed(box, tp, topo);
   par::WorkerFleet fleet(distributed.context(), distributed.topology(), cfg);
   distributed.set_executor(&fleet);
+  const int fleet_section = status.add_provider(
+      "fleet", [&fleet](obs::JsonValue& v) { fleet.status_json(v); });
 
   bool identical = true;
   for (int s = 0; s < steps; ++s) {
@@ -111,6 +135,12 @@ int main(int argc, char** argv) {
     std::printf("  evaluation %d: %s\n", s,
                 step_ok ? "bitwise equal" : "DIVERGED");
     identical = identical && step_ok;
+    if (obs::StatusReporter::signal_pending() ||
+        (status.every() != 0 &&
+         static_cast<std::uint64_t>(s + 1) % status.every() == 0)) {
+      fleet.publish_metrics();
+    }
+    status.poll(static_cast<std::uint64_t>(s + 1));
   }
   std::remove(cfg.context_path.c_str());
 
@@ -147,9 +177,26 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Quiesce first: workers flush their final telemetry chunk in the
+  // kShutdown drain, so the merged file carries every worker span.
+  fleet.quiesce();
+  fleet.publish_metrics();
+  status.remove_provider(fleet_section);
   if (!trace_path.empty() && obs::kTraceEnabled) {
-    if (obs::Tracer::global().write(trace_path)) {
+    const bool wrote = fleet.telemetry_enabled()
+                           ? fleet.write_fleet_trace(trace_path)
+                           : obs::Tracer::global().write(trace_path);
+    if (wrote) {
       std::printf("[trace written: %s]\n", trace_path.c_str());
+      if (fleet.telemetry_enabled()) {
+        std::printf("[fleet trace: %zu worker incarnation(s), %llu events "
+                    "merged, %llu dropped]\n",
+                    fleet.telemetry().incarnation_count(),
+                    static_cast<unsigned long long>(
+                        fleet.telemetry().events_merged()),
+                    static_cast<unsigned long long>(
+                        fleet.telemetry().dropped_total()));
+      }
     }
   }
 

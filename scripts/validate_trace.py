@@ -3,6 +3,7 @@
 
 Usage:
     validate_trace.py TRACE_fig9.json [--require-hardware] [--require-counters]
+                      [--require-workers N] [--require-flow]
 
 Checks, against the trace-event format Chrome and Perfetto accept:
   - the top level is an object with a "traceEvents" array
@@ -17,7 +18,15 @@ Checks, against the trace-event format Chrome and Perfetto accept:
 --require-hardware additionally fails unless at least one process besides
 "software" has span events (the simulated-machine tracks), and
 --require-counters unless at least one counter series exists (per-link
-telemetry).  Exit code 0 = valid.
+telemetry).
+
+For merged fleet timelines (the worker_drill/chaos_drill --trace-out output):
+--require-workers N fails unless at least N distinct "worker <rank> (pid ..)"
+process tracks carry span events, --require-flow unless dispatch -> task flow
+arrows ("s"/"f" pairs sharing a flow id) are present; both also validate the
+otherData clock-offset table and the span-conservation ledger
+(telemetry_emitted == telemetry_events_merged + telemetry_dropped).
+Exit code 0 = valid.
 """
 
 import argparse
@@ -41,6 +50,10 @@ def main():
                         help="fail unless simulated-hardware tracks are present")
     parser.add_argument("--require-counters", action="store_true",
                         help="fail unless counter series are present")
+    parser.add_argument("--require-workers", type=int, default=0, metavar="N",
+                        help="fail unless >= N worker process tracks have spans")
+    parser.add_argument("--require-flow", action="store_true",
+                        help="fail unless paired flow arrows (s/f) are present")
     args = parser.parse_args()
 
     with open(args.trace) as f:
@@ -55,6 +68,9 @@ def main():
     process_names = {}
     spans_by_process = collections.Counter()
     counter_events = 0
+    flow_starts = set()
+    flow_finishes = set()
+    instant_names = collections.Counter()
     last_ts = {}
     for i, e in enumerate(events):
         where = f"event #{i}"
@@ -91,6 +107,16 @@ def main():
         elif ph == "i":
             if "s" in e and e["s"] not in VALID_INSTANT_SCOPES:
                 return fail(f"{where}: instant event with invalid scope {e['s']!r}")
+            instant_names[e["name"]] += 1
+        elif ph in ("s", "f"):
+            if "id" not in e:
+                return fail(f"{where}: flow event without an id")
+            if ph == "s":
+                flow_starts.add(e["id"])
+            else:
+                if e.get("bp") != "e":
+                    return fail(f"{where}: flow finish without bp=e binding")
+                flow_finishes.add(e["id"])
         elif ph == "C":
             trace_args = e.get("args")
             if not isinstance(trace_args, dict) or not trace_args:
@@ -105,6 +131,25 @@ def main():
     if dropped is not None and dropped > 0:
         print(f"note: {dropped} events were dropped (ring buffers full)")
 
+    # Span-conservation ledger of a merged fleet timeline: every span a
+    # worker emitted is either merged into this file or accounted as dropped.
+    if "telemetry_emitted" in other:
+        emitted = other["telemetry_emitted"]
+        merged = other.get("telemetry_events_merged", 0)
+        tdropped = other.get("telemetry_dropped", 0)
+        if emitted != merged + tdropped:
+            return fail(
+                f"span conservation violated: emitted {emitted} != "
+                f"merged {merged} + dropped {tdropped}"
+            )
+    if "clock_offsets" in other:
+        for i, row in enumerate(other["clock_offsets"]):
+            for field in ("rank", "pid", "offset_us", "rtt_us", "has_offset"):
+                if field not in row:
+                    return fail(f"clock_offsets[{i}]: missing {field}")
+            if row["has_offset"] and abs(row["offset_us"]) > 0 and row["rtt_us"] < 0:
+                return fail(f"clock_offsets[{i}]: negative RTT with an offset")
+
     hardware_procs = sorted(
         process_names[pid]
         for pid in spans_by_process
@@ -115,11 +160,42 @@ def main():
     if args.require_counters and counter_events == 0:
         return fail("no counter series found")
 
+    worker_procs = sorted(
+        process_names[pid]
+        for pid in spans_by_process
+        if process_names.get(pid, "").startswith("worker ")
+    )
+    if args.require_workers and len(worker_procs) < args.require_workers:
+        return fail(
+            f"only {len(worker_procs)} worker process track(s) with spans "
+            f"(need {args.require_workers}): {', '.join(worker_procs) or 'none'}"
+        )
+    if args.require_flow:
+        if not flow_starts:
+            return fail("no flow-start (ph=s) events found")
+        if not flow_finishes:
+            return fail("no flow-finish (ph=f) events found")
+        unmatched = flow_finishes - flow_starts
+        if unmatched:
+            # A dropped flow start (ring overflow) legitimately orphans its
+            # finish; only a drop-free trace must pair every arrow.
+            any_drops = (dropped or 0) + other.get("telemetry_dropped", 0)
+            msg = (
+                f"{len(unmatched)} flow finish(es) without a matching start "
+                f"(e.g. id {sorted(unmatched)[0]})"
+            )
+            if any_drops:
+                print(f"note: {msg} — tolerated, {any_drops} drops reported")
+            else:
+                return fail(msg)
+
     n_spans = sum(spans_by_process.values())
     print(
         f"OK: {len(events)} events ({n_spans} spans, {counter_events} counter "
-        f"samples) across {len(process_names)} processes"
+        f"samples, {len(flow_starts)}/{len(flow_finishes)} flow s/f) across "
+        f"{len(process_names)} processes"
         + (f"; hardware tracks: {', '.join(hardware_procs)}" if hardware_procs else "")
+        + (f"; worker tracks: {', '.join(worker_procs)}" if worker_procs else "")
     )
     return 0
 

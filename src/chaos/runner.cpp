@@ -15,6 +15,9 @@
 #include "md/checkpoint.hpp"
 #include "md/guardrail.hpp"
 #include "md/integrator.hpp"
+#include "obs/status.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "par/fleet.hpp"
 #include "par/par_tme.hpp"
 #include "util/io_shim.hpp"
@@ -123,9 +126,20 @@ ChaosRunResult ChaosRunner::run() {
   }
   std::remove(ctx_path.c_str());
 
+  // Chaos events land on their own coordinator track so the merged timeline
+  // shows exactly when each fault fired relative to the fleet's spans.
+  obs::TrackId chaos_track = 0;
+  if (obs::tracing_active()) {
+    chaos_track = obs::Tracer::global().track("chaos", "events");
+  }
+
   const auto note = [&](std::uint64_t step, Surface surface,
                         const std::string& what) {
     result.log.push_back({step, to_string(surface), what});
+    if (obs::tracing_active()) {
+      obs::Tracer& tracer = obs::Tracer::global();
+      tracer.instant(chaos_track, to_string(surface), tracer.now_us(), what);
+    }
     if (options_.verbose) {
       std::printf("  [chaos] step %llu %s: %s\n",
                   static_cast<unsigned long long>(step), to_string(surface),
@@ -186,9 +200,49 @@ ChaosRunResult ChaosRunner::run() {
   fc.term_grace_ms = 1000;
   fc.worker_bin = options_.worker_bin;
   fc.context_path = ctx_path;
+  // Runner-owned telemetry aggregator: it outlives the kSigterm surface's
+  // fleet restarts, so worker chunks from every fleet generation merge into
+  // one timeline.
+  obs::FleetTelemetry fleet_telemetry;
   auto fleet = std::make_unique<par::WorkerFleet>(distributed.context(),
                                                   distributed.topology(), fc);
+  fleet->set_telemetry_sink(&fleet_telemetry);
   distributed.set_executor(fleet.get());
+
+  // Live introspection: the fleet and the runner each contribute a section
+  // to SIGUSR1 / periodic status snapshots while this run is live.
+  obs::StatusReporter& status = obs::StatusReporter::global();
+  const int fleet_section = status.add_provider(
+      "fleet", [&fleet](obs::JsonValue& v) { fleet->status_json(v); });
+  const int chaos_section =
+      status.add_provider("chaos", [&result, &spec = spec_](obs::JsonValue& v) {
+        v = obs::JsonValue::make_object();
+        auto& o = v.as_object();
+        o["steps_total"] =
+            obs::JsonValue::make_number(static_cast<double>(spec.steps));
+        o["steps_completed"] = obs::JsonValue::make_number(
+            static_cast<double>(result.steps_completed));
+        o["events_fired"] =
+            obs::JsonValue::make_number(static_cast<double>(result.log.size()));
+        o["checkpoint_writes"] = obs::JsonValue::make_number(
+            static_cast<double>(result.checkpoint_writes));
+        o["quiesces"] =
+            obs::JsonValue::make_number(static_cast<double>(result.quiesces));
+        o["sdc_injected"] = obs::JsonValue::make_number(
+            static_cast<double>(result.sdc_injected));
+        o["abft_violations"] = obs::JsonValue::make_number(
+            static_cast<double>(result.abft_violations));
+        o["ok"] = obs::JsonValue::make_bool(result.ok);
+        o["failed_oracle"] =
+            obs::JsonValue::make_string(result.failed_oracle);
+      });
+  struct SectionGuard {
+    obs::StatusReporter& reporter;
+    int id;
+    ~SectionGuard() { reporter.remove_provider(id); }
+  };
+  SectionGuard fleet_section_guard{status, fleet_section};
+  SectionGuard chaos_section_guard{status, chaos_section};
 
   // ABFT baseline: the guarded hardware-functional pipeline with every check
   // disabled and no injector — SDC-burst steps must match it bitwise after
@@ -326,6 +380,7 @@ ChaosRunResult ChaosRunner::run() {
           fleet.reset();
           fleet = std::make_unique<par::WorkerFleet>(
               distributed.context(), distributed.topology(), fc);
+          fleet->set_telemetry_sink(&fleet_telemetry);
           distributed.set_executor(fleet.get());
           packet_window_open = false;  // fresh transport, default policy
           if (drained) {
@@ -508,6 +563,13 @@ ChaosRunResult ChaosRunner::run() {
       }
     }
     result.steps_completed = s + 1;
+    // Status snapshots are written from here (never from signal context);
+    // the registry gauges are refreshed only when a write is actually due.
+    if (obs::StatusReporter::signal_pending() ||
+        (status.every() != 0 && (s + 1) % status.every() == 0)) {
+      fleet->publish_metrics();
+    }
+    status.poll(s + 1);
   }
 
   // ---- end of run: the checkpoint-resume oracle ---------------------------
@@ -561,8 +623,20 @@ ChaosRunResult ChaosRunner::run() {
   result.frames_dropped += ts.frames_dropped;
   result.frames_corrupted += ts.frames_corrupted;
   result.io_faults_injected = stats_total();
-  fleet->quiesce();
+  fleet->quiesce();  // final worker chunks arrive in the shutdown drain
   result.quiesces++;
+  fleet->publish_metrics();
+  if (!options_.trace_out.empty()) {
+    if (fleet->write_fleet_trace(options_.trace_out)) {
+      if (options_.verbose) {
+        std::printf("  [chaos] merged fleet trace -> %s\n",
+                    options_.trace_out.c_str());
+      }
+    } else {
+      std::fprintf(stderr, "[chaos] failed to write fleet trace %s\n",
+                   options_.trace_out.c_str());
+    }
+  }
   std::remove(ctx_path.c_str());
   return result;
 }

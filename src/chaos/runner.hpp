@@ -45,6 +45,12 @@ struct RunnerOptions {
   std::string workdir = ".";  // checkpoint + context files land here
   std::string worker_bin;     // proc backend: fork+exec this binary
   bool verbose = false;       // narrate events and oracle results to stdout
+  // Non-empty: after a successful run, write the merged fleet timeline
+  // (coordinator tracks + one process per worker incarnation, chaos events
+  // as instants) as Chrome/Perfetto JSON.  The runner owns the telemetry
+  // aggregator, so chunks survive the mid-run fleet restarts the kSigterm
+  // surface performs.
+  std::string trace_out;
 };
 
 // One entry of the realized fault-event log: what the schedule actually did.

@@ -1,0 +1,54 @@
+// Per-worker clock-offset estimation from ping/pong round trips.
+//
+// Worker tracer timestamps are microseconds since *that process's* tracer
+// epoch, so every worker lives on its own clock.  The coordinator aligns
+// them with the classic NTP-style midpoint estimate: send a ping at local
+// t0, receive the pong at local t1 carrying the worker's clock reading R
+// taken while handling the ping.  Assuming the outbound and return legs
+// are symmetric, R was sampled at local (t0 + t1) / 2, so
+//
+//   offset = R - (t0 + t1) / 2      and      local = remote - offset.
+//
+// The asymmetry error is bounded by RTT / 2, so the estimator keeps the
+// sample with the smallest RTT seen — tighter round trips give tighter
+// bounds, and a congested ping can never loosen an earlier good estimate.
+// Offsets are only meaningful per tracer epoch: the fleet resets its
+// estimator for a rank whenever the worker (re)initialises.
+#pragma once
+
+#include <cstdint>
+
+namespace tme::obs {
+
+class ClockOffsetEstimator {
+ public:
+  // One round trip: local send/receive times and the remote clock reading
+  // taken in between (all microseconds, local on the caller's clock).
+  // Keeps the sample iff its RTT is the smallest seen.  Non-positive RTTs
+  // (clock misuse) are ignored except as the very first sample.
+  void add_sample(double t0_us, double t1_us, double remote_us) {
+    const double rtt = t1_us - t0_us;
+    const double offset = remote_us - 0.5 * (t0_us + t1_us);
+    ++samples_;
+    if (samples_ == 1 || (rtt >= 0.0 && rtt < rtt_us_)) {
+      rtt_us_ = rtt;
+      offset_us_ = offset;
+    }
+  }
+
+  bool has_offset() const { return samples_ > 0; }
+  // remote - local midpoint; map remote timestamps with local = remote - offset.
+  double offset_us() const { return offset_us_; }
+  // RTT of the best (kept) sample; the offset error bound is rtt_us() / 2.
+  double rtt_us() const { return rtt_us_; }
+  std::uint64_t samples() const { return samples_; }
+
+  void reset() { *this = ClockOffsetEstimator{}; }
+
+ private:
+  double offset_us_ = 0.0;
+  double rtt_us_ = 0.0;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace tme::obs

@@ -174,6 +174,30 @@ void Tracer::counter(TrackId track, std::string name, double ts_us,
   append(std::move(e));
 }
 
+void Tracer::flow_start(TrackId track, std::string name, double ts_us,
+                        std::uint64_t flow_id) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.type = TraceEventType::kFlowStart;
+  e.track = track;
+  e.ts_us = ts_us;
+  e.flow = flow_id;
+  e.name = std::move(name);
+  append(std::move(e));
+}
+
+void Tracer::flow_finish(TrackId track, std::string name, double ts_us,
+                         std::uint64_t flow_id) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.type = TraceEventType::kFlowFinish;
+  e.track = track;
+  e.ts_us = ts_us;
+  e.flow = flow_id;
+  e.name = std::move(name);
+  append(std::move(e));
+}
+
 std::size_t Tracer::event_count() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::size_t total = 0;
@@ -186,6 +210,50 @@ std::size_t Tracer::dropped_count() const {
   std::size_t total = 0;
   for (const auto& buf : buffers_)
     total += static_cast<std::size_t>(buf->dropped.load(std::memory_order_relaxed));
+  return total;
+}
+
+TraceChunk Tracer::drain_chunk() {
+  TraceChunk chunk;
+  std::lock_guard<std::mutex> lock(mutex_);
+  chunk.tracks.reserve(tracks_.size());
+  for (const TrackInfo& t : tracks_)
+    chunk.tracks.push_back(TraceChunkTrack{t.process, t.name});
+  for (const auto& buf : buffers_) {
+    const std::size_t size = buf->size.load(std::memory_order_acquire);
+    const std::uint64_t dropped = buf->dropped.load(std::memory_order_relaxed);
+    // `emitted` counts every recording attempt (kept + overflowed), so the
+    // receiver's conservation check  emitted == merged + dropped  closes.
+    chunk.emitted += size + dropped;
+    chunk.dropped += dropped;
+    for (std::size_t i = buf->consumed; i < size; ++i)
+      chunk.events.push_back(buf->events[i]);
+    buf->consumed = size;
+  }
+  return chunk;
+}
+
+TraceChunk Tracer::snapshot_chunk() const {
+  TraceChunk chunk;
+  std::lock_guard<std::mutex> lock(mutex_);
+  chunk.tracks.reserve(tracks_.size());
+  for (const TrackInfo& t : tracks_)
+    chunk.tracks.push_back(TraceChunkTrack{t.process, t.name});
+  for (const auto& buf : buffers_) {
+    const std::size_t size = buf->size.load(std::memory_order_acquire);
+    const std::uint64_t dropped = buf->dropped.load(std::memory_order_relaxed);
+    chunk.emitted += size + dropped;
+    chunk.dropped += dropped;
+    for (std::size_t i = 0; i < size; ++i) chunk.events.push_back(buf->events[i]);
+  }
+  return chunk;
+}
+
+std::size_t Tracer::undrained_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& buf : buffers_)
+    total += buf->size.load(std::memory_order_acquire) - buf->consumed;
   return total;
 }
 
@@ -245,6 +313,8 @@ std::string Tracer::to_json() const {
       case TraceEventType::kComplete: out += 'X'; break;
       case TraceEventType::kInstant: out += 'i'; break;
       case TraceEventType::kCounter: out += 'C'; break;
+      case TraceEventType::kFlowStart: out += 's'; break;
+      case TraceEventType::kFlowFinish: out += 'f'; break;
     }
     out += "\",\"name\":" + json_quote(e.name);
     out += ",\"pid\":" + std::to_string(t.pid);
@@ -256,6 +326,11 @@ std::string Tracer::to_json() const {
       append_number(out, e.dur_us);
     }
     if (e.type == TraceEventType::kInstant) out += ",\"s\":\"t\"";
+    if (e.type == TraceEventType::kFlowStart ||
+        e.type == TraceEventType::kFlowFinish) {
+      out += ",\"cat\":\"flow\",\"id\":" + std::to_string(e.flow);
+      if (e.type == TraceEventType::kFlowFinish) out += ",\"bp\":\"e\"";
+    }
     if (e.type == TraceEventType::kCounter) {
       out += ",\"args\":{\"value\":";
       append_number(out, e.value);

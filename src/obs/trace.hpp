@@ -44,9 +44,11 @@ inline constexpr bool kTraceEnabled = false;
 using TrackId = std::uint32_t;
 
 enum class TraceEventType : std::uint8_t {
-  kComplete,  // "X": a span with ts + dur
-  kInstant,   // "i": a point event
-  kCounter,   // "C": a sampled counter value
+  kComplete,    // "X": a span with ts + dur
+  kInstant,     // "i": a point event
+  kCounter,     // "C": a sampled counter value
+  kFlowStart,   // "s": flow arrow tail, bound to the enclosing slice
+  kFlowFinish,  // "f": flow arrow head (binding point "e")
 };
 
 struct TraceEvent {
@@ -55,8 +57,28 @@ struct TraceEvent {
   double ts_us = 0.0;   // microseconds: wall (since tracer epoch) or sim time
   double dur_us = 0.0;  // kComplete only
   double value = 0.0;   // kCounter only
+  std::uint64_t flow = 0;  // kFlowStart/kFlowFinish only: the flow id
   std::string name;
   std::string detail;   // optional; exported as args.detail when non-empty
+};
+
+// A self-contained batch of events drained from (or snapshotted out of) a
+// Tracer, with its own track table so it can cross a process boundary: the
+// worker serialises a chunk over the wire and the coordinator re-binds the
+// tracks into its merged timeline (obs/telemetry.hpp).  `emitted` and
+// `dropped` are *cumulative* for the producing tracer, so the receiver can
+// verify conservation (emitted == merged + dropped) across any number of
+// flush boundaries without per-chunk bookkeeping.
+struct TraceChunkTrack {
+  std::string process;
+  std::string name;
+};
+
+struct TraceChunk {
+  std::vector<TraceChunkTrack> tracks;  // TraceEvent::track indexes this table
+  std::vector<TraceEvent> events;
+  std::uint64_t emitted = 0;  // cumulative recording attempts (kept + dropped)
+  std::uint64_t dropped = 0;  // cumulative events dropped (rings full)
 };
 
 class Tracer {
@@ -92,11 +114,31 @@ class Tracer {
   void instant_now(std::string name, std::string detail = {});
   // Counter sample (ph "C"): one series named `name` on `track`.
   void counter(TrackId track, std::string name, double ts_us, double value);
+  // Flow arrows (ph "s"/"f"): `flow_start` marks the tail inside the slice
+  // enclosing ts_us on `track`, `flow_finish` the head.  The coordinator
+  // stamps a start on its dispatch span and the worker a finish on the task
+  // span, so the merged timeline draws dispatch -> execution arrows.
+  void flow_start(TrackId track, std::string name, double ts_us,
+                  std::uint64_t flow_id);
+  void flow_finish(TrackId track, std::string name, double ts_us,
+                   std::uint64_t flow_id);
 
   // --- export -------------------------------------------------------------
   // Events recorded / events dropped because a thread's ring was full.
   std::size_t event_count() const;
   std::size_t dropped_count() const;
+
+  // --- chunked export (fleet telemetry) -----------------------------------
+  // Moves every not-yet-drained event out of the rings into a chunk.  The
+  // rings stay append-only (concurrent recorders are never disturbed); a
+  // per-buffer consumed cursor advances under the lock.  Chunk counters are
+  // cumulative, so the last chunk of a run carries the final totals.
+  TraceChunk drain_chunk();
+  // Copies everything recorded so far without consuming (coordinator-side
+  // merge of its own events while the process keeps tracing).
+  TraceChunk snapshot_chunk() const;
+  // Events recorded but not yet drained — flush-threshold probe.
+  std::size_t undrained_count() const;
 
   // Serialises everything as a Chrome trace-event JSON object
   // ({"traceEvents": [...], "displayTimeUnit": "ns", "otherData": manifest}).
@@ -127,6 +169,7 @@ class Tracer {
     std::atomic<std::size_t> size{0};     // published length (release on write)
     std::atomic<std::uint64_t> dropped{0};
     std::size_t capacity = 0;
+    std::size_t consumed = 0;  // drained prefix; guarded by Tracer::mutex_
   };
 
   struct TrackInfo {

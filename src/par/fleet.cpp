@@ -1,5 +1,7 @@
 #include "par/fleet.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <deque>
@@ -8,6 +10,7 @@
 
 #include "obs/metrics.hpp"
 #include "par/proc_transport.hpp"
+#include "par/telemetry.hpp"
 #include "par/wire.hpp"
 #include "util/crc32.hpp"
 #include "util/env.hpp"
@@ -52,6 +55,7 @@ struct WorkerFleet::Pending {
   std::size_t worker = 0;
   bool ever_sent = false;
   bool done = false;
+  double sent_us = 0.0;  // first-send timestamp, for the latency histogram
   std::vector<std::uint8_t> payload;
   std::function<void(const std::vector<std::uint8_t>&)> accept;
 };
@@ -63,9 +67,22 @@ WorkerFleet::WorkerFleet(const PipelineContext& ctx,
     throw std::invalid_argument("WorkerFleet: need at least one worker");
   }
   worker_dead_.assign(cfg_.workers, 0);
+  telemetry_on_ = cfg_.telemetry &&
+                  cfg_.backend == FleetConfig::Backend::kProc &&
+                  obs::tracing_active();
+  offsets_.assign(cfg_.workers, obs::ClockOffsetEstimator{});
+  worker_os_pid_.assign(cfg_.workers, -1);
+  outstanding_.assign(cfg_.workers, 0);
+  trace_id_ = static_cast<std::uint64_t>(::getpid());
+  if (telemetry_on_) {
+    obs::Tracer& tracer = obs::Tracer::global();
+    dispatch_track_ = tracer.track("fleet", "dispatch");
+    events_track_ = tracer.track("fleet", "events");
+  }
   WorkerContext wc;
   wc.pipeline = *ctx_;
   wc.workers = static_cast<std::uint32_t>(cfg_.workers);
+  wc.telemetry = telemetry_on_;
   base_context_ = encode_context(wc);
   if (!cfg_.context_path.empty()) {
     write_context_file(cfg_.context_path, base_context_);
@@ -111,6 +128,9 @@ bool WorkerFleet::shutdown_workers() {
         break;
       }
       if (st != RecvStatus::kOk) break;
+      // Workers flush their final telemetry chunk just before kBye, so the
+      // shutdown drain is also the last ingest point.
+      maybe_ingest_telemetry(out, w);
       if (out.type == MsgType::kBye) {
         acked = true;
         break;
@@ -144,6 +164,62 @@ bool WorkerFleet::quiesce() {
 void WorkerFleet::set_net_fault(const TransportFaultPolicy& fault) {
   cfg_.net_fault = fault;
   transport_->set_fault_policy(fault);
+}
+
+void WorkerFleet::set_telemetry_sink(obs::FleetTelemetry* sink) {
+  sink_ = sink != nullptr ? sink : &own_telemetry_;
+  if (!telemetry_on_) return;
+  // Re-seed the new sink with the offsets estimated during the constructor's
+  // init handshakes (the usual case: the runner installs its sink after the
+  // fleet is built).
+  for (std::size_t w = 0; w < cfg_.workers; ++w) {
+    if (offsets_[w].has_offset() && worker_os_pid_[w] > 0) {
+      sink_->set_offset(static_cast<std::uint32_t>(w), worker_os_pid_[w],
+                        offsets_[w].offset_us(), offsets_[w].rtt_us());
+    }
+  }
+}
+
+bool WorkerFleet::worker_clock_synced(std::size_t w) const {
+  return w < offsets_.size() && offsets_[w].has_offset();
+}
+
+double WorkerFleet::worker_clock_offset_us(std::size_t w) const {
+  return worker_clock_synced(w) ? offsets_[w].offset_us() : 0.0;
+}
+
+double WorkerFleet::worker_clock_rtt_us(std::size_t w) const {
+  return worker_clock_synced(w) ? offsets_[w].rtt_us() : 0.0;
+}
+
+std::size_t WorkerFleet::outstanding_tasks(std::size_t w) const {
+  return w < outstanding_.size() ? outstanding_[w] : 0;
+}
+
+void WorkerFleet::maybe_ingest_telemetry(const Message& m, std::size_t w) {
+  if (!telemetry_on_ || m.type != MsgType::kTelemetry) return;
+  try {
+    sink_->ingest(decode_telemetry(m.payload));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[fleet] worker %zu telemetry rejected: %s\n", w,
+                 e.what());
+  }
+}
+
+void WorkerFleet::note_fleet_instant(const char* name, std::string detail) {
+  if (!telemetry_on_) return;
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.instant(events_track_, name, tracer.now_us(), std::move(detail));
+}
+
+void WorkerFleet::record_clock_sample(std::size_t w, double t0_us,
+                                      double t1_us, double remote_us) {
+  if (w >= offsets_.size()) return;
+  offsets_[w].add_sample(t0_us, t1_us, remote_us);
+  if (telemetry_on_ && worker_os_pid_[w] > 0) {
+    sink_->set_offset(static_cast<std::uint32_t>(w), worker_os_pid_[w],
+                      offsets_[w].offset_us(), offsets_[w].rtt_us());
+  }
 }
 
 void WorkerFleet::spawn_transport() {
@@ -198,6 +274,7 @@ bool WorkerFleet::init_worker(std::size_t w) {
   init.payload = context_bytes_for(w);
   const std::uint32_t crc = crc32(init.payload.data(), init.payload.size());
   for (int attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
+    const double t0 = obs::Tracer::global().now_us();
     try {
       transport_->send(w, init);
     } catch (const PeerDead&) {
@@ -206,10 +283,22 @@ bool WorkerFleet::init_worker(std::size_t w) {
     Message reply;
     const RecvStatus st =
         transport_->recv(w, reply, std::chrono::milliseconds(cfg_.timeout_ms));
+    const double t1 = obs::Tracer::global().now_us();
     if (st == RecvStatus::kClosed) return false;
-    if (st != RecvStatus::kOk || reply.type != MsgType::kInitAck) continue;
+    if (st != RecvStatus::kOk) continue;
+    maybe_ingest_telemetry(reply, w);
+    if (reply.type != MsgType::kInitAck) continue;
     wire::Reader r(reply.payload);
     if (r.u32() == crc) {
+      // A successful init is a fresh tracer epoch on the worker side, so the
+      // old offset is meaningless; the InitAck extension (trailing i64 pid +
+      // f64 clock reading, ignored by pre-extension readers) seeds the new
+      // incarnation's estimate from this very round trip.
+      if (w < offsets_.size()) offsets_[w].reset();
+      if (r.remaining() >= 16) {
+        worker_os_pid_[w] = r.i64();
+        record_clock_sample(w, t0, t1, r.f64());
+      }
       ++stats_.reinits;
       return true;
     }
@@ -279,6 +368,8 @@ void WorkerFleet::handle_worker_death(std::size_t w, const char* cause) {
   worker_dead_[w] = 1;
   ++stats_.worker_deaths;
   TME_COUNTER_ADD("par/fleet/worker_deaths", 1);
+  note_fleet_instant("worker dead",
+                     "worker " + std::to_string(w) + " (" + cause + ")");
   std::fprintf(stderr, "[fleet] worker %zu declared dead (%s)\n", w, cause);
   if (health_ != nullptr && w < topo_->node_count()) {
     health_->report_violation(w);
@@ -289,6 +380,9 @@ void WorkerFleet::handle_worker_death(std::size_t w, const char* cause) {
     TME_COUNTER_ADD("par/fleet/respawns", 1);
     if (init_worker(w)) {
       worker_dead_[w] = 0;
+      note_fleet_instant("worker respawned",
+                         "worker " + std::to_string(w) + " pid " +
+                             std::to_string(worker_os_pid_[w]));
       std::fprintf(stderr, "[fleet] worker %zu respawned from sealed context\n",
                    w);
     }
@@ -338,11 +432,14 @@ void WorkerFleet::dispatch(std::vector<Pending>& pending) {
         }
         ws[w].inflight.clear();
         ws[w].attempts = 0;
+        outstanding_[w] = 0;
       };
 
   const auto send_task = [&](std::size_t pi) {
     Pending& p = pending[pi];
     const std::size_t target = worker_of_node(p.node);
+    const double send_us =
+        telemetry_on_ ? obs::Tracer::global().now_us() : 0.0;
     Message m;
     m.type = MsgType::kTask;
     m.payload = p.payload;
@@ -364,6 +461,7 @@ void WorkerFleet::dispatch(std::vector<Pending>& pending) {
         s.inflight.end()) {
       s.inflight.push_back(pi);
     }
+    outstanding_[target] = s.inflight.size();
     if (s.inflight.size() == 1) {
       s.attempts = 0;
       s.deadline = now() + timeout;
@@ -371,6 +469,24 @@ void WorkerFleet::dispatch(std::vector<Pending>& pending) {
     ++stats_.tasks_sent;
     TME_COUNTER_ADD("par/fleet/tasks_sent", 1);
     record_transfer(p.node, p.payload.size());
+    if (telemetry_on_) {
+      // A thin dispatch slice carrying the flow tail: the worker's task span
+      // finishes the same flow id, so the merged timeline draws the
+      // coordinator -> worker arrow.  Queue depth rides along as a counter
+      // sample and a histogram.
+      obs::Tracer& tracer = obs::Tracer::global();
+      const double end_us = tracer.now_us();
+      p.sent_us = send_us;
+      tracer.complete(dispatch_track_, "dispatch", send_us, end_us - send_us,
+                      "task " + std::to_string(p.id) + " -> w" +
+                          std::to_string(target));
+      tracer.flow_start(dispatch_track_, "dispatch", send_us, p.id);
+      tracer.counter(dispatch_track_, "inflight w" + std::to_string(target),
+                     end_us, static_cast<double>(s.inflight.size()));
+      obs::Registry::global()
+          .histogram("fleet/queue_depth")
+          .record(static_cast<double>(s.inflight.size()));
+    }
   };
 
   const auto expire = [&](std::size_t w) {
@@ -385,6 +501,11 @@ void WorkerFleet::dispatch(std::vector<Pending>& pending) {
     }
     ++stats_.retransmissions;
     TME_COUNTER_ADD("par/fleet/retransmissions", 1);
+    if (telemetry_on_) {
+      obs::Registry::global()
+          .counter("fleet/w" + std::to_string(w) + "/retransmissions")
+          .add(1);
+    }
     const int shift = std::min(s.attempts - 1, 20);
     s.deadline =
         now() + timeout +
@@ -442,7 +563,8 @@ void WorkerFleet::dispatch(std::vector<Pending>& pending) {
       on_death(arrived->worker, "connection closed");
       continue;
     }
-    if (out.type != MsgType::kResult) continue;  // stray pong/ack
+    maybe_ingest_telemetry(out, arrived->worker);
+    if (out.type != MsgType::kResult) continue;  // stray pong/ack/telemetry
     const ResultHeader header = peek_result_header(out.payload);
     const auto it = by_id.find(header.task_id);
     if (it == by_id.end()) {
@@ -453,6 +575,7 @@ void WorkerFleet::dispatch(std::vector<Pending>& pending) {
     WState& s = ws[arrived->worker];
     const auto f = std::find(s.inflight.begin(), s.inflight.end(), it->second);
     if (f != s.inflight.end()) s.inflight.erase(f);
+    outstanding_[arrived->worker] = s.inflight.size();
     s.attempts = 0;
     s.deadline = now() + timeout;
     if (p.done) {
@@ -466,6 +589,15 @@ void WorkerFleet::dispatch(std::vector<Pending>& pending) {
     ++stats_.results_received;
     TME_COUNTER_ADD("par/fleet/results_received", 1);
     record_transfer(p.node, out.payload.size());
+    if (telemetry_on_ && p.sent_us > 0.0) {
+      const double latency_s =
+          (obs::Tracer::global().now_us() - p.sent_us) * 1e-6;
+      obs::Registry& reg = obs::Registry::global();
+      reg.histogram("fleet/task_latency_s").record(latency_s);
+      reg.histogram("fleet/w" + std::to_string(arrived->worker) +
+                    "/task_latency_s")
+          .record(latency_s);
+    }
   }
 }
 
@@ -477,7 +609,7 @@ std::vector<Grid3d> WorkerFleet::run_grid(std::vector<GridBlockTask> tasks) {
     Pending& p = pending[i];
     p.id = next_task_id_++;
     p.node = tasks[i].node;
-    p.payload = encode_grid_task(p.id, tasks[i]);
+    p.payload = encode_grid_task(p.id, tasks[i], trace_id_, p.id);
     Grid3d* slot = &results[i];
     p.accept = [slot](const std::vector<std::uint8_t>& payload) {
       *slot = decode_grid_result(payload);
@@ -495,7 +627,7 @@ std::vector<ExtendedBlock> WorkerFleet::run_ca(std::vector<CaBlockTask> tasks) {
     Pending& p = pending[i];
     p.id = next_task_id_++;
     p.node = tasks[i].node;
-    p.payload = encode_ca_task(p.id, tasks[i]);
+    p.payload = encode_ca_task(p.id, tasks[i], trace_id_, p.id);
     ExtendedBlock* slot = &results[i];
     p.accept = [slot](const std::vector<std::uint8_t>& payload) {
       *slot = decode_ca_result(payload);
@@ -513,7 +645,7 @@ std::vector<BiBlockResult> WorkerFleet::run_bi(std::vector<BiBlockTask> tasks) {
     Pending& p = pending[i];
     p.id = next_task_id_++;
     p.node = tasks[i].node;
-    p.payload = encode_bi_task(p.id, tasks[i]);
+    p.payload = encode_bi_task(p.id, tasks[i], trace_id_, p.id);
     BiBlockResult* slot = &results[i];
     p.accept = [slot](const std::vector<std::uint8_t>& payload) {
       *slot = decode_bi_result(payload);
@@ -527,6 +659,7 @@ std::size_t WorkerFleet::heartbeat(std::chrono::milliseconds timeout) {
   const std::size_t W = cfg_.workers;
   std::vector<char> want(W, 0);
   std::vector<char> pongd(W, 0);
+  std::vector<double> ping_sent_us(W, 0.0);
   const std::uint64_t nonce_base = next_task_id_;
   next_task_id_ += W;
   for (std::size_t w = 0; w < W; ++w) {
@@ -536,6 +669,7 @@ std::size_t WorkerFleet::heartbeat(std::chrono::milliseconds timeout) {
     Message ping;
     ping.type = MsgType::kPing;
     ping.payload = body.take();
+    ping_sent_us[w] = obs::Tracer::global().now_us();
     try {
       transport_->send(w, ping);
     } catch (const PeerDead&) {
@@ -562,11 +696,20 @@ std::size_t WorkerFleet::heartbeat(std::chrono::milliseconds timeout) {
       handle_worker_death(arrived->worker, "heartbeat eof");
       continue;
     }
+    maybe_ingest_telemetry(out, arrived->worker);
     if (out.type != MsgType::kPong) continue;  // stale result straggler
+    const double pong_recv_us = obs::Tracer::global().now_us();
     wire::Reader r(out.payload);
     if (r.u64() == nonce_base + arrived->worker) {
       pongd[arrived->worker] = 1;
       want[arrived->worker] = 0;
+      // Pong extension: a trailing remote clock reading turns every
+      // heartbeat into an NTP-style offset sample (pre-extension pongs just
+      // echo the ping and fall through).
+      if (r.remaining() >= 8) {
+        record_clock_sample(arrived->worker, ping_sent_us[arrived->worker],
+                            pong_recv_us, r.f64());
+      }
     }
   }
   std::size_t answered = 0;
@@ -583,6 +726,114 @@ std::size_t WorkerFleet::heartbeat(std::chrono::milliseconds timeout) {
     }
   }
   return answered;
+}
+
+void WorkerFleet::publish_metrics() const {
+  obs::Registry& reg = obs::Registry::global();
+  reg.gauge_set("fleet/workers", static_cast<double>(cfg_.workers));
+  reg.gauge_set("fleet/alive_workers", static_cast<double>(alive_workers()));
+  reg.gauge_set("fleet/tasks_sent", static_cast<double>(stats_.tasks_sent));
+  reg.gauge_set("fleet/results_received",
+                static_cast<double>(stats_.results_received));
+  reg.gauge_set("fleet/retransmissions",
+                static_cast<double>(stats_.retransmissions));
+  reg.gauge_set("fleet/worker_deaths",
+                static_cast<double>(stats_.worker_deaths));
+  reg.gauge_set("fleet/respawns", static_cast<double>(stats_.respawns));
+  reg.gauge_set("fleet/heartbeats_missed",
+                static_cast<double>(stats_.heartbeats_missed));
+  for (std::size_t w = 0; w < cfg_.workers; ++w) {
+    const std::string base = "fleet/w" + std::to_string(w) + "/";
+    const TransportStats& net = transport_->worker_stats(w);
+    reg.gauge_set(base + "net/messages_sent",
+                  static_cast<double>(net.messages_sent));
+    reg.gauge_set(base + "net/bytes_sent", static_cast<double>(net.bytes_sent));
+    reg.gauge_set(base + "net/messages_received",
+                  static_cast<double>(net.messages_received));
+    reg.gauge_set(base + "net/bytes_received",
+                  static_cast<double>(net.bytes_received));
+    reg.gauge_set(base + "net/crc_rejects",
+                  static_cast<double>(net.crc_rejects));
+    reg.gauge_set(base + "net/frames_dropped",
+                  static_cast<double>(net.frames_dropped));
+    reg.gauge_set(base + "net/frames_corrupted",
+                  static_cast<double>(net.frames_corrupted));
+    reg.gauge_set(base + "alive", worker_dead_[w] ? 0.0 : 1.0);
+    reg.gauge_set(base + "outstanding",
+                  static_cast<double>(outstanding_[w]));
+    if (offsets_[w].has_offset()) {
+      reg.gauge_set(base + "clock_offset_us", offsets_[w].offset_us());
+      reg.gauge_set(base + "clock_rtt_us", offsets_[w].rtt_us());
+    }
+  }
+  sink_->publish_worker_metrics(reg);
+}
+
+bool WorkerFleet::write_fleet_trace(const std::string& path) const {
+  return sink_->write(path, obs::Tracer::global());
+}
+
+void WorkerFleet::status_json(obs::JsonValue& out) const {
+  using obs::JsonValue;
+  out = JsonValue::make_object();
+  auto& o = out.as_object();
+  o["workers"] = JsonValue::make_number(static_cast<double>(cfg_.workers));
+  o["alive"] = JsonValue::make_number(static_cast<double>(alive_workers()));
+  o["telemetry"] = JsonValue::make_bool(telemetry_on_);
+  o["quiesced"] = JsonValue::make_bool(stopped_);
+  JsonValue stats = JsonValue::make_object();
+  auto& so = stats.as_object();
+  so["tasks_sent"] =
+      JsonValue::make_number(static_cast<double>(stats_.tasks_sent));
+  so["results_received"] =
+      JsonValue::make_number(static_cast<double>(stats_.results_received));
+  so["retransmissions"] =
+      JsonValue::make_number(static_cast<double>(stats_.retransmissions));
+  so["worker_deaths"] =
+      JsonValue::make_number(static_cast<double>(stats_.worker_deaths));
+  so["respawns"] = JsonValue::make_number(static_cast<double>(stats_.respawns));
+  so["heartbeats_missed"] =
+      JsonValue::make_number(static_cast<double>(stats_.heartbeats_missed));
+  o["stats"] = std::move(stats);
+  JsonValue workers = JsonValue::make_array();
+  auto& wa = workers.as_array();
+  for (std::size_t w = 0; w < cfg_.workers; ++w) {
+    JsonValue row = JsonValue::make_object();
+    auto& ro = row.as_object();
+    ro["rank"] = JsonValue::make_number(static_cast<double>(w));
+    ro["alive"] = JsonValue::make_bool(!worker_dead_[w]);
+    ro["pid"] =
+        JsonValue::make_number(static_cast<double>(worker_os_pid_[w]));
+    ro["outstanding"] =
+        JsonValue::make_number(static_cast<double>(outstanding_[w]));
+    ro["clock_synced"] = JsonValue::make_bool(offsets_[w].has_offset());
+    ro["clock_offset_us"] = JsonValue::make_number(
+        offsets_[w].has_offset() ? offsets_[w].offset_us() : 0.0);
+    ro["clock_rtt_us"] = JsonValue::make_number(
+        offsets_[w].has_offset() ? offsets_[w].rtt_us() : 0.0);
+    const TransportStats& net = transport_->worker_stats(w);
+    ro["messages_sent"] =
+        JsonValue::make_number(static_cast<double>(net.messages_sent));
+    ro["messages_received"] =
+        JsonValue::make_number(static_cast<double>(net.messages_received));
+    ro["crc_rejects"] =
+        JsonValue::make_number(static_cast<double>(net.crc_rejects));
+    wa.push_back(std::move(row));
+  }
+  o["per_worker"] = std::move(workers);
+  JsonValue trace = JsonValue::make_object();
+  auto& to = trace.as_object();
+  to["chunks"] =
+      JsonValue::make_number(static_cast<double>(sink_->chunk_count()));
+  to["events_merged"] =
+      JsonValue::make_number(static_cast<double>(sink_->events_merged()));
+  to["emitted"] =
+      JsonValue::make_number(static_cast<double>(sink_->emitted_total()));
+  to["dropped"] =
+      JsonValue::make_number(static_cast<double>(sink_->dropped_total()));
+  to["incarnations"] =
+      JsonValue::make_number(static_cast<double>(sink_->incarnation_count()));
+  o["trace"] = std::move(trace);
 }
 
 }  // namespace tme::par

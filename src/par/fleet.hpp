@@ -32,6 +32,10 @@
 #include <vector>
 
 #include "hw/link_stats.hpp"
+#include "obs/clock.hpp"
+#include "obs/json.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "par/executor.hpp"
 #include "par/health.hpp"
 #include "par/recovery.hpp"
@@ -57,6 +61,13 @@ struct FleetConfig {
   // Per-rank misbehaviour drills; shorter than `workers` means default
   // (well-behaved) policies for the remaining ranks.
   std::vector<WorkerFaultPolicy> worker_faults;
+  // Arm fleet-wide telemetry: workers run their own tracer + registry and
+  // ship sealed chunks back, the coordinator estimates per-worker clock
+  // offsets from the init/ping round trips and merges everything into one
+  // timeline.  Effective only on the proc backend (an in-proc worker shares
+  // the coordinator's process-global tracer and would double-count) and only
+  // when tracing is compiled in and runtime-enabled on the coordinator.
+  bool telemetry = true;
 };
 
 // Overlays the process-level modes of a hw::FaultConfig onto `base`: packet
@@ -140,6 +151,35 @@ class WorkerFleet : public NodeExecutor {
   // Null while every worker is alive.
   const RecoveryPlan* plan() const { return plan_.get(); }
 
+  // --- fleet telemetry ------------------------------------------------------
+  // True when workers were armed to ship trace chunks + metric snapshots
+  // (cfg.telemetry on the proc backend with tracing compiled in and enabled).
+  bool telemetry_enabled() const { return telemetry_on_; }
+  // Redirects ingested worker telemetry into an aggregator that outlives
+  // this fleet (the chaos runner threads one through restarts); null
+  // restores the fleet-owned aggregator.  Existing state is not migrated,
+  // so swap sinks before any tasks run.
+  void set_telemetry_sink(obs::FleetTelemetry* sink);
+  obs::FleetTelemetry& telemetry() { return *sink_; }
+  const obs::FleetTelemetry& telemetry() const { return *sink_; }
+  // Clock mapping for worker w's current incarnation:
+  // coordinator_time = worker_time - offset, error bound rtt / 2.
+  bool worker_clock_synced(std::size_t w) const;
+  double worker_clock_offset_us(std::size_t w) const;
+  double worker_clock_rtt_us(std::size_t w) const;
+  // Tasks currently in flight to worker w (nonzero only inside dispatch).
+  std::size_t outstanding_tasks(std::size_t w) const;
+  // Publishes per-worker transport stats, clock offsets, outstanding counts
+  // and the aggregated worker metric snapshots into the global registry as
+  // "fleet/..." gauges, so the fleet view lands in BENCH_*.json exports.
+  void publish_metrics() const;
+  // Writes the merged fleet timeline (coordinator tracks + one process per
+  // worker incarnation) as Chrome/Perfetto JSON.  False on I/O failure.
+  bool write_fleet_trace(const std::string& path) const;
+  // Fills `out` (made an object) with the live-introspection section:
+  // per-worker health/pid/offset/outstanding plus fleet counters.
+  void status_json(obs::JsonValue& out) const;
+
  private:
   struct Pending;  // one outstanding task (defined in fleet.cpp)
 
@@ -156,6 +196,18 @@ class WorkerFleet : public NodeExecutor {
   // The shared dispatch loop; encode/decode close over the task vectors.
   void dispatch(std::vector<Pending>& pending);
 
+  // Decodes and routes a kTelemetry message into the sink (no-op for any
+  // other type); every recv loop calls this before its own type filter so
+  // piggybacked worker chunks are never discarded as strays.
+  void maybe_ingest_telemetry(const Message& m, std::size_t w);
+  // Stamps an instant on the fleet events track ("worker dead", "worker
+  // respawned"); no-op when telemetry is off.
+  void note_fleet_instant(const char* name, std::string detail);
+  // Feeds one init/ping round trip into worker w's clock estimator and
+  // refreshes the sink's offset record.
+  void record_clock_sample(std::size_t w, double t0_us, double t1_us,
+                           double remote_us);
+
   const PipelineContext* ctx_;
   const hw::TorusTopology* topo_;
   FleetConfig cfg_;
@@ -169,6 +221,16 @@ class WorkerFleet : public NodeExecutor {
   FleetStats stats_;
   std::uint64_t next_task_id_ = 1;
   bool stopped_ = false;  // quiesce() ran: the destructor skips the handshake
+
+  bool telemetry_on_ = false;
+  obs::FleetTelemetry own_telemetry_;
+  obs::FleetTelemetry* sink_ = &own_telemetry_;
+  std::vector<obs::ClockOffsetEstimator> offsets_;  // reset per incarnation
+  std::vector<std::int64_t> worker_os_pid_;  // from the InitAck extension
+  std::vector<std::size_t> outstanding_;     // in-flight tasks per worker
+  std::uint64_t trace_id_ = 0;               // stamped into every task header
+  obs::TrackId dispatch_track_ = 0;          // coordinator "fleet/dispatch"
+  obs::TrackId events_track_ = 0;            // death/respawn instants
 };
 
 }  // namespace tme::par

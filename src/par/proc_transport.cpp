@@ -11,6 +11,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 
 namespace tme::par {
 
@@ -136,6 +137,7 @@ ProcTransport::ProcTransport(std::size_t workers, Options opts)
         "ProcTransport: need a worker binary or a fork_child entry");
   }
   peers_.resize(workers);
+  worker_stats_.assign(workers, TransportStats{});
   for (std::size_t w = 0; w < workers; ++w) spawn(w);
 }
 
@@ -262,7 +264,10 @@ void ProcTransport::pump(int timeout_ms, int want_writable_fd, bool* writable) {
       // Read before honouring HUP: the kernel may hold final bytes (a last
       // result, a Bye) sent just before the peer died.
       const bool open = drain_fd(p.fd, p.rxbuf);
-      decode_buffered(p.rxbuf, p.rxq, &stats_.crc_rejects);
+      std::uint64_t rejects = 0;
+      decode_buffered(p.rxbuf, p.rxq, &rejects);
+      stats_.crc_rejects += rejects;
+      per_worker(w).crc_rejects += rejects;
       if (!open) mark_dead(w);
     }
   }
@@ -283,10 +288,15 @@ void ProcTransport::send(std::size_t worker, const Message& m) {
                                " is gone");
   }
   std::vector<std::uint8_t> frame = encode_frame(m, p.tx_seq++);
+  if (opts_.fault.delay_ms > 0) {
+    // Outbound leg only: asymmetric delay for the clock-offset drills.
+    std::this_thread::sleep_for(std::chrono::milliseconds(opts_.fault.delay_ms));
+  }
   if (opts_.fault.active()) {
     if (opts_.fault.drop_rate > 0.0 &&
         fault_rng_.uniform() < opts_.fault.drop_rate) {
       ++stats_.frames_dropped;
+      ++per_worker(worker).frames_dropped;
       return;
     }
     if (opts_.fault.corrupt_rate > 0.0 &&
@@ -296,6 +306,7 @@ void ProcTransport::send(std::size_t worker, const Message& m) {
       frame[kFrameHeaderBytes + bit / 8] ^=
           static_cast<std::uint8_t>(1u << (bit % 8));
       ++stats_.frames_corrupted;
+      ++per_worker(worker).frames_corrupted;
     }
   }
   std::size_t off = 0;
@@ -325,6 +336,9 @@ void ProcTransport::send(std::size_t worker, const Message& m) {
   }
   stats_.bytes_sent += frame.size();
   ++stats_.messages_sent;
+  TransportStats& ws = per_worker(worker);
+  ws.bytes_sent += frame.size();
+  ++ws.messages_sent;
 }
 
 RecvStatus ProcTransport::recv(std::size_t worker, Message& out,
@@ -335,9 +349,13 @@ RecvStatus ProcTransport::recv(std::size_t worker, Message& out,
     if (!p.rxq.empty()) {
       out = std::move(p.rxq.front());
       p.rxq.pop_front();
+      const std::uint64_t frame_bytes =
+          kFrameHeaderBytes + out.payload.size() + kFrameTrailerBytes;
       ++stats_.messages_received;
-      stats_.bytes_received += kFrameHeaderBytes + out.payload.size() +
-                               kFrameTrailerBytes;
+      stats_.bytes_received += frame_bytes;
+      TransportStats& ws = per_worker(worker);
+      ++ws.messages_received;
+      ws.bytes_received += frame_bytes;
       return RecvStatus::kOk;
     }
     if (!p.alive) return RecvStatus::kClosed;
@@ -357,9 +375,13 @@ std::optional<Transport::AnyResult> ProcTransport::recv_any(
       if (!p.rxq.empty()) {
         out = std::move(p.rxq.front());
         p.rxq.pop_front();
+        const std::uint64_t frame_bytes =
+            kFrameHeaderBytes + out.payload.size() + kFrameTrailerBytes;
         ++stats_.messages_received;
-        stats_.bytes_received += kFrameHeaderBytes + out.payload.size() +
-                                 kFrameTrailerBytes;
+        stats_.bytes_received += frame_bytes;
+        TransportStats& ws = per_worker(w);
+        ++ws.messages_received;
+        ws.bytes_received += frame_bytes;
         return AnyResult{w, RecvStatus::kOk};
       }
     }
@@ -394,7 +416,10 @@ void ProcTransport::terminate(std::size_t worker, long grace_ms) {
   // Drain any final bytes, then tear the connection down.
   if (p.fd >= 0) {
     drain_fd(p.fd, p.rxbuf);
-    decode_buffered(p.rxbuf, p.rxq, &stats_.crc_rejects);
+    std::uint64_t rejects = 0;
+    decode_buffered(p.rxbuf, p.rxq, &rejects);
+    stats_.crc_rejects += rejects;
+    per_worker(worker).crc_rejects += rejects;
   }
   mark_dead(worker);
   reap(worker, true);

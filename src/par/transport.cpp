@@ -184,6 +184,7 @@ InProcTransport::InProcTransport(std::size_t workers, WorkerMain worker_main,
   state_->threads.resize(workers);
   state_->tx_seq.assign(workers, 0);
   state_->fault_rng = Rng(fault.seed);
+  worker_stats_.assign(workers, TransportStats{});
   for (std::size_t w = 0; w < workers; ++w) spawn(w);
 }
 
@@ -234,10 +235,15 @@ void InProcTransport::send(std::size_t worker, const Message& m) {
   }
   std::vector<std::uint8_t> frame =
       encode_frame(m, state_->tx_seq[worker]++);
+  if (fault_.delay_ms > 0) {
+    // Outbound leg only: asymmetric delay for the clock-offset drills.
+    std::this_thread::sleep_for(std::chrono::milliseconds(fault_.delay_ms));
+  }
   if (fault_.active()) {
     if (fault_.drop_rate > 0.0 &&
         state_->fault_rng.uniform() < fault_.drop_rate) {
       ++stats_.frames_dropped;
+      ++per_worker(worker).frames_dropped;
       return;  // eaten by the network; the deadline layer retransmits
     }
     if (fault_.corrupt_rate > 0.0 &&
@@ -250,10 +256,14 @@ void InProcTransport::send(std::size_t worker, const Message& m) {
       frame[kFrameHeaderBytes + bit / 8] ^=
           static_cast<std::uint8_t>(1u << (bit % 8));
       ++stats_.frames_corrupted;
+      ++per_worker(worker).frames_corrupted;
     }
   }
   stats_.bytes_sent += frame.size();
   ++stats_.messages_sent;
+  TransportStats& ws = per_worker(worker);
+  ws.bytes_sent += frame.size();
+  ++ws.messages_sent;
   state_->to_worker[worker]->push(std::move(frame));
 }
 
@@ -278,9 +288,13 @@ RecvStatus InProcTransport::recv(std::size_t worker, Message& out,
     if (st == DecodeStatus::kOk) {
       ++stats_.messages_received;
       stats_.bytes_received += frame.size();
+      TransportStats& ws = per_worker(worker);
+      ++ws.messages_received;
+      ws.bytes_received += frame.size();
       return RecvStatus::kOk;
     }
     ++stats_.crc_rejects;
+    ++per_worker(worker).crc_rejects;
   }
 }
 
@@ -318,9 +332,13 @@ std::optional<Transport::AnyResult> InProcTransport::recv_any(
     if (st == DecodeStatus::kOk) {
       ++stats_.messages_received;
       stats_.bytes_received += frame.size();
+      TransportStats& ws = per_worker(ready);
+      ++ws.messages_received;
+      ws.bytes_received += frame.size();
       return AnyResult{ready, RecvStatus::kOk};
     }
     ++stats_.crc_rejects;
+    ++per_worker(ready).crc_rejects;
   }
 }
 

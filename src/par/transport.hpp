@@ -39,6 +39,7 @@ enum class MsgType : std::uint16_t {
   kPong,       // heartbeat reply (echoes the ping payload)
   kShutdown,   // coordinator -> worker: exit cleanly
   kBye,        // worker -> coordinator: acknowledging shutdown
+  kTelemetry,  // worker -> coordinator: sealed trace chunk + metrics snapshot
 };
 
 struct Message {
@@ -113,6 +114,11 @@ struct TransportFaultPolicy {
   std::uint64_t seed = 2021;
   double drop_rate = 0.0;     // frame silently discarded before delivery
   double corrupt_rate = 0.0;  // one payload bit flipped; receiver CRC-rejects
+  // Added outbound latency per coordinator->worker frame.  Because only one
+  // leg of the round trip is delayed this injects *asymmetric* path delay —
+  // exactly the adversary the clock-offset estimator's RTT/2 error bound is
+  // tested against.
+  long delay_ms = 0;
   bool active() const { return drop_rate > 0.0 || corrupt_rate > 0.0; }
 };
 
@@ -157,8 +163,23 @@ class Transport {
 
   const TransportStats& stats() const { return stats_; }
 
+  // The same counters split per worker connection, so the fleet can export
+  // per-worker traffic/corruption gauges into the metrics registry.  A
+  // worker index the backend never initialised reads as all-zero.
+  const TransportStats& worker_stats(std::size_t worker) const {
+    static const TransportStats kZero{};
+    return worker < worker_stats_.size() ? worker_stats_[worker] : kZero;
+  }
+
  protected:
   TransportStats stats_;
+  std::vector<TransportStats> worker_stats_;
+
+  // Bumps both the aggregate and the per-worker row (growing it on demand).
+  TransportStats& per_worker(std::size_t worker) {
+    if (worker >= worker_stats_.size()) worker_stats_.resize(worker + 1);
+    return worker_stats_[worker];
+  }
 };
 
 // In-process backend: one thread per worker, lock-protected frame queues.

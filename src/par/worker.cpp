@@ -1,5 +1,7 @@
 #include "par/worker.hpp"
 
+#include <unistd.h>
+
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -7,6 +9,9 @@
 #include <fstream>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "par/telemetry.hpp"
 #include "par/wire.hpp"
 #include "util/crc32.hpp"
 #include "util/io_shim.hpp"
@@ -16,7 +21,7 @@ namespace tme::par {
 namespace {
 
 constexpr std::uint32_t kContextMagic = 0x58544354u;  // "TCTX"
-constexpr std::uint32_t kContextVersion = 1;
+constexpr std::uint32_t kContextVersion = 2;  // v2 appended the telemetry flag
 constexpr std::uint32_t kContextFileMagic = 0x46435458u;  // "XTCF"
 
 // Guards applied to counts decoded from the wire before any allocation.
@@ -114,6 +119,7 @@ std::vector<std::uint8_t> encode_context(const WorkerContext& ctx) {
   w.i64(ctx.fault.crash_after_tasks);
   w.i64(ctx.fault.hang_after_tasks);
   w.i64(ctx.fault.delay_ms);
+  w.u32(ctx.telemetry ? 1u : 0u);
   return w.take();
 }
 
@@ -152,6 +158,7 @@ WorkerContext decode_context(const std::vector<std::uint8_t>& bytes) {
   ctx.fault.crash_after_tasks = static_cast<long>(r.i64());
   ctx.fault.hang_after_tasks = static_cast<long>(r.i64());
   ctx.fault.delay_ms = static_cast<long>(r.i64());
+  ctx.telemetry = r.u32() != 0;
   if (!r.done()) throw TransportError("worker context: trailing bytes");
   return ctx;
 }
@@ -250,17 +257,23 @@ std::vector<std::uint8_t> read_context_file(const std::string& path) {
 
 namespace {
 
-void put_task_header(wire::Writer& w, std::uint64_t task_id, TaskClass cls) {
+void put_task_header(wire::Writer& w, std::uint64_t task_id, TaskClass cls,
+                     std::uint64_t trace_id = 0,
+                     std::uint64_t parent_span = 0) {
   w.u64(task_id);
   w.u16(static_cast<std::uint16_t>(cls));
+  w.u64(trace_id);
+  w.u64(parent_span);
 }
 
 }  // namespace
 
 std::vector<std::uint8_t> encode_grid_task(std::uint64_t task_id,
-                                           const GridBlockTask& t) {
+                                           const GridBlockTask& t,
+                                           std::uint64_t trace_id,
+                                           std::uint64_t parent_span) {
   wire::Writer w;
-  put_task_header(w, task_id, TaskClass::kGrid);
+  put_task_header(w, task_id, TaskClass::kGrid, trace_id, parent_span);
   w.u16(static_cast<std::uint16_t>(t.kind));
   w.u64(t.node);
   put_block(w, t.halo);
@@ -277,9 +290,11 @@ std::vector<std::uint8_t> encode_grid_task(std::uint64_t task_id,
 }
 
 std::vector<std::uint8_t> encode_ca_task(std::uint64_t task_id,
-                                         const CaBlockTask& t) {
+                                         const CaBlockTask& t,
+                                         std::uint64_t trace_id,
+                                         std::uint64_t parent_span) {
   wire::Writer w;
-  put_task_header(w, task_id, TaskClass::kCa);
+  put_task_header(w, task_id, TaskClass::kCa, trace_id, parent_span);
   w.u64(t.node);
   w.vec3s(t.positions);
   w.doubles(t.charges);
@@ -293,9 +308,11 @@ std::vector<std::uint8_t> encode_ca_task(std::uint64_t task_id,
 }
 
 std::vector<std::uint8_t> encode_bi_task(std::uint64_t task_id,
-                                         const BiBlockTask& t) {
+                                         const BiBlockTask& t,
+                                         std::uint64_t trace_id,
+                                         std::uint64_t parent_span) {
   wire::Writer w;
-  put_task_header(w, task_id, TaskClass::kBi);
+  put_task_header(w, task_id, TaskClass::kBi, trace_id, parent_span);
   w.u64(t.node);
   put_block(w, t.halo);
   w.vec3s(t.positions);
@@ -308,6 +325,8 @@ namespace {
 struct TaskHeader {
   std::uint64_t task_id = 0;
   TaskClass task_class = TaskClass::kGrid;
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
 };
 
 TaskHeader get_task_header(wire::Reader& r) {
@@ -318,6 +337,8 @@ TaskHeader get_task_header(wire::Reader& r) {
     throw TransportError("worker: unknown task class " + std::to_string(cls));
   }
   h.task_class = static_cast<TaskClass>(cls);
+  h.trace_id = r.u64();
+  h.parent_span = r.u64();
   return h;
 }
 
@@ -445,6 +466,29 @@ void worker_loop(Endpoint& ep, const WorkerLoopOptions& opts) {
   bool inited = false;
   long tasks_done = 0;
   bool hung = false;
+  // Worker-side telemetry: armed by the context (process workers only).
+  // Chunks flush once enough spans accumulate, and unconditionally on
+  // shutdown/drain so a graceful quiesce loses nothing.
+  bool telemetry_armed = false;
+  std::uint64_t telemetry_seq = 0;
+  obs::TrackId task_track = 0;
+  constexpr std::size_t kFlushThreshold = 48;
+  auto flush_telemetry = [&](bool force) {
+    if (!telemetry_armed) return true;
+    obs::Tracer& tracer = obs::Tracer::global();
+    if (!force && tracer.undrained_count() < kFlushThreshold) return true;
+    obs::WorkerTelemetry t;
+    t.rank = ctx.rank;
+    t.pid = static_cast<std::int64_t>(::getpid());
+    t.seq = ++telemetry_seq;
+    t.chunk = tracer.drain_chunk();
+    if (!force && t.chunk.events.empty()) return true;
+    t.metrics_json = obs::to_json(obs::Registry::global().snapshot());
+    Message m;
+    m.type = MsgType::kTelemetry;
+    m.payload = encode_telemetry(t);
+    return ep.send(m);
+  };
   // Drain path: a requested stop is honoured between messages — the task
   // being executed always finishes and its result is sent, so the
   // coordinator never loses acknowledged work to a graceful shutdown.
@@ -457,6 +501,7 @@ void worker_loop(Endpoint& ep, const WorkerLoopOptions& opts) {
         // coordinator still owns an authoritative copy.
       }
     }
+    flush_telemetry(true);
     Message bye;
     bye.type = MsgType::kBye;
     ep.send(bye);
@@ -481,10 +526,28 @@ void worker_loop(Endpoint& ep, const WorkerLoopOptions& opts) {
         inited = true;
         tasks_done = 0;
         hung = false;
+        telemetry_armed = ctx.telemetry && obs::kTraceEnabled;
+        if (telemetry_armed) {
+          // A fork-mode child inherits the coordinator's buffers, tracks and
+          // epoch; start this incarnation from a clean slate so its chunks
+          // carry only worker-side events on the worker's own clock.
+          obs::Tracer& tracer = obs::Tracer::global();
+          tracer.reset_for_testing();
+          tracer.set_enabled(true);
+          obs::Registry::global().reset();
+          telemetry_seq = 0;
+          task_track =
+              tracer.track("tasks", "rank " + std::to_string(ctx.rank));
+        }
         Message ack;
         ack.type = MsgType::kInitAck;
         wire::Writer w;
         w.u32(crc32(msg.payload.data(), msg.payload.size()));
+        // Trailing extension (readers ignore extra bytes): the worker's os
+        // pid and a tracer-clock reading, sampled mid-round-trip — the
+        // coordinator's first clock-offset estimate for this incarnation.
+        w.i64(static_cast<std::int64_t>(::getpid()));
+        w.f64(obs::Tracer::global().now_us());
         ack.payload = w.take();
         if (!ep.send(ack)) return;
         break;
@@ -494,6 +557,14 @@ void worker_loop(Endpoint& ep, const WorkerLoopOptions& opts) {
         Message pong;
         pong.type = MsgType::kPong;
         pong.payload = msg.payload;
+        {
+          // Trailing extension (readers ignore extra bytes): a tracer-clock
+          // reading for the coordinator's offset estimator.
+          wire::Writer w;
+          w.raw(msg.payload.data(), msg.payload.size());
+          w.f64(obs::Tracer::global().now_us());
+          pong.payload = w.take();
+        }
         if (!ep.send(pong)) return;
         break;
       }
@@ -514,10 +585,14 @@ void worker_loop(Endpoint& ep, const WorkerLoopOptions& opts) {
         }
         wire::Reader r(msg.payload);
         const TaskHeader header = get_task_header(r);
+        obs::Tracer& tracer = obs::Tracer::global();
+        const double span_start = telemetry_armed ? tracer.now_us() : 0.0;
+        const char* span_name = "task";
         Message result;
         result.type = MsgType::kResult;
         switch (header.task_class) {
           case TaskClass::kGrid: {
+            span_name = "grid task";
             const GridBlockTask t = get_grid_task(r);
             result.payload =
                 encode_grid_result(header.task_id,
@@ -525,17 +600,33 @@ void worker_loop(Endpoint& ep, const WorkerLoopOptions& opts) {
             break;
           }
           case TaskClass::kCa: {
+            span_name = "ca task";
             const CaBlockTask t = get_ca_task(r);
             result.payload = encode_ca_result(
                 header.task_id, execute_ca_task(ctx.pipeline, t));
             break;
           }
           case TaskClass::kBi: {
+            span_name = "bi task";
             const BiBlockTask t = get_bi_task(r);
             result.payload = encode_bi_result(
                 header.task_id, execute_bi_task(ctx.pipeline, t));
             break;
           }
+        }
+        if (telemetry_armed) {
+          const double span_end = tracer.now_us();
+          // The flow head lands at the span's start inside the task span,
+          // tying it back to the coordinator's dispatch flow tail.
+          const std::uint64_t flow_id =
+              header.parent_span != 0 ? header.parent_span : header.task_id;
+          tracer.complete(task_track, span_name, span_start,
+                          span_end - span_start,
+                          "task " + std::to_string(header.task_id));
+          tracer.flow_finish(task_track, "dispatch", span_start, flow_id);
+          obs::Registry::global().counter("worker/tasks").add(1);
+          obs::Registry::global().timer_add(
+              "worker/task_s", (span_end - span_start) * 1e-6);
         }
         if (ctx.fault.delay_ms > 0) {
           std::this_thread::sleep_for(
@@ -543,9 +634,13 @@ void worker_loop(Endpoint& ep, const WorkerLoopOptions& opts) {
         }
         ++tasks_done;
         if (!ep.send(result)) return;
+        if (!flush_telemetry(false)) return;
         break;
       }
       case MsgType::kShutdown: {
+        // Final telemetry flush first: the chunk must precede kBye so the
+        // coordinator's shutdown loop ingests it before closing the book.
+        flush_telemetry(true);
         Message bye;
         bye.type = MsgType::kBye;
         ep.send(bye);

@@ -36,6 +36,11 @@ struct WorkerContext {
   std::uint32_t rank = 0;
   std::uint32_t workers = 1;
   WorkerFaultPolicy fault;
+  // Arm worker-side tracing + metrics: the worker runs its own tracer ring
+  // and registry and ships sealed chunks back as kTelemetry messages.  Only
+  // meaningful for process workers — an in-proc worker shares the
+  // coordinator's process-global tracer, so arming it would double-count.
+  bool telemetry = false;
 };
 
 // Context payload codec.  decode throws wire::Error / TransportError on any
@@ -49,15 +54,25 @@ void write_context_file(const std::string& path,
                         const std::vector<std::uint8_t>& context_bytes);
 std::vector<std::uint8_t> read_context_file(const std::string& path);
 
-// Task payloads open with `u64 task_id | u16 task_class`; results echo both.
+// Task payloads open with `u64 task_id | u16 task_class | u64 trace_id |
+// u64 parent_span`; results echo the same header shape (trace fields zero).
+// The trace fields propagate the coordinator's trace context: `parent_span`
+// is the flow id of the dispatch span, so worker task spans nest under (and
+// draw arrows from) the coordinator side in the merged timeline.
 enum class TaskClass : std::uint16_t { kGrid = 0, kCa = 1, kBi = 2 };
 
 std::vector<std::uint8_t> encode_grid_task(std::uint64_t task_id,
-                                           const GridBlockTask& t);
+                                           const GridBlockTask& t,
+                                           std::uint64_t trace_id = 0,
+                                           std::uint64_t parent_span = 0);
 std::vector<std::uint8_t> encode_ca_task(std::uint64_t task_id,
-                                         const CaBlockTask& t);
+                                         const CaBlockTask& t,
+                                         std::uint64_t trace_id = 0,
+                                         std::uint64_t parent_span = 0);
 std::vector<std::uint8_t> encode_bi_task(std::uint64_t task_id,
-                                         const BiBlockTask& t);
+                                         const BiBlockTask& t,
+                                         std::uint64_t trace_id = 0,
+                                         std::uint64_t parent_span = 0);
 
 struct ResultHeader {
   std::uint64_t task_id = 0;
